@@ -1,0 +1,214 @@
+//! Endpoint references.
+
+use crate::WsaVersion;
+use wsm_xml::Element;
+
+/// A WS-Addressing endpoint reference.
+///
+/// The same logical EPR serializes differently per WSA version; in
+/// particular the container for reference data is `ReferenceProperties`
+/// (2003/03), either container (2004/08) or `ReferenceParameters` +
+/// `Metadata` (2005/08). Subscription managers in both spec families
+/// identify subscriptions by stuffing an identifier element into this
+/// container — the paper's §V.4 category-1 example.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EndpointReference {
+    /// The `wsa:Address` URI.
+    pub address: String,
+    /// Content of `wsa:ReferenceProperties` (2003/03, 2004/08).
+    pub reference_properties: Vec<Element>,
+    /// Content of `wsa:ReferenceParameters` (2004/08, 2005/08).
+    pub reference_parameters: Vec<Element>,
+    /// Content of `wsa:Metadata` (2005/08 only).
+    pub metadata: Vec<Element>,
+}
+
+impl EndpointReference {
+    /// An EPR with just an address.
+    pub fn new(address: impl Into<String>) -> Self {
+        EndpointReference { address: address.into(), ..Default::default() }
+    }
+
+    /// The anonymous EPR for a WSA version.
+    pub fn anonymous(version: WsaVersion) -> Self {
+        EndpointReference::new(version.anonymous())
+    }
+
+    /// Attach a reference property/parameter in the container
+    /// appropriate for `version` (properties before 2005/08 when asked,
+    /// parameters otherwise). This is how subscription identifiers get
+    /// planted.
+    pub fn with_reference(mut self, version: WsaVersion, item: Element) -> Self {
+        if version == WsaVersion::V200303 {
+            self.reference_properties.push(item);
+        } else {
+            self.reference_parameters.push(item);
+        }
+        self
+    }
+
+    /// All reference data regardless of container — what a client echoes
+    /// back as SOAP headers when sending to this EPR.
+    pub fn all_reference_data(&self) -> impl Iterator<Item = &Element> {
+        self.reference_properties.iter().chain(self.reference_parameters.iter())
+    }
+
+    /// Find a reference item by expanded name in either container.
+    pub fn reference_item(&self, ns: &str, local: &str) -> Option<&Element> {
+        self.all_reference_data().find(|e| e.name.is(ns, local))
+    }
+
+    /// Serialize into an element named `wsa:EndpointReference`.
+    pub fn to_element(&self, version: WsaVersion) -> Element {
+        self.to_named_element(version, Element::ns(version.ns(), "EndpointReference", "wsa"))
+    }
+
+    /// Serialize into a caller-supplied shell element (the specs wrap
+    /// EPRs in role-specific names: `wse:NotifyTo`, `wsnt:ConsumerReference`,
+    /// `wse:SubscriptionManager`...).
+    pub fn to_named_element(&self, version: WsaVersion, mut shell: Element) -> Element {
+        let ns = version.ns();
+        shell.push(Element::ns(ns, "Address", "wsa").with_text(self.address.clone()));
+        if !self.reference_properties.is_empty() && version.has_reference_properties() {
+            let mut c = Element::ns(ns, "ReferenceProperties", "wsa");
+            for e in &self.reference_properties {
+                c.push(e.clone());
+            }
+            shell.push(c);
+        }
+        if !self.reference_parameters.is_empty() && version.has_reference_parameters() {
+            let mut c = Element::ns(ns, "ReferenceParameters", "wsa");
+            for e in &self.reference_parameters {
+                c.push(e.clone());
+            }
+            shell.push(c);
+        }
+        if !self.metadata.is_empty() && version == WsaVersion::V200508 {
+            let mut c = Element::ns(ns, "Metadata", "wsa");
+            for e in &self.metadata {
+                c.push(e.clone());
+            }
+            shell.push(c);
+        }
+        shell
+    }
+
+    /// Parse an EPR from an element (the element itself is the shell).
+    /// Returns `None` when no `Address` child in the given version's
+    /// namespace is present.
+    pub fn from_element(el: &Element, version: WsaVersion) -> Option<Self> {
+        let ns = version.ns();
+        let address = el.child_ns(ns, "Address")?.text().trim().to_string();
+        let collect = |name: &str| -> Vec<Element> {
+            el.child_ns(ns, name)
+                .map(|c| c.elements().cloned().collect())
+                .unwrap_or_default()
+        };
+        Some(EndpointReference {
+            address,
+            reference_properties: collect("ReferenceProperties"),
+            reference_parameters: collect("ReferenceParameters"),
+            metadata: collect("Metadata"),
+        })
+    }
+
+    /// Parse detecting the version from the `Address` child namespace.
+    pub fn from_element_any_version(el: &Element) -> Option<(Self, WsaVersion)> {
+        for v in [WsaVersion::V200508, WsaVersion::V200408, WsaVersion::V200303] {
+            if let Some(epr) = Self::from_element(el, v) {
+                return Some((epr, v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_xml::to_string;
+
+    #[test]
+    fn roundtrip_all_versions() {
+        for v in [WsaVersion::V200303, WsaVersion::V200408, WsaVersion::V200508] {
+            let epr = EndpointReference::new("http://consumer.example.org/sink")
+                .with_reference(v, Element::ns("urn:sub", "Id", "sub").with_text("s-1"));
+            let el = epr.to_element(v);
+            let back = EndpointReference::from_element(&el, v).unwrap();
+            assert_eq!(back, epr, "{}", to_string(&el));
+        }
+    }
+
+    #[test]
+    fn container_differs_by_version() {
+        let id = Element::ns("urn:sub", "Id", "sub").with_text("s-1");
+        let old = EndpointReference::new("http://x").with_reference(WsaVersion::V200303, id.clone());
+        assert_eq!(old.reference_properties.len(), 1);
+        assert!(old.reference_parameters.is_empty());
+        let new = EndpointReference::new("http://x").with_reference(WsaVersion::V200508, id);
+        assert!(new.reference_properties.is_empty());
+        assert_eq!(new.reference_parameters.len(), 1);
+    }
+
+    #[test]
+    fn serialization_omits_wrong_containers() {
+        let mut epr = EndpointReference::new("http://x");
+        epr.reference_properties.push(Element::local("p"));
+        epr.reference_parameters.push(Element::local("q"));
+        epr.metadata.push(Element::local("m"));
+        let s303 = to_string(&epr.to_element(WsaVersion::V200303));
+        assert!(s303.contains("ReferenceProperties"), "{s303}");
+        assert!(!s303.contains("ReferenceParameters"), "{s303}");
+        assert!(!s303.contains("Metadata"), "{s303}");
+        let s508 = to_string(&epr.to_element(WsaVersion::V200508));
+        assert!(!s508.contains("ReferenceProperties"), "{s508}");
+        assert!(s508.contains("ReferenceParameters"), "{s508}");
+        assert!(s508.contains("Metadata"), "{s508}");
+    }
+
+    #[test]
+    fn reference_item_lookup_spans_containers() {
+        let mut epr = EndpointReference::new("http://x");
+        epr.reference_properties.push(Element::ns("urn:a", "P", "a").with_text("1"));
+        epr.reference_parameters.push(Element::ns("urn:a", "Q", "a").with_text("2"));
+        assert_eq!(epr.reference_item("urn:a", "P").unwrap().text(), "1");
+        assert_eq!(epr.reference_item("urn:a", "Q").unwrap().text(), "2");
+        assert!(epr.reference_item("urn:a", "R").is_none());
+    }
+
+    #[test]
+    fn named_shell() {
+        let epr = EndpointReference::new("http://sink");
+        let el = epr.to_named_element(
+            WsaVersion::V200408,
+            Element::ns("urn:wse", "NotifyTo", "wse"),
+        );
+        assert_eq!(el.name.local, "NotifyTo");
+        assert_eq!(
+            el.child_ns(WsaVersion::V200408.ns(), "Address").unwrap().text(),
+            "http://sink"
+        );
+    }
+
+    #[test]
+    fn version_detection_from_content() {
+        let epr = EndpointReference::new("http://x");
+        for v in [WsaVersion::V200303, WsaVersion::V200408, WsaVersion::V200508] {
+            let el = epr.to_element(v);
+            let (_, got) = EndpointReference::from_element_any_version(&el).unwrap();
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn missing_address_is_none() {
+        let el = Element::local("Shell");
+        assert!(EndpointReference::from_element(&el, WsaVersion::V200508).is_none());
+    }
+
+    #[test]
+    fn anonymous_eprs() {
+        let a = EndpointReference::anonymous(WsaVersion::V200508);
+        assert_eq!(a.address, "http://www.w3.org/2005/08/addressing/anonymous");
+    }
+}

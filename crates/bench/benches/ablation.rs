@@ -1,0 +1,147 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out.
+//!
+//! * **Filter placement** (§6.3): broker-side filtering (WS-style)
+//!   vs no filtering with consumer-side discard (CORBA-Event-style).
+//!   Broker-side wins as selectivity drops because unmatched events
+//!   never cross the (simulated) wire.
+//! * **Spec auto-detection** (§6.4): the per-message namespace sniff
+//!   that fronts every WS-Messenger request.
+//! * **Backend hop** (§6.1 companion): in-memory backend vs the JMS
+//!   wrap, isolating the cost of riding an external pub/sub system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use wsm_bench::make_event;
+use wsm_eventing::{EventSink, Filter, SubscribeRequest, Subscriber, WseCodec, WseVersion};
+use wsm_jms::JmsProvider;
+use wsm_messenger::{JmsBackend, SpecDialect, WsMessenger};
+use wsm_notification::{WsnCodec, WsnFilter, WsnSubscribeRequest, WsnVersion};
+use wsm_transport::Network;
+use wsm_xpath::XPath;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(15);
+
+    // --- filter placement, at three selectivities.
+    // `sev` cycles 1..=7; thresholds pick ~all / ~half / ~none.
+    for (label, threshold) in [("all", 0u32), ("half", 4), ("none", 8)] {
+        // Broker-side: XPath filter in the subscription.
+        let net = Network::new();
+        let broker = WsMessenger::start(&net, "http://broker");
+        let sub = Subscriber::new(&net, WseVersion::Aug2004);
+        for i in 0..8 {
+            let sink =
+                EventSink::start(&net, format!("http://s{i}").as_str(), WseVersion::Aug2004);
+            sub.subscribe(
+                broker.uri(),
+                SubscribeRequest::push(sink.epr())
+                    .with_filter(Filter::xpath(&format!("/event[@sev > {threshold}]"))),
+            )
+            .unwrap();
+        }
+        let mut seq = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("broker_side_filter", label),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    seq += 1;
+                    black_box(broker.publish_raw(&make_event(seq)))
+                })
+            },
+        );
+
+        // Consumer-side: no broker filter; every event is delivered and
+        // the consumer evaluates the same predicate after the fact.
+        let net2 = Network::new();
+        let broker2 = WsMessenger::start(&net2, "http://broker");
+        let sub2 = Subscriber::new(&net2, WseVersion::Aug2004);
+        let mut sinks = Vec::new();
+        for i in 0..8 {
+            let sink =
+                EventSink::start(&net2, format!("http://s{i}").as_str(), WseVersion::Aug2004);
+            sub2.subscribe(broker2.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+            sinks.push(sink);
+        }
+        let client_filter = XPath::compile(&format!("/event[@sev > {threshold}]")).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("consumer_side_filter", label),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    seq += 1;
+                    broker2.publish_raw(&make_event(seq));
+                    // Each consumer discards what it did not want.
+                    let mut kept = 0;
+                    for s in &sinks {
+                        for e in s.received() {
+                            if client_filter.matches(&e) {
+                                kept += 1;
+                            }
+                        }
+                        s.clear();
+                    }
+                    black_box(kept)
+                })
+            },
+        );
+    }
+
+    // --- spec auto-detection cost.
+    let wse_env = WseCodec::new(WseVersion::Aug2004).subscribe(
+        "http://b",
+        &SubscribeRequest::push(wsm_addressing::EndpointReference::new("http://s")),
+    );
+    let wsn_env = WsnCodec::new(WsnVersion::V1_3).subscribe(
+        "http://b",
+        &WsnSubscribeRequest::new(wsm_addressing::EndpointReference::new("http://s"))
+            .with_filter(WsnFilter::topic("t")),
+    );
+    group.bench_function("detect_dialect", |b| {
+        b.iter(|| {
+            black_box(SpecDialect::detect(&wse_env));
+            black_box(SpecDialect::detect(&wsn_env))
+        })
+    });
+
+    // --- backend hop: in-memory vs JMS wrap (1 consumer, no filters).
+    let mk = |jms: bool| {
+        let net = Network::new();
+        let broker = if jms {
+            WsMessenger::start_with_backend(
+                &net,
+                "http://broker",
+                Arc::new(JmsBackend::new(JmsProvider::new(), "relay")),
+            )
+        } else {
+            WsMessenger::start(&net, "http://broker")
+        };
+        let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
+        Subscriber::new(&net, WseVersion::Aug2004)
+            .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+            .unwrap();
+        (net, broker)
+    };
+    let (_n1, mem_broker) = mk(false);
+    let mut seq = 0u64;
+    group.bench_function("backend_in_memory", |b| {
+        b.iter(|| {
+            seq += 1;
+            black_box(mem_broker.publish_raw(&make_event(seq)))
+        })
+    });
+    let (_n2, jms_broker) = mk(true);
+    group.bench_function("backend_jms_wrap", |b| {
+        b.iter(|| {
+            seq += 1;
+            black_box(jms_broker.publish_raw(&make_event(seq)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! X-B4a: codec cost per specification version.
+//!
+//! §V.4's six categories of format difference have a cost dimension:
+//! the four dialects produce envelopes of different sizes and shapes.
+//! This bench measures building + serializing + reparsing the Subscribe
+//! message and the notification message of each dialect.
+//!
+//! Expectation: WSN messages cost more than WSE ones (the Notify
+//! wrapper and the Filter element add elements), and 1.3 costs slightly
+//! more than 1.0 (Filter wrapper, CurrentTime/TerminationTime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsm_addressing::EndpointReference;
+use wsm_bench::make_event;
+use wsm_eventing::{Filter, SubscribeRequest, WseCodec, WseVersion};
+use wsm_notification::{
+    NotificationMessage, WsnCodec, WsnFilter, WsnSubscribeRequest, WsnVersion,
+};
+use wsm_soap::Envelope;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(30);
+    let consumer = EndpointReference::new("http://consumer/sink");
+
+    for v in [WseVersion::Jan2004, WseVersion::Aug2004] {
+        let codec = WseCodec::new(v);
+        let req = SubscribeRequest::push(consumer.clone()).with_filter(Filter::xpath("/event[@sev>3]"));
+        group.bench_function(format!("subscribe_roundtrip_{}", v.label().replace([' ', '/'], "_")), |b| {
+            b.iter(|| {
+                let env = codec.subscribe("http://broker", &req);
+                let xml = env.to_xml();
+                let back = Envelope::from_xml(&xml).unwrap();
+                black_box(codec.parse_subscribe(&back).unwrap())
+            })
+        });
+    }
+
+    for v in [WsnVersion::V1_0, WsnVersion::V1_3] {
+        let codec = WsnCodec::new(v);
+        let req = WsnSubscribeRequest::new(consumer.clone())
+            .with_filter(WsnFilter::topic("jobs/status"))
+            .with_filter(WsnFilter::content("/event[@sev>3]"));
+        group.bench_function(format!("subscribe_roundtrip_{}", v.label().replace([' ', '/'], "_")), |b| {
+            b.iter(|| {
+                let env = codec.subscribe("http://broker", &req);
+                let xml = env.to_xml();
+                let back = Envelope::from_xml(&xml).unwrap();
+                black_box(codec.parse_subscribe(&back).unwrap())
+            })
+        });
+    }
+
+    // Notification encode: raw (WSE) vs wrapped Notify (WSN).
+    let payload = make_event(7);
+    let wse = WseCodec::new(WseVersion::Aug2004);
+    group.bench_function("notification_encode_wse_raw", |b| {
+        b.iter(|| black_box(wse.notification(&consumer, &payload).to_xml()))
+    });
+    let wsn = WsnCodec::new(WsnVersion::V1_3);
+    let msg = NotificationMessage {
+        topic: wsm_topics::TopicPath::parse("jobs/status"),
+        producer: Some(EndpointReference::new("http://broker")),
+        subscription: Some(consumer.clone()),
+        message: payload.clone(),
+    };
+    group.bench_function("notification_encode_wsn_notify", |b| {
+        b.iter(|| black_box(wsn.notify(&consumer, std::slice::from_ref(&msg)).to_xml()))
+    });
+
+    // Parse side.
+    let wse_xml = wse.notification(&consumer, &payload).to_xml();
+    let wsn_xml = wsn.notify(&consumer, &[msg]).to_xml();
+    group.bench_function("notification_parse_wse_raw", |b| {
+        b.iter(|| black_box(Envelope::from_xml(&wse_xml).unwrap()))
+    });
+    group.bench_function("notification_parse_wsn_notify", |b| {
+        b.iter(|| {
+            let env = Envelope::from_xml(&wsn_xml).unwrap();
+            black_box(wsn.parse_notify(&env).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! X-B3: delivery-mode comparison.
+//!
+//! Both spec families offer push, pull and wrapped delivery (Table 1);
+//! this bench measures the per-event cost of each through a WS-Eventing
+//! source, with wrapped mode swept over batch sizes — quantifying the
+//! batching amortization that motivates the mode ("pack several
+//! notification messages into one message for efficient delivery",
+//! paper §V.3).
+//!
+//! Expectation: wrapped-64 < wrapped-8 < push per event (amortized
+//! envelope overhead); pull costs are split between enqueue (cheap) and
+//! the poll round-trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsm_bench::make_event;
+use wsm_eventing::{
+    DeliveryMode, EventSink, EventSource, SubscribeRequest, Subscriber, WseVersion,
+};
+use wsm_transport::Network;
+
+fn setup(mode: DeliveryMode) -> (Network, EventSource, EventSink, wsm_eventing::SubscriptionHandle) {
+    let net = Network::new();
+    let source = EventSource::start(&net, "http://src", WseVersion::Aug2004);
+    let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
+    let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
+    let h = subscriber
+        .subscribe(source.uri(), SubscribeRequest::push(sink.epr()).with_mode(mode))
+        .unwrap();
+    (net, source, sink, h)
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delivery");
+    group.sample_size(20);
+
+    let (_net, source, _sink, _h) = setup(DeliveryMode::Push);
+    let mut seq = 0u64;
+    group.bench_function("push_per_event", |b| {
+        b.iter(|| {
+            seq += 1;
+            black_box(source.publish(&make_event(seq)))
+        })
+    });
+
+    for batch in [1usize, 8, 64] {
+        let (_net, source, _sink, _h) = setup(DeliveryMode::Wrapped);
+        group.bench_with_input(BenchmarkId::new("wrapped_batch", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                for _ in 0..batch {
+                    seq += 1;
+                    source.publish(&make_event(seq));
+                }
+                black_box(source.flush_wrapped())
+            })
+        });
+    }
+
+    // Pull: enqueue path and the poll round-trip, for a firewalled sink
+    // (the paper's motivating scenario for the mode).
+    let net = Network::new();
+    let source = EventSource::start(&net, "http://src", WseVersion::Aug2004);
+    let fw_sink = EventSink::start_firewalled(&net, "http://fw", WseVersion::Aug2004);
+    let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
+    let h = subscriber
+        .subscribe(
+            source.uri(),
+            SubscribeRequest::push(fw_sink.epr()).with_mode(DeliveryMode::Pull),
+        )
+        .unwrap();
+    group.bench_function("pull_enqueue", |b| {
+        b.iter(|| {
+            seq += 1;
+            black_box(source.publish(&make_event(seq)));
+            // Keep the queue bounded so memory stays flat.
+            if seq % 64 == 0 {
+                let _ = subscriber.pull(&h, usize::MAX);
+            }
+        })
+    });
+    group.bench_function("pull_roundtrip_8", |b| {
+        b.iter(|| {
+            for _ in 0..8 {
+                seq += 1;
+                source.publish(&make_event(seq));
+            }
+            black_box(subscriber.pull(&h, 8).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery);
+criterion_main!(benches);

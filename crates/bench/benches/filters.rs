@@ -1,0 +1,107 @@
+//! X-B2: filter-engine comparison.
+//!
+//! Table 3's "Filter language" row names four generations of filter
+//! model; this bench puts an equivalent predicate through each engine
+//! implemented in this workspace:
+//!
+//! * XPath 1.0 content filter (WS-Eventing / WS-Notification),
+//! * WS-Topics concrete/wildcard topic matching,
+//! * ETCL over CORBA structured events,
+//! * JMS SQL92-subset selector.
+//!
+//! Expectation: topic matching ≪ selector/ETCL ≪ XPath (XPath walks an
+//! XML tree; the others look at flat fields), which is the
+//! structure-vs-expressiveness trade the paper's §VI.D observation (3)
+//! describes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsm_bench::make_event;
+use wsm_corba::{EtclFilter, StructuredEvent};
+use wsm_jms::{JmsMessage, Selector};
+use wsm_topics::{TopicExpression, TopicPath};
+use wsm_xpath::XPath;
+
+fn bench_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filters");
+    group.sample_size(30);
+
+    // Corpus: alternating matching / non-matching events.
+    let xml_events: Vec<_> = (0..64).map(make_event).collect();
+    let xpath = XPath::compile("/event[@sev > 3] and contains(/event/source, 'gridftp-7')").unwrap();
+    group.bench_function("xpath_content", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % xml_events.len();
+            black_box(xpath.matches(&xml_events[i]))
+        })
+    });
+
+    let topics: Vec<TopicPath> = (0..64)
+        .map(|i| TopicPath::parse(wsm_bench::topic_for(i)).unwrap())
+        .collect();
+    let concrete = TopicExpression::concrete("jobs/status").unwrap();
+    group.bench_function("topic_concrete", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % topics.len();
+            black_box(concrete.matches(&topics[i]))
+        })
+    });
+    let wildcard = TopicExpression::full("jobs//* | storms/*").unwrap();
+    group.bench_function("topic_full_wildcard", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % topics.len();
+            black_box(wildcard.matches(&topics[i]))
+        })
+    });
+
+    let structured: Vec<StructuredEvent> = (0..64)
+        .map(|i| {
+            StructuredEvent::new("Grid", "JobStatus", &format!("job-{i}"))
+                .with_field("sev", ((i % 7) + 1) as i32)
+                .with_field("source", format!("gridftp-{}", i % 13).as_str())
+        })
+        .collect();
+    let etcl = EtclFilter::compile("$sev > 3 and 'gridftp-7' ~ $source").unwrap();
+    group.bench_function("etcl_structured", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % structured.len();
+            black_box(etcl.matches(&structured[i]))
+        })
+    });
+
+    let jms_msgs: Vec<JmsMessage> = (0..64)
+        .map(|i| {
+            JmsMessage::text("payload")
+                .with_property("sev", ((i % 7) + 1) as i64)
+                .with_property("source", format!("gridftp-{}", i % 13).as_str())
+        })
+        .collect();
+    let selector = Selector::compile("sev > 3 AND source LIKE 'gridftp-7%'").unwrap();
+    group.bench_function("jms_selector", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % jms_msgs.len();
+            black_box(selector.matches(&jms_msgs[i]))
+        })
+    });
+
+    // Compilation costs, for the subscribe-time story.
+    group.bench_function("compile_xpath", |b| {
+        b.iter(|| black_box(XPath::compile("/event[@sev > 3]").unwrap()))
+    });
+    group.bench_function("compile_etcl", |b| {
+        b.iter(|| black_box(EtclFilter::compile("$sev > 3 and $x == 'y'").unwrap()))
+    });
+    group.bench_function("compile_selector", |b| {
+        b.iter(|| black_box(Selector::compile("sev > 3 AND x = 'y'").unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! X-B1: mediation overhead.
+//!
+//! The design choice DESIGN.md §6.1 calls out: WS-Messenger mediates by
+//! normalizing into an internal event model and re-encoding per
+//! consumer. This bench measures the cost of a publication delivered
+//! (a) natively (origin family == consumer family) and (b) mediated
+//! (cross-family), for both directions, against a fixed consumer pool.
+//!
+//! Expectation (qualitative, per the paper's design): mediation costs
+//! one extra re-encode per delivery — same order of magnitude, with
+//! WSN-bound deliveries slightly costlier than WSE-bound ones because
+//! the Notify wrapper is bigger than a raw body.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsm_bench::make_event;
+use wsm_eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use wsm_messenger::{InternalEvent, SpecDialect, WsMessenger};
+use wsm_notification::{NotificationConsumer, WsnClient, WsnSubscribeRequest, WsnVersion};
+use wsm_transport::Network;
+
+const CONSUMERS: usize = 8;
+
+fn broker_with_wse_consumers() -> (Network, WsMessenger) {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
+    for i in 0..CONSUMERS {
+        let sink = EventSink::start(&net, format!("http://sink-{i}").as_str(), WseVersion::Aug2004);
+        subscriber.subscribe(broker.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+    }
+    (net, broker)
+}
+
+fn broker_with_wsn_consumers() -> (Network, WsMessenger) {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let client = WsnClient::new(&net, WsnVersion::V1_3);
+    for i in 0..CONSUMERS {
+        let c = NotificationConsumer::start(&net, format!("http://nc-{i}").as_str(), WsnVersion::V1_3);
+        client.subscribe(broker.uri(), &WsnSubscribeRequest::new(c.epr())).unwrap();
+    }
+    (net, broker)
+}
+
+fn bench_mediation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mediation");
+    group.sample_size(20);
+
+    // Deliveries to WSE consumers.
+    let (_net, broker) = broker_with_wse_consumers();
+    let mut seq = 0u64;
+    group.bench_function("native_wse_to_wse", |b| {
+        b.iter(|| {
+            seq += 1;
+            let ev = InternalEvent::raw(make_event(seq))
+                .with_origin(SpecDialect::Wse(WseVersion::Aug2004));
+            black_box(broker.publish_event(ev))
+        })
+    });
+    group.bench_function("mediated_wsn_to_wse", |b| {
+        b.iter(|| {
+            seq += 1;
+            let ev = InternalEvent::on_topic("jobs/status", make_event(seq))
+                .with_origin(SpecDialect::Wsn(WsnVersion::V1_3));
+            black_box(broker.publish_event(ev))
+        })
+    });
+
+    // Deliveries to WSN consumers.
+    let (_net2, broker2) = broker_with_wsn_consumers();
+    group.bench_function("native_wsn_to_wsn", |b| {
+        b.iter(|| {
+            seq += 1;
+            let ev = InternalEvent::on_topic("jobs/status", make_event(seq))
+                .with_origin(SpecDialect::Wsn(WsnVersion::V1_3));
+            black_box(broker2.publish_event(ev))
+        })
+    });
+    group.bench_function("mediated_wse_to_wsn", |b| {
+        b.iter(|| {
+            seq += 1;
+            let ev = InternalEvent::raw(make_event(seq))
+                .with_origin(SpecDialect::Wse(WseVersion::Aug2004));
+            black_box(broker2.publish_event(ev))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mediation);
+criterion_main!(benches);

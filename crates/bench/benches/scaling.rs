@@ -1,0 +1,77 @@
+//! X-B4b: broker scaling with subscriber count.
+//!
+//! The paper's §VII goal for WS-Messenger is "a scalable, reliable and
+//! efficient WS-based message broker"; this bench sweeps the consumer
+//! population and measures per-publication cost, mixing the two spec
+//! families half-and-half so every publication exercises mediation.
+//!
+//! Expectation: cost grows linearly with the number of *matching*
+//! subscribers (every delivery is a render + send), and filtering
+//! subscribers out (non-matching topic) costs only the filter
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsm_bench::make_event;
+use wsm_eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use wsm_messenger::WsMessenger;
+use wsm_notification::{NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion};
+use wsm_transport::Network;
+
+fn setup(n: usize, topic: &str) -> (Network, WsMessenger) {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let wse = Subscriber::new(&net, WseVersion::Aug2004);
+    let wsn = WsnClient::new(&net, WsnVersion::V1_3);
+    for i in 0..n {
+        if i % 2 == 0 {
+            let sink =
+                EventSink::start(&net, format!("http://sink-{i}").as_str(), WseVersion::Aug2004);
+            wse.subscribe(broker.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+        } else {
+            let c = NotificationConsumer::start(
+                &net,
+                format!("http://nc-{i}").as_str(),
+                WsnVersion::V1_3,
+            );
+            wsn.subscribe(
+                broker.uri(),
+                &WsnSubscribeRequest::new(c.epr()).with_filter(WsnFilter::topic(topic)),
+            )
+            .unwrap();
+        }
+    }
+    (net, broker)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(15);
+
+    for n in [1usize, 8, 64, 256] {
+        let (_net, broker) = setup(n, "jobs/status");
+        let mut seq = 0u64;
+        group.bench_with_input(BenchmarkId::new("publish_all_match", n), &n, |b, _| {
+            b.iter(|| {
+                seq += 1;
+                black_box(broker.publish_on("jobs/status", &make_event(seq)))
+            })
+        });
+    }
+
+    // Non-matching topic: the WSN half filters out; only the topicless
+    // WSE half receives.
+    let (_net, broker) = setup(256, "storms/tornado");
+    let mut seq = 0u64;
+    group.bench_function("publish_half_filtered_256", |b| {
+        b.iter(|| {
+            seq += 1;
+            black_box(broker.publish_on("jobs/status", &make_event(seq)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

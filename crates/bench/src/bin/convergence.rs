@@ -1,0 +1,6 @@
+//! Quantify the paper's convergence claim and project the merged
+//! WS-EventNotification feature set.
+
+fn main() {
+    print!("{}", wsm_compare::render_convergence());
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figures 1 and 2 (experiments E-F1/E-F2).
+
+use wsm_compare::{render_architecture, wsbase_architecture, wse_architecture};
+
+fn main() {
+    println!("{}", render_architecture(&wse_architecture()));
+    println!("{}", render_architecture(&wsbase_architecture()));
+}

@@ -1,0 +1,16 @@
+//! Run the SSV.4 message-format difference experiment (E-M1), plus the
+//! SSIV within-family version diffs.
+
+fn main() {
+    print!("{}", wsm_compare::run_msgdiff().render());
+    println!();
+    println!("Within-family version differences (SSIV):");
+    println!();
+    for pair in wsm_compare::run_version_msgdiff().pairs {
+        let total: usize = pair.counts.iter().sum();
+        println!("  {} — {total} findings", pair.pair);
+        for (cat, ex) in pair.examples.iter().take(4) {
+            println!("      ({:?}) {ex}", cat);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate the paper's Table 1 from the implementation (experiment
+//! E-T1 in DESIGN.md).
+
+fn main() {
+    println!("Table 1. Comparisons among different versions of WS-Eventing (WSE)");
+    println!("and WS-Notification (WSN) specifications — regenerated from the");
+    println!("capability methods of wsm-eventing and wsm-notification.\n");
+    print!("{}", wsm_compare::render_table1());
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table 2 (experiment E-T2 in DESIGN.md).
+
+fn main() {
+    println!("Table 2: Function Comparison — how WS-BaseNotification achieves");
+    println!("the functions WS-Eventing defines (and vice versa).\n");
+    print!("{}", wsm_compare::render_table2());
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table 3 (experiment E-T3 in DESIGN.md).
+
+fn main() {
+    println!("Table 3: Comparison among specifications on event notifications —");
+    println!("six systems, each backed by a substrate crate in this workspace.\n");
+    print!("{}", wsm_compare::render_table3());
+}

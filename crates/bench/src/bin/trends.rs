@@ -1,0 +1,6 @@
+//! Verify the paper's §VI.D evolutionary observations against the
+//! implementations.
+
+fn main() {
+    print!("{}", wsm_compare::render_trends());
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! # wsm-bench — benchmark harness support
+//!
+//! Shared workload generators for the Criterion benches and the
+//! table/figure regeneration binaries (`table1`, `table2`, `table3`,
+//! `figures`, `msgdiff`).
+
+use wsm_xml::Element;
+
+/// A synthetic Grid-monitoring event: `<event sev=".." seq="..">
+/// <source>gridftp-N</source><detail>...</detail></event>`.
+///
+/// The shape matters: it has an attribute the content filters compare
+/// (`sev`), a child the string filters search (`source`), and filler
+/// so serialized sizes are realistic (a few hundred bytes, like the
+/// notification payloads in the paper's Grid scenarios).
+pub fn make_event(seq: u64) -> Element {
+    Element::local("event")
+        .with_attr("sev", ((seq % 7) + 1).to_string())
+        .with_attr("seq", seq.to_string())
+        .with_child(Element::local("source").with_text(format!("gridftp-{}", seq % 13)))
+        .with_child(Element::local("job").with_text(format!("job-{seq}")))
+        .with_child(
+            Element::local("detail")
+                .with_text("transfer completed; bytes=1073741824 duration=42s checksum=ok"),
+        )
+}
+
+/// Topic names used by topic-based workloads, cycling through a small
+/// tree.
+pub fn topic_for(seq: u64) -> &'static str {
+    const TOPICS: [&str; 6] = [
+        "jobs/status",
+        "jobs/errors",
+        "storms/tornado",
+        "storms/hail",
+        "transfers/complete",
+        "transfers/failed",
+    ];
+    TOPICS[(seq % 6) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_vary_and_parse() {
+        let a = make_event(1);
+        let b = make_event(2);
+        assert_ne!(a, b);
+        assert!(a.attr("sev").is_some());
+        let xml = wsm_xml::to_string(&a);
+        assert!(xml.len() > 100, "realistic size, got {}", xml.len());
+        assert_eq!(wsm_xml::parse(&xml).unwrap(), a);
+    }
+
+    #[test]
+    fn topics_cycle() {
+        assert_eq!(topic_for(0), topic_for(6));
+        assert_ne!(topic_for(0), topic_for(1));
+    }
+}

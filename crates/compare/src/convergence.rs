@@ -1,0 +1,188 @@
+//! The convergence analysis — the paper's central qualitative claim,
+//! made quantitative.
+//!
+//! §IV observes that "although these two specifications are competing
+//! with each other, they are converging with each other with each
+//! version update", and the conclusion cites the 2006 whitepaper
+//! proposing a merged **WS-EventNotification** standard. This module
+//!
+//! * measures convergence as the feature-agreement rate between
+//!   contemporaneous spec versions in Table 1 (early pair: WSE 01/2004
+//!   vs WSN 1.0; late pair: WSE 08/2004 vs WSN 1.3), and
+//! * projects the merged WS-EventNotification feature set as the union
+//!   of the two current specs' capabilities — what the whitepaper
+//!   proposed to "integrate functions from WS-Notification with
+//!   WS-Eventing".
+
+use crate::table1::{table1, Cell};
+
+/// Feature agreement between two Table 1 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Agreement {
+    /// Rows where the two columns hold the same Yes/No value.
+    pub agree: usize,
+    /// Yes/No rows considered.
+    pub total: usize,
+}
+
+impl Agreement {
+    /// Agreement as a fraction.
+    pub fn rate(self) -> f64 {
+        self.agree as f64 / self.total as f64
+    }
+}
+
+/// Compare two columns (0 = WSE 01/04, 1 = WSN 1.0, 2 = WSE 08/04,
+/// 3 = WSN 1.3) over the Yes/No rows.
+pub fn agreement(col_a: usize, col_b: usize) -> Agreement {
+    let mut agree = 0;
+    let mut total = 0;
+    for row in table1() {
+        if let (Cell::YesNo { value: a, .. }, Cell::YesNo { value: b, .. }) =
+            (&row.cells[col_a], &row.cells[col_b])
+        {
+            total += 1;
+            if a == b {
+                agree += 1;
+            }
+        }
+    }
+    Agreement { agree, total }
+}
+
+/// One row of the projected merged standard.
+#[derive(Debug, Clone)]
+pub struct MergedFeature {
+    /// Feature name (Table 1 row label).
+    pub feature: &'static str,
+    /// Whether the merged spec would have it (union of WSE 08/04 and
+    /// WSN 1.3).
+    pub included: bool,
+    /// Which side contributes it ("both", "WSE", "WSN", "neither").
+    pub contributed_by: &'static str,
+}
+
+/// Project the WS-EventNotification feature set.
+pub fn projected_merge() -> Vec<MergedFeature> {
+    let mut out = Vec::new();
+    for row in table1() {
+        if let (Cell::YesNo { value: wse, .. }, Cell::YesNo { value: wsn, .. }) =
+            (&row.cells[2], &row.cells[3])
+        {
+            // "Require X" rows are constraints, not capabilities: a
+            // merged standard keeps a requirement only if both sides
+            // already require it.
+            let is_requirement = row.feature.starts_with("Require");
+            let included =
+                if is_requirement { *wse && *wsn } else { *wse || *wsn };
+            out.push(MergedFeature {
+                feature: row.feature,
+                included,
+                contributed_by: match (*wse, *wsn) {
+                    (true, true) => "both",
+                    (true, false) => "WSE",
+                    (false, true) => "WSN",
+                    (false, false) => "neither",
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Render the convergence report.
+pub fn render_convergence() -> String {
+    let early = agreement(0, 1);
+    let late = agreement(2, 3);
+    let mut out = String::new();
+    out.push_str("Convergence of the competing specifications (from Table 1):\n\n");
+    out.push_str(&format!(
+        "  first releases  (WSE 01/2004 vs WSN 1.0): {}/{} features agree ({:.0}%)\n",
+        early.agree,
+        early.total,
+        early.rate() * 100.0
+    ));
+    out.push_str(&format!(
+        "  latest releases (WSE 08/2004 vs WSN 1.3): {}/{} features agree ({:.0}%)\n\n",
+        late.agree,
+        late.total,
+        late.rate() * 100.0
+    ));
+    out.push_str(
+        "Projected WS-EventNotification (the merged standard the 2006 whitepaper\nproposes), as the union of current capabilities:\n\n",
+    );
+    for f in projected_merge() {
+        out.push_str(&format!(
+            "  [{}] {:<52} (from: {})\n",
+            if f.included { "x" } else { " " },
+            f.feature,
+            f.contributed_by
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's claim, quantified: the later version pair agrees on
+    /// strictly more features than the earlier pair.
+    #[test]
+    fn specifications_converge_over_versions() {
+        let early = agreement(0, 1);
+        let late = agreement(2, 3);
+        assert_eq!(early.total, late.total);
+        assert!(
+            late.agree > early.agree,
+            "late {}/{} should beat early {}/{}",
+            late.agree,
+            late.total,
+            early.agree,
+            early.total
+        );
+    }
+
+    #[test]
+    fn each_spec_also_converges_toward_the_other() {
+        // WSE 08/04 agrees with WSN 1.0 more than WSE 01/04 did (it
+        // adopted WSN ideas), and WSN 1.3 agrees with WSE 08/04 more
+        // than WSN 1.0 did.
+        assert!(agreement(2, 1).agree > agreement(0, 1).agree, "WSE moved toward WSN");
+        assert!(agreement(2, 3).agree > agreement(2, 1).agree, "WSN moved toward WSE");
+    }
+
+    #[test]
+    fn merged_standard_is_a_superset_of_both() {
+        let merged = projected_merge();
+        let rows = table1();
+        for m in &merged {
+            if m.feature.starts_with("Require") {
+                continue; // requirements intersect, not union.
+            }
+            let row = rows.iter().find(|r| r.feature == m.feature).unwrap();
+            if let (Cell::YesNo { value: wse, .. }, Cell::YesNo { value: wsn, .. }) =
+                (&row.cells[2], &row.cells[3])
+            {
+                assert_eq!(m.included, *wse || *wsn, "{}", m.feature);
+            }
+        }
+        // The merge includes things only one side has today.
+        assert!(merged.iter().any(|m| m.contributed_by == "WSE" && m.included));
+        assert!(merged.iter().any(|m| m.contributed_by == "WSN" && m.included));
+    }
+
+    #[test]
+    fn requirements_are_relaxed_in_the_merge() {
+        let merged = projected_merge();
+        let getstatus = merged.iter().find(|m| m.feature == "Require Getstatus").unwrap();
+        assert!(!getstatus.included, "WSN 1.3 made it optional; merge keeps it optional");
+    }
+
+    #[test]
+    fn render_shows_rates() {
+        let s = render_convergence();
+        assert!(s.contains("%"));
+        assert!(s.contains("WS-EventNotification"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Figures 1 and 2: the WS-Eventing and WS-BaseNotification
+//! architectures, rendered from entity/interaction declarations that
+//! mirror the running services.
+
+/// An architecture: entities plus labelled interactions. Bold-line
+/// interactions (Web service interfaces in the paper's figures) are
+/// marked `ws_interface`.
+#[derive(Debug, Clone)]
+pub struct Architecture {
+    /// Figure title.
+    pub title: &'static str,
+    /// Entity names.
+    pub entities: Vec<&'static str>,
+    /// (from, to, operations, is_ws_interface).
+    pub interactions: Vec<(&'static str, &'static str, &'static str, bool)>,
+}
+
+/// Fig. 1 — WS-Eventing architecture and operations (08/2004 shape:
+/// subscription manager separated from the event source).
+pub fn wse_architecture() -> Architecture {
+    Architecture {
+        title: "Fig. 1  WS-Eventing Architecture and Operations",
+        entities: vec!["Subscriber", "Event Source", "Subscription Manager", "Event Sink"],
+        interactions: vec![
+            ("Subscriber", "Event Source", "Subscribe / SubscribeResponse", true),
+            (
+                "Subscriber",
+                "Subscription Manager",
+                "Renew / GetStatus / Unsubscribe",
+                true,
+            ),
+            ("Event Source", "Event Sink", "Notifications", true),
+            ("Event Source", "Event Sink", "SubscriptionEnd (to EndTo)", true),
+            ("Subscriber", "Event Sink", "acts on behalf of", false),
+            ("Event Source", "Subscription Manager", "shares subscription state", false),
+        ],
+    }
+}
+
+/// Fig. 2 — WS-BaseNotification architecture and operations.
+pub fn wsbase_architecture() -> Architecture {
+    Architecture {
+        title: "Fig. 2  WS-BaseNotification Architecture and Operations",
+        entities: vec![
+            "Subscriber",
+            "Publisher",
+            "Notification Producer",
+            "Subscription Manager",
+            "Notification Consumer",
+        ],
+        interactions: vec![
+            ("Subscriber", "Notification Producer", "Subscribe / SubscribeResponse", true),
+            (
+                "Subscriber",
+                "Subscription Manager",
+                "Renew / Unsubscribe / Pause / Resume",
+                true,
+            ),
+            ("Publisher", "Notification Producer", "publishes messages", false),
+            ("Notification Producer", "Notification Consumer", "Notify (wrapped or raw)", true),
+            (
+                "Subscriber",
+                "Notification Producer",
+                "GetCurrentMessage",
+                true,
+            ),
+            ("Subscriber", "Notification Consumer", "acts on behalf of", false),
+            (
+                "Notification Producer",
+                "Subscription Manager",
+                "shares subscription resources",
+                false,
+            ),
+        ],
+    }
+}
+
+/// Render an architecture as an ASCII diagram: entity boxes followed by
+/// the labelled arrows (double-shafted arrows are Web service
+/// interfaces, the paper's bold lines).
+pub fn render_architecture(arch: &Architecture) -> String {
+    let mut out = String::new();
+    out.push_str(arch.title);
+    out.push_str("\n\n");
+    for e in &arch.entities {
+        out.push_str(&format!("  +{}+\n", "-".repeat(e.len() + 2)));
+        out.push_str(&format!("  | {e} |\n"));
+        out.push_str(&format!("  +{}+\n", "-".repeat(e.len() + 2)));
+    }
+    out.push('\n');
+    for (from, to, label, ws) in &arch.interactions {
+        let arrow = if *ws { "==>" } else { "-->" };
+        out.push_str(&format!("  {from} {arrow} {to}: {label}\n"));
+    }
+    out.push_str("\n  (==> Web service interface, --> internal relationship)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_eventing::{EventSink, EventSource, SubscribeRequest, Subscriber, WseVersion};
+    use wsm_notification::{
+        NotificationConsumer, NotificationProducer, WsnClient, WsnSubscribeRequest, WsnVersion,
+    };
+    use wsm_transport::Network;
+
+    #[test]
+    fn fig1_entities_match_paper() {
+        let f = wse_architecture();
+        assert_eq!(
+            f.entities,
+            vec!["Subscriber", "Event Source", "Subscription Manager", "Event Sink"]
+        );
+        // WSE has no publisher entity (the source plays both roles) —
+        // the architectural gap Table 1's lower half records.
+        assert!(!f.entities.contains(&"Publisher"));
+    }
+
+    #[test]
+    fn fig2_entities_match_paper() {
+        let f = wsbase_architecture();
+        assert!(f.entities.contains(&"Publisher"));
+        assert!(f.entities.contains(&"Notification Producer"));
+        assert!(f.entities.contains(&"Notification Consumer"));
+        assert_eq!(f.entities.len(), 5);
+    }
+
+    /// The declared Fig. 1 interactions correspond to real endpoints and
+    /// operations in wsm-eventing.
+    #[test]
+    fn fig1_backed_by_running_services() {
+        let net = Network::new();
+        let source = EventSource::start(&net, "http://src", WseVersion::Aug2004);
+        let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
+        // Subscriber → Event Source: Subscribe.
+        let sub = Subscriber::new(&net, WseVersion::Aug2004);
+        let h = sub.subscribe(source.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+        // Subscriber → Subscription Manager (a distinct endpoint): Renew.
+        assert_ne!(source.uri(), source.manager_uri());
+        assert_eq!(h.manager.address, source.manager_uri());
+        sub.renew(&h, None).unwrap();
+        // Event Source → Event Sink: Notifications.
+        source.publish(&wsm_xml::Element::local("e"));
+        assert_eq!(sink.received().len(), 1);
+    }
+
+    /// The declared Fig. 2 interactions correspond to wsm-notification.
+    #[test]
+    fn fig2_backed_by_running_services() {
+        let net = Network::new();
+        let producer = NotificationProducer::start(&net, "http://p", WsnVersion::V1_3);
+        let consumer = NotificationConsumer::start(&net, "http://c", WsnVersion::V1_3);
+        let client = WsnClient::new(&net, WsnVersion::V1_3);
+        let h = client
+            .subscribe(producer.uri(), &WsnSubscribeRequest::new(consumer.epr()))
+            .unwrap();
+        assert_eq!(h.reference.address, producer.manager_uri());
+        client.pause(&h).unwrap();
+        client.resume(&h).unwrap();
+        producer.publish_on("t", &wsm_xml::Element::local("e"));
+        assert_eq!(consumer.notifications().len(), 1);
+    }
+
+    #[test]
+    fn rendering_contains_everything() {
+        for f in [wse_architecture(), wsbase_architecture()] {
+            let s = render_architecture(&f);
+            for e in &f.entities {
+                assert!(s.contains(e), "{e} missing from render");
+            }
+            assert!(s.contains("==>"));
+            assert!(s.contains("-->"));
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Table 3: comparison among specifications on event notification —
+//! six columns spanning a decade of systems.
+//!
+//! Each column is a [`SystemProfile`] whose fields are pulled from the
+//! substrate crate implementing that system where the property is
+//! code-visible (filter language, QoS count, delivery modes,
+//! management operations), and from the specification documents where
+//! it is organizational (dates, creators).
+
+use wsm_corba::STANDARD_QOS_PROPERTIES;
+
+/// One column of Table 3.
+#[derive(Debug, Clone)]
+pub struct SystemProfile {
+    /// System name.
+    pub name: &'static str,
+    /// First release date.
+    pub first_release: &'static str,
+    /// Latest release date (as of the paper, 2/2006).
+    pub latest_release: &'static str,
+    /// Creators.
+    pub creators: &'static str,
+    /// Message transport.
+    pub transport: &'static str,
+    /// Intermediary model.
+    pub intermediary: &'static str,
+    /// Delivery modes.
+    pub delivery_modes: &'static str,
+    /// Message structure.
+    pub message_structure: &'static str,
+    /// Filter model.
+    pub filter: String,
+    /// Filter language.
+    pub filter_language: String,
+    /// QoS criteria.
+    pub qos: String,
+    /// Subscription timeout model.
+    pub subscription_timeout: &'static str,
+    /// Demand-based publishing.
+    pub demand_based: &'static str,
+    /// Management operations (from the implementations).
+    pub management_ops: Vec<&'static str>,
+}
+
+/// The CORBA Event Service column.
+pub fn corba_event_profile() -> SystemProfile {
+    SystemProfile {
+        name: "CORBA Event Service",
+        first_release: "3/1995",
+        latest_release: "10/2004",
+        creators: "OMG",
+        transport: "RPC (GIOP/IIOP, CDR payload)",
+        intermediary: "EventChannel object",
+        delivery_modes: "Push, pull & both",
+        message_structure: "Generic (Anys), Typed",
+        filter: "No".into(),
+        filter_language: "No".into(),
+        qos: "Not defined".into(),
+        subscription_timeout: "No",
+        demand_based: "No",
+        management_ops: vec![
+            "obtain_push_supplier",
+            "obtain_pull_supplier",
+            "obtain_push_consumer",
+            "connect_push_consumer",
+            "disconnect",
+        ],
+    }
+}
+
+/// The CORBA Notification Service column.
+pub fn corba_notification_profile() -> SystemProfile {
+    SystemProfile {
+        name: "CORBA Notification Service",
+        first_release: "6/1997",
+        latest_release: "10/2004",
+        creators: "OMG",
+        transport: "RPC (GIOP/IIOP, CDR payload)",
+        intermediary: "EventChannel, Filter Object",
+        delivery_modes: "Push, pull & both",
+        message_structure: "Generic (Anys), Typed, Structured, sequences of structured",
+        filter: "Filter objects on structured events".into(),
+        filter_language: "Extended Trader Constraint Language".into(),
+        qos: format!(
+            "Defined {} QoS properties, can be extended to others",
+            STANDARD_QOS_PROPERTIES.len()
+        ),
+        subscription_timeout: "No",
+        demand_based: "No",
+        management_ops: vec![
+            "connect_structured_push_consumer",
+            "connect_structured_pull_consumer",
+            "add_filter",
+            "remove_all_filters",
+            "set_qos",
+            "get_qos",
+            "disconnect",
+        ],
+    }
+}
+
+/// The JMS column.
+pub fn jms_profile() -> SystemProfile {
+    SystemProfile {
+        name: "JMS",
+        first_release: "1998",
+        latest_release: "4/12/2002",
+        creators: "Sun Microsystems",
+        transport: "RPC (provider-internal)",
+        intermediary: "Message Queue, Pub/Sub broker",
+        delivery_modes: "Pull, Push",
+        message_structure: "TextMessage, BytesMessage, MapMessage, StreamMessage, ObjectMessage",
+        filter: "Queue/topic name, message selector on header fields".into(),
+        filter_language: "a subset of the SQL92 conditional expression syntax".into(),
+        qos: "Priority; persistence; durable; transaction; message order".into(),
+        subscription_timeout: "No",
+        demand_based: "No",
+        management_ops: vec![
+            "createSubscriber",
+            "createDurableSubscriber",
+            "unsubscribe",
+            "send",
+            "receive",
+            "publish",
+            "commit",
+            "rollback",
+        ],
+    }
+}
+
+/// The OGSI notification column.
+pub fn ogsi_profile() -> SystemProfile {
+    SystemProfile {
+        name: "OGSI-Notification",
+        first_release: "6/27/2003",
+        latest_release: "6/27/2003",
+        creators: "Global Grid Forum",
+        transport: "HTTP RPC",
+        intermediary: "directly or through intermediary",
+        delivery_modes: "Push",
+        message_structure: "SOAP with XML-based Service Data Elements",
+        filter: "ServiceDataName. Can add other filter services.".into(),
+        filter_language: "ServiceDataName string or other expressions".into(),
+        qos: "Not defined".into(),
+        subscription_timeout: "Absolute Time",
+        demand_based: "No",
+        management_ops: vec![
+            "Subscribe",
+            "FindServiceData",
+            "RequestTerminationAfter",
+            "Destroy",
+        ],
+    }
+}
+
+/// The WS-Notification column.
+pub fn wsn_profile() -> SystemProfile {
+    SystemProfile {
+        name: "WS-Notification",
+        first_release: "1/20/2004",
+        latest_release: "2/2006",
+        creators: "IBM, Sonic, TIBCO, Akamai, SAP, CA, HP, Fujitsu, Globus",
+        transport: "Transport independent",
+        intermediary: "directly or through broker",
+        delivery_modes: "Push, Pull",
+        message_structure: "SOAP (with raw XML data or wrapped messages)",
+        filter: "Hierarchy Topic tree; Content Selector; Producer properties".into(),
+        filter_language: "Any expression (xsd:any) that evaluates to a Boolean, e.g. XPath".into(),
+        qos: "Depends on composition with other WS-* specifications".into(),
+        subscription_timeout: "Absolute time or duration",
+        demand_based: "Defined",
+        management_ops: vec![
+            "Subscribe",
+            "Renew",
+            "Unsubscribe",
+            "PauseSubscription",
+            "ResumeSubscription",
+            "GetCurrentMessage",
+            "GetResourceProperty",
+            "SetTerminationTime",
+            "Destroy",
+            "RegisterPublisher",
+            "CreatePullPoint",
+            "GetMessages",
+        ],
+    }
+}
+
+/// The WS-Eventing column.
+pub fn wse_profile() -> SystemProfile {
+    SystemProfile {
+        name: "WS-Eventing",
+        first_release: "1/7/2004",
+        latest_release: "8/30/2004",
+        creators: "IBM, BEA, CA, Sun, Microsoft, TIBCO",
+        transport: "Transport independent",
+        intermediary: "directly or through broker",
+        delivery_modes: "Push by default; can use Pull or other modes",
+        message_structure: "SOAP (with raw XML data only); can use wrapped mode",
+        filter: "A \"Filter\" element for any filter. At most 1 filter.".into(),
+        filter_language: "Default XPath. Can use any expression (xsd:any) that evaluates to a Boolean."
+            .into(),
+        qos: "Depends on composition with other WS-* specifications".into(),
+        subscription_timeout: "Absolute time or duration",
+        demand_based: "No",
+        management_ops: vec!["Subscribe", "Renew", "GetStatus", "Unsubscribe", "SubscriptionEnd"],
+    }
+}
+
+/// All six columns in the paper's order.
+pub fn table3() -> Vec<SystemProfile> {
+    vec![
+        corba_event_profile(),
+        corba_notification_profile(),
+        jms_profile(),
+        ogsi_profile(),
+        wsn_profile(),
+        wse_profile(),
+    ]
+}
+
+/// Render Table 3 as a row-per-attribute ASCII table.
+pub fn render_table3() -> String {
+    let cols = table3();
+    let attrs: Vec<(&str, Box<dyn Fn(&SystemProfile) -> String>)> = vec![
+        ("First release", Box::new(|p| p.first_release.to_string())),
+        ("Latest release", Box::new(|p| p.latest_release.to_string())),
+        ("Creator(s)", Box::new(|p| p.creators.to_string())),
+        ("Message transport", Box::new(|p| p.transport.to_string())),
+        ("Intermediary", Box::new(|p| p.intermediary.to_string())),
+        ("Delivery mode", Box::new(|p| p.delivery_modes.to_string())),
+        ("Message structure", Box::new(|p| p.message_structure.to_string())),
+        ("Filter", Box::new(|p| p.filter.clone())),
+        ("Filter language", Box::new(|p| p.filter_language.clone())),
+        ("QoS criteria", Box::new(|p| p.qos.clone())),
+        ("Subscription timeout", Box::new(|p| p.subscription_timeout.to_string())),
+        ("Demand-based", Box::new(|p| p.demand_based.to_string())),
+        ("Management operations", Box::new(|p| p.management_ops.join(", "))),
+    ];
+    let mut out = String::new();
+    for (label, get) in &attrs {
+        out.push_str(&format!("== {label} ==\n"));
+        for p in &cols {
+            out.push_str(&format!("  {:<28} {}\n", p.name, get(p)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_columns_in_paper_order() {
+        let names: Vec<&str> = table3().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "CORBA Event Service",
+                "CORBA Notification Service",
+                "JMS",
+                "OGSI-Notification",
+                "WS-Notification",
+                "WS-Eventing"
+            ]
+        );
+    }
+
+    #[test]
+    fn code_backed_cells() {
+        // Filter language rows name the languages this workspace
+        // actually implements.
+        let t = table3();
+        assert!(t[1].filter_language.contains("Trader Constraint Language"));
+        assert!(wsm_corba::EtclFilter::compile("$x == 1").is_ok(), "ETCL engine exists");
+        assert!(t[2].filter_language.contains("SQL92"));
+        assert!(wsm_jms::Selector::compile("x = 1").is_ok(), "SQL92 selector engine exists");
+        assert!(t[5].filter_language.contains("XPath"));
+        assert!(wsm_xpath::XPath::compile("/x").is_ok(), "XPath engine exists");
+        // QoS count comes straight from the CORBA substrate.
+        assert!(t[1].qos.contains("13"));
+        assert_eq!(STANDARD_QOS_PROPERTIES.len(), 13);
+        // JMS's five message types are the five body variants.
+        for ty in ["TextMessage", "BytesMessage", "MapMessage", "StreamMessage", "ObjectMessage"] {
+            assert!(t[2].message_structure.contains(ty), "{ty}");
+        }
+    }
+
+    #[test]
+    fn evolution_trends_visible() {
+        // Paper §VI.D observation (1): transport moves toward
+        // transport-independent.
+        let t = table3();
+        assert!(t[0].transport.contains("RPC"));
+        assert!(t[4].transport.contains("independent"));
+        assert!(t[5].transport.contains("independent"));
+        // Observation (4): QoS moves out of the spec into composition.
+        assert!(t[1].qos.contains("13"));
+        assert!(t[4].qos.contains("composition"));
+        // Observation (5): soft-state timeouts appear with OGSI.
+        assert_eq!(t[0].subscription_timeout, "No");
+        assert!(t[3].subscription_timeout.contains("Absolute"));
+        assert!(t[5].subscription_timeout.contains("duration"));
+    }
+
+    #[test]
+    fn management_ops_nonempty_and_render_works() {
+        for p in table3() {
+            assert!(!p.management_ops.is_empty(), "{}", p.name);
+        }
+        let s = render_table3();
+        assert!(s.contains("== Filter language =="));
+        assert!(s.contains("WS-Eventing"));
+    }
+}

@@ -1,0 +1,168 @@
+//! The CORBA `Any`: a self-describing value.
+
+use std::fmt;
+
+/// A dynamically-typed CORBA value (the payload type of the Event
+/// Service, and the field type of structured events).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Any {
+    /// No value.
+    Null,
+    /// `boolean`.
+    Boolean(bool),
+    /// `long` (32-bit).
+    Long(i32),
+    /// `long long` (64-bit).
+    LongLong(i64),
+    /// `double`.
+    Double(f64),
+    /// `string`.
+    String(String),
+    /// `sequence<any>`.
+    Sequence(Vec<Any>),
+    /// A named struct.
+    Struct(Vec<(String, Any)>),
+}
+
+impl Any {
+    /// Numeric view (ETCL arithmetic/comparisons).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Any::Long(v) => Some(*v as f64),
+            Any::LongLong(v) => Some(*v as f64),
+            Any::Double(v) => Some(*v),
+            Any::Boolean(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Any::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Struct field lookup.
+    pub fn field(&self, name: &str) -> Option<&Any> {
+        match self {
+            Any::Struct(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Truthiness (ETCL boolean coercion).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Any::Null => false,
+            Any::Boolean(b) => *b,
+            Any::Long(v) => *v != 0,
+            Any::LongLong(v) => *v != 0,
+            Any::Double(v) => *v != 0.0,
+            Any::String(s) => !s.is_empty(),
+            Any::Sequence(s) => !s.is_empty(),
+            Any::Struct(_) => true,
+        }
+    }
+}
+
+impl fmt::Display for Any {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Any::Null => write!(f, "null"),
+            Any::Boolean(b) => write!(f, "{b}"),
+            Any::Long(v) => write!(f, "{v}"),
+            Any::LongLong(v) => write!(f, "{v}"),
+            Any::Double(v) => write!(f, "{v}"),
+            Any::String(s) => write!(f, "'{s}'"),
+            Any::Sequence(items) => {
+                write!(f, "[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, "]")
+            }
+            Any::Struct(fields) => {
+                write!(f, "{{")?;
+                for (i, (n, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i32> for Any {
+    fn from(v: i32) -> Self {
+        Any::Long(v)
+    }
+}
+
+impl From<f64> for Any {
+    fn from(v: f64) -> Self {
+        Any::Double(v)
+    }
+}
+
+impl From<&str> for Any {
+    fn from(v: &str) -> Self {
+        Any::String(v.to_string())
+    }
+}
+
+impl From<bool> for Any {
+    fn from(v: bool) -> Self {
+        Any::Boolean(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Any::from(5), Any::Long(5));
+        assert_eq!(Any::from(2.5), Any::Double(2.5));
+        assert_eq!(Any::from("x"), Any::String("x".into()));
+        assert_eq!(Any::from(true), Any::Boolean(true));
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Any::Long(3).as_f64(), Some(3.0));
+        assert_eq!(Any::Boolean(true).as_f64(), Some(1.0));
+        assert_eq!(Any::String("3".into()).as_f64(), None, "no implicit string→number");
+    }
+
+    #[test]
+    fn struct_fields() {
+        let s = Any::Struct(vec![("a".into(), Any::Long(1)), ("b".into(), "x".into())]);
+        assert_eq!(s.field("a"), Some(&Any::Long(1)));
+        assert!(s.field("z").is_none());
+        assert!(Any::Long(1).field("a").is_none());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Any::Null.truthy());
+        assert!(!Any::Long(0).truthy());
+        assert!(Any::Long(1).truthy());
+        assert!(!Any::String(String::new()).truthy());
+        assert!(Any::Struct(vec![]).truthy());
+    }
+
+    #[test]
+    fn display() {
+        let s = Any::Struct(vec![("a".into(), Any::Sequence(vec![Any::Long(1), Any::Null]))]);
+        assert_eq!(s.to_string(), "{a: [1, null]}");
+    }
+}

@@ -1,0 +1,304 @@
+//! CDR-style binary codec for [`Any`] values.
+//!
+//! Common Data Representation is the GIOP/IIOP payload format (§VI.A of
+//! the paper: "the message payload is in a binary format known as
+//! CDR"). This is a faithful-in-spirit subset: little-endian primitives
+//! with natural alignment, length-prefixed strings and sequences, and a
+//! one-byte type tag in place of full TypeCodes.
+
+use crate::any::Any;
+
+/// Encoding error (unrepresentable lengths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdrError(pub String);
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_LONG: u8 = 2;
+const TAG_LONGLONG: u8 = 3;
+const TAG_DOUBLE: u8 = 4;
+const TAG_STRING: u8 = 5;
+const TAG_SEQUENCE: u8 = 6;
+const TAG_STRUCT: u8 = 7;
+
+/// Encode an [`Any`] to CDR bytes.
+pub fn encode(value: &Any) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    write_any(&mut out, value);
+    out
+}
+
+fn align(out: &mut Vec<u8>, to: usize) {
+    while out.len() % to != 0 {
+        out.push(0);
+    }
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    align(out, 4);
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_any(out: &mut Vec<u8>, value: &Any) {
+    match value {
+        Any::Null => out.push(TAG_NULL),
+        Any::Boolean(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Any::Long(v) => {
+            out.push(TAG_LONG);
+            align(out, 4);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Any::LongLong(v) => {
+            out.push(TAG_LONGLONG);
+            align(out, 8);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Any::Double(v) => {
+            out.push(TAG_DOUBLE);
+            align(out, 8);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Any::String(s) => {
+            out.push(TAG_STRING);
+            // CDR strings are length-prefixed and NUL-terminated.
+            write_u32(out, (s.len() + 1) as u32);
+            out.extend_from_slice(s.as_bytes());
+            out.push(0);
+        }
+        Any::Sequence(items) => {
+            out.push(TAG_SEQUENCE);
+            write_u32(out, items.len() as u32);
+            for it in items {
+                write_any(out, it);
+            }
+        }
+        Any::Struct(fields) => {
+            out.push(TAG_STRUCT);
+            write_u32(out, fields.len() as u32);
+            for (name, v) in fields {
+                write_u32(out, (name.len() + 1) as u32);
+                out.extend_from_slice(name.as_bytes());
+                out.push(0);
+                write_any(out, v);
+            }
+        }
+    }
+}
+
+/// Maximum nesting depth accepted by [`decode`] — bounds recursion on
+/// adversarial input.
+pub const MAX_DEPTH: usize = 64;
+
+/// Decode CDR bytes back to an [`Any`].
+pub fn decode(bytes: &[u8]) -> Result<Any, CdrError> {
+    let mut r = Reader { bytes, pos: 0, depth: 0 };
+    let v = r.read_any()?;
+    if r.pos != bytes.len() {
+        return Err(CdrError(format!("{} trailing bytes", bytes.len() - r.pos)));
+    }
+    Ok(v)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Reader<'_> {
+    fn err(&self, what: &str) -> CdrError {
+        CdrError(format!("{what} at byte {}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], CdrError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(self.err("truncated"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn align(&mut self, to: usize) {
+        while self.pos % to != 0 {
+            self.pos += 1;
+        }
+    }
+
+    fn read_u32(&mut self) -> Result<u32, CdrError> {
+        self.align(4);
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn read_string(&mut self) -> Result<String, CdrError> {
+        let len = self.read_u32()? as usize;
+        if len == 0 {
+            return Err(self.err("zero-length string (must include NUL)"));
+        }
+        let raw = self.take(len)?;
+        if raw[len - 1] != 0 {
+            return Err(self.err("string not NUL-terminated"));
+        }
+        String::from_utf8(raw[..len - 1].to_vec()).map_err(|_| self.err("invalid UTF-8"))
+    }
+
+    fn read_any(&mut self) -> Result<Any, CdrError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        let out = self.read_any_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn read_any_inner(&mut self) -> Result<Any, CdrError> {
+        let tag = self.take(1)?[0];
+        match tag {
+            TAG_NULL => Ok(Any::Null),
+            TAG_BOOL => Ok(Any::Boolean(self.take(1)?[0] != 0)),
+            TAG_LONG => {
+                self.align(4);
+                let b = self.take(4)?;
+                Ok(Any::Long(i32::from_le_bytes(b.try_into().unwrap())))
+            }
+            TAG_LONGLONG => {
+                self.align(8);
+                let b = self.take(8)?;
+                Ok(Any::LongLong(i64::from_le_bytes(b.try_into().unwrap())))
+            }
+            TAG_DOUBLE => {
+                self.align(8);
+                let b = self.take(8)?;
+                Ok(Any::Double(f64::from_le_bytes(b.try_into().unwrap())))
+            }
+            TAG_STRING => Ok(Any::String(self.read_string()?)),
+            TAG_SEQUENCE => {
+                let n = self.read_u32()? as usize;
+                if n > self.bytes.len() {
+                    return Err(self.err("sequence length exceeds input"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.read_any()?);
+                }
+                Ok(Any::Sequence(items))
+            }
+            TAG_STRUCT => {
+                let n = self.read_u32()? as usize;
+                if n > self.bytes.len() {
+                    return Err(self.err("struct length exceeds input"));
+                }
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = self.read_string()?;
+                    let v = self.read_any()?;
+                    fields.push((name, v));
+                }
+                Ok(Any::Struct(fields))
+            }
+            other => Err(self.err(&format!("unknown tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Any) {
+        let bytes = encode(&v);
+        let back = decode(&bytes).unwrap_or_else(|e| panic!("decode failed: {e:?} for {v}"));
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(Any::Null);
+        roundtrip(Any::Boolean(true));
+        roundtrip(Any::Boolean(false));
+        roundtrip(Any::Long(-42));
+        roundtrip(Any::LongLong(i64::MIN));
+        roundtrip(Any::Double(3.25));
+        roundtrip(Any::String(String::new()));
+        roundtrip(Any::String("héllo — 世界".into()));
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        roundtrip(Any::Sequence(vec![Any::Long(1), Any::String("x".into()), Any::Null]));
+        roundtrip(Any::Struct(vec![
+            ("priority".into(), Any::Long(4)),
+            (
+                "payload".into(),
+                Any::Struct(vec![("inner".into(), Any::Sequence(vec![Any::Double(1.5)]))]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        // bool (1 byte) before a long forces padding.
+        let v = Any::Sequence(vec![Any::Boolean(true), Any::Long(7)]);
+        let bytes = encode(&v);
+        assert_eq!(decode(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let bytes = encode(&Any::Long(7));
+        for cut in 1..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_fails() {
+        let mut bytes = encode(&Any::Boolean(true));
+        bytes.push(9);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_fails() {
+        assert!(decode(&[200]).is_err());
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocation() {
+        // sequence with a claimed huge length.
+        let mut bytes = vec![TAG_SEQUENCE];
+        bytes.extend_from_slice(&[0, 0, 0]); // alignment padding
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let mut v = Any::Long(1);
+        for _ in 0..(MAX_DEPTH + 5) {
+            v = Any::Sequence(vec![v]);
+        }
+        let bytes = encode(&v);
+        assert!(decode(&bytes).is_err(), "over-deep value must be rejected");
+    }
+
+    #[test]
+    fn moderate_nesting_fine() {
+        let mut v = Any::Long(1);
+        for _ in 0..(MAX_DEPTH - 2) {
+            v = Any::Sequence(vec![v]);
+        }
+        let bytes = encode(&v);
+        assert_eq!(decode(&bytes).unwrap(), v);
+    }
+}

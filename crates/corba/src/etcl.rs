@@ -1,0 +1,551 @@
+//! The Extended Trader Constraint Language (ETCL) — the CORBA
+//! Notification Service filter grammar.
+//!
+//! Table 3's "Filter language" row for the CORBA Notification Service
+//! reads "extended Trader Constraint Language"; this module implements
+//! the working subset notification filters used: boolean connectives,
+//! comparisons, arithmetic, `~` (substring), `in` (membership),
+//! `exist`, and `$variable` references resolved against a structured
+//! event's header and filterable body.
+//!
+//! ```
+//! use wsm_corba::{EtclFilter, StructuredEvent};
+//!
+//! let f = EtclFilter::compile("$domain_name == 'Grid' and $severity >= 3").unwrap();
+//! let ev = StructuredEvent::new("Grid", "JobStatus", "j1").with_field("severity", 4);
+//! assert!(f.matches(&ev));
+//! ```
+
+use crate::any::Any;
+use crate::structured::StructuredEvent;
+use std::fmt;
+
+/// An ETCL parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EtclError {
+    /// Byte offset.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for EtclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ETCL syntax error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for EtclError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Str(String),
+    Var(Vec<String>),
+    Ident(String),
+    Op(&'static str),
+    LParen,
+    RParen,
+}
+
+fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, EtclError> {
+    let b = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            b'+' => {
+                out.push((i, Tok::Op("+")));
+                i += 1;
+            }
+            b'-' => {
+                out.push((i, Tok::Op("-")));
+                i += 1;
+            }
+            b'*' => {
+                out.push((i, Tok::Op("*")));
+                i += 1;
+            }
+            b'/' => {
+                out.push((i, Tok::Op("/")));
+                i += 1;
+            }
+            b'~' => {
+                out.push((i, Tok::Op("~")));
+                i += 1;
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Op("==")));
+                    i += 2;
+                } else {
+                    return Err(EtclError { at: i, message: "use `==` for equality".into() });
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Op("!=")));
+                    i += 2;
+                } else {
+                    return Err(EtclError { at: i, message: "stray `!`".into() });
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Op("<=")));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Op("<")));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Op(">=")));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Op(">")));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i + 1;
+                match s[start..].find('\'') {
+                    Some(len) => {
+                        out.push((i, Tok::Str(s[start..start + len].to_string())));
+                        i = start + len + 1;
+                    }
+                    None => return Err(EtclError { at: i, message: "unterminated string".into() }),
+                }
+            }
+            b'$' => {
+                let mut path = Vec::new();
+                let mut j = i + 1;
+                loop {
+                    let start = j;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j == start {
+                        return Err(EtclError { at: i, message: "`$` needs a name".into() });
+                    }
+                    path.push(s[start..j].to_string());
+                    if b.get(j) == Some(&b'.') {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((i, Tok::Var(path)));
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let n: f64 = s[start..i]
+                    .parse()
+                    .map_err(|_| EtclError { at: start, message: "bad number".into() })?;
+                out.push((start, Tok::Num(n)));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(s[start..i].to_lowercase())));
+            }
+            _ => {
+                return Err(EtclError { at: i, message: format!("unexpected byte `{}`", c as char) })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Var(Vec<String>),
+    Exist(Vec<String>),
+    Not(Box<Node>),
+    Neg(Box<Node>),
+    Bin(&'static str, Box<Node>, Box<Node>),
+}
+
+/// A compiled ETCL filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EtclFilter {
+    root: Node,
+    source: String,
+}
+
+impl EtclFilter {
+    /// Compile an ETCL constraint.
+    pub fn compile(source: &str) -> Result<Self, EtclError> {
+        let toks = tokenize(source)?;
+        if toks.is_empty() {
+            return Err(EtclError { at: 0, message: "empty constraint".into() });
+        }
+        let mut p = P { toks, pos: 0 };
+        let root = p.or()?;
+        if p.pos != p.toks.len() {
+            return Err(EtclError { at: p.at(), message: "trailing tokens".into() });
+        }
+        Ok(EtclFilter { root, source: source.to_string() })
+    }
+
+    /// The original constraint text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Evaluate against a structured event.
+    pub fn matches(&self, event: &StructuredEvent) -> bool {
+        eval(&self.root, event).truthy()
+    }
+}
+
+struct P {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl P {
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map(|(i, _)| *i).unwrap_or(usize::MAX)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if let Some(Tok::Op(o)) = self.peek() {
+            if *o == op {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn or(&mut self) -> Result<Node, EtclError> {
+        let mut l = self.and()?;
+        while self.eat_ident("or") {
+            let r = self.and()?;
+            l = Node::Bin("or", Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn and(&mut self) -> Result<Node, EtclError> {
+        let mut l = self.not()?;
+        while self.eat_ident("and") {
+            let r = self.not()?;
+            l = Node::Bin("and", Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn not(&mut self) -> Result<Node, EtclError> {
+        if self.eat_ident("not") {
+            Ok(Node::Not(Box::new(self.not()?)))
+        } else {
+            self.rel()
+        }
+    }
+
+    fn rel(&mut self) -> Result<Node, EtclError> {
+        let l = self.add()?;
+        for op in ["==", "!=", "<=", ">=", "<", ">", "~"] {
+            if self.eat_op(op) {
+                let r = self.add()?;
+                return Ok(Node::Bin(
+                    match op {
+                        "==" => "==",
+                        "!=" => "!=",
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "<" => "<",
+                        ">" => ">",
+                        _ => "~",
+                    },
+                    Box::new(l),
+                    Box::new(r),
+                ));
+            }
+        }
+        if self.eat_ident("in") {
+            let r = self.add()?;
+            return Ok(Node::Bin("in", Box::new(l), Box::new(r)));
+        }
+        Ok(l)
+    }
+
+    fn add(&mut self) -> Result<Node, EtclError> {
+        let mut l = self.mul()?;
+        loop {
+            if self.eat_op("+") {
+                l = Node::Bin("+", Box::new(l), Box::new(self.mul()?));
+            } else if self.eat_op("-") {
+                l = Node::Bin("-", Box::new(l), Box::new(self.mul()?));
+            } else {
+                return Ok(l);
+            }
+        }
+    }
+
+    fn mul(&mut self) -> Result<Node, EtclError> {
+        let mut l = self.unary()?;
+        loop {
+            if self.eat_op("*") {
+                l = Node::Bin("*", Box::new(l), Box::new(self.unary()?));
+            } else if self.eat_op("/") {
+                l = Node::Bin("/", Box::new(l), Box::new(self.unary()?));
+            } else {
+                return Ok(l);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Node, EtclError> {
+        if self.eat_op("-") {
+            return Ok(Node::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_ident("exist") {
+            match self.bump() {
+                Some(Tok::Var(path)) => return Ok(Node::Exist(path)),
+                _ => return Err(EtclError { at: self.at(), message: "exist needs a $variable".into() }),
+            }
+        }
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Node::Num(n)),
+            Some(Tok::Str(s)) => Ok(Node::Str(s)),
+            Some(Tok::Var(path)) => Ok(Node::Var(path)),
+            Some(Tok::Ident(id)) if id == "true" => Ok(Node::Bool(true)),
+            Some(Tok::Ident(id)) if id == "false" => Ok(Node::Bool(false)),
+            Some(Tok::LParen) => {
+                let e = self.or()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(e),
+                    _ => Err(EtclError { at: self.at(), message: "expected `)`".into() }),
+                }
+            }
+            other => Err(EtclError {
+                at: self.at(),
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+}
+
+fn lookup(event: &StructuredEvent, path: &[String]) -> Option<Any> {
+    let mut v = event.lookup(&path[0])?;
+    for seg in &path[1..] {
+        v = v.field(seg)?.clone();
+    }
+    Some(v)
+}
+
+fn eval(node: &Node, event: &StructuredEvent) -> Any {
+    match node {
+        Node::Num(n) => Any::Double(*n),
+        Node::Str(s) => Any::String(s.clone()),
+        Node::Bool(b) => Any::Boolean(*b),
+        Node::Var(path) => lookup(event, path).unwrap_or(Any::Null),
+        Node::Exist(path) => Any::Boolean(lookup(event, path).is_some()),
+        Node::Not(e) => Any::Boolean(!eval(e, event).truthy()),
+        Node::Neg(e) => match eval(e, event).as_f64() {
+            Some(n) => Any::Double(-n),
+            None => Any::Null,
+        },
+        Node::Bin(op, l, r) => {
+            match *op {
+                "or" => return Any::Boolean(eval(l, event).truthy() || eval(r, event).truthy()),
+                "and" => return Any::Boolean(eval(l, event).truthy() && eval(r, event).truthy()),
+                _ => {}
+            }
+            let lv = eval(l, event);
+            let rv = eval(r, event);
+            match *op {
+                "+" | "-" | "*" | "/" => match (lv.as_f64(), rv.as_f64()) {
+                    (Some(a), Some(b)) => Any::Double(match *op {
+                        "+" => a + b,
+                        "-" => a - b,
+                        "*" => a * b,
+                        _ => a / b,
+                    }),
+                    _ => Any::Null,
+                },
+                "~" => match (lv.as_str(), rv.as_str()) {
+                    (Some(a), Some(b)) => Any::Boolean(b.contains(a)),
+                    _ => Any::Boolean(false),
+                },
+                "in" => match rv {
+                    Any::Sequence(items) => Any::Boolean(items.iter().any(|it| any_eq(&lv, it))),
+                    _ => Any::Boolean(false),
+                },
+                "==" => Any::Boolean(any_eq(&lv, &rv)),
+                "!=" => Any::Boolean(!any_eq(&lv, &rv)),
+                "<" | "<=" | ">" | ">=" => {
+                    let res = match (lv.as_f64(), rv.as_f64()) {
+                        (Some(a), Some(b)) => match *op {
+                            "<" => a < b,
+                            "<=" => a <= b,
+                            ">" => a > b,
+                            _ => a >= b,
+                        },
+                        _ => match (lv.as_str(), rv.as_str()) {
+                            (Some(a), Some(b)) => match *op {
+                                "<" => a < b,
+                                "<=" => a <= b,
+                                ">" => a > b,
+                                _ => a >= b,
+                            },
+                            _ => false,
+                        },
+                    };
+                    Any::Boolean(res)
+                }
+                _ => Any::Null,
+            }
+        }
+    }
+}
+
+fn any_eq(a: &Any, b: &Any) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x == y,
+        _ => match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => x == y,
+            _ => a == b,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> StructuredEvent {
+        StructuredEvent::new("Grid", "JobStatus", "job-17")
+            .with_field("severity", 4)
+            .with_field("site", "iu")
+            .with_field("load", 0.75)
+            .with_field("tags", Any::Sequence(vec!["hpc".into(), "prod".into()]))
+            .with_field(
+                "meta",
+                Any::Struct(vec![("owner".into(), "huang".into())]),
+            )
+    }
+
+    fn m(src: &str) -> bool {
+        EtclFilter::compile(src)
+            .unwrap_or_else(|e| panic!("compile `{src}`: {e}"))
+            .matches(&ev())
+    }
+
+    #[test]
+    fn header_variables() {
+        assert!(m("$domain_name == 'Grid'"));
+        assert!(m("$type_name == 'JobStatus' and $event_name == 'job-17'"));
+        assert!(!m("$domain_name == 'Telecom'"));
+    }
+
+    #[test]
+    fn comparisons_and_arithmetic() {
+        assert!(m("$severity >= 3"));
+        assert!(m("$severity * 2 == 8"));
+        assert!(m("$load < 1"));
+        assert!(m("$severity + 1 <= 5"));
+        assert!(!m("$severity < 4"));
+        assert!(m("-$severity == -4"));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        assert!(m("$severity > 3 and $site == 'iu'"));
+        assert!(m("$severity > 9 or $site == 'iu'"));
+        assert!(m("not ($severity > 9)"));
+        assert!(m("true or false"));
+        assert!(!m("false"));
+    }
+
+    #[test]
+    fn substring_operator() {
+        assert!(m("'ob-1' ~ $event_name"), "lhs substring of rhs");
+        assert!(!m("'xyz' ~ $event_name"));
+    }
+
+    #[test]
+    fn membership() {
+        assert!(m("'hpc' in $tags"));
+        assert!(!m("'dev' in $tags"));
+        assert!(!m("'x' in $severity"), "in over a non-sequence is false");
+    }
+
+    #[test]
+    fn exist_and_missing_variables() {
+        assert!(m("exist $severity"));
+        assert!(!m("exist $nonexistent"));
+        assert!(!m("$nonexistent == 1"), "missing variable is null, never equal");
+        assert!(m("not exist $nonexistent"));
+    }
+
+    #[test]
+    fn dotted_paths() {
+        assert!(m("$meta.owner == 'huang'"));
+        assert!(!m("exist $meta.missing"));
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert!(m("$site >= 'ia'"));
+        assert!(m("$site < 'iz'"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "$", "a =", "== 3", "($a", "'open", "$a !", "1 2"] {
+            assert!(EtclFilter::compile(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn source_preserved() {
+        let f = EtclFilter::compile("$severity > 1").unwrap();
+        assert_eq!(f.source(), "$severity > 1");
+    }
+}

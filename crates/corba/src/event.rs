@@ -1,0 +1,232 @@
+//! The CORBA Event Service simulation: untyped event channels.
+//!
+//! Paper §VI.A: suppliers publish to a channel, consumers receive from
+//! it, in push or pull mode; there is *no filtering and no QoS* — "a
+//! consumer receives all events on a channel". The interface names
+//! (`obtain_push_consumer`, `connect_push_consumer`, ...) mirror the
+//! management-operations row of Table 3.
+
+use crate::any::Any;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type PushCallback = Arc<dyn Fn(&Any) + Send + Sync>;
+
+#[derive(Default)]
+struct ChannelInner {
+    push_consumers: Mutex<Vec<(u64, PushCallback)>>,
+    pull_queues: Mutex<Vec<(u64, Arc<Mutex<VecDeque<Any>>>)>>,
+    next_id: Mutex<u64>,
+    delivered: Mutex<u64>,
+}
+
+/// An event channel.
+#[derive(Clone, Default)]
+pub struct EventChannel {
+    inner: Arc<ChannelInner>,
+}
+
+impl EventChannel {
+    /// Create a channel.
+    pub fn new() -> Self {
+        EventChannel::default()
+    }
+
+    /// The consumer-side admin object.
+    pub fn for_consumers(&self) -> ConsumerAdmin {
+        ConsumerAdmin { inner: Arc::clone(&self.inner) }
+    }
+
+    /// The supplier-side admin object.
+    pub fn for_suppliers(&self) -> SupplierAdmin {
+        SupplierAdmin { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Total events delivered (push callbacks fired + pull enqueues).
+    pub fn delivered_count(&self) -> u64 {
+        *self.inner.delivered.lock()
+    }
+
+    /// Number of connected consumers (both modes).
+    pub fn consumer_count(&self) -> usize {
+        self.inner.push_consumers.lock().len() + self.inner.pull_queues.lock().len()
+    }
+}
+
+/// Consumer-side admin: obtains proxy suppliers.
+pub struct ConsumerAdmin {
+    inner: Arc<ChannelInner>,
+}
+
+impl ConsumerAdmin {
+    /// Obtain a proxy that will *push* events to a connected consumer.
+    pub fn obtain_push_supplier(&self) -> ProxyPushSupplier {
+        ProxyPushSupplier { inner: Arc::clone(&self.inner), id: Mutex::new(None) }
+    }
+
+    /// Obtain a proxy the consumer will *pull* events from.
+    pub fn obtain_pull_supplier(&self) -> ProxyPullSupplier {
+        let id = {
+            let mut n = self.inner.next_id.lock();
+            *n += 1;
+            *n
+        };
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        self.inner.pull_queues.lock().push((id, Arc::clone(&queue)));
+        ProxyPullSupplier { inner: Arc::clone(&self.inner), id, queue }
+    }
+}
+
+/// Supplier-side admin: obtains proxy consumers.
+pub struct SupplierAdmin {
+    inner: Arc<ChannelInner>,
+}
+
+impl SupplierAdmin {
+    /// Obtain a proxy the supplier pushes events *into*.
+    pub fn obtain_push_consumer(&self) -> ProxyPushConsumer {
+        ProxyPushConsumer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// Push-mode delivery proxy: fan-out target registration.
+pub struct ProxyPushSupplier {
+    inner: Arc<ChannelInner>,
+    id: Mutex<Option<u64>>,
+}
+
+impl ProxyPushSupplier {
+    /// Connect a consumer callback. Every event published on the
+    /// channel reaches it — the Event Service has no filters.
+    pub fn connect_push_consumer(&self, callback: impl Fn(&Any) + Send + Sync + 'static) {
+        let id = {
+            let mut n = self.inner.next_id.lock();
+            *n += 1;
+            *n
+        };
+        *self.id.lock() = Some(id);
+        self.inner.push_consumers.lock().push((id, Arc::new(callback)));
+    }
+
+    /// Disconnect.
+    pub fn disconnect(&self) {
+        if let Some(id) = self.id.lock().take() {
+            self.inner.push_consumers.lock().retain(|(i, _)| *i != id);
+        }
+    }
+}
+
+/// Pull-mode delivery proxy: a queue the consumer drains.
+pub struct ProxyPullSupplier {
+    inner: Arc<ChannelInner>,
+    id: u64,
+    queue: Arc<Mutex<VecDeque<Any>>>,
+}
+
+impl ProxyPullSupplier {
+    /// Non-blocking pull (`try_pull` in CORBA terms).
+    pub fn try_pull(&self) -> Option<Any> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Queued event count.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Disconnect.
+    pub fn disconnect(&self) {
+        self.inner.pull_queues.lock().retain(|(i, _)| *i != self.id);
+    }
+}
+
+/// Supplier-side push proxy.
+pub struct ProxyPushConsumer {
+    inner: Arc<ChannelInner>,
+}
+
+impl ProxyPushConsumer {
+    /// Publish one event to every connected consumer.
+    pub fn push(&self, event: Any) {
+        let mut count = 0u64;
+        for (_, cb) in self.inner.push_consumers.lock().iter() {
+            cb(&event);
+            count += 1;
+        }
+        for (_, q) in self.inner.pull_queues.lock().iter() {
+            q.lock().push_back(event.clone());
+            count += 1;
+        }
+        *self.inner.delivered.lock() += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_fanout_no_filtering() {
+        let ch = EventChannel::new();
+        let got1: Arc<Mutex<Vec<Any>>> = Arc::default();
+        let got2: Arc<Mutex<Vec<Any>>> = Arc::default();
+        let p1 = ch.for_consumers().obtain_push_supplier();
+        let (g1, g2) = (Arc::clone(&got1), Arc::clone(&got2));
+        p1.connect_push_consumer(move |e| g1.lock().push(e.clone()));
+        let p2 = ch.for_consumers().obtain_push_supplier();
+        p2.connect_push_consumer(move |e| g2.lock().push(e.clone()));
+
+        let supplier = ch.for_suppliers().obtain_push_consumer();
+        supplier.push(Any::Long(1));
+        supplier.push(Any::from("x"));
+        assert_eq!(got1.lock().len(), 2, "every consumer gets every event");
+        assert_eq!(got2.lock().len(), 2);
+        assert_eq!(ch.delivered_count(), 4);
+    }
+
+    #[test]
+    fn pull_mode() {
+        let ch = EventChannel::new();
+        let puller = ch.for_consumers().obtain_pull_supplier();
+        assert_eq!(puller.try_pull(), None);
+        let supplier = ch.for_suppliers().obtain_push_consumer();
+        supplier.push(Any::Long(1));
+        supplier.push(Any::Long(2));
+        assert_eq!(puller.pending(), 2);
+        assert_eq!(puller.try_pull(), Some(Any::Long(1)), "FIFO");
+        assert_eq!(puller.try_pull(), Some(Any::Long(2)));
+        assert_eq!(puller.try_pull(), None);
+    }
+
+    #[test]
+    fn mixed_modes() {
+        let ch = EventChannel::new();
+        let got: Arc<Mutex<Vec<Any>>> = Arc::default();
+        let p = ch.for_consumers().obtain_push_supplier();
+        let g = Arc::clone(&got);
+        p.connect_push_consumer(move |e| g.lock().push(e.clone()));
+        let puller = ch.for_consumers().obtain_pull_supplier();
+        assert_eq!(ch.consumer_count(), 2);
+        ch.for_suppliers().obtain_push_consumer().push(Any::Long(9));
+        assert_eq!(got.lock().len(), 1);
+        assert_eq!(puller.pending(), 1);
+    }
+
+    #[test]
+    fn disconnect_stops_delivery() {
+        let ch = EventChannel::new();
+        let got: Arc<Mutex<Vec<Any>>> = Arc::default();
+        let p = ch.for_consumers().obtain_push_supplier();
+        let g = Arc::clone(&got);
+        p.connect_push_consumer(move |e| g.lock().push(e.clone()));
+        let puller = ch.for_consumers().obtain_pull_supplier();
+        let supplier = ch.for_suppliers().obtain_push_consumer();
+        supplier.push(Any::Long(1));
+        p.disconnect();
+        puller.disconnect();
+        supplier.push(Any::Long(2));
+        assert_eq!(got.lock().len(), 1);
+        assert_eq!(ch.consumer_count(), 0);
+    }
+}

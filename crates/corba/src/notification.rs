@@ -1,0 +1,433 @@
+//! The CORBA Notification Service simulation: structured events,
+//! filter objects, QoS.
+//!
+//! Paper §VI.A: "The CORBA Notification service specification is an
+//! enhancement to the CORBA event service specification. It adds
+//! supports for event filtering and Quality of Service (QoS). ...
+//! CORBA Notification specification defines 13 QoS properties that
+//! must be understood by all implementations even though they are not
+//! required to be implemented." This module implements exactly that:
+//! per-consumer ETCL filter objects and the 13 standard properties
+//! (all *understood*; the delivery-affecting ones are implemented).
+
+use crate::etcl::EtclFilter;
+use crate::structured::StructuredEvent;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The 13 standard QoS properties of the CORBA Notification Service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosProperty {
+    /// Event delivery reliability (BestEffort/Persistent).
+    EventReliability,
+    /// Connection reliability.
+    ConnectionReliability,
+    /// Relative event priority.
+    Priority,
+    /// Earliest delivery time.
+    StartTime,
+    /// Latest delivery time.
+    StopTime,
+    /// Relative expiry after which an undelivered event is discarded.
+    Timeout,
+    /// Whether per-event StartTime is honoured.
+    StartTimeSupported,
+    /// Whether per-event StopTime is honoured.
+    StopTimeSupported,
+    /// Bound on undelivered events queued per consumer.
+    MaxEventsPerConsumer,
+    /// Queue ordering policy (FIFO or priority).
+    OrderPolicy,
+    /// Which events to drop when a queue bound is hit.
+    DiscardPolicy,
+    /// Batch size for sequence delivery.
+    MaximumBatchSize,
+    /// Maximum delay before a partial batch is delivered.
+    PacingInterval,
+}
+
+/// All 13, in specification order.
+pub const STANDARD_QOS_PROPERTIES: [QosProperty; 13] = [
+    QosProperty::EventReliability,
+    QosProperty::ConnectionReliability,
+    QosProperty::Priority,
+    QosProperty::StartTime,
+    QosProperty::StopTime,
+    QosProperty::Timeout,
+    QosProperty::StartTimeSupported,
+    QosProperty::StopTimeSupported,
+    QosProperty::MaxEventsPerConsumer,
+    QosProperty::OrderPolicy,
+    QosProperty::DiscardPolicy,
+    QosProperty::MaximumBatchSize,
+    QosProperty::PacingInterval,
+];
+
+impl QosProperty {
+    /// The property name as it appears in the specification.
+    pub fn name(self) -> &'static str {
+        match self {
+            QosProperty::EventReliability => "EventReliability",
+            QosProperty::ConnectionReliability => "ConnectionReliability",
+            QosProperty::Priority => "Priority",
+            QosProperty::StartTime => "StartTime",
+            QosProperty::StopTime => "StopTime",
+            QosProperty::Timeout => "Timeout",
+            QosProperty::StartTimeSupported => "StartTimeSupported",
+            QosProperty::StopTimeSupported => "StopTimeSupported",
+            QosProperty::MaxEventsPerConsumer => "MaxEventsPerConsumer",
+            QosProperty::OrderPolicy => "OrderPolicy",
+            QosProperty::DiscardPolicy => "DiscardPolicy",
+            QosProperty::MaximumBatchSize => "MaximumBatchSize",
+            QosProperty::PacingInterval => "PacingInterval",
+        }
+    }
+
+    /// Look up by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        STANDARD_QOS_PROPERTIES.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// A QoS setting value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QosValue {
+    /// Numeric setting.
+    Number(i64),
+    /// Enumerated/named setting (e.g. `PriorityOrder`, `FifoOrder`).
+    Name(String),
+    /// Boolean setting.
+    Flag(bool),
+}
+
+/// Error from `set_qos` with an unknown property name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedQos(pub String);
+
+type StructuredCallback = Arc<dyn Fn(&StructuredEvent) + Send + Sync>;
+
+struct ConsumerEntry {
+    id: u64,
+    filters: Vec<EtclFilter>,
+    callback: Option<StructuredCallback>,
+    queue: Option<Arc<Mutex<VecDeque<StructuredEvent>>>>,
+    /// Per-consumer QoS overrides.
+    qos: Vec<(QosProperty, QosValue)>,
+}
+
+impl ConsumerEntry {
+    fn admits(&self, ev: &StructuredEvent) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| f.matches(ev))
+    }
+
+    fn qos_number(&self, prop: QosProperty) -> Option<i64> {
+        self.qos.iter().rev().find(|(p, _)| *p == prop).and_then(|(_, v)| match v {
+            QosValue::Number(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    fn qos_name(&self, prop: QosProperty) -> Option<&str> {
+        self.qos.iter().rev().find(|(p, _)| *p == prop).and_then(|(_, v)| match v {
+            QosValue::Name(n) => Some(n.as_str()),
+            _ => None,
+        })
+    }
+}
+
+#[derive(Default)]
+struct NotifChannelInner {
+    consumers: Mutex<Vec<ConsumerEntry>>,
+    channel_qos: Mutex<Vec<(QosProperty, QosValue)>>,
+    next_id: Mutex<u64>,
+    dropped: Mutex<u64>,
+}
+
+/// A notification channel.
+#[derive(Clone, Default)]
+pub struct NotificationChannel {
+    inner: Arc<NotifChannelInner>,
+}
+
+/// A filterable structured-event consumer connection.
+pub struct StructuredProxySupplier {
+    inner: Arc<NotifChannelInner>,
+    id: u64,
+}
+
+impl NotificationChannel {
+    /// Create a channel.
+    pub fn new() -> Self {
+        NotificationChannel::default()
+    }
+
+    /// Set a channel-level QoS property. All 13 standard names are
+    /// understood; unknown names are rejected (per spec behaviour).
+    pub fn set_qos(&self, name: &str, value: QosValue) -> Result<(), UnsupportedQos> {
+        let prop = QosProperty::by_name(name).ok_or_else(|| UnsupportedQos(name.to_string()))?;
+        self.inner.channel_qos.lock().push((prop, value));
+        Ok(())
+    }
+
+    /// Current channel QoS settings.
+    pub fn get_qos(&self) -> Vec<(QosProperty, QosValue)> {
+        self.inner.channel_qos.lock().clone()
+    }
+
+    /// Connect a push consumer; returns its proxy for filter management.
+    pub fn connect_structured_push_consumer(
+        &self,
+        callback: impl Fn(&StructuredEvent) + Send + Sync + 'static,
+    ) -> StructuredProxySupplier {
+        let id = self.mint();
+        self.inner.consumers.lock().push(ConsumerEntry {
+            id,
+            filters: Vec::new(),
+            callback: Some(Arc::new(callback)),
+            queue: None,
+            qos: self.inner.channel_qos.lock().clone(),
+        });
+        StructuredProxySupplier { inner: Arc::clone(&self.inner), id }
+    }
+
+    /// Connect a pull consumer; events queue at the proxy.
+    pub fn connect_structured_pull_consumer(&self) -> (StructuredProxySupplier, StructuredPull) {
+        let id = self.mint();
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        self.inner.consumers.lock().push(ConsumerEntry {
+            id,
+            filters: Vec::new(),
+            callback: None,
+            queue: Some(Arc::clone(&queue)),
+            qos: self.inner.channel_qos.lock().clone(),
+        });
+        (
+            StructuredProxySupplier { inner: Arc::clone(&self.inner), id },
+            StructuredPull { queue },
+        )
+    }
+
+    fn mint(&self) -> u64 {
+        let mut n = self.inner.next_id.lock();
+        *n += 1;
+        *n
+    }
+
+    /// Publish a structured event; returns the number of consumers it
+    /// reached.
+    pub fn push_structured_event(&self, event: &StructuredEvent) -> usize {
+        let mut reached = 0;
+        let consumers = self.inner.consumers.lock();
+        for c in consumers.iter() {
+            if !c.admits(event) {
+                continue;
+            }
+            if let Some(cb) = &c.callback {
+                cb(event);
+                reached += 1;
+            }
+            if let Some(q) = &c.queue {
+                let mut q = q.lock();
+                // MaxEventsPerConsumer + DiscardPolicy.
+                if let Some(max) = c.qos_number(QosProperty::MaxEventsPerConsumer) {
+                    if q.len() as i64 >= max {
+                        match c.qos_name(QosProperty::DiscardPolicy).unwrap_or("FifoOrder") {
+                            // Default FIFO discard: oldest goes.
+                            "LifoOrder" => {
+                                q.pop_back();
+                            }
+                            _ => {
+                                q.pop_front();
+                            }
+                        }
+                        *self.inner.dropped.lock() += 1;
+                    }
+                }
+                if c.qos_name(QosProperty::OrderPolicy) == Some("PriorityOrder") {
+                    // Insert by descending priority (field or header).
+                    let prio = event
+                        .lookup("priority")
+                        .and_then(|a| a.as_f64())
+                        .unwrap_or(0.0);
+                    let pos = q
+                        .iter()
+                        .position(|e: &StructuredEvent| {
+                            e.lookup("priority").and_then(|a| a.as_f64()).unwrap_or(0.0) < prio
+                        })
+                        .unwrap_or(q.len());
+                    q.insert(pos, event.clone());
+                } else {
+                    q.push_back(event.clone());
+                }
+                reached += 1;
+            }
+        }
+        reached
+    }
+
+    /// Events dropped by queue bounds so far.
+    pub fn dropped_count(&self) -> u64 {
+        *self.inner.dropped.lock()
+    }
+
+    /// Connected consumer count.
+    pub fn consumer_count(&self) -> usize {
+        self.inner.consumers.lock().len()
+    }
+}
+
+impl StructuredProxySupplier {
+    /// Attach an ETCL filter object. Multiple filters OR together (the
+    /// spec's filter-object semantics).
+    pub fn add_filter(&self, filter: EtclFilter) {
+        let mut consumers = self.inner.consumers.lock();
+        if let Some(c) = consumers.iter_mut().find(|c| c.id == self.id) {
+            c.filters.push(filter);
+        }
+    }
+
+    /// Remove all filters.
+    pub fn remove_all_filters(&self) {
+        let mut consumers = self.inner.consumers.lock();
+        if let Some(c) = consumers.iter_mut().find(|c| c.id == self.id) {
+            c.filters.clear();
+        }
+    }
+
+    /// Per-consumer QoS override.
+    pub fn set_qos(&self, name: &str, value: QosValue) -> Result<(), UnsupportedQos> {
+        let prop = QosProperty::by_name(name).ok_or_else(|| UnsupportedQos(name.to_string()))?;
+        let mut consumers = self.inner.consumers.lock();
+        if let Some(c) = consumers.iter_mut().find(|c| c.id == self.id) {
+            c.qos.push((prop, value));
+        }
+        Ok(())
+    }
+
+    /// Disconnect this consumer.
+    pub fn disconnect(&self) {
+        self.inner.consumers.lock().retain(|c| c.id != self.id);
+    }
+}
+
+/// The pull half of a pull consumer connection.
+pub struct StructuredPull {
+    queue: Arc<Mutex<VecDeque<StructuredEvent>>>,
+}
+
+impl StructuredPull {
+    /// Non-blocking pull.
+    pub fn try_pull(&self) -> Option<StructuredEvent> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Queued count.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any::Any;
+
+    fn ev(sev: i32) -> StructuredEvent {
+        StructuredEvent::new("Grid", "JobStatus", "j").with_field("severity", sev)
+    }
+
+    #[test]
+    fn filters_screen_events() {
+        let ch = NotificationChannel::new();
+        let got: Arc<Mutex<Vec<i32>>> = Arc::default();
+        let g = Arc::clone(&got);
+        let proxy = ch.connect_structured_push_consumer(move |e| {
+            g.lock().push(e.lookup("severity").unwrap().as_f64().unwrap() as i32);
+        });
+        proxy.add_filter(EtclFilter::compile("$severity >= 3").unwrap());
+        ch.push_structured_event(&ev(1));
+        ch.push_structured_event(&ev(5));
+        assert_eq!(*got.lock(), vec![5]);
+    }
+
+    #[test]
+    fn multiple_filters_or_together() {
+        let ch = NotificationChannel::new();
+        let (proxy, pull) = ch.connect_structured_pull_consumer();
+        proxy.add_filter(EtclFilter::compile("$severity == 1").unwrap());
+        proxy.add_filter(EtclFilter::compile("$severity == 5").unwrap());
+        for s in [1, 3, 5] {
+            ch.push_structured_event(&ev(s));
+        }
+        assert_eq!(pull.pending(), 2);
+    }
+
+    #[test]
+    fn remove_filters_restores_firehose() {
+        let ch = NotificationChannel::new();
+        let (proxy, pull) = ch.connect_structured_pull_consumer();
+        proxy.add_filter(EtclFilter::compile("false").unwrap());
+        ch.push_structured_event(&ev(1));
+        assert_eq!(pull.pending(), 0);
+        proxy.remove_all_filters();
+        ch.push_structured_event(&ev(2));
+        assert_eq!(pull.pending(), 1);
+    }
+
+    #[test]
+    fn all_13_qos_properties_understood() {
+        let ch = NotificationChannel::new();
+        for p in STANDARD_QOS_PROPERTIES {
+            assert!(ch.set_qos(p.name(), QosValue::Number(1)).is_ok(), "{}", p.name());
+        }
+        assert_eq!(ch.get_qos().len(), 13);
+        assert!(ch.set_qos("MadeUpProperty", QosValue::Flag(true)).is_err());
+    }
+
+    #[test]
+    fn max_events_per_consumer_discards() {
+        let ch = NotificationChannel::new();
+        let (proxy, pull) = ch.connect_structured_pull_consumer();
+        proxy.set_qos("MaxEventsPerConsumer", QosValue::Number(2)).unwrap();
+        for s in 1..=4 {
+            ch.push_structured_event(&ev(s));
+        }
+        assert_eq!(pull.pending(), 2);
+        // Default discard drops the oldest.
+        assert_eq!(pull.try_pull().unwrap().lookup("severity"), Some(Any::Long(3)));
+        assert_eq!(ch.dropped_count(), 2);
+    }
+
+    #[test]
+    fn priority_order_policy() {
+        let ch = NotificationChannel::new();
+        let (proxy, pull) = ch.connect_structured_pull_consumer();
+        proxy.set_qos("OrderPolicy", QosValue::Name("PriorityOrder".into())).unwrap();
+        let mk = |p: i32| StructuredEvent::new("d", "t", "e").with_field("priority", p);
+        ch.push_structured_event(&mk(1));
+        ch.push_structured_event(&mk(9));
+        ch.push_structured_event(&mk(5));
+        let order: Vec<i32> = std::iter::from_fn(|| pull.try_pull())
+            .map(|e| e.lookup("priority").unwrap().as_f64().unwrap() as i32)
+            .collect();
+        assert_eq!(order, vec![9, 5, 1]);
+    }
+
+    #[test]
+    fn disconnect_and_count() {
+        let ch = NotificationChannel::new();
+        let (proxy, _pull) = ch.connect_structured_pull_consumer();
+        assert_eq!(ch.consumer_count(), 1);
+        proxy.disconnect();
+        assert_eq!(ch.consumer_count(), 0);
+        assert_eq!(ch.push_structured_event(&ev(1)), 0);
+    }
+
+    #[test]
+    fn qos_name_lookup() {
+        assert_eq!(QosProperty::by_name("OrderPolicy"), Some(QosProperty::OrderPolicy));
+        assert_eq!(QosProperty::by_name("Nope"), None);
+        assert_eq!(STANDARD_QOS_PROPERTIES.len(), 13);
+    }
+}

@@ -1,0 +1,123 @@
+//! Structured events (CORBA Notification Service).
+
+use crate::any::Any;
+
+/// A CORBA Notification Service structured event: a fixed header
+/// (domain/type/name), variable header fields, a filterable body and an
+/// opaque remainder.
+///
+/// The paper singles this out (§VI.A): structured events "provide a
+/// well-defined data structure to map a generic event to a well
+/// structured event... useful for efficient filtering" — the filterable
+/// body is exactly what ETCL filters run against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuredEvent {
+    /// Event domain (e.g. `Telecom`, `Grid`).
+    pub domain_name: String,
+    /// Event type within the domain.
+    pub type_name: String,
+    /// Instance name.
+    pub event_name: String,
+    /// Variable header: QoS-ish per-event settings (priority, timeout).
+    pub variable_header: Vec<(String, Any)>,
+    /// Filterable body fields.
+    pub filterable_body: Vec<(String, Any)>,
+    /// The unfiltered remainder of the body.
+    pub remainder: Any,
+}
+
+impl StructuredEvent {
+    /// A new structured event with the fixed header set.
+    pub fn new(domain: &str, type_name: &str, event_name: &str) -> Self {
+        StructuredEvent {
+            domain_name: domain.to_string(),
+            type_name: type_name.to_string(),
+            event_name: event_name.to_string(),
+            variable_header: Vec::new(),
+            filterable_body: Vec::new(),
+            remainder: Any::Null,
+        }
+    }
+
+    /// Builder-style filterable field.
+    pub fn with_field(mut self, name: &str, value: impl Into<Any>) -> Self {
+        self.filterable_body.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Builder-style variable-header entry.
+    pub fn with_header(mut self, name: &str, value: impl Into<Any>) -> Self {
+        self.variable_header.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Builder-style remainder.
+    pub fn with_remainder(mut self, remainder: Any) -> Self {
+        self.remainder = remainder;
+        self
+    }
+
+    /// ETCL variable lookup: `$domain_name` / `$type_name` /
+    /// `$event_name` resolve to the fixed header; anything else
+    /// searches the filterable body then the variable header.
+    pub fn lookup(&self, name: &str) -> Option<Any> {
+        match name {
+            "domain_name" => Some(Any::String(self.domain_name.clone())),
+            "type_name" => Some(Any::String(self.type_name.clone())),
+            "event_name" => Some(Any::String(self.event_name.clone())),
+            _ => self
+                .filterable_body
+                .iter()
+                .chain(self.variable_header.iter())
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone()),
+        }
+    }
+
+    /// Pack the whole event into one [`Any`] (what flows through an
+    /// untyped Event Service channel when structured events are
+    /// tunnelled through it).
+    pub fn to_any(&self) -> Any {
+        Any::Struct(vec![
+            ("domain_name".into(), Any::String(self.domain_name.clone())),
+            ("type_name".into(), Any::String(self.type_name.clone())),
+            ("event_name".into(), Any::String(self.event_name.clone())),
+            ("filterable_body".into(), Any::Struct(self.filterable_body.clone())),
+            ("remainder".into(), self.remainder.clone()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_resolves_header_and_body() {
+        let ev = StructuredEvent::new("Grid", "JobStatus", "j-17")
+            .with_field("severity", 4)
+            .with_header("priority", 2);
+        assert_eq!(ev.lookup("domain_name"), Some(Any::String("Grid".into())));
+        assert_eq!(ev.lookup("severity"), Some(Any::Long(4)));
+        assert_eq!(ev.lookup("priority"), Some(Any::Long(2)));
+        assert_eq!(ev.lookup("nope"), None);
+    }
+
+    #[test]
+    fn body_shadows_variable_header() {
+        let ev = StructuredEvent::new("d", "t", "e")
+            .with_header("x", 1)
+            .with_field("x", 2);
+        assert_eq!(ev.lookup("x"), Some(Any::Long(2)));
+    }
+
+    #[test]
+    fn to_any_roundtrips_through_cdr() {
+        let ev = StructuredEvent::new("Grid", "JobStatus", "j-17")
+            .with_field("severity", 4)
+            .with_remainder(Any::String("blob".into()));
+        let any = ev.to_any();
+        let bytes = crate::cdr::encode(&any);
+        assert_eq!(crate::cdr::decode(&bytes).unwrap(), any);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: CDR round-trips for arbitrary `Any` values, and
+//! ETCL evaluation invariants.
+
+use proptest::prelude::*;
+use wsm_corba::any::Any;
+use wsm_corba::cdr::{decode, encode};
+use wsm_corba::{EtclFilter, StructuredEvent};
+
+fn any_strategy() -> impl Strategy<Value = Any> {
+    let leaf = prop_oneof![
+        Just(Any::Null),
+        any::<bool>().prop_map(Any::Boolean),
+        any::<i32>().prop_map(Any::Long),
+        any::<i64>().prop_map(Any::LongLong),
+        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan()).prop_map(Any::Double),
+        "[a-zA-Z0-9 _#€é]{0,16}".prop_map(Any::String),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Any::Sequence),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|fields| {
+                Any::Struct(fields)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// encode → decode is the identity for every representable value.
+    #[test]
+    fn cdr_roundtrip(v in any_strategy()) {
+        let bytes = encode(&v);
+        prop_assert_eq!(decode(&bytes).unwrap(), v);
+    }
+
+    /// Any truncation of a valid encoding is rejected, never panics,
+    /// never loops.
+    #[test]
+    fn cdr_truncations_rejected(v in any_strategy()) {
+        let bytes = encode(&v);
+        if bytes.len() > 1 {
+            // Check a handful of cut points including 1 and len-1.
+            for cut in [1usize, bytes.len() / 2, bytes.len() - 1] {
+                if cut < bytes.len() {
+                    prop_assert!(decode(&bytes[..cut]).is_err(), "cut at {}", cut);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn cdr_fuzz_no_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode(&bytes);
+    }
+
+    /// ETCL numeric comparisons agree with Rust comparisons on the
+    /// generated field values.
+    #[test]
+    fn etcl_comparisons_agree(sev in -100i32..100, threshold in -100i32..100) {
+        let ev = StructuredEvent::new("d", "t", "e").with_field("sev", sev);
+        for (op, expect) in [
+            ("==", sev == threshold),
+            ("!=", sev != threshold),
+            ("<", sev < threshold),
+            ("<=", sev <= threshold),
+            (">", sev > threshold),
+            (">=", sev >= threshold),
+        ] {
+            let f = EtclFilter::compile(&format!("$sev {op} {threshold}")).unwrap();
+            prop_assert_eq!(f.matches(&ev), expect, "op {} sev {} thr {}", op, sev, threshold);
+        }
+    }
+
+    /// De Morgan holds in ETCL for defined variables.
+    #[test]
+    fn etcl_de_morgan(a in 0i32..10, b in 0i32..10) {
+        let ev = StructuredEvent::new("d", "t", "e")
+            .with_field("a", a)
+            .with_field("b", b);
+        let lhs = EtclFilter::compile("not ($a > 4 and $b > 4)").unwrap();
+        let rhs = EtclFilter::compile("not $a > 4 or not $b > 4").unwrap();
+        prop_assert_eq!(lhs.matches(&ev), rhs.matches(&ev));
+    }
+
+    /// The substring operator agrees with str::contains.
+    #[test]
+    fn etcl_substring(haystack in "[a-z]{0,12}", needle in "[a-z]{0,4}") {
+        let ev = StructuredEvent::new("d", "t", "e").with_field("s", haystack.as_str());
+        let f = EtclFilter::compile(&format!("'{needle}' ~ $s")).unwrap();
+        prop_assert_eq!(f.matches(&ev), haystack.contains(&needle));
+    }
+}

@@ -1,0 +1,170 @@
+//! Pluggable underlying pub/sub backends.
+//!
+//! Paper §VII: "Besides using the default message filtering,
+//! WS-Messenger provides a generic interface that can use existing
+//! publish/subscribe systems as the underlying message systems. In this
+//! way, WS-Messenger provides Web service interfaces to existing
+//! messaging systems."
+//!
+//! The broker pushes every normalized [`InternalEvent`] *into* the
+//! backend and drains delivered events back *out* before fan-out. With
+//! [`InMemoryBackend`] this is a queue hop; with [`JmsBackend`] events
+//! genuinely round-trip through the `wsm-jms` provider (serialized XML
+//! in a `TextMessage`, topic in a property), demonstrating the wrap.
+
+use crate::event::InternalEvent;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use wsm_jms::{JmsMessage, JmsProvider};
+use wsm_xml::Element;
+
+/// The generic pub/sub interface the broker rides on.
+pub trait MessagingBackend: Send + Sync {
+    /// Accept one event for dissemination.
+    fn publish(&self, event: InternalEvent);
+    /// Drain the events the backend has delivered since the last call.
+    fn drain(&self) -> Vec<InternalEvent>;
+    /// Backend name (for stats/logging).
+    fn name(&self) -> &'static str;
+}
+
+/// The default backend: an in-process queue.
+#[derive(Default)]
+pub struct InMemoryBackend {
+    queue: Mutex<VecDeque<InternalEvent>>,
+}
+
+impl InMemoryBackend {
+    /// A fresh backend.
+    pub fn new() -> Self {
+        InMemoryBackend::default()
+    }
+}
+
+impl MessagingBackend for InMemoryBackend {
+    fn publish(&self, event: InternalEvent) {
+        self.queue.lock().push_back(event);
+    }
+
+    fn drain(&self) -> Vec<InternalEvent> {
+        self.queue.lock().drain(..).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "in-memory"
+    }
+}
+
+/// A backend that routes events through a JMS provider topic.
+pub struct JmsBackend {
+    provider: JmsProvider,
+    subscription: wsm_jms::TopicSubscription,
+    topic: String,
+}
+
+impl JmsBackend {
+    /// Wrap a JMS provider, using `topic` as the relay destination.
+    pub fn new(provider: JmsProvider, topic: &str) -> Self {
+        let subscription = provider.create_durable_subscriber(topic, "ws-messenger-relay", None);
+        JmsBackend { provider, subscription, topic: topic.to_string() }
+    }
+
+    fn encode(event: &InternalEvent) -> JmsMessage {
+        let mut m = JmsMessage::text(wsm_xml::to_string(&event.payload));
+        if let Some(t) = &event.topic {
+            m = m.with_property("wsmTopic", t.to_string().as_str());
+        }
+        if let Some(p) = &event.producer {
+            m = m.with_property("wsmProducer", p.address.as_str());
+        }
+        if let Some(o) = event.origin {
+            m = m.with_property("wsmOrigin", o.label());
+        }
+        m
+    }
+
+    fn decode(m: &JmsMessage) -> Option<InternalEvent> {
+        let text = match &m.body {
+            wsm_jms::JmsBody::Text(t) => t,
+            _ => return None,
+        };
+        let payload: Element = wsm_xml::parse(text).ok()?;
+        let topic = match m.resolve("wsmTopic") {
+            wsm_jms::JmsValue::String(s) => wsm_topics::TopicPath::parse(&s),
+            _ => None,
+        };
+        let producer = match m.resolve("wsmProducer") {
+            wsm_jms::JmsValue::String(s) => Some(wsm_addressing::EndpointReference::new(s)),
+            _ => None,
+        };
+        let origin = match m.resolve("wsmOrigin") {
+            wsm_jms::JmsValue::String(s) => {
+                crate::detect::SpecDialect::ALL.into_iter().find(|d| d.label() == s)
+            }
+            _ => None,
+        };
+        Some(InternalEvent { topic, payload, producer, origin })
+    }
+}
+
+impl MessagingBackend for JmsBackend {
+    fn publish(&self, event: InternalEvent) {
+        self.provider.publish(&self.topic, Self::encode(&event));
+    }
+
+    fn drain(&self) -> Vec<InternalEvent> {
+        let mut out = Vec::new();
+        while let Some(m) = self.subscription.receive() {
+            if let Some(ev) = Self::decode(&m) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "jms"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_fifo() {
+        let b = InMemoryBackend::new();
+        b.publish(InternalEvent::raw(Element::local("a")));
+        b.publish(InternalEvent::on_topic("t", Element::local("b")));
+        let got = b.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload.name.local, "a");
+        assert_eq!(got[1].topic.as_ref().unwrap().to_string(), "t");
+        assert!(b.drain().is_empty());
+        assert_eq!(b.name(), "in-memory");
+    }
+
+    #[test]
+    fn jms_backend_roundtrips_events() {
+        let provider = JmsProvider::new();
+        let b = JmsBackend::new(provider.clone(), "wsm.relay");
+        let ev = InternalEvent::on_topic("storms/hail", Element::local("alert").with_text("x"))
+            .from_producer(wsm_addressing::EndpointReference::new("http://pub"))
+            .with_origin(crate::detect::SpecDialect::Wsn(wsm_notification::WsnVersion::V1_3));
+        b.publish(ev.clone());
+        // The event really sits in the JMS provider.
+        assert_eq!(provider.subscriber_count("wsm.relay"), 1);
+        let got = b.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], ev);
+        assert_eq!(b.name(), "jms");
+    }
+
+    #[test]
+    fn jms_backend_preserves_payload_markup() {
+        let b = JmsBackend::new(JmsProvider::new(), "t");
+        let payload = wsm_xml::parse(r#"<e:alert xmlns:e="urn:wx" sev="4">h &amp; m</e:alert>"#).unwrap();
+        b.publish(InternalEvent::raw(payload.clone()));
+        assert_eq!(b.drain()[0].payload, payload);
+    }
+}

@@ -1,0 +1,676 @@
+//! The WS-Messenger broker itself.
+
+use crate::backend::{InMemoryBackend, MessagingBackend};
+use crate::detect::SpecDialect;
+use crate::event::InternalEvent;
+use crate::registry::{BrokerDeliveryMode, Registry, UnifiedFilters};
+use crate::render::{render_batch, render_notification};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsm_addressing::EndpointReference;
+use wsm_eventing::{EndStatus, Expires, WseCodec, WseVersion};
+use wsm_notification::{Termination, WsnCodec, WsnFilter, WsnVersion};
+use wsm_soap::{Envelope, Fault};
+use wsm_topics::{TopicExpression, TopicSpace};
+use wsm_transport::{Network, SoapHandler};
+use wsm_xml::Element;
+
+/// Counters describing the broker's mediation activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediationStats {
+    /// Publications ingested.
+    pub published: u64,
+    /// Notifications delivered to WS-Eventing consumers.
+    pub delivered_wse: u64,
+    /// Notifications delivered to WS-Notification consumers.
+    pub delivered_wsn: u64,
+    /// Deliveries whose inbound dialect family differed from the
+    /// consumer's — the mediated traffic.
+    pub mediated: u64,
+    /// Deliveries that failed (subscription dropped).
+    pub failed: u64,
+    /// Retries performed by the delivery engine.
+    pub retried: u64,
+}
+
+struct MessengerInner {
+    net: Network,
+    uri: String,
+    manager_uri: String,
+    registry: Registry,
+    backend: Arc<dyn MessagingBackend>,
+    topic_space: Mutex<TopicSpace>,
+    current: Mutex<HashMap<String, Element>>,
+    properties: Mutex<Element>,
+    stats: Mutex<MediationStats>,
+    publisher_registrations: Mutex<u64>,
+    /// Delivery attempts per notification before the subscription is
+    /// dropped (the broker's "reliable" knob; 1 = no retry).
+    delivery_attempts: Mutex<u32>,
+}
+
+/// The dual-specification mediation broker (paper §VII).
+#[derive(Clone)]
+pub struct WsMessenger {
+    inner: Arc<MessengerInner>,
+}
+
+impl WsMessenger {
+    /// Start a broker with the default in-memory backend.
+    pub fn start(net: &Network, uri: &str) -> Self {
+        Self::start_with_backend(net, uri, Arc::new(InMemoryBackend::new()))
+    }
+
+    /// Start a broker over an explicit pub/sub backend (e.g.
+    /// [`crate::backend::JmsBackend`] wrapping a JMS provider).
+    pub fn start_with_backend(net: &Network, uri: &str, backend: Arc<dyn MessagingBackend>) -> Self {
+        let inner = Arc::new(MessengerInner {
+            net: net.clone(),
+            uri: uri.to_string(),
+            manager_uri: format!("{uri}/subscriptions"),
+            registry: Registry::new(),
+            backend,
+            topic_space: Mutex::new(TopicSpace::new()),
+            current: Mutex::new(HashMap::new()),
+            properties: Mutex::new(Element::local("ProducerProperties")),
+            stats: Mutex::new(MediationStats::default()),
+            publisher_registrations: Mutex::new(0),
+            delivery_attempts: Mutex::new(1),
+        });
+        net.register(uri, Arc::new(MessengerHandler { inner: Arc::clone(&inner) }));
+        net.register(
+            inner.manager_uri.clone(),
+            Arc::new(ManagerHandler { inner: Arc::clone(&inner) }),
+        );
+        WsMessenger { inner }
+    }
+
+    /// The broker endpoint URI.
+    pub fn uri(&self) -> &str {
+        &self.inner.uri
+    }
+
+    /// The subscription-manager endpoint URI.
+    pub fn manager_uri(&self) -> &str {
+        &self.inner.manager_uri
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.registry.len()
+    }
+
+    /// Number of registered publishers.
+    pub fn publisher_registration_count(&self) -> u64 {
+        *self.inner.publisher_registrations.lock()
+    }
+
+    /// Mediation statistics so far.
+    pub fn stats(&self) -> MediationStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Set how many delivery attempts each notification gets before the
+    /// broker gives up on the subscription (minimum 1). The retry is
+    /// immediate — the simulated network has no transient backoff — but
+    /// it absorbs injected loss, which is how the tests model flaky
+    /// consumers.
+    pub fn set_delivery_attempts(&self, attempts: u32) {
+        *self.inner.delivery_attempts.lock() = attempts.max(1);
+    }
+
+    /// The backend name.
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend.name()
+    }
+
+    /// Declare a topic.
+    pub fn add_topic(&self, path: &str) {
+        self.inner.topic_space.lock().add_str(path);
+    }
+
+    /// Set a broker/producer property (ProducerProperties filters).
+    pub fn set_property(&self, name: &str, value: &str) {
+        let mut props = self.inner.properties.lock();
+        props.children.retain(|c| c.as_element().map(|e| e.name.local != name).unwrap_or(true));
+        props.push(Element::local(name).with_text(value));
+    }
+
+    /// Publish an event on a topic (in-process publisher API).
+    pub fn publish_on(&self, topic: &str, payload: &Element) -> usize {
+        self.publish_event(InternalEvent::on_topic(topic, payload.clone()))
+    }
+
+    /// Publish a topicless event (the WS-Eventing shape).
+    pub fn publish_raw(&self, payload: &Element) -> usize {
+        self.publish_event(InternalEvent::raw(payload.clone()))
+    }
+
+    /// Publish a fully-specified internal event.
+    pub fn publish_event(&self, event: InternalEvent) -> usize {
+        ingest(&self.inner, event)
+    }
+
+    /// Flush wrapped-mode buffers; returns batches sent.
+    pub fn flush_wrapped(&self) -> usize {
+        let inner = &self.inner;
+        let mut batches = 0;
+        for (id, payloads) in inner.registry.take_wrap_buffers() {
+            if let Some(sub) = inner.registry.get(&id) {
+                let epr = subscription_epr(inner, &sub.id, sub.spec);
+                let env = render_batch(&sub, &payloads, &inner.uri, &epr);
+                if inner.net.send(&sub.consumer.address, env).is_ok() {
+                    batches += 1;
+                } else {
+                    drop_failed(inner, &sub.id);
+                }
+            }
+        }
+        batches
+    }
+}
+
+// ---------------------------------------------------------- ingestion
+
+fn ingest(inner: &MessengerInner, event: InternalEvent) -> usize {
+    if let Some(t) = &event.topic {
+        inner.topic_space.lock().add(t);
+        inner.current.lock().insert(t.to_string(), event.payload.clone());
+    }
+    inner.stats.lock().published += 1;
+    inner.backend.publish(event);
+    let mut delivered = 0;
+    for ev in inner.backend.drain() {
+        delivered += fan_out(inner, &ev);
+    }
+    delivered
+}
+
+fn fan_out(inner: &MessengerInner, event: &InternalEvent) -> usize {
+    let now = inner.net.clock().now_ms();
+    inner.registry.sweep_expired(now);
+    let props = inner.properties.lock().clone();
+    let mut delivered = 0;
+    for sub in inner.registry.matching(event, Some(&props), now) {
+        match sub.mode {
+            BrokerDeliveryMode::Push => {
+                let epr = subscription_epr(inner, &sub.id, sub.spec);
+                let env = render_notification(&sub, event, &inner.uri, &epr);
+                match send_with_retry(inner, &sub.consumer.address, env) {
+                    Ok(()) => {
+                        delivered += 1;
+                        let mut stats = inner.stats.lock();
+                        match sub.spec {
+                            SpecDialect::Wse(_) => stats.delivered_wse += 1,
+                            SpecDialect::Wsn(_) => stats.delivered_wsn += 1,
+                        }
+                        if let Some(origin) = event.origin {
+                            if family(origin) != family(sub.spec) {
+                                stats.mediated += 1;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        inner.stats.lock().failed += 1;
+                        drop_failed(inner, &sub.id);
+                    }
+                }
+            }
+            BrokerDeliveryMode::Pull => {
+                if inner.registry.queue_event(&sub.id, event.payload.clone()) {
+                    delivered += 1;
+                }
+            }
+            BrokerDeliveryMode::Wrapped => {
+                if inner.registry.buffer_wrapped(&sub.id, event.payload.clone()) {
+                    delivered += 1;
+                }
+            }
+        }
+    }
+    delivered
+}
+
+/// One-shot or retried send, per the configured attempt budget.
+fn send_with_retry(
+    inner: &MessengerInner,
+    to: &str,
+    env: Envelope,
+) -> Result<(), wsm_transport::TransportError> {
+    let attempts = *inner.delivery_attempts.lock();
+    let mut last = None;
+    for i in 0..attempts {
+        match inner.net.send(to, env.clone()) {
+            Ok(()) => {
+                if i > 0 {
+                    inner.stats.lock().retried += i as u64;
+                }
+                return Ok(());
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    inner.stats.lock().retried += (attempts - 1) as u64;
+    Err(last.expect("attempts >= 1"))
+}
+
+fn family(d: SpecDialect) -> u8 {
+    match d {
+        SpecDialect::Wse(_) => 0,
+        SpecDialect::Wsn(_) => 1,
+    }
+}
+
+/// Remove a subscription after a delivery failure, sending the WSE
+/// `SubscriptionEnd` when the subscriber asked for one.
+fn drop_failed(inner: &MessengerInner, id: &str) {
+    if let Some(sub) = inner.registry.remove(id) {
+        if let (SpecDialect::Wse(v), Some(end_to)) = (sub.spec, &sub.end_to) {
+            let codec = WseCodec::new(v);
+            let manager = subscription_epr(inner, &sub.id, sub.spec);
+            let env = codec.subscription_end(
+                end_to,
+                &manager,
+                EndStatus::DeliveryFailure,
+                Some("the broker could not deliver notifications"),
+            );
+            let _ = inner.net.send(&end_to.address, env);
+        }
+    }
+}
+
+fn subscription_epr(inner: &MessengerInner, id: &str, spec: SpecDialect) -> EndpointReference {
+    let epr = EndpointReference::new(inner.manager_uri.clone());
+    match spec {
+        SpecDialect::Wse(v) if v.id_in_reference_parameters() => epr.with_reference(
+            v.wsa(),
+            Element::ns(v.ns(), "Identifier", "wse").with_text(id),
+        ),
+        SpecDialect::Wse(_) => epr,
+        SpecDialect::Wsn(v) => epr.with_reference(
+            v.wsa(),
+            Element::ns(v.ns(), wsm_notification::messages::SUBSCRIPTION_ID_LOCAL, "wsnt")
+                .with_text(id),
+        ),
+    }
+}
+
+// --------------------------------------------------- subscribe paths
+
+fn wse_subscribe(inner: &MessengerInner, v: WseVersion, request: &Envelope) -> Result<Envelope, Fault> {
+    let codec = WseCodec::new(v);
+    let req = codec.parse_subscribe(request)?;
+    let mut filters = UnifiedFilters::default();
+    if let Some(f) = &req.filter {
+        if f.dialect != wsm_eventing::XPATH_DIALECT {
+            return Err(Fault::sender("the requested filter dialect is not supported")
+                .with_subcode("wse:FilteringNotSupported"));
+        }
+        filters.content.push(wsm_xpath::XPath::compile(&f.expression).map_err(|e| {
+            Fault::sender(format!("invalid XPath filter: {e}"))
+                .with_subcode("wse:FilteringNotSupported")
+        })?);
+    }
+    let mode = match req.mode {
+        wsm_eventing::DeliveryMode::Push => BrokerDeliveryMode::Push,
+        wsm_eventing::DeliveryMode::Pull => BrokerDeliveryMode::Pull,
+        wsm_eventing::DeliveryMode::Wrapped => BrokerDeliveryMode::Wrapped,
+    };
+    let now = inner.net.clock().now_ms();
+    let expires_at = req.expires.map(|e| e.absolute(now));
+    let id = inner.registry.insert(
+        SpecDialect::Wse(v),
+        req.notify_to,
+        req.end_to,
+        filters,
+        mode,
+        false,
+        expires_at,
+    );
+    let handle = wsm_eventing::SubscriptionHandle {
+        manager: subscription_epr(inner, &id, SpecDialect::Wse(v)),
+        id,
+        expires: req.expires,
+        version: v,
+    };
+    Ok(codec.subscribe_response(&handle))
+}
+
+fn wsn_subscribe(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Result<Envelope, Fault> {
+    let codec = WsnCodec::new(v);
+    let req = codec.parse_subscribe(request)?;
+    let mut filters = UnifiedFilters::default();
+    for f in &req.filters {
+        match f {
+            WsnFilter::Topic(t) => filters.topics.push(t.clone()),
+            WsnFilter::ProducerProperties(x) => {
+                filters.producer_props.push(wsm_xpath::XPath::compile(x).map_err(|e| {
+                    Fault::sender(format!("invalid ProducerProperties filter: {e}"))
+                        .with_subcode("wsnt:InvalidFilterFault")
+                })?)
+            }
+            WsnFilter::MessageContent { dialect, expression } => {
+                if dialect != wsm_notification::XPATH_DIALECT {
+                    return Err(Fault::sender("unsupported MessageContent dialect")
+                        .with_subcode("wsnt:InvalidFilterFault"));
+                }
+                filters.content.push(wsm_xpath::XPath::compile(expression).map_err(|e| {
+                    Fault::sender(format!("invalid MessageContent filter: {e}"))
+                        .with_subcode("wsnt:InvalidFilterFault")
+                })?)
+            }
+        }
+    }
+    // Seed the topic space from concrete topic filters so that
+    // GetCurrentMessage and demand bookkeeping can see them.
+    {
+        let mut space = inner.topic_space.lock();
+        for t in &filters.topics {
+            if let Some(p) = wsm_topics::TopicPath::parse(t.text()) {
+                space.add(&p);
+            }
+        }
+    }
+    let now = inner.net.clock().now_ms();
+    let termination = req.initial_termination.map(|t| t.absolute(now));
+    let id = inner.registry.insert(
+        SpecDialect::Wsn(v),
+        req.consumer,
+        None,
+        filters,
+        BrokerDeliveryMode::Push,
+        req.use_raw,
+        termination,
+    );
+    Ok(codec.subscribe_response(
+        &EndpointReference::new(inner.manager_uri.clone()),
+        &id,
+        now,
+        termination,
+    ))
+}
+
+// ------------------------------------------------------- main handler
+
+struct MessengerHandler {
+    inner: Arc<MessengerInner>,
+}
+
+/// Every namespace the broker processes: both spec families (all
+/// versions), the three WS-Addressing versions, WSRF, and the broker's
+/// own extension namespace.
+fn understood_namespaces() -> Vec<&'static str> {
+    let mut out = vec![
+        wsm_wsrf::WSRF_RL_NS,
+        wsm_wsrf::WSRF_RP_NS,
+        crate::render::WSM_NS,
+    ];
+    for d in SpecDialect::ALL {
+        match d {
+            SpecDialect::Wse(v) => out.push(v.ns()),
+            SpecDialect::Wsn(v) => {
+                out.push(v.ns());
+                out.push(v.brokered_ns());
+            }
+        }
+    }
+    for w in [
+        wsm_addressing::WsaVersion::V200303,
+        wsm_addressing::WsaVersion::V200408,
+        wsm_addressing::WsaVersion::V200508,
+    ] {
+        out.push(w.ns());
+    }
+    out
+}
+
+impl SoapHandler for MessengerHandler {
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+        let inner = &self.inner;
+        wsm_soap::check_must_understand(&request, &understood_namespaces())?;
+        let dialect = SpecDialect::detect(&request);
+        let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
+        match dialect {
+            Some(SpecDialect::Wse(v)) => {
+                if body.name.is(v.ns(), "Subscribe") {
+                    return wse_subscribe(inner, v, &request).map(Some);
+                }
+                Err(Fault::sender(format!(
+                    "unsupported WS-Eventing operation {} at the broker endpoint",
+                    body.name.clark()
+                )))
+            }
+            Some(SpecDialect::Wsn(v)) => {
+                let codec = WsnCodec::new(v);
+                if body.name.is(v.ns(), "Subscribe") {
+                    return wsn_subscribe(inner, v, &request).map(Some);
+                }
+                if let Some(msgs) = codec.parse_notify(&request) {
+                    for m in msgs {
+                        let ev = InternalEvent {
+                            topic: m.topic,
+                            payload: m.message,
+                            producer: m.producer,
+                            origin: Some(SpecDialect::Wsn(v)),
+                        };
+                        if let Some(t) = &ev.topic {
+                            inner.topic_space.lock().add(t);
+                            inner.current.lock().insert(t.to_string(), ev.payload.clone());
+                        }
+                        inner.stats.lock().published += 1;
+                        inner.backend.publish(ev);
+                    }
+                    for ev in inner.backend.drain() {
+                        fan_out(inner, &ev);
+                    }
+                    return Ok(None);
+                }
+                if body.name.is(v.ns(), "GetCurrentMessage") {
+                    return get_current_message(inner, v, body).map(Some);
+                }
+                if body.name.is(v.brokered_ns(), "RegisterPublisher") {
+                    let (publisher, topics, demand) = codec.parse_register_publisher(&request)?;
+                    if demand {
+                        return Err(Fault::sender(
+                            "WS-Messenger accepts demand-based registrations only via the \
+                             wsm-notification broker; register without Demand here",
+                        ));
+                    }
+                    let _ = publisher;
+                    {
+                        let mut space = inner.topic_space.lock();
+                        for t in &topics {
+                            if let Some(p) = wsm_topics::TopicPath::parse(t.text()) {
+                                space.add(&p);
+                            }
+                        }
+                    }
+                    let n = {
+                        let mut c = inner.publisher_registrations.lock();
+                        *c += 1;
+                        *c
+                    };
+                    let reg = EndpointReference::new(format!("{}/registrations/{n}", inner.uri));
+                    return Ok(Some(codec.register_publisher_response(&reg)));
+                }
+                Err(Fault::sender(format!(
+                    "unsupported WS-Notification operation {}",
+                    body.name.clark()
+                )))
+            }
+            None => {
+                // A bare payload: treat as a raw publication.
+                let ev = InternalEvent::raw(body.clone());
+                ingest(inner, ev);
+                Ok(None)
+            }
+        }
+    }
+}
+
+fn get_current_message(
+    inner: &MessengerInner,
+    v: WsnVersion,
+    body: &Element,
+) -> Result<Envelope, Fault> {
+    let codec = WsnCodec::new(v);
+    let topic_el = body
+        .child_ns(v.ns(), "Topic")
+        .ok_or_else(|| Fault::sender("GetCurrentMessage requires a Topic"))?;
+    let dialect = topic_el
+        .attr("Dialect")
+        .unwrap_or(wsm_topics::expression::CONCRETE_DIALECT);
+    let expr = TopicExpression::compile_uri(dialect, topic_el.text().trim())
+        .map_err(|e| Fault::sender(format!("invalid topic: {e}")))?;
+    let space = inner.topic_space.lock();
+    let current = inner.current.lock();
+    let last = space
+        .expand(&expr)
+        .into_iter()
+        .rev()
+        .find_map(|t| current.get(&t.to_string()).cloned());
+    match last {
+        Some(m) => Ok(codec.get_current_message_response(Some(&m))),
+        None => Err(Fault::sender("no current message on that topic")
+            .with_subcode("wsnt:NoCurrentMessageOnTopicFault")),
+    }
+}
+
+// ---------------------------------------------------- manager handler
+
+struct ManagerHandler {
+    inner: Arc<MessengerInner>,
+}
+
+impl SoapHandler for ManagerHandler {
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+        let inner = &self.inner;
+        let dialect = SpecDialect::detect(&request)
+            .ok_or_else(|| Fault::sender("cannot determine the specification of this request"))?;
+        match dialect {
+            SpecDialect::Wse(v) => wse_manage(inner, v, &request).map(Some),
+            SpecDialect::Wsn(v) => wsn_manage(inner, v, &request).map(Some),
+        }
+    }
+}
+
+fn wse_manage(inner: &MessengerInner, v: WseVersion, request: &Envelope) -> Result<Envelope, Fault> {
+    let codec = WseCodec::new(v);
+    let ns = v.ns();
+    let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
+    let id = codec
+        .extract_subscription_id(request)
+        .ok_or_else(|| Fault::sender("no subscription identifier in request"))?;
+    let now = inner.net.clock().now_ms();
+    inner.registry.sweep_expired(now);
+    let unknown = || Fault::sender(format!("unknown subscription {id}"));
+
+    if body.name.is(ns, "Renew") {
+        inner.registry.get(&id).ok_or_else(unknown)?;
+        let requested = body.child_ns(ns, "Expires").and_then(|e| Expires::parse(&e.text()));
+        inner.registry.set_expiry(&id, requested.map(|e| e.absolute(now)));
+        Ok(codec.management_response("Renew", requested))
+    } else if body.name.is(ns, "GetStatus") {
+        if !v.has_get_status() {
+            return Err(Fault::sender("GetStatus is not defined in this version"));
+        }
+        let sub = inner.registry.get(&id).ok_or_else(unknown)?;
+        Ok(codec.management_response("GetStatus", sub.expires_at_ms.map(Expires::At)))
+    } else if body.name.is(ns, "Unsubscribe") {
+        inner.registry.remove(&id).ok_or_else(unknown)?;
+        Ok(codec.management_response("Unsubscribe", None))
+    } else if body.name.is(ns, "Pull") {
+        inner.registry.get(&id).ok_or_else(unknown)?;
+        let max = body.attr("MaxElements").and_then(|m| m.parse().ok()).unwrap_or(usize::MAX);
+        let events = inner.registry.drain_queue(&id, max);
+        Ok(codec.pull_response(&events))
+    } else {
+        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+    }
+}
+
+fn wsn_manage(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Result<Envelope, Fault> {
+    let codec = WsnCodec::new(v);
+    let ns = v.ns();
+    let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
+    let id = codec
+        .extract_subscription_id(request)
+        .ok_or_else(|| Fault::sender("no SubscriptionId in request"))?;
+    let now = inner.net.clock().now_ms();
+    inner.registry.sweep_expired(now);
+    let unknown =
+        || Fault::sender(format!("unknown subscription {id}")).with_subcode("wsnt:ResourceUnknownFault");
+
+    if body.name.is(ns, "Renew") {
+        if !v.has_native_renew_unsubscribe() {
+            return Err(Fault::sender("WSN 1.0 renews via WSRF SetTerminationTime"));
+        }
+        inner.registry.get(&id).ok_or_else(unknown)?;
+        let t = body
+            .child_ns(ns, "TerminationTime")
+            .and_then(|e| Termination::parse(&e.text()))
+            .ok_or_else(|| Fault::sender("Renew requires a TerminationTime"))?;
+        inner.registry.set_expiry(&id, Some(t.absolute(now)));
+        Ok(codec.management_response("Renew"))
+    } else if body.name.is(ns, "Unsubscribe") {
+        if !v.has_native_renew_unsubscribe() {
+            return Err(Fault::sender("WSN 1.0 unsubscribes via WSRF Destroy"));
+        }
+        inner.registry.remove(&id).ok_or_else(unknown)?;
+        Ok(codec.management_response("Unsubscribe"))
+    } else if body.name.is(ns, "PauseSubscription") {
+        if !inner.registry.set_paused(&id, true) {
+            return Err(unknown());
+        }
+        Ok(codec.management_response("PauseSubscription"))
+    } else if body.name.is(ns, "ResumeSubscription") {
+        if !inner.registry.set_paused(&id, false) {
+            return Err(unknown());
+        }
+        Ok(codec.management_response("ResumeSubscription"))
+    } else if body.name.is(wsm_wsrf::WSRF_RL_NS, "Destroy") {
+        inner.registry.remove(&id).ok_or_else(unknown)?;
+        Ok(Envelope::new(wsm_soap::SoapVersion::V11)
+            .with_body(Element::ns(wsm_wsrf::WSRF_RL_NS, "DestroyResponse", "wsrf-rl")))
+    } else if body.name.is(wsm_wsrf::WSRF_RL_NS, "SetTerminationTime") {
+        inner.registry.get(&id).ok_or_else(unknown)?;
+        let t = body
+            .child_ns(wsm_wsrf::WSRF_RL_NS, "RequestedTerminationTime")
+            .and_then(|e| Termination::parse(&e.text()))
+            .ok_or_else(|| Fault::sender("missing RequestedTerminationTime"))?;
+        let abs = t.absolute(now);
+        inner.registry.set_expiry(&id, Some(abs));
+        Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(
+            Element::ns(wsm_wsrf::WSRF_RL_NS, "SetTerminationTimeResponse", "wsrf-rl").with_child(
+                Element::ns(wsm_wsrf::WSRF_RL_NS, "NewTerminationTime", "wsrf-rl")
+                    .with_text(wsm_xml::xsd::format_datetime(abs)),
+            ),
+        ))
+    } else if body.name.is(wsm_wsrf::WSRF_RP_NS, "GetResourceProperty") {
+        let sub = inner.registry.get(&id).ok_or_else(unknown)?;
+        let wanted = body.text();
+        let local = wanted.trim().rsplit(':').next().unwrap_or("");
+        let mut resp = Element::ns(wsm_wsrf::WSRF_RP_NS, "GetResourcePropertyResponse", "wsrf-rp");
+        match local {
+            "Paused" => resp.push(
+                Element::ns(ns, "Paused", "wsnt").with_text(sub.paused.to_string()),
+            ),
+            "TerminationTime" => {
+                if let Some(t) = sub.expires_at_ms {
+                    resp.push(
+                        Element::ns(ns, "TerminationTime", "wsnt")
+                            .with_text(wsm_xml::xsd::format_datetime(t)),
+                    );
+                }
+            }
+            "ConsumerReference" => resp.push(
+                Element::ns(ns, "ConsumerReference", "wsnt").with_text(sub.consumer.address.clone()),
+            ),
+            _ => {}
+        }
+        Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(resp))
+    } else {
+        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+    }
+}

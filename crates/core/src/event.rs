@@ -1,0 +1,73 @@
+//! The broker's neutral internal event model.
+//!
+//! Mediation needs a representation that is *neither* spec's wire
+//! format: inbound publications (WSE raw bodies, WSN `Notify`
+//! messages, plain payload posts) normalize into [`InternalEvent`],
+//! and outbound rendering re-encodes per consumer dialect. The
+//! re-encode cost is what bench X-B1 measures.
+
+use crate::detect::SpecDialect;
+use wsm_addressing::EndpointReference;
+use wsm_topics::TopicPath;
+use wsm_xml::Element;
+
+/// One publication, spec-neutral.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternalEvent {
+    /// The topic, when the inbound dialect carries one (WSN) or the
+    /// publisher supplied one out-of-band.
+    pub topic: Option<TopicPath>,
+    /// The payload element.
+    pub payload: Element,
+    /// The original producer, when known (brokered WSN).
+    pub producer: Option<EndpointReference>,
+    /// The dialect the publication arrived in, when it arrived over
+    /// the wire — deliveries to consumers of the *other* family count
+    /// as mediated in [`crate::broker::MediationStats`].
+    pub origin: Option<SpecDialect>,
+}
+
+impl InternalEvent {
+    /// An event with no topic (the WS-Eventing publication shape).
+    pub fn raw(payload: Element) -> Self {
+        InternalEvent { topic: None, payload, producer: None, origin: None }
+    }
+
+    /// An event on a topic.
+    pub fn on_topic(topic: &str, payload: Element) -> Self {
+        InternalEvent { topic: TopicPath::parse(topic), payload, producer: None, origin: None }
+    }
+
+    /// Builder-style producer reference.
+    pub fn from_producer(mut self, producer: EndpointReference) -> Self {
+        self.producer = Some(producer);
+        self
+    }
+
+    /// Builder-style origin dialect.
+    pub fn with_origin(mut self, origin: SpecDialect) -> Self {
+        self.origin = Some(origin);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = InternalEvent::raw(Element::local("x"));
+        assert!(e.topic.is_none());
+        let e = InternalEvent::on_topic("a/b", Element::local("x"))
+            .from_producer(EndpointReference::new("http://p"));
+        assert_eq!(e.topic.unwrap().to_string(), "a/b");
+        assert_eq!(e.producer.unwrap().address, "http://p");
+    }
+
+    #[test]
+    fn bad_topic_is_none() {
+        let e = InternalEvent::on_topic("", Element::local("x"));
+        assert!(e.topic.is_none());
+    }
+}

@@ -1,0 +1,365 @@
+//! The broker's unified subscription registry.
+//!
+//! Each subscription remembers which dialect created it ("the
+//! specification type of a target event consumer is determined by the
+//! subscription request message type", §VII) plus a *unified* compiled
+//! filter set covering both specs' filter models: WS-Eventing's single
+//! XPath filter compiles into `content`; WS-Notification's three filter
+//! kinds compile into `topics` / `content` / `producer_props`.
+
+use crate::detect::SpecDialect;
+use crate::event::InternalEvent;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use wsm_addressing::EndpointReference;
+use wsm_topics::TopicExpression;
+use wsm_xml::Element;
+use wsm_xpath::XPath;
+
+/// Unified compiled filters.
+#[derive(Debug, Clone, Default)]
+pub struct UnifiedFilters {
+    /// Topic expressions (WSN). Any match admits; an event *without* a
+    /// topic fails a topic filter.
+    pub topics: Vec<TopicExpression>,
+    /// Content predicates (WSE default filter, WSN MessageContent).
+    pub content: Vec<XPath>,
+    /// Producer-properties predicates (WSN only).
+    pub producer_props: Vec<XPath>,
+}
+
+impl UnifiedFilters {
+    /// Does the event pass every supplied filter kind?
+    pub fn admit(&self, event: &InternalEvent, producer_properties: Option<&Element>) -> bool {
+        if !self.topics.is_empty() {
+            match &event.topic {
+                Some(t) => {
+                    if !self.topics.iter().any(|e| e.matches(t)) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        if !self.content.is_empty() && !self.content.iter().any(|x| x.matches(&event.payload)) {
+            return false;
+        }
+        if !self.producer_props.is_empty() {
+            match producer_properties {
+                Some(doc) => {
+                    if !self.producer_props.iter().any(|x| x.matches(doc)) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// How the consumer wants messages delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrokerDeliveryMode {
+    /// Push one message per event.
+    Push,
+    /// Queue at the broker; the consumer pulls (WSE pull mode).
+    Pull,
+    /// Buffer and push batches (WSE wrapped mode).
+    Wrapped,
+}
+
+/// One live broker subscription.
+#[derive(Debug, Clone)]
+pub struct BrokerSubscription {
+    /// Identifier minted by the registry.
+    pub id: String,
+    /// The dialect the subscription was created in — and therefore the
+    /// dialect its notifications are rendered in.
+    pub spec: SpecDialect,
+    /// Where notifications go.
+    pub consumer: EndpointReference,
+    /// Where WSE `SubscriptionEnd` notices go (WSE only).
+    pub end_to: Option<EndpointReference>,
+    /// Unified filters.
+    pub filters: UnifiedFilters,
+    /// Delivery mode.
+    pub mode: BrokerDeliveryMode,
+    /// WSN raw-payload delivery (`UseRaw`).
+    pub use_raw: bool,
+    /// Paused (WSN pause/resume).
+    pub paused: bool,
+    /// Absolute expiry on the virtual clock.
+    pub expires_at_ms: Option<u64>,
+    /// Queued events (pull mode).
+    pub queue: VecDeque<Element>,
+    /// Buffered events (wrapped mode).
+    pub wrap_buffer: Vec<Element>,
+}
+
+impl BrokerSubscription {
+    /// Is the subscription expired at `now`?
+    pub fn expired(&self, now_ms: u64) -> bool {
+        self.expires_at_ms.is_some_and(|t| t <= now_ms)
+    }
+}
+
+/// Thread-safe registry.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    subs: HashMap<String, BrokerSubscription>,
+    next_id: u64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Insert a subscription (id is minted here).
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &self,
+        spec: SpecDialect,
+        consumer: EndpointReference,
+        end_to: Option<EndpointReference>,
+        filters: UnifiedFilters,
+        mode: BrokerDeliveryMode,
+        use_raw: bool,
+        expires_at_ms: Option<u64>,
+    ) -> String {
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = format!("wsm-{}", inner.next_id);
+        inner.subs.insert(
+            id.clone(),
+            BrokerSubscription {
+                id: id.clone(),
+                spec,
+                consumer,
+                end_to,
+                filters,
+                mode,
+                use_raw,
+                paused: false,
+                expires_at_ms,
+                queue: VecDeque::new(),
+                wrap_buffer: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Snapshot one subscription.
+    pub fn get(&self, id: &str) -> Option<BrokerSubscription> {
+        self.inner.lock().subs.get(id).cloned()
+    }
+
+    /// Remove one subscription.
+    pub fn remove(&self, id: &str) -> Option<BrokerSubscription> {
+        self.inner.lock().subs.remove(id)
+    }
+
+    /// Update expiry. False when unknown.
+    pub fn set_expiry(&self, id: &str, expires_at_ms: Option<u64>) -> bool {
+        match self.inner.lock().subs.get_mut(id) {
+            Some(s) => {
+                s.expires_at_ms = expires_at_ms;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pause / resume. False when unknown.
+    pub fn set_paused(&self, id: &str, paused: bool) -> bool {
+        match self.inner.lock().subs.get_mut(id) {
+            Some(s) => {
+                s.paused = paused;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove expired subscriptions, returning them.
+    pub fn sweep_expired(&self, now_ms: u64) -> Vec<BrokerSubscription> {
+        let mut inner = self.inner.lock();
+        let ids: Vec<String> =
+            inner.subs.values().filter(|s| s.expired(now_ms)).map(|s| s.id.clone()).collect();
+        ids.iter().filter_map(|id| inner.subs.remove(id)).collect()
+    }
+
+    /// Live, unpaused subscriptions admitting `event`.
+    pub fn matching(
+        &self,
+        event: &InternalEvent,
+        producer_properties: Option<&Element>,
+        now_ms: u64,
+    ) -> Vec<BrokerSubscription> {
+        self.inner
+            .lock()
+            .subs
+            .values()
+            .filter(|s| !s.paused && !s.expired(now_ms) && s.filters.admit(event, producer_properties))
+            .cloned()
+            .collect()
+    }
+
+    /// Queue an event on a pull subscription.
+    pub fn queue_event(&self, id: &str, payload: Element) -> bool {
+        match self.inner.lock().subs.get_mut(id) {
+            Some(s) => {
+                s.queue.push_back(payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drain up to `max` queued events.
+    pub fn drain_queue(&self, id: &str, max: usize) -> Vec<Element> {
+        match self.inner.lock().subs.get_mut(id) {
+            Some(s) => {
+                let n = max.min(s.queue.len());
+                s.queue.drain(..n).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Buffer an event for wrapped delivery.
+    pub fn buffer_wrapped(&self, id: &str, payload: Element) -> bool {
+        match self.inner.lock().subs.get_mut(id) {
+            Some(s) => {
+                s.wrap_buffer.push(payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Take all wrapped buffers.
+    pub fn take_wrap_buffers(&self) -> Vec<(String, Vec<Element>)> {
+        self.inner
+            .lock()
+            .subs
+            .values_mut()
+            .filter(|s| !s.wrap_buffer.is_empty())
+            .map(|s| (s.id.clone(), std::mem::take(&mut s.wrap_buffer)))
+            .collect()
+    }
+
+    /// Subscription count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().subs.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot all subscriptions.
+    pub fn all(&self) -> Vec<BrokerSubscription> {
+        self.inner.lock().subs.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_eventing::WseVersion;
+
+    fn epr() -> EndpointReference {
+        EndpointReference::new("http://c")
+    }
+
+    fn spec() -> SpecDialect {
+        SpecDialect::Wse(WseVersion::Aug2004)
+    }
+
+    #[test]
+    fn unified_filters_combine_kinds() {
+        let f = UnifiedFilters {
+            topics: vec![TopicExpression::concrete("storms").unwrap()],
+            content: vec![XPath::compile("/e[@sev > 3]").unwrap()],
+            producer_props: vec![],
+        };
+        let hot = InternalEvent::on_topic("storms", Element::local("e").with_attr("sev", "5"));
+        let cold = InternalEvent::on_topic("storms", Element::local("e").with_attr("sev", "1"));
+        let off_topic = InternalEvent::on_topic("traffic", Element::local("e").with_attr("sev", "5"));
+        let topicless = InternalEvent::raw(Element::local("e").with_attr("sev", "5"));
+        assert!(f.admit(&hot, None));
+        assert!(!f.admit(&cold, None));
+        assert!(!f.admit(&off_topic, None));
+        assert!(!f.admit(&topicless, None), "topic filter needs a topic");
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let r = Registry::new();
+        let id = r.insert(
+            spec(),
+            epr(),
+            None,
+            UnifiedFilters::default(),
+            BrokerDeliveryMode::Push,
+            false,
+            Some(100),
+        );
+        assert_eq!(r.len(), 1);
+        assert!(r.get(&id).is_some());
+        assert!(r.set_expiry(&id, Some(500)));
+        assert!(r.sweep_expired(200).is_empty());
+        assert_eq!(r.sweep_expired(600).len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn paused_subscriptions_excluded() {
+        let r = Registry::new();
+        let id = r.insert(
+            spec(),
+            epr(),
+            None,
+            UnifiedFilters::default(),
+            BrokerDeliveryMode::Push,
+            false,
+            None,
+        );
+        let ev = InternalEvent::raw(Element::local("x"));
+        assert_eq!(r.matching(&ev, None, 0).len(), 1);
+        r.set_paused(&id, true);
+        assert_eq!(r.matching(&ev, None, 0).len(), 0);
+    }
+
+    #[test]
+    fn queues_and_buffers() {
+        let r = Registry::new();
+        let id = r.insert(
+            spec(),
+            epr(),
+            None,
+            UnifiedFilters::default(),
+            BrokerDeliveryMode::Pull,
+            false,
+            None,
+        );
+        r.queue_event(&id, Element::local("a"));
+        r.queue_event(&id, Element::local("b"));
+        assert_eq!(r.drain_queue(&id, 1).len(), 1);
+        assert_eq!(r.drain_queue(&id, 10).len(), 1);
+        r.buffer_wrapped(&id, Element::local("c"));
+        let buffers = r.take_wrap_buffers();
+        assert_eq!(buffers.len(), 1);
+        assert_eq!(buffers[0].1.len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Consumer-native rendering of notifications.
+//!
+//! "When delivering notification messages, WS-Messenger makes sure that
+//! notification messages follow the expected specifications of the
+//! target event consumers" (§VII). This module is that guarantee: one
+//! [`InternalEvent`] in, an envelope in the subscription's dialect out.
+
+use crate::detect::SpecDialect;
+use crate::event::InternalEvent;
+use crate::registry::BrokerSubscription;
+use wsm_addressing::EndpointReference;
+use wsm_eventing::WseCodec;
+use wsm_notification::{NotificationMessage, WsnCodec};
+use wsm_soap::Envelope;
+use wsm_xml::Element;
+
+/// Namespace for broker-defined header extensions (the topic header on
+/// WS-Eventing deliveries — §V.4(6): WSE "needs to place it in the SOAP
+/// header if needed", the spec defining no body slot for it).
+pub const WSM_NS: &str = "urn:ws-messenger:broker";
+
+/// Render one event for one subscription.
+pub fn render_notification(
+    sub: &BrokerSubscription,
+    event: &InternalEvent,
+    broker_uri: &str,
+    subscription_epr: &EndpointReference,
+) -> Envelope {
+    match sub.spec {
+        SpecDialect::Wse(v) => {
+            let codec = WseCodec::new(v);
+            let mut env = codec.notification(&sub.consumer, &event.payload);
+            // Topic rides in a SOAP header for WSE consumers.
+            if let Some(t) = &event.topic {
+                env.add_header(Element::ns(WSM_NS, "Topic", "wsm").with_text(t.to_string()));
+            }
+            env
+        }
+        SpecDialect::Wsn(v) => {
+            let codec = WsnCodec::new(v);
+            if sub.use_raw {
+                codec.raw_notification(&sub.consumer, &event.payload)
+            } else {
+                let msg = NotificationMessage {
+                    topic: event.topic.clone(),
+                    producer: event
+                        .producer
+                        .clone()
+                        .or_else(|| Some(EndpointReference::new(broker_uri.to_string()))),
+                    subscription: Some(subscription_epr.clone()),
+                    message: event.payload.clone(),
+                };
+                codec.notify(&sub.consumer, &[msg])
+            }
+        }
+    }
+}
+
+/// Render a wrapped batch for one subscription.
+pub fn render_batch(
+    sub: &BrokerSubscription,
+    payloads: &[Element],
+    broker_uri: &str,
+    subscription_epr: &EndpointReference,
+) -> Envelope {
+    match sub.spec {
+        SpecDialect::Wse(v) => WseCodec::new(v).wrapped_notification(&sub.consumer, payloads),
+        SpecDialect::Wsn(v) => {
+            let codec = WsnCodec::new(v);
+            let msgs: Vec<NotificationMessage> = payloads
+                .iter()
+                .map(|p| NotificationMessage {
+                    topic: None,
+                    producer: Some(EndpointReference::new(broker_uri.to_string())),
+                    subscription: Some(subscription_epr.clone()),
+                    message: p.clone(),
+                })
+                .collect();
+            codec.notify(&sub.consumer, &msgs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{BrokerDeliveryMode, UnifiedFilters};
+    use wsm_eventing::WseVersion;
+    use wsm_notification::WsnVersion;
+
+    fn sub(spec: SpecDialect, use_raw: bool) -> BrokerSubscription {
+        BrokerSubscription {
+            id: "wsm-1".into(),
+            spec,
+            consumer: EndpointReference::new("http://c"),
+            end_to: None,
+            filters: UnifiedFilters::default(),
+            mode: BrokerDeliveryMode::Push,
+            use_raw,
+            paused: false,
+            expires_at_ms: None,
+            queue: Default::default(),
+            wrap_buffer: Vec::new(),
+        }
+    }
+
+    fn ev() -> InternalEvent {
+        InternalEvent::on_topic("storms", Element::local("alert").with_text("x"))
+    }
+
+    fn mgr() -> EndpointReference {
+        EndpointReference::new("http://b/subscriptions")
+    }
+
+    #[test]
+    fn wse_render_is_raw_with_topic_header() {
+        let env = render_notification(
+            &sub(SpecDialect::Wse(WseVersion::Aug2004), false),
+            &ev(),
+            "http://b",
+            &mgr(),
+        );
+        assert_eq!(env.body().unwrap().name.local, "alert", "raw body");
+        let topic = env.header(WSM_NS, "Topic").unwrap();
+        assert_eq!(topic.text(), "storms");
+    }
+
+    #[test]
+    fn wsn_render_is_wrapped_notify() {
+        let env = render_notification(
+            &sub(SpecDialect::Wsn(WsnVersion::V1_3), false),
+            &ev(),
+            "http://b",
+            &mgr(),
+        );
+        let body = env.body().unwrap();
+        assert_eq!(body.name.local, "Notify");
+        let parsed = WsnCodec::new(WsnVersion::V1_3).parse_notify(&env).unwrap();
+        assert_eq!(parsed[0].topic.as_ref().unwrap().to_string(), "storms");
+        assert_eq!(parsed[0].producer.as_ref().unwrap().address, "http://b");
+    }
+
+    #[test]
+    fn wsn_raw_render() {
+        let env = render_notification(
+            &sub(SpecDialect::Wsn(WsnVersion::V1_3), true),
+            &ev(),
+            "http://b",
+            &mgr(),
+        );
+        assert_eq!(env.body().unwrap().name.local, "alert");
+    }
+
+    #[test]
+    fn batches_per_dialect() {
+        let payloads = vec![Element::local("a"), Element::local("b")];
+        let wse = render_batch(
+            &sub(SpecDialect::Wse(WseVersion::Aug2004), false),
+            &payloads,
+            "http://b",
+            &mgr(),
+        );
+        assert_eq!(wse.body().unwrap().name.local, "Notifications");
+        assert_eq!(wse.body().unwrap().element_count(), 2);
+        let wsn = render_batch(
+            &sub(SpecDialect::Wsn(WsnVersion::V1_3), false),
+            &payloads,
+            "http://b",
+            &mgr(),
+        );
+        assert_eq!(wsn.body().unwrap().name.local, "Notify");
+        assert_eq!(wsn.body().unwrap().element_count(), 2);
+    }
+
+    #[test]
+    fn original_producer_preserved_through_mediation() {
+        let event = ev().from_producer(EndpointReference::new("http://origin"));
+        let env = render_notification(
+            &sub(SpecDialect::Wsn(WsnVersion::V1_3), false),
+            &event,
+            "http://b",
+            &mgr(),
+        );
+        let parsed = WsnCodec::new(WsnVersion::V1_3).parse_notify(&env).unwrap();
+        assert_eq!(parsed[0].producer.as_ref().unwrap().address, "http://origin");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests on the mediation broker: delivery counting, filter
+//! semantics and payload fidelity under generated workloads.
+
+use proptest::prelude::*;
+use wsm_eventing::{EventSink, Filter, SubscribeRequest, Subscriber, WseVersion};
+use wsm_messenger::WsMessenger;
+use wsm_notification::{
+    NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
+};
+use wsm_transport::Network;
+use wsm_xml::Element;
+
+fn event(sev: u32) -> Element {
+    Element::local("event").with_attr("sev", sev.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For any workload, each consumer receives exactly the events its
+    /// filter admits, in publication order, with payloads intact.
+    #[test]
+    fn deliveries_match_oracle(
+        sevs in prop::collection::vec(0u32..10, 1..30),
+        wse_threshold in 0u32..10,
+        topics in prop::collection::vec(prop_oneof![Just("a"), Just("b")], 1..30),
+    ) {
+        let n = sevs.len().min(topics.len());
+        let net = Network::new();
+        let broker = WsMessenger::start(&net, "http://broker");
+
+        // WSE consumer with a content filter.
+        let wse_sink = EventSink::start(&net, "http://wse", WseVersion::Aug2004);
+        Subscriber::new(&net, WseVersion::Aug2004)
+            .subscribe(
+                broker.uri(),
+                SubscribeRequest::push(wse_sink.epr())
+                    .with_filter(Filter::xpath(&format!("/event[@sev > {wse_threshold}]"))),
+            )
+            .unwrap();
+        // WSN consumer with a topic filter on `a`.
+        let wsn_consumer = NotificationConsumer::start(&net, "http://wsn", WsnVersion::V1_3);
+        WsnClient::new(&net, WsnVersion::V1_3)
+            .subscribe(
+                broker.uri(),
+                &WsnSubscribeRequest::new(wsn_consumer.epr()).with_filter(WsnFilter::topic("a")),
+            )
+            .unwrap();
+
+        let mut expect_wse: Vec<u32> = Vec::new();
+        let mut expect_wsn: Vec<u32> = Vec::new();
+        for i in 0..n {
+            broker.publish_on(topics[i], &event(sevs[i]));
+            if sevs[i] > wse_threshold {
+                expect_wse.push(sevs[i]);
+            }
+            if topics[i] == "a" {
+                expect_wsn.push(sevs[i]);
+            }
+        }
+
+        let got_wse: Vec<u32> = wse_sink
+            .received()
+            .iter()
+            .map(|e| e.attr("sev").unwrap().parse().unwrap())
+            .collect();
+        prop_assert_eq!(got_wse, expect_wse, "WSE oracle mismatch");
+        let got_wsn: Vec<u32> = wsn_consumer
+            .notifications()
+            .iter()
+            .map(|m| m.message.attr("sev").unwrap().parse().unwrap())
+            .collect();
+        prop_assert_eq!(got_wsn, expect_wsn, "WSN oracle mismatch");
+
+        // Stats bookkeeping is exact.
+        let stats = broker.stats();
+        prop_assert_eq!(stats.published as usize, n);
+        prop_assert_eq!(
+            stats.delivered_wse as usize + stats.delivered_wsn as usize,
+            wse_sink.received().len() + wsn_consumer.notifications().len()
+        );
+    }
+
+    /// Pause windows lose exactly the events published inside them.
+    #[test]
+    fn pause_window_is_exact(pre in 0usize..6, during in 0usize..6, post in 0usize..6) {
+        let net = Network::new();
+        let broker = WsMessenger::start(&net, "http://broker");
+        let consumer = NotificationConsumer::start(&net, "http://c", WsnVersion::V1_3);
+        let client = WsnClient::new(&net, WsnVersion::V1_3);
+        let h = client
+            .subscribe(broker.uri(), &WsnSubscribeRequest::new(consumer.epr()))
+            .unwrap();
+        for i in 0..pre {
+            broker.publish_raw(&event(i as u32));
+        }
+        client.pause(&h).unwrap();
+        for i in 0..during {
+            broker.publish_raw(&event(100 + i as u32));
+        }
+        client.resume(&h).unwrap();
+        for i in 0..post {
+            broker.publish_raw(&event(200 + i as u32));
+        }
+        let got = consumer.notifications();
+        prop_assert_eq!(got.len(), pre + post);
+        let none_from_pause_window = got.iter().all(|m| {
+            let sev: u32 = m.message.attr("sev").unwrap().parse().unwrap();
+            !(100..200).contains(&sev)
+        });
+        prop_assert!(none_from_pause_window);
+    }
+
+    /// Expiration is exact on the virtual clock: events at or after the
+    /// expiry instant are not delivered.
+    #[test]
+    fn expiry_boundary(lease_ms in 1u64..1000, steps in prop::collection::vec(1u64..300, 1..8)) {
+        let net = Network::new();
+        let broker = WsMessenger::start(&net, "http://broker");
+        let sink = EventSink::start(&net, "http://s", WseVersion::Aug2004);
+        Subscriber::new(&net, WseVersion::Aug2004)
+            .subscribe(
+                broker.uri(),
+                SubscribeRequest::push(sink.epr())
+                    .with_expires(wsm_eventing::Expires::Duration(lease_ms)),
+            )
+            .unwrap();
+        let mut now = 0u64;
+        let mut expect = 0usize;
+        for step in steps {
+            net.clock().advance_ms(step);
+            now += step;
+            if now < lease_ms {
+                expect += 1;
+            }
+            broker.publish_raw(&event(1));
+        }
+        prop_assert_eq!(sink.received().len(), expect);
+    }
+}

@@ -1,0 +1,243 @@
+//! Core WS-Eventing data types.
+
+use crate::version::WseVersion;
+use wsm_addressing::EndpointReference;
+use wsm_xml::xsd;
+
+/// How notifications reach the event sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryMode {
+    /// The source pushes each event to the sink (the default).
+    Push,
+    /// The sink polls the source/manager for queued events (08/2004;
+    /// the paper's firewalled-consumer scenario).
+    Pull,
+    /// The source pushes batches of events in one message (08/2004;
+    /// the spec leaves the wrapper format undefined — this
+    /// implementation defines `<wse:Notifications>` and documents it as
+    /// implementation-chosen, which is exactly the gap the paper notes).
+    Wrapped,
+}
+
+impl DeliveryMode {
+    /// The mode URI carried in `Delivery/@Mode` for a spec version.
+    pub fn uri(self, version: WseVersion) -> String {
+        match self {
+            DeliveryMode::Push => version.delivery_mode_uri("Push"),
+            DeliveryMode::Pull => version.delivery_mode_uri("Pull"),
+            DeliveryMode::Wrapped => version.delivery_mode_uri("Wrap"),
+        }
+    }
+
+    /// Resolve a mode URI.
+    pub fn from_uri(uri: &str, version: WseVersion) -> Option<Self> {
+        if uri == version.delivery_mode_uri("Push") {
+            Some(DeliveryMode::Push)
+        } else if uri == version.delivery_mode_uri("Pull") {
+            Some(DeliveryMode::Pull)
+        } else if uri == version.delivery_mode_uri("Wrap") {
+            Some(DeliveryMode::Wrapped)
+        } else {
+            None
+        }
+    }
+}
+
+/// A requested or granted expiration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expires {
+    /// Relative: best-effort lease of this many milliseconds.
+    Duration(u64),
+    /// Absolute virtual-clock time (ms since epoch 0).
+    At(u64),
+}
+
+impl Expires {
+    /// The absolute expiry instant given the current clock.
+    pub fn absolute(self, now_ms: u64) -> u64 {
+        match self {
+            Expires::Duration(d) => now_ms.saturating_add(d),
+            Expires::At(t) => t,
+        }
+    }
+
+    /// Lexical form (`xsd:duration` or `xsd:dateTime`).
+    pub fn to_lexical(self) -> String {
+        match self {
+            Expires::Duration(ms) => xsd::format_duration(ms),
+            Expires::At(ms) => xsd::format_datetime(ms),
+        }
+    }
+
+    /// Parse either lexical form.
+    pub fn parse(s: &str) -> Option<Self> {
+        let t = s.trim();
+        if t.starts_with('P') {
+            xsd::parse_duration(t).map(Expires::Duration)
+        } else {
+            xsd::parse_datetime(t).map(Expires::At)
+        }
+    }
+}
+
+/// A subscription filter: a dialect URI plus an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    /// The dialect URI; WS-Eventing's default is XPath 1.0.
+    pub dialect: String,
+    /// The expression text.
+    pub expression: String,
+}
+
+impl Filter {
+    /// An XPath content filter (the default dialect).
+    pub fn xpath(expression: impl Into<String>) -> Self {
+        Filter { dialect: crate::XPATH_DIALECT.to_string(), expression: expression.into() }
+    }
+}
+
+/// A subscribe request, spec-version-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscribeRequest {
+    /// Where notifications go.
+    pub notify_to: EndpointReference,
+    /// Where `SubscriptionEnd` goes (optional; without it the source
+    /// cannot report unexpected termination — a paper §V.2 detail).
+    pub end_to: Option<EndpointReference>,
+    /// Requested delivery mode.
+    pub mode: DeliveryMode,
+    /// Requested expiration; `None` asks for a non-expiring lease.
+    pub expires: Option<Expires>,
+    /// At most one filter (WS-Eventing allows only one).
+    pub filter: Option<Filter>,
+}
+
+impl SubscribeRequest {
+    /// A push subscription with no filter and no expiry.
+    pub fn push(notify_to: EndpointReference) -> Self {
+        SubscribeRequest { notify_to, end_to: None, mode: DeliveryMode::Push, expires: None, filter: None }
+    }
+
+    /// Builder-style filter.
+    pub fn with_filter(mut self, filter: Filter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Builder-style expiry.
+    pub fn with_expires(mut self, expires: Expires) -> Self {
+        self.expires = Some(expires);
+        self
+    }
+
+    /// Builder-style end-to EPR.
+    pub fn with_end_to(mut self, end_to: EndpointReference) -> Self {
+        self.end_to = Some(end_to);
+        self
+    }
+
+    /// Builder-style delivery mode.
+    pub fn with_mode(mut self, mode: DeliveryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// What a successful subscribe returns to the subscriber: where to
+/// manage the subscription and the granted expiry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionHandle {
+    /// The subscription manager EPR. In 08/2004 the subscription id is
+    /// a reference parameter inside this EPR; in 01/2004 it is the
+    /// separate `id` below (the §V.4 enclosing-element difference).
+    pub manager: EndpointReference,
+    /// The subscription identifier.
+    pub id: String,
+    /// Granted expiration, if any.
+    pub expires: Option<Expires>,
+    /// The spec version the subscription was created under.
+    pub version: WseVersion,
+}
+
+/// Status values carried by `SubscriptionEnd`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndStatus {
+    /// The source could not deliver notifications.
+    DeliveryFailure,
+    /// The source is shutting down in an orderly fashion.
+    SourceShuttingDown,
+    /// The source cancelled the subscription for another reason.
+    SourceCancelling,
+}
+
+impl EndStatus {
+    /// The QName local part used on the wire.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            EndStatus::DeliveryFailure => "DeliveryFailure",
+            EndStatus::SourceShuttingDown => "SourceShuttingDown",
+            EndStatus::SourceCancelling => "SourceCancelling",
+        }
+    }
+
+    /// Parse the wire form (with or without a prefix).
+    pub fn from_wire(s: &str) -> Option<Self> {
+        match s.rsplit(':').next()? {
+            "DeliveryFailure" => Some(EndStatus::DeliveryFailure),
+            "SourceShuttingDown" => Some(EndStatus::SourceShuttingDown),
+            "SourceCancelling" => Some(EndStatus::SourceCancelling),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_absolute() {
+        assert_eq!(Expires::Duration(1000).absolute(500), 1500);
+        assert_eq!(Expires::At(2000).absolute(500), 2000);
+    }
+
+    #[test]
+    fn expires_lexical_roundtrip() {
+        for e in [Expires::Duration(90_000), Expires::At(1_234_567_000)] {
+            assert_eq!(Expires::parse(&e.to_lexical()), Some(e));
+        }
+        assert_eq!(Expires::parse("PT60S"), Some(Expires::Duration(60_000)));
+        assert!(Expires::parse("whenever").is_none());
+    }
+
+    #[test]
+    fn mode_uri_roundtrip() {
+        for m in [DeliveryMode::Push, DeliveryMode::Pull, DeliveryMode::Wrapped] {
+            let uri = m.uri(WseVersion::Aug2004);
+            assert_eq!(DeliveryMode::from_uri(&uri, WseVersion::Aug2004), Some(m));
+            assert_eq!(DeliveryMode::from_uri(&uri, WseVersion::Jan2004), None, "URIs are versioned");
+        }
+    }
+
+    #[test]
+    fn end_status_wire() {
+        for s in [EndStatus::DeliveryFailure, EndStatus::SourceShuttingDown, EndStatus::SourceCancelling] {
+            assert_eq!(EndStatus::from_wire(s.wire_name()), Some(s));
+            assert_eq!(EndStatus::from_wire(&format!("wse:{}", s.wire_name())), Some(s));
+        }
+        assert_eq!(EndStatus::from_wire("Nope"), None);
+    }
+
+    #[test]
+    fn request_builder() {
+        let epr = EndpointReference::new("http://sink");
+        let r = SubscribeRequest::push(epr.clone())
+            .with_filter(Filter::xpath("/e"))
+            .with_expires(Expires::Duration(5))
+            .with_mode(DeliveryMode::Wrapped)
+            .with_end_to(epr);
+        assert_eq!(r.mode, DeliveryMode::Wrapped);
+        assert_eq!(r.filter.as_ref().unwrap().dialect, crate::XPATH_DIALECT);
+        assert!(r.end_to.is_some());
+    }
+}

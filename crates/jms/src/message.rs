@@ -1,0 +1,256 @@
+//! JMS messages: five body types, standard headers, typed properties.
+
+/// A JMS property / map / stream value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JmsValue {
+    /// SQL NULL / absent.
+    Null,
+    /// `boolean`.
+    Bool(bool),
+    /// `int` (stands in for byte/short/int).
+    Int(i64),
+    /// `double` (stands in for float/double).
+    Double(f64),
+    /// `String`.
+    String(String),
+}
+
+impl JmsValue {
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JmsValue::Int(v) => Some(*v as f64),
+            JmsValue::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JmsValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for JmsValue {
+    fn from(v: i64) -> Self {
+        JmsValue::Int(v)
+    }
+}
+impl From<f64> for JmsValue {
+    fn from(v: f64) -> Self {
+        JmsValue::Double(v)
+    }
+}
+impl From<&str> for JmsValue {
+    fn from(v: &str) -> Self {
+        JmsValue::String(v.to_string())
+    }
+}
+impl From<bool> for JmsValue {
+    fn from(v: bool) -> Self {
+        JmsValue::Bool(v)
+    }
+}
+
+/// The five JMS message body types (paper §VI.B).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JmsBody {
+    /// `TextMessage`.
+    Text(String),
+    /// `BytesMessage`.
+    Bytes(Vec<u8>),
+    /// `MapMessage`.
+    Map(Vec<(String, JmsValue)>),
+    /// `StreamMessage`.
+    Stream(Vec<JmsValue>),
+    /// `ObjectMessage` (the serialized form, opaque).
+    Object(Vec<u8>),
+}
+
+impl JmsBody {
+    /// The JMS interface name of this body type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JmsBody::Text(_) => "TextMessage",
+            JmsBody::Bytes(_) => "BytesMessage",
+            JmsBody::Map(_) => "MapMessage",
+            JmsBody::Stream(_) => "StreamMessage",
+            JmsBody::Object(_) => "ObjectMessage",
+        }
+    }
+}
+
+/// `JMSDeliveryMode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Message survives provider restarts (simulated flag).
+    Persistent,
+    /// Best-effort.
+    NonPersistent,
+}
+
+/// A JMS message: headers + properties + body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JmsMessage {
+    /// `JMSMessageID` (assigned by the provider on send).
+    pub message_id: Option<String>,
+    /// `JMSDestination` (assigned on send).
+    pub destination: Option<String>,
+    /// `JMSTimestamp` (assigned on send, provider virtual clock).
+    pub timestamp: u64,
+    /// `JMSPriority` 0..=9, default 4.
+    pub priority: u8,
+    /// `JMSExpiration`: absolute expiry; 0 = never.
+    pub expiration: u64,
+    /// `JMSDeliveryMode`.
+    pub delivery_mode: DeliveryMode,
+    /// `JMSCorrelationID`.
+    pub correlation_id: Option<String>,
+    /// `JMSType`.
+    pub jms_type: Option<String>,
+    /// `JMSRedelivered`.
+    pub redelivered: bool,
+    /// Application properties (selector-visible).
+    pub properties: Vec<(String, JmsValue)>,
+    /// The body.
+    pub body: JmsBody,
+}
+
+impl JmsMessage {
+    /// A text message with defaults.
+    pub fn text(s: impl Into<String>) -> Self {
+        Self::with_body(JmsBody::Text(s.into()))
+    }
+
+    /// A message with the given body and default headers.
+    pub fn with_body(body: JmsBody) -> Self {
+        JmsMessage {
+            message_id: None,
+            destination: None,
+            timestamp: 0,
+            priority: 4,
+            expiration: 0,
+            delivery_mode: DeliveryMode::Persistent,
+            correlation_id: None,
+            jms_type: None,
+            redelivered: false,
+            properties: Vec::new(),
+            body,
+        }
+    }
+
+    /// Builder-style property.
+    pub fn with_property(mut self, name: &str, value: impl Into<JmsValue>) -> Self {
+        self.properties.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Builder-style priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority.min(9);
+        self
+    }
+
+    /// Builder-style JMSType.
+    pub fn with_type(mut self, t: impl Into<String>) -> Self {
+        self.jms_type = Some(t.into());
+        self
+    }
+
+    /// Builder-style absolute expiration.
+    pub fn with_expiration(mut self, at: u64) -> Self {
+        self.expiration = at;
+        self
+    }
+
+    /// Builder-style delivery mode.
+    pub fn with_delivery_mode(mut self, mode: DeliveryMode) -> Self {
+        self.delivery_mode = mode;
+        self
+    }
+
+    /// Selector identifier resolution: header fields by their `JMS*`
+    /// names, then application properties.
+    pub fn resolve(&self, identifier: &str) -> JmsValue {
+        match identifier {
+            "JMSPriority" => JmsValue::Int(self.priority as i64),
+            "JMSTimestamp" => JmsValue::Int(self.timestamp as i64),
+            "JMSExpiration" => JmsValue::Int(self.expiration as i64),
+            "JMSDeliveryMode" => JmsValue::String(
+                match self.delivery_mode {
+                    DeliveryMode::Persistent => "PERSISTENT",
+                    DeliveryMode::NonPersistent => "NON_PERSISTENT",
+                }
+                .to_string(),
+            ),
+            "JMSMessageID" => self
+                .message_id
+                .clone()
+                .map(JmsValue::String)
+                .unwrap_or(JmsValue::Null),
+            "JMSCorrelationID" => self
+                .correlation_id
+                .clone()
+                .map(JmsValue::String)
+                .unwrap_or(JmsValue::Null),
+            "JMSType" => self.jms_type.clone().map(JmsValue::String).unwrap_or(JmsValue::Null),
+            "JMSRedelivered" => JmsValue::Bool(self.redelivered),
+            _ => self
+                .properties
+                .iter()
+                .find(|(n, _)| n == identifier)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(JmsValue::Null),
+        }
+    }
+
+    /// Has the message expired at `now`?
+    pub fn expired(&self, now: u64) -> bool {
+        self.expiration != 0 && self.expiration <= now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_body_types() {
+        assert_eq!(JmsMessage::text("x").body.type_name(), "TextMessage");
+        assert_eq!(JmsBody::Bytes(vec![1]).type_name(), "BytesMessage");
+        assert_eq!(JmsBody::Map(vec![]).type_name(), "MapMessage");
+        assert_eq!(JmsBody::Stream(vec![]).type_name(), "StreamMessage");
+        assert_eq!(JmsBody::Object(vec![]).type_name(), "ObjectMessage");
+    }
+
+    #[test]
+    fn resolve_headers_and_properties() {
+        let m = JmsMessage::text("x")
+            .with_priority(7)
+            .with_type("Alert")
+            .with_property("severity", 4i64)
+            .with_property("site", "iu");
+        assert_eq!(m.resolve("JMSPriority"), JmsValue::Int(7));
+        assert_eq!(m.resolve("JMSType"), JmsValue::String("Alert".into()));
+        assert_eq!(m.resolve("severity"), JmsValue::Int(4));
+        assert_eq!(m.resolve("site"), JmsValue::String("iu".into()));
+        assert_eq!(m.resolve("missing"), JmsValue::Null);
+        assert_eq!(m.resolve("JMSCorrelationID"), JmsValue::Null);
+    }
+
+    #[test]
+    fn priority_clamped() {
+        assert_eq!(JmsMessage::text("x").with_priority(42).priority, 9);
+    }
+
+    #[test]
+    fn expiration() {
+        let m = JmsMessage::text("x").with_expiration(100);
+        assert!(!m.expired(99));
+        assert!(m.expired(100));
+        assert!(!JmsMessage::text("x").expired(u64::MAX), "0 = never");
+    }
+}

@@ -1,0 +1,458 @@
+//! The JMS provider: queues, topics, durable subscribers,
+//! transactions.
+
+use crate::message::JmsMessage;
+use crate::selector::Selector;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Queue {
+    /// Kept sorted by (priority desc, arrival order asc).
+    messages: VecDeque<JmsMessage>,
+}
+
+struct TopicSubscriber {
+    id: u64,
+    selector: Option<Selector>,
+    buffer: Arc<Mutex<VecDeque<JmsMessage>>>,
+    /// Durable subscriptions have a name and keep receiving (buffering)
+    /// while disconnected.
+    durable_name: Option<String>,
+    connected: bool,
+}
+
+#[derive(Default)]
+struct Topic {
+    subscribers: Vec<TopicSubscriber>,
+}
+
+#[derive(Default)]
+struct ProviderInner {
+    queues: Mutex<HashMap<String, Queue>>,
+    topics: Mutex<HashMap<String, Topic>>,
+    clock: Mutex<u64>,
+    next_id: Mutex<u64>,
+}
+
+/// An in-process JMS provider.
+#[derive(Clone, Default)]
+pub struct JmsProvider {
+    inner: Arc<ProviderInner>,
+}
+
+/// A pub/sub subscription handle.
+pub struct TopicSubscription {
+    inner: Arc<ProviderInner>,
+    topic: String,
+    id: u64,
+    buffer: Arc<Mutex<VecDeque<JmsMessage>>>,
+}
+
+impl JmsProvider {
+    /// A fresh provider.
+    pub fn new() -> Self {
+        JmsProvider::default()
+    }
+
+    /// Advance the provider's virtual clock (drives `JMSExpiration`).
+    pub fn advance_clock(&self, ms: u64) {
+        *self.inner.clock.lock() += ms;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        *self.inner.clock.lock()
+    }
+
+    fn stamp(&self, mut m: JmsMessage, destination: &str) -> JmsMessage {
+        let id = {
+            let mut n = self.inner.next_id.lock();
+            *n += 1;
+            *n
+        };
+        m.message_id = Some(format!("ID:wsm-jms-{id}"));
+        m.destination = Some(destination.to_string());
+        m.timestamp = self.now();
+        m
+    }
+
+    // ------------------------------------------------- point-to-point
+
+    /// Send a message to a queue (creates the queue on first use).
+    pub fn send(&self, queue: &str, message: JmsMessage) {
+        let m = self.stamp(message, queue);
+        let mut queues = self.inner.queues.lock();
+        let q = queues.entry(queue.to_string()).or_default();
+        // Priority ordering: insert after the last message of >= priority.
+        let pos = q
+            .messages
+            .iter()
+            .position(|existing| existing.priority < m.priority)
+            .unwrap_or(q.messages.len());
+        q.messages.insert(pos, m);
+    }
+
+    /// Receive the next message from a queue (optionally matching a
+    /// selector). Exactly one consumer sees each message — the
+    /// point-to-point style.
+    pub fn receive(&self, queue: &str, selector: Option<&Selector>) -> Option<JmsMessage> {
+        let now = self.now();
+        let mut queues = self.inner.queues.lock();
+        let q = queues.get_mut(queue)?;
+        q.messages.retain(|m| !m.expired(now));
+        let idx = match selector {
+            None => {
+                if q.messages.is_empty() {
+                    return None;
+                }
+                0
+            }
+            Some(sel) => q.messages.iter().position(|m| sel.matches(m))?,
+        };
+        q.messages.remove(idx)
+    }
+
+    /// Queue depth (expired messages excluded).
+    pub fn queue_depth(&self, queue: &str) -> usize {
+        let now = self.now();
+        self.inner
+            .queues
+            .lock()
+            .get(queue)
+            .map(|q| q.messages.iter().filter(|m| !m.expired(now)).count())
+            .unwrap_or(0)
+    }
+
+    // ----------------------------------------------------- pub/sub
+
+    /// Create a (non-durable) topic subscription.
+    pub fn create_subscriber(&self, topic: &str, selector: Option<Selector>) -> TopicSubscription {
+        self.subscribe_inner(topic, selector, None)
+    }
+
+    /// Create or reconnect a durable subscription.
+    ///
+    /// Reconnecting with the name of an existing durable subscription
+    /// resumes it — messages published while disconnected are waiting.
+    pub fn create_durable_subscriber(
+        &self,
+        topic: &str,
+        name: &str,
+        selector: Option<Selector>,
+    ) -> TopicSubscription {
+        // Resume if the durable subscription exists.
+        {
+            let mut topics = self.inner.topics.lock();
+            if let Some(t) = topics.get_mut(topic) {
+                if let Some(existing) =
+                    t.subscribers.iter_mut().find(|s| s.durable_name.as_deref() == Some(name))
+                {
+                    existing.connected = true;
+                    return TopicSubscription {
+                        inner: Arc::clone(&self.inner),
+                        topic: topic.to_string(),
+                        id: existing.id,
+                        buffer: Arc::clone(&existing.buffer),
+                    };
+                }
+            }
+        }
+        self.subscribe_inner(topic, selector, Some(name.to_string()))
+    }
+
+    fn subscribe_inner(
+        &self,
+        topic: &str,
+        selector: Option<Selector>,
+        durable_name: Option<String>,
+    ) -> TopicSubscription {
+        let id = {
+            let mut n = self.inner.next_id.lock();
+            *n += 1;
+            *n
+        };
+        let buffer = Arc::new(Mutex::new(VecDeque::new()));
+        let mut topics = self.inner.topics.lock();
+        topics.entry(topic.to_string()).or_default().subscribers.push(TopicSubscriber {
+            id,
+            selector,
+            buffer: Arc::clone(&buffer),
+            durable_name,
+            connected: true,
+        });
+        TopicSubscription { inner: Arc::clone(&self.inner), topic: topic.to_string(), id, buffer }
+    }
+
+    /// Publish a message to a topic: every matching subscriber gets a
+    /// copy (durable ones even while disconnected).
+    pub fn publish(&self, topic: &str, message: JmsMessage) -> usize {
+        let m = self.stamp(message, topic);
+        let mut topics = self.inner.topics.lock();
+        let Some(t) = topics.get_mut(topic) else { return 0 };
+        let mut delivered = 0;
+        for s in &t.subscribers {
+            let eligible = s.connected || s.durable_name.is_some();
+            if !eligible {
+                continue;
+            }
+            if s.selector.as_ref().map(|sel| sel.matches(&m)).unwrap_or(true) {
+                s.buffer.lock().push_back(m.clone());
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Number of subscribers (connected or durable-disconnected).
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.inner
+            .topics
+            .lock()
+            .get(topic)
+            .map(|t| t.subscribers.len())
+            .unwrap_or(0)
+    }
+
+    /// Begin a transacted session.
+    pub fn transacted_session(&self) -> TransactedSession {
+        TransactedSession { provider: self.clone(), pending: Vec::new() }
+    }
+}
+
+impl TopicSubscription {
+    /// Receive the next buffered message.
+    pub fn receive(&self) -> Option<JmsMessage> {
+        let now = *self.inner.clock.lock();
+        let mut buf = self.buffer.lock();
+        while let Some(m) = buf.pop_front() {
+            if !m.expired(now) {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Buffered message count.
+    pub fn pending(&self) -> usize {
+        self.buffer.lock().len()
+    }
+
+    /// Disconnect. Non-durable subscriptions are removed; durable ones
+    /// stay registered and keep buffering.
+    pub fn disconnect(&self) {
+        let mut topics = self.inner.topics.lock();
+        if let Some(t) = topics.get_mut(&self.topic) {
+            if let Some(pos) = t.subscribers.iter().position(|s| s.id == self.id) {
+                if t.subscribers[pos].durable_name.is_some() {
+                    t.subscribers[pos].connected = false;
+                } else {
+                    t.subscribers.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Permanently remove a durable subscription (`unsubscribe`).
+    pub fn unsubscribe(&self) {
+        let mut topics = self.inner.topics.lock();
+        if let Some(t) = topics.get_mut(&self.topic) {
+            t.subscribers.retain(|s| s.id != self.id);
+        }
+    }
+}
+
+/// A transacted session: sends/publishes are buffered until `commit`.
+pub struct TransactedSession {
+    provider: JmsProvider,
+    pending: Vec<(Destination, JmsMessage)>,
+}
+
+enum Destination {
+    Queue(String),
+    Topic(String),
+}
+
+impl TransactedSession {
+    /// Buffer a queue send.
+    pub fn send(&mut self, queue: &str, message: JmsMessage) {
+        self.pending.push((Destination::Queue(queue.to_string()), message));
+    }
+
+    /// Buffer a topic publish.
+    pub fn publish(&mut self, topic: &str, message: JmsMessage) {
+        self.pending.push((Destination::Topic(topic.to_string()), message));
+    }
+
+    /// Deliver everything buffered, atomically from consumers'
+    /// perspective (all-or-nothing under this single-process sim).
+    pub fn commit(&mut self) {
+        for (dest, m) in self.pending.drain(..) {
+            match dest {
+                Destination::Queue(q) => self.provider.send(&q, m),
+                Destination::Topic(t) => {
+                    self.provider.publish(&t, m);
+                }
+            }
+        }
+    }
+
+    /// Discard everything buffered.
+    pub fn rollback(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Number of buffered operations.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::DeliveryMode;
+
+    #[test]
+    fn queue_is_point_to_point() {
+        let p = JmsProvider::new();
+        p.send("q", JmsMessage::text("a"));
+        p.send("q", JmsMessage::text("b"));
+        assert_eq!(p.queue_depth("q"), 2);
+        // Two consumers: each message is received exactly once.
+        let m1 = p.receive("q", None).unwrap();
+        let m2 = p.receive("q", None).unwrap();
+        assert_ne!(m1.message_id, m2.message_id);
+        assert!(p.receive("q", None).is_none());
+    }
+
+    #[test]
+    fn queue_priority_ordering() {
+        let p = JmsProvider::new();
+        p.send("q", JmsMessage::text("low").with_priority(1));
+        p.send("q", JmsMessage::text("high").with_priority(9));
+        p.send("q", JmsMessage::text("mid").with_priority(5));
+        p.send("q", JmsMessage::text("high2").with_priority(9));
+        let order: Vec<String> = std::iter::from_fn(|| p.receive("q", None))
+            .map(|m| match m.body {
+                crate::message::JmsBody::Text(t) => t,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec!["high", "high2", "mid", "low"], "priority desc, FIFO within");
+    }
+
+    #[test]
+    fn queue_selector_receives_first_match() {
+        let p = JmsProvider::new();
+        p.send("q", JmsMessage::text("a").with_property("sev", 1i64));
+        p.send("q", JmsMessage::text("b").with_property("sev", 5i64));
+        let sel = Selector::compile("sev > 3").unwrap();
+        let got = p.receive("q", Some(&sel)).unwrap();
+        assert_eq!(got.resolve("sev"), crate::message::JmsValue::Int(5));
+        assert_eq!(p.queue_depth("q"), 1, "non-matching message remains");
+    }
+
+    #[test]
+    fn queue_expiration() {
+        let p = JmsProvider::new();
+        p.send("q", JmsMessage::text("x").with_expiration(100));
+        p.advance_clock(200);
+        assert_eq!(p.queue_depth("q"), 0);
+        assert!(p.receive("q", None).is_none());
+    }
+
+    #[test]
+    fn topic_fanout_with_selectors() {
+        let p = JmsProvider::new();
+        let all = p.create_subscriber("t", None);
+        let hot = p.create_subscriber("t", Some(Selector::compile("sev >= 5").unwrap()));
+        assert_eq!(p.publish("t", JmsMessage::text("a").with_property("sev", 1i64)), 1);
+        assert_eq!(p.publish("t", JmsMessage::text("b").with_property("sev", 9i64)), 2);
+        assert_eq!(all.pending(), 2);
+        assert_eq!(hot.pending(), 1);
+    }
+
+    #[test]
+    fn nondurable_subscriber_misses_while_disconnected() {
+        let p = JmsProvider::new();
+        let sub = p.create_subscriber("t", None);
+        p.publish("t", JmsMessage::text("m1"));
+        sub.disconnect();
+        p.publish("t", JmsMessage::text("m2"));
+        assert_eq!(sub.pending(), 1, "only m1 (buffer retained client-side)");
+        assert_eq!(p.subscriber_count("t"), 0);
+    }
+
+    #[test]
+    fn durable_subscriber_survives_disconnect() {
+        let p = JmsProvider::new();
+        let sub = p.create_durable_subscriber("t", "audit", None);
+        p.publish("t", JmsMessage::text("m1"));
+        sub.disconnect();
+        p.publish("t", JmsMessage::text("m2"));
+        // Reconnect with the same name: m2 was buffered.
+        let sub2 = p.create_durable_subscriber("t", "audit", None);
+        assert_eq!(sub2.pending(), 2);
+        sub2.unsubscribe();
+        assert_eq!(p.subscriber_count("t"), 0);
+        p.publish("t", JmsMessage::text("m3"));
+        assert_eq!(sub2.pending(), 2, "after unsubscribe nothing arrives");
+    }
+
+    #[test]
+    fn transactions_commit_and_rollback() {
+        let p = JmsProvider::new();
+        let sub = p.create_subscriber("t", None);
+        let mut tx = p.transacted_session();
+        tx.send("q", JmsMessage::text("a"));
+        tx.publish("t", JmsMessage::text("b"));
+        assert_eq!(tx.pending_count(), 2);
+        assert_eq!(p.queue_depth("q"), 0, "nothing visible before commit");
+        assert_eq!(sub.pending(), 0);
+        tx.commit();
+        assert_eq!(p.queue_depth("q"), 1);
+        assert_eq!(sub.pending(), 1);
+
+        let mut tx2 = p.transacted_session();
+        tx2.send("q", JmsMessage::text("c"));
+        tx2.rollback();
+        tx2.commit();
+        assert_eq!(p.queue_depth("q"), 1, "rolled-back send never lands");
+    }
+
+    #[test]
+    fn message_ordering_within_topic() {
+        let p = JmsProvider::new();
+        let sub = p.create_subscriber("t", None);
+        for i in 0..5 {
+            p.publish("t", JmsMessage::text(format!("m{i}")));
+        }
+        let order: Vec<String> = std::iter::from_fn(|| sub.receive())
+            .map(|m| match m.body {
+                crate::message::JmsBody::Text(t) => t,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec!["m0", "m1", "m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn expired_topic_messages_skipped_on_receive() {
+        let p = JmsProvider::new();
+        let sub = p.create_subscriber("t", None);
+        p.publish("t", JmsMessage::text("short").with_expiration(100));
+        p.publish("t", JmsMessage::text("long"));
+        p.advance_clock(200);
+        let got = sub.receive().unwrap();
+        assert!(matches!(got.body, crate::message::JmsBody::Text(ref t) if t == "long"));
+    }
+
+    #[test]
+    fn delivery_mode_preserved() {
+        let p = JmsProvider::new();
+        p.send("q", JmsMessage::text("x").with_delivery_mode(DeliveryMode::NonPersistent));
+        assert_eq!(p.receive("q", None).unwrap().delivery_mode, DeliveryMode::NonPersistent);
+    }
+}

@@ -1,0 +1,761 @@
+//! JMS message selectors: the SQL92-conditional-expression subset.
+//!
+//! Table 3's "Filter language" row for JMS reads "a subset of the SQL92
+//! conditional expression syntax". This module implements that subset
+//! with SQL three-valued logic: comparisons involving `NULL` are
+//! *unknown*, `AND`/`OR`/`NOT` follow the 3VL truth tables, and a
+//! selector matches only when the whole expression is definitely true —
+//! the detail that makes `NOT (x = 1)` differ from `x <> 1` on messages
+//! lacking `x`.
+//!
+//! ```
+//! use wsm_jms::{JmsMessage, Selector};
+//!
+//! let s = Selector::compile("severity >= 3 AND site LIKE 'iu%'").unwrap();
+//! let m = JmsMessage::text("x").with_property("severity", 4i64).with_property("site", "iu-b618");
+//! assert!(s.matches(&m));
+//! ```
+
+use crate::message::{JmsMessage, JmsValue};
+use std::fmt;
+
+/// Selector parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorError {
+    /// Byte offset.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "selector syntax error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+/// SQL 3-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Tri {
+    fn of(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+
+    fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+
+    fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::True, _) | (_, Tri::True) => Tri::True,
+            (Tri::False, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+
+    fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Kw(&'static str),
+    Num(f64),
+    Str(String),
+    Op(&'static str),
+    LParen,
+    RParen,
+    Comma,
+}
+
+const KEYWORDS: [&str; 12] =
+    ["AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "ESCAPE", "IS", "NULL", "TRUE", "FALSE", "NOT"];
+
+fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, SelectorError> {
+    let b = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            b',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            b'+' | b'-' | b'*' | b'/' => {
+                out.push((
+                    i,
+                    Tok::Op(match c {
+                        b'+' => "+",
+                        b'-' => "-",
+                        b'*' => "*",
+                        _ => "/",
+                    }),
+                ));
+                i += 1;
+            }
+            b'=' => {
+                out.push((i, Tok::Op("=")));
+                i += 1;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    out.push((i, Tok::Op("<>")));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Op("<=")));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Op("<")));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Op(">=")));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Op(">")));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // SQL string literal; '' is an escaped quote.
+                let mut text = String::new();
+                let mut j = i + 1;
+                loop {
+                    match b.get(j) {
+                        None => {
+                            return Err(SelectorError { at: i, message: "unterminated string".into() })
+                        }
+                        Some(b'\'') => {
+                            if b.get(j + 1) == Some(&b'\'') {
+                                text.push('\'');
+                                j += 2;
+                            } else {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            text.push(ch as char);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push((i, Tok::Str(text)));
+                i = j;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let n: f64 = s[start..i]
+                    .parse()
+                    .map_err(|_| SelectorError { at: start, message: "bad number".into() })?;
+                out.push((start, Tok::Num(n)));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                let word = &s[start..i];
+                let upper = word.to_uppercase();
+                if let Some(kw) = KEYWORDS.iter().find(|k| **k == upper) {
+                    out.push((start, Tok::Kw(kw)));
+                } else {
+                    out.push((start, Tok::Ident(word.to_string())));
+                }
+            }
+            _ => {
+                return Err(SelectorError {
+                    at: i,
+                    message: format!("unexpected character `{}`", c as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Arith(&'static str, Box<Node>, Box<Node>),
+    Neg(Box<Node>),
+    Cmp(&'static str, Box<Node>, Box<Node>),
+    Between { value: Box<Node>, low: Box<Node>, high: Box<Node>, negated: bool },
+    In { value: Box<Node>, list: Vec<String>, negated: bool },
+    Like { value: Box<Node>, pattern: String, escape: Option<char>, negated: bool },
+    IsNull { value: Box<Node>, negated: bool },
+    And(Box<Node>, Box<Node>),
+    Or(Box<Node>, Box<Node>),
+    Not(Box<Node>),
+}
+
+/// A compiled JMS message selector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selector {
+    root: Node,
+    source: String,
+}
+
+impl Selector {
+    /// Compile a selector expression.
+    pub fn compile(source: &str) -> Result<Self, SelectorError> {
+        let toks = tokenize(source)?;
+        if toks.is_empty() {
+            return Err(SelectorError { at: 0, message: "empty selector".into() });
+        }
+        let mut p = P { toks, pos: 0 };
+        let root = p.or()?;
+        if p.pos != p.toks.len() {
+            return Err(SelectorError { at: p.at(), message: "trailing tokens".into() });
+        }
+        Ok(Selector { root, source: source.to_string() })
+    }
+
+    /// The original selector text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Does the message satisfy the selector? (`unknown` = no match.)
+    pub fn matches(&self, message: &JmsMessage) -> bool {
+        eval_bool(&self.root, message) == Tri::True
+    }
+}
+
+struct P {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl P {
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map(|(i, _)| *i).unwrap_or(usize::MAX)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek() == Some(&Tok::Kw(match kw {
+            "AND" => "AND",
+            "OR" => "OR",
+            "NOT" => "NOT",
+            "BETWEEN" => "BETWEEN",
+            "IN" => "IN",
+            "LIKE" => "LIKE",
+            "ESCAPE" => "ESCAPE",
+            "IS" => "IS",
+            "NULL" => "NULL",
+            "TRUE" => "TRUE",
+            "FALSE" => "FALSE",
+            _ => return false,
+        })) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if let Some(Tok::Op(o)) = self.peek() {
+            if *o == op {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn err(&self, message: impl Into<String>) -> SelectorError {
+        SelectorError { at: self.at(), message: message.into() }
+    }
+
+    fn or(&mut self) -> Result<Node, SelectorError> {
+        let mut l = self.and()?;
+        while self.eat_kw("OR") {
+            l = Node::Or(Box::new(l), Box::new(self.and()?));
+        }
+        Ok(l)
+    }
+
+    fn and(&mut self) -> Result<Node, SelectorError> {
+        let mut l = self.not()?;
+        while self.eat_kw("AND") {
+            l = Node::And(Box::new(l), Box::new(self.not()?));
+        }
+        Ok(l)
+    }
+
+    fn not(&mut self) -> Result<Node, SelectorError> {
+        if self.eat_kw("NOT") {
+            Ok(Node::Not(Box::new(self.not()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    /// A comparison / BETWEEN / IN / LIKE / IS NULL over arithmetic
+    /// expressions, or a bare boolean primary.
+    fn predicate(&mut self) -> Result<Node, SelectorError> {
+        let left = self.additive()?;
+        // Optional NOT before BETWEEN/IN/LIKE.
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            if !self.eat_kw("AND") {
+                return Err(self.err("BETWEEN requires AND"));
+            }
+            let high = self.additive()?;
+            return Ok(Node::Between {
+                value: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            if self.bump() != Some(Tok::LParen) {
+                return Err(self.err("IN requires a parenthesized list"));
+            }
+            let mut list = Vec::new();
+            loop {
+                match self.bump() {
+                    Some(Tok::Str(s)) => list.push(s),
+                    other => return Err(self.err(format!("IN list expects strings, got {other:?}"))),
+                }
+                match self.bump() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    other => return Err(self.err(format!("expected `,` or `)`, got {other:?}"))),
+                }
+            }
+            return Ok(Node::In { value: Box::new(left), list, negated });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.bump() {
+                Some(Tok::Str(s)) => s,
+                other => return Err(self.err(format!("LIKE expects a string pattern, got {other:?}"))),
+            };
+            let escape = if self.eat_kw("ESCAPE") {
+                match self.bump() {
+                    Some(Tok::Str(s)) if s.chars().count() == 1 => s.chars().next(),
+                    _ => return Err(self.err("ESCAPE expects a single-character string")),
+                }
+            } else {
+                None
+            };
+            return Ok(Node::Like { value: Box::new(left), pattern, escape, negated });
+        }
+        if negated {
+            return Err(self.err("dangling NOT"));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            if !self.eat_kw("NULL") {
+                return Err(self.err("IS requires NULL"));
+            }
+            return Ok(Node::IsNull { value: Box::new(left), negated });
+        }
+        for op in ["=", "<>", "<=", ">=", "<", ">"] {
+            if self.eat_op(op) {
+                let right = self.additive()?;
+                return Ok(Node::Cmp(
+                    match op {
+                        "=" => "=",
+                        "<>" => "<>",
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "<" => "<",
+                        _ => ">",
+                    },
+                    Box::new(left),
+                    Box::new(right),
+                ));
+            }
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Node, SelectorError> {
+        let mut l = self.multiplicative()?;
+        loop {
+            if self.eat_op("+") {
+                l = Node::Arith("+", Box::new(l), Box::new(self.multiplicative()?));
+            } else if self.eat_op("-") {
+                l = Node::Arith("-", Box::new(l), Box::new(self.multiplicative()?));
+            } else {
+                return Ok(l);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Node, SelectorError> {
+        let mut l = self.unary()?;
+        loop {
+            if self.eat_op("*") {
+                l = Node::Arith("*", Box::new(l), Box::new(self.unary()?));
+            } else if self.eat_op("/") {
+                l = Node::Arith("/", Box::new(l), Box::new(self.unary()?));
+            } else {
+                return Ok(l);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Node, SelectorError> {
+        if self.eat_op("-") {
+            return Ok(Node::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_op("+") {
+            return self.unary();
+        }
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Node::Num(n)),
+            Some(Tok::Str(s)) => Ok(Node::Str(s)),
+            Some(Tok::Ident(id)) => Ok(Node::Ident(id)),
+            Some(Tok::Kw("TRUE")) => Ok(Node::Bool(true)),
+            Some(Tok::Kw("FALSE")) => Ok(Node::Bool(false)),
+            Some(Tok::LParen) => {
+                let e = self.or()?;
+                if self.bump() != Some(Tok::RParen) {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn eval_value(node: &Node, m: &JmsMessage) -> JmsValue {
+    match node {
+        Node::Ident(id) => m.resolve(id),
+        Node::Num(n) => JmsValue::Double(*n),
+        Node::Str(s) => JmsValue::String(s.clone()),
+        Node::Bool(b) => JmsValue::Bool(*b),
+        Node::Neg(e) => match eval_value(e, m).as_f64() {
+            Some(n) => JmsValue::Double(-n),
+            None => JmsValue::Null,
+        },
+        Node::Arith(op, l, r) => {
+            match (eval_value(l, m).as_f64(), eval_value(r, m).as_f64()) {
+                (Some(a), Some(b)) => JmsValue::Double(match *op {
+                    "+" => a + b,
+                    "-" => a - b,
+                    "*" => a * b,
+                    _ => a / b,
+                }),
+                _ => JmsValue::Null,
+            }
+        }
+        // Boolean sub-expressions used as values.
+        other => match eval_bool(other, m) {
+            Tri::True => JmsValue::Bool(true),
+            Tri::False => JmsValue::Bool(false),
+            Tri::Unknown => JmsValue::Null,
+        },
+    }
+}
+
+fn eval_bool(node: &Node, m: &JmsMessage) -> Tri {
+    match node {
+        Node::And(l, r) => eval_bool(l, m).and(eval_bool(r, m)),
+        Node::Or(l, r) => eval_bool(l, m).or(eval_bool(r, m)),
+        Node::Not(e) => eval_bool(e, m).not(),
+        Node::Bool(b) => Tri::of(*b),
+        Node::Ident(id) => match m.resolve(id) {
+            JmsValue::Bool(b) => Tri::of(b),
+            JmsValue::Null => Tri::Unknown,
+            _ => Tri::False,
+        },
+        Node::Cmp(op, l, r) => {
+            let (lv, rv) = (eval_value(l, m), eval_value(r, m));
+            if lv == JmsValue::Null || rv == JmsValue::Null {
+                return Tri::Unknown;
+            }
+            let res = match (lv.as_f64(), rv.as_f64()) {
+                (Some(a), Some(b)) => match *op {
+                    "=" => a == b,
+                    "<>" => a != b,
+                    "<" => a < b,
+                    "<=" => a <= b,
+                    ">" => a > b,
+                    _ => a >= b,
+                },
+                _ => match (lv.as_str(), rv.as_str()) {
+                    (Some(a), Some(b)) => match *op {
+                        "=" => a == b,
+                        "<>" => a != b,
+                        // SQL92 only defines = and <> on strings.
+                        _ => return Tri::Unknown,
+                    },
+                    _ => match (&lv, &rv) {
+                        (JmsValue::Bool(a), JmsValue::Bool(b)) => match *op {
+                            "=" => a == b,
+                            "<>" => a != b,
+                            _ => return Tri::Unknown,
+                        },
+                        _ => return Tri::Unknown,
+                    },
+                },
+            };
+            Tri::of(res)
+        }
+        Node::Between { value, low, high, negated } => {
+            let v = eval_value(value, m);
+            let (lo, hi) = (eval_value(low, m), eval_value(high, m));
+            match (v.as_f64(), lo.as_f64(), hi.as_f64()) {
+                (Some(x), Some(a), Some(b)) => {
+                    let r = x >= a && x <= b;
+                    Tri::of(if *negated { !r } else { r })
+                }
+                _ => Tri::Unknown,
+            }
+        }
+        Node::In { value, list, negated } => match eval_value(value, m) {
+            JmsValue::String(s) => {
+                let r = list.iter().any(|item| *item == s);
+                Tri::of(if *negated { !r } else { r })
+            }
+            JmsValue::Null => Tri::Unknown,
+            _ => Tri::False,
+        },
+        Node::Like { value, pattern, escape, negated } => match eval_value(value, m) {
+            JmsValue::String(s) => {
+                let r = like_match(&s, pattern, *escape);
+                Tri::of(if *negated { !r } else { r })
+            }
+            JmsValue::Null => Tri::Unknown,
+            _ => Tri::False,
+        },
+        Node::IsNull { value, negated } => {
+            let is_null = eval_value(value, m) == JmsValue::Null;
+            Tri::of(if *negated { !is_null } else { is_null })
+        }
+        // Arithmetic in boolean position: non-null is not a boolean.
+        _ => Tri::Unknown,
+    }
+}
+
+/// SQL LIKE: `%` = any run, `_` = any one char, with optional escape.
+fn like_match(s: &str, pattern: &str, escape: Option<char>) -> bool {
+    // Translate to a simple token list, then match recursively.
+    #[derive(Debug)]
+    enum P {
+        Any,     // %
+        One,     // _
+        Ch(char),
+    }
+    let mut toks = Vec::new();
+    let mut chars = pattern.chars();
+    while let Some(c) = chars.next() {
+        if Some(c) == escape {
+            if let Some(next) = chars.next() {
+                toks.push(P::Ch(next));
+            }
+        } else if c == '%' {
+            toks.push(P::Any);
+        } else if c == '_' {
+            toks.push(P::One);
+        } else {
+            toks.push(P::Ch(c));
+        }
+    }
+    fn rec(s: &[char], p: &[P]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(P::Ch(c)) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+            Some(P::One) => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(P::Any) => (0..=s.len()).any(|k| rec(&s[k..], &p[1..])),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    rec(&sc, &toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> JmsMessage {
+        JmsMessage::text("payload")
+            .with_priority(7)
+            .with_type("Alert")
+            .with_property("severity", 4i64)
+            .with_property("site", "iu-bloomington")
+            .with_property("ratio", 0.5)
+            .with_property("urgent", true)
+    }
+
+    fn m(sel: &str) -> bool {
+        Selector::compile(sel)
+            .unwrap_or_else(|e| panic!("compile `{sel}`: {e}"))
+            .matches(&msg())
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(m("severity = 4"));
+        assert!(m("severity <> 5"));
+        assert!(m("severity >= 3 AND severity < 10"));
+        assert!(!m("severity > 4"));
+        assert!(m("site = 'iu-bloomington'"));
+        assert!(m("ratio * 2 = 1"));
+        assert!(m("severity + 1 = 5"));
+        assert!(m("-severity = -4"));
+    }
+
+    #[test]
+    fn header_fields() {
+        assert!(m("JMSPriority = 7"));
+        assert!(m("JMSType = 'Alert'"));
+        assert!(m("JMSDeliveryMode = 'PERSISTENT'"));
+        assert!(!m("JMSRedelivered"));
+    }
+
+    #[test]
+    fn boolean_logic() {
+        assert!(m("TRUE"));
+        assert!(!m("FALSE"));
+        assert!(m("urgent"));
+        assert!(m("NOT FALSE"));
+        assert!(m("severity = 4 OR FALSE"));
+        assert!(!m("severity = 4 AND FALSE"));
+    }
+
+    #[test]
+    fn between() {
+        assert!(m("severity BETWEEN 3 AND 5"));
+        assert!(!m("severity BETWEEN 5 AND 9"));
+        assert!(m("severity NOT BETWEEN 5 AND 9"));
+    }
+
+    #[test]
+    fn in_list() {
+        assert!(m("site IN ('iu-bloomington', 'purdue')"));
+        assert!(!m("site IN ('purdue')"));
+        assert!(m("site NOT IN ('purdue')"));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(m("site LIKE 'iu%'"));
+        assert!(m("site LIKE '%bloomington'"));
+        assert!(m("site LIKE 'iu_bloomington'"));
+        assert!(!m("site LIKE 'iu'"));
+        assert!(m("site NOT LIKE 'purdue%'"));
+    }
+
+    #[test]
+    fn like_escape() {
+        let msg = JmsMessage::text("x").with_property("code", "100%");
+        let s = Selector::compile("code LIKE '100!%' ESCAPE '!'").unwrap();
+        assert!(s.matches(&msg));
+        let s2 = Selector::compile("code LIKE '1__!%' ESCAPE '!'").unwrap();
+        assert!(s2.matches(&msg));
+    }
+
+    #[test]
+    fn null_three_valued_logic() {
+        // Comparisons with a missing property are UNKNOWN, not false —
+        // and NOT(UNKNOWN) is still UNKNOWN, so neither side matches.
+        assert!(!m("missing = 1"));
+        assert!(!m("NOT (missing = 1)"));
+        assert!(!m("missing <> 1"));
+        // But IS NULL sees it.
+        assert!(m("missing IS NULL"));
+        assert!(!m("missing IS NOT NULL"));
+        assert!(m("site IS NOT NULL"));
+        // UNKNOWN OR TRUE = TRUE; UNKNOWN AND TRUE = UNKNOWN.
+        assert!(m("missing = 1 OR severity = 4"));
+        assert!(!m("missing = 1 AND severity = 4"));
+    }
+
+    #[test]
+    fn string_ordering_is_undefined() {
+        assert!(!m("site > 'aaa'"), "SQL92 defines only = and <> for strings");
+    }
+
+    #[test]
+    fn sql_escaped_quote() {
+        let msg = JmsMessage::text("x").with_property("note", "it's");
+        let s = Selector::compile("note = 'it''s'").unwrap();
+        assert!(s.matches(&msg));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(m("severity between 3 and 5"));
+        assert!(m("site like 'iu%'"));
+        assert!(m("missing is null"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "severity =",
+            "severity BETWEEN 1",
+            "site IN ('a'",
+            "site LIKE",
+            "site IS",
+            "NOT",
+            "(severity = 1",
+            "site LIKE 'a' ESCAPE 'ab'",
+        ] {
+            assert!(Selector::compile(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+}

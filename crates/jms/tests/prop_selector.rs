@@ -1,0 +1,102 @@
+//! Property tests for the JMS selector: SQL92 semantics against oracle
+//! computations, and provider delivery invariants.
+
+use proptest::prelude::*;
+use wsm_jms::{JmsMessage, JmsProvider, Selector};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Numeric comparisons agree with Rust.
+    #[test]
+    fn comparisons_agree(v in -50i64..50, t in -50i64..50) {
+        let m = JmsMessage::text("x").with_property("v", v);
+        for (op, expect) in [
+            ("=", v == t), ("<>", v != t), ("<", v < t),
+            ("<=", v <= t), (">", v > t), (">=", v >= t),
+        ] {
+            let s = Selector::compile(&format!("v {op} {t}")).unwrap();
+            prop_assert_eq!(s.matches(&m), expect, "v {} {} {}", v, op, t);
+        }
+    }
+
+    /// BETWEEN is inclusive on both ends and equals the conjunction.
+    #[test]
+    fn between_equals_conjunction(v in -20i64..20, lo in -20i64..20, hi in -20i64..20) {
+        let m = JmsMessage::text("x").with_property("v", v);
+        let between = Selector::compile(&format!("v BETWEEN {lo} AND {hi}")).unwrap();
+        let conj = Selector::compile(&format!("v >= {lo} AND v <= {hi}")).unwrap();
+        prop_assert_eq!(between.matches(&m), conj.matches(&m));
+    }
+
+    /// LIKE with only literal characters is equality; `%` prefix/suffix
+    /// behave like starts_with/ends_with.
+    #[test]
+    fn like_against_oracle(s in "[a-z]{0,10}", pat in "[a-z]{0,6}") {
+        let m = JmsMessage::text("x").with_property("s", s.as_str());
+        let exact = Selector::compile(&format!("s LIKE '{pat}'")).unwrap();
+        prop_assert_eq!(exact.matches(&m), s == pat);
+        let prefix = Selector::compile(&format!("s LIKE '{pat}%'")).unwrap();
+        prop_assert_eq!(prefix.matches(&m), s.starts_with(&pat));
+        let suffix = Selector::compile(&format!("s LIKE '%{pat}'")).unwrap();
+        prop_assert_eq!(suffix.matches(&m), s.ends_with(&pat));
+        let inner = Selector::compile(&format!("s LIKE '%{pat}%'")).unwrap();
+        prop_assert_eq!(inner.matches(&m), s.contains(&pat));
+    }
+
+    /// Three-valued logic: with a missing property, both a predicate
+    /// and its negation fail to match, but IS NULL sees it.
+    #[test]
+    fn null_semantics(t in -50i64..50) {
+        let m = JmsMessage::text("x");
+        let pos = Selector::compile(&format!("missing = {t}")).unwrap();
+        let neg = Selector::compile(&format!("NOT (missing = {t})")).unwrap();
+        prop_assert!(!pos.matches(&m));
+        prop_assert!(!neg.matches(&m));
+        prop_assert!(Selector::compile("missing IS NULL").unwrap().matches(&m));
+    }
+
+    /// Queue delivery: each sent message is received exactly once, in
+    /// priority-then-FIFO order.
+    #[test]
+    fn queue_exactly_once_priority_order(prios in prop::collection::vec(0u8..10, 1..20)) {
+        let p = JmsProvider::new();
+        for (i, prio) in prios.iter().enumerate() {
+            p.send("q", JmsMessage::text(format!("m{i}")).with_priority(*prio));
+        }
+        let mut received: Vec<(u8, usize)> = Vec::new();
+        while let Some(m) = p.receive("q", None) {
+            let idx: usize = match &m.body {
+                wsm_jms::JmsBody::Text(t) => t[1..].parse().unwrap(),
+                _ => unreachable!(),
+            };
+            received.push((m.priority, idx));
+        }
+        prop_assert_eq!(received.len(), prios.len(), "exactly once");
+        // Non-increasing priority; FIFO within equal priority.
+        for w in received.windows(2) {
+            prop_assert!(w[0].0 >= w[1].0, "priority order: {:?}", received);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO within priority: {:?}", received);
+            }
+        }
+    }
+
+    /// Topic fanout: every connected subscriber whose selector matches
+    /// receives a copy; counts agree with an oracle.
+    #[test]
+    fn topic_fanout_counts(sevs in prop::collection::vec(0i64..10, 1..16)) {
+        let p = JmsProvider::new();
+        let all = p.create_subscriber("t", None);
+        let hot = p.create_subscriber("t", Some(Selector::compile("sev >= 5").unwrap()));
+        let mut expected_hot = 0;
+        for sev in &sevs {
+            if *sev >= 5 {
+                expected_hot += 1;
+            }
+            p.publish("t", JmsMessage::text("x").with_property("sev", *sev));
+        }
+        prop_assert_eq!(all.pending(), sevs.len());
+        prop_assert_eq!(hot.pending(), expected_hot);
+    }
+}

@@ -1,0 +1,496 @@
+//! The WS-BrokeredNotification NotificationBroker.
+//!
+//! A broker "decouples event producers and event consumers" (paper
+//! §III): it is simultaneously a NotificationProducer (consumers
+//! subscribe at it) and a NotificationConsumer (publishers send
+//! notifications to it). WS-BrokeredNotification adds two things on
+//! top, both reproduced here and both absent from WS-Eventing (Table 3
+//! / §V.5):
+//!
+//! * **publisher registration** (`RegisterPublisher`);
+//! * **demand-based publishers** — the broker tracks how many consumers
+//!   are interested in each registered publisher's topics and pauses /
+//!   resumes its own subscription at the publisher as demand disappears
+//!   and reappears, so a demand-based publisher "only publishes
+//!   messages when there are consumers" (paper §V.5).
+
+use crate::messages::WsnCodec;
+use crate::model::{WsnFilter, WsnSubscribeRequest};
+use crate::producer::{
+    handle_get_current_message, handle_management, handle_subscribe, publish_message,
+    ProducerInner, WsnClient, WsnSubscriptionHandle,
+};
+use crate::pullpoint::PullPoint;
+use crate::store::WsnSubscriptionStore;
+use crate::version::WsnVersion;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsm_addressing::EndpointReference;
+use wsm_soap::{Envelope, Fault};
+use wsm_topics::{TopicExpression, TopicPath, TopicSpace};
+use wsm_transport::{Network, SoapHandler};
+use wsm_xml::Element;
+
+struct Registration {
+    #[allow(dead_code)]
+    id: String,
+    #[allow(dead_code)]
+    publisher: Option<EndpointReference>,
+    topics: Vec<TopicExpression>,
+    demand: bool,
+    /// The broker's subscription at the publisher (demand publishers).
+    publisher_sub: Option<WsnSubscriptionHandle>,
+    /// Whether that subscription is currently paused.
+    publisher_paused: bool,
+}
+
+struct BrokerInner {
+    producer: Arc<ProducerInner>,
+    registrations: Mutex<HashMap<String, Registration>>,
+    next_reg: Mutex<u64>,
+    next_pp: Mutex<u64>,
+}
+
+/// A notification broker.
+#[derive(Clone)]
+pub struct NotificationBroker {
+    inner: Arc<BrokerInner>,
+}
+
+impl NotificationBroker {
+    /// Start a broker at `uri`. Registers the broker endpoint, its
+    /// subscription-manager endpoint at `<uri>/subscriptions`, and
+    /// serves `CreatePullPoint` for 1.3.
+    pub fn start(net: &Network, uri: &str, version: WsnVersion) -> Self {
+        let producer = Arc::new(ProducerInner {
+            codec: WsnCodec::new(version),
+            net: net.clone(),
+            uri: uri.to_string(),
+            manager_uri: format!("{uri}/subscriptions"),
+            store: WsnSubscriptionStore::new(),
+            topic_space: Mutex::new(TopicSpace::new()),
+            current: Mutex::new(HashMap::new()),
+            properties: Mutex::new(Element::local("ProducerProperties")),
+            resources: wsm_wsrf::ResourceHome::new(),
+            on_population_change: Mutex::new(None),
+        });
+        let inner = Arc::new(BrokerInner {
+            producer: Arc::clone(&producer),
+            registrations: Mutex::new(HashMap::new()),
+            next_reg: Mutex::new(0),
+            next_pp: Mutex::new(0),
+        });
+        // Demand recomputation rides the population-change hook.
+        {
+            let weak = Arc::downgrade(&inner);
+            *producer.on_population_change.lock() = Some(Arc::new(move || {
+                if let Some(strong) = weak.upgrade() {
+                    recompute_demand(&strong);
+                }
+            }));
+        }
+        net.register(uri, Arc::new(BrokerHandler { inner: Arc::clone(&inner) }));
+        net.register(
+            producer.manager_uri.clone(),
+            Arc::new(BrokerManagerHandler { inner: Arc::clone(&inner) }),
+        );
+        NotificationBroker { inner }
+    }
+
+    /// The broker endpoint URI.
+    pub fn uri(&self) -> &str {
+        &self.inner.producer.uri
+    }
+
+    /// The spec version.
+    pub fn version(&self) -> WsnVersion {
+        self.inner.producer.codec.version
+    }
+
+    /// Number of consumer subscriptions at the broker.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.producer.store.len()
+    }
+
+    /// Number of registered publishers.
+    pub fn registration_count(&self) -> usize {
+        self.inner.registrations.lock().len()
+    }
+
+    /// Declare a topic in the broker's topic space.
+    pub fn add_topic(&self, path: &str) {
+        self.inner.producer.topic_space.lock().add_str(path);
+    }
+
+    /// Publish through the broker in-process (used by local publishers
+    /// and the benches; network publishers send `Notify` instead).
+    pub fn publish_on(&self, topic: &str, payload: &Element) -> usize {
+        let t = TopicPath::parse(topic);
+        publish_message(&self.inner.producer, t.as_ref(), payload, None)
+    }
+
+    /// Is the broker's subscription at the given registered publisher
+    /// currently paused? (`None` when the registration is unknown or
+    /// not demand-based.)
+    pub fn publisher_paused(&self, registration_id: &str) -> Option<bool> {
+        let regs = self.inner.registrations.lock();
+        regs.get(registration_id)
+            .filter(|r| r.demand && r.publisher_sub.is_some())
+            .map(|r| r.publisher_paused)
+    }
+}
+
+fn recompute_demand(inner: &BrokerInner) {
+    // Decide without holding the registrations lock across sends.
+    struct Action {
+        handle: WsnSubscriptionHandle,
+        pause: bool,
+        reg_id: String,
+    }
+    let mut actions: Vec<Action> = Vec::new();
+    {
+        let producer = &inner.producer;
+        let now = producer.net.clock().now_ms();
+        let subs = producer.store.all();
+        let space = producer.topic_space.lock();
+        let mut candidate_topics = space.all_topics();
+        drop(space);
+        let regs = inner.registrations.lock();
+        // Seed candidates from concrete registration expressions too.
+        for reg in regs.values() {
+            for t in &reg.topics {
+                if let Some(p) = TopicPath::parse(t.text()) {
+                    if !candidate_topics.contains(&p) {
+                        candidate_topics.push(p);
+                    }
+                }
+            }
+        }
+        for reg in regs.values() {
+            let (Some(handle), true) = (&reg.publisher_sub, reg.demand) else { continue };
+            let demanded = subs.iter().any(|s| {
+                if s.paused || s.expired(now) {
+                    return false;
+                }
+                if s.filters.topics.is_empty() {
+                    // Topicless subscription consumes everything.
+                    return true;
+                }
+                candidate_topics.iter().any(|t| {
+                    reg.topics.iter().any(|rt| rt.matches(t))
+                        && s.filters.topics.iter().any(|st| st.matches(t))
+                })
+            });
+            if demanded && reg.publisher_paused {
+                actions.push(Action { handle: handle.clone(), pause: false, reg_id: reg.id.clone() });
+            } else if !demanded && !reg.publisher_paused {
+                actions.push(Action { handle: handle.clone(), pause: true, reg_id: reg.id.clone() });
+            }
+        }
+    }
+    let client = WsnClient::new(&inner.producer.net, inner.producer.codec.version);
+    for a in actions {
+        let ok = if a.pause { client.pause(&a.handle).is_ok() } else { client.resume(&a.handle).is_ok() };
+        if ok {
+            if let Some(reg) = inner.registrations.lock().get_mut(&a.reg_id) {
+                reg.publisher_paused = a.pause;
+            }
+        }
+    }
+}
+
+fn handle_register_publisher(inner: &BrokerInner, request: &Envelope) -> Result<Envelope, Fault> {
+    let producer = &inner.producer;
+    let codec = producer.codec;
+    let (publisher, topics, demand) = codec.parse_register_publisher(request)?;
+    if demand && publisher.is_none() {
+        return Err(Fault::sender(
+            "a demand-based registration requires a PublisherReference",
+        )
+        .with_subcode("wsn-br:PublisherRegistrationFailedFault"));
+    }
+    // Seed the topic space with concrete registered topics.
+    {
+        let mut space = producer.topic_space.lock();
+        for t in &topics {
+            if let Some(p) = TopicPath::parse(t.text()) {
+                space.add(&p);
+            }
+        }
+    }
+    let id = {
+        let mut n = inner.next_reg.lock();
+        *n += 1;
+        format!("reg-{}", *n)
+    };
+
+    // Demand publishers: the broker subscribes at the publisher so it
+    // can pause/resume that subscription as demand changes.
+    let publisher_sub = if demand {
+        let pub_epr = publisher.clone().unwrap();
+        let client = WsnClient::new(&producer.net, codec.version);
+        let mut req = WsnSubscribeRequest::new(EndpointReference::new(producer.uri.clone()));
+        for t in &topics {
+            req = req.with_filter(WsnFilter::Topic(t.clone()));
+        }
+        match client.subscribe(&pub_epr.address, &req) {
+            Ok(h) => Some(h),
+            Err(e) => {
+                return Err(Fault::receiver(format!(
+                    "could not subscribe at demand publisher: {e}"
+                ))
+                .with_subcode("wsn-br:PublisherRegistrationFailedFault"))
+            }
+        }
+    } else {
+        None
+    };
+
+    inner.registrations.lock().insert(
+        id.clone(),
+        Registration {
+            id: id.clone(),
+            publisher,
+            topics,
+            demand,
+            publisher_sub,
+            publisher_paused: false,
+        },
+    );
+    // A fresh demand registration with no consumers should start paused.
+    recompute_demand(inner);
+
+    let reg_epr = EndpointReference::new(format!("{}/registrations", producer.uri)).with_reference(
+        codec.version.wsa(),
+        Element::ns(codec.version.brokered_ns(), "RegistrationId", "wsn-br").with_text(id),
+    );
+    Ok(codec.register_publisher_response(&reg_epr))
+}
+
+struct BrokerHandler {
+    inner: Arc<BrokerInner>,
+}
+
+impl SoapHandler for BrokerHandler {
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+        let inner = &self.inner;
+        let producer = &inner.producer;
+        let version = producer.codec.version;
+        let ns = version.ns();
+        let brns = version.brokered_ns();
+
+        // Incoming publications (broker as NotificationConsumer).
+        if let Some(msgs) = producer.codec.parse_notify(&request) {
+            for m in msgs {
+                publish_message(producer, m.topic.as_ref(), &m.message, m.producer.as_ref());
+            }
+            return Ok(None);
+        }
+
+        let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
+        if body.name.is(ns, "Subscribe") {
+            return handle_subscribe(producer, &request).map(Some);
+        }
+        if body.name.is(ns, "GetCurrentMessage") {
+            return handle_get_current_message(producer, &request).map(Some);
+        }
+        if body.name.is(brns, "RegisterPublisher") {
+            return handle_register_publisher(inner, &request).map(Some);
+        }
+        if body.name.is(brns, "CreatePullPoint") {
+            if !version.has_pull_point() {
+                return Err(Fault::sender("PullPoints are a 1.3 feature"));
+            }
+            let uri = {
+                let mut n = inner.next_pp.lock();
+                *n += 1;
+                format!("{}/pullpoints/{}", producer.uri, *n)
+            };
+            let pp = PullPoint::create(&producer.net, &uri, version)
+                .ok_or_else(|| Fault::receiver("pull point creation failed"))?;
+            return Ok(Some(producer.codec.create_pull_point_response(&pp.epr())));
+        }
+        // Raw (unwrapped) publication.
+        publish_message(producer, None, body, None);
+        Ok(None)
+    }
+}
+
+struct BrokerManagerHandler {
+    inner: Arc<BrokerInner>,
+}
+
+impl SoapHandler for BrokerManagerHandler {
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+        handle_management(&self.inner.producer, &request).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consumer::NotificationConsumer;
+    use crate::producer::NotificationProducer;
+
+    fn setup(version: WsnVersion) -> (Network, NotificationBroker, NotificationConsumer, WsnClient) {
+        let net = Network::new();
+        let broker = NotificationBroker::start(&net, "http://broker", version);
+        let consumer = NotificationConsumer::start(&net, "http://consumer", version);
+        let client = WsnClient::new(&net, version);
+        (net, broker, consumer, client)
+    }
+
+    #[test]
+    fn broker_decouples_producer_and_consumer() {
+        let (net, broker, consumer, client) = setup(WsnVersion::V1_3);
+        client
+            .subscribe(
+                broker.uri(),
+                &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("storms")),
+            )
+            .unwrap();
+        // A network publisher sends Notify to the broker.
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        let msg = crate::model::NotificationMessage {
+            topic: TopicPath::parse("storms"),
+            producer: Some(EndpointReference::new("http://some-publisher")),
+            subscription: None,
+            message: Element::local("alert").with_text("hail"),
+        };
+        net.send(broker.uri(), codec.notify(&EndpointReference::new(broker.uri()), &[msg]))
+            .unwrap();
+        let got = consumer.notifications();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].message.text(), "hail");
+        assert_eq!(
+            got[0].producer.as_ref().unwrap().address,
+            "http://some-publisher",
+            "producer reference forwarded through the broker"
+        );
+    }
+
+    #[test]
+    fn register_publisher_non_demand() {
+        let (net, broker, _consumer, _client) = setup(WsnVersion::V1_3);
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        let env = codec.register_publisher(
+            broker.uri(),
+            Some(&EndpointReference::new("http://pub")),
+            &[TopicExpression::concrete("storms").unwrap()],
+            false,
+        );
+        let resp = net.request(broker.uri(), env).unwrap();
+        assert!(resp.to_xml().contains("PublisherRegistrationReference"));
+        assert_eq!(broker.registration_count(), 1);
+    }
+
+    #[test]
+    fn demand_registration_requires_publisher_reference() {
+        let (net, broker, _consumer, _client) = setup(WsnVersion::V1_3);
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        let env = codec.register_publisher(
+            broker.uri(),
+            None,
+            &[TopicExpression::concrete("storms").unwrap()],
+            true,
+        );
+        assert!(net.request(broker.uri(), env).is_err());
+    }
+
+    #[test]
+    fn demand_based_publishing_pauses_and_resumes() {
+        let (net, broker, consumer, client) = setup(WsnVersion::V1_3);
+        // A real publisher, itself a WSN producer.
+        let publisher = NotificationProducer::start(&net, "http://pub", WsnVersion::V1_3);
+        publisher.add_topic("storms");
+
+        // Register it demand-based at the broker.
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        let env = codec.register_publisher(
+            broker.uri(),
+            Some(&EndpointReference::new("http://pub")),
+            &[TopicExpression::concrete("storms").unwrap()],
+            true,
+        );
+        net.request(broker.uri(), env).unwrap();
+        // Broker subscribed at the publisher...
+        assert_eq!(publisher.subscription_count(), 1);
+        // ...and with no consumers, paused it immediately.
+        assert_eq!(broker.publisher_paused("reg-1"), Some(true));
+        assert_eq!(publisher.publish_on("storms", &Element::local("e0")), 0, "no demand: dropped");
+
+        // A consumer arrives: demand resumes the publisher subscription.
+        let h = client
+            .subscribe(
+                broker.uri(),
+                &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("storms")),
+            )
+            .unwrap();
+        assert_eq!(broker.publisher_paused("reg-1"), Some(false));
+        assert_eq!(publisher.publish_on("storms", &Element::local("e1")), 1);
+        // The publisher's notify went to the broker, which forwarded it.
+        assert_eq!(consumer.notifications().len(), 1);
+
+        // Consumer leaves: publisher gets paused again.
+        client.unsubscribe(&h).unwrap();
+        assert_eq!(broker.publisher_paused("reg-1"), Some(true));
+        assert_eq!(publisher.publish_on("storms", &Element::local("e2")), 0);
+        assert_eq!(consumer.notifications().len(), 1, "nothing new arrives");
+    }
+
+    #[test]
+    fn unrelated_topic_subscription_creates_no_demand() {
+        let (net, broker, consumer, client) = setup(WsnVersion::V1_3);
+        let _publisher = NotificationProducer::start(&net, "http://pub", WsnVersion::V1_3);
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        broker.add_topic("traffic");
+        let env = codec.register_publisher(
+            broker.uri(),
+            Some(&EndpointReference::new("http://pub")),
+            &[TopicExpression::concrete("storms").unwrap()],
+            true,
+        );
+        net.request(broker.uri(), env).unwrap();
+        client
+            .subscribe(
+                broker.uri(),
+                &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("traffic")),
+            )
+            .unwrap();
+        assert_eq!(broker.publisher_paused("reg-1"), Some(true), "traffic ≠ storms");
+    }
+
+    #[test]
+    fn create_pull_point_via_broker() {
+        let (net, broker, _consumer, client) = setup(WsnVersion::V1_3);
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        let resp = net.request(broker.uri(), codec.create_pull_point(broker.uri())).unwrap();
+        let pp_epr = codec.parse_create_pull_point_response(&resp).unwrap();
+        assert!(net.has_endpoint(&pp_epr.address));
+        // Subscribe the pull point as the consumer, publish, then drain.
+        client
+            .subscribe(
+                broker.uri(),
+                &WsnSubscribeRequest::new(pp_epr.clone()).with_filter(WsnFilter::topic("storms")),
+            )
+            .unwrap();
+        broker.publish_on("storms", &Element::local("ev"));
+        let msgs = PullPoint::get_messages_remote(&net, WsnVersion::V1_3, &pp_epr, 10).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].message.name.local, "ev");
+    }
+
+    #[test]
+    fn broker_serves_get_current_message() {
+        let (net, broker, _consumer, client) = setup(WsnVersion::V1_3);
+        broker.publish_on("storms", &Element::local("latest").with_text("x"));
+        let topic = TopicExpression::concrete("storms").unwrap();
+        let got = client.get_current_message(broker.uri(), &topic).unwrap().unwrap();
+        assert_eq!(got.name.local, "latest");
+        // Unknown topic faults.
+        let missing = TopicExpression::concrete("nothing").unwrap();
+        assert!(client.get_current_message(broker.uri(), &missing).is_err());
+        let _ = net;
+    }
+}

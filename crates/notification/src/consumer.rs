@@ -1,0 +1,135 @@
+//! The NotificationConsumer endpoint.
+
+use crate::messages::WsnCodec;
+use crate::model::NotificationMessage;
+use crate::version::WsnVersion;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use wsm_addressing::EndpointReference;
+use wsm_soap::{Envelope, Fault};
+use wsm_transport::{EndpointOptions, Network, SoapHandler};
+
+struct ConsumerInner {
+    codec: WsnCodec,
+    uri: String,
+    /// Wrapped deliveries, parsed.
+    notifications: Mutex<Vec<NotificationMessage>>,
+    /// Raw deliveries (bare payloads).
+    raw: Mutex<Vec<wsm_xml::Element>>,
+}
+
+/// A WS-Notification consumer: receives `Notify` messages (or raw
+/// payloads) and records them. Consumers "only need to handle received
+/// messages" (paper §V.1) — subscription creation lives in
+/// [`crate::producer::WsnClient`].
+#[derive(Clone)]
+pub struct NotificationConsumer {
+    inner: Arc<ConsumerInner>,
+}
+
+impl NotificationConsumer {
+    /// Start a consumer endpoint.
+    pub fn start(net: &Network, uri: &str, version: WsnVersion) -> Self {
+        Self::start_with(net, uri, version, EndpointOptions::default())
+    }
+
+    /// Start a consumer behind a firewall (pull-point scenarios).
+    pub fn start_firewalled(net: &Network, uri: &str, version: WsnVersion) -> Self {
+        Self::start_with(net, uri, version, EndpointOptions { firewalled: true })
+    }
+
+    fn start_with(net: &Network, uri: &str, version: WsnVersion, options: EndpointOptions) -> Self {
+        let inner = Arc::new(ConsumerInner {
+            codec: WsnCodec::new(version),
+            uri: uri.to_string(),
+            notifications: Mutex::new(Vec::new()),
+            raw: Mutex::new(Vec::new()),
+        });
+        net.register_with(uri, Arc::new(ConsumerHandler { inner: Arc::clone(&inner) }), options);
+        NotificationConsumer { inner }
+    }
+
+    /// This consumer's EPR (what goes into `ConsumerReference`).
+    pub fn epr(&self) -> EndpointReference {
+        EndpointReference::new(self.inner.uri.clone())
+    }
+
+    /// Wrapped notifications received so far.
+    pub fn notifications(&self) -> Vec<NotificationMessage> {
+        self.inner.notifications.lock().clone()
+    }
+
+    /// Raw payloads received so far.
+    pub fn raw_messages(&self) -> Vec<wsm_xml::Element> {
+        self.inner.raw.lock().clone()
+    }
+
+    /// All payloads regardless of encapsulation, in arrival order
+    /// within each kind.
+    pub fn payloads(&self) -> Vec<wsm_xml::Element> {
+        let mut out: Vec<wsm_xml::Element> =
+            self.inner.notifications.lock().iter().map(|n| n.message.clone()).collect();
+        out.extend(self.inner.raw.lock().iter().cloned());
+        out
+    }
+
+    /// Record messages obtained out-of-band (e.g. from a pull point).
+    pub fn accept(&self, messages: Vec<NotificationMessage>) {
+        self.inner.notifications.lock().extend(messages);
+    }
+
+    /// Drop everything recorded.
+    pub fn clear(&self) {
+        self.inner.notifications.lock().clear();
+        self.inner.raw.lock().clear();
+    }
+}
+
+struct ConsumerHandler {
+    inner: Arc<ConsumerInner>,
+}
+
+impl SoapHandler for ConsumerHandler {
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+        if let Some(msgs) = self.inner.codec.parse_notify(&request) {
+            self.inner.notifications.lock().extend(msgs);
+            return Ok(None);
+        }
+        let body = request.body().ok_or_else(|| Fault::sender("empty notification"))?;
+        self.inner.raw.lock().push(body.clone());
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_topics::TopicPath;
+    use wsm_xml::Element;
+
+    #[test]
+    fn receives_wrapped_and_raw() {
+        let net = Network::new();
+        let consumer = NotificationConsumer::start(&net, "http://c", WsnVersion::V1_3);
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        let msg = NotificationMessage::new(TopicPath::parse("a/b"), Element::local("m1"));
+        net.send("http://c", codec.notify(&consumer.epr(), &[msg])).unwrap();
+        net.send("http://c", codec.raw_notification(&consumer.epr(), &Element::local("m2")))
+            .unwrap();
+        assert_eq!(consumer.notifications().len(), 1);
+        assert_eq!(consumer.raw_messages().len(), 1);
+        assert_eq!(consumer.payloads().len(), 2);
+        consumer.clear();
+        assert!(consumer.payloads().is_empty());
+    }
+
+    #[test]
+    fn firewalled_consumer_rejects_push() {
+        let net = Network::new();
+        let consumer = NotificationConsumer::start_firewalled(&net, "http://fw", WsnVersion::V1_3);
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        let env = codec.raw_notification(&consumer.epr(), &Element::local("m"));
+        assert!(net.send("http://fw", env).is_err());
+        assert!(consumer.payloads().is_empty());
+    }
+}

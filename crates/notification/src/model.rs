@@ -1,0 +1,192 @@
+//! Core WS-Notification data types.
+
+use wsm_addressing::EndpointReference;
+use wsm_topics::{Dialect, TopicExpression, TopicPath};
+use wsm_xml::{xsd, Element};
+
+/// Requested or granted termination time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Absolute virtual-clock time (the only form WSN 1.0 accepts).
+    At(u64),
+    /// Relative duration (added in 1.3, taken from WS-Eventing — a
+    /// Table 1 convergence).
+    Duration(u64),
+}
+
+impl Termination {
+    /// Resolve against the current clock.
+    pub fn absolute(self, now_ms: u64) -> u64 {
+        match self {
+            Termination::At(t) => t,
+            Termination::Duration(d) => now_ms.saturating_add(d),
+        }
+    }
+
+    /// Lexical form.
+    pub fn to_lexical(self) -> String {
+        match self {
+            Termination::At(ms) => xsd::format_datetime(ms),
+            Termination::Duration(ms) => xsd::format_duration(ms),
+        }
+    }
+
+    /// Parse either lexical form.
+    pub fn parse(s: &str) -> Option<Self> {
+        let t = s.trim();
+        if t.starts_with('P') {
+            xsd::parse_duration(t).map(Termination::Duration)
+        } else {
+            xsd::parse_datetime(t).map(Termination::At)
+        }
+    }
+}
+
+/// The three filter kinds WS-Notification defines (paper §V.3: "a
+/// subscriber can use any or all of these filters" — contrast with
+/// WS-Eventing's single filter).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WsnFilter {
+    /// Filter by topic expression.
+    Topic(TopicExpression),
+    /// Boolean XPath over the *producer's* properties — the filter kind
+    /// the paper notes WS-Eventing has no counterpart for.
+    ProducerProperties(String),
+    /// Boolean XPath over the message content.
+    MessageContent {
+        /// Dialect URI (XPath 1.0 in practice).
+        dialect: String,
+        /// The expression.
+        expression: String,
+    },
+}
+
+impl WsnFilter {
+    /// Convenience: a Concrete-dialect topic filter.
+    pub fn topic(expr: &str) -> Self {
+        WsnFilter::Topic(
+            TopicExpression::concrete(expr)
+                .or_else(|_| TopicExpression::full(expr))
+                .expect("valid topic expression"),
+        )
+    }
+
+    /// Convenience: an XPath message-content filter.
+    pub fn content(expression: impl Into<String>) -> Self {
+        WsnFilter::MessageContent {
+            dialect: crate::XPATH_DIALECT.to_string(),
+            expression: expression.into(),
+        }
+    }
+}
+
+/// A subscribe request (version-independent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WsnSubscribeRequest {
+    /// Where notifications are delivered.
+    pub consumer: EndpointReference,
+    /// Any or all of the three filter kinds.
+    pub filters: Vec<WsnFilter>,
+    /// Requested termination.
+    pub initial_termination: Option<Termination>,
+    /// Deliver raw payloads instead of wrapped `Notify` messages
+    /// (`UseRaw` in 1.3 / `UseNotify=false` in 1.0).
+    pub use_raw: bool,
+}
+
+impl WsnSubscribeRequest {
+    /// A wrapped-delivery subscription with no filters.
+    pub fn new(consumer: EndpointReference) -> Self {
+        WsnSubscribeRequest { consumer, filters: Vec::new(), initial_termination: None, use_raw: false }
+    }
+
+    /// Builder-style filter.
+    pub fn with_filter(mut self, filter: WsnFilter) -> Self {
+        self.filters.push(filter);
+        self
+    }
+
+    /// Builder-style termination.
+    pub fn with_termination(mut self, t: Termination) -> Self {
+        self.initial_termination = Some(t);
+        self
+    }
+
+    /// Builder-style raw delivery.
+    pub fn raw(mut self) -> Self {
+        self.use_raw = true;
+        self
+    }
+
+    /// The first topic filter, if any.
+    pub fn topic_filter(&self) -> Option<&TopicExpression> {
+        self.filters.iter().find_map(|f| match f {
+            WsnFilter::Topic(t) => Some(t),
+            _ => None,
+        })
+    }
+}
+
+/// One notification as carried inside a wrapped `Notify` message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotificationMessage {
+    /// The topic the message was published on.
+    pub topic: Option<TopicPath>,
+    /// EPR of the producer (present in brokered scenarios).
+    pub producer: Option<EndpointReference>,
+    /// EPR of the subscription this delivery satisfies.
+    pub subscription: Option<EndpointReference>,
+    /// The payload.
+    pub message: Element,
+}
+
+impl NotificationMessage {
+    /// A bare payload on a topic.
+    pub fn new(topic: Option<TopicPath>, message: Element) -> Self {
+        NotificationMessage { topic, producer: None, subscription: None, message }
+    }
+}
+
+/// Dialect helper: the WS-Topics dialect to declare for an expression.
+pub fn topic_dialect_uri(expr: &TopicExpression) -> &'static str {
+    match expr.dialect() {
+        Dialect::Simple => wsm_topics::expression::SIMPLE_DIALECT,
+        Dialect::Concrete => wsm_topics::expression::CONCRETE_DIALECT,
+        Dialect::Full => wsm_topics::expression::FULL_DIALECT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn termination_roundtrip() {
+        for t in [Termination::At(1_000_000), Termination::Duration(90_000)] {
+            assert_eq!(Termination::parse(&t.to_lexical()), Some(t));
+        }
+        assert_eq!(Termination::parse("PT1M"), Some(Termination::Duration(60_000)));
+        assert!(Termination::parse("nope").is_none());
+    }
+
+    #[test]
+    fn request_builder_and_topic_lookup() {
+        let req = WsnSubscribeRequest::new(EndpointReference::new("http://c"))
+            .with_filter(WsnFilter::topic("storms/tornado"))
+            .with_filter(WsnFilter::content("/e[@sev>3]"))
+            .with_termination(Termination::Duration(1000))
+            .raw();
+        assert_eq!(req.filters.len(), 2);
+        assert!(req.use_raw);
+        assert_eq!(req.topic_filter().unwrap().text(), "storms/tornado");
+    }
+
+    #[test]
+    fn filter_conveniences() {
+        assert!(matches!(WsnFilter::topic("a/*"), WsnFilter::Topic(_)));
+        match WsnFilter::content("/x") {
+            WsnFilter::MessageContent { dialect, .. } => assert_eq!(dialect, crate::XPATH_DIALECT),
+            _ => panic!(),
+        }
+    }
+}

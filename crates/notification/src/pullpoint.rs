@@ -1,0 +1,191 @@
+//! PullPoints (WS-BaseNotification 1.3).
+//!
+//! A pull point is a network-reachable mailbox: producers push `Notify`
+//! messages *to* it like any consumer, and the real (possibly
+//! firewalled) consumer later drains it with `GetMessages`. Table 1
+//! records this as 1.3-only ("Define PullPoint interface"), and the
+//! paper contrasts it with WS-Eventing's pull *delivery mode*: a WSN
+//! subscription cannot ask for pull in the Subscribe message — the
+//! pull point must be created first and used as the consumer reference,
+//! looking like a regular push consumer from the producer's
+//! perspective. This module reproduces exactly that shape.
+
+use crate::messages::WsnCodec;
+use crate::model::NotificationMessage;
+use crate::version::WsnVersion;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use wsm_addressing::EndpointReference;
+use wsm_soap::{Envelope, Fault};
+use wsm_transport::{Network, SoapHandler, TransportError};
+
+struct PullPointInner {
+    codec: WsnCodec,
+    net: Network,
+    uri: String,
+    queue: Mutex<VecDeque<NotificationMessage>>,
+}
+
+/// A 1.3 pull point.
+#[derive(Clone)]
+pub struct PullPoint {
+    inner: Arc<PullPointInner>,
+}
+
+impl PullPoint {
+    /// Create a pull point endpoint at `uri`.
+    ///
+    /// Only meaningful for [`WsnVersion::V1_3`]; creating one under the
+    /// 1.0 profile returns `None` (the interface did not exist).
+    pub fn create(net: &Network, uri: &str, version: WsnVersion) -> Option<Self> {
+        if !version.has_pull_point() {
+            return None;
+        }
+        let inner = Arc::new(PullPointInner {
+            codec: WsnCodec::new(version),
+            net: net.clone(),
+            uri: uri.to_string(),
+            queue: Mutex::new(VecDeque::new()),
+        });
+        net.register(uri, Arc::new(PullPointHandler { inner: Arc::clone(&inner) }));
+        Some(PullPoint { inner })
+    }
+
+    /// The pull point's EPR — used as a `ConsumerReference`, making the
+    /// pull point "a regular push event consumer from a publisher's
+    /// perspective" (paper §V.3).
+    pub fn epr(&self) -> EndpointReference {
+        EndpointReference::new(self.inner.uri.clone())
+    }
+
+    /// Locally drain up to `max` messages (the consumer-side view).
+    pub fn take(&self, max: usize) -> Vec<NotificationMessage> {
+        let mut q = self.inner.queue.lock();
+        let n = max.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Destroy the pull point (unregisters the endpoint).
+    pub fn destroy(&self) {
+        self.inner.net.unregister(&self.inner.uri);
+    }
+
+    /// Client-side: send `GetMessages` to a (possibly remote) pull
+    /// point EPR and parse the response.
+    pub fn get_messages_remote(
+        net: &Network,
+        version: WsnVersion,
+        pull_point: &EndpointReference,
+        max: usize,
+    ) -> Result<Vec<NotificationMessage>, TransportError> {
+        let codec = WsnCodec::new(version);
+        let env = codec.get_messages(pull_point, max);
+        let resp = net.request(&pull_point.address, env)?;
+        Ok(codec.parse_get_messages_response(&resp))
+    }
+}
+
+struct PullPointHandler {
+    inner: Arc<PullPointInner>,
+}
+
+impl SoapHandler for PullPointHandler {
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+        let inner = &self.inner;
+        let ns = inner.codec.version.ns();
+        // Incoming Notify → enqueue.
+        if let Some(msgs) = inner.codec.parse_notify(&request) {
+            inner.queue.lock().extend(msgs);
+            return Ok(None);
+        }
+        let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
+        if body.name.is(ns, "GetMessages") {
+            let max = body
+                .child_ns(ns, "MaximumNumber")
+                .and_then(|m| m.text().trim().parse().ok())
+                .unwrap_or(usize::MAX);
+            let msgs = {
+                let mut q = inner.queue.lock();
+                let n = max.min(q.len());
+                q.drain(..n).collect::<Vec<_>>()
+            };
+            return Ok(Some(inner.codec.get_messages_response(&msgs)));
+        }
+        if body.name.local == "DestroyPullPoint" {
+            inner.net.unregister(&inner.uri);
+            return Ok(Some(
+                Envelope::new(wsm_soap::SoapVersion::V11).with_body(
+                    wsm_xml::Element::ns(ns, "DestroyPullPointResponse", "wsnt"),
+                ),
+            ));
+        }
+        // Anything else is treated as a raw notification payload.
+        inner.queue.lock().push_back(NotificationMessage::new(None, body.clone()));
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_topics::TopicPath;
+    use wsm_xml::Element;
+
+    #[test]
+    fn not_available_in_10() {
+        let net = Network::new();
+        assert!(PullPoint::create(&net, "http://pp", WsnVersion::V1_0).is_none());
+    }
+
+    #[test]
+    fn queues_and_drains() {
+        let net = Network::new();
+        let pp = PullPoint::create(&net, "http://pp", WsnVersion::V1_3).unwrap();
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        for i in 0..4 {
+            let msg = NotificationMessage::new(
+                TopicPath::parse("t"),
+                Element::local(format!("m{i}")),
+            );
+            net.send("http://pp", codec.notify(&pp.epr(), &[msg])).unwrap();
+        }
+        assert_eq!(pp.len(), 4);
+        // Remote GetMessages drains in order.
+        let got = PullPoint::get_messages_remote(&net, WsnVersion::V1_3, &pp.epr(), 3).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].message.name.local, "m0");
+        assert_eq!(pp.len(), 1);
+        let rest = pp.take(10);
+        assert_eq!(rest.len(), 1);
+        assert!(pp.is_empty());
+    }
+
+    #[test]
+    fn raw_payloads_accepted() {
+        let net = Network::new();
+        let pp = PullPoint::create(&net, "http://pp", WsnVersion::V1_3).unwrap();
+        let codec = WsnCodec::new(WsnVersion::V1_3);
+        net.send("http://pp", codec.raw_notification(&pp.epr(), &Element::local("raw")))
+            .unwrap();
+        assert_eq!(pp.take(1)[0].message.name.local, "raw");
+    }
+
+    #[test]
+    fn destroy_unregisters() {
+        let net = Network::new();
+        let pp = PullPoint::create(&net, "http://pp", WsnVersion::V1_3).unwrap();
+        pp.destroy();
+        assert!(!net.has_endpoint("http://pp"));
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end flows against a NotificationProducer, exercising the
+//! version differences Table 1 and Table 2 record.
+
+use wsm_notification::{
+    NotificationConsumer, NotificationProducer, Termination, WsnClient, WsnFilter,
+    WsnSubscribeRequest, WsnVersion,
+};
+use wsm_transport::Network;
+use wsm_xml::Element;
+
+fn setup(version: WsnVersion) -> (Network, NotificationProducer, NotificationConsumer, WsnClient) {
+    let net = Network::new();
+    let producer = NotificationProducer::start(&net, "http://producer", version);
+    let consumer = NotificationConsumer::start(&net, "http://consumer", version);
+    let client = WsnClient::new(&net, version);
+    (net, producer, consumer, client)
+}
+
+#[test]
+fn wrapped_delivery_end_to_end_both_versions() {
+    for v in [WsnVersion::V1_0, WsnVersion::V1_3] {
+        let (_net, producer, consumer, client) = setup(v);
+        client
+            .subscribe(
+                producer.uri(),
+                &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("storms")),
+            )
+            .unwrap();
+        assert_eq!(producer.subscription_count(), 1);
+        let n = producer.publish_on("storms", &Element::local("alert").with_text("hail"));
+        assert_eq!(n, 1);
+        let msgs = consumer.notifications();
+        assert_eq!(msgs.len(), 1, "{v:?}");
+        assert_eq!(msgs[0].topic.as_ref().unwrap().to_string(), "storms");
+        assert_eq!(msgs[0].message.text(), "hail");
+        assert!(msgs[0].subscription.is_some(), "subscription reference attached");
+    }
+}
+
+#[test]
+fn raw_delivery() {
+    let (_net, producer, consumer, client) = setup(WsnVersion::V1_3);
+    client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr())
+                .with_filter(WsnFilter::topic("storms"))
+                .raw(),
+        )
+        .unwrap();
+    producer.publish_on("storms", &Element::local("alert"));
+    assert!(consumer.notifications().is_empty());
+    assert_eq!(consumer.raw_messages().len(), 1);
+}
+
+#[test]
+fn topic_filtering_screens_messages() {
+    let (_net, producer, consumer, client) = setup(WsnVersion::V1_3);
+    client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("storms/tornado")),
+        )
+        .unwrap();
+    producer.publish_on("storms/hail", &Element::local("a"));
+    producer.publish_on("storms/tornado", &Element::local("b"));
+    producer.publish_on("storms/tornado/f5", &Element::local("c"));
+    let got = consumer.notifications();
+    assert_eq!(got.len(), 2, "tornado + its subtree");
+}
+
+#[test]
+fn content_filter_screens_messages() {
+    let (_net, producer, consumer, client) = setup(WsnVersion::V1_3);
+    client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr())
+                .with_filter(WsnFilter::topic("jobs"))
+                .with_filter(WsnFilter::content("/job[@state='done']")),
+        )
+        .unwrap();
+    producer.publish_on("jobs", &Element::local("job").with_attr("state", "running"));
+    producer.publish_on("jobs", &Element::local("job").with_attr("state", "done"));
+    assert_eq!(consumer.notifications().len(), 1);
+}
+
+#[test]
+fn producer_properties_filter() {
+    let (_net, producer, consumer, client) = setup(WsnVersion::V1_3);
+    producer.set_property("site", "bloomington");
+    client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr())
+                .with_filter(WsnFilter::topic("t"))
+                .with_filter(WsnFilter::ProducerProperties(
+                    "/ProducerProperties/site = 'bloomington'".into(),
+                )),
+        )
+        .unwrap();
+    producer.publish_on("t", &Element::local("m1"));
+    assert_eq!(consumer.notifications().len(), 1);
+    producer.set_property("site", "elsewhere");
+    producer.publish_on("t", &Element::local("m2"));
+    assert_eq!(consumer.notifications().len(), 1, "property change stops delivery");
+}
+
+#[test]
+fn pause_resume_both_versions() {
+    for v in [WsnVersion::V1_0, WsnVersion::V1_3] {
+        let (_net, producer, consumer, client) = setup(v);
+        let h = client
+            .subscribe(
+                producer.uri(),
+                &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("t")),
+            )
+            .unwrap();
+        producer.publish_on("t", &Element::local("m1"));
+        client.pause(&h).unwrap();
+        producer.publish_on("t", &Element::local("m2"));
+        client.resume(&h).unwrap();
+        producer.publish_on("t", &Element::local("m3"));
+        let got: Vec<String> =
+            consumer.notifications().iter().map(|m| m.message.name.local.clone()).collect();
+        assert_eq!(got, vec!["m1", "m3"], "{v:?}: paused window missed m2");
+    }
+}
+
+#[test]
+fn v13_native_renew_and_unsubscribe() {
+    let (net, producer, consumer, client) = setup(WsnVersion::V1_3);
+    let h = client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr())
+                .with_filter(WsnFilter::topic("t"))
+                .with_termination(Termination::Duration(1_000)),
+        )
+        .unwrap();
+    net.clock().advance_ms(900);
+    client.renew(&h, Termination::Duration(1_000)).unwrap();
+    net.clock().advance_ms(500);
+    producer.publish_on("t", &Element::local("m1"));
+    assert_eq!(consumer.notifications().len(), 1, "renewed past original expiry");
+    client.unsubscribe(&h).unwrap();
+    producer.publish_on("t", &Element::local("m2"));
+    assert_eq!(consumer.notifications().len(), 1);
+    assert_eq!(producer.subscription_count(), 0);
+}
+
+#[test]
+fn v10_manages_via_wsrf_and_rejects_native_ops() {
+    let (net, producer, consumer, client) = setup(WsnVersion::V1_0);
+    let h = client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr())
+                .with_filter(WsnFilter::topic("t"))
+                .with_termination(Termination::At(1_000)),
+        )
+        .unwrap();
+    // GetStatus stand-in: WSRF GetResourceProperty (Table 2 mapping).
+    let paused = client.get_status_wsrf(&h, "Paused").unwrap();
+    assert_eq!(paused.as_deref(), Some("false"));
+    let tt = client.get_status_wsrf(&h, "TerminationTime").unwrap();
+    assert_eq!(tt.as_deref(), Some("1970-01-01T00:00:01Z"));
+    // Renew stand-in: SetTerminationTime.
+    client.renew(&h, Termination::At(5_000)).unwrap();
+    net.clock().advance_ms(2_000);
+    producer.publish_on("t", &Element::local("m1"));
+    assert_eq!(consumer.notifications().len(), 1);
+    // Unsubscribe stand-in: Destroy.
+    client.unsubscribe(&h).unwrap();
+    assert_eq!(producer.subscription_count(), 0);
+
+    // Driving the 1.3 native ops against a 1.0 producer faults.
+    let h2 = client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("t")),
+        )
+        .unwrap();
+    let codec13 = wsm_notification::WsnCodec::new(WsnVersion::V1_0);
+    // Build a native Renew against the 1.0 manager: rejected.
+    let env = codec13.renew(&h2.reference, Termination::At(9_000));
+    assert!(net.request(&h2.reference.address, env).is_err());
+}
+
+#[test]
+fn expiration_sweeps_subscriptions() {
+    let (net, producer, consumer, client) = setup(WsnVersion::V1_3);
+    client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr())
+                .with_filter(WsnFilter::topic("t"))
+                .with_termination(Termination::Duration(1_000)),
+        )
+        .unwrap();
+    producer.publish_on("t", &Element::local("m1"));
+    net.clock().advance_ms(2_000);
+    producer.publish_on("t", &Element::local("m2"));
+    assert_eq!(consumer.notifications().len(), 1);
+    assert_eq!(producer.subscription_count(), 0);
+}
+
+#[test]
+fn get_current_message_returns_last_per_topic() {
+    let (_net, producer, _consumer, client) = setup(WsnVersion::V1_3);
+    producer.publish_on("storms", &Element::local("old"));
+    producer.publish_on("storms", &Element::local("new"));
+    let topic = wsm_topics::TopicExpression::concrete("storms").unwrap();
+    let got = client.get_current_message(producer.uri(), &topic).unwrap().unwrap();
+    assert_eq!(got.name.local, "new");
+}
+
+#[test]
+fn v10_subscribe_without_topic_faults_on_wire() {
+    let (net, producer, consumer, _client) = setup(WsnVersion::V1_0);
+    let codec = wsm_notification::WsnCodec::new(WsnVersion::V1_0);
+    let env = codec.subscribe(producer.uri(), &WsnSubscribeRequest::new(consumer.epr()));
+    assert!(net.request(producer.uri(), env).is_err(), "1.0 requires a topic");
+}
+
+#[test]
+fn failed_consumer_subscription_is_dropped() {
+    let (_net, producer, _consumer, client) = setup(WsnVersion::V1_3);
+    client
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(wsm_addressing::EndpointReference::new("http://gone"))
+                .with_filter(WsnFilter::topic("t")),
+        )
+        .unwrap();
+    assert_eq!(producer.publish_on("t", &Element::local("m")), 0);
+    assert_eq!(producer.subscription_count(), 0, "dead consumer removed");
+}

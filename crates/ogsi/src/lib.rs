@@ -1,0 +1,359 @@
+#![warn(missing_docs)]
+//! # wsm-ogsi — OGSI notification simulation
+//!
+//! The fourth Table 3 column and the paper's "intermediary step towards
+//! WS-based event notification" (§VI.C): Grid services expose **Service
+//! Data Elements** (SDEs); a `NotificationSink` subscribes to a
+//! `NotificationSource` by **service data name** (a plain string — the
+//! simplest filter model in the comparison), and the source pushes the
+//! new SDE value whenever it changes. Payloads are XML over an
+//! HTTP-like transport (our simulated network), but the service
+//! interface is OGSI's GWSDL extension rather than plain WSDL — the
+//! incompatibility that ultimately got OGSI replaced by WSRF +
+//! WS-Notification.
+//!
+//! Management operations per Table 3: `subscribe`,
+//! `requestTerminationAfter`, `requestTerminationBefore`, `destroy`.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsm_addressing::{EndpointReference, MessageHeaders, WsaVersion};
+use wsm_soap::{Envelope, Fault, SoapVersion};
+use wsm_transport::{Network, SoapHandler, TransportError};
+use wsm_xml::{xsd, Element};
+
+/// The OGSI namespace.
+pub const OGSI_NS: &str = "http://www.gridforum.org/namespaces/2003/03/OGSI";
+
+struct OgsiSubscription {
+    id: String,
+    sde_name: String,
+    sink: String,
+    expires_ms: Option<u64>,
+}
+
+struct SourceInner {
+    net: Network,
+    uri: String,
+    sde: Mutex<HashMap<String, Element>>,
+    subscriptions: Mutex<Vec<OgsiSubscription>>,
+    next_id: Mutex<u64>,
+}
+
+/// A Grid service acting as a NotificationSource.
+#[derive(Clone)]
+pub struct NotificationSource {
+    inner: Arc<SourceInner>,
+}
+
+impl NotificationSource {
+    /// Start a notification source at `uri`.
+    pub fn start(net: &Network, uri: &str) -> Self {
+        let inner = Arc::new(SourceInner {
+            net: net.clone(),
+            uri: uri.to_string(),
+            sde: Mutex::new(HashMap::new()),
+            subscriptions: Mutex::new(Vec::new()),
+            next_id: Mutex::new(0),
+        });
+        net.register(uri, Arc::new(SourceHandler { inner: Arc::clone(&inner) }));
+        NotificationSource { inner }
+    }
+
+    /// The service URI.
+    pub fn uri(&self) -> &str {
+        &self.inner.uri
+    }
+
+    /// Set a service data element; subscribed sinks are pushed the new
+    /// value. Returns the number of notifications delivered.
+    pub fn set_service_data(&self, name: &str, value: Element) -> usize {
+        self.inner.sde.lock().insert(name.to_string(), value.clone());
+        let now = self.inner.net.clock().now_ms();
+        let mut delivered = 0;
+        let mut dead: Vec<String> = Vec::new();
+        {
+            let mut subs = self.inner.subscriptions.lock();
+            subs.retain(|s| !s.expires_ms.is_some_and(|t| t <= now));
+            for s in subs.iter().filter(|s| s.sde_name == name) {
+                let body = Element::ns(OGSI_NS, "DeliverNotification", "ogsi")
+                    .with_child(
+                        Element::ns(OGSI_NS, "ServiceDataName", "ogsi").with_text(name),
+                    )
+                    .with_child(
+                        Element::ns(OGSI_NS, "ServiceDataValues", "ogsi").with_child(value.clone()),
+                    );
+                let mut env = Envelope::new(SoapVersion::V11).with_body(body);
+                MessageHeaders::request(&s.sink, format!("{OGSI_NS}/DeliverNotification"))
+                    .apply(&mut env, WsaVersion::V200303);
+                match self.inner.net.send(&s.sink, env) {
+                    Ok(()) => delivered += 1,
+                    Err(_) => dead.push(s.id.clone()),
+                }
+            }
+            subs.retain(|s| !dead.contains(&s.id));
+        }
+        delivered
+    }
+
+    /// `findServiceData`: the current value of an SDE.
+    pub fn find_service_data(&self, name: &str) -> Option<Element> {
+        self.inner.sde.lock().get(name).cloned()
+    }
+
+    /// Live subscription count.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.subscriptions.lock().len()
+    }
+}
+
+struct SourceHandler {
+    inner: Arc<SourceInner>,
+}
+
+impl SoapHandler for SourceHandler {
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+        let inner = &self.inner;
+        let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
+        if body.name.is(OGSI_NS, "Subscribe") {
+            let sde_name = body
+                .child_ns(OGSI_NS, "ServiceDataName")
+                .map(|e| e.text().trim().to_string())
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| Fault::sender("Subscribe requires a ServiceDataName"))?;
+            let sink = body
+                .child_ns(OGSI_NS, "Sink")
+                .map(|e| e.text().trim().to_string())
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| Fault::sender("Subscribe requires a Sink locator"))?;
+            let expires_ms = body
+                .child_ns(OGSI_NS, "ExpirationTime")
+                .and_then(|e| xsd::parse_datetime(e.text().trim()));
+            let id = {
+                let mut n = inner.next_id.lock();
+                *n += 1;
+                format!("ogsi-sub-{}", *n)
+            };
+            inner.subscriptions.lock().push(OgsiSubscription {
+                id: id.clone(),
+                sde_name,
+                sink,
+                expires_ms,
+            });
+            let resp = Element::ns(OGSI_NS, "SubscribeResponse", "ogsi")
+                .with_child(Element::ns(OGSI_NS, "SubscriptionLocator", "ogsi").with_text(id));
+            return Ok(Some(Envelope::new(SoapVersion::V11).with_body(resp)));
+        }
+        if body.name.is(OGSI_NS, "FindServiceData") {
+            let name = body.text().trim().to_string();
+            let mut resp = Element::ns(OGSI_NS, "FindServiceDataResponse", "ogsi");
+            if let Some(v) = inner.sde.lock().get(&name) {
+                resp.push(v.clone());
+            }
+            return Ok(Some(Envelope::new(SoapVersion::V11).with_body(resp)));
+        }
+        if body.name.is(OGSI_NS, "Destroy") {
+            let id = body.text().trim().to_string();
+            let mut subs = inner.subscriptions.lock();
+            let before = subs.len();
+            subs.retain(|s| s.id != id);
+            if subs.len() == before {
+                return Err(Fault::sender(format!("unknown subscription {id}")));
+            }
+            return Ok(Some(
+                Envelope::new(SoapVersion::V11)
+                    .with_body(Element::ns(OGSI_NS, "DestroyResponse", "ogsi")),
+            ));
+        }
+        if body.name.is(OGSI_NS, "RequestTerminationAfter") {
+            let id = body
+                .child_ns(OGSI_NS, "SubscriptionLocator")
+                .map(|e| e.text().trim().to_string())
+                .ok_or_else(|| Fault::sender("missing SubscriptionLocator"))?;
+            let when = body
+                .child_ns(OGSI_NS, "TerminationTime")
+                .and_then(|e| xsd::parse_datetime(e.text().trim()))
+                .ok_or_else(|| Fault::sender("missing/invalid TerminationTime"))?;
+            let mut subs = inner.subscriptions.lock();
+            let sub = subs
+                .iter_mut()
+                .find(|s| s.id == id)
+                .ok_or_else(|| Fault::sender(format!("unknown subscription {id}")))?;
+            sub.expires_ms = Some(when);
+            return Ok(Some(
+                Envelope::new(SoapVersion::V11)
+                    .with_body(Element::ns(OGSI_NS, "RequestTerminationAfterResponse", "ogsi")),
+            ));
+        }
+        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+    }
+}
+
+// -------------------------------------------------------------- sink
+
+struct SinkInner {
+    uri: String,
+    received: Mutex<Vec<(String, Element)>>,
+}
+
+/// A NotificationSink: records pushed SDE changes.
+#[derive(Clone)]
+pub struct NotificationSink {
+    inner: Arc<SinkInner>,
+}
+
+impl NotificationSink {
+    /// Start a sink endpoint.
+    pub fn start(net: &Network, uri: &str) -> Self {
+        let inner = Arc::new(SinkInner { uri: uri.to_string(), received: Mutex::new(Vec::new()) });
+        net.register(uri, Arc::new(SinkHandler { inner: Arc::clone(&inner) }));
+        NotificationSink { inner }
+    }
+
+    /// The sink URI.
+    pub fn uri(&self) -> &str {
+        &self.inner.uri
+    }
+
+    /// The sink's EPR.
+    pub fn epr(&self) -> EndpointReference {
+        EndpointReference::new(self.inner.uri.clone())
+    }
+
+    /// Received (service-data-name, value) pairs.
+    pub fn received(&self) -> Vec<(String, Element)> {
+        self.inner.received.lock().clone()
+    }
+}
+
+struct SinkHandler {
+    inner: Arc<SinkInner>,
+}
+
+impl SoapHandler for SinkHandler {
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+        let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
+        if body.name.is(OGSI_NS, "DeliverNotification") {
+            let name = body
+                .child_ns(OGSI_NS, "ServiceDataName")
+                .map(|e| e.text().trim().to_string())
+                .unwrap_or_default();
+            if let Some(value) = body
+                .child_ns(OGSI_NS, "ServiceDataValues")
+                .and_then(|v| v.elements().next())
+            {
+                self.inner.received.lock().push((name, value.clone()));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Client helper: subscribe a sink to a source's SDE by name.
+pub fn subscribe(
+    net: &Network,
+    source_uri: &str,
+    sde_name: &str,
+    sink_uri: &str,
+    expires_ms: Option<u64>,
+) -> Result<String, TransportError> {
+    let mut body = Element::ns(OGSI_NS, "Subscribe", "ogsi")
+        .with_child(Element::ns(OGSI_NS, "ServiceDataName", "ogsi").with_text(sde_name))
+        .with_child(Element::ns(OGSI_NS, "Sink", "ogsi").with_text(sink_uri));
+    if let Some(t) = expires_ms {
+        body.push(
+            Element::ns(OGSI_NS, "ExpirationTime", "ogsi").with_text(xsd::format_datetime(t)),
+        );
+    }
+    let mut env = Envelope::new(SoapVersion::V11).with_body(body);
+    MessageHeaders::request(source_uri, format!("{OGSI_NS}/Subscribe"))
+        .apply(&mut env, WsaVersion::V200303);
+    let resp = net.request(source_uri, env)?;
+    resp.body()
+        .and_then(|b| b.child_ns(OGSI_NS, "SubscriptionLocator"))
+        .map(|e| e.text().trim().to_string())
+        .ok_or_else(|| TransportError::NoResponse(source_uri.to_string()))
+}
+
+/// Client helper: destroy a subscription.
+pub fn destroy(net: &Network, source_uri: &str, subscription_id: &str) -> Result<(), TransportError> {
+    let body = Element::ns(OGSI_NS, "Destroy", "ogsi").with_text(subscription_id);
+    let env = Envelope::new(SoapVersion::V11).with_body(body);
+    net.request(source_uri, env).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Network, NotificationSource, NotificationSink) {
+        let net = Network::new();
+        let source = NotificationSource::start(&net, "http://grid/svc");
+        let sink = NotificationSink::start(&net, "http://grid/sink");
+        (net, source, sink)
+    }
+
+    #[test]
+    fn sde_change_pushes_to_subscribed_sink() {
+        let (net, source, sink) = setup();
+        subscribe(&net, source.uri(), "jobStatus", sink.uri(), None).unwrap();
+        source.set_service_data("jobStatus", Element::local("status").with_text("RUNNING"));
+        source.set_service_data("cpuLoad", Element::local("load").with_text("0.9"));
+        let got = sink.received();
+        assert_eq!(got.len(), 1, "only the subscribed SDE notifies");
+        assert_eq!(got[0].0, "jobStatus");
+        assert_eq!(got[0].1.text(), "RUNNING");
+    }
+
+    #[test]
+    fn find_service_data() {
+        let (_net, source, _sink) = setup();
+        assert!(source.find_service_data("x").is_none());
+        source.set_service_data("x", Element::local("v").with_text("1"));
+        assert_eq!(source.find_service_data("x").unwrap().text(), "1");
+    }
+
+    #[test]
+    fn destroy_ends_subscription() {
+        let (net, source, sink) = setup();
+        let id = subscribe(&net, source.uri(), "s", sink.uri(), None).unwrap();
+        assert_eq!(source.subscription_count(), 1);
+        destroy(&net, source.uri(), &id).unwrap();
+        assert_eq!(source.subscription_count(), 0);
+        source.set_service_data("s", Element::local("v"));
+        assert!(sink.received().is_empty());
+        assert!(destroy(&net, source.uri(), &id).is_err(), "double destroy faults");
+    }
+
+    #[test]
+    fn expiration_is_absolute_time() {
+        let (net, source, sink) = setup();
+        subscribe(&net, source.uri(), "s", sink.uri(), Some(1_000)).unwrap();
+        source.set_service_data("s", Element::local("v1"));
+        net.clock().advance_ms(2_000);
+        source.set_service_data("s", Element::local("v2"));
+        assert_eq!(sink.received().len(), 1, "expired subscription swept");
+        assert_eq!(source.subscription_count(), 0);
+    }
+
+    #[test]
+    fn dead_sink_subscription_removed() {
+        let (net, source, _sink) = setup();
+        subscribe(&net, source.uri(), "s", "http://nowhere", None).unwrap();
+        assert_eq!(source.set_service_data("s", Element::local("v")), 0);
+        assert_eq!(source.subscription_count(), 0);
+        let _ = net;
+    }
+
+    #[test]
+    fn multiple_sinks_fan_out() {
+        let (net, source, sink) = setup();
+        let sink2 = NotificationSink::start(&net, "http://grid/sink2");
+        subscribe(&net, source.uri(), "s", sink.uri(), None).unwrap();
+        subscribe(&net, source.uri(), "s", sink2.uri(), None).unwrap();
+        assert_eq!(source.set_service_data("s", Element::local("v")), 2);
+        assert_eq!(sink.received().len(), 1);
+        assert_eq!(sink2.received().len(), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! SOAP faults in both the 1.1 and 1.2 shapes.
+
+use crate::envelope::{Envelope, SoapVersion, SOAP11_NS, SOAP12_NS};
+use wsm_xml::Element;
+
+/// The standard fault code categories, shared across SOAP versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// Problem with the envelope version.
+    VersionMismatch,
+    /// A mustUnderstand header was not understood.
+    MustUnderstand,
+    /// The message was malformed or not understood: `Client` in 1.1
+    /// terms, `Sender` in 1.2 terms.
+    Sender,
+    /// The service failed to process a well-formed message: `Server` in
+    /// 1.1 terms, `Receiver` in 1.2 terms.
+    Receiver,
+}
+
+impl FaultCode {
+    /// Local name of the code in the given SOAP version.
+    pub fn local_name(self, version: SoapVersion) -> &'static str {
+        match (self, version) {
+            (FaultCode::VersionMismatch, _) => "VersionMismatch",
+            (FaultCode::MustUnderstand, _) => "MustUnderstand",
+            (FaultCode::Sender, SoapVersion::V11) => "Client",
+            (FaultCode::Sender, SoapVersion::V12) => "Sender",
+            (FaultCode::Receiver, SoapVersion::V11) => "Server",
+            (FaultCode::Receiver, SoapVersion::V12) => "Receiver",
+        }
+    }
+
+    fn from_local(name: &str) -> Option<Self> {
+        Some(match name {
+            "VersionMismatch" => FaultCode::VersionMismatch,
+            "MustUnderstand" => FaultCode::MustUnderstand,
+            "Client" | "Sender" => FaultCode::Sender,
+            "Server" | "Receiver" => FaultCode::Receiver,
+            _ => return None,
+        })
+    }
+}
+
+/// A SOAP fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Standard code.
+    pub code: FaultCode,
+    /// Dotted subcode such as the WS-Eventing
+    /// `DeliveryModeRequestedUnavailable` (serialized as a Subcode in
+    /// 1.2, appended to the faultcode QName in 1.1).
+    pub subcode: Option<String>,
+    /// Human-readable reason.
+    pub reason: String,
+    /// Application-specific detail content.
+    pub detail: Option<Element>,
+}
+
+impl Fault {
+    /// Construct a sender fault (the common case for bad requests).
+    pub fn sender(reason: impl Into<String>) -> Self {
+        Fault { code: FaultCode::Sender, subcode: None, reason: reason.into(), detail: None }
+    }
+
+    /// Construct a receiver fault.
+    pub fn receiver(reason: impl Into<String>) -> Self {
+        Fault { code: FaultCode::Receiver, subcode: None, reason: reason.into(), detail: None }
+    }
+
+    /// Builder-style subcode.
+    pub fn with_subcode(mut self, subcode: impl Into<String>) -> Self {
+        self.subcode = Some(subcode.into());
+        self
+    }
+
+    /// Builder-style detail element.
+    pub fn with_detail(mut self, detail: Element) -> Self {
+        self.detail = Some(detail);
+        self
+    }
+
+    /// Serialize as the body element of a fault envelope.
+    pub fn to_element(&self, version: SoapVersion) -> Element {
+        match version {
+            SoapVersion::V11 => {
+                // <soap:Fault><faultcode>soap:Client[.Sub]</faultcode>
+                //             <faultstring>..</faultstring>
+                //             <detail>..</detail></soap:Fault>
+                let prefix = version.prefix();
+                let mut code_text = format!("{prefix}:{}", self.code.local_name(version));
+                if let Some(sub) = &self.subcode {
+                    code_text.push('.');
+                    code_text.push_str(sub);
+                }
+                let mut fault = Element::ns(SOAP11_NS, "Fault", prefix)
+                    .with_child(Element::local("faultcode").with_text(code_text))
+                    .with_child(Element::local("faultstring").with_text(self.reason.clone()));
+                if let Some(d) = &self.detail {
+                    fault.push(Element::local("detail").with_child(d.clone()));
+                }
+                fault
+            }
+            SoapVersion::V12 => {
+                // <s:Fault><s:Code><s:Value>s:Sender</s:Value>
+                //   [<s:Subcode><s:Value>..</s:Value></s:Subcode>]</s:Code>
+                //  <s:Reason><s:Text>..</s:Text></s:Reason>
+                //  [<s:Detail>..</s:Detail>]</s:Fault>
+                let p = version.prefix();
+                let mut code = Element::ns(SOAP12_NS, "Code", p).with_child(
+                    Element::ns(SOAP12_NS, "Value", p)
+                        .with_text(format!("{p}:{}", self.code.local_name(version))),
+                );
+                if let Some(sub) = &self.subcode {
+                    code.push(
+                        Element::ns(SOAP12_NS, "Subcode", p)
+                            .with_child(Element::ns(SOAP12_NS, "Value", p).with_text(sub.clone())),
+                    );
+                }
+                let reason = Element::ns(SOAP12_NS, "Reason", p).with_child(
+                    Element::ns(SOAP12_NS, "Text", p)
+                        .with_attr_ns(wsm_xml::name::XML_NS, "lang", "xml", "en")
+                        .with_text(self.reason.clone()),
+                );
+                let mut fault = Element::ns(SOAP12_NS, "Fault", p)
+                    .with_child(code)
+                    .with_child(reason);
+                if let Some(d) = &self.detail {
+                    fault.push(Element::ns(SOAP12_NS, "Detail", p).with_child(d.clone()));
+                }
+                fault
+            }
+        }
+    }
+
+    /// Wrap this fault in a complete envelope.
+    pub fn to_envelope(&self, version: SoapVersion) -> Envelope {
+        Envelope::new(version).with_body(self.to_element(version))
+    }
+
+    /// Interpret an envelope as a fault, if its body is one.
+    pub fn from_envelope(env: &Envelope) -> Option<Fault> {
+        let body = env.body()?;
+        let ns = env.version().ns();
+        if !body.name.is(ns, "Fault") {
+            return None;
+        }
+        match env.version() {
+            SoapVersion::V11 => {
+                let raw_code = body.child("faultcode").map(|c| c.text()).unwrap_or_default();
+                // Strip the envelope prefix (up to the FIRST colon — the
+                // subcode may itself contain colons), then split
+                // code.subcode.
+                let code_part = match raw_code.split_once(':') {
+                    Some((_, rest)) => rest.to_string(),
+                    None => raw_code,
+                };
+                let (code_name, subcode) = match code_part.split_once('.') {
+                    Some((c, s)) => (c.to_string(), Some(s.to_string())),
+                    None => (code_part, None),
+                };
+                Some(Fault {
+                    code: FaultCode::from_local(&code_name)?,
+                    subcode,
+                    reason: body.child("faultstring").map(|c| c.text()).unwrap_or_default(),
+                    detail: body
+                        .child("detail")
+                        .and_then(|d| d.elements().next())
+                        .cloned(),
+                })
+            }
+            SoapVersion::V12 => {
+                let code_el = body.child_ns(ns, "Code")?;
+                let value = code_el.child_ns(ns, "Value").map(|v| v.text()).unwrap_or_default();
+                let code_name = value.rsplit(':').next().unwrap_or("").to_string();
+                let subcode = code_el
+                    .child_ns(ns, "Subcode")
+                    .and_then(|s| s.child_ns(ns, "Value"))
+                    .map(|v| v.text());
+                let reason = body
+                    .child_ns(ns, "Reason")
+                    .and_then(|r| r.child_ns(ns, "Text"))
+                    .map(|t| t.text())
+                    .unwrap_or_default();
+                Some(Fault {
+                    code: FaultCode::from_local(&code_name)?,
+                    subcode,
+                    reason,
+                    detail: body
+                        .child_ns(ns, "Detail")
+                        .and_then(|d| d.elements().next())
+                        .cloned(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_v12() {
+        let f = Fault::sender("bad filter")
+            .with_subcode("wse:FilteringNotSupported")
+            .with_detail(Element::local("info").with_text("xpath"));
+        let env = f.to_envelope(SoapVersion::V12);
+        let xml = env.to_xml();
+        let back = Fault::from_envelope(&Envelope::from_xml(&xml).unwrap()).unwrap();
+        assert_eq!(back, f, "{xml}");
+    }
+
+    #[test]
+    fn roundtrip_v11() {
+        let f = Fault::receiver("backend down").with_subcode("Busy");
+        let env = f.to_envelope(SoapVersion::V11);
+        let back = Fault::from_envelope(&Envelope::from_xml(&env.to_xml()).unwrap()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn code_names_differ_by_version() {
+        assert_eq!(FaultCode::Sender.local_name(SoapVersion::V11), "Client");
+        assert_eq!(FaultCode::Sender.local_name(SoapVersion::V12), "Sender");
+        assert_eq!(FaultCode::Receiver.local_name(SoapVersion::V11), "Server");
+        assert_eq!(FaultCode::Receiver.local_name(SoapVersion::V12), "Receiver");
+    }
+
+    #[test]
+    fn v11_fault_shape() {
+        let xml = Fault::sender("x").to_envelope(SoapVersion::V11).to_xml();
+        assert!(xml.contains("<faultcode>soap:Client</faultcode>"), "{xml}");
+        assert!(xml.contains("<faultstring>x</faultstring>"), "{xml}");
+    }
+
+    #[test]
+    fn v12_fault_shape() {
+        let xml = Fault::sender("x").to_envelope(SoapVersion::V12).to_xml();
+        assert!(xml.contains("Code"), "{xml}");
+        assert!(xml.contains("s:Sender"), "{xml}");
+        assert!(xml.contains("Reason"), "{xml}");
+    }
+
+    #[test]
+    fn non_fault_body_is_none() {
+        let env = Envelope::new(SoapVersion::V12).with_body(Element::local("Data"));
+        assert!(Fault::from_envelope(&env).is_none());
+    }
+
+    #[test]
+    fn mustunderstand_code() {
+        let f = Fault {
+            code: FaultCode::MustUnderstand,
+            subcode: None,
+            reason: "hdr".into(),
+            detail: None,
+        };
+        let back =
+            Fault::from_envelope(&Envelope::from_xml(&f.to_envelope(SoapVersion::V12).to_xml()).unwrap())
+                .unwrap();
+        assert_eq!(back.code, FaultCode::MustUnderstand);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # wsm-soap — SOAP 1.1 / 1.2 envelopes
+//!
+//! Both WS-Eventing and WS-Notification exchange SOAP messages; the
+//! paper's §V.4 message-format comparison is a comparison of the SOAP
+//! envelopes the two stacks produce. This crate provides the envelope
+//! model those stacks share: versioned namespaces, header blocks with
+//! `mustUnderstand`, a body, and faults in both the 1.1 and 1.2 shapes.
+//!
+//! ```
+//! use wsm_soap::{Envelope, SoapVersion};
+//! use wsm_xml::Element;
+//!
+//! let mut env = Envelope::new(SoapVersion::V12);
+//! env.add_header(Element::ns("urn:x", "Tag", "x").with_text("1"));
+//! env.set_body(Element::ns("urn:app", "Ping", "app"));
+//! let xml = env.to_xml();
+//! let back = Envelope::from_xml(&xml).unwrap();
+//! assert_eq!(back.version(), SoapVersion::V12);
+//! assert_eq!(back.body().unwrap().name.local, "Ping");
+//! ```
+
+pub mod envelope;
+pub mod fault;
+
+pub use envelope::{check_must_understand, Envelope, SoapError, SoapVersion};
+pub use fault::{Fault, FaultCode};

@@ -1,0 +1,81 @@
+//! Property tests: envelopes round-trip for arbitrary header/body
+//! combinations, and the parser never panics on hostile input.
+
+use proptest::prelude::*;
+use wsm_soap::{Envelope, Fault, SoapVersion};
+use wsm_xml::Element;
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = ("[a-zA-Z][a-zA-Z0-9]{0,6}", "[ -~]{0,12}").prop_map(|(n, t)| {
+        let mut e = Element::ns("urn:app", n, "app");
+        if !t.is_empty() {
+            e.push_text(t);
+        }
+        e
+    });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        ("[a-zA-Z][a-zA-Z0-9]{0,6}", prop::collection::vec(inner, 0..3)).prop_map(|(n, kids)| {
+            let mut e = Element::ns("urn:app", n, "app");
+            for k in kids {
+                e.push(k);
+            }
+            e
+        })
+    })
+}
+
+fn version_strategy() -> impl Strategy<Value = SoapVersion> {
+    prop_oneof![Just(SoapVersion::V11), Just(SoapVersion::V12)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Envelope serialization round-trips with arbitrary headers/body.
+    #[test]
+    fn envelope_roundtrip(
+        version in version_strategy(),
+        headers in prop::collection::vec(element_strategy(), 0..4),
+        body in element_strategy(),
+    ) {
+        let mut env = Envelope::new(version).with_body(body);
+        for h in headers {
+            env.add_header(h);
+        }
+        let xml = env.to_xml();
+        let back = Envelope::from_xml(&xml).unwrap();
+        prop_assert_eq!(back, env, "{}", xml);
+    }
+
+    /// Faults round-trip in both SOAP versions for arbitrary reasons
+    /// and subcodes.
+    #[test]
+    fn fault_roundtrip(
+        version in version_strategy(),
+        reason in "[ -~&&[^<>&]]{1,40}",
+        subcode in proptest::option::of("[a-z]{1,8}:[A-Za-z]{1,16}"),
+    ) {
+        let mut f = Fault::sender(reason);
+        if let Some(s) = subcode {
+            f = f.with_subcode(s);
+        }
+        let env = f.to_envelope(version);
+        let back = Fault::from_envelope(&Envelope::from_xml(&env.to_xml()).unwrap()).unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    /// from_xml never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(junk in "[ -~<>/\"'=&;]{0,200}") {
+        let _ = Envelope::from_xml(&junk);
+    }
+
+    /// The envelope text round-trips escaping-sensitive body text.
+    #[test]
+    fn body_text_preserved(text in "[ -~]{0,50}") {
+        let env = Envelope::new(SoapVersion::V12)
+            .with_body(Element::local("payload").with_text(text.clone()));
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        prop_assert_eq!(back.body().unwrap().text(), text);
+    }
+}

@@ -1,0 +1,364 @@
+//! Topic expressions in the three WS-Topics dialects.
+
+use crate::path::TopicPath;
+use std::fmt;
+
+/// Dialect URI for Simple topic expressions.
+pub const SIMPLE_DIALECT: &str = "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Simple";
+/// Dialect URI for Concrete topic expressions.
+pub const CONCRETE_DIALECT: &str = "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Concrete";
+/// Dialect URI for Full topic expressions.
+pub const FULL_DIALECT: &str = "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Full";
+
+/// The three WS-Topics expression dialects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// A single root topic name.
+    Simple,
+    /// A full path without wildcards.
+    Concrete,
+    /// Paths with `*`, `//` and `|`.
+    Full,
+}
+
+impl Dialect {
+    /// The dialect URI carried in `TopicExpression/@Dialect`.
+    pub fn uri(self) -> &'static str {
+        match self {
+            Dialect::Simple => SIMPLE_DIALECT,
+            Dialect::Concrete => CONCRETE_DIALECT,
+            Dialect::Full => FULL_DIALECT,
+        }
+    }
+
+    /// Look a dialect up by URI.
+    pub fn from_uri(uri: &str) -> Option<Self> {
+        match uri {
+            SIMPLE_DIALECT => Some(Dialect::Simple),
+            CONCRETE_DIALECT => Some(Dialect::Concrete),
+            FULL_DIALECT => Some(Dialect::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from compiling a topic expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopicExprError {
+    /// The text is not valid in the requested dialect.
+    InvalidForDialect {
+        /// The dialect the expression was compiled in.
+        dialect: Dialect,
+        /// The offending expression.
+        text: String,
+        /// What was wrong.
+        why: String,
+    },
+    /// Unknown dialect URI.
+    UnknownDialect(String),
+}
+
+impl fmt::Display for TopicExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicExprError::InvalidForDialect { dialect, text, why } => {
+                write!(f, "`{text}` is not a valid {dialect:?} topic expression: {why}")
+            }
+            TopicExprError::UnknownDialect(u) => write!(f, "unknown topic dialect `{u}`"),
+        }
+    }
+}
+
+impl std::error::Error for TopicExprError {}
+
+/// One step of a Full-dialect pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    /// A literal name.
+    Name(String),
+    /// `*` — exactly one level, any name.
+    Any,
+    /// `//` — zero or more levels (descendant-or-self of the position).
+    Descend,
+}
+
+/// A compiled topic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicExpression {
+    dialect: Dialect,
+    text: String,
+    /// Union alternatives; each is a segment pattern.
+    alternatives: Vec<Vec<Seg>>,
+}
+
+impl TopicExpression {
+    /// Compile a Simple expression (one root topic name).
+    pub fn simple(text: &str) -> Result<Self, TopicExprError> {
+        Self::compile(Dialect::Simple, text)
+    }
+
+    /// Compile a Concrete expression (a full path).
+    pub fn concrete(text: &str) -> Result<Self, TopicExprError> {
+        Self::compile(Dialect::Concrete, text)
+    }
+
+    /// Compile a Full expression (wildcards and unions allowed).
+    pub fn full(text: &str) -> Result<Self, TopicExprError> {
+        Self::compile(Dialect::Full, text)
+    }
+
+    /// Compile in an explicit dialect.
+    pub fn compile(dialect: Dialect, text: &str) -> Result<Self, TopicExprError> {
+        let err = |why: &str| TopicExprError::InvalidForDialect {
+            dialect,
+            text: text.to_string(),
+            why: why.to_string(),
+        };
+        let text = text.trim();
+        if text.is_empty() {
+            return Err(err("empty expression"));
+        }
+        match dialect {
+            Dialect::Simple => {
+                if text.contains(['/', '*', '|']) {
+                    return Err(err("Simple allows only a single root topic name"));
+                }
+                Ok(TopicExpression {
+                    dialect,
+                    text: text.to_string(),
+                    alternatives: vec![vec![Seg::Name(text.to_string())]],
+                })
+            }
+            Dialect::Concrete => {
+                if text.contains(['*', '|']) || text.contains("//") {
+                    return Err(err("Concrete allows no wildcards or unions"));
+                }
+                let segs: Vec<Seg> = text
+                    .split('/')
+                    .map(|s| {
+                        if s.is_empty() {
+                            Err(err("empty path segment"))
+                        } else {
+                            Ok(Seg::Name(s.to_string()))
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(TopicExpression { dialect, text: text.to_string(), alternatives: vec![segs] })
+            }
+            Dialect::Full => {
+                let mut alternatives = Vec::new();
+                for alt in text.split('|') {
+                    let alt = alt.trim();
+                    if alt.is_empty() {
+                        return Err(err("empty union branch"));
+                    }
+                    alternatives.push(parse_full_alternative(alt).map_err(|w| err(&w))?);
+                }
+                Ok(TopicExpression { dialect, text: text.to_string(), alternatives })
+            }
+        }
+    }
+
+    /// Compile by dialect URI (as carried on the wire).
+    pub fn compile_uri(dialect_uri: &str, text: &str) -> Result<Self, TopicExprError> {
+        let d = Dialect::from_uri(dialect_uri)
+            .ok_or_else(|| TopicExprError::UnknownDialect(dialect_uri.to_string()))?;
+        Self::compile(d, text)
+    }
+
+    /// The dialect this expression was compiled in.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// The original expression text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Does `topic` match this expression?
+    ///
+    /// Simple expressions match the root topic *and all its
+    /// descendants*, per WS-Topics (subscribing to a topic covers its
+    /// subtree). Concrete expressions match the exact topic and its
+    /// subtree as well. Full expressions match per wildcard semantics.
+    pub fn matches(&self, topic: &TopicPath) -> bool {
+        self.alternatives.iter().any(|alt| match self.dialect {
+            // Simple/Concrete: prefix match (topic subtree).
+            Dialect::Simple | Dialect::Concrete => {
+                let names: Vec<&str> = alt
+                    .iter()
+                    .map(|s| match s {
+                        Seg::Name(n) => n.as_str(),
+                        _ => unreachable!("no wildcards in simple/concrete"),
+                    })
+                    .collect();
+                topic.segments.len() >= names.len()
+                    && names.iter().zip(&topic.segments).all(|(a, b)| a == b)
+            }
+            Dialect::Full => match_full(alt, &topic.segments),
+        })
+    }
+}
+
+fn parse_full_alternative(alt: &str) -> Result<Vec<Seg>, String> {
+    let mut segs = Vec::new();
+    let mut rest = alt;
+    // Leading `//` means "any descendant of the (virtual) space root".
+    if let Some(r) = rest.strip_prefix("//") {
+        segs.push(Seg::Descend);
+        rest = r;
+    }
+    loop {
+        let (head, tail) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, ""),
+        };
+        if head.is_empty() {
+            return Err("empty path segment".into());
+        }
+        if head == "*" {
+            segs.push(Seg::Any);
+        } else if head.contains('*') {
+            return Err(format!("`*` must stand alone in a segment, got `{head}`"));
+        } else {
+            segs.push(Seg::Name(head.to_string()));
+        }
+        if tail.is_empty() {
+            break;
+        }
+        if let Some(r) = tail.strip_prefix("//") {
+            segs.push(Seg::Descend);
+            rest = r;
+            if rest.is_empty() {
+                return Err("`//` must be followed by a segment (use `//*` for the subtree)".into());
+            }
+        } else {
+            rest = &tail[1..];
+            if rest.is_empty() {
+                return Err("trailing `/`".into());
+            }
+        }
+    }
+    Ok(segs)
+}
+
+/// Recursive wildcard match of pattern `pat` against `names`.
+fn match_full(pat: &[Seg], names: &[String]) -> bool {
+    match pat.first() {
+        None => names.is_empty(),
+        Some(Seg::Name(n)) => {
+            names.first().is_some_and(|got| got == n) && match_full(&pat[1..], &names[1..])
+        }
+        Some(Seg::Any) => !names.is_empty() && match_full(&pat[1..], &names[1..]),
+        Some(Seg::Descend) => {
+            // `//X` matches X at any depth ≥ current (zero or more
+            // intermediate levels).
+            (0..=names.len()).any(|skip| match_full(&pat[1..], &names[skip..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> TopicPath {
+        TopicPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn simple_matches_subtree() {
+        let e = TopicExpression::simple("storms").unwrap();
+        assert!(e.matches(&p("storms")));
+        assert!(e.matches(&p("storms/tornado")));
+        assert!(!e.matches(&p("traffic")));
+    }
+
+    #[test]
+    fn simple_rejects_paths() {
+        assert!(TopicExpression::simple("a/b").is_err());
+        assert!(TopicExpression::simple("a|b").is_err());
+        assert!(TopicExpression::simple("*").is_err());
+        assert!(TopicExpression::simple("").is_err());
+    }
+
+    #[test]
+    fn concrete_matches_path_and_subtree() {
+        let e = TopicExpression::concrete("storms/tornado").unwrap();
+        assert!(e.matches(&p("storms/tornado")));
+        assert!(e.matches(&p("storms/tornado/f5")));
+        assert!(!e.matches(&p("storms")));
+        assert!(!e.matches(&p("storms/hail")));
+    }
+
+    #[test]
+    fn concrete_rejects_wildcards() {
+        assert!(TopicExpression::concrete("a/*").is_err());
+        assert!(TopicExpression::concrete("a//b").is_err());
+        assert!(TopicExpression::concrete("a|b").is_err());
+    }
+
+    #[test]
+    fn full_star_is_one_level() {
+        let e = TopicExpression::full("storms/*").unwrap();
+        assert!(e.matches(&p("storms/tornado")));
+        assert!(!e.matches(&p("storms")));
+        assert!(!e.matches(&p("storms/tornado/f5")), "`*` is exactly one level");
+    }
+
+    #[test]
+    fn full_descend() {
+        let e = TopicExpression::full("storms//*").unwrap();
+        assert!(e.matches(&p("storms/tornado")));
+        assert!(e.matches(&p("storms/hail/severe")));
+        assert!(!e.matches(&p("storms")), "`//*` requires at least one level below");
+        let e2 = TopicExpression::full("//tornado").unwrap();
+        assert!(e2.matches(&p("tornado")));
+        assert!(e2.matches(&p("storms/tornado")));
+        assert!(!e2.matches(&p("storms/tornado/f5")));
+    }
+
+    #[test]
+    fn full_union() {
+        let e = TopicExpression::full("storms/* | traffic").unwrap();
+        assert!(e.matches(&p("storms/hail")));
+        assert!(e.matches(&p("traffic")));
+        assert!(!e.matches(&p("traffic/jam")), "full-dialect name match is exact depth");
+    }
+
+    #[test]
+    fn full_mid_descend() {
+        let e = TopicExpression::full("a//c").unwrap();
+        assert!(e.matches(&p("a/c")));
+        assert!(e.matches(&p("a/b/c")));
+        assert!(e.matches(&p("a/b/b2/c")));
+        assert!(!e.matches(&p("a/b")));
+    }
+
+    #[test]
+    fn full_rejects_garbage() {
+        assert!(TopicExpression::full("a/").is_err());
+        assert!(TopicExpression::full("a//").is_err());
+        assert!(TopicExpression::full("ab*c").is_err());
+        assert!(TopicExpression::full("|a").is_err());
+        assert!(TopicExpression::full("").is_err());
+    }
+
+    #[test]
+    fn dialect_uris_roundtrip() {
+        for d in [Dialect::Simple, Dialect::Concrete, Dialect::Full] {
+            assert_eq!(Dialect::from_uri(d.uri()), Some(d));
+        }
+        assert_eq!(Dialect::from_uri("urn:x"), None);
+        let e = TopicExpression::compile_uri(FULL_DIALECT, "a/*").unwrap();
+        assert_eq!(e.dialect(), Dialect::Full);
+        assert!(TopicExpression::compile_uri("urn:x", "a").is_err());
+    }
+
+    #[test]
+    fn text_preserved() {
+        let e = TopicExpression::full("a/* | b").unwrap();
+        assert_eq!(e.text(), "a/* | b");
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # wsm-topics — WS-Topics: hierarchical topic spaces
+//!
+//! WS-Topics is the third member of the WS-Notification family: it
+//! defines hierarchical *topic spaces* (trees of named topics rooted in
+//! a namespace) and three *topic expression dialects* used in
+//! subscription filters:
+//!
+//! * **Simple** — a single root topic name (`storms`),
+//! * **Concrete** — a full path (`storms/tornado`),
+//! * **Full** — paths with `*` (one level), `//` (descendant-or-self)
+//!   and `|` (union), e.g. `storms//* | traffic/accidents`.
+//!
+//! The paper's Table 1 notes that WS-Notification ≤1.2 *required* a
+//! topic in every subscription while 1.3 made topics optional, and
+//! Table 3 lists "Hierarchy Topic tree" as WS-Notification's filter
+//! model; this crate is what those rows are measured against.
+//!
+//! ```
+//! use wsm_topics::{TopicExpression, TopicPath, Dialect};
+//!
+//! let expr = TopicExpression::full("storms//*").unwrap();
+//! assert!(expr.matches(&TopicPath::parse("storms/tornado").unwrap()));
+//! assert!(expr.matches(&TopicPath::parse("storms/hail/severe").unwrap()));
+//! assert!(!expr.matches(&TopicPath::parse("traffic/jam").unwrap()));
+//! assert_eq!(expr.dialect(), Dialect::Full);
+//! ```
+
+pub mod document;
+pub mod expression;
+pub mod path;
+pub mod space;
+
+pub use document::{from_topic_set, to_topic_set, TOPIC_SET_NS};
+pub use expression::{Dialect, TopicExpression, TopicExprError};
+pub use path::TopicPath;
+pub use space::{TopicSpace, TopicNode};

@@ -1,0 +1,129 @@
+//! Concrete topic paths.
+
+use std::fmt;
+
+/// A concrete topic: an optional namespace URI plus a non-empty path of
+/// name segments from a root topic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicPath {
+    /// The topic namespace this topic lives in (`None` when the
+    /// deployment uses a single anonymous space).
+    pub namespace: Option<String>,
+    /// Path segments, root first. Never empty.
+    pub segments: Vec<String>,
+}
+
+impl TopicPath {
+    /// Parse `a/b/c` into a path (no namespace).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::parse_in(None, s)
+    }
+
+    /// Parse a path within a namespace.
+    pub fn parse_in(namespace: Option<&str>, s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return None;
+        }
+        let segments: Vec<String> = s.split('/').map(str::to_string).collect();
+        if segments.iter().any(|seg| seg.is_empty() || seg.contains(['*', '|', ' '])) {
+            return None;
+        }
+        Some(TopicPath { namespace: namespace.map(str::to_string), segments })
+    }
+
+    /// The root topic name.
+    pub fn root(&self) -> &str {
+        &self.segments[0]
+    }
+
+    /// Depth of the topic (1 for a root topic).
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Is `other` equal to this path or a descendant of it?
+    pub fn is_or_contains(&self, other: &TopicPath) -> bool {
+        self.namespace == other.namespace
+            && other.segments.len() >= self.segments.len()
+            && self.segments.iter().zip(&other.segments).all(|(a, b)| a == b)
+    }
+
+    /// The parent topic, if any.
+    pub fn parent(&self) -> Option<TopicPath> {
+        if self.segments.len() <= 1 {
+            None
+        } else {
+            Some(TopicPath {
+                namespace: self.namespace.clone(),
+                segments: self.segments[..self.segments.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// A child of this topic.
+    pub fn child(&self, name: impl Into<String>) -> TopicPath {
+        let mut segments = self.segments.clone();
+        segments.push(name.into());
+        TopicPath { namespace: self.namespace.clone(), segments }
+    }
+}
+
+impl fmt::Display for TopicPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(ns) = &self.namespace {
+            write!(f, "{{{ns}}}")?;
+        }
+        write!(f, "{}", self.segments.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let p = TopicPath::parse("a/b/c").unwrap();
+        assert_eq!(p.segments, vec!["a", "b", "c"]);
+        assert_eq!(p.to_string(), "a/b/c");
+        assert_eq!(p.root(), "a");
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn namespaced_display() {
+        let p = TopicPath::parse_in(Some("urn:t"), "a").unwrap();
+        assert_eq!(p.to_string(), "{urn:t}a");
+    }
+
+    #[test]
+    fn invalid_paths() {
+        assert!(TopicPath::parse("").is_none());
+        assert!(TopicPath::parse("a//b").is_none());
+        assert!(TopicPath::parse("a/").is_none());
+        assert!(TopicPath::parse("a/*").is_none(), "wildcards are not concrete");
+        assert!(TopicPath::parse("a b").is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let a = TopicPath::parse("a").unwrap();
+        let ab = TopicPath::parse("a/b").unwrap();
+        let ac = TopicPath::parse("a/c").unwrap();
+        assert!(a.is_or_contains(&ab));
+        assert!(a.is_or_contains(&a));
+        assert!(!ab.is_or_contains(&a));
+        assert!(!ab.is_or_contains(&ac));
+        // Different namespaces never contain each other.
+        let na = TopicPath::parse_in(Some("urn:x"), "a").unwrap();
+        assert!(!a.is_or_contains(&na));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let ab = TopicPath::parse("a/b").unwrap();
+        assert_eq!(ab.parent().unwrap().to_string(), "a");
+        assert!(ab.parent().unwrap().parent().is_none());
+        assert_eq!(ab.child("c").to_string(), "a/b/c");
+    }
+}

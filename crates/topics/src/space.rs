@@ -1,0 +1,201 @@
+//! Topic spaces: administered trees of topics.
+
+use crate::expression::TopicExpression;
+use crate::path::TopicPath;
+
+/// One node of a topic tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicNode {
+    /// Topic name (one path segment).
+    pub name: String,
+    /// Child topics.
+    pub children: Vec<TopicNode>,
+}
+
+impl TopicNode {
+    fn new(name: &str) -> Self {
+        TopicNode { name: name.to_string(), children: Vec::new() }
+    }
+}
+
+/// A topic space: a namespace URI plus a forest of topic trees.
+///
+/// Brokers administer one or more topic spaces; `Subscribe` requests
+/// carrying topic expressions are resolved against them, and
+/// `GetCurrentMessage` / demand-based publishing are defined per
+/// concrete topic.
+#[derive(Debug, Clone, Default)]
+pub struct TopicSpace {
+    /// The target namespace of this space (`None` for the anonymous
+    /// space used by simple deployments).
+    pub namespace: Option<String>,
+    roots: Vec<TopicNode>,
+}
+
+impl TopicSpace {
+    /// An anonymous topic space.
+    pub fn new() -> Self {
+        TopicSpace::default()
+    }
+
+    /// A namespaced topic space.
+    pub fn with_namespace(namespace: impl Into<String>) -> Self {
+        TopicSpace { namespace: Some(namespace.into()), roots: Vec::new() }
+    }
+
+    /// Add a concrete topic (and any missing ancestors).
+    pub fn add(&mut self, path: &TopicPath) {
+        let mut level = &mut self.roots;
+        for seg in &path.segments {
+            let pos = level.iter().position(|n| &n.name == seg);
+            let node = match pos {
+                Some(i) => &mut level[i],
+                None => {
+                    level.push(TopicNode::new(seg));
+                    let last = level.len() - 1;
+                    &mut level[last]
+                }
+            };
+            level = &mut node.children;
+        }
+    }
+
+    /// Parse-and-add convenience.
+    pub fn add_str(&mut self, path: &str) {
+        if let Some(p) = TopicPath::parse_in(self.namespace.as_deref(), path) {
+            self.add(&p);
+        }
+    }
+
+    /// Does the space contain this exact topic?
+    pub fn contains(&self, path: &TopicPath) -> bool {
+        if path.namespace != self.namespace {
+            return false;
+        }
+        let mut level = &self.roots;
+        for (i, seg) in path.segments.iter().enumerate() {
+            match level.iter().find(|n| &n.name == seg) {
+                Some(node) => {
+                    if i + 1 == path.segments.len() {
+                        return true;
+                    }
+                    level = &node.children;
+                }
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// All concrete topics, in depth-first order.
+    pub fn all_topics(&self) -> Vec<TopicPath> {
+        let mut out = Vec::new();
+        for root in &self.roots {
+            collect(root, Vec::new(), self.namespace.as_deref(), &mut out);
+        }
+        out
+    }
+
+    /// All concrete topics matching `expr` — how a broker turns a
+    /// wildcard subscription into the set of topics it covers.
+    pub fn expand(&self, expr: &TopicExpression) -> Vec<TopicPath> {
+        self.all_topics().into_iter().filter(|t| expr.matches(t)).collect()
+    }
+
+    /// Number of concrete topics.
+    pub fn len(&self) -> usize {
+        self.all_topics().len()
+    }
+
+    /// True when no topics are defined.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Root topic nodes (for rendering topic-set documents).
+    pub fn roots(&self) -> &[TopicNode] {
+        &self.roots
+    }
+}
+
+fn collect(node: &TopicNode, mut prefix: Vec<String>, ns: Option<&str>, out: &mut Vec<TopicPath>) {
+    prefix.push(node.name.clone());
+    out.push(TopicPath { namespace: ns.map(str::to_string), segments: prefix.clone() });
+    for c in &node.children {
+        collect(c, prefix.clone(), ns, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> TopicSpace {
+        let mut s = TopicSpace::new();
+        s.add_str("storms/tornado");
+        s.add_str("storms/hail/severe");
+        s.add_str("traffic/accidents");
+        s
+    }
+
+    #[test]
+    fn add_creates_ancestors() {
+        let s = space();
+        assert!(s.contains(&TopicPath::parse("storms").unwrap()));
+        assert!(s.contains(&TopicPath::parse("storms/hail").unwrap()));
+        assert!(s.contains(&TopicPath::parse("storms/hail/severe").unwrap()));
+        assert!(!s.contains(&TopicPath::parse("storms/hail/mild").unwrap()));
+    }
+
+    #[test]
+    fn all_topics_depth_first() {
+        let s = space();
+        let all: Vec<String> = s.all_topics().iter().map(|t| t.to_string()).collect();
+        assert_eq!(
+            all,
+            vec![
+                "storms",
+                "storms/tornado",
+                "storms/hail",
+                "storms/hail/severe",
+                "traffic",
+                "traffic/accidents"
+            ]
+        );
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn expand_wildcards() {
+        let s = space();
+        let e = TopicExpression::full("storms/*").unwrap();
+        let hits: Vec<String> = s.expand(&e).iter().map(|t| t.to_string()).collect();
+        assert_eq!(hits, vec!["storms/tornado", "storms/hail"]);
+        let e2 = TopicExpression::full("storms//*").unwrap();
+        assert_eq!(s.expand(&e2).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let mut s = space();
+        let before = s.len();
+        s.add_str("storms/tornado");
+        assert_eq!(s.len(), before);
+    }
+
+    #[test]
+    fn namespaced_space() {
+        let mut s = TopicSpace::with_namespace("urn:wx");
+        s.add_str("a/b");
+        assert!(s.contains(&TopicPath::parse_in(Some("urn:wx"), "a/b").unwrap()));
+        assert!(!s.contains(&TopicPath::parse("a/b").unwrap()), "namespace must match");
+    }
+
+    #[test]
+    fn empty_space() {
+        let s = TopicSpace::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.all_topics().is_empty());
+    }
+}

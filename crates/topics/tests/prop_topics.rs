@@ -1,0 +1,95 @@
+//! Property tests for topic expressions and topic spaces.
+
+use proptest::prelude::*;
+use wsm_topics::{TopicExpression, TopicPath, TopicSpace};
+
+fn seg() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a"), Just("b"), Just("c"), Just("dd")].prop_map(str::to_string)
+}
+
+fn path_strategy() -> impl Strategy<Value = TopicPath> {
+    prop::collection::vec(seg(), 1..5)
+        .prop_map(|segs| TopicPath::parse(&segs.join("/")).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// A concrete expression built from a path matches that path and
+    /// every extension of it, and nothing that diverges earlier.
+    #[test]
+    fn concrete_matches_own_subtree(p in path_strategy(), extra in prop::collection::vec(seg(), 0..3)) {
+        let expr = TopicExpression::concrete(&p.segments.join("/")).unwrap();
+        prop_assert!(expr.matches(&p));
+        let mut deeper = p.clone();
+        for e in extra {
+            deeper = deeper.child(e);
+        }
+        prop_assert!(expr.matches(&deeper));
+        // A sibling with a changed first segment never matches.
+        let mut other = p.clone();
+        other.segments[0] = format!("{}x", other.segments[0]);
+        prop_assert!(!expr.matches(&other));
+    }
+
+    /// `parent/*` matches exactly the paths one level below the parent.
+    #[test]
+    fn star_is_exactly_one_level(p in path_strategy()) {
+        let expr = TopicExpression::full(&format!("{}/*", p.segments.join("/"))).unwrap();
+        prop_assert!(!expr.matches(&p), "parent itself must not match");
+        let child = p.child("zz");
+        prop_assert!(expr.matches(&child));
+        let grandchild = child.child("yy");
+        prop_assert!(!expr.matches(&grandchild));
+    }
+
+    /// `root//*` matches every strict descendant and nothing else
+    /// rooted differently.
+    #[test]
+    fn descend_matches_all_strict_descendants(p in path_strategy()) {
+        let expr = TopicExpression::full(&format!("{}//*", p.root())).unwrap();
+        if p.depth() > 1 {
+            prop_assert!(expr.matches(&p));
+        } else {
+            prop_assert!(!expr.matches(&p));
+            prop_assert!(expr.matches(&p.child("k")));
+        }
+    }
+
+    /// Space membership: everything added is contained, along with all
+    /// its ancestors, and expand(concrete expr) is consistent with
+    /// matches().
+    #[test]
+    fn space_contains_added_and_ancestors(paths in prop::collection::vec(path_strategy(), 1..8)) {
+        let mut space = TopicSpace::new();
+        for p in &paths {
+            space.add(p);
+        }
+        for p in &paths {
+            let mut cur = Some(p.clone());
+            while let Some(c) = cur {
+                prop_assert!(space.contains(&c), "missing {c}");
+                cur = c.parent();
+            }
+        }
+        // expand vs matches consistency for each added root.
+        for p in &paths {
+            let expr = TopicExpression::concrete(p.root()).unwrap();
+            let expanded = space.expand(&expr);
+            for t in space.all_topics() {
+                prop_assert_eq!(expanded.contains(&t), expr.matches(&t));
+            }
+        }
+    }
+
+    /// Union semantics: `x | y` matches exactly what x or y matches.
+    #[test]
+    fn union_is_disjunction(p in path_strategy(), q in path_strategy(), probe in path_strategy()) {
+        let sx = p.segments.join("/");
+        let sy = q.segments.join("/");
+        let x = TopicExpression::full(&sx).unwrap();
+        let y = TopicExpression::full(&sy).unwrap();
+        let both = TopicExpression::full(&format!("{sx} | {sy}")).unwrap();
+        prop_assert_eq!(both.matches(&probe), x.matches(&probe) || y.matches(&probe));
+    }
+}

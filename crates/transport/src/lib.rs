@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # wsm-transport — simulated SOAP-over-HTTP network
+//!
+//! The paper's systems ran over real HTTP between real hosts. The spec
+//! semantics being compared, however, depend only on (a) who can open a
+//! connection to whom, (b) whether a message arrives, and (c) message
+//! ordering — so this crate substitutes an in-process network that
+//! models exactly those three things and records everything for the
+//! experiment harnesses:
+//!
+//! * **URI-addressed endpoints** hosting [`SoapHandler`]s (request /
+//!   response and one-way sends, like HTTP POST with or without a
+//!   response body);
+//! * **firewalled endpoints** that refuse inbound connections — the
+//!   scenario the paper gives for pull delivery ("delivering messages
+//!   to consumers behind firewalls");
+//! * **fault injection** (drop the next N deliveries to a URI) and a
+//!   fixed per-hop simulated latency, driving a **virtual clock** that
+//!   subscription expiration is measured against;
+//! * a **trace** of every delivery attempt, which the benches and the
+//!   EXPERIMENTS harness read back.
+//!
+//! ```
+//! use wsm_transport::{Network, SoapHandler};
+//! use wsm_soap::{Envelope, SoapVersion};
+//! use wsm_xml::Element;
+//! use std::sync::Arc;
+//!
+//! struct Echo;
+//! impl SoapHandler for Echo {
+//!     fn handle(&self, request: Envelope) -> Result<Option<Envelope>, wsm_soap::Fault> {
+//!         Ok(Some(request))
+//!     }
+//! }
+//!
+//! let net = Network::new();
+//! net.register("http://svc.example.org/echo", Arc::new(Echo));
+//! let req = Envelope::new(SoapVersion::V12).with_body(Element::local("Ping"));
+//! let resp = net.request("http://svc.example.org/echo", req.clone()).unwrap();
+//! assert_eq!(resp, req);
+//! ```
+
+pub mod clock;
+pub mod network;
+pub mod trace;
+
+pub use clock::SimClock;
+pub use network::{EndpointOptions, Network, SoapHandler, TransportError};
+pub use trace::{DeliveryOutcome, TraceRecord};

@@ -1,0 +1,399 @@
+//! The endpoint registry and delivery engine.
+
+use crate::clock::SimClock;
+use crate::trace::{DeliveryOutcome, TraceRecord};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use wsm_soap::{Envelope, Fault};
+
+/// A SOAP endpoint: receives a request envelope, returns `Ok(Some(_))`
+/// for a response, `Ok(None)` for one-way accept (HTTP 202), or a fault.
+pub trait SoapHandler: Send + Sync {
+    /// Process one incoming envelope.
+    fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault>;
+}
+
+/// Per-endpoint registration options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndpointOptions {
+    /// A firewalled endpoint cannot receive *inbound* traffic; it can
+    /// still originate requests (the pull-delivery scenario).
+    pub firewalled: bool,
+}
+
+/// A delivery error as seen by the sender.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// No endpoint at the target URI.
+    NoEndpoint(String),
+    /// The target refuses inbound connections.
+    Refused(String),
+    /// Injected loss dropped the message.
+    Dropped(String),
+    /// The handler answered with a SOAP fault.
+    Fault(Fault),
+    /// A two-way exchange got no response body.
+    NoResponse(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NoEndpoint(u) => write!(f, "no endpoint at {u}"),
+            TransportError::Refused(u) => write!(f, "{u} refuses inbound connections"),
+            TransportError::Dropped(u) => write!(f, "message to {u} was dropped"),
+            TransportError::Fault(fault) => write!(f, "SOAP fault: {}", fault.reason),
+            TransportError::NoResponse(u) => write!(f, "{u} returned no response"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+struct Endpoint {
+    handler: Arc<dyn SoapHandler>,
+    options: EndpointOptions,
+}
+
+#[derive(Default)]
+struct FaultPlan {
+    /// URI → number of upcoming deliveries to drop.
+    drop_next: HashMap<String, u32>,
+}
+
+struct Inner {
+    endpoints: RwLock<HashMap<String, Endpoint>>,
+    faults: Mutex<FaultPlan>,
+    trace: Mutex<Vec<TraceRecord>>,
+    clock: SimClock,
+    /// Simulated per-hop latency added to the clock on every delivery.
+    latency_ms: Mutex<u64>,
+}
+
+/// The simulated network. Cheap to clone; clones share all state.
+#[derive(Clone)]
+pub struct Network(Arc<Inner>);
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// A fresh network with its own clock and no latency.
+    pub fn new() -> Self {
+        Network(Arc::new(Inner {
+            endpoints: RwLock::new(HashMap::new()),
+            faults: Mutex::new(FaultPlan::default()),
+            trace: Mutex::new(Vec::new()),
+            clock: SimClock::new(),
+            latency_ms: Mutex::new(0),
+        }))
+    }
+
+    /// The network's virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.0.clock
+    }
+
+    /// Set the simulated per-hop latency (added to the clock per delivery).
+    pub fn set_latency_ms(&self, ms: u64) {
+        *self.0.latency_ms.lock() = ms;
+    }
+
+    /// Register a handler at `uri` with default options.
+    pub fn register(&self, uri: impl Into<String>, handler: Arc<dyn SoapHandler>) {
+        self.register_with(uri, handler, EndpointOptions::default());
+    }
+
+    /// Register a handler with explicit options.
+    pub fn register_with(
+        &self,
+        uri: impl Into<String>,
+        handler: Arc<dyn SoapHandler>,
+        options: EndpointOptions,
+    ) {
+        self.0.endpoints.write().insert(uri.into(), Endpoint { handler, options });
+    }
+
+    /// Remove an endpoint. Returns true if one was registered.
+    pub fn unregister(&self, uri: &str) -> bool {
+        self.0.endpoints.write().remove(uri).is_some()
+    }
+
+    /// Is an endpoint registered at `uri`?
+    pub fn has_endpoint(&self, uri: &str) -> bool {
+        self.0.endpoints.read().contains_key(uri)
+    }
+
+    /// Drop the next `n` deliveries addressed to `uri`.
+    pub fn drop_next(&self, uri: impl Into<String>, n: u32) {
+        self.0.faults.lock().drop_next.insert(uri.into(), n);
+    }
+
+    /// One-way send (fire-and-forget notification delivery).
+    pub fn send(&self, to: &str, envelope: Envelope) -> Result<(), TransportError> {
+        self.deliver(to, envelope, false).map(|_| ())
+    }
+
+    /// Two-way request/response exchange.
+    pub fn request(&self, to: &str, envelope: Envelope) -> Result<Envelope, TransportError> {
+        match self.deliver(to, envelope, true)? {
+            Some(resp) => Ok(resp),
+            None => Err(TransportError::NoResponse(to.to_string())),
+        }
+    }
+
+    fn deliver(
+        &self,
+        to: &str,
+        envelope: Envelope,
+        two_way: bool,
+    ) -> Result<Option<Envelope>, TransportError> {
+        let latency = *self.0.latency_ms.lock();
+        self.0.clock.advance_ms(latency);
+        let label = label_of(&envelope);
+        let bytes = envelope.to_xml().len();
+
+        // Injected loss?
+        {
+            let mut plan = self.0.faults.lock();
+            if let Some(n) = plan.drop_next.get_mut(to) {
+                if *n > 0 {
+                    *n -= 1;
+                    if *n == 0 {
+                        plan.drop_next.remove(to);
+                    }
+                    drop(plan);
+                    self.record(to, &label, bytes, two_way, DeliveryOutcome::Dropped);
+                    return Err(TransportError::Dropped(to.to_string()));
+                }
+            }
+        }
+
+        let (handler, options) = {
+            let map = self.0.endpoints.read();
+            match map.get(to) {
+                Some(ep) => (Arc::clone(&ep.handler), ep.options),
+                None => {
+                    drop(map);
+                    self.record(to, &label, bytes, two_way, DeliveryOutcome::NoEndpoint);
+                    return Err(TransportError::NoEndpoint(to.to_string()));
+                }
+            }
+        };
+        if options.firewalled {
+            self.record(to, &label, bytes, two_way, DeliveryOutcome::Refused);
+            return Err(TransportError::Refused(to.to_string()));
+        }
+
+        match handler.handle(envelope) {
+            Ok(resp) => {
+                self.record(to, &label, bytes, two_way, DeliveryOutcome::Delivered);
+                Ok(resp)
+            }
+            Err(fault) => {
+                self.record(
+                    to,
+                    &label,
+                    bytes,
+                    two_way,
+                    DeliveryOutcome::Faulted(fault.reason.clone()),
+                );
+                Err(TransportError::Fault(fault))
+            }
+        }
+    }
+
+    fn record(&self, to: &str, label: &str, bytes: usize, two_way: bool, outcome: DeliveryOutcome) {
+        self.0.trace.lock().push(TraceRecord {
+            time_ms: self.0.clock.now_ms(),
+            to: to.to_string(),
+            label: label.to_string(),
+            bytes,
+            two_way,
+            outcome,
+        });
+    }
+
+    /// Snapshot of the delivery trace.
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        self.0.trace.lock().clone()
+    }
+
+    /// Clear the trace (benches do this between runs).
+    pub fn clear_trace(&self) {
+        self.0.trace.lock().clear();
+    }
+
+    /// Count trace records with the given outcome predicate.
+    pub fn count_outcomes(&self, pred: impl Fn(&DeliveryOutcome) -> bool) -> usize {
+        self.0.trace.lock().iter().filter(|r| pred(&r.outcome)).count()
+    }
+}
+
+/// Label a message for tracing: its `wsa:Action` text in any WSA
+/// version, else the first body element's local name.
+fn label_of(env: &Envelope) -> String {
+    for h in env.headers() {
+        if h.name.local == "Action" {
+            if let Some(ns) = h.name.ns.as_deref() {
+                if ns.contains("addressing") {
+                    return h.text().trim().to_string();
+                }
+            }
+        }
+    }
+    env.body().map(|b| b.name.local.clone()).unwrap_or_else(|| "(empty)".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_soap::SoapVersion;
+    use wsm_xml::Element;
+
+    struct Echo;
+    impl SoapHandler for Echo {
+        fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
+            Ok(Some(request))
+        }
+    }
+
+    struct Sink;
+    impl SoapHandler for Sink {
+        fn handle(&self, _request: Envelope) -> Result<Option<Envelope>, Fault> {
+            Ok(None)
+        }
+    }
+
+    struct Grumpy;
+    impl SoapHandler for Grumpy {
+        fn handle(&self, _request: Envelope) -> Result<Option<Envelope>, Fault> {
+            Err(Fault::sender("no thanks"))
+        }
+    }
+
+    fn env() -> Envelope {
+        Envelope::new(SoapVersion::V12).with_body(Element::local("Ping"))
+    }
+
+    #[test]
+    fn request_response() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Echo));
+        let resp = net.request("http://a", env()).unwrap();
+        assert_eq!(resp.body().unwrap().name.local, "Ping");
+    }
+
+    #[test]
+    fn one_way_send() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        net.send("http://a", env()).unwrap();
+        assert_eq!(net.count_outcomes(|o| *o == DeliveryOutcome::Delivered), 1);
+    }
+
+    #[test]
+    fn two_way_to_one_way_handler_is_no_response() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        assert!(matches!(net.request("http://a", env()), Err(TransportError::NoResponse(_))));
+    }
+
+    #[test]
+    fn missing_endpoint() {
+        let net = Network::new();
+        assert!(matches!(net.send("http://nope", env()), Err(TransportError::NoEndpoint(_))));
+        assert_eq!(net.count_outcomes(|o| *o == DeliveryOutcome::NoEndpoint), 1);
+    }
+
+    #[test]
+    fn firewalled_endpoint_refuses_inbound() {
+        let net = Network::new();
+        net.register_with("http://fw", Arc::new(Echo), EndpointOptions { firewalled: true });
+        assert!(matches!(net.send("http://fw", env()), Err(TransportError::Refused(_))));
+        // ... but the network still knows it exists.
+        assert!(net.has_endpoint("http://fw"));
+    }
+
+    #[test]
+    fn drop_next_injects_loss_then_recovers() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        net.drop_next("http://a", 2);
+        assert!(matches!(net.send("http://a", env()), Err(TransportError::Dropped(_))));
+        assert!(matches!(net.send("http://a", env()), Err(TransportError::Dropped(_))));
+        assert!(net.send("http://a", env()).is_ok());
+        assert_eq!(net.count_outcomes(|o| *o == DeliveryOutcome::Dropped), 2);
+    }
+
+    #[test]
+    fn handler_fault_propagates() {
+        let net = Network::new();
+        net.register("http://g", Arc::new(Grumpy));
+        match net.request("http://g", env()) {
+            Err(TransportError::Fault(f)) => assert_eq!(f.reason, "no thanks"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_advances_clock() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        net.set_latency_ms(5);
+        net.send("http://a", env()).unwrap();
+        net.send("http://a", env()).unwrap();
+        assert_eq!(net.clock().now_ms(), 10);
+        let t = net.trace();
+        assert_eq!(t[0].time_ms, 5);
+        assert_eq!(t[1].time_ms, 10);
+    }
+
+    #[test]
+    fn trace_labels_use_action_or_body() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        net.send("http://a", env()).unwrap();
+        let mut with_action = env();
+        with_action.add_header(
+            Element::ns("http://www.w3.org/2005/08/addressing", "Action", "wsa").with_text("urn:go"),
+        );
+        net.send("http://a", with_action).unwrap();
+        let t = net.trace();
+        assert_eq!(t[0].label, "Ping");
+        assert_eq!(t[1].label, "urn:go");
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        assert!(net.unregister("http://a"));
+        assert!(!net.unregister("http://a"));
+        assert!(!net.has_endpoint("http://a"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let net = Network::new();
+        let net2 = net.clone();
+        net.register("http://a", Arc::new(Sink));
+        assert!(net2.has_endpoint("http://a"));
+        net2.send("http://a", env()).unwrap();
+        assert_eq!(net.trace().len(), 1);
+    }
+
+    #[test]
+    fn clear_trace() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        net.send("http://a", env()).unwrap();
+        net.clear_trace();
+        assert!(net.trace().is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Delivery tracing.
+
+use std::fmt;
+
+/// What happened to one delivery attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// Delivered; for requests, the handler produced a response.
+    Delivered,
+    /// Dropped by injected loss.
+    Dropped,
+    /// No endpoint registered at the target URI.
+    NoEndpoint,
+    /// The endpoint refuses inbound connections (firewalled consumer).
+    Refused,
+    /// The handler returned a SOAP fault.
+    Faulted(String),
+}
+
+impl fmt::Display for DeliveryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeliveryOutcome::Delivered => write!(f, "delivered"),
+            DeliveryOutcome::Dropped => write!(f, "dropped"),
+            DeliveryOutcome::NoEndpoint => write!(f, "no endpoint"),
+            DeliveryOutcome::Refused => write!(f, "refused (firewalled)"),
+            DeliveryOutcome::Faulted(r) => write!(f, "faulted: {r}"),
+        }
+    }
+}
+
+/// One traced delivery attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time at delivery (after latency).
+    pub time_ms: u64,
+    /// Target endpoint URI.
+    pub to: String,
+    /// The `wsa:Action` of the message if one was present (any WSA
+    /// version), else the body element's local name.
+    pub label: String,
+    /// Serialized size of the envelope in bytes.
+    pub bytes: usize,
+    /// Whether this was a request/response exchange (vs one-way).
+    pub two_way: bool,
+    /// Outcome.
+    pub outcome: DeliveryOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(DeliveryOutcome::Delivered.to_string(), "delivered");
+        assert_eq!(DeliveryOutcome::Faulted("x".into()).to_string(), "faulted: x");
+        assert!(DeliveryOutcome::Refused.to_string().contains("firewalled"));
+    }
+}

@@ -1,0 +1,312 @@
+//! WSDL generators for the implemented specifications.
+//!
+//! Operation lists are derived from the version capability methods, so
+//! a generated WSDL advertises an operation exactly when the runtime
+//! services answer it: WSE 01/2004 gets no `GetStatus`, WSN 1.0 gets no
+//! `Renew`/`Unsubscribe` (they live in WSRF), and WSN 1.3 adds
+//! `CreatePullPoint`/`GetMessages`.
+
+use crate::model::{Definitions, Message, Operation, PortType};
+use wsm_eventing::WseVersion;
+use wsm_notification::WsnVersion;
+
+fn msg(defs: &mut Definitions, ns: &str, local: &str) -> String {
+    let name = format!("{local}Message");
+    defs.add_message(Message {
+        name: name.clone(),
+        element_ns: ns.to_string(),
+        element_local: local.to_string(),
+    });
+    name
+}
+
+fn req_resp(defs: &mut Definitions, ns: &str, op: &str, action: String) -> Operation {
+    let input = msg(defs, ns, op);
+    let output = msg(defs, ns, &format!("{op}Response"));
+    Operation { name: op.to_string(), input, output: Some(output), action }
+}
+
+fn one_way(defs: &mut Definitions, ns: &str, op: &str, action: String) -> Operation {
+    let input = msg(defs, ns, op);
+    Operation { name: op.to_string(), input, output: None, action }
+}
+
+/// WSDL for a WS-Eventing event source (and its subscription manager)
+/// of the given version, served at `location`.
+pub fn wse_definitions(version: WseVersion, location: &str) -> Definitions {
+    let ns = version.ns();
+    let mut defs = Definitions::new("EventSourceService", ns, location);
+
+    let mut source_ops = vec![req_resp(&mut defs, ns, "Subscribe", version.action("Subscribe"))];
+    if !version.has_separate_subscription_manager() {
+        // 01/2004: management ops live on the source itself.
+        source_ops.push(req_resp(&mut defs, ns, "Renew", version.action("Renew")));
+        source_ops.push(req_resp(&mut defs, ns, "Unsubscribe", version.action("Unsubscribe")));
+    }
+    defs.add_port_type(PortType { name: "EventSourcePortType".into(), operations: source_ops });
+
+    if version.has_separate_subscription_manager() {
+        let mut mgr_ops = vec![
+            req_resp(&mut defs, ns, "Renew", version.action("Renew")),
+            req_resp(&mut defs, ns, "Unsubscribe", version.action("Unsubscribe")),
+        ];
+        if version.has_get_status() {
+            mgr_ops.push(req_resp(&mut defs, ns, "GetStatus", version.action("GetStatus")));
+        }
+        if version.supports_pull_delivery() {
+            mgr_ops.push(req_resp(&mut defs, ns, "Pull", version.action("Pull")));
+        }
+        defs.add_port_type(PortType {
+            name: "SubscriptionManagerPortType".into(),
+            operations: mgr_ops,
+        });
+    }
+
+    // The sink-side one-way messages the source emits.
+    let end = one_way(&mut defs, ns, "SubscriptionEnd", version.action("SubscriptionEnd"));
+    defs.add_port_type(PortType { name: "EventSinkPortType".into(), operations: vec![end] });
+    defs
+}
+
+/// WSDL for a WS-Notification producer/broker of the given version.
+pub fn wsn_definitions(version: WsnVersion, location: &str) -> Definitions {
+    let ns = version.ns();
+    let brns = version.brokered_ns();
+    let mut defs = Definitions::new("NotificationProducerService", ns, location);
+
+    let mut producer_ops = vec![req_resp(&mut defs, ns, "Subscribe", version.action("Subscribe"))];
+    if version.has_get_current_message() {
+        producer_ops.push(req_resp(
+            &mut defs,
+            ns,
+            "GetCurrentMessage",
+            version.action("GetCurrentMessage"),
+        ));
+    }
+    defs.add_port_type(PortType {
+        name: "NotificationProducerPortType".into(),
+        operations: producer_ops,
+    });
+
+    let mut mgr_ops = vec![
+        req_resp(&mut defs, ns, "PauseSubscription", version.action("PauseSubscription")),
+        req_resp(&mut defs, ns, "ResumeSubscription", version.action("ResumeSubscription")),
+    ];
+    if version.has_native_renew_unsubscribe() {
+        mgr_ops.insert(0, req_resp(&mut defs, ns, "Renew", version.action("Renew")));
+        mgr_ops.insert(1, req_resp(&mut defs, ns, "Unsubscribe", version.action("Unsubscribe")));
+    } else {
+        // 1.0: WSRF lifetime/properties stand in (Table 2's mapping).
+        mgr_ops.push(req_resp(
+            &mut defs,
+            wsm_wsrf_rl(),
+            "SetTerminationTime",
+            version.action("SetTerminationTime"),
+        ));
+        mgr_ops.push(req_resp(&mut defs, wsm_wsrf_rl(), "Destroy", version.action("Destroy")));
+        mgr_ops.push(req_resp(
+            &mut defs,
+            wsm_wsrf_rp(),
+            "GetResourceProperty",
+            version.action("GetResourceProperty"),
+        ));
+    }
+    defs.add_port_type(PortType { name: "SubscriptionManagerPortType".into(), operations: mgr_ops });
+
+    let notify = one_way(&mut defs, ns, "Notify", version.action("Notify"));
+    defs.add_port_type(PortType {
+        name: "NotificationConsumerPortType".into(),
+        operations: vec![notify],
+    });
+
+    let mut broker_ops = vec![req_resp(
+        &mut defs,
+        brns,
+        "RegisterPublisher",
+        version.action("RegisterPublisher"),
+    )];
+    if version.has_pull_point() {
+        broker_ops.push(req_resp(&mut defs, brns, "CreatePullPoint", version.action("CreatePullPoint")));
+        broker_ops.push(req_resp(&mut defs, ns, "GetMessages", version.action("GetMessages")));
+    }
+    defs.add_port_type(PortType { name: "NotificationBrokerPortType".into(), operations: broker_ops });
+    defs
+}
+
+fn wsm_wsrf_rl() -> &'static str {
+    "http://docs.oasis-open.org/wsrf/rl-2"
+}
+
+fn wsm_wsrf_rp() -> &'static str {
+    "http://docs.oasis-open.org/wsrf/rp-2"
+}
+
+/// WSDL for the WS-Messenger broker: one service whose endpoint
+/// implements the current port types of *both* families — the
+/// interface-description form of §VII's dual-specification claim.
+pub fn messenger_definitions(location: &str) -> Definitions {
+    let mut defs = Definitions::new(
+        "WsMessengerService",
+        "urn:ws-messenger:broker",
+        location,
+    );
+    let wse = wse_definitions(WseVersion::Aug2004, location);
+    let wsn = wsn_definitions(WsnVersion::V1_3, location);
+    // Names collide across the families (both define Subscribe messages
+    // and a SubscriptionManagerPortType), so everything merges under
+    // family-prefixed names — messages and the operations referencing
+    // them alike.
+    let mut merge = |src: &Definitions, prefix: &str, skip: &str| {
+        for m in &src.messages {
+            let mut renamed = m.clone();
+            renamed.name = format!("{prefix}{}", m.name);
+            defs.add_message(renamed);
+        }
+        for pt in &src.port_types {
+            if pt.name == skip {
+                continue;
+            }
+            let mut renamed = pt.clone();
+            renamed.name = format!("{prefix}{}", pt.name);
+            for op in &mut renamed.operations {
+                op.input = format!("{prefix}{}", op.input);
+                if let Some(out) = &op.output {
+                    op.output = Some(format!("{prefix}{out}"));
+                }
+            }
+            defs.add_port_type(renamed);
+        }
+    };
+    merge(&wse, "Wse", "EventSinkPortType");
+    // The broker implements the WSN consumer port type too (it receives
+    // publishers' Notify messages), so nothing is skipped on that side.
+    merge(&wsn, "Wsn", "");
+    defs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wse_versions_differ_in_advertised_operations() {
+        let old = wse_definitions(WseVersion::Jan2004, "http://src");
+        // 01/2004: no separate manager port type; Renew on the source.
+        assert!(old.port_type("SubscriptionManagerPortType").is_none());
+        assert!(old.port_type("EventSourcePortType").unwrap().operation("Renew").is_some());
+        assert!(old.all_operations().all(|o| o.name != "GetStatus"));
+
+        let new = wse_definitions(WseVersion::Aug2004, "http://src");
+        let mgr = new.port_type("SubscriptionManagerPortType").unwrap();
+        assert!(mgr.operation("GetStatus").is_some());
+        assert!(mgr.operation("Pull").is_some());
+        assert!(new.port_type("EventSourcePortType").unwrap().operation("Renew").is_none());
+    }
+
+    #[test]
+    fn wsn_versions_differ_in_advertised_operations() {
+        let old = wsn_definitions(WsnVersion::V1_0, "http://p");
+        let mgr = old.port_type("SubscriptionManagerPortType").unwrap();
+        assert!(mgr.operation("Renew").is_none(), "1.0 renews via WSRF");
+        assert!(mgr.operation("SetTerminationTime").is_some());
+        assert!(mgr.operation("Destroy").is_some());
+        assert!(old.port_type("NotificationBrokerPortType").unwrap().operation("CreatePullPoint").is_none());
+
+        let new = wsn_definitions(WsnVersion::V1_3, "http://p");
+        let mgr = new.port_type("SubscriptionManagerPortType").unwrap();
+        assert!(mgr.operation("Renew").is_some());
+        assert!(mgr.operation("Unsubscribe").is_some());
+        assert!(mgr.operation("SetTerminationTime").is_none());
+        assert!(new
+            .port_type("NotificationBrokerPortType")
+            .unwrap()
+            .operation("CreatePullPoint")
+            .is_some());
+    }
+
+    #[test]
+    fn actions_match_the_codecs() {
+        let defs = wse_definitions(WseVersion::Aug2004, "http://src");
+        let sub = defs.port_type("EventSourcePortType").unwrap().operation("Subscribe").unwrap();
+        assert_eq!(sub.action, WseVersion::Aug2004.action("Subscribe"));
+        let defs = wsn_definitions(WsnVersion::V1_3, "http://p");
+        let sub = defs
+            .port_type("NotificationProducerPortType")
+            .unwrap()
+            .operation("Subscribe")
+            .unwrap();
+        assert_eq!(sub.action, WsnVersion::V1_3.action("Subscribe"));
+    }
+
+    #[test]
+    fn messenger_implements_both_families() {
+        let defs = messenger_definitions("http://broker");
+        // WSE side.
+        assert!(defs.port_type("WseEventSourcePortType").is_some());
+        assert!(defs.port_type("WseSubscriptionManagerPortType").is_some());
+        // WSN side.
+        assert!(defs.port_type("WsnNotificationProducerPortType").is_some());
+        assert!(defs.port_type("WsnNotificationBrokerPortType").is_some());
+        assert!(defs.port_type("WsnNotificationConsumerPortType").is_some());
+        // No name collisions survive the merge.
+        let mut names: Vec<&str> = defs.port_types.iter().map(|p| p.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "port-type names must be unique");
+        // All ports share the one endpoint.
+        let el = defs.to_element();
+        let svc = el.child_ns(crate::WSDL_NS, "service").unwrap();
+        let addrs: Vec<&str> = svc
+            .children_ns(crate::WSDL_NS, "port")
+            .filter_map(|p| p.child_ns(crate::WSDL_SOAP_NS, "address"))
+            .filter_map(|a| a.attr("location"))
+            .collect();
+        assert!(addrs.len() >= 5);
+        assert!(addrs.iter().all(|a| *a == "http://broker"));
+    }
+
+    #[test]
+    fn generated_wsdl_is_valid_xml() {
+        for xml in [
+            wse_definitions(WseVersion::Jan2004, "http://a").to_xml(),
+            wse_definitions(WseVersion::Aug2004, "http://a").to_xml(),
+            wsn_definitions(WsnVersion::V1_0, "http://a").to_xml(),
+            wsn_definitions(WsnVersion::V1_3, "http://a").to_xml(),
+            messenger_definitions("http://a").to_xml(),
+        ] {
+            let el = wsm_xml::parse(&xml).expect("generated WSDL must parse");
+            assert!(el.name.is(crate::WSDL_NS, "definitions"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    #[test]
+    fn merged_message_references_resolve() {
+        let defs = messenger_definitions("http://broker");
+        // Every operation's input/output names an existing message.
+        for op in defs.all_operations() {
+            assert!(
+                defs.messages.iter().any(|m| m.name == op.input),
+                "dangling input {}",
+                op.input
+            );
+            if let Some(out) = &op.output {
+                assert!(
+                    defs.messages.iter().any(|m| m.name == *out),
+                    "dangling output {out}"
+                );
+            }
+        }
+        // Both families' Subscribe messages survive, pointing at their
+        // own namespaces.
+        let wse_sub = defs.messages.iter().find(|m| m.name == "WseSubscribeMessage").unwrap();
+        assert!(wse_sub.element_ns.contains("eventing"));
+        let wsn_sub = defs.messages.iter().find(|m| m.name == "WsnSubscribeMessage").unwrap();
+        assert!(wsn_sub.element_ns.contains("wsn"));
+    }
+}

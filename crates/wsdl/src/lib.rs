@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # wsm-wsdl — WSDL 1.1 descriptions of the event-notification services
+//!
+//! "Web Service Description Language (WSDL) defines valid XML document
+//! structures for message exchanges to enable the interoperability
+//! feature of Web services" (paper §III) — and §VI's OGSI discussion
+//! turns on exactly this: OGSI extended WSDL incompatibly (GWSDL),
+//! which is part of why it was replaced. This crate provides
+//!
+//! * a small WSDL 1.1 document model ([`Definitions`], [`PortType`],
+//!   [`Operation`]) with serialization to `wsdl:definitions` XML, and
+//! * generators for the port types of the implemented specifications:
+//!   [`wse_definitions`] (EventSource + SubscriptionManager, per
+//!   version), [`wsn_definitions`] (NotificationProducer +
+//!   SubscriptionManager + NotificationConsumer + broker), and
+//!   [`messenger_definitions`] — the WS-Messenger service, whose single
+//!   endpoint implements *both* families' port types at once, which is
+//!   §VII's dual-specification claim in interface-description form.
+//!
+//! The generated operations are not hand-listed: they come from the
+//! same operation tables the runtime handlers dispatch on, so a WSDL
+//! operation exists exactly when the service would answer it.
+
+pub mod generate;
+pub mod model;
+
+pub use generate::{messenger_definitions, wse_definitions, wsn_definitions};
+pub use model::{Definitions, Message, Operation, PortType};
+
+/// The WSDL 1.1 namespace.
+pub const WSDL_NS: &str = "http://schemas.xmlsoap.org/wsdl/";
+/// The WSDL SOAP binding namespace.
+pub const WSDL_SOAP_NS: &str = "http://schemas.xmlsoap.org/wsdl/soap/";

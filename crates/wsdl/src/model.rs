@@ -1,0 +1,281 @@
+//! The WSDL 1.1 document model (the subset event-notification services
+//! use: messages with one body part, request/response and one-way
+//! operations, doc/literal SOAP binding, one service with one port per
+//! port type).
+
+use crate::{WSDL_NS, WSDL_SOAP_NS};
+use wsm_xml::Element;
+
+/// An abstract message: a name plus the QName of its body element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Message name (unique within the definitions).
+    pub name: String,
+    /// Namespace of the body element.
+    pub element_ns: String,
+    /// Local name of the body element.
+    pub element_local: String,
+}
+
+/// One operation of a port type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name (`Subscribe`, `Renew`, ...).
+    pub name: String,
+    /// Input message name.
+    pub input: String,
+    /// Output message name; `None` makes this a one-way operation
+    /// (notification deliveries, `SubscriptionEnd`).
+    pub output: Option<String>,
+    /// The `wsa:Action` URI of the input message.
+    pub action: String,
+}
+
+/// A port type: a named set of operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortType {
+    /// Port type name (`EventSourcePortType`, ...).
+    pub name: String,
+    /// Operations in declaration order.
+    pub operations: Vec<Operation>,
+}
+
+impl PortType {
+    /// Look an operation up by name.
+    pub fn operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+}
+
+/// A complete `wsdl:definitions` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Definitions {
+    /// Service name.
+    pub name: String,
+    /// Target namespace.
+    pub target_namespace: String,
+    /// Abstract messages.
+    pub messages: Vec<Message>,
+    /// Port types.
+    pub port_types: Vec<PortType>,
+    /// The service endpoint address.
+    pub location: String,
+}
+
+impl Definitions {
+    /// A new, empty definitions document.
+    pub fn new(name: &str, target_namespace: &str, location: &str) -> Self {
+        Definitions {
+            name: name.to_string(),
+            target_namespace: target_namespace.to_string(),
+            messages: Vec::new(),
+            port_types: Vec::new(),
+            location: location.to_string(),
+        }
+    }
+
+    /// Add a message, deduplicating by name.
+    pub fn add_message(&mut self, m: Message) {
+        if !self.messages.iter().any(|x| x.name == m.name) {
+            self.messages.push(m);
+        }
+    }
+
+    /// Add a port type.
+    pub fn add_port_type(&mut self, pt: PortType) {
+        self.port_types.push(pt);
+    }
+
+    /// Look a port type up by name.
+    pub fn port_type(&self, name: &str) -> Option<&PortType> {
+        self.port_types.iter().find(|p| p.name == name)
+    }
+
+    /// Every operation across all port types.
+    pub fn all_operations(&self) -> impl Iterator<Item = &Operation> {
+        self.port_types.iter().flat_map(|p| p.operations.iter())
+    }
+
+    /// Serialize as a `wsdl:definitions` element with messages, port
+    /// types, one doc/literal SOAP binding per port type, and one
+    /// service exposing a port per binding at [`Definitions::location`].
+    pub fn to_element(&self) -> Element {
+        let mut defs = Element::ns(WSDL_NS, "definitions", "wsdl")
+            .with_attr("name", self.name.clone())
+            .with_attr("targetNamespace", self.target_namespace.clone());
+
+        for m in &self.messages {
+            defs.push(
+                Element::ns(WSDL_NS, "message", "wsdl")
+                    .with_attr("name", m.name.clone())
+                    .with_child(
+                        Element::ns(WSDL_NS, "part", "wsdl")
+                            .with_attr("name", "body")
+                            .with_attr("element", format!("{{{}}}{}", m.element_ns, m.element_local)),
+                    ),
+            );
+        }
+
+        for pt in &self.port_types {
+            let mut pt_el =
+                Element::ns(WSDL_NS, "portType", "wsdl").with_attr("name", pt.name.clone());
+            for op in &pt.operations {
+                let mut op_el =
+                    Element::ns(WSDL_NS, "operation", "wsdl").with_attr("name", op.name.clone());
+                op_el.push(
+                    Element::ns(WSDL_NS, "input", "wsdl")
+                        .with_attr("message", format!("tns:{}", op.input))
+                        .with_attr("wsaAction", op.action.clone()),
+                );
+                if let Some(out) = &op.output {
+                    op_el.push(
+                        Element::ns(WSDL_NS, "output", "wsdl")
+                            .with_attr("message", format!("tns:{out}")),
+                    );
+                }
+                pt_el.push(op_el);
+            }
+            defs.push(pt_el);
+        }
+
+        // One doc/literal binding per port type.
+        for pt in &self.port_types {
+            let mut binding = Element::ns(WSDL_NS, "binding", "wsdl")
+                .with_attr("name", format!("{}Binding", pt.name))
+                .with_attr("type", format!("tns:{}", pt.name));
+            binding.push(
+                Element::ns(WSDL_SOAP_NS, "binding", "soap")
+                    .with_attr("style", "document")
+                    .with_attr("transport", "http://schemas.xmlsoap.org/soap/http"),
+            );
+            for op in &pt.operations {
+                binding.push(
+                    Element::ns(WSDL_NS, "operation", "wsdl")
+                        .with_attr("name", op.name.clone())
+                        .with_child(
+                            Element::ns(WSDL_SOAP_NS, "operation", "soap")
+                                .with_attr("soapAction", op.action.clone()),
+                        ),
+                );
+            }
+            defs.push(binding);
+        }
+
+        let mut service =
+            Element::ns(WSDL_NS, "service", "wsdl").with_attr("name", self.name.clone());
+        for pt in &self.port_types {
+            service.push(
+                Element::ns(WSDL_NS, "port", "wsdl")
+                    .with_attr("name", format!("{}Port", pt.name))
+                    .with_attr("binding", format!("tns:{}Binding", pt.name))
+                    .with_child(
+                        Element::ns(WSDL_SOAP_NS, "address", "soap")
+                            .with_attr("location", self.location.clone()),
+                    ),
+            );
+        }
+        defs.push(service);
+        defs
+    }
+
+    /// Serialize to pretty-printed XML.
+    pub fn to_xml(&self) -> String {
+        wsm_xml::to_pretty_string(&self.to_element())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Definitions {
+        let mut d = Definitions::new("Svc", "urn:svc", "http://svc");
+        d.add_message(Message {
+            name: "SubscribeMsg".into(),
+            element_ns: "urn:svc".into(),
+            element_local: "Subscribe".into(),
+        });
+        d.add_message(Message {
+            name: "SubscribeRespMsg".into(),
+            element_ns: "urn:svc".into(),
+            element_local: "SubscribeResponse".into(),
+        });
+        d.add_port_type(PortType {
+            name: "SourcePortType".into(),
+            operations: vec![
+                Operation {
+                    name: "Subscribe".into(),
+                    input: "SubscribeMsg".into(),
+                    output: Some("SubscribeRespMsg".into()),
+                    action: "urn:svc/Subscribe".into(),
+                },
+                Operation {
+                    name: "Notify".into(),
+                    input: "SubscribeMsg".into(),
+                    output: None,
+                    action: "urn:svc/Notify".into(),
+                },
+            ],
+        });
+        d
+    }
+
+    #[test]
+    fn structure_is_wsdl() {
+        let el = sample().to_element();
+        assert_eq!(el.name.local, "definitions");
+        assert_eq!(el.attr("targetNamespace"), Some("urn:svc"));
+        assert_eq!(el.children_ns(WSDL_NS, "message").count(), 2);
+        assert_eq!(el.children_ns(WSDL_NS, "portType").count(), 1);
+        assert_eq!(el.children_ns(WSDL_NS, "binding").count(), 1);
+        assert_eq!(el.children_ns(WSDL_NS, "service").count(), 1);
+    }
+
+    #[test]
+    fn one_way_operations_have_no_output() {
+        let el = sample().to_element();
+        let pt = el.child_ns(WSDL_NS, "portType").unwrap();
+        let notify = pt
+            .children_ns(WSDL_NS, "operation")
+            .find(|o| o.attr("name") == Some("Notify"))
+            .unwrap();
+        assert!(notify.child_ns(WSDL_NS, "input").is_some());
+        assert!(notify.child_ns(WSDL_NS, "output").is_none());
+    }
+
+    #[test]
+    fn message_dedup() {
+        let mut d = sample();
+        let before = d.messages.len();
+        d.add_message(Message {
+            name: "SubscribeMsg".into(),
+            element_ns: "x".into(),
+            element_local: "y".into(),
+        });
+        assert_eq!(d.messages.len(), before);
+    }
+
+    #[test]
+    fn xml_parses_back() {
+        let xml = sample().to_xml();
+        let el = wsm_xml::parse(&xml).unwrap();
+        assert_eq!(el.name.is(WSDL_NS, "definitions"), true, "{xml}");
+        // Service port carries the endpoint address.
+        let svc = el.child_ns(WSDL_NS, "service").unwrap();
+        let addr = svc
+            .child_ns(WSDL_NS, "port")
+            .unwrap()
+            .child_ns(WSDL_SOAP_NS, "address")
+            .unwrap();
+        assert_eq!(addr.attr("location"), Some("http://svc"));
+    }
+
+    #[test]
+    fn lookups() {
+        let d = sample();
+        assert!(d.port_type("SourcePortType").is_some());
+        assert!(d.port_type("Nope").is_none());
+        assert_eq!(d.all_operations().count(), 2);
+        assert!(d.port_type("SourcePortType").unwrap().operation("Subscribe").is_some());
+    }
+}

@@ -1,0 +1,256 @@
+//! Resources and the resource home (lifetime management).
+
+use crate::properties::ResourceProperties;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsm_xml::Element;
+
+/// Why a resource was terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// An explicit `Destroy` request (immediate termination).
+    Destroyed,
+    /// The scheduled termination time passed (soft-state timeout).
+    Expired,
+}
+
+/// A WS-Resource: identity, property document, scheduled termination.
+#[derive(Debug, Clone)]
+pub struct WsResource {
+    /// The resource identifier (carried in EPR reference data).
+    pub id: String,
+    /// The property document.
+    pub properties: ResourceProperties,
+    /// Virtual-clock time (ms) at which the resource self-destructs;
+    /// `None` means no scheduled termination.
+    pub termination_time_ms: Option<u64>,
+}
+
+/// Listener invoked when a resource terminates. WSN 1.0 hangs its
+/// subscription-end notices off this hook (Table 2: "SubscriptionEnd →
+/// TerminationNotification in WSRF").
+pub type TerminationListener = Arc<dyn Fn(&WsResource, TerminationReason) + Send + Sync>;
+
+/// A collection of live resources with lifetime semantics.
+#[derive(Clone, Default)]
+pub struct ResourceHome {
+    inner: Arc<Mutex<HomeInner>>,
+}
+
+#[derive(Default)]
+struct HomeInner {
+    resources: HashMap<String, WsResource>,
+    listeners: Vec<TerminationListener>,
+}
+
+impl ResourceHome {
+    /// An empty home.
+    pub fn new() -> Self {
+        ResourceHome::default()
+    }
+
+    /// Create a resource with the given id and properties. Returns
+    /// `false` (and does nothing) if the id is taken.
+    pub fn create(&self, id: impl Into<String>, properties: ResourceProperties) -> bool {
+        let id = id.into();
+        let mut inner = self.inner.lock();
+        if inner.resources.contains_key(&id) {
+            return false;
+        }
+        inner
+            .resources
+            .insert(id.clone(), WsResource { id, properties, termination_time_ms: None });
+        true
+    }
+
+    /// Snapshot of a resource.
+    pub fn get(&self, id: &str) -> Option<WsResource> {
+        self.inner.lock().resources.get(id).cloned()
+    }
+
+    /// Mutate a resource's properties in place. Returns false when the
+    /// resource does not exist.
+    pub fn with_properties(&self, id: &str, f: impl FnOnce(&mut ResourceProperties)) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.resources.get_mut(id) {
+            Some(r) => {
+                f(&mut r.properties);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `SetTerminationTime`: schedule (or clear, with `None`) the
+    /// resource's termination. Returns the new value, or `None` when
+    /// the resource is unknown.
+    pub fn set_termination_time(&self, id: &str, when_ms: Option<u64>) -> Option<Option<u64>> {
+        let mut inner = self.inner.lock();
+        let r = inner.resources.get_mut(id)?;
+        r.termination_time_ms = when_ms;
+        Some(when_ms)
+    }
+
+    /// `Destroy`: immediate termination. Returns true when the resource
+    /// existed; listeners fire with [`TerminationReason::Destroyed`].
+    pub fn destroy(&self, id: &str) -> bool {
+        let (res, listeners) = {
+            let mut inner = self.inner.lock();
+            match inner.resources.remove(id) {
+                Some(r) => (r, inner.listeners.clone()),
+                None => return false,
+            }
+        };
+        for l in &listeners {
+            l(&res, TerminationReason::Destroyed);
+        }
+        true
+    }
+
+    /// Sweep expired resources against the virtual clock; returns the
+    /// ids terminated. Listeners fire with [`TerminationReason::Expired`].
+    pub fn sweep_expired(&self, now_ms: u64) -> Vec<String> {
+        let (expired, listeners) = {
+            let mut inner = self.inner.lock();
+            let ids: Vec<String> = inner
+                .resources
+                .values()
+                .filter(|r| r.termination_time_ms.is_some_and(|t| t <= now_ms))
+                .map(|r| r.id.clone())
+                .collect();
+            let removed: Vec<WsResource> =
+                ids.iter().filter_map(|id| inner.resources.remove(id)).collect();
+            (removed, inner.listeners.clone())
+        };
+        let mut out = Vec::with_capacity(expired.len());
+        for r in expired {
+            for l in &listeners {
+                l(&r, TerminationReason::Expired);
+            }
+            out.push(r.id);
+        }
+        out
+    }
+
+    /// Register a termination listener.
+    pub fn on_termination(&self, listener: TerminationListener) {
+        self.inner.lock().listeners.push(listener);
+    }
+
+    /// Number of live resources.
+    pub fn len(&self) -> usize {
+        self.inner.lock().resources.len()
+    }
+
+    /// Is the home empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of all live resources.
+    pub fn ids(&self) -> Vec<String> {
+        self.inner.lock().resources.keys().cloned().collect()
+    }
+}
+
+/// Build a WSRF `TerminationNotification` message element.
+pub fn termination_notification(resource_id: &str, reason: TerminationReason) -> Element {
+    Element::ns(crate::WSRF_RL_NS, "TerminationNotification", "wsrf-rl")
+        .with_child(
+            Element::ns(crate::WSRF_RL_NS, "TerminationTime", "wsrf-rl").with_text("(now)"),
+        )
+        .with_child(
+            Element::ns(crate::WSRF_RL_NS, "TerminationReason", "wsrf-rl").with_text(match reason {
+                TerminationReason::Destroyed => "resource destroyed",
+                TerminationReason::Expired => "termination time reached",
+            }),
+        )
+        .with_attr("resource", resource_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn create_and_get() {
+        let home = ResourceHome::new();
+        assert!(home.create("r1", ResourceProperties::new()));
+        assert!(!home.create("r1", ResourceProperties::new()), "duplicate id rejected");
+        assert!(home.get("r1").is_some());
+        assert!(home.get("r2").is_none());
+        assert_eq!(home.len(), 1);
+    }
+
+    #[test]
+    fn destroy_fires_listener() {
+        let home = ResourceHome::new();
+        home.create("r1", ResourceProperties::new());
+        let seen: Arc<PMutex<Vec<(String, TerminationReason)>>> = Arc::default();
+        let seen2 = Arc::clone(&seen);
+        home.on_termination(Arc::new(move |r, why| {
+            seen2.lock().push((r.id.clone(), why));
+        }));
+        assert!(home.destroy("r1"));
+        assert!(!home.destroy("r1"));
+        let log = seen.lock();
+        assert_eq!(log.as_slice(), &[("r1".to_string(), TerminationReason::Destroyed)]);
+    }
+
+    #[test]
+    fn scheduled_termination_sweeps() {
+        let home = ResourceHome::new();
+        home.create("a", ResourceProperties::new());
+        home.create("b", ResourceProperties::new());
+        home.set_termination_time("a", Some(100));
+        assert!(home.sweep_expired(50).is_empty());
+        let gone = home.sweep_expired(100);
+        assert_eq!(gone, vec!["a".to_string()]);
+        assert_eq!(home.len(), 1);
+        // b has no termination time; never expires.
+        assert!(home.sweep_expired(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn clearing_termination_time() {
+        let home = ResourceHome::new();
+        home.create("a", ResourceProperties::new());
+        home.set_termination_time("a", Some(10));
+        home.set_termination_time("a", None);
+        assert!(home.sweep_expired(1000).is_empty());
+        assert!(home.set_termination_time("nope", Some(1)).is_none());
+    }
+
+    #[test]
+    fn with_properties_mutates() {
+        let home = ResourceHome::new();
+        home.create("a", ResourceProperties::new());
+        assert!(home.with_properties("a", |p| {
+            p.insert(Element::local("Paused").with_text("true"));
+        }));
+        assert_eq!(home.get("a").unwrap().properties.len(), 1);
+        assert!(!home.with_properties("nope", |_| {}));
+    }
+
+    #[test]
+    fn expired_listener_reason() {
+        let home = ResourceHome::new();
+        home.create("a", ResourceProperties::new());
+        home.set_termination_time("a", Some(1));
+        let seen: Arc<PMutex<Vec<TerminationReason>>> = Arc::default();
+        let seen2 = Arc::clone(&seen);
+        home.on_termination(Arc::new(move |_, why| seen2.lock().push(why)));
+        home.sweep_expired(5);
+        assert_eq!(seen.lock().as_slice(), &[TerminationReason::Expired]);
+    }
+
+    #[test]
+    fn termination_notification_element() {
+        let el = termination_notification("r9", TerminationReason::Expired);
+        assert_eq!(el.name.local, "TerminationNotification");
+        assert_eq!(el.attr("resource"), Some("r9"));
+        assert!(el.child("TerminationReason").unwrap().text().contains("time"));
+    }
+}

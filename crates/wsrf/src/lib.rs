@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # wsm-wsrf — WS-ResourceFramework lite
+//!
+//! Before version 1.3, WS-Notification *required* the WS-Resource
+//! Framework: a subscription is a WS-Resource, and the operations that
+//! WS-Eventing defines natively (`GetStatus`, `Unsubscribe`,
+//! `SubscriptionEnd`) are obtained in WSN ≤1.2 by composing with WSRF's
+//! resource-properties and resource-lifetime operations
+//! (`GetResourceProperty`, `Destroy`, `SetTerminationTime`,
+//! `TerminationNotification`). That dependence — and its removal in
+//! WSN 1.3 — is one of the paper's central observations (Table 1 row
+//! "Require WSRF", Table 2's function mapping).
+//!
+//! This crate implements the slice of WSRF those mappings need:
+//!
+//! * [`ResourceProperties`] — a named-element property document with
+//!   get / set (insert, update, delete) / XPath query;
+//! * [`WsResource`] + [`ResourceHome`] — identified resources with
+//!   immediate destruction, scheduled termination against a virtual
+//!   clock, and termination listeners (the hook WSN 1.0 uses to send
+//!   subscription-end notices).
+
+pub mod home;
+pub mod properties;
+
+pub use home::{ResourceHome, TerminationReason, WsResource};
+pub use properties::ResourceProperties;
+
+/// Namespace used for WSRF resource-properties message elements.
+pub const WSRF_RP_NS: &str = "http://docs.oasis-open.org/wsrf/rp-2";
+/// Namespace used for WSRF resource-lifetime message elements.
+pub const WSRF_RL_NS: &str = "http://docs.oasis-open.org/wsrf/rl-2";

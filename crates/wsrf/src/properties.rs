@@ -1,0 +1,152 @@
+//! Resource property documents.
+
+use wsm_xml::{Element, QName};
+use wsm_xpath::XPath;
+
+/// A WS-Resource's property document: an ordered multi-map of
+/// element-valued properties.
+///
+/// WSN 1.0 publishes a subscription's state through this document:
+/// `ConsumerReference`, `TopicExpression`, `Paused`,
+/// `TerminationTime`... `GetStatus`-style queries are then WSRF
+/// `GetResourceProperty` calls against it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResourceProperties {
+    props: Vec<Element>,
+}
+
+impl ResourceProperties {
+    /// An empty property document.
+    pub fn new() -> Self {
+        ResourceProperties::default()
+    }
+
+    /// Insert a property (duplicates allowed; WSRF properties are
+    /// multi-valued).
+    pub fn insert(&mut self, prop: Element) {
+        self.props.push(prop);
+    }
+
+    /// Replace all properties with a given name by `prop`.
+    pub fn update(&mut self, prop: Element) {
+        self.props.retain(|p| p.name != prop.name);
+        self.props.push(prop);
+    }
+
+    /// Delete all properties with the given name. Returns how many were
+    /// removed.
+    pub fn delete(&mut self, name: &QName) -> usize {
+        let before = self.props.len();
+        self.props.retain(|p| &p.name != name);
+        before - self.props.len()
+    }
+
+    /// `GetResourceProperty`: all values of one property.
+    pub fn get(&self, name: &QName) -> Vec<&Element> {
+        self.props.iter().filter(|p| &p.name == name).collect()
+    }
+
+    /// First value of a property, by expanded name.
+    pub fn get_one(&self, ns: &str, local: &str) -> Option<&Element> {
+        self.props.iter().find(|p| p.name.is(ns, local))
+    }
+
+    /// `GetMultipleResourceProperties`.
+    pub fn get_multiple(&self, names: &[QName]) -> Vec<&Element> {
+        self.props.iter().filter(|p| names.contains(&p.name)).collect()
+    }
+
+    /// The full property document as one element (what
+    /// `GetResourcePropertyDocument` returns).
+    pub fn document(&self) -> Element {
+        let mut doc = Element::ns(crate::WSRF_RP_NS, "ResourcePropertyDocument", "wsrf-rp");
+        for p in &self.props {
+            doc.push(p.clone());
+        }
+        doc
+    }
+
+    /// `QueryResourceProperties` with the XPath dialect: evaluate a
+    /// boolean query over the property document.
+    pub fn query(&self, xpath: &XPath) -> bool {
+        xpath.matches(&self.document())
+    }
+
+    /// Number of property values.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Is the document empty?
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop(name: &str, value: &str) -> Element {
+        Element::ns("urn:sub", name, "sub").with_text(value)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut rp = ResourceProperties::new();
+        rp.insert(prop("Topic", "storms"));
+        rp.insert(prop("Topic", "traffic"));
+        rp.insert(prop("Paused", "false"));
+        assert_eq!(rp.get(&QName::ns("urn:sub", "Topic")).len(), 2);
+        assert_eq!(rp.get_one("urn:sub", "Paused").unwrap().text(), "false");
+        assert_eq!(rp.len(), 3);
+    }
+
+    #[test]
+    fn update_replaces_all_values() {
+        let mut rp = ResourceProperties::new();
+        rp.insert(prop("Topic", "a"));
+        rp.insert(prop("Topic", "b"));
+        rp.update(prop("Topic", "c"));
+        let got = rp.get(&QName::ns("urn:sub", "Topic"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].text(), "c");
+    }
+
+    #[test]
+    fn delete_counts() {
+        let mut rp = ResourceProperties::new();
+        rp.insert(prop("Topic", "a"));
+        rp.insert(prop("Topic", "b"));
+        assert_eq!(rp.delete(&QName::ns("urn:sub", "Topic")), 2);
+        assert_eq!(rp.delete(&QName::ns("urn:sub", "Topic")), 0);
+        assert!(rp.is_empty());
+    }
+
+    #[test]
+    fn get_multiple() {
+        let mut rp = ResourceProperties::new();
+        rp.insert(prop("A", "1"));
+        rp.insert(prop("B", "2"));
+        rp.insert(prop("C", "3"));
+        let names = [QName::ns("urn:sub", "A"), QName::ns("urn:sub", "C")];
+        let got = rp.get_multiple(&names);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn document_and_query() {
+        let mut rp = ResourceProperties::new();
+        rp.insert(prop("Paused", "true"));
+        let doc = rp.document();
+        assert_eq!(doc.name.local, "ResourcePropertyDocument");
+        let q = XPath::compile_with_namespaces(
+            "/*/s:Paused = 'true'",
+            &[("s", "urn:sub")],
+        )
+        .unwrap();
+        assert!(rp.query(&q));
+        let q2 = XPath::compile_with_namespaces("/*/s:Paused = 'false'", &[("s", "urn:sub")]).unwrap();
+        assert!(!rp.query(&q2));
+    }
+}

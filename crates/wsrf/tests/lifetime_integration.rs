@@ -1,0 +1,77 @@
+//! WSRF lifetime semantics exercised the way WSN 1.0 uses them.
+
+use std::sync::Arc;
+use parking_lot::Mutex;
+use wsm_wsrf::{ResourceHome, ResourceProperties, TerminationReason};
+use wsm_xml::Element;
+use wsm_xpath::XPath;
+
+#[test]
+fn scheduled_then_rescheduled_then_destroyed() {
+    let home = ResourceHome::new();
+    let log: Arc<Mutex<Vec<(String, TerminationReason)>>> = Arc::default();
+    let l = Arc::clone(&log);
+    home.on_termination(Arc::new(move |r, why| l.lock().push((r.id.clone(), why))));
+
+    home.create("sub-1", ResourceProperties::new());
+    home.create("sub-2", ResourceProperties::new());
+    home.set_termination_time("sub-1", Some(100));
+    home.set_termination_time("sub-2", Some(100));
+    // Reschedule one forward — only the other expires at 100.
+    home.set_termination_time("sub-2", Some(500));
+    assert_eq!(home.sweep_expired(100), vec!["sub-1".to_string()]);
+    // Destroy the survivor explicitly.
+    assert!(home.destroy("sub-2"));
+    let events = log.lock();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0], ("sub-1".to_string(), TerminationReason::Expired));
+    assert_eq!(events[1], ("sub-2".to_string(), TerminationReason::Destroyed));
+}
+
+#[test]
+fn property_document_queries_track_mutations() {
+    let home = ResourceHome::new();
+    let mut props = ResourceProperties::new();
+    props.insert(Element::ns("urn:s", "Paused", "s").with_text("false"));
+    props.insert(Element::ns("urn:s", "Topic", "s").with_text("storms"));
+    home.create("sub", props);
+
+    let is_paused =
+        XPath::compile_with_namespaces("/*/s:Paused = 'true'", &[("s", "urn:s")]).unwrap();
+    assert!(!home.get("sub").unwrap().properties.query(&is_paused));
+    home.with_properties("sub", |p| {
+        p.update(Element::ns("urn:s", "Paused", "s").with_text("true"));
+    });
+    assert!(home.get("sub").unwrap().properties.query(&is_paused));
+    // The untouched property is still there.
+    assert_eq!(home.get("sub").unwrap().properties.get_one("urn:s", "Topic").unwrap().text(), "storms");
+}
+
+#[test]
+fn sweep_is_stable_under_many_resources() {
+    let home = ResourceHome::new();
+    for i in 0..100 {
+        home.create(format!("r{i}"), ResourceProperties::new());
+        if i % 2 == 0 {
+            home.set_termination_time(&format!("r{i}"), Some(i as u64));
+        }
+    }
+    let mut gone = home.sweep_expired(50);
+    gone.sort();
+    assert_eq!(gone.len(), 26, "r0,r2,...,r50");
+    assert_eq!(home.len(), 74);
+    assert!(home.sweep_expired(50).is_empty(), "idempotent at the same instant");
+}
+
+#[test]
+fn listeners_added_late_see_only_later_events() {
+    let home = ResourceHome::new();
+    home.create("a", ResourceProperties::new());
+    home.destroy("a");
+    let log: Arc<Mutex<u32>> = Arc::default();
+    let l = Arc::clone(&log);
+    home.on_termination(Arc::new(move |_, _| *l.lock() += 1));
+    home.create("b", ResourceProperties::new());
+    home.destroy("b");
+    assert_eq!(*log.lock(), 1);
+}

@@ -1,0 +1,263 @@
+//! Structural diff between two element trees.
+//!
+//! This is the instrument behind the paper's §V.4 message-format
+//! comparison: serialize the "same" logical message in WS-Eventing and
+//! WS-Notification, diff the trees, and classify the differences. The
+//! diff is positional (children are matched by element index), which
+//! matches how the specs define message layouts.
+
+use crate::tree::{Element, Node};
+use std::fmt;
+
+/// What kind of difference was observed at a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Same position, different local names.
+    LocalName {
+        /// Left tree's local name.
+        left: String,
+        /// Right tree's local name.
+        right: String,
+    },
+    /// Same local name, different namespaces.
+    Namespace {
+        /// Left tree's namespace.
+        left: Option<String>,
+        /// Right tree's namespace.
+        right: Option<String>,
+    },
+    /// An attribute present on one side only. `side` is which tree has it.
+    AttrPresence {
+        /// Attribute name (Clark notation).
+        name: String,
+        /// Which tree carries it.
+        side: Side,
+    },
+    /// Same attribute, different values.
+    AttrValue {
+        /// Attribute name (Clark notation).
+        name: String,
+        /// Left tree's value.
+        left: String,
+        /// Right tree's value.
+        right: String,
+    },
+    /// Different direct text content.
+    Text {
+        /// Left tree's (whitespace-normalized) text.
+        left: String,
+        /// Right tree's text.
+        right: String,
+    },
+    /// Different numbers of element children (structure difference).
+    ChildCount {
+        /// Left tree's element-child count.
+        left: usize,
+        /// Right tree's element-child count.
+        right: usize,
+    },
+}
+
+/// Which input tree a one-sided difference belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The first tree passed to [`diff`].
+    Left,
+    /// The second tree passed to [`diff`].
+    Right,
+}
+
+/// A single difference, anchored at a slash-separated path of local
+/// names from the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffEntry {
+    /// Location, e.g. `/Envelope/Body/Subscribe`.
+    pub path: String,
+    /// The difference itself.
+    pub kind: DiffKind,
+}
+
+impl fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DiffKind::LocalName { left, right } => {
+                write!(f, "{}: element name `{left}` vs `{right}`", self.path)
+            }
+            DiffKind::Namespace { left, right } => {
+                write!(f, "{}: namespace {:?} vs {:?}", self.path, left, right)
+            }
+            DiffKind::AttrPresence { name, side } => write!(
+                f,
+                "{}: attribute `{name}` only on the {} side",
+                self.path,
+                match side {
+                    Side::Left => "left",
+                    Side::Right => "right",
+                }
+            ),
+            DiffKind::AttrValue { name, left, right } => {
+                write!(f, "{}: attribute `{name}` = `{left}` vs `{right}`", self.path)
+            }
+            DiffKind::Text { left, right } => {
+                write!(f, "{}: text `{left}` vs `{right}`", self.path)
+            }
+            DiffKind::ChildCount { left, right } => {
+                write!(f, "{}: {left} vs {right} element children", self.path)
+            }
+        }
+    }
+}
+
+/// Compute the structural differences between two trees.
+pub fn diff(left: &Element, right: &Element) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    diff_elements(left, right, String::new(), &mut out);
+    out
+}
+
+fn diff_elements(l: &Element, r: &Element, parent_path: String, out: &mut Vec<DiffEntry>) {
+    let path = format!("{parent_path}/{}", l.name.local);
+
+    if l.name.local != r.name.local {
+        out.push(DiffEntry {
+            path: path.clone(),
+            kind: DiffKind::LocalName { left: l.name.local.clone(), right: r.name.local.clone() },
+        });
+    } else if l.name.ns != r.name.ns {
+        out.push(DiffEntry {
+            path: path.clone(),
+            kind: DiffKind::Namespace { left: l.name.ns.clone(), right: r.name.ns.clone() },
+        });
+    }
+
+    // Attributes by expanded name, order-insensitively.
+    for la in &l.attrs {
+        match r.attrs.iter().find(|ra| ra.name == la.name) {
+            Some(ra) if ra.value == la.value => {}
+            Some(ra) => out.push(DiffEntry {
+                path: path.clone(),
+                kind: DiffKind::AttrValue {
+                    name: la.name.clark(),
+                    left: la.value.clone(),
+                    right: ra.value.clone(),
+                },
+            }),
+            None => out.push(DiffEntry {
+                path: path.clone(),
+                kind: DiffKind::AttrPresence { name: la.name.clark(), side: Side::Left },
+            }),
+        }
+    }
+    for ra in &r.attrs {
+        if !l.attrs.iter().any(|la| la.name == ra.name) {
+            out.push(DiffEntry {
+                path: path.clone(),
+                kind: DiffKind::AttrPresence { name: ra.name.clark(), side: Side::Right },
+            });
+        }
+    }
+
+    // Direct text (whitespace-normalized: formatting differences between
+    // stacks are not semantic differences).
+    let lt = normalize(&l.text());
+    let rt = normalize(&r.text());
+    if lt != rt {
+        out.push(DiffEntry { path: path.clone(), kind: DiffKind::Text { left: lt, right: rt } });
+    }
+
+    // Children, positionally.
+    let lc: Vec<&Element> = l.children.iter().filter_map(Node::as_element).collect();
+    let rc: Vec<&Element> = r.children.iter().filter_map(Node::as_element).collect();
+    if lc.len() != rc.len() {
+        out.push(DiffEntry {
+            path: path.clone(),
+            kind: DiffKind::ChildCount { left: lc.len(), right: rc.len() },
+        });
+    }
+    for (cl, cr) in lc.iter().zip(rc.iter()) {
+        diff_elements(cl, cr, path.clone(), out);
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn d(a: &str, b: &str) -> Vec<DiffEntry> {
+        diff(&parse(a).unwrap(), &parse(b).unwrap())
+    }
+
+    #[test]
+    fn identical_trees_have_no_diff() {
+        assert!(d("<r><a x='1'>t</a></r>", "<r><a x='1'>t</a></r>").is_empty());
+    }
+
+    #[test]
+    fn prefix_spelling_is_not_a_difference() {
+        assert!(d(
+            r#"<p:r xmlns:p="urn:a"><p:c/></p:r>"#,
+            r#"<q:r xmlns:q="urn:a"><q:c/></q:r>"#
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn local_name_difference() {
+        let ds = d("<r><Identifier/></r>", "<r><SubscriptionId/></r>");
+        assert!(matches!(&ds[0].kind, DiffKind::LocalName { left, right }
+            if left == "Identifier" && right == "SubscriptionId"));
+    }
+
+    #[test]
+    fn namespace_difference_detected_separately() {
+        let ds = d(
+            r#"<r xmlns="urn:wse"/>"#,
+            r#"<r xmlns="urn:wsn"/>"#,
+        );
+        assert_eq!(ds.len(), 1);
+        assert!(matches!(&ds[0].kind, DiffKind::Namespace { .. }));
+    }
+
+    #[test]
+    fn attribute_differences() {
+        let ds = d("<r a='1' b='x'/>", "<r a='2' c='y'/>");
+        assert!(ds.iter().any(|e| matches!(&e.kind, DiffKind::AttrValue { name, .. } if name == "a")));
+        assert!(ds
+            .iter()
+            .any(|e| matches!(&e.kind, DiffKind::AttrPresence { name, side: Side::Left } if name == "b")));
+        assert!(ds
+            .iter()
+            .any(|e| matches!(&e.kind, DiffKind::AttrPresence { name, side: Side::Right } if name == "c")));
+    }
+
+    #[test]
+    fn text_difference_is_whitespace_normalized() {
+        assert!(d("<r>a  b</r>", "<r> a b </r>").is_empty());
+        let ds = d("<r>a</r>", "<r>b</r>");
+        assert!(matches!(&ds[0].kind, DiffKind::Text { .. }));
+    }
+
+    #[test]
+    fn structure_difference() {
+        let ds = d("<r><a/><b/></r>", "<r><a/></r>");
+        assert!(ds.iter().any(|e| matches!(&e.kind, DiffKind::ChildCount { left: 2, right: 1 })));
+    }
+
+    #[test]
+    fn nested_paths_reported() {
+        let ds = d("<r><h><x v='1'/></h></r>", "<r><h><x v='2'/></h></r>");
+        assert_eq!(ds[0].path, "/r/h/x");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ds = d("<r>a</r>", "<r>b</r>");
+        let s = ds[0].to_string();
+        assert!(s.contains("text"), "{s}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the parser and writer.
+
+use std::fmt;
+
+/// Convenient alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// An error raised while parsing or serializing XML.
+///
+/// Positions are byte offsets into the input, which is what the SOAP
+/// layers report back to callers when an incoming message is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Byte offset into the input at which the problem was detected.
+    pub position: usize,
+    /// Human-readable elaboration (offending name, expected token, ...).
+    pub detail: String,
+}
+
+/// Classification of XML errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A token violated XML 1.0 well-formedness.
+    Malformed,
+    /// End tag did not match the open element.
+    MismatchedTag,
+    /// A namespace prefix had no in-scope declaration.
+    UndeclaredPrefix,
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute,
+    /// An entity reference was not one of the five predefined ones or a
+    /// character reference.
+    UnknownEntity,
+    /// Trailing content after the document element.
+    TrailingContent,
+    /// The document had no root element.
+    Empty,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: ErrorKind, position: usize, detail: impl Into<String>) -> Self {
+        XmlError { kind, position, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            ErrorKind::UnexpectedEof => "unexpected end of input",
+            ErrorKind::Malformed => "malformed XML",
+            ErrorKind::MismatchedTag => "mismatched end tag",
+            ErrorKind::UndeclaredPrefix => "undeclared namespace prefix",
+            ErrorKind::DuplicateAttribute => "duplicate attribute",
+            ErrorKind::UnknownEntity => "unknown entity reference",
+            ErrorKind::TrailingContent => "content after document element",
+            ErrorKind::Empty => "no document element",
+        };
+        write!(f, "{what} at byte {}: {}", self.position, self.detail)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_position_and_detail() {
+        let e = XmlError::new(ErrorKind::MismatchedTag, 42, "expected </a>, found </b>");
+        let s = e.to_string();
+        assert!(s.contains("mismatched end tag"), "{s}");
+        assert!(s.contains("42"), "{s}");
+        assert!(s.contains("</b>"), "{s}");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = XmlError::new(ErrorKind::Empty, 0, "x");
+        let b = XmlError::new(ErrorKind::Empty, 0, "x");
+        assert_eq!(a, b);
+    }
+}

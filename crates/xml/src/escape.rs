@@ -1,0 +1,156 @@
+//! Escaping and entity expansion.
+
+use crate::error::{ErrorKind, XmlError, XmlResult};
+
+/// Escape `text` for use as element character data.
+///
+/// `<`, `&` and `>` are escaped (`>` strictly only needs escaping in
+/// `]]>` but escaping it everywhere is harmless and common practice).
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `value` for use inside a double-quoted attribute value.
+pub fn escape_attr(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expand the five predefined entities and numeric character references
+/// in `raw`, which must not contain markup.
+///
+/// `base` is the byte offset of `raw` in the overall input, used for
+/// error positions.
+pub fn unescape(raw: &str, base: usize) -> XmlResult<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Advance over one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&raw[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        let semi = raw[i..]
+            .find(';')
+            .ok_or_else(|| XmlError::new(ErrorKind::UnknownEntity, base + i, "unterminated entity"))?;
+        let body = &raw[i + 1..i + semi];
+        match body {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if body.starts_with('#') => {
+                let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    body[1..].parse::<u32>()
+                }
+                .map_err(|_| {
+                    XmlError::new(ErrorKind::UnknownEntity, base + i, format!("bad character reference &{body};"))
+                })?;
+                let c = char::from_u32(code).ok_or_else(|| {
+                    XmlError::new(ErrorKind::UnknownEntity, base + i, format!("invalid codepoint {code}"))
+                })?;
+                out.push(c);
+            }
+            _ => {
+                return Err(XmlError::new(
+                    ErrorKind::UnknownEntity,
+                    base + i,
+                    format!("&{body};"),
+                ))
+            }
+        }
+        i += semi + 1;
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_roundtrip() {
+        let raw = "a < b && c > d";
+        let esc = escape_text(raw);
+        assert_eq!(esc, "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(unescape(&esc, 0).unwrap(), raw);
+    }
+
+    #[test]
+    fn attr_escaping_quotes_and_whitespace() {
+        assert_eq!(escape_attr(r#"say "hi"<"#), "say &quot;hi&quot;&lt;");
+        assert_eq!(escape_attr("a\nb\tc"), "a&#10;b&#9;c");
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
+        assert_eq!(unescape("&#x1F600;", 0).unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let err = unescape("&nbsp;", 0).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownEntity);
+    }
+
+    #[test]
+    fn unterminated_entity_is_an_error() {
+        assert!(unescape("&amp", 0).is_err());
+    }
+
+    #[test]
+    fn invalid_codepoint_rejected() {
+        assert!(unescape("&#xD800;", 0).is_err()); // lone surrogate
+        assert!(unescape("&#xFFFFFF;", 0).is_err());
+    }
+
+    #[test]
+    fn multibyte_passthrough() {
+        assert_eq!(unescape("héllo — ≤&amp;≥", 0).unwrap(), "héllo — ≤&≥");
+    }
+
+    #[test]
+    fn apos_entity() {
+        assert_eq!(unescape("&apos;", 0).unwrap(), "'");
+    }
+}

@@ -1,0 +1,143 @@
+//! Qualified names.
+
+use std::fmt;
+
+/// The namespace URI reserved for the `xml` prefix.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+/// The namespace URI reserved for the `xmlns` prefix.
+pub const XMLNS_NS: &str = "http://www.w3.org/2000/xmlns/";
+
+/// An expanded XML name: a local part plus an optional namespace URI.
+///
+/// Prefixes are serialization detail and are *not* part of a `QName`'s
+/// identity — two names with the same URI and local part compare equal
+/// regardless of how a document spelled them. This is exactly the
+/// equivalence the WS-* specs rely on, and what the paper's
+/// message-format experiment (§V.4 category 2, "namespaces difference")
+/// measures against.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Namespace URI, or `None` for names in no namespace.
+    pub ns: Option<String>,
+    /// Local part.
+    pub local: String,
+}
+
+impl QName {
+    /// A name in no namespace.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName { ns: None, local: local.into() }
+    }
+
+    /// A name qualified by a namespace URI.
+    pub fn ns(ns: impl Into<String>, local: impl Into<String>) -> Self {
+        QName { ns: Some(ns.into()), local: local.into() }
+    }
+
+    /// True when this name has namespace `ns` and local part `local`.
+    pub fn is(&self, ns: &str, local: &str) -> bool {
+        self.local == local && self.ns.as_deref() == Some(ns)
+    }
+
+    /// Clark notation (`{uri}local`), handy in error messages and tests.
+    pub fn clark(&self) -> String {
+        match &self.ns {
+            Some(ns) => format!("{{{ns}}}{}", self.local),
+            None => self.local.clone(),
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.clark())
+    }
+}
+
+/// Is `c` valid as the first character of an XML name?
+///
+/// Deliberately covers the ASCII + common Unicode ranges; SOAP traffic
+/// never strays beyond these.
+pub fn is_name_start(c: char) -> bool {
+    c == '_'
+        || c.is_ascii_alphabetic()
+        || ('\u{C0}'..='\u{D6}').contains(&c)
+        || ('\u{D8}'..='\u{F6}').contains(&c)
+        || ('\u{F8}'..='\u{2FF}').contains(&c)
+        || ('\u{370}'..='\u{37D}').contains(&c)
+        || ('\u{37F}'..='\u{1FFF}').contains(&c)
+        || ('\u{200C}'..='\u{200D}').contains(&c)
+        || ('\u{2070}'..='\u{218F}').contains(&c)
+        || ('\u{2C00}'..='\u{2FEF}').contains(&c)
+        || ('\u{3001}'..='\u{D7FF}').contains(&c)
+        || ('\u{F900}'..='\u{FDCF}').contains(&c)
+        || ('\u{FDF0}'..='\u{FFFD}').contains(&c)
+}
+
+/// Is `c` valid inside an XML name (after the first character)?
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c)
+        || c == '-'
+        || c == '.'
+        || c.is_ascii_digit()
+        || c == '\u{B7}'
+        || ('\u{300}'..='\u{36F}').contains(&c)
+        || ('\u{203F}'..='\u{2040}').contains(&c)
+}
+
+/// Split a lexical QName (`prefix:local` or `local`) into its parts.
+///
+/// Returns `(prefix, local)` where the prefix is `None` for unprefixed
+/// names. Does not validate characters; callers do that where needed.
+pub fn split_prefixed(raw: &str) -> (Option<&str>, &str) {
+    match raw.find(':') {
+        Some(i) => (Some(&raw[..i]), &raw[i + 1..]),
+        None => (None, raw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_nothing_but_uri_and_local() {
+        assert_eq!(QName::ns("urn:a", "x"), QName::ns("urn:a", "x"));
+        assert_ne!(QName::ns("urn:a", "x"), QName::ns("urn:b", "x"));
+        assert_ne!(QName::ns("urn:a", "x"), QName::local("x"));
+    }
+
+    #[test]
+    fn clark_notation() {
+        assert_eq!(QName::ns("urn:a", "x").clark(), "{urn:a}x");
+        assert_eq!(QName::local("x").clark(), "x");
+    }
+
+    #[test]
+    fn is_matcher() {
+        let q = QName::ns("urn:a", "x");
+        assert!(q.is("urn:a", "x"));
+        assert!(!q.is("urn:a", "y"));
+        assert!(!QName::local("x").is("urn:a", "x"));
+    }
+
+    #[test]
+    fn split_prefixed_names() {
+        assert_eq!(split_prefixed("a:b"), (Some("a"), "b"));
+        assert_eq!(split_prefixed("b"), (None, "b"));
+        assert_eq!(split_prefixed(":b"), (Some(""), "b"));
+    }
+
+    #[test]
+    fn name_chars() {
+        assert!(is_name_start('a'));
+        assert!(is_name_start('_'));
+        assert!(!is_name_start('-'));
+        assert!(!is_name_start('1'));
+        assert!(is_name_char('-'));
+        assert!(is_name_char('1'));
+        assert!(is_name_char('.'));
+        assert!(!is_name_char(' '));
+        assert!(!is_name_char('<'));
+    }
+}

@@ -1,0 +1,590 @@
+//! A hand-written, non-validating, namespace-aware XML parser.
+//!
+//! Scope: everything SOAP traffic contains — elements, attributes,
+//! namespace declarations, text with the predefined entities and
+//! character references, CDATA, comments, processing instructions and an
+//! (ignored) XML declaration / DOCTYPE. No DTD processing beyond
+//! skipping, no external entities (which is also the secure choice).
+
+use crate::error::{ErrorKind, XmlError, XmlResult};
+use crate::escape::unescape;
+use crate::name::{is_name_char, is_name_start, split_prefixed, QName, XML_NS};
+use crate::tree::{Attribute, Element, Node};
+
+/// Maximum element nesting depth accepted by [`parse`].
+///
+/// SOAP messages are shallow; a depth bound turns adversarial
+/// deeply-nested documents from a stack overflow into a parse error.
+pub const MAX_DEPTH: usize = 256;
+
+/// Parse a complete XML document and return its document element.
+///
+/// Leading/trailing comments, PIs and whitespace around the document
+/// element are accepted and discarded; anything else outside the root is
+/// an error.
+pub fn parse(input: &str) -> XmlResult<Element> {
+    let mut p = Parser { input, bytes: input.as_bytes(), pos: 0, scopes: Vec::new(), depth: 0 };
+    p.skip_prolog()?;
+    if p.at_end() {
+        return Err(p.err(ErrorKind::Empty, "input contains no element"));
+    }
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.err(ErrorKind::TrailingContent, "unexpected content after document element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+    /// In-scope namespace declarations, innermost last:
+    /// `(prefix, uri, depth_marker)`. A frame is popped by truncating to
+    /// the length recorded when the element was entered.
+    scopes: Vec<(Option<String>, String)>,
+}
+
+/// Raw attribute before namespace resolution.
+struct RawAttr<'a> {
+    prefix: Option<&'a str>,
+    local: &'a str,
+    value: String,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: ErrorKind, detail: impl Into<String>) -> XmlError {
+        XmlError::new(kind, self.pos, detail)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> XmlResult<()> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else if self.at_end() {
+            Err(self.err(ErrorKind::UnexpectedEof, format!("expected `{s}`")))
+        } else {
+            let got: String = self.input[self.pos..].chars().take(12).collect();
+            Err(self.err(ErrorKind::Malformed, format!("expected `{s}`, found `{got}`")))
+        }
+    }
+
+    /// Skip `<?xml ...?>`, DOCTYPE, comments, PIs and whitespace before
+    /// the document element.
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            self.skip_until("?>")?;
+        }
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skip comments/PIs/whitespace after the document element.
+    fn skip_misc(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> XmlResult<()> {
+        match self.input[self.pos..].find(end) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof, format!("unterminated construct, expected `{end}`"))),
+        }
+    }
+
+    /// Skip a DOCTYPE declaration, honouring a bracketed internal subset.
+    fn skip_doctype(&mut self) -> XmlResult<()> {
+        let mut depth = 0usize;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.err(ErrorKind::UnexpectedEof, "unterminated DOCTYPE"))
+    }
+
+    fn read_name(&mut self) -> XmlResult<&'a str> {
+        let start = self.pos;
+        let mut chars = self.input[self.pos..].char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) || c == ':' => {}
+            _ => return Err(self.err(ErrorKind::Malformed, "expected a name")),
+        }
+        let mut end = self.input.len();
+        for (i, c) in chars {
+            if !(is_name_char(c) || c == ':') {
+                end = self.pos + i;
+                break;
+            }
+        }
+        if end == self.input.len() {
+            self.pos = end;
+        } else {
+            self.pos = end;
+        }
+        Ok(&self.input[start..end])
+    }
+
+    fn resolve(&self, prefix: Option<&str>, for_attr: bool) -> XmlResult<Option<String>> {
+        match prefix {
+            Some("xml") => return Ok(Some(XML_NS.to_string())),
+            Some(p) => {
+                for (pref, uri) in self.scopes.iter().rev() {
+                    if pref.as_deref() == Some(p) {
+                        if uri.is_empty() {
+                            return Err(XmlError::new(
+                                ErrorKind::UndeclaredPrefix,
+                                self.pos,
+                                format!("prefix `{p}` undeclared (empty URI)"),
+                            ));
+                        }
+                        return Ok(Some(uri.clone()));
+                    }
+                }
+                Err(XmlError::new(ErrorKind::UndeclaredPrefix, self.pos, format!("prefix `{p}`")))
+            }
+            None => {
+                if for_attr {
+                    // Unprefixed attributes are in no namespace.
+                    return Ok(None);
+                }
+                for (pref, uri) in self.scopes.iter().rev() {
+                    if pref.is_none() {
+                        return Ok(if uri.is_empty() { None } else { Some(uri.clone()) });
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> XmlResult<Element> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(ErrorKind::Malformed, format!("element nesting exceeds {MAX_DEPTH}")));
+        }
+        let out = self.parse_element_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_element_inner(&mut self) -> XmlResult<Element> {
+        self.expect("<")?;
+        let raw_name = self.read_name()?;
+        let name_pos = self.pos;
+
+        // Collect raw attributes and namespace declarations.
+        let scope_base = self.scopes.len();
+        let mut raw_attrs: Vec<RawAttr<'a>> = Vec::new();
+        let self_closing;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    self_closing = true;
+                    break;
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    self_closing = false;
+                    break;
+                }
+                Some(_) => {
+                    let attr_pos = self.pos;
+                    let raw = self.read_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.read_attr_value()?;
+                    let (prefix, local) = split_prefixed(raw);
+                    if prefix == Some("xmlns") {
+                        self.scopes.push((Some(local.to_string()), value));
+                    } else if prefix.is_none() && local == "xmlns" {
+                        self.scopes.push((None, value));
+                    } else {
+                        raw_attrs.push(RawAttr { prefix, local, value, pos: attr_pos });
+                    }
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof, "inside start tag")),
+            }
+        }
+
+        // Resolve names now that the element's own declarations are in scope.
+        let (eprefix, elocal) = split_prefixed(raw_name);
+        let ens = self.resolve(eprefix, false).map_err(|mut e| {
+            e.position = name_pos;
+            e
+        })?;
+        let mut element = Element {
+            name: QName { ns: ens, local: elocal.to_string() },
+            prefix_hint: eprefix.map(str::to_string),
+            attrs: Vec::with_capacity(raw_attrs.len()),
+            children: Vec::new(),
+        };
+        for ra in raw_attrs {
+            let ns = self.resolve(ra.prefix, true).map_err(|mut e| {
+                e.position = ra.pos;
+                e
+            })?;
+            let name = QName { ns, local: ra.local.to_string() };
+            if element.attrs.iter().any(|a| a.name == name) {
+                return Err(XmlError::new(ErrorKind::DuplicateAttribute, ra.pos, name.clark()));
+            }
+            element.attrs.push(Attribute {
+                name,
+                prefix_hint: ra.prefix.map(str::to_string),
+                value: ra.value,
+            });
+        }
+
+        if !self_closing {
+            self.parse_content(&mut element, raw_name)?;
+        }
+        self.scopes.truncate(scope_base);
+        Ok(element)
+    }
+
+    fn read_attr_value(&mut self) -> XmlResult<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err(ErrorKind::Malformed, "expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        match self.input[self.pos..].find(quote as char) {
+            Some(i) => {
+                let raw = &self.input[start..start + i];
+                self.pos = start + i + 1;
+                unescape(raw, start)
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof, "unterminated attribute value")),
+        }
+    }
+
+    fn parse_content(&mut self, parent: &mut Element, raw_name: &str) -> XmlResult<()> {
+        loop {
+            if self.at_end() {
+                return Err(self.err(ErrorKind::UnexpectedEof, format!("inside <{raw_name}>")));
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end_name = self.read_name()?;
+                if end_name != raw_name {
+                    return Err(self.err(
+                        ErrorKind::MismatchedTag,
+                        format!("expected </{raw_name}>, found </{end_name}>"),
+                    ));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                return Ok(());
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += 9;
+                let start = self.pos;
+                match self.input[self.pos..].find("]]>") {
+                    Some(i) => {
+                        parent.children.push(Node::CData(self.input[start..start + i].to_string()));
+                        self.pos = start + i + 3;
+                    }
+                    None => return Err(self.err(ErrorKind::UnexpectedEof, "unterminated CDATA")),
+                }
+            } else if self.starts_with("<!--") {
+                self.pos += 4;
+                let start = self.pos;
+                match self.input[self.pos..].find("-->") {
+                    Some(i) => {
+                        parent.children.push(Node::Comment(self.input[start..start + i].to_string()));
+                        self.pos = start + i + 3;
+                    }
+                    None => return Err(self.err(ErrorKind::UnexpectedEof, "unterminated comment")),
+                }
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                let target = self.read_name()?.to_string();
+                let start = self.pos;
+                match self.input[self.pos..].find("?>") {
+                    Some(i) => {
+                        let data = self.input[start..start + i].trim().to_string();
+                        parent.children.push(Node::Pi { target, data });
+                        self.pos = start + i + 2;
+                    }
+                    None => return Err(self.err(ErrorKind::UnexpectedEof, "unterminated processing instruction")),
+                }
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                parent.children.push(Node::Element(child));
+            } else {
+                // Text run up to the next '<'.
+                let start = self.pos;
+                let rel = self.input[self.pos..].find('<').unwrap_or(self.input.len() - self.pos);
+                let raw = &self.input[start..start + rel];
+                self.pos = start + rel;
+                let text = unescape(raw, start)?;
+                if !text.is_empty() {
+                    parent.children.push(Node::Text(text));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let e = parse("<r/>").unwrap();
+        assert_eq!(e.name, QName::local("r"));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn xml_decl_doctype_comments_pis_in_prolog() {
+        let e = parse(
+            "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n<!-- hi --><!DOCTYPE r [ <!ELEMENT r ANY> ]>\n<?pi data?><r/><!-- bye -->",
+        )
+        .unwrap();
+        assert_eq!(e.name.local, "r");
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_not_attrs() {
+        let e = parse(r#"<r xmlns="urn:d" a="1"><c/></r>"#).unwrap();
+        assert_eq!(e.name, QName::ns("urn:d", "r"));
+        assert_eq!(e.attrs[0].name, QName::local("a"), "attrs do not take default ns");
+        assert_eq!(e.elements().next().unwrap().name, QName::ns("urn:d", "c"));
+    }
+
+    #[test]
+    fn prefixed_namespaces_and_scoping() {
+        let e = parse(
+            r#"<a:r xmlns:a="urn:a"><a:c xmlns:a="urn:b"><a:g/></a:c><a:d/></a:r>"#,
+        )
+        .unwrap();
+        assert_eq!(e.name, QName::ns("urn:a", "r"));
+        let c = e.elements().next().unwrap();
+        assert_eq!(c.name, QName::ns("urn:b", "c"), "inner redeclaration wins");
+        assert_eq!(c.elements().next().unwrap().name, QName::ns("urn:b", "g"));
+        let d = e.elements().nth(1).unwrap();
+        assert_eq!(d.name, QName::ns("urn:a", "d"), "outer scope restored");
+    }
+
+    #[test]
+    fn default_ns_undeclaration() {
+        let e = parse(r#"<r xmlns="urn:d"><c xmlns=""><g/></c></r>"#).unwrap();
+        let c = e.elements().next().unwrap();
+        assert_eq!(c.name, QName::local("c"));
+        assert_eq!(c.elements().next().unwrap().name, QName::local("g"));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        let err = parse("<x:r/>").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UndeclaredPrefix);
+    }
+
+    #[test]
+    fn undeclared_attr_prefix_is_an_error() {
+        let err = parse(r#"<r x:a="1"/>"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UndeclaredPrefix);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse(r#"<r a="1" a="2"/>"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateAttribute);
+        // Same expanded name via different prefixes is also a duplicate.
+        let err = parse(r#"<r xmlns:p="urn:a" xmlns:q="urn:a" p:a="1" q:a="2"/>"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateAttribute);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::MismatchedTag);
+    }
+
+    #[test]
+    fn text_entities_expanded() {
+        let e = parse("<r>1 &lt; 2 &amp;&amp; 3 &gt; 2</r>").unwrap();
+        assert_eq!(e.text(), "1 < 2 && 3 > 2");
+    }
+
+    #[test]
+    fn attr_entities_expanded() {
+        let e = parse(r#"<r a="&quot;x&quot; &#65;"/>"#).unwrap();
+        assert_eq!(e.attr("a"), Some("\"x\" A"));
+    }
+
+    #[test]
+    fn cdata_sections() {
+        let e = parse("<r><![CDATA[a <raw> & b]]></r>").unwrap();
+        assert_eq!(e.text(), "a <raw> & b");
+        assert!(matches!(e.children[0], Node::CData(_)));
+    }
+
+    #[test]
+    fn comments_and_pis_in_content() {
+        let e = parse("<r><!-- c --><?t d ?>x</r>").unwrap();
+        assert_eq!(e.children.len(), 3);
+        assert!(matches!(&e.children[0], Node::Comment(c) if c == " c "));
+        assert!(matches!(&e.children[1], Node::Pi { target, data } if target == "t" && data == "d"));
+        assert_eq!(e.text(), "x");
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let err = parse("<r/><r2/>").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse("").unwrap_err().kind, ErrorKind::Empty);
+        assert_eq!(parse("   \n ").unwrap_err().kind, ErrorKind::Empty);
+    }
+
+    #[test]
+    fn unterminated_everything() {
+        for bad in ["<r", "<r>", "<r><c></c>", "<r><![CDATA[x", "<r><!-- x", "<r a=\"1", "<r>&amp"] {
+            assert!(parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn soap_like_document() {
+        let doc = r#"<?xml version="1.0"?>
+<s:Envelope xmlns:s="http://www.w3.org/2003/05/soap-envelope"
+            xmlns:wsa="http://www.w3.org/2005/08/addressing">
+  <s:Header>
+    <wsa:Action s:mustUnderstand="true">urn:op</wsa:Action>
+  </s:Header>
+  <s:Body><payload xmlns="urn:app"><value>42</value></payload></s:Body>
+</s:Envelope>"#;
+        let env = parse(doc).unwrap();
+        assert_eq!(env.name.local, "Envelope");
+        let header = env.child("Header").unwrap();
+        let action = header.child("Action").unwrap();
+        assert_eq!(action.text(), "urn:op");
+        assert_eq!(
+            action.attr_ns("http://www.w3.org/2003/05/soap-envelope", "mustUnderstand"),
+            Some("true")
+        );
+        let body = env.child("Body").unwrap();
+        let payload = body.child_ns("urn:app", "payload").unwrap();
+        assert_eq!(payload.child("value").unwrap().text(), "42");
+    }
+
+    #[test]
+    fn whitespace_in_end_tag() {
+        let e = parse("<r>x</r >").unwrap();
+        assert_eq!(e.text(), "x");
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let e = parse("<r a='it is \"fine\"'/>").unwrap();
+        assert_eq!(e.attr("a"), Some("it is \"fine\""));
+    }
+
+    #[test]
+    fn xml_prefix_predeclared() {
+        let e = parse(r#"<r xml:lang="en"/>"#).unwrap();
+        assert_eq!(
+            e.attr_ns("http://www.w3.org/XML/1998/namespace", "lang"),
+            Some("en")
+        );
+    }
+
+    #[test]
+    fn multibyte_text_and_names() {
+        let e = parse("<r>héllo — 世界</r>").unwrap();
+        assert_eq!(e.text(), "héllo — 世界");
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_crash() {
+        let depth = MAX_DEPTH + 10;
+        let mut doc = String::new();
+        for i in 0..depth {
+            doc.push_str(&format!("<e{i}>"));
+        }
+        for i in (0..depth).rev() {
+            doc.push_str(&format!("</e{i}>"));
+        }
+        let err = parse(&doc).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Malformed);
+        assert!(err.detail.contains("nesting"));
+    }
+
+    #[test]
+    fn nesting_at_the_limit_parses() {
+        let depth = MAX_DEPTH;
+        let mut doc = String::new();
+        for _ in 0..depth {
+            doc.push_str("<e>");
+        }
+        for _ in 0..depth {
+            doc.push_str("</e>");
+        }
+        assert!(parse(&doc).is_ok());
+    }
+}

@@ -1,0 +1,399 @@
+//! Serialization with automatic namespace-declaration management.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::name::XML_NS;
+use crate::tree::{Element, Node};
+
+/// Serialization options.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOptions {
+    /// Emit `<?xml version="1.0" encoding="utf-8"?>` first.
+    pub xml_decl: bool,
+    /// `Some(n)` pretty-prints with `n`-space indentation. Elements with
+    /// text content are kept inline so character data is never altered.
+    pub indent: Option<usize>,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { xml_decl: false, indent: None }
+    }
+}
+
+/// Serialize compactly (no XML declaration, no added whitespace).
+pub fn to_string(root: &Element) -> String {
+    write_with(root, WriteOptions::default())
+}
+
+/// Serialize pretty-printed with two-space indentation.
+pub fn to_pretty_string(root: &Element) -> String {
+    write_with(root, WriteOptions { xml_decl: false, indent: Some(2) })
+}
+
+/// Serialize with explicit [`WriteOptions`].
+pub fn write_with(root: &Element, opts: WriteOptions) -> String {
+    let mut out = String::with_capacity(256);
+    if opts.xml_decl {
+        out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    let mut w = Writer { out, opts, scopes: Vec::new(), gen_counter: 0 };
+    w.element(root, 0);
+    w.out
+}
+
+struct Writer {
+    out: String,
+    opts: WriteOptions,
+    /// In-scope declarations, innermost last: `(prefix, uri)`.
+    /// `prefix == None` is the default namespace; an empty uri
+    /// represents an un-declaration.
+    scopes: Vec<(Option<String>, String)>,
+    gen_counter: usize,
+}
+
+impl Writer {
+    /// URI currently bound to `prefix` (innermost wins).
+    fn binding_of(&self, prefix: Option<&str>) -> Option<&str> {
+        self.scopes
+            .iter()
+            .rev()
+            .find(|(p, _)| p.as_deref() == prefix)
+            .map(|(_, u)| u.as_str())
+    }
+
+    /// An in-scope, unshadowed prefix bound to `uri`. When `allow_default`
+    /// is false (attributes), the default namespace does not count.
+    fn prefix_for(&self, uri: &str, allow_default: bool) -> Option<Option<&str>> {
+        for (p, u) in self.scopes.iter().rev() {
+            if u == uri {
+                let pref = p.as_deref();
+                if !allow_default && pref.is_none() {
+                    continue;
+                }
+                // Check that this binding is not shadowed by an inner one.
+                if self.binding_of(pref) == Some(uri) {
+                    return Some(pref);
+                }
+            }
+        }
+        if uri == XML_NS {
+            return Some(Some("xml"));
+        }
+        None
+    }
+
+    fn fresh_prefix(&mut self) -> String {
+        loop {
+            let cand = format!("ns{}", self.gen_counter);
+            self.gen_counter += 1;
+            if self.binding_of(Some(&cand)).is_none() {
+                return cand;
+            }
+        }
+    }
+
+    fn element(&mut self, e: &Element, depth: usize) {
+        let scope_base = self.scopes.len();
+        // Declarations this element must carry: (prefix, uri).
+        let mut decls: Vec<(Option<String>, String)> = Vec::new();
+
+        // Resolve the element's own name.
+        let tag = self.qualify(&e.name.ns, e.prefix_hint.as_deref(), true, &mut decls, &e.name.local);
+
+        // Resolve attribute names.
+        let mut attr_strs: Vec<(String, String)> = Vec::with_capacity(e.attrs.len());
+        for a in &e.attrs {
+            let aname = match &a.name.ns {
+                None => a.name.local.clone(),
+                Some(_) => {
+                    self.qualify(&a.name.ns, a.prefix_hint.as_deref(), false, &mut decls, &a.name.local)
+                }
+            };
+            attr_strs.push((aname, escape_attr(&a.value)));
+        }
+
+        self.out.push('<');
+        self.out.push_str(&tag);
+        for (p, u) in &decls {
+            match p {
+                None => {
+                    self.out.push_str(" xmlns=\"");
+                }
+                Some(p) => {
+                    self.out.push_str(" xmlns:");
+                    self.out.push_str(p);
+                    self.out.push_str("=\"");
+                }
+            }
+            self.out.push_str(&escape_attr(u));
+            self.out.push('"');
+        }
+        for (n, v) in &attr_strs {
+            self.out.push(' ');
+            self.out.push_str(n);
+            self.out.push_str("=\"");
+            self.out.push_str(v);
+            self.out.push('"');
+        }
+
+        if e.children.is_empty() {
+            self.out.push_str("/>");
+            self.scopes.truncate(scope_base);
+            return;
+        }
+        self.out.push('>');
+
+        let indent_children = self.opts.indent.is_some()
+            && e.children.iter().all(|c| !matches!(c, Node::Text(_) | Node::CData(_)));
+        for c in &e.children {
+            if indent_children {
+                self.newline_indent(depth + 1);
+            }
+            match c {
+                Node::Element(child) => self.element(child, depth + 1),
+                Node::Text(t) => self.out.push_str(&escape_text(t)),
+                Node::CData(t) => {
+                    self.out.push_str("<![CDATA[");
+                    self.out.push_str(t);
+                    self.out.push_str("]]>");
+                }
+                Node::Comment(t) => {
+                    self.out.push_str("<!--");
+                    self.out.push_str(t);
+                    self.out.push_str("-->");
+                }
+                Node::Pi { target, data } => {
+                    self.out.push_str("<?");
+                    self.out.push_str(target);
+                    if !data.is_empty() {
+                        self.out.push(' ');
+                        self.out.push_str(data);
+                    }
+                    self.out.push_str("?>");
+                }
+            }
+        }
+        if indent_children {
+            self.newline_indent(depth);
+        }
+        self.out.push_str("</");
+        self.out.push_str(&tag);
+        self.out.push('>');
+        self.scopes.truncate(scope_base);
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        if let Some(n) = self.opts.indent {
+            self.out.push('\n');
+            for _ in 0..depth * n {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    /// Produce the lexical tag name for (`ns`, `local`), adding any
+    /// declaration needed to `decls` and the scope stack.
+    fn qualify(
+        &mut self,
+        ns: &Option<String>,
+        hint: Option<&str>,
+        allow_default: bool,
+        decls: &mut Vec<(Option<String>, String)>,
+        local: &str,
+    ) -> String {
+        match ns {
+            None => {
+                // For elements, make sure no default namespace captures us.
+                if allow_default {
+                    if let Some(u) = self.binding_of(None) {
+                        if !u.is_empty() {
+                            decls.push((None, String::new()));
+                            self.scopes.push((None, String::new()));
+                        }
+                    }
+                }
+                local.to_string()
+            }
+            Some(uri) => {
+                if uri == XML_NS {
+                    return format!("xml:{local}");
+                }
+                // Prefer the hint when it is already correctly bound.
+                if let Some(h) = hint {
+                    if self.binding_of(Some(h)) == Some(uri.as_str()) {
+                        return format!("{h}:{local}");
+                    }
+                }
+                if hint.is_none() {
+                    if let Some(binding) = self.prefix_for(uri, allow_default) {
+                        return match binding {
+                            None => local.to_string(),
+                            Some(p) => format!("{p}:{local}"),
+                        };
+                    }
+                }
+                // Need a new declaration.
+                let prefix = match hint {
+                    Some(h) if !h.is_empty() => h.to_string(),
+                    _ => {
+                        if let Some(binding) = self.prefix_for(uri, allow_default) {
+                            return match binding {
+                                None => local.to_string(),
+                                Some(p) => format!("{p}:{local}"),
+                            };
+                        }
+                        if allow_default {
+                            // No hint on an element: declare the default
+                            // namespace rather than inventing a prefix.
+                            decls.push((None, uri.clone()));
+                            self.scopes.push((None, uri.clone()));
+                            return local.to_string();
+                        }
+                        self.fresh_prefix()
+                    }
+                };
+                decls.push((Some(prefix.clone()), uri.clone()));
+                self.scopes.push((Some(prefix.clone()), uri.clone()));
+                format!("{prefix}:{local}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::QName;
+
+    fn roundtrip(doc: &str) -> Element {
+        let e = parse(doc).unwrap();
+        let s = to_string(&e);
+        let e2 = parse(&s).unwrap_or_else(|err| panic!("reparse of `{s}` failed: {err}"));
+        assert_eq!(e, e2, "serialized form `{s}` changed the tree");
+        e
+    }
+
+    #[test]
+    fn simple_roundtrips() {
+        roundtrip("<r/>");
+        roundtrip("<r a=\"1\">text</r>");
+        roundtrip("<r><a/><b>x</b></r>");
+    }
+
+    #[test]
+    fn namespace_roundtrips() {
+        roundtrip(r#"<p:r xmlns:p="urn:a"><p:c/><q:d xmlns:q="urn:b"/></p:r>"#);
+        roundtrip(r#"<r xmlns="urn:a"><c/><d xmlns="">plain</d></r>"#);
+        roundtrip(r#"<r xmlns:x="urn:x" x:a="1" b="2"/>"#);
+    }
+
+    #[test]
+    fn builder_tree_gets_declarations() {
+        let e = Element::ns("urn:s", "Envelope", "s")
+            .with_child(Element::ns("urn:s", "Body", "s").with_child(
+                Element::ns("urn:app", "op", "app").with_attr_ns("urn:x", "id", "x", "7"),
+            ));
+        let s = to_string(&e);
+        assert!(s.contains("xmlns:s=\"urn:s\""), "{s}");
+        assert!(s.contains("xmlns:app=\"urn:app\""), "{s}");
+        assert!(s.contains("xmlns:x=\"urn:x\""), "{s}");
+        // Inner s:Body reuses the outer declaration.
+        assert_eq!(s.matches("xmlns:s=").count(), 1, "{s}");
+        let back = parse(&s).unwrap();
+        assert_eq!(back.name, QName::ns("urn:s", "Envelope"));
+        assert_eq!(
+            back.child("Body").unwrap().child("op").unwrap().attr_ns("urn:x", "id"),
+            Some("7")
+        );
+    }
+
+    #[test]
+    fn missing_hint_uses_default_namespace() {
+        let e = Element::new(QName::ns("urn:z", "thing"));
+        let s = to_string(&e);
+        let back = parse(&s).unwrap();
+        assert_eq!(back.name, QName::ns("urn:z", "thing"));
+    }
+
+    #[test]
+    fn attr_never_uses_default_namespace() {
+        // Element uses default ns; attribute in same ns must get a prefix.
+        let mut e = Element::new(QName::ns("urn:a", "r"));
+        e.attrs.push(crate::tree::Attribute {
+            name: QName::ns("urn:a", "k"),
+            prefix_hint: None,
+            value: "v".into(),
+        });
+        let s = to_string(&e);
+        let back = parse(&s).unwrap();
+        assert_eq!(back.attr_ns("urn:a", "k"), Some("v"));
+    }
+
+    #[test]
+    fn unprefixed_child_of_defaulted_parent_undeclares() {
+        let e = parse(r#"<r xmlns="urn:a"><c xmlns="">x</c></r>"#).unwrap();
+        let s = to_string(&e);
+        assert!(s.contains("xmlns=\"\""), "{s}");
+        let back = parse(&s).unwrap();
+        assert_eq!(back.elements().next().unwrap().name, QName::local("c"));
+    }
+
+    #[test]
+    fn text_escaped_on_output() {
+        let e = Element::local("r").with_text("a < b & c");
+        assert_eq!(to_string(&e), "<r>a &lt; b &amp; c</r>");
+    }
+
+    #[test]
+    fn cdata_comment_pi_roundtrip() {
+        roundtrip("<r><![CDATA[a < b]]><!-- note --><?target stuff?></r>");
+    }
+
+    #[test]
+    fn pretty_print_indents_element_only_content() {
+        let e = parse("<r><a><b/></a><c/></r>").unwrap();
+        let s = to_pretty_string(&e);
+        assert_eq!(s, "<r>\n  <a>\n    <b/>\n  </a>\n  <c/>\n</r>");
+    }
+
+    #[test]
+    fn pretty_print_keeps_text_inline() {
+        let e = parse("<r><a>text</a></r>").unwrap();
+        let s = to_pretty_string(&e);
+        assert!(s.contains("<a>text</a>"), "{s}");
+    }
+
+    #[test]
+    fn xml_decl_option() {
+        let e = Element::local("r");
+        let s = write_with(&e, WriteOptions { xml_decl: true, indent: None });
+        assert!(s.starts_with("<?xml version=\"1.0\""), "{s}");
+    }
+
+    #[test]
+    fn hint_collision_rebinds_locally() {
+        // Parent binds p->urn:a; child insists on p->urn:b. Legal XML:
+        // the child carries its own xmlns:p.
+        let e = Element::ns("urn:a", "r", "p").with_child(Element::ns("urn:b", "c", "p"));
+        let s = to_string(&e);
+        let back = parse(&s).unwrap();
+        assert_eq!(back.name, QName::ns("urn:a", "r"));
+        assert_eq!(back.elements().next().unwrap().name, QName::ns("urn:b", "c"));
+    }
+
+    #[test]
+    fn xml_namespace_never_declared() {
+        let mut e = Element::local("r");
+        e.attrs.push(crate::tree::Attribute {
+            name: QName::ns(crate::name::XML_NS, "lang"),
+            prefix_hint: Some("xml".into()),
+            value: "en".into(),
+        });
+        let s = to_string(&e);
+        assert_eq!(s, r#"<r xml:lang="en"/>"#);
+    }
+}

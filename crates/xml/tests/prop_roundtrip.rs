@@ -1,0 +1,124 @@
+//! Property tests: serialization/parsing round-trips over generated trees.
+
+use proptest::prelude::*;
+use wsm_xml::{parse, to_pretty_string, to_string, Element, QName};
+
+/// A small pool of names/namespaces so collisions and reuse happen often.
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("alpha".to_string()),
+        Just("beta".to_string()),
+        Just("Envelope".to_string()),
+        Just("x-b_c.d".to_string()),
+        "[a-zA-Z_][a-zA-Z0-9_-]{0,8}".prop_map(|s| s),
+    ]
+}
+
+fn ns_strategy() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        Just(Some("urn:a".to_string())),
+        Just(Some("urn:b".to_string())),
+        Just(Some("http://example.org/ns?q=1&x=2".to_string())),
+    ]
+}
+
+fn prefix_strategy() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), Just(Some("p".to_string())), Just(Some("q".to_string()))]
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes all the characters that need escaping plus multibyte.
+    proptest::string::string_regex("[ -~é世\\n\\t]{0,24}").unwrap()
+}
+
+fn leaf_strategy() -> impl Strategy<Value = Element> {
+    (name_strategy(), ns_strategy(), prefix_strategy(), proptest::option::of(text_strategy())).prop_map(
+        |(local, ns, prefix, text)| {
+            let mut e = Element::new(QName { ns: ns.clone(), local });
+            // Prefix hints only make sense for namespaced elements.
+            e.prefix_hint = if ns.is_some() { prefix } else { None };
+            if let Some(t) = text {
+                if !t.is_empty() {
+                    e.push_text(t);
+                }
+            }
+            e
+        },
+    )
+}
+
+fn tree_strategy() -> impl Strategy<Value = Element> {
+    leaf_strategy().prop_recursive(4, 32, 4, |inner| {
+        (
+            leaf_strategy(),
+            prop::collection::vec(inner, 0..4),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+        )
+            .prop_map(|(mut e, kids, attrs)| {
+                for (i, (name, value)) in attrs.into_iter().enumerate() {
+                    // Deduplicate attribute names by suffixing the index.
+                    e.set_attr(QName::local(format!("{name}{i}")), value);
+                }
+                for k in kids {
+                    e.push(k);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// write → parse is the identity on trees (modulo prefix hints,
+    /// which equality rightly ignores).
+    #[test]
+    fn compact_roundtrip(tree in tree_strategy()) {
+        let s = to_string(&tree);
+        let back = parse(&s).unwrap_or_else(|e| panic!("reparse failed: {e}\ndoc: {s}"));
+        prop_assert_eq!(&back, &tree);
+    }
+
+    /// Pretty-printing must not change the tree when no mixed content is
+    /// involved; with mixed content it keeps text inline, so the tree is
+    /// preserved there too.
+    #[test]
+    fn pretty_roundtrip_preserves_text(tree in tree_strategy()) {
+        let s = to_pretty_string(&tree);
+        let back = parse(&s).unwrap_or_else(|e| panic!("reparse failed: {e}\ndoc: {s}"));
+        // Pretty printing inserts whitespace-only text nodes between
+        // elements; compare after dropping those.
+        fn strip_ws(e: &Element) -> Element {
+            let mut out = Element::new(e.name.clone());
+            out.attrs = e.attrs.clone();
+            for c in &e.children {
+                match c {
+                    wsm_xml::Node::Text(t) if t.trim().is_empty() => {}
+                    wsm_xml::Node::Element(child) => out.push(strip_ws(child)),
+                    other => out.children.push(other.clone()),
+                }
+            }
+            out
+        }
+        prop_assert_eq!(strip_ws(&back), strip_ws(&tree));
+    }
+
+    /// Escaping arbitrary text and unescaping returns the original.
+    #[test]
+    fn escape_unescape_identity(t in "[ -~éé≤≥\\n\\t\\r]{0,64}") {
+        let esc = wsm_xml::escape::escape_text(&t);
+        prop_assert_eq!(wsm_xml::escape::unescape(&esc, 0).unwrap(), t.clone());
+        let esc = wsm_xml::escape::escape_attr(&t);
+        prop_assert_eq!(wsm_xml::escape::unescape(&esc, 0).unwrap(), t);
+    }
+
+    /// The differ reports no differences between a tree and itself, and
+    /// prefix re-spelling never shows up as a difference.
+    #[test]
+    fn diff_self_is_empty(tree in tree_strategy()) {
+        prop_assert!(wsm_xml::diff(&tree, &tree).is_empty());
+        let reparsed = parse(&to_string(&tree)).unwrap();
+        prop_assert!(wsm_xml::diff(&tree, &reparsed).is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! XPath 1.0 tokenizer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Number literal (XPath numbers are all f64).
+    Number(f64),
+    /// String literal (quotes stripped).
+    Literal(String),
+    /// A name: NCName, possibly `prefix:local`, `prefix:*`.
+    /// Stored as (prefix, local) with `*` allowed as local.
+    Name(Option<String>, String),
+    /// `*` as a name test or multiply operator — disambiguated by the parser.
+    Star,
+    /// `@`
+    At,
+    /// `..`
+    DotDot,
+    /// `.`
+    Dot,
+    /// `/`
+    Slash,
+    /// `//`
+    SlashSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `::` axis separator
+    ColonColon,
+    /// `$name` variable reference (parsed but unsupported at eval time).
+    Variable(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Literal(s) => write!(f, "'{s}'"),
+            Token::Name(Some(p), l) => write!(f, "{p}:{l}"),
+            Token::Name(None, l) => write!(f, "{l}"),
+            Token::Star => write!(f, "*"),
+            Token::At => write!(f, "@"),
+            Token::DotDot => write!(f, ".."),
+            Token::Dot => write!(f, "."),
+            Token::Slash => write!(f, "/"),
+            Token::SlashSlash => write!(f, "//"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Pipe => write!(f, "|"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::ColonColon => write!(f, "::"),
+            Token::Variable(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+/// Tokenize an XPath expression. Returns the tokens or an error message
+/// with the byte offset of the offending character.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, (usize, String)> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'|' => {
+                out.push(Token::Pipe);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'@' => {
+                out.push(Token::At);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err((i, "`!` must be followed by `=`".into()));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    out.push(Token::SlashSlash);
+                    i += 2;
+                } else {
+                    out.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token::DotDot);
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (n, len) = lex_number(&input[i..]);
+                    out.push(Token::Number(n));
+                    i += len;
+                } else {
+                    out.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            b':' => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    out.push(Token::ColonColon);
+                    i += 2;
+                } else {
+                    return Err((i, "stray `:`".into()));
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b as char;
+                match input[i + 1..].find(quote) {
+                    Some(len) => {
+                        out.push(Token::Literal(input[i + 1..i + 1 + len].to_string()));
+                        i += len + 2;
+                    }
+                    None => return Err((i, "unterminated string literal".into())),
+                }
+            }
+            b'$' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && is_ncname_char(bytes[end]) {
+                    end += 1;
+                }
+                if end == start {
+                    return Err((i, "`$` must be followed by a name".into()));
+                }
+                out.push(Token::Variable(input[start..end].to_string()));
+                i = end;
+            }
+            b'0'..=b'9' => {
+                let (n, len) = lex_number(&input[i..]);
+                out.push(Token::Number(n));
+                i += len;
+            }
+            _ if is_ncname_start(b) => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len() && is_ncname_char(bytes[end]) {
+                    end += 1;
+                }
+                let first = &input[start..end];
+                // prefix:local or prefix:* — but not `a::b` (axis).
+                if bytes.get(end) == Some(&b':') && bytes.get(end + 1) != Some(&b':') {
+                    let lstart = end + 1;
+                    if bytes.get(lstart) == Some(&b'*') {
+                        out.push(Token::Name(Some(first.to_string()), "*".to_string()));
+                        i = lstart + 1;
+                        continue;
+                    }
+                    let mut lend = lstart;
+                    while lend < bytes.len() && is_ncname_char(bytes[lend]) {
+                        lend += 1;
+                    }
+                    if lend == lstart {
+                        return Err((end, "expected local name after prefix".into()));
+                    }
+                    out.push(Token::Name(
+                        Some(first.to_string()),
+                        input[lstart..lend].to_string(),
+                    ));
+                    i = lend;
+                } else {
+                    out.push(Token::Name(None, first.to_string()));
+                    i = end;
+                }
+            }
+            _ => {
+                return Err((i, format!("unexpected character `{}`", input[i..].chars().next().unwrap())))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(s: &str) -> (f64, usize) {
+    let bytes = s.as_bytes();
+    let mut end = 0;
+    let mut seen_dot = false;
+    while end < bytes.len() {
+        match bytes[end] {
+            b'0'..=b'9' => end += 1,
+            b'.' if !seen_dot => {
+                seen_dot = true;
+                end += 1;
+            }
+            _ => break,
+        }
+    }
+    (s[..end].parse().unwrap_or(f64::NAN), end)
+}
+
+fn is_ncname_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ncname_char(b: u8) -> bool {
+    is_ncname_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap()
+    }
+
+    #[test]
+    fn simple_path() {
+        assert_eq!(
+            toks("/a/b"),
+            vec![
+                Token::Slash,
+                Token::Name(None, "a".into()),
+                Token::Slash,
+                Token::Name(None, "b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn abbreviations() {
+        assert_eq!(
+            toks("//a/@b/../."),
+            vec![
+                Token::SlashSlash,
+                Token::Name(None, "a".into()),
+                Token::Slash,
+                Token::At,
+                Token::Name(None, "b".into()),
+                Token::Slash,
+                Token::DotDot,
+                Token::Slash,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("3"), vec![Token::Number(3.0)]);
+        assert_eq!(toks("3.25"), vec![Token::Number(3.25)]);
+        assert_eq!(toks(".5"), vec![Token::Number(0.5)]);
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(toks("'ab'"), vec![Token::Literal("ab".into())]);
+        assert_eq!(toks("\"a'b\""), vec![Token::Literal("a'b".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a != b <= 2"),
+            vec![
+                Token::Name(None, "a".into()),
+                Token::NotEq,
+                Token::Name(None, "b".into()),
+                Token::LtEq,
+                Token::Number(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_names_and_axes() {
+        assert_eq!(toks("p:x"), vec![Token::Name(Some("p".into()), "x".into())]);
+        assert_eq!(toks("p:*"), vec![Token::Name(Some("p".into()), "*".into())]);
+        assert_eq!(
+            toks("child::x"),
+            vec![Token::Name(None, "child".into()), Token::ColonColon, Token::Name(None, "x".into())]
+        );
+    }
+
+    #[test]
+    fn variables() {
+        assert_eq!(toks("$v"), vec![Token::Variable("v".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("$").is_err());
+    }
+
+    #[test]
+    fn number_vs_dot() {
+        assert_eq!(toks("1.5.5"), vec![Token::Number(1.5), Token::Number(0.5)]);
+    }
+}

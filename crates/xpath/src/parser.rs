@@ -1,0 +1,552 @@
+//! Recursive-descent parser for the XPath 1.0 grammar subset.
+
+use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
+use crate::lexer::{tokenize, Token};
+use std::fmt;
+
+/// A parse error with the token index at which it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XPathError {
+    /// Roughly where (token index, or byte offset for lexer errors).
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath syntax error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Parse an XPath 1.0 expression.
+pub fn parse(input: &str) -> Result<Expr, XPathError> {
+    let tokens = tokenize(input).map_err(|(at, message)| XPathError { at, message })?;
+    if tokens.is_empty() {
+        return Err(XPathError { at: 0, message: "empty expression".into() });
+    }
+    let mut p = P { tokens, pos: 0 };
+    let e = p.or_expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!("unexpected trailing token `{}`", p.tokens[p.pos])));
+    }
+    Ok(e)
+}
+
+struct P {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn err(&self, message: impl Into<String>) -> XPathError {
+        XPathError { at: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), XPathError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{t}`, found {}",
+                self.peek().map(|x| format!("`{x}`")).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    /// Is the current token the operator name `kw` in operator position?
+    fn eat_op_name(&mut self, kw: &str) -> bool {
+        if let Some(Token::Name(None, n)) = self.peek() {
+            if n == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    // Precedence-climbing per the XPath 1.0 grammar.
+
+    fn or_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.and_expr()?;
+        while self.eat_op_name("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.equality_expr()?;
+        while self.eat_op_name("and") {
+            let right = self.equality_expr()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Eq) => BinOp::Eq,
+                Some(Token::NotEq) => BinOp::NotEq,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.relational_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Lt) => BinOp::Lt,
+                Some(Token::LtEq) => BinOp::LtEq,
+                Some(Token::Gt) => BinOp::Gt,
+                Some(Token::GtEq) => BinOp::GtEq,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.additive_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = if self.peek() == Some(&Token::Star) {
+                BinOp::Mul
+            } else if let Some(Token::Name(None, n)) = self.peek() {
+                match n.as_str() {
+                    "div" => BinOp::Div,
+                    "mod" => BinOp::Mod,
+                    _ => break,
+                }
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, XPathError> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            Ok(Expr::Negate(Box::new(inner)))
+        } else {
+            self.union_expr()
+        }
+    }
+
+    fn union_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.path_expr()?;
+        while self.eat(&Token::Pipe) {
+            let right = self.path_expr()?;
+            left = Expr::Binary(BinOp::Union, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// PathExpr ::= LocationPath | FilterExpr (('/' | '//') RelativeLocationPath)?
+    fn path_expr(&mut self) -> Result<Expr, XPathError> {
+        // Primary expressions start with (, literal, number, $var, or a
+        // function call `name(`. Node tests `text()`, `node()`,
+        // `comment()` and axis names are NOT function calls.
+        let starts_primary = match self.peek() {
+            Some(Token::LParen | Token::Literal(_) | Token::Number(_) | Token::Variable(_)) => true,
+            Some(Token::Name(None, n)) => {
+                self.peek2() == Some(&Token::LParen)
+                    && !matches!(n.as_str(), "text" | "node" | "comment" | "processing-instruction")
+            }
+            _ => false,
+        };
+        if starts_primary {
+            let primary = self.primary_expr()?;
+            let mut predicates = Vec::new();
+            while self.peek() == Some(&Token::LBracket) {
+                self.pos += 1;
+                predicates.push(self.or_expr()?);
+                self.expect(&Token::RBracket)?;
+            }
+            let path = if self.peek() == Some(&Token::Slash) || self.peek() == Some(&Token::SlashSlash)
+            {
+                Some(self.relative_path_after_primary()?)
+            } else {
+                None
+            };
+            if predicates.is_empty() && path.is_none() {
+                return Ok(primary);
+            }
+            return Ok(Expr::Filtered { primary: Box::new(primary), predicates, path });
+        }
+        Ok(Expr::Path(self.location_path()?))
+    }
+
+    fn relative_path_after_primary(&mut self) -> Result<LocationPath, XPathError> {
+        let mut steps = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    steps.push(self.step()?);
+                }
+                Some(Token::SlashSlash) => {
+                    self.pos += 1;
+                    steps.push(Step {
+                        axis: Axis::DescendantOrSelf,
+                        test: NodeTest::AnyNode,
+                        predicates: Vec::new(),
+                    });
+                    steps.push(self.step()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(LocationPath { absolute: false, steps })
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, XPathError> {
+        match self.bump() {
+            Some(Token::Number(n)) => Ok(Expr::Number(n)),
+            Some(Token::Literal(s)) => Ok(Expr::Literal(s)),
+            Some(Token::Variable(v)) => Ok(Expr::Variable(v)),
+            Some(Token::LParen) => {
+                let e = self.or_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Name(None, name)) => {
+                self.expect(&Token::LParen)?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Token::RParen) {
+                    loop {
+                        args.push(self.or_expr()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Call { name, args })
+            }
+            other => Err(self.err(format!(
+                "expected a primary expression, found {}",
+                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn location_path(&mut self) -> Result<LocationPath, XPathError> {
+        let mut absolute = false;
+        let mut steps = Vec::new();
+        match self.peek() {
+            Some(Token::Slash) => {
+                absolute = true;
+                self.pos += 1;
+                // Bare `/` selects the root.
+                if !self.step_starts() {
+                    return Ok(LocationPath { absolute, steps });
+                }
+                steps.push(self.step()?);
+            }
+            Some(Token::SlashSlash) => {
+                absolute = true;
+                self.pos += 1;
+                steps.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::AnyNode,
+                    predicates: Vec::new(),
+                });
+                steps.push(self.step()?);
+            }
+            _ => steps.push(self.step()?),
+        }
+        loop {
+            match self.peek() {
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    steps.push(self.step()?);
+                }
+                Some(Token::SlashSlash) => {
+                    self.pos += 1;
+                    steps.push(Step {
+                        axis: Axis::DescendantOrSelf,
+                        test: NodeTest::AnyNode,
+                        predicates: Vec::new(),
+                    });
+                    steps.push(self.step()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(LocationPath { absolute, steps })
+    }
+
+    fn step_starts(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                Token::Name(..)
+                    | Token::Star
+                    | Token::At
+                    | Token::Dot
+                    | Token::DotDot
+            )
+        )
+    }
+
+    fn step(&mut self) -> Result<Step, XPathError> {
+        // Abbreviations first.
+        if self.eat(&Token::Dot) {
+            return Ok(Step { axis: Axis::SelfAxis, test: NodeTest::AnyNode, predicates: Vec::new() });
+        }
+        if self.eat(&Token::DotDot) {
+            return Ok(Step { axis: Axis::Parent, test: NodeTest::AnyNode, predicates: Vec::new() });
+        }
+        let mut axis = Axis::Child;
+        if self.eat(&Token::At) {
+            axis = Axis::Attribute;
+        } else if let Some(Token::Name(None, n)) = self.peek() {
+            if self.peek2() == Some(&Token::ColonColon) {
+                axis = match n.as_str() {
+                    "child" => Axis::Child,
+                    "descendant" => Axis::Descendant,
+                    "descendant-or-self" => Axis::DescendantOrSelf,
+                    "self" => Axis::SelfAxis,
+                    "parent" => Axis::Parent,
+                    "ancestor" => Axis::Ancestor,
+                    "ancestor-or-self" => Axis::AncestorOrSelf,
+                    "attribute" => Axis::Attribute,
+                    "following-sibling" => Axis::FollowingSibling,
+                    "preceding-sibling" => Axis::PrecedingSibling,
+                    other => return Err(self.err(format!("unsupported axis `{other}`"))),
+                };
+                self.pos += 2;
+            }
+        }
+
+        let test = match self.bump() {
+            Some(Token::Star) => NodeTest::AnyName,
+            Some(Token::Name(prefix, local)) => {
+                if prefix.is_none() && self.peek() == Some(&Token::LParen) {
+                    // node-type test
+                    match local.as_str() {
+                        "node" => {
+                            self.pos += 1;
+                            self.expect(&Token::RParen)?;
+                            NodeTest::AnyNode
+                        }
+                        "text" => {
+                            self.pos += 1;
+                            self.expect(&Token::RParen)?;
+                            NodeTest::Text
+                        }
+                        "comment" => {
+                            self.pos += 1;
+                            self.expect(&Token::RParen)?;
+                            NodeTest::Comment
+                        }
+                        other => return Err(self.err(format!("unsupported node type test `{other}()`"))),
+                    }
+                } else if local == "*" {
+                    NodeTest::NamespaceWildcard(prefix.unwrap_or_default())
+                } else {
+                    NodeTest::Name { prefix, local }
+                }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected a node test, found {}",
+                    other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        };
+
+        let mut predicates = Vec::new();
+        while self.eat(&Token::LBracket) {
+            predicates.push(self.or_expr()?);
+            self.expect(&Token::RBracket)?;
+        }
+        Ok(Step { axis, test, predicates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Expr {
+        parse(s).unwrap_or_else(|e| panic!("parse `{s}` failed: {e}"))
+    }
+
+    #[test]
+    fn absolute_and_relative_paths() {
+        assert!(matches!(p("/a/b"), Expr::Path(LocationPath { absolute: true, ref steps }) if steps.len() == 2));
+        assert!(matches!(p("a"), Expr::Path(LocationPath { absolute: false, ref steps }) if steps.len() == 1));
+        assert!(matches!(p("/"), Expr::Path(LocationPath { absolute: true, ref steps }) if steps.is_empty()));
+    }
+
+    #[test]
+    fn double_slash_expands() {
+        if let Expr::Path(lp) = p("//b") {
+            assert_eq!(lp.steps.len(), 2);
+            assert_eq!(lp.steps[0].axis, Axis::DescendantOrSelf);
+            assert_eq!(lp.steps[0].test, NodeTest::AnyNode);
+        } else {
+            panic!("not a path");
+        }
+    }
+
+    #[test]
+    fn axes_and_abbreviations() {
+        p("./a");
+        p("../a");
+        p("@id");
+        p("attribute::id");
+        p("ancestor::x");
+        p("following-sibling::x");
+        p("self::node()");
+        assert!(parse("following::x").is_err(), "unsupported axis must error");
+    }
+
+    #[test]
+    fn node_type_tests() {
+        p("text()");
+        p("node()");
+        p("comment()");
+        assert!(parse("processing-instruction()").is_err());
+    }
+
+    #[test]
+    fn predicates() {
+        if let Expr::Path(lp) = p("/a[1]/b[@id='x'][2]") {
+            assert_eq!(lp.steps[0].predicates.len(), 1);
+            assert_eq!(lp.steps[1].predicates.len(), 2);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // or < and < = < < < + < * — check shape of `a or b and c`.
+        if let Expr::Binary(BinOp::Or, _, rhs) = p("a or b and c") {
+            assert!(matches!(*rhs, Expr::Binary(BinOp::And, _, _)));
+        } else {
+            panic!();
+        }
+        if let Expr::Binary(BinOp::Eq, lhs, _) = p("1 + 2 * 3 = 7") {
+            assert!(matches!(*lhs, Expr::Binary(BinOp::Add, _, _)));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn union_and_negate() {
+        assert!(matches!(p("a | b"), Expr::Binary(BinOp::Union, _, _)));
+        assert!(matches!(p("-1"), Expr::Negate(_)));
+        assert!(matches!(p("--1"), Expr::Negate(_)));
+    }
+
+    #[test]
+    fn function_calls() {
+        if let Expr::Call { name, args } = p("concat('a', 'b', 'c')") {
+            assert_eq!(name, "concat");
+            assert_eq!(args.len(), 3);
+        } else {
+            panic!();
+        }
+        assert!(matches!(p("true()"), Expr::Call { .. }));
+    }
+
+    #[test]
+    fn filter_expr_with_path() {
+        match p("(//a)[1]/b") {
+            Expr::Filtered { predicates, path, .. } => {
+                assert_eq!(predicates.len(), 1);
+                assert_eq!(path.unwrap().steps.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_usable_as_names() {
+        // `and`/`or`/`div`/`mod` in name position are ordinary names.
+        p("/and/or");
+        p("div");
+        p("a/div");
+    }
+
+    #[test]
+    fn errors() {
+        for bad in ["", "/a[", "f(", "a =", "a |", "()", "a b"] {
+            assert!(parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn prefixed_tests() {
+        if let Expr::Path(lp) = p("/p:a/q:*") {
+            assert_eq!(
+                lp.steps[0].test,
+                NodeTest::Name { prefix: Some("p".into()), local: "a".into() }
+            );
+            assert_eq!(lp.steps[1].test, NodeTest::NamespaceWildcard("q".into()));
+        } else {
+            panic!();
+        }
+    }
+}

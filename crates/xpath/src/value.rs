@@ -1,0 +1,116 @@
+//! XPath values and the standard coercions.
+
+/// The result of evaluating an XPath expression.
+///
+/// Node-sets are materialized as the string-values of the selected nodes
+/// in document order — sufficient for the filtering role XPath plays in
+/// the WS event-notification specs, where a filter either holds or does
+/// not, or selects text to compare.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A boolean.
+    Boolean(bool),
+    /// A number (XPath numbers are IEEE doubles).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// String-values of the selected nodes, in document order.
+    NodeSet(Vec<String>),
+}
+
+impl Value {
+    /// XPath `boolean()` coercion.
+    pub fn boolean(&self) -> bool {
+        match self {
+            Value::Boolean(b) => *b,
+            Value::Number(n) => *n != 0.0 && !n.is_nan(),
+            Value::String(s) => !s.is_empty(),
+            Value::NodeSet(ns) => !ns.is_empty(),
+        }
+    }
+
+    /// XPath `number()` coercion.
+    pub fn number(&self) -> f64 {
+        match self {
+            Value::Boolean(true) => 1.0,
+            Value::Boolean(false) => 0.0,
+            Value::Number(n) => *n,
+            Value::String(s) => str_to_number(s),
+            Value::NodeSet(ns) => match ns.first() {
+                Some(s) => str_to_number(s),
+                None => f64::NAN,
+            },
+        }
+    }
+
+    /// XPath `string()` coercion.
+    pub fn string(&self) -> String {
+        match self {
+            Value::Boolean(b) => b.to_string(),
+            Value::Number(n) => number_to_string(*n),
+            Value::String(s) => s.clone(),
+            Value::NodeSet(ns) => ns.first().cloned().unwrap_or_default(),
+        }
+    }
+}
+
+/// XPath string→number: optional whitespace, optional `-`, digits with
+/// optional fraction; anything else is NaN.
+pub fn str_to_number(s: &str) -> f64 {
+    let t = s.trim();
+    if t.is_empty() {
+        return f64::NAN;
+    }
+    t.parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// XPath number→string formatting: integers without a decimal point,
+/// NaN as `NaN`, infinities as `Infinity`/`-Infinity`.
+pub fn number_to_string(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_string()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_coercions() {
+        assert!(Value::Number(1.0).boolean());
+        assert!(!Value::Number(0.0).boolean());
+        assert!(!Value::Number(f64::NAN).boolean());
+        assert!(Value::String("x".into()).boolean());
+        assert!(!Value::String(String::new()).boolean());
+        assert!(Value::NodeSet(vec!["".into()]).boolean());
+        assert!(!Value::NodeSet(vec![]).boolean());
+    }
+
+    #[test]
+    fn number_coercions() {
+        assert_eq!(Value::Boolean(true).number(), 1.0);
+        assert_eq!(Value::String(" 42 ".into()).number(), 42.0);
+        assert!(Value::String("4x".into()).number().is_nan());
+        assert_eq!(Value::NodeSet(vec!["3.5".into(), "9".into()]).number(), 3.5);
+        assert!(Value::NodeSet(vec![]).number().is_nan());
+    }
+
+    #[test]
+    fn string_coercions() {
+        assert_eq!(Value::Boolean(true).string(), "true");
+        assert_eq!(Value::Number(3.0).string(), "3");
+        assert_eq!(Value::Number(3.5).string(), "3.5");
+        assert_eq!(Value::Number(-0.0).string(), "0");
+        assert_eq!(Value::Number(f64::NAN).string(), "NaN");
+        assert_eq!(Value::Number(f64::INFINITY).string(), "Infinity");
+        assert_eq!(Value::NodeSet(vec!["a".into(), "b".into()]).string(), "a");
+        assert_eq!(Value::NodeSet(vec![]).string(), "");
+    }
+}

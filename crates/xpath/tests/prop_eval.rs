@@ -1,0 +1,106 @@
+//! Property tests for the XPath engine: structural invariants that
+//! must hold for arbitrary (small) documents and generated paths.
+
+use proptest::prelude::*;
+use wsm_xml::Element;
+use wsm_xpath::{Value, XPath};
+
+/// Small random trees with known tag vocabulary.
+fn tree_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (prop_oneof![Just("a"), Just("b"), Just("c")], 0u8..9).prop_map(|(n, v)| {
+        Element::local(n).with_attr("v", v.to_string()).with_text(v.to_string())
+    });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (prop_oneof![Just("a"), Just("b"), Just("r")], prop::collection::vec(inner, 0..4)).prop_map(
+            |(n, kids)| {
+                let mut e = Element::local(n);
+                for k in kids {
+                    e.push(k);
+                }
+                e
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// count(//x) equals the number of descendant-or-self elements
+    /// named x, counted by hand.
+    #[test]
+    fn count_descendants_agrees_with_manual_walk(tree in tree_strategy()) {
+        fn count(e: &Element, name: &str) -> usize {
+            let me = usize::from(e.name.local == name);
+            me + e.elements().map(|c| count(c, name)).sum::<usize>()
+        }
+        for name in ["a", "b", "c"] {
+            let xp = XPath::compile(&format!("count(//{name})")).unwrap();
+            let got = xp.evaluate(&tree).number() as usize;
+            prop_assert_eq!(got, count(&tree, name), "name {}", name);
+        }
+    }
+
+    /// Positional access: (//a)[i] is the i-th element of the full
+    /// node-set, and going out of bounds yields an empty set.
+    #[test]
+    fn positional_indexing(tree in tree_strategy()) {
+        let all = XPath::compile("//a").unwrap().evaluate(&tree);
+        let Value::NodeSet(items) = all else { panic!("node-set expected") };
+        for i in 1..=items.len() + 1 {
+            let one = XPath::compile(&format!("(//a)[{i}]")).unwrap().evaluate(&tree);
+            let Value::NodeSet(got) = one else { panic!() };
+            if i <= items.len() {
+                prop_assert_eq!(got.len(), 1);
+                prop_assert_eq!(&got[0], &items[i - 1]);
+            } else {
+                prop_assert!(got.is_empty());
+            }
+        }
+    }
+
+    /// Union is commutative and idempotent in count.
+    #[test]
+    fn union_laws(tree in tree_strategy()) {
+        let n = |src: &str| XPath::compile(src).unwrap().evaluate(&tree).number();
+        prop_assert_eq!(n("count(//a | //b)"), n("count(//b | //a)"));
+        prop_assert_eq!(n("count(//a | //a)"), n("count(//a)"));
+        // Union is bounded by the sum.
+        prop_assert!(n("count(//a | //b)") <= n("count(//a)") + n("count(//b)"));
+    }
+
+    /// parent::* of every child leads back: //x/../x is never smaller
+    /// than //x (every x has a parent containing it, except the root).
+    #[test]
+    fn parent_roundtrip(tree in tree_strategy()) {
+        let down = XPath::compile("count(//a)").unwrap().evaluate(&tree).number();
+        let updown = XPath::compile("count(//a/../a)").unwrap().evaluate(&tree).number();
+        // Same nodes (dedup makes them equal, except a root-level `a`
+        // whose parent is the document root — still counted).
+        prop_assert_eq!(down, updown);
+    }
+
+    /// Boolean coercion of a path equals count(path) > 0.
+    #[test]
+    fn boolean_is_nonempty(tree in tree_strategy()) {
+        for p in ["//a", "//b", "//c", "/r/a", "//a[@v > 4]"] {
+            let b = XPath::compile(p).unwrap().matches(&tree);
+            let c = XPath::compile(&format!("count({p})")).unwrap().evaluate(&tree).number();
+            prop_assert_eq!(b, c > 0.0, "path {}", p);
+        }
+    }
+
+    /// Filters never panic on arbitrary trees, whatever the expression.
+    #[test]
+    fn no_panics_on_weird_expressions(tree in tree_strategy()) {
+        for src in [
+            "//a[position() = last()]",
+            "sum(//a/@v) >= 0 or true()",
+            "string-length(normalize-space(/)) >= 0",
+            "//a[not(@v)] | //b[@v = 3]",
+            "count(//*[@v mod 2 = 1])",
+        ] {
+            let _ = XPath::compile(src).unwrap().evaluate(&tree);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! A tour of the pre-WS event-notification generations (the paper's
+//! §VI): CORBA Event Service, CORBA Notification Service, JMS, and
+//! OGSI notification — each driven through the substrate crates that
+//! back Table 3.
+//!
+//! Run with `cargo run --example legacy_tour`.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use ws_messenger_suite::corba::{
+    Any, EtclFilter, EventChannel, NotificationChannel, QosValue, StructuredEvent,
+};
+use ws_messenger_suite::jms::{JmsMessage, JmsProvider, Selector};
+use ws_messenger_suite::ogsi;
+use ws_messenger_suite::transport::Network;
+use ws_messenger_suite::xml::Element;
+
+fn corba_event_service() {
+    println!("== CORBA Event Service (1995): untyped channels, no filtering ==");
+    let channel = EventChannel::new();
+    let seen: Arc<Mutex<Vec<String>>> = Arc::default();
+    let proxy = channel.for_consumers().obtain_push_supplier();
+    let s = Arc::clone(&seen);
+    proxy.connect_push_consumer(move |e| s.lock().push(e.to_string()));
+    let puller = channel.for_consumers().obtain_pull_supplier();
+
+    let supplier = channel.for_suppliers().obtain_push_consumer();
+    supplier.push(Any::from("disk full"));
+    supplier.push(Any::Struct(vec![("load".into(), Any::from(0.93))]));
+    println!("  push consumer saw everything: {:?}", seen.lock());
+    println!("  pull consumer drains: {:?} {:?}", puller.try_pull(), puller.try_pull());
+    // CDR framing, as the payloads would travel over IIOP.
+    let bytes = ws_messenger_suite::corba::cdr::encode(&Any::from("disk full"));
+    println!("  CDR encoding of the first event: {} bytes\n", bytes.len());
+}
+
+fn corba_notification_service() {
+    println!("== CORBA Notification Service (1997): structured events + ETCL + QoS ==");
+    let channel = NotificationChannel::new();
+    channel.set_qos("OrderPolicy", QosValue::Name("PriorityOrder".into())).unwrap();
+    let (proxy, pull) = channel.connect_structured_pull_consumer();
+    proxy
+        .add_filter(EtclFilter::compile("$domain_name == 'Grid' and $severity >= 3").unwrap());
+    for (name, sev, prio) in [("j1", 1, 0), ("j2", 5, 2), ("j3", 4, 9)] {
+        let ev = StructuredEvent::new("Grid", "JobStatus", name)
+            .with_field("severity", sev)
+            .with_field("priority", prio);
+        channel.push_structured_event(&ev);
+    }
+    let order: Vec<String> =
+        std::iter::from_fn(|| pull.try_pull()).map(|e| e.event_name).collect();
+    println!("  ETCL filter `$severity >= 3` + PriorityOrder queue -> {order:?}");
+    assert_eq!(order, vec!["j3", "j2"]);
+    println!("  13 standard QoS properties understood: {}\n",
+        ws_messenger_suite::corba::STANDARD_QOS_PROPERTIES.len());
+}
+
+fn jms() {
+    println!("== JMS (1998): queues, topics, SQL92 selectors, durability ==");
+    let provider = JmsProvider::new();
+    // Point-to-point with a selector.
+    provider.send("work", JmsMessage::text("low").with_property("sev", 1i64));
+    provider.send("work", JmsMessage::text("high").with_property("sev", 5i64).with_priority(9));
+    let sel = Selector::compile("sev BETWEEN 3 AND 9").unwrap();
+    let got = provider.receive("work", Some(&sel)).unwrap();
+    println!("  queue receive with selector `sev BETWEEN 3 AND 9` -> priority {}", got.priority);
+
+    // Durable pub/sub surviving a disconnect.
+    let audit = provider.create_durable_subscriber("events", "audit", None);
+    provider.publish("events", JmsMessage::text("e1"));
+    audit.disconnect();
+    provider.publish("events", JmsMessage::text("e2"));
+    let audit2 = provider.create_durable_subscriber("events", "audit", None);
+    println!("  durable subscriber reconnects to {} buffered message(s)", audit2.pending());
+    assert_eq!(audit2.pending(), 2);
+
+    // Transactions.
+    let mut tx = provider.transacted_session();
+    tx.publish("events", JmsMessage::text("uncommitted"));
+    tx.rollback();
+    tx.commit();
+    println!("  rolled-back publish never delivered (pending={})\n", audit2.pending());
+}
+
+fn ogsi_notification() {
+    println!("== OGSI notification (2003): service data elements over HTTP ==");
+    let net = Network::new();
+    let source = ogsi::NotificationSource::start(&net, "http://grid/job-service");
+    let sink = ogsi::NotificationSink::start(&net, "http://grid/monitor");
+    ogsi::subscribe(&net, source.uri(), "jobStatus", sink.uri(), None).unwrap();
+    source.set_service_data("jobStatus", Element::local("status").with_text("ACTIVE"));
+    source.set_service_data("cpuLoad", Element::local("load").with_text("0.7"));
+    let got = sink.received();
+    println!(
+        "  sink notified of {} SDE change(s): {} = {}",
+        got.len(),
+        got[0].0,
+        got[0].1.text()
+    );
+    assert_eq!(got.len(), 1, "only the subscribed service data name notifies");
+    println!();
+}
+
+fn main() {
+    corba_event_service();
+    corba_notification_service();
+    jms();
+    ogsi_notification();
+    println!("Each generation above is a column of Table 3 — regenerate it with:");
+    println!("  cargo run -p wsm-bench --bin table3");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: one mediation broker, two consumers speaking different
+//! specifications, one publication reaching both.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ws_messenger_suite::eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use ws_messenger_suite::messenger::WsMessenger;
+use ws_messenger_suite::notification::{
+    NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
+};
+use ws_messenger_suite::transport::Network;
+use ws_messenger_suite::xml::Element;
+
+fn main() {
+    // The simulated network and the WS-Messenger broker.
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker.example.org/events");
+    println!("broker up at {} (backend: {})", broker.uri(), broker.backend_name());
+
+    // Consumer 1 speaks WS-Eventing (August 2004).
+    let wse_sink = EventSink::start(&net, "http://apps.example.org/wse-sink", WseVersion::Aug2004);
+    Subscriber::new(&net, WseVersion::Aug2004)
+        .subscribe(broker.uri(), SubscribeRequest::push(wse_sink.epr()))
+        .expect("WSE subscribe");
+    println!("WS-Eventing consumer subscribed");
+
+    // Consumer 2 speaks WS-Notification 1.3, with a topic filter.
+    let wsn_consumer =
+        NotificationConsumer::start(&net, "http://apps.example.org/wsn-sink", WsnVersion::V1_3);
+    WsnClient::new(&net, WsnVersion::V1_3)
+        .subscribe(
+            broker.uri(),
+            &WsnSubscribeRequest::new(wsn_consumer.epr()).with_filter(WsnFilter::topic("storms")),
+        )
+        .expect("WSN subscribe");
+    println!("WS-Notification consumer subscribed (topic `storms`)");
+
+    // One publication on the `storms` topic.
+    let delivered = broker.publish_on("storms", &Element::local("alert").with_text("hail, severe"));
+    println!("published 1 event; {delivered} deliveries");
+
+    // Both consumers received it, each in their native dialect.
+    println!(
+        "WSE sink received {} raw notification(s): {:?}",
+        wse_sink.received().len(),
+        wse_sink.received().iter().map(|e| e.text()).collect::<Vec<_>>()
+    );
+    let wsn_msgs = wsn_consumer.notifications();
+    println!(
+        "WSN consumer received {} wrapped Notify message(s) on topic {:?}",
+        wsn_msgs.len(),
+        wsn_msgs[0].topic.as_ref().map(|t| t.to_string())
+    );
+
+    let stats = broker.stats();
+    println!(
+        "broker stats: published={} wse-deliveries={} wsn-deliveries={}",
+        stats.published, stats.delivered_wse, stats.delivered_wsn
+    );
+    assert_eq!(wse_sink.received().len(), 1);
+    assert_eq!(wsn_msgs.len(), 1);
+    println!("ok");
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the WS-Messenger reproduction suite.
+//!
+//! Re-exports every workspace crate under one name so the examples and
+//! integration tests in this package can reach the whole system.
+
+pub use wsm_addressing as addressing;
+pub use wsm_compare as compare;
+pub use wsm_corba as corba;
+pub use wsm_eventing as eventing;
+pub use wsm_jms as jms;
+pub use wsm_messenger as messenger;
+pub use wsm_notification as notification;
+pub use wsm_ogsi as ogsi;
+pub use wsm_soap as soap;
+pub use wsm_topics as topics;
+pub use wsm_transport as transport;
+pub use wsm_wsdl as wsdl;
+pub use wsm_wsrf as wsrf;
+pub use wsm_xml as xml;
+pub use wsm_xpath as xpath;

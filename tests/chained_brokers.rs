@@ -1,0 +1,112 @@
+//! Chained brokers: notifications can be transported "through
+//! intermediary" (Table 3's intermediary row for the WS specs) — here
+//! through *two* WS-Messenger instances, each hop mediating
+//! independently.
+
+use ws_messenger_suite::addressing::EndpointReference;
+use ws_messenger_suite::eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use ws_messenger_suite::messenger::WsMessenger;
+use ws_messenger_suite::notification::{
+    NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
+};
+use ws_messenger_suite::transport::Network;
+use ws_messenger_suite::xml::Element;
+
+/// Broker A → Broker B: B subscribes at A as a WSN 1.3 consumer (raw
+/// delivery, so A posts bare payloads that B treats as publications).
+/// End consumers sit on B in both dialects.
+#[test]
+fn two_hop_mediation() {
+    let net = Network::new();
+    let broker_a = WsMessenger::start(&net, "http://broker-a");
+    let broker_b = WsMessenger::start(&net, "http://broker-b");
+
+    // Bridge: broker B is a consumer of broker A. Raw delivery makes
+    // A's notifications look like fresh publications at B.
+    WsnClient::new(&net, WsnVersion::V1_3)
+        .subscribe(
+            broker_a.uri(),
+            &WsnSubscribeRequest::new(EndpointReference::new(broker_b.uri())).raw(),
+        )
+        .unwrap();
+
+    // End consumers on broker B, one per family.
+    let wse_sink = EventSink::start(&net, "http://end-wse", WseVersion::Aug2004);
+    Subscriber::new(&net, WseVersion::Aug2004)
+        .subscribe(broker_b.uri(), SubscribeRequest::push(wse_sink.epr()))
+        .unwrap();
+    let wsn_consumer = NotificationConsumer::start(&net, "http://end-wsn", WsnVersion::V1_3);
+    WsnClient::new(&net, WsnVersion::V1_3)
+        .subscribe(broker_b.uri(), &WsnSubscribeRequest::new(wsn_consumer.epr()))
+        .unwrap();
+
+    // Publish at broker A.
+    let delivered_at_a = broker_a.publish_raw(&Element::local("evt").with_text("x"));
+    assert_eq!(delivered_at_a, 1, "A delivers to its one consumer (B)");
+    assert_eq!(broker_b.stats().published, 1, "B republished the bridged event");
+    assert_eq!(wse_sink.received().len(), 1);
+    assert_eq!(wsn_consumer.notifications().len(), 1);
+    assert_eq!(wse_sink.received()[0].text(), "x");
+}
+
+/// The bridge subscription can carry a topic filter, making broker B a
+/// selective mirror of broker A.
+#[test]
+fn selective_bridge() {
+    let net = Network::new();
+    let broker_a = WsMessenger::start(&net, "http://a");
+    let broker_b = WsMessenger::start(&net, "http://b");
+    // B mirrors only A's `storms` subtree; wrapped delivery this time,
+    // so B ingests via its Notify path (topics preserved).
+    WsnClient::new(&net, WsnVersion::V1_3)
+        .subscribe(
+            broker_a.uri(),
+            &WsnSubscribeRequest::new(EndpointReference::new(broker_b.uri()))
+                .with_filter(WsnFilter::topic("storms")),
+        )
+        .unwrap();
+    let end = NotificationConsumer::start(&net, "http://end", WsnVersion::V1_3);
+    WsnClient::new(&net, WsnVersion::V1_3)
+        .subscribe(broker_b.uri(), &WsnSubscribeRequest::new(end.epr()))
+        .unwrap();
+
+    broker_a.publish_on("storms/hail", &Element::local("keep"));
+    broker_a.publish_on("traffic/jam", &Element::local("drop"));
+
+    let got = end.notifications();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].message.name.local, "keep");
+    // The topic survived the hop inside the Notify wrapper.
+    assert_eq!(got[0].topic.as_ref().unwrap().to_string(), "storms/hail");
+    // ...and the original producer reference still names broker A.
+    assert_eq!(got[0].producer.as_ref().unwrap().address, "http://a");
+}
+
+/// No delivery loops: bridging A→B and B→A with disjoint topic filters
+/// stays quiescent (each event crosses the bridge at most once).
+#[test]
+fn bidirectional_bridge_with_disjoint_topics_terminates() {
+    let net = Network::new();
+    let broker_a = WsMessenger::start(&net, "http://a");
+    let broker_b = WsMessenger::start(&net, "http://b");
+    let client = WsnClient::new(&net, WsnVersion::V1_3);
+    client
+        .subscribe(
+            broker_a.uri(),
+            &WsnSubscribeRequest::new(EndpointReference::new(broker_b.uri()))
+                .with_filter(WsnFilter::topic("west")),
+        )
+        .unwrap();
+    client
+        .subscribe(
+            broker_b.uri(),
+            &WsnSubscribeRequest::new(EndpointReference::new(broker_a.uri()))
+                .with_filter(WsnFilter::topic("east")),
+        )
+        .unwrap();
+    broker_a.publish_on("west/w1", &Element::local("m"));
+    // One crossing: A → B. B's republication is on `west/w1` which B's
+    // bridge back to A does not match (it mirrors `east` only).
+    assert_eq!(broker_a.stats().published, 1);
+    assert_eq!(broker_b.stats().published, 1);
+}

@@ -1,0 +1,142 @@
+//! The full mediation matrix: every spec dialect subscribing at the
+//! broker × every ingestion path publishing through it.
+
+use ws_messenger_suite::addressing::EndpointReference;
+use ws_messenger_suite::eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use ws_messenger_suite::messenger::{InternalEvent, SpecDialect, WsMessenger};
+use ws_messenger_suite::notification::{
+    NotificationConsumer, NotificationMessage, WsnClient, WsnCodec, WsnSubscribeRequest, WsnVersion,
+};
+use ws_messenger_suite::transport::Network;
+use ws_messenger_suite::xml::Element;
+
+struct Matrix {
+    net: Network,
+    broker: WsMessenger,
+    wse_jan: EventSink,
+    wse_aug: EventSink,
+    wsn_10: NotificationConsumer,
+    wsn_13: NotificationConsumer,
+}
+
+fn setup() -> Matrix {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let wse_jan = EventSink::start(&net, "http://sink-jan", WseVersion::Jan2004);
+    Subscriber::new(&net, WseVersion::Jan2004)
+        .subscribe(broker.uri(), SubscribeRequest::push(wse_jan.epr()))
+        .unwrap();
+    let wse_aug = EventSink::start(&net, "http://sink-aug", WseVersion::Aug2004);
+    Subscriber::new(&net, WseVersion::Aug2004)
+        .subscribe(broker.uri(), SubscribeRequest::push(wse_aug.epr()))
+        .unwrap();
+    let wsn_10 = NotificationConsumer::start(&net, "http://sink-10", WsnVersion::V1_0);
+    WsnClient::new(&net, WsnVersion::V1_0)
+        .subscribe(
+            broker.uri(),
+            &WsnSubscribeRequest::new(wsn_10.epr())
+                .with_filter(ws_messenger_suite::notification::WsnFilter::topic("t")),
+        )
+        .unwrap();
+    let wsn_13 = NotificationConsumer::start(&net, "http://sink-13", WsnVersion::V1_3);
+    WsnClient::new(&net, WsnVersion::V1_3)
+        .subscribe(broker.uri(), &WsnSubscribeRequest::new(wsn_13.epr()))
+        .unwrap();
+    Matrix { net, broker, wse_jan, wse_aug, wsn_10, wsn_13 }
+}
+
+impl Matrix {
+    fn counts(&self) -> [usize; 4] {
+        [
+            self.wse_jan.received().len(),
+            self.wse_aug.received().len(),
+            self.wsn_10.notifications().len(),
+            self.wsn_13.notifications().len(),
+        ]
+    }
+}
+
+#[test]
+fn four_dialects_subscribe_simultaneously() {
+    let m = setup();
+    assert_eq!(m.broker.subscription_count(), 4);
+}
+
+#[test]
+fn topic_publication_reaches_all_four() {
+    let m = setup();
+    m.broker.publish_on("t", &Element::local("ev"));
+    assert_eq!(m.counts(), [1, 1, 1, 1]);
+}
+
+#[test]
+fn topicless_publication_skips_topic_filtered_subscriber() {
+    let m = setup();
+    m.broker.publish_raw(&Element::local("ev"));
+    // wsn_10 demanded topic `t` (1.0 requires one); everyone else has
+    // no topic filter and receives.
+    assert_eq!(m.counts(), [1, 1, 0, 1]);
+}
+
+#[test]
+fn wire_notify_ingestion_reaches_all() {
+    let m = setup();
+    let codec = WsnCodec::new(WsnVersion::V1_3);
+    let env = codec.notify(
+        &EndpointReference::new(m.broker.uri()),
+        &[NotificationMessage {
+            topic: ws_messenger_suite::topics::TopicPath::parse("t"),
+            producer: Some(EndpointReference::new("http://pub")),
+            subscription: None,
+            message: Element::local("ev"),
+        }],
+    );
+    m.net.send(m.broker.uri(), env).unwrap();
+    assert_eq!(m.counts(), [1, 1, 1, 1]);
+    // Cross-family deliveries were mediated (WSN-origin → 2 WSE sinks).
+    assert_eq!(m.broker.stats().mediated, 2);
+}
+
+#[test]
+fn wire_raw_post_ingestion() {
+    let m = setup();
+    let env = ws_messenger_suite::soap::Envelope::new(ws_messenger_suite::soap::SoapVersion::V12)
+        .with_body(Element::ns("urn:app", "ev", "app"));
+    m.net.send(m.broker.uri(), env).unwrap();
+    assert_eq!(m.counts(), [1, 1, 0, 1]);
+}
+
+#[test]
+fn per_dialect_payload_fidelity() {
+    let m = setup();
+    let payload = ws_messenger_suite::xml::parse(
+        r#"<wx:alert xmlns:wx="urn:wx" sev="4">h &amp; m — 世界</wx:alert>"#,
+    )
+    .unwrap();
+    m.broker.publish_event(
+        InternalEvent::on_topic("t", payload.clone())
+            .with_origin(SpecDialect::Wsn(WsnVersion::V1_3)),
+    );
+    // Identical payload at every consumer, whatever the wrapper.
+    assert_eq!(&m.wse_jan.received()[0], &payload);
+    assert_eq!(&m.wse_aug.received()[0], &payload);
+    assert_eq!(&m.wsn_10.notifications()[0].message, &payload);
+    assert_eq!(&m.wsn_13.notifications()[0].message, &payload);
+}
+
+#[test]
+fn unsubscribing_one_dialect_leaves_the_rest() {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let sink = EventSink::start(&net, "http://s", WseVersion::Aug2004);
+    let sub = Subscriber::new(&net, WseVersion::Aug2004);
+    let h = sub.subscribe(broker.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+    let consumer = NotificationConsumer::start(&net, "http://c", WsnVersion::V1_3);
+    WsnClient::new(&net, WsnVersion::V1_3)
+        .subscribe(broker.uri(), &WsnSubscribeRequest::new(consumer.epr()))
+        .unwrap();
+    sub.unsubscribe(&h).unwrap();
+    broker.publish_raw(&Element::local("ev"));
+    assert!(sink.received().is_empty());
+    assert_eq!(consumer.notifications().len(), 1);
+}

@@ -1,0 +1,153 @@
+//! Cross-crate substrate scenarios: the WS stacks riding on the legacy
+//! substrates, and the substrates agreeing with each other about the
+//! same workload.
+
+use std::sync::Arc;
+use ws_messenger_suite::corba::{EtclFilter, NotificationChannel, StructuredEvent};
+use ws_messenger_suite::eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use ws_messenger_suite::jms::{JmsMessage, JmsProvider, Selector};
+use ws_messenger_suite::messenger::{JmsBackend, WsMessenger};
+use ws_messenger_suite::transport::Network;
+use ws_messenger_suite::xml::Element;
+use ws_messenger_suite::xpath::XPath;
+
+/// The same predicate, expressed in three filter languages, agrees on
+/// the same logical event stream — the semantic backbone of Table 3's
+/// filter-language row.
+#[test]
+fn filter_languages_agree_on_equivalent_predicates() {
+    let xpath = XPath::compile("/event[@sev > 3]").unwrap();
+    let etcl = EtclFilter::compile("$sev > 3").unwrap();
+    let selector = Selector::compile("sev > 3").unwrap();
+
+    for sev in 0..10 {
+        let xml_event = Element::local("event").with_attr("sev", sev.to_string());
+        let corba_event = StructuredEvent::new("d", "t", "e").with_field("sev", sev);
+        let jms_msg = JmsMessage::text("x").with_property("sev", sev as i64);
+        let expect = sev > 3;
+        assert_eq!(xpath.matches(&xml_event), expect, "xpath sev={sev}");
+        assert_eq!(etcl.matches(&corba_event), expect, "etcl sev={sev}");
+        assert_eq!(selector.matches(&jms_msg), expect, "selector sev={sev}");
+    }
+}
+
+/// WS-Messenger over the JMS substrate: a full WSE round trip whose
+/// events demonstrably pass through the JMS provider.
+#[test]
+fn messenger_over_jms_provider() {
+    let net = Network::new();
+    let provider = JmsProvider::new();
+    let broker = WsMessenger::start_with_backend(
+        &net,
+        "http://broker",
+        Arc::new(JmsBackend::new(provider.clone(), "relay")),
+    );
+    let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
+    Subscriber::new(&net, WseVersion::Aug2004)
+        .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+        .unwrap();
+    for i in 0..10 {
+        broker.publish_on("t", &Element::local("ev").with_attr("n", i.to_string()));
+    }
+    assert_eq!(sink.received().len(), 10);
+    // The relay subscription lives in the provider.
+    assert_eq!(provider.subscriber_count("relay"), 1);
+}
+
+/// The CORBA Notification channel and the WS broker deliver the same
+/// count for the same filtered workload.
+#[test]
+fn corba_and_ws_brokers_filter_identically() {
+    // CORBA side.
+    let channel = NotificationChannel::new();
+    let (proxy, pull) = channel.connect_structured_pull_consumer();
+    proxy.add_filter(EtclFilter::compile("$sev >= 5").unwrap());
+    // WS side.
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
+    Subscriber::new(&net, WseVersion::Aug2004)
+        .subscribe(
+            broker.uri(),
+            SubscribeRequest::push(sink.epr())
+                .with_filter(ws_messenger_suite::eventing::Filter::xpath("/ev[@sev >= 5]")),
+        )
+        .unwrap();
+
+    for i in 0..20u32 {
+        let sev = i % 7;
+        channel.push_structured_event(
+            &StructuredEvent::new("d", "t", &format!("e{i}")).with_field("sev", sev as i32),
+        );
+        broker.publish_raw(&Element::local("ev").with_attr("sev", sev.to_string()));
+    }
+    let corba_count = std::iter::from_fn(|| pull.try_pull()).count();
+    assert_eq!(corba_count, sink.received().len());
+    assert!(corba_count > 0);
+}
+
+/// OGSI's SDE subscription and a WSN topic subscription express the
+/// same monitoring need; both observe the same state changes.
+#[test]
+fn ogsi_and_wsn_observe_the_same_changes() {
+    use ws_messenger_suite::notification::{
+        NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
+    };
+    use ws_messenger_suite::ogsi;
+
+    let net = Network::new();
+    // OGSI path.
+    let source = ogsi::NotificationSource::start(&net, "http://grid/svc");
+    let ogsi_sink = ogsi::NotificationSink::start(&net, "http://grid/sink");
+    ogsi::subscribe(&net, source.uri(), "jobStatus", ogsi_sink.uri(), None).unwrap();
+    // WSN path.
+    let producer = ws_messenger_suite::notification::NotificationProducer::start(
+        &net,
+        "http://p",
+        WsnVersion::V1_3,
+    );
+    let consumer = NotificationConsumer::start(&net, "http://c", WsnVersion::V1_3);
+    WsnClient::new(&net, WsnVersion::V1_3)
+        .subscribe(
+            producer.uri(),
+            &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("jobStatus")),
+        )
+        .unwrap();
+
+    for state in ["PENDING", "ACTIVE", "DONE"] {
+        let v = Element::local("status").with_text(state);
+        source.set_service_data("jobStatus", v.clone());
+        producer.publish_on("jobStatus", &v);
+    }
+    assert_eq!(ogsi_sink.received().len(), 3);
+    assert_eq!(consumer.notifications().len(), 3);
+    // Same final state visible via both query mechanisms.
+    assert_eq!(source.find_service_data("jobStatus").unwrap().text(), "DONE");
+    let topic = ws_messenger_suite::topics::TopicExpression::concrete("jobStatus").unwrap();
+    let client = WsnClient::new(&net, WsnVersion::V1_3);
+    assert_eq!(
+        client.get_current_message(producer.uri(), &topic).unwrap().unwrap().text(),
+        "DONE"
+    );
+}
+
+/// Loss injection: a flaky consumer loses its subscription after the
+/// drop, while a healthy one keeps receiving.
+#[test]
+fn injected_loss_terminates_only_the_affected_subscription() {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let healthy = EventSink::start(&net, "http://ok", WseVersion::Aug2004);
+    let flaky = EventSink::start(&net, "http://flaky", WseVersion::Aug2004);
+    let sub = Subscriber::new(&net, WseVersion::Aug2004);
+    sub.subscribe(broker.uri(), SubscribeRequest::push(healthy.epr())).unwrap();
+    sub.subscribe(broker.uri(), SubscribeRequest::push(flaky.epr())).unwrap();
+
+    net.drop_next("http://flaky", 1);
+    broker.publish_raw(&Element::local("e1"));
+    broker.publish_raw(&Element::local("e2"));
+    assert_eq!(healthy.received().len(), 2);
+    assert!(flaky.received().is_empty());
+    assert_eq!(broker.subscription_count(), 1, "flaky subscription dropped");
+    assert_eq!(broker.stats().failed, 1);
+}
