@@ -26,7 +26,10 @@ pub struct EndpointReference {
 impl EndpointReference {
     /// An EPR with just an address.
     pub fn new(address: impl Into<String>) -> Self {
-        EndpointReference { address: address.into(), ..Default::default() }
+        EndpointReference {
+            address: address.into(),
+            ..Default::default()
+        }
     }
 
     /// The anonymous EPR for a WSA version.
@@ -50,7 +53,9 @@ impl EndpointReference {
     /// All reference data regardless of container — what a client echoes
     /// back as SOAP headers when sending to this EPR.
     pub fn all_reference_data(&self) -> impl Iterator<Item = &Element> {
-        self.reference_properties.iter().chain(self.reference_parameters.iter())
+        self.reference_properties
+            .iter()
+            .chain(self.reference_parameters.iter())
     }
 
     /// Find a reference item by expanded name in either container.
@@ -60,7 +65,10 @@ impl EndpointReference {
 
     /// Serialize into an element named `wsa:EndpointReference`.
     pub fn to_element(&self, version: WsaVersion) -> Element {
-        self.to_named_element(version, Element::ns(version.ns(), "EndpointReference", "wsa"))
+        self.to_named_element(
+            version,
+            Element::ns(version.ns(), "EndpointReference", "wsa"),
+        )
     }
 
     /// Serialize into a caller-supplied shell element (the specs wrap
@@ -114,7 +122,11 @@ impl EndpointReference {
 
     /// Parse detecting the version from the `Address` child namespace.
     pub fn from_element_any_version(el: &Element) -> Option<(Self, WsaVersion)> {
-        for v in [WsaVersion::V200508, WsaVersion::V200408, WsaVersion::V200303] {
+        for v in [
+            WsaVersion::V200508,
+            WsaVersion::V200408,
+            WsaVersion::V200303,
+        ] {
             if let Some(epr) = Self::from_element(el, v) {
                 return Some((epr, v));
             }
@@ -130,7 +142,11 @@ mod tests {
 
     #[test]
     fn roundtrip_all_versions() {
-        for v in [WsaVersion::V200303, WsaVersion::V200408, WsaVersion::V200508] {
+        for v in [
+            WsaVersion::V200303,
+            WsaVersion::V200408,
+            WsaVersion::V200508,
+        ] {
             let epr = EndpointReference::new("http://consumer.example.org/sink")
                 .with_reference(v, Element::ns("urn:sub", "Id", "sub").with_text("s-1"));
             let el = epr.to_element(v);
@@ -142,7 +158,8 @@ mod tests {
     #[test]
     fn container_differs_by_version() {
         let id = Element::ns("urn:sub", "Id", "sub").with_text("s-1");
-        let old = EndpointReference::new("http://x").with_reference(WsaVersion::V200303, id.clone());
+        let old =
+            EndpointReference::new("http://x").with_reference(WsaVersion::V200303, id.clone());
         assert_eq!(old.reference_properties.len(), 1);
         assert!(old.reference_parameters.is_empty());
         let new = EndpointReference::new("http://x").with_reference(WsaVersion::V200508, id);
@@ -169,8 +186,10 @@ mod tests {
     #[test]
     fn reference_item_lookup_spans_containers() {
         let mut epr = EndpointReference::new("http://x");
-        epr.reference_properties.push(Element::ns("urn:a", "P", "a").with_text("1"));
-        epr.reference_parameters.push(Element::ns("urn:a", "Q", "a").with_text("2"));
+        epr.reference_properties
+            .push(Element::ns("urn:a", "P", "a").with_text("1"));
+        epr.reference_parameters
+            .push(Element::ns("urn:a", "Q", "a").with_text("2"));
         assert_eq!(epr.reference_item("urn:a", "P").unwrap().text(), "1");
         assert_eq!(epr.reference_item("urn:a", "Q").unwrap().text(), "2");
         assert!(epr.reference_item("urn:a", "R").is_none());
@@ -185,7 +204,9 @@ mod tests {
         );
         assert_eq!(el.name.local, "NotifyTo");
         assert_eq!(
-            el.child_ns(WsaVersion::V200408.ns(), "Address").unwrap().text(),
+            el.child_ns(WsaVersion::V200408.ns(), "Address")
+                .unwrap()
+                .text(),
             "http://sink"
         );
     }
@@ -193,7 +214,11 @@ mod tests {
     #[test]
     fn version_detection_from_content() {
         let epr = EndpointReference::new("http://x");
-        for v in [WsaVersion::V200303, WsaVersion::V200408, WsaVersion::V200508] {
+        for v in [
+            WsaVersion::V200303,
+            WsaVersion::V200408,
+            WsaVersion::V200508,
+        ] {
             let el = epr.to_element(v);
             let (_, got) = EndpointReference::from_element_any_version(&el).unwrap();
             assert_eq!(got, v);

@@ -31,7 +31,11 @@ pub struct MessageHeaders {
 impl MessageHeaders {
     /// Headers for a request to `to` with the given action.
     pub fn request(to: impl Into<String>, action: impl Into<String>) -> Self {
-        MessageHeaders { to: Some(to.into()), action: Some(action.into()), ..Default::default() }
+        MessageHeaders {
+            to: Some(to.into()),
+            action: Some(action.into()),
+            ..Default::default()
+        }
     }
 
     /// Headers addressed at a full EPR: destination address plus echoed

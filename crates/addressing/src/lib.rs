@@ -81,9 +81,13 @@ impl WsaVersion {
 
     /// Detect the version from a namespace URI.
     pub fn from_ns(ns: &str) -> Option<Self> {
-        [WsaVersion::V200303, WsaVersion::V200408, WsaVersion::V200508]
-            .into_iter()
-            .find(|v| v.ns() == ns)
+        [
+            WsaVersion::V200303,
+            WsaVersion::V200408,
+            WsaVersion::V200508,
+        ]
+        .into_iter()
+        .find(|v| v.ns() == ns)
     }
 }
 
@@ -93,7 +97,11 @@ mod tests {
 
     #[test]
     fn namespaces_distinct() {
-        let all = [WsaVersion::V200303, WsaVersion::V200408, WsaVersion::V200508];
+        let all = [
+            WsaVersion::V200303,
+            WsaVersion::V200408,
+            WsaVersion::V200508,
+        ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a.ns(), b.ns());
@@ -114,7 +122,11 @@ mod tests {
 
     #[test]
     fn detection() {
-        for v in [WsaVersion::V200303, WsaVersion::V200408, WsaVersion::V200508] {
+        for v in [
+            WsaVersion::V200303,
+            WsaVersion::V200408,
+            WsaVersion::V200508,
+        ] {
             assert_eq!(WsaVersion::from_ns(v.ns()), Some(v));
         }
         assert_eq!(WsaVersion::from_ns("urn:other"), None);

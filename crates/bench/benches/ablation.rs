@@ -8,6 +8,9 @@
 //!   that fronts every WS-Messenger request.
 //! * **Backend hop** (§6.1 companion): in-memory backend vs the JMS
 //!   wrap, isolating the cost of riding an external pub/sub system.
+//! * **Delivery engine** (§6.5): parallel vs sequential push fan-out
+//!   at 64 subscribers, and per-event render cache on vs off over a
+//!   mixed WSE/WSN consumer pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -15,7 +18,10 @@ use std::sync::Arc;
 use wsm_bench::make_event;
 use wsm_eventing::{EventSink, Filter, SubscribeRequest, Subscriber, WseCodec, WseVersion};
 use wsm_jms::JmsProvider;
-use wsm_messenger::{JmsBackend, SpecDialect, WsMessenger};
+use wsm_messenger::{
+    render_notification, render_notification_cached, BrokerDeliveryMode, BrokerSubscription,
+    InternalEvent, JmsBackend, RenderCache, SpecDialect, UnifiedFilters, WsMessenger,
+};
 use wsm_notification::{WsnCodec, WsnFilter, WsnSubscribeRequest, WsnVersion};
 use wsm_transport::Network;
 use wsm_xpath::XPath;
@@ -32,12 +38,11 @@ fn bench_ablation(c: &mut Criterion) {
         let broker = WsMessenger::start(&net, "http://broker");
         let sub = Subscriber::new(&net, WseVersion::Aug2004);
         for i in 0..8 {
-            let sink =
-                EventSink::start(&net, format!("http://s{i}").as_str(), WseVersion::Aug2004);
+            let sink = EventSink::start(&net, format!("http://s{i}").as_str(), WseVersion::Aug2004);
             sub.subscribe(
                 broker.uri(),
                 SubscribeRequest::push(sink.epr())
-                    .with_filter(Filter::xpath(&format!("/event[@sev > {threshold}]"))),
+                    .with_filter(Filter::xpath(format!("/event[@sev > {threshold}]"))),
             )
             .unwrap();
         }
@@ -62,7 +67,8 @@ fn bench_ablation(c: &mut Criterion) {
         for i in 0..8 {
             let sink =
                 EventSink::start(&net2, format!("http://s{i}").as_str(), WseVersion::Aug2004);
-            sub2.subscribe(broker2.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+            sub2.subscribe(broker2.uri(), SubscribeRequest::push(sink.epr()))
+                .unwrap();
             sinks.push(sink);
         }
         let client_filter = XPath::compile(&format!("/event[@sev > {threshold}]")).unwrap();
@@ -137,6 +143,86 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| {
             seq += 1;
             black_box(jms_broker.publish_raw(&make_event(seq)))
+        })
+    });
+
+    // --- delivery engine: parallel vs sequential fan-out at 64 subs,
+    // with a real 100µs wire delay per send (the regime the pool is
+    // for — overlapping delivery latency, not CPU work).
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let sub = Subscriber::new(&net, WseVersion::Aug2004);
+    for i in 0..64 {
+        let sink = EventSink::start(
+            &net,
+            format!("http://fan-{i}").as_str(),
+            WseVersion::Aug2004,
+        );
+        sub.subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+            .unwrap();
+    }
+    net.set_send_delay_us(100);
+    let mut seq = 0u64;
+    broker.set_fanout_workers(1);
+    group.bench_function("fanout_sequential_64", |b| {
+        b.iter(|| {
+            seq += 1;
+            black_box(broker.publish_raw(&make_event(seq)))
+        })
+    });
+    broker.set_fanout_workers(4);
+    group.bench_function("fanout_parallel_64", |b| {
+        b.iter(|| {
+            seq += 1;
+            black_box(broker.publish_raw(&make_event(seq)))
+        })
+    });
+
+    // --- render cache on vs off: 64 renders (32 WSE raw + 32 WSN
+    // wrapped) of one event, serialized as the transport would.
+    let manager = wsm_addressing::EndpointReference::new("http://broker/subscriptions");
+    let consumer = wsm_addressing::EndpointReference::new("http://c");
+    let subs: Vec<BrokerSubscription> = (0..64)
+        .map(|i| BrokerSubscription {
+            id: format!("wsm-{i}"),
+            spec: if i % 2 == 0 {
+                SpecDialect::Wse(WseVersion::Aug2004)
+            } else {
+                SpecDialect::Wsn(WsnVersion::V1_3)
+            },
+            consumer: consumer.clone(),
+            end_to: None,
+            filters: UnifiedFilters::default(),
+            mode: BrokerDeliveryMode::Push,
+            use_raw: false,
+            paused: false,
+            expires_at_ms: None,
+            queue: Default::default(),
+            wrap_buffer: Vec::new(),
+        })
+        .collect();
+    let event = InternalEvent::on_topic("jobs/status", make_event(1));
+    group.bench_function("render_cache_off_64", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for s in &subs {
+                bytes += render_notification(s, &event, "http://broker", &manager)
+                    .to_xml()
+                    .len();
+            }
+            black_box(bytes)
+        })
+    });
+    group.bench_function("render_cache_on_64", |b| {
+        b.iter(|| {
+            let cache = RenderCache::new(&event);
+            let mut bytes = 0usize;
+            for s in &subs {
+                bytes += render_notification_cached(&cache, s, &event, "http://broker", &manager)
+                    .to_xml()
+                    .len();
+            }
+            black_box(bytes)
         })
     });
 

@@ -14,9 +14,7 @@ use std::hint::black_box;
 use wsm_addressing::EndpointReference;
 use wsm_bench::make_event;
 use wsm_eventing::{Filter, SubscribeRequest, WseCodec, WseVersion};
-use wsm_notification::{
-    NotificationMessage, WsnCodec, WsnFilter, WsnSubscribeRequest, WsnVersion,
-};
+use wsm_notification::{NotificationMessage, WsnCodec, WsnFilter, WsnSubscribeRequest, WsnVersion};
 use wsm_soap::Envelope;
 
 fn bench_codec(c: &mut Criterion) {
@@ -26,15 +24,19 @@ fn bench_codec(c: &mut Criterion) {
 
     for v in [WseVersion::Jan2004, WseVersion::Aug2004] {
         let codec = WseCodec::new(v);
-        let req = SubscribeRequest::push(consumer.clone()).with_filter(Filter::xpath("/event[@sev>3]"));
-        group.bench_function(format!("subscribe_roundtrip_{}", v.label().replace([' ', '/'], "_")), |b| {
-            b.iter(|| {
-                let env = codec.subscribe("http://broker", &req);
-                let xml = env.to_xml();
-                let back = Envelope::from_xml(&xml).unwrap();
-                black_box(codec.parse_subscribe(&back).unwrap())
-            })
-        });
+        let req =
+            SubscribeRequest::push(consumer.clone()).with_filter(Filter::xpath("/event[@sev>3]"));
+        group.bench_function(
+            format!("subscribe_roundtrip_{}", v.label().replace([' ', '/'], "_")),
+            |b| {
+                b.iter(|| {
+                    let env = codec.subscribe("http://broker", &req);
+                    let xml = env.to_xml();
+                    let back = Envelope::from_xml(&xml).unwrap();
+                    black_box(codec.parse_subscribe(&back).unwrap())
+                })
+            },
+        );
     }
 
     for v in [WsnVersion::V1_0, WsnVersion::V1_3] {
@@ -42,14 +44,17 @@ fn bench_codec(c: &mut Criterion) {
         let req = WsnSubscribeRequest::new(consumer.clone())
             .with_filter(WsnFilter::topic("jobs/status"))
             .with_filter(WsnFilter::content("/event[@sev>3]"));
-        group.bench_function(format!("subscribe_roundtrip_{}", v.label().replace([' ', '/'], "_")), |b| {
-            b.iter(|| {
-                let env = codec.subscribe("http://broker", &req);
-                let xml = env.to_xml();
-                let back = Envelope::from_xml(&xml).unwrap();
-                black_box(codec.parse_subscribe(&back).unwrap())
-            })
-        });
+        group.bench_function(
+            format!("subscribe_roundtrip_{}", v.label().replace([' ', '/'], "_")),
+            |b| {
+                b.iter(|| {
+                    let env = codec.subscribe("http://broker", &req);
+                    let xml = env.to_xml();
+                    let back = Envelope::from_xml(&xml).unwrap();
+                    black_box(codec.parse_subscribe(&back).unwrap())
+                })
+            },
+        );
     }
 
     // Notification encode: raw (WSE) vs wrapped Notify (WSN).

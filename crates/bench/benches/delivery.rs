@@ -13,19 +13,29 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use wsm_bench::make_event;
+use wsm_bench::{make_event, measure_events_per_sec, write_bench_json, ThroughputSample};
 use wsm_eventing::{
     DeliveryMode, EventSink, EventSource, SubscribeRequest, Subscriber, WseVersion,
 };
 use wsm_transport::Network;
 
-fn setup(mode: DeliveryMode) -> (Network, EventSource, EventSink, wsm_eventing::SubscriptionHandle) {
+fn setup(
+    mode: DeliveryMode,
+) -> (
+    Network,
+    EventSource,
+    EventSink,
+    wsm_eventing::SubscriptionHandle,
+) {
     let net = Network::new();
     let source = EventSource::start(&net, "http://src", WseVersion::Aug2004);
     let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
     let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
     let h = subscriber
-        .subscribe(source.uri(), SubscribeRequest::push(sink.epr()).with_mode(mode))
+        .subscribe(
+            source.uri(),
+            SubscribeRequest::push(sink.epr()).with_mode(mode),
+        )
         .unwrap();
     (net, source, sink, h)
 }
@@ -45,15 +55,19 @@ fn bench_delivery(c: &mut Criterion) {
 
     for batch in [1usize, 8, 64] {
         let (_net, source, _sink, _h) = setup(DeliveryMode::Wrapped);
-        group.bench_with_input(BenchmarkId::new("wrapped_batch", batch), &batch, |b, &batch| {
-            b.iter(|| {
-                for _ in 0..batch {
-                    seq += 1;
-                    source.publish(&make_event(seq));
-                }
-                black_box(source.flush_wrapped())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("wrapped_batch", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    for _ in 0..batch {
+                        seq += 1;
+                        source.publish(&make_event(seq));
+                    }
+                    black_box(source.flush_wrapped())
+                })
+            },
+        );
     }
 
     // Pull: enqueue path and the poll round-trip, for a firewalled sink
@@ -73,7 +87,7 @@ fn bench_delivery(c: &mut Criterion) {
             seq += 1;
             black_box(source.publish(&make_event(seq)));
             // Keep the queue bounded so memory stays flat.
-            if seq % 64 == 0 {
+            if seq.is_multiple_of(64) {
                 let _ = subscriber.pull(&h, usize::MAX);
             }
         })
@@ -89,6 +103,46 @@ fn bench_delivery(c: &mut Criterion) {
     });
 
     group.finish();
+    write_machine_readable();
+}
+
+/// Emit `BENCH_delivery.json`: per-mode delivery throughput.
+fn write_machine_readable() {
+    let mut samples = Vec::new();
+
+    let (_net, source, _sink, _h) = setup(DeliveryMode::Push);
+    let mut seq = 0u64;
+    let events_per_sec = measure_events_per_sec(1, &mut || {
+        seq += 1;
+        source.publish(&make_event(seq));
+    });
+    samples.push(ThroughputSample {
+        scenario: "push".into(),
+        mode: "per_event".into(),
+        param: 1,
+        events_per_sec,
+    });
+
+    for batch in [8u64, 64] {
+        let (_net, source, _sink, _h) = setup(DeliveryMode::Wrapped);
+        let mut seq = 0u64;
+        let events_per_sec = measure_events_per_sec(batch, &mut || {
+            for _ in 0..batch {
+                seq += 1;
+                source.publish(&make_event(seq));
+            }
+            source.flush_wrapped();
+        });
+        samples.push(ThroughputSample {
+            scenario: "wrapped".into(),
+            mode: "batch".into(),
+            param: batch,
+            events_per_sec,
+        });
+    }
+
+    let path = write_bench_json("delivery", &samples);
+    println!("wrote {}", path.display());
 }
 
 criterion_group!(benches, bench_delivery);

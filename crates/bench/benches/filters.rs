@@ -28,7 +28,8 @@ fn bench_filters(c: &mut Criterion) {
 
     // Corpus: alternating matching / non-matching events.
     let xml_events: Vec<_> = (0..64).map(make_event).collect();
-    let xpath = XPath::compile("/event[@sev > 3] and contains(/event/source, 'gridftp-7')").unwrap();
+    let xpath =
+        XPath::compile("/event[@sev > 3] and contains(/event/source, 'gridftp-7')").unwrap();
     group.bench_function("xpath_content", |b| {
         let mut i = 0;
         b.iter(|| {
@@ -60,7 +61,7 @@ fn bench_filters(c: &mut Criterion) {
     let structured: Vec<StructuredEvent> = (0..64)
         .map(|i| {
             StructuredEvent::new("Grid", "JobStatus", &format!("job-{i}"))
-                .with_field("sev", ((i % 7) + 1) as i32)
+                .with_field("sev", (i % 7) + 1)
                 .with_field("source", format!("gridftp-{}", i % 13).as_str())
         })
         .collect();

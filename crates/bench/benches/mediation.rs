@@ -26,8 +26,14 @@ fn broker_with_wse_consumers() -> (Network, WsMessenger) {
     let broker = WsMessenger::start(&net, "http://broker");
     let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
     for i in 0..CONSUMERS {
-        let sink = EventSink::start(&net, format!("http://sink-{i}").as_str(), WseVersion::Aug2004);
-        subscriber.subscribe(broker.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+        let sink = EventSink::start(
+            &net,
+            format!("http://sink-{i}").as_str(),
+            WseVersion::Aug2004,
+        );
+        subscriber
+            .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+            .unwrap();
     }
     (net, broker)
 }
@@ -37,8 +43,11 @@ fn broker_with_wsn_consumers() -> (Network, WsMessenger) {
     let broker = WsMessenger::start(&net, "http://broker");
     let client = WsnClient::new(&net, WsnVersion::V1_3);
     for i in 0..CONSUMERS {
-        let c = NotificationConsumer::start(&net, format!("http://nc-{i}").as_str(), WsnVersion::V1_3);
-        client.subscribe(broker.uri(), &WsnSubscribeRequest::new(c.epr())).unwrap();
+        let c =
+            NotificationConsumer::start(&net, format!("http://nc-{i}").as_str(), WsnVersion::V1_3);
+        client
+            .subscribe(broker.uri(), &WsnSubscribeRequest::new(c.epr()))
+            .unwrap();
     }
     (net, broker)
 }

@@ -9,14 +9,37 @@
 //! subscribers (every delivery is a render + send), and filtering
 //! subscribers out (non-matching topic) costs only the filter
 //! evaluation.
+//!
+//! The sequential-vs-parallel comparison runs in two regimes:
+//!
+//! * **inline** — the seed's zero-cost in-process sends. Here a
+//!   delivery is pure CPU, so parallel fan-out can only win when the
+//!   host has spare cores; on a single-core runner it measures the
+//!   pool's dispatch overhead instead.
+//! * **wire** — each send pays a real 100µs delay
+//!   ([`Network::set_send_delay_us`]), modeling the HTTP notification
+//!   latency a deployed broker pays. Workers overlap their waits, so
+//!   parallel wins regardless of core count — this is the regime the
+//!   engine exists for.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use wsm_bench::make_event;
+use wsm_bench::{make_event, measure_events_per_sec, write_bench_json, ThroughputSample};
 use wsm_eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
 use wsm_messenger::WsMessenger;
-use wsm_notification::{NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion};
+use wsm_notification::{
+    NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
+};
 use wsm_transport::Network;
+
+/// Worker count for the parallel axis. Explicit (not
+/// `default_workers()`) so the parallel engine engages even on
+/// single-core CI runners, where `available_parallelism()` is 1 and the
+/// default would silently fall back to the sequential path.
+const PARALLEL_WORKERS: usize = 4;
+
+/// Per-send wire latency for the `wire` regime, in microseconds.
+const WIRE_DELAY_US: u64 = 100;
 
 fn setup(n: usize, topic: &str) -> (Network, WsMessenger) {
     let net = Network::new();
@@ -25,9 +48,13 @@ fn setup(n: usize, topic: &str) -> (Network, WsMessenger) {
     let wsn = WsnClient::new(&net, WsnVersion::V1_3);
     for i in 0..n {
         if i % 2 == 0 {
-            let sink =
-                EventSink::start(&net, format!("http://sink-{i}").as_str(), WseVersion::Aug2004);
-            wse.subscribe(broker.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+            let sink = EventSink::start(
+                &net,
+                format!("http://sink-{i}").as_str(),
+                WseVersion::Aug2004,
+            );
+            wse.subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+                .unwrap();
         } else {
             let c = NotificationConsumer::start(
                 &net,
@@ -49,14 +76,34 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(15);
 
     for n in [1usize, 8, 64, 256] {
-        let (_net, broker) = setup(n, "jobs/status");
+        let (net, broker) = setup(n, "jobs/status");
         let mut seq = 0u64;
-        group.bench_with_input(BenchmarkId::new("publish_all_match", n), &n, |b, _| {
-            b.iter(|| {
-                seq += 1;
-                black_box(broker.publish_on("jobs/status", &make_event(seq)))
-            })
-        });
+        for (regime, delay_us) in [("inline", 0u64), ("wire", WIRE_DELAY_US)] {
+            net.set_send_delay_us(delay_us);
+            broker.set_fanout_workers(1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("publish_{regime}_sequential"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        seq += 1;
+                        black_box(broker.publish_on("jobs/status", &make_event(seq)))
+                    })
+                },
+            );
+            broker.set_fanout_workers(PARALLEL_WORKERS);
+            group.bench_with_input(
+                BenchmarkId::new(format!("publish_{regime}_parallel"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        seq += 1;
+                        black_box(broker.publish_on("jobs/status", &make_event(seq)))
+                    })
+                },
+            );
+        }
+        net.set_send_delay_us(0);
     }
 
     // Non-matching topic: the WSN half filters out; only the topicless
@@ -71,6 +118,37 @@ fn bench_scaling(c: &mut Criterion) {
     });
 
     group.finish();
+    write_machine_readable();
+}
+
+/// Emit `BENCH_scaling.json`: events/sec against subscriber count, for
+/// the sequential and parallel delivery engines, in both the zero-cost
+/// `publish_inline` regime and the 100µs-per-send `publish_wire`
+/// regime (see the module docs).
+fn write_machine_readable() {
+    let mut samples = Vec::new();
+    for (scenario, delay_us) in [("publish_inline", 0u64), ("publish_wire", WIRE_DELAY_US)] {
+        for n in [1u64, 8, 64, 256] {
+            for (mode, workers) in [("sequential", 1usize), ("parallel", PARALLEL_WORKERS)] {
+                let (net, broker) = setup(n as usize, "jobs/status");
+                net.set_send_delay_us(delay_us);
+                broker.set_fanout_workers(workers);
+                let mut seq = 0u64;
+                let events_per_sec = measure_events_per_sec(1, &mut || {
+                    seq += 1;
+                    broker.publish_on("jobs/status", &make_event(seq));
+                });
+                samples.push(ThroughputSample {
+                    scenario: scenario.into(),
+                    mode: mode.into(),
+                    param: n,
+                    events_per_sec,
+                });
+            }
+        }
+    }
+    let path = write_bench_json("scaling", &samples);
+    println!("wrote {}", path.display());
 }
 
 criterion_group!(benches, bench_scaling);

@@ -5,12 +5,24 @@ use wsm_eventing::WseVersion;
 use wsm_notification::WsnVersion;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "messenger".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "messenger".into());
     let xml = match which.as_str() {
-        "wse-jan2004" => wsm_wsdl::wse_definitions(WseVersion::Jan2004, "http://source.example.org/events").to_xml(),
-        "wse-aug2004" => wsm_wsdl::wse_definitions(WseVersion::Aug2004, "http://source.example.org/events").to_xml(),
-        "wsn-1.0" => wsm_wsdl::wsn_definitions(WsnVersion::V1_0, "http://producer.example.org/np").to_xml(),
-        "wsn-1.3" => wsm_wsdl::wsn_definitions(WsnVersion::V1_3, "http://producer.example.org/np").to_xml(),
+        "wse-jan2004" => {
+            wsm_wsdl::wse_definitions(WseVersion::Jan2004, "http://source.example.org/events")
+                .to_xml()
+        }
+        "wse-aug2004" => {
+            wsm_wsdl::wse_definitions(WseVersion::Aug2004, "http://source.example.org/events")
+                .to_xml()
+        }
+        "wsn-1.0" => {
+            wsm_wsdl::wsn_definitions(WsnVersion::V1_0, "http://producer.example.org/np").to_xml()
+        }
+        "wsn-1.3" => {
+            wsm_wsdl::wsn_definitions(WsnVersion::V1_3, "http://producer.example.org/np").to_xml()
+        }
         _ => wsm_wsdl::messenger_definitions("http://broker.example.org/events").to_xml(),
     };
     println!("{xml}");

@@ -5,6 +5,9 @@
 //! table/figure regeneration binaries (`table1`, `table2`, `table3`,
 //! `figures`, `msgdiff`).
 
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 use wsm_xml::Element;
 
 /// A synthetic Grid-monitoring event: `<event sev=".." seq="..">
@@ -40,6 +43,65 @@ pub fn topic_for(seq: u64) -> &'static str {
     TOPICS[(seq % 6) as usize]
 }
 
+/// One measured throughput point for the machine-readable bench
+/// reports (`BENCH_*.json` at the repo root).
+pub struct ThroughputSample {
+    /// Workload name, e.g. `publish_all_match`.
+    pub scenario: String,
+    /// Engine configuration, e.g. `sequential` / `parallel`.
+    pub mode: String,
+    /// The swept parameter (subscriber count, batch size, ...).
+    pub param: u64,
+    /// Measured throughput.
+    pub events_per_sec: f64,
+}
+
+/// Measure a workload's throughput: warm up, then time enough
+/// iterations to fill ~200ms. `events_per_iter` scales the result for
+/// closures that publish several events per call.
+pub fn measure_events_per_sec(events_per_iter: u64, f: &mut dyn FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(200) {
+            return (iters * events_per_iter) as f64 / elapsed.as_secs_f64();
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+/// Serialize samples as `BENCH_<name>.json` at the workspace root so
+/// tooling can track bench trends without parsing human-oriented
+/// Criterion output.
+pub fn write_bench_json(bench: &str, samples: &[ThroughputSample]) -> PathBuf {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{bench}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n  \"samples\": [\n"));
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"param\": {}, \"events_per_sec\": {:.1}}}{}\n",
+            s.scenario,
+            s.mode,
+            s.param,
+            s.events_per_sec,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(&path).expect("create bench json");
+    file.write_all(out.as_bytes()).expect("write bench json");
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +121,12 @@ mod tests {
     fn topics_cycle() {
         assert_eq!(topic_for(0), topic_for(6));
         assert_ne!(topic_for(0), topic_for(1));
+    }
+
+    #[test]
+    fn throughput_measurement_is_positive() {
+        let mut x = 0u64;
+        let eps = measure_events_per_sec(2, &mut || x = x.wrapping_add(1));
+        assert!(eps > 0.0);
     }
 }

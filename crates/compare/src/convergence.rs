@@ -73,8 +73,11 @@ pub fn projected_merge() -> Vec<MergedFeature> {
             // merged standard keeps a requirement only if both sides
             // already require it.
             let is_requirement = row.feature.starts_with("Require");
-            let included =
-                if is_requirement { *wse && *wsn } else { *wse || *wsn };
+            let included = if is_requirement {
+                *wse && *wsn
+            } else {
+                *wse || *wsn
+            };
             out.push(MergedFeature {
                 feature: row.feature,
                 included,
@@ -148,8 +151,14 @@ mod tests {
         // WSE 08/04 agrees with WSN 1.0 more than WSE 01/04 did (it
         // adopted WSN ideas), and WSN 1.3 agrees with WSE 08/04 more
         // than WSN 1.0 did.
-        assert!(agreement(2, 1).agree > agreement(0, 1).agree, "WSE moved toward WSN");
-        assert!(agreement(2, 3).agree > agreement(2, 1).agree, "WSN moved toward WSE");
+        assert!(
+            agreement(2, 1).agree > agreement(0, 1).agree,
+            "WSE moved toward WSN"
+        );
+        assert!(
+            agreement(2, 3).agree > agreement(2, 1).agree,
+            "WSN moved toward WSE"
+        );
     }
 
     #[test]
@@ -168,15 +177,25 @@ mod tests {
             }
         }
         // The merge includes things only one side has today.
-        assert!(merged.iter().any(|m| m.contributed_by == "WSE" && m.included));
-        assert!(merged.iter().any(|m| m.contributed_by == "WSN" && m.included));
+        assert!(merged
+            .iter()
+            .any(|m| m.contributed_by == "WSE" && m.included));
+        assert!(merged
+            .iter()
+            .any(|m| m.contributed_by == "WSN" && m.included));
     }
 
     #[test]
     fn requirements_are_relaxed_in_the_merge() {
         let merged = projected_merge();
-        let getstatus = merged.iter().find(|m| m.feature == "Require Getstatus").unwrap();
-        assert!(!getstatus.included, "WSN 1.3 made it optional; merge keeps it optional");
+        let getstatus = merged
+            .iter()
+            .find(|m| m.feature == "Require Getstatus")
+            .unwrap();
+        assert!(
+            !getstatus.included,
+            "WSN 1.3 made it optional; merge keeps it optional"
+        );
     }
 
     #[test]

@@ -20,9 +20,19 @@ pub struct Architecture {
 pub fn wse_architecture() -> Architecture {
     Architecture {
         title: "Fig. 1  WS-Eventing Architecture and Operations",
-        entities: vec!["Subscriber", "Event Source", "Subscription Manager", "Event Sink"],
+        entities: vec![
+            "Subscriber",
+            "Event Source",
+            "Subscription Manager",
+            "Event Sink",
+        ],
         interactions: vec![
-            ("Subscriber", "Event Source", "Subscribe / SubscribeResponse", true),
+            (
+                "Subscriber",
+                "Event Source",
+                "Subscribe / SubscribeResponse",
+                true,
+            ),
             (
                 "Subscriber",
                 "Subscription Manager",
@@ -30,9 +40,19 @@ pub fn wse_architecture() -> Architecture {
                 true,
             ),
             ("Event Source", "Event Sink", "Notifications", true),
-            ("Event Source", "Event Sink", "SubscriptionEnd (to EndTo)", true),
+            (
+                "Event Source",
+                "Event Sink",
+                "SubscriptionEnd (to EndTo)",
+                true,
+            ),
             ("Subscriber", "Event Sink", "acts on behalf of", false),
-            ("Event Source", "Subscription Manager", "shares subscription state", false),
+            (
+                "Event Source",
+                "Subscription Manager",
+                "shares subscription state",
+                false,
+            ),
         ],
     }
 }
@@ -49,22 +69,42 @@ pub fn wsbase_architecture() -> Architecture {
             "Notification Consumer",
         ],
         interactions: vec![
-            ("Subscriber", "Notification Producer", "Subscribe / SubscribeResponse", true),
+            (
+                "Subscriber",
+                "Notification Producer",
+                "Subscribe / SubscribeResponse",
+                true,
+            ),
             (
                 "Subscriber",
                 "Subscription Manager",
                 "Renew / Unsubscribe / Pause / Resume",
                 true,
             ),
-            ("Publisher", "Notification Producer", "publishes messages", false),
-            ("Notification Producer", "Notification Consumer", "Notify (wrapped or raw)", true),
+            (
+                "Publisher",
+                "Notification Producer",
+                "publishes messages",
+                false,
+            ),
+            (
+                "Notification Producer",
+                "Notification Consumer",
+                "Notify (wrapped or raw)",
+                true,
+            ),
             (
                 "Subscriber",
                 "Notification Producer",
                 "GetCurrentMessage",
                 true,
             ),
-            ("Subscriber", "Notification Consumer", "acts on behalf of", false),
+            (
+                "Subscriber",
+                "Notification Consumer",
+                "acts on behalf of",
+                false,
+            ),
             (
                 "Notification Producer",
                 "Subscription Manager",
@@ -110,7 +150,12 @@ mod tests {
         let f = wse_architecture();
         assert_eq!(
             f.entities,
-            vec!["Subscriber", "Event Source", "Subscription Manager", "Event Sink"]
+            vec![
+                "Subscriber",
+                "Event Source",
+                "Subscription Manager",
+                "Event Sink"
+            ]
         );
         // WSE has no publisher entity (the source plays both roles) —
         // the architectural gap Table 1's lower half records.
@@ -135,7 +180,9 @@ mod tests {
         let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
         // Subscriber → Event Source: Subscribe.
         let sub = Subscriber::new(&net, WseVersion::Aug2004);
-        let h = sub.subscribe(source.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+        let h = sub
+            .subscribe(source.uri(), SubscribeRequest::push(sink.epr()))
+            .unwrap();
         // Subscriber → Subscription Manager (a distinct endpoint): Renew.
         assert_ne!(source.uri(), source.manager_uri());
         assert_eq!(h.manager.address, source.manager_uri());

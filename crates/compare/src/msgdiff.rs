@@ -61,7 +61,9 @@ impl DiffCategory {
         match self {
             DiffCategory::ElementNames => "Element names or attribute names difference",
             DiffCategory::Namespaces => "Namespaces difference",
-            DiffCategory::UnderlyingSpecVersions => "Versions difference of underlying specifications",
+            DiffCategory::UnderlyingSpecVersions => {
+                "Versions difference of underlying specifications"
+            }
             DiffCategory::MessageContents => "Message contents difference",
             DiffCategory::Structure => "SOAP message structures difference",
             DiffCategory::ContentLocation => "Content locations difference",
@@ -96,9 +98,15 @@ impl MsgDiffReport {
 
     /// Render the report.
     pub fn render(&self) -> String {
-        let mut out = String::from("Message-format differences (WSE 08/2004 vs WSN 1.3), paper SSV.4:\n\n");
+        let mut out =
+            String::from("Message-format differences (WSE 08/2004 vs WSN 1.3), paper SSV.4:\n\n");
         for (i, cat) in DiffCategory::ALL.iter().enumerate() {
-            out.push_str(&format!("({}) {} — {} findings\n", i + 1, cat.label(), self.total(*cat)));
+            out.push_str(&format!(
+                "({}) {} — {} findings\n",
+                i + 1,
+                cat.label(),
+                self.total(*cat)
+            ));
             for p in &self.pairs {
                 for (c, ex) in &p.examples {
                     if c == cat {
@@ -149,7 +157,11 @@ fn diff_pair(pair: &'static str, wse: &Envelope, wsn: &Envelope) -> PairDiff {
             examples.push((cat, e.to_string()));
         }
     }
-    PairDiff { pair, counts, examples }
+    PairDiff {
+        pair,
+        counts,
+        examples,
+    }
 }
 
 /// Run the experiment: build the three equivalent exchanges in both
@@ -167,7 +179,8 @@ pub fn run_msgdiff() -> MsgDiffReport {
     );
     let wsn_sub = wsn.subscribe(
         broker,
-        &WsnSubscribeRequest::new(consumer.clone()).with_filter(WsnFilter::content("/alert[@sev>3]")),
+        &WsnSubscribeRequest::new(consumer.clone())
+            .with_filter(WsnFilter::content("/alert[@sev>3]")),
     );
 
     // --- SubscribeResponse: same manager, same subscription id.
@@ -186,7 +199,10 @@ pub fn run_msgdiff() -> MsgDiffReport {
 
     // --- Notification: same payload on the same topic, rendered
     // exactly as the mediation broker renders them.
-    let event = InternalEvent::on_topic("storms", Element::ns("urn:wx", "alert", "wx").with_text("F5"));
+    let event = InternalEvent::on_topic(
+        "storms",
+        Element::ns("urn:wx", "alert", "wx").with_text("F5"),
+    );
     let mk_sub = |spec: SpecDialect| BrokerSubscription {
         id: "sub-1".into(),
         spec,
@@ -261,8 +277,15 @@ mod tests {
         // The wrapped-vs-raw structural difference must show up in the
         // notification pair specifically.
         let report = run_msgdiff();
-        let notif = report.pairs.iter().find(|p| p.pair == "Notification").unwrap();
-        let idx = DiffCategory::ALL.iter().position(|c| *c == DiffCategory::Structure).unwrap();
+        let notif = report
+            .pairs
+            .iter()
+            .find(|p| p.pair == "Notification")
+            .unwrap();
+        let idx = DiffCategory::ALL
+            .iter()
+            .position(|c| *c == DiffCategory::Structure)
+            .unwrap();
         assert!(notif.counts[idx] > 0);
     }
 
@@ -285,7 +308,10 @@ mod tests {
     fn classification_rules() {
         use wsm_xml::diff::{DiffKind, Side};
         assert_eq!(
-            classify(&DiffKind::LocalName { left: "a".into(), right: "b".into() }),
+            classify(&DiffKind::LocalName {
+                left: "a".into(),
+                right: "b".into()
+            }),
             DiffCategory::ElementNames
         );
         assert_eq!(
@@ -303,11 +329,17 @@ mod tests {
             DiffCategory::Namespaces
         );
         assert_eq!(
-            classify(&DiffKind::Text { left: "a".into(), right: "b".into() }),
+            classify(&DiffKind::Text {
+                left: "a".into(),
+                right: "b".into()
+            }),
             DiffCategory::MessageContents
         );
         assert_eq!(
-            classify(&DiffKind::AttrPresence { name: "x".into(), side: Side::Left }),
+            classify(&DiffKind::AttrPresence {
+                name: "x".into(),
+                side: Side::Left
+            }),
             DiffCategory::MessageContents
         );
         assert_eq!(
@@ -340,7 +372,12 @@ pub fn run_version_msgdiff() -> MsgDiffReport {
         } else {
             EndpointReference::new(broker)
         };
-        SubscriptionHandle { manager, id: "sub-1".into(), expires: None, version: v }
+        SubscriptionHandle {
+            manager,
+            id: "sub-1".into(),
+            expires: None,
+            version: v,
+        }
     };
     let resp_old = wse_old.subscribe_response(&mk_handle(WseVersion::Jan2004));
     let resp_new = wse_new.subscribe_response(&mk_handle(WseVersion::Aug2004));
@@ -393,10 +430,17 @@ mod version_tests {
     #[test]
     fn wsn_versions_differ_in_filter_wrapper_and_wsa() {
         let report = run_version_msgdiff();
-        let sub = report.pairs.iter().find(|p| p.pair.contains("WSN Subscribe 1.0")).unwrap();
+        let sub = report
+            .pairs
+            .iter()
+            .find(|p| p.pair.contains("WSN Subscribe 1.0"))
+            .unwrap();
         // Namespace differences (wsn ns changed between versions) and
         // underlying WSA versions both show.
-        let ns_idx = DiffCategory::ALL.iter().position(|c| *c == DiffCategory::Namespaces).unwrap();
+        let ns_idx = DiffCategory::ALL
+            .iter()
+            .position(|c| *c == DiffCategory::Namespaces)
+            .unwrap();
         assert!(sub.counts[ns_idx] > 0, "{:?}", sub.counts);
     }
 

@@ -25,11 +25,17 @@ pub enum Cell {
 
 impl Cell {
     fn yes_no(value: bool) -> Cell {
-        Cell::YesNo { value, derived: true }
+        Cell::YesNo {
+            value,
+            derived: true,
+        }
     }
 
     fn documented(value: bool) -> Cell {
-        Cell::YesNo { value, derived: false }
+        Cell::YesNo {
+            value,
+            derived: false,
+        }
     }
 
     /// Rendered form ("Yes"/"No"/text).
@@ -59,7 +65,10 @@ pub fn table1() -> Vec<Table1Row> {
     let wsn_old = WsnVersion::V1_0;
     let wsn_new = WsnVersion::V1_3;
 
-    let row = |feature, a: Cell, b: Cell, c: Cell, d: Cell| Table1Row { feature, cells: [a, b, c, d] };
+    let row = |feature, a: Cell, b: Cell, c: Cell, d: Cell| Table1Row {
+        feature,
+        cells: [a, b, c, d],
+    };
 
     vec![
         row(
@@ -274,23 +283,47 @@ mod tests {
     #[test]
     fn matches_paper_values() {
         let expect: &[(&str, [&str; 4])] = &[
-            ("Separate Subscription Manager & Event Source", ["No", "Yes", "Yes", "Yes"]),
-            ("Separate subscriber & Event Sink", ["No", "Yes", "Yes", "Yes"]),
+            (
+                "Separate Subscription Manager & Event Source",
+                ["No", "Yes", "Yes", "Yes"],
+            ),
+            (
+                "Separate subscriber & Event Sink",
+                ["No", "Yes", "Yes", "Yes"],
+            ),
             ("Getstatus operation", ["No", "Yes", "Yes", "Yes"]),
-            ("Return subscriptionId in WSA of Subscription Manager", ["No", "Yes", "Yes", "Yes"]),
+            (
+                "Return subscriptionId in WSA of Subscription Manager",
+                ["No", "Yes", "Yes", "Yes"],
+            ),
             ("Support Wrapped delivery mode", ["No", "Yes", "Yes", "Yes"]),
             ("Support Pull delivery mode", ["No", "No", "Yes", "Yes"]),
-            ("Specify subscription expiration using duration", ["Yes", "No", "Yes", "Yes"]),
+            (
+                "Specify subscription expiration using duration",
+                ["Yes", "No", "Yes", "Yes"],
+            ),
             ("Specify XPath dialect", ["Yes", "No", "Yes", "Yes"]),
-            ("Filter element in Subscription message", ["Yes", "No", "Yes", "Yes"]),
+            (
+                "Filter element in Subscription message",
+                ["Yes", "No", "Yes", "Yes"],
+            ),
             ("Require WSRF", ["No", "Yes", "No", "No"]),
             ("Require a topic in subscription", ["No", "Yes", "No", "No"]),
-            ("Require Pause/Resume subscriptions", ["No", "Yes", "No", "No"]),
+            (
+                "Require Pause/Resume subscriptions",
+                ["No", "Yes", "No", "No"],
+            ),
             ("GetCurrentMessage operation", ["No", "Yes", "No", "Yes"]),
             ("Define Wrapped message format", ["No", "Yes", "No", "Yes"]),
-            ("Separate EventProducer & Publisher", ["No", "Yes", "No", "Yes"]),
+            (
+                "Separate EventProducer & Publisher",
+                ["No", "Yes", "No", "Yes"],
+            ),
             ("Define PullPoint interface", ["No", "No", "No", "Yes"]),
-            ("Specify pull delivery mode in subscription", ["No", "No", "Yes", "No"]),
+            (
+                "Specify pull delivery mode in subscription",
+                ["No", "No", "Yes", "No"],
+            ),
             ("Require Getstatus", ["Yes", "Yes", "Yes", "No"]),
             ("Require SubscriptionEnd", ["Yes", "Yes", "Yes", "No"]),
         ];
@@ -308,7 +341,10 @@ mod tests {
     #[test]
     fn wsa_versions_row() {
         let rows = table1();
-        let row = rows.iter().find(|r| r.feature == "WS-Addressing version").unwrap();
+        let row = rows
+            .iter()
+            .find(|r| r.feature == "WS-Addressing version")
+            .unwrap();
         let got: Vec<String> = row.cells.iter().map(Cell::render).collect();
         assert_eq!(got, vec!["2003/03", "2003/03", "2004/08", "2005/08"]);
     }
@@ -339,6 +375,9 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines.len() > 20);
         let width = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == width), "all rows same width");
+        assert!(
+            lines.iter().all(|l| l.len() == width),
+            "all rows same width"
+        );
     }
 }

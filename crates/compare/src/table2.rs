@@ -12,8 +12,14 @@ pub fn table2() -> Vec<(&'static str, &'static str)> {
         ("Subscribe", "Subscribe"),
         ("Renew", "Renew"),
         ("Unsubscribe", "Unsubscribe"),
-        ("GetStatus", "Not defined, can use getResourceProperties in WSRF"),
-        ("SubscriptionEnd", "Not defined, can use TerminationNotification in WSRF"),
+        (
+            "GetStatus",
+            "Not defined, can use getResourceProperties in WSRF",
+        ),
+        (
+            "SubscriptionEnd",
+            "Not defined, can use TerminationNotification in WSRF",
+        ),
         ("Not available", "Pause/resume Subscription"),
         ("Not available", "GetCurrentMessage"),
     ]
@@ -22,10 +28,27 @@ pub fn table2() -> Vec<(&'static str, &'static str)> {
 /// Render Table 2 as aligned ASCII.
 pub fn render_table2() -> String {
     let rows = table2();
-    let w0 = rows.iter().map(|(a, _)| a.len()).max().unwrap().max("WS-Eventing".len());
-    let w1 = rows.iter().map(|(_, b)| b.len()).max().unwrap().max("WS-BaseNotification".len());
-    let mut out = format!("| {:<w0$} | {:<w1$} |\n", "WS-Eventing", "WS-BaseNotification");
-    out.push_str(&format!("|{}|{}|\n", "-".repeat(w0 + 2), "-".repeat(w1 + 2)));
+    let w0 = rows
+        .iter()
+        .map(|(a, _)| a.len())
+        .max()
+        .unwrap()
+        .max("WS-Eventing".len());
+    let w1 = rows
+        .iter()
+        .map(|(_, b)| b.len())
+        .max()
+        .unwrap()
+        .max("WS-BaseNotification".len());
+    let mut out = format!(
+        "| {:<w0$} | {:<w1$} |\n",
+        "WS-Eventing", "WS-BaseNotification"
+    );
+    out.push_str(&format!(
+        "|{}|{}|\n",
+        "-".repeat(w0 + 2),
+        "-".repeat(w1 + 2)
+    ));
     for (a, b) in rows {
         out.push_str(&format!("| {a:<w0$} | {b:<w1$} |\n"));
     }
@@ -108,14 +131,19 @@ mod tests {
         producer.publish_on("t", &Element::local("m"));
         let client = WsnClient::new(&net, WsnVersion::V1_3);
         let topic = wsm_topics::TopicExpression::concrete("t").unwrap();
-        assert!(client.get_current_message(producer.uri(), &topic).unwrap().is_some());
+        assert!(client
+            .get_current_message(producer.uri(), &topic)
+            .unwrap()
+            .is_some());
 
         // WS-Eventing has no GetCurrentMessage: sending one to a WSE
         // source faults.
         let source = EventSource::start(&net, "http://src", WseVersion::Aug2004);
-        let bogus = wsm_soap::Envelope::new(wsm_soap::SoapVersion::V12).with_body(
-            Element::ns(WseVersion::Aug2004.ns(), "GetCurrentMessage", "wse"),
-        );
+        let bogus = wsm_soap::Envelope::new(wsm_soap::SoapVersion::V12).with_body(Element::ns(
+            WseVersion::Aug2004.ns(),
+            "GetCurrentMessage",
+            "wse",
+        ));
         assert!(net.request(source.uri(), bogus).is_err());
     }
 
@@ -125,12 +153,16 @@ mod tests {
         let source = EventSource::start(&net, "http://src", WseVersion::Aug2004);
         let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
         let sub = Subscriber::new(&net, WseVersion::Aug2004);
-        let h = sub.subscribe(source.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+        let h = sub
+            .subscribe(source.uri(), SubscribeRequest::push(sink.epr()))
+            .unwrap();
         // Hand-build a PauseSubscription against the WSE manager: fault.
         let codec = wsm_eventing::WseCodec::new(WseVersion::Aug2004);
-        let mut env = wsm_soap::Envelope::new(wsm_soap::SoapVersion::V12).with_body(
-            Element::ns(WseVersion::Aug2004.ns(), "PauseSubscription", "wse"),
-        );
+        let mut env = wsm_soap::Envelope::new(wsm_soap::SoapVersion::V12).with_body(Element::ns(
+            WseVersion::Aug2004.ns(),
+            "PauseSubscription",
+            "wse",
+        ));
         wsm_addressing::MessageHeaders::to_epr(&h.manager, "urn:pause")
             .apply(&mut env, WseVersion::Aug2004.wsa());
         let _ = codec;

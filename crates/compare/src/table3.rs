@@ -198,12 +198,18 @@ pub fn wse_profile() -> SystemProfile {
         delivery_modes: "Push by default; can use Pull or other modes",
         message_structure: "SOAP (with raw XML data only); can use wrapped mode",
         filter: "A \"Filter\" element for any filter. At most 1 filter.".into(),
-        filter_language: "Default XPath. Can use any expression (xsd:any) that evaluates to a Boolean."
-            .into(),
+        filter_language:
+            "Default XPath. Can use any expression (xsd:any) that evaluates to a Boolean.".into(),
         qos: "Depends on composition with other WS-* specifications".into(),
         subscription_timeout: "Absolute time or duration",
         demand_based: "No",
-        management_ops: vec!["Subscribe", "Renew", "GetStatus", "Unsubscribe", "SubscriptionEnd"],
+        management_ops: vec![
+            "Subscribe",
+            "Renew",
+            "GetStatus",
+            "Unsubscribe",
+            "SubscriptionEnd",
+        ],
     }
 }
 
@@ -221,21 +227,31 @@ pub fn table3() -> Vec<SystemProfile> {
 
 /// Render Table 3 as a row-per-attribute ASCII table.
 pub fn render_table3() -> String {
+    type AttrCell = Box<dyn Fn(&SystemProfile) -> String>;
     let cols = table3();
-    let attrs: Vec<(&str, Box<dyn Fn(&SystemProfile) -> String>)> = vec![
+    let attrs: Vec<(&str, AttrCell)> = vec![
         ("First release", Box::new(|p| p.first_release.to_string())),
         ("Latest release", Box::new(|p| p.latest_release.to_string())),
         ("Creator(s)", Box::new(|p| p.creators.to_string())),
         ("Message transport", Box::new(|p| p.transport.to_string())),
         ("Intermediary", Box::new(|p| p.intermediary.to_string())),
         ("Delivery mode", Box::new(|p| p.delivery_modes.to_string())),
-        ("Message structure", Box::new(|p| p.message_structure.to_string())),
+        (
+            "Message structure",
+            Box::new(|p| p.message_structure.to_string()),
+        ),
         ("Filter", Box::new(|p| p.filter.clone())),
         ("Filter language", Box::new(|p| p.filter_language.clone())),
         ("QoS criteria", Box::new(|p| p.qos.clone())),
-        ("Subscription timeout", Box::new(|p| p.subscription_timeout.to_string())),
+        (
+            "Subscription timeout",
+            Box::new(|p| p.subscription_timeout.to_string()),
+        ),
         ("Demand-based", Box::new(|p| p.demand_based.to_string())),
-        ("Management operations", Box::new(|p| p.management_ops.join(", "))),
+        (
+            "Management operations",
+            Box::new(|p| p.management_ops.join(", ")),
+        ),
     ];
     let mut out = String::new();
     for (label, get) in &attrs {
@@ -274,16 +290,31 @@ mod tests {
         // actually implements.
         let t = table3();
         assert!(t[1].filter_language.contains("Trader Constraint Language"));
-        assert!(wsm_corba::EtclFilter::compile("$x == 1").is_ok(), "ETCL engine exists");
+        assert!(
+            wsm_corba::EtclFilter::compile("$x == 1").is_ok(),
+            "ETCL engine exists"
+        );
         assert!(t[2].filter_language.contains("SQL92"));
-        assert!(wsm_jms::Selector::compile("x = 1").is_ok(), "SQL92 selector engine exists");
+        assert!(
+            wsm_jms::Selector::compile("x = 1").is_ok(),
+            "SQL92 selector engine exists"
+        );
         assert!(t[5].filter_language.contains("XPath"));
-        assert!(wsm_xpath::XPath::compile("/x").is_ok(), "XPath engine exists");
+        assert!(
+            wsm_xpath::XPath::compile("/x").is_ok(),
+            "XPath engine exists"
+        );
         // QoS count comes straight from the CORBA substrate.
         assert!(t[1].qos.contains("13"));
         assert_eq!(STANDARD_QOS_PROPERTIES.len(), 13);
         // JMS's five message types are the five body variants.
-        for ty in ["TextMessage", "BytesMessage", "MapMessage", "StreamMessage", "ObjectMessage"] {
+        for ty in [
+            "TextMessage",
+            "BytesMessage",
+            "MapMessage",
+            "StreamMessage",
+            "ObjectMessage",
+        ] {
             assert!(t[2].message_structure.contains(ty), "{ty}");
         }
     }

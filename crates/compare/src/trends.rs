@@ -87,7 +87,9 @@ pub fn verify() -> Vec<Trend> {
             "CORBA NS: `{}` / JMS: `{}` → WS-*: `{}`",
             corba_ns.qos, jms.qos, wsn.qos
         ),
-        holds: corba_ns.qos.contains("13") && wsn.qos.contains("composition") && wse.qos.contains("composition"),
+        holds: corba_ns.qos.contains("13")
+            && wsn.qos.contains("composition")
+            && wse.qos.contains("composition"),
     });
 
     // (5) Soft-state (timeout) subscription management appears.
@@ -136,7 +138,8 @@ pub fn verify() -> Vec<Trend> {
 
 /// Render the trends report.
 pub fn render_trends() -> String {
-    let mut out = String::from("SSVI.D evolutionary observations, verified against the implementations:\n\n");
+    let mut out =
+        String::from("SSVI.D evolutionary observations, verified against the implementations:\n\n");
     for t in verify() {
         out.push_str(&format!(
             "({}) {} — {}\n    evidence: {}\n",
@@ -156,7 +159,11 @@ mod tests {
     #[test]
     fn all_six_observations_hold() {
         for t in verify() {
-            assert!(t.holds, "observation ({}) `{}` violated", t.number, t.statement);
+            assert!(
+                t.holds,
+                "observation ({}) `{}` violated",
+                t.number, t.statement
+            );
         }
     }
 

@@ -140,7 +140,11 @@ mod tests {
     fn numeric_views() {
         assert_eq!(Any::Long(3).as_f64(), Some(3.0));
         assert_eq!(Any::Boolean(true).as_f64(), Some(1.0));
-        assert_eq!(Any::String("3".into()).as_f64(), None, "no implicit string→number");
+        assert_eq!(
+            Any::String("3".into()).as_f64(),
+            None,
+            "no implicit string→number"
+        );
     }
 
     #[test]
@@ -162,7 +166,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let s = Any::Struct(vec![("a".into(), Any::Sequence(vec![Any::Long(1), Any::Null]))]);
+        let s = Any::Struct(vec![(
+            "a".into(),
+            Any::Sequence(vec![Any::Long(1), Any::Null]),
+        )]);
         assert_eq!(s.to_string(), "{a: [1, null]}");
     }
 }

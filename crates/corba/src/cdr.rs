@@ -29,7 +29,7 @@ pub fn encode(value: &Any) -> Vec<u8> {
 }
 
 fn align(out: &mut Vec<u8>, to: usize) {
-    while out.len() % to != 0 {
+    while !out.len().is_multiple_of(to) {
         out.push(0);
     }
 }
@@ -94,7 +94,11 @@ pub const MAX_DEPTH: usize = 64;
 
 /// Decode CDR bytes back to an [`Any`].
 pub fn decode(bytes: &[u8]) -> Result<Any, CdrError> {
-    let mut r = Reader { bytes, pos: 0, depth: 0 };
+    let mut r = Reader {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     let v = r.read_any()?;
     if r.pos != bytes.len() {
         return Err(CdrError(format!("{} trailing bytes", bytes.len() - r.pos)));
@@ -123,7 +127,7 @@ impl Reader<'_> {
     }
 
     fn align(&mut self, to: usize) {
-        while self.pos % to != 0 {
+        while !self.pos.is_multiple_of(to) {
             self.pos += 1;
         }
     }
@@ -230,12 +234,19 @@ mod tests {
 
     #[test]
     fn composites_roundtrip() {
-        roundtrip(Any::Sequence(vec![Any::Long(1), Any::String("x".into()), Any::Null]));
+        roundtrip(Any::Sequence(vec![
+            Any::Long(1),
+            Any::String("x".into()),
+            Any::Null,
+        ]));
         roundtrip(Any::Struct(vec![
             ("priority".into(), Any::Long(4)),
             (
                 "payload".into(),
-                Any::Struct(vec![("inner".into(), Any::Sequence(vec![Any::Double(1.5)]))]),
+                Any::Struct(vec![(
+                    "inner".into(),
+                    Any::Sequence(vec![Any::Double(1.5)]),
+                )]),
             ),
         ]));
     }

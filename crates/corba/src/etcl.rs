@@ -89,7 +89,10 @@ fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, EtclError> {
                     out.push((i, Tok::Op("==")));
                     i += 2;
                 } else {
-                    return Err(EtclError { at: i, message: "use `==` for equality".into() });
+                    return Err(EtclError {
+                        at: i,
+                        message: "use `==` for equality".into(),
+                    });
                 }
             }
             b'!' => {
@@ -97,7 +100,10 @@ fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, EtclError> {
                     out.push((i, Tok::Op("!=")));
                     i += 2;
                 } else {
-                    return Err(EtclError { at: i, message: "stray `!`".into() });
+                    return Err(EtclError {
+                        at: i,
+                        message: "stray `!`".into(),
+                    });
                 }
             }
             b'<' => {
@@ -125,7 +131,12 @@ fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, EtclError> {
                         out.push((i, Tok::Str(s[start..start + len].to_string())));
                         i = start + len + 1;
                     }
-                    None => return Err(EtclError { at: i, message: "unterminated string".into() }),
+                    None => {
+                        return Err(EtclError {
+                            at: i,
+                            message: "unterminated string".into(),
+                        })
+                    }
                 }
             }
             b'$' => {
@@ -137,7 +148,10 @@ fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, EtclError> {
                         j += 1;
                     }
                     if j == start {
-                        return Err(EtclError { at: i, message: "`$` needs a name".into() });
+                        return Err(EtclError {
+                            at: i,
+                            message: "`$` needs a name".into(),
+                        });
                     }
                     path.push(s[start..j].to_string());
                     if b.get(j) == Some(&b'.') {
@@ -154,9 +168,10 @@ fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, EtclError> {
                 while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
                     i += 1;
                 }
-                let n: f64 = s[start..i]
-                    .parse()
-                    .map_err(|_| EtclError { at: start, message: "bad number".into() })?;
+                let n: f64 = s[start..i].parse().map_err(|_| EtclError {
+                    at: start,
+                    message: "bad number".into(),
+                })?;
                 out.push((start, Tok::Num(n)));
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
@@ -167,7 +182,10 @@ fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, EtclError> {
                 out.push((start, Tok::Ident(s[start..i].to_lowercase())));
             }
             _ => {
-                return Err(EtclError { at: i, message: format!("unexpected byte `{}`", c as char) })
+                return Err(EtclError {
+                    at: i,
+                    message: format!("unexpected byte `{}`", c as char),
+                })
             }
         }
     }
@@ -198,14 +216,23 @@ impl EtclFilter {
     pub fn compile(source: &str) -> Result<Self, EtclError> {
         let toks = tokenize(source)?;
         if toks.is_empty() {
-            return Err(EtclError { at: 0, message: "empty constraint".into() });
+            return Err(EtclError {
+                at: 0,
+                message: "empty constraint".into(),
+            });
         }
         let mut p = P { toks, pos: 0 };
         let root = p.or()?;
         if p.pos != p.toks.len() {
-            return Err(EtclError { at: p.at(), message: "trailing tokens".into() });
+            return Err(EtclError {
+                at: p.at(),
+                message: "trailing tokens".into(),
+            });
         }
-        Ok(EtclFilter { root, source: source.to_string() })
+        Ok(EtclFilter {
+            root,
+            source: source.to_string(),
+        })
     }
 
     /// The original constraint text.
@@ -226,7 +253,10 @@ struct P {
 
 impl P {
     fn at(&self) -> usize {
-        self.toks.get(self.pos).map(|(i, _)| *i).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.pos)
+            .map(|(i, _)| *i)
+            .unwrap_or(usize::MAX)
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -347,7 +377,12 @@ impl P {
         if self.eat_ident("exist") {
             match self.bump() {
                 Some(Tok::Var(path)) => return Ok(Node::Exist(path)),
-                _ => return Err(EtclError { at: self.at(), message: "exist needs a $variable".into() }),
+                _ => {
+                    return Err(EtclError {
+                        at: self.at(),
+                        message: "exist needs a $variable".into(),
+                    })
+                }
             }
         }
         match self.bump() {
@@ -360,7 +395,10 @@ impl P {
                 let e = self.or()?;
                 match self.bump() {
                     Some(Tok::RParen) => Ok(e),
-                    _ => Err(EtclError { at: self.at(), message: "expected `)`".into() }),
+                    _ => Err(EtclError {
+                        at: self.at(),
+                        message: "expected `)`".into(),
+                    }),
                 }
             }
             other => Err(EtclError {
@@ -465,10 +503,7 @@ mod tests {
             .with_field("site", "iu")
             .with_field("load", 0.75)
             .with_field("tags", Any::Sequence(vec!["hpc".into(), "prod".into()]))
-            .with_field(
-                "meta",
-                Any::Struct(vec![("owner".into(), "huang".into())]),
-            )
+            .with_field("meta", Any::Struct(vec![("owner".into(), "huang".into())]))
     }
 
     fn m(src: &str) -> bool {
@@ -520,7 +555,10 @@ mod tests {
     fn exist_and_missing_variables() {
         assert!(m("exist $severity"));
         assert!(!m("exist $nonexistent"));
-        assert!(!m("$nonexistent == 1"), "missing variable is null, never equal");
+        assert!(
+            !m("$nonexistent == 1"),
+            "missing variable is null, never equal"
+        );
         assert!(m("not exist $nonexistent"));
     }
 

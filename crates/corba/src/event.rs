@@ -12,11 +12,12 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 type PushCallback = Arc<dyn Fn(&Any) + Send + Sync>;
+type PullQueue = Arc<Mutex<VecDeque<Any>>>;
 
 #[derive(Default)]
 struct ChannelInner {
     push_consumers: Mutex<Vec<(u64, PushCallback)>>,
-    pull_queues: Mutex<Vec<(u64, Arc<Mutex<VecDeque<Any>>>)>>,
+    pull_queues: Mutex<Vec<(u64, PullQueue)>>,
     next_id: Mutex<u64>,
     delivered: Mutex<u64>,
 }
@@ -35,12 +36,16 @@ impl EventChannel {
 
     /// The consumer-side admin object.
     pub fn for_consumers(&self) -> ConsumerAdmin {
-        ConsumerAdmin { inner: Arc::clone(&self.inner) }
+        ConsumerAdmin {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// The supplier-side admin object.
     pub fn for_suppliers(&self) -> SupplierAdmin {
-        SupplierAdmin { inner: Arc::clone(&self.inner) }
+        SupplierAdmin {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// Total events delivered (push callbacks fired + pull enqueues).
@@ -62,7 +67,10 @@ pub struct ConsumerAdmin {
 impl ConsumerAdmin {
     /// Obtain a proxy that will *push* events to a connected consumer.
     pub fn obtain_push_supplier(&self) -> ProxyPushSupplier {
-        ProxyPushSupplier { inner: Arc::clone(&self.inner), id: Mutex::new(None) }
+        ProxyPushSupplier {
+            inner: Arc::clone(&self.inner),
+            id: Mutex::new(None),
+        }
     }
 
     /// Obtain a proxy the consumer will *pull* events from.
@@ -74,7 +82,11 @@ impl ConsumerAdmin {
         };
         let queue = Arc::new(Mutex::new(VecDeque::new()));
         self.inner.pull_queues.lock().push((id, Arc::clone(&queue)));
-        ProxyPullSupplier { inner: Arc::clone(&self.inner), id, queue }
+        ProxyPullSupplier {
+            inner: Arc::clone(&self.inner),
+            id,
+            queue,
+        }
     }
 }
 
@@ -86,7 +98,9 @@ pub struct SupplierAdmin {
 impl SupplierAdmin {
     /// Obtain a proxy the supplier pushes events *into*.
     pub fn obtain_push_consumer(&self) -> ProxyPushConsumer {
-        ProxyPushConsumer { inner: Arc::clone(&self.inner) }
+        ProxyPushConsumer {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -106,7 +120,10 @@ impl ProxyPushSupplier {
             *n
         };
         *self.id.lock() = Some(id);
-        self.inner.push_consumers.lock().push((id, Arc::new(callback)));
+        self.inner
+            .push_consumers
+            .lock()
+            .push((id, Arc::new(callback)));
     }
 
     /// Disconnect.

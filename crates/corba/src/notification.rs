@@ -86,7 +86,9 @@ impl QosProperty {
 
     /// Look up by name.
     pub fn by_name(name: &str) -> Option<Self> {
-        STANDARD_QOS_PROPERTIES.into_iter().find(|p| p.name() == name)
+        STANDARD_QOS_PROPERTIES
+            .into_iter()
+            .find(|p| p.name() == name)
     }
 }
 
@@ -122,17 +124,25 @@ impl ConsumerEntry {
     }
 
     fn qos_number(&self, prop: QosProperty) -> Option<i64> {
-        self.qos.iter().rev().find(|(p, _)| *p == prop).and_then(|(_, v)| match v {
-            QosValue::Number(n) => Some(*n),
-            _ => None,
-        })
+        self.qos
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == prop)
+            .and_then(|(_, v)| match v {
+                QosValue::Number(n) => Some(*n),
+                _ => None,
+            })
     }
 
     fn qos_name(&self, prop: QosProperty) -> Option<&str> {
-        self.qos.iter().rev().find(|(p, _)| *p == prop).and_then(|(_, v)| match v {
-            QosValue::Name(n) => Some(n.as_str()),
-            _ => None,
-        })
+        self.qos
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == prop)
+            .and_then(|(_, v)| match v {
+                QosValue::Name(n) => Some(n.as_str()),
+                _ => None,
+            })
     }
 }
 
@@ -188,7 +198,10 @@ impl NotificationChannel {
             queue: None,
             qos: self.inner.channel_qos.lock().clone(),
         });
-        StructuredProxySupplier { inner: Arc::clone(&self.inner), id }
+        StructuredProxySupplier {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
     }
 
     /// Connect a pull consumer; events queue at the proxy.
@@ -203,7 +216,10 @@ impl NotificationChannel {
             qos: self.inner.channel_qos.lock().clone(),
         });
         (
-            StructuredProxySupplier { inner: Arc::clone(&self.inner), id },
+            StructuredProxySupplier {
+                inner: Arc::clone(&self.inner),
+                id,
+            },
             StructuredPull { queue },
         )
     }
@@ -232,7 +248,10 @@ impl NotificationChannel {
                 // MaxEventsPerConsumer + DiscardPolicy.
                 if let Some(max) = c.qos_number(QosProperty::MaxEventsPerConsumer) {
                     if q.len() as i64 >= max {
-                        match c.qos_name(QosProperty::DiscardPolicy).unwrap_or("FifoOrder") {
+                        match c
+                            .qos_name(QosProperty::DiscardPolicy)
+                            .unwrap_or("FifoOrder")
+                        {
                             // Default FIFO discard: oldest goes.
                             "LifoOrder" => {
                                 q.pop_back();
@@ -343,7 +362,8 @@ mod tests {
         let got: Arc<Mutex<Vec<i32>>> = Arc::default();
         let g = Arc::clone(&got);
         let proxy = ch.connect_structured_push_consumer(move |e| {
-            g.lock().push(e.lookup("severity").unwrap().as_f64().unwrap() as i32);
+            g.lock()
+                .push(e.lookup("severity").unwrap().as_f64().unwrap() as i32);
         });
         proxy.add_filter(EtclFilter::compile("$severity >= 3").unwrap());
         ch.push_structured_event(&ev(1));
@@ -379,7 +399,11 @@ mod tests {
     fn all_13_qos_properties_understood() {
         let ch = NotificationChannel::new();
         for p in STANDARD_QOS_PROPERTIES {
-            assert!(ch.set_qos(p.name(), QosValue::Number(1)).is_ok(), "{}", p.name());
+            assert!(
+                ch.set_qos(p.name(), QosValue::Number(1)).is_ok(),
+                "{}",
+                p.name()
+            );
         }
         assert_eq!(ch.get_qos().len(), 13);
         assert!(ch.set_qos("MadeUpProperty", QosValue::Flag(true)).is_err());
@@ -389,13 +413,18 @@ mod tests {
     fn max_events_per_consumer_discards() {
         let ch = NotificationChannel::new();
         let (proxy, pull) = ch.connect_structured_pull_consumer();
-        proxy.set_qos("MaxEventsPerConsumer", QosValue::Number(2)).unwrap();
+        proxy
+            .set_qos("MaxEventsPerConsumer", QosValue::Number(2))
+            .unwrap();
         for s in 1..=4 {
             ch.push_structured_event(&ev(s));
         }
         assert_eq!(pull.pending(), 2);
         // Default discard drops the oldest.
-        assert_eq!(pull.try_pull().unwrap().lookup("severity"), Some(Any::Long(3)));
+        assert_eq!(
+            pull.try_pull().unwrap().lookup("severity"),
+            Some(Any::Long(3))
+        );
         assert_eq!(ch.dropped_count(), 2);
     }
 
@@ -403,7 +432,9 @@ mod tests {
     fn priority_order_policy() {
         let ch = NotificationChannel::new();
         let (proxy, pull) = ch.connect_structured_pull_consumer();
-        proxy.set_qos("OrderPolicy", QosValue::Name("PriorityOrder".into())).unwrap();
+        proxy
+            .set_qos("OrderPolicy", QosValue::Name("PriorityOrder".into()))
+            .unwrap();
         let mk = |p: i32| StructuredEvent::new("d", "t", "e").with_field("priority", p);
         ch.push_structured_event(&mk(1));
         ch.push_structured_event(&mk(9));
@@ -426,7 +457,10 @@ mod tests {
 
     #[test]
     fn qos_name_lookup() {
-        assert_eq!(QosProperty::by_name("OrderPolicy"), Some(QosProperty::OrderPolicy));
+        assert_eq!(
+            QosProperty::by_name("OrderPolicy"),
+            Some(QosProperty::OrderPolicy)
+        );
         assert_eq!(QosProperty::by_name("Nope"), None);
         assert_eq!(STANDARD_QOS_PROPERTIES.len(), 13);
     }

@@ -82,7 +82,10 @@ impl StructuredEvent {
             ("domain_name".into(), Any::String(self.domain_name.clone())),
             ("type_name".into(), Any::String(self.type_name.clone())),
             ("event_name".into(), Any::String(self.event_name.clone())),
-            ("filterable_body".into(), Any::Struct(self.filterable_body.clone())),
+            (
+                "filterable_body".into(),
+                Any::Struct(self.filterable_body.clone()),
+            ),
             ("remainder".into(), self.remainder.clone()),
         ])
     }

@@ -12,15 +12,16 @@ fn any_strategy() -> impl Strategy<Value = Any> {
         any::<bool>().prop_map(Any::Boolean),
         any::<i32>().prop_map(Any::Long),
         any::<i64>().prop_map(Any::LongLong),
-        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan()).prop_map(Any::Double),
+        any::<f64>()
+            .prop_filter("NaN breaks equality", |f| !f.is_nan())
+            .prop_map(Any::Double),
         "[a-zA-Z0-9 _#€é]{0,16}".prop_map(Any::String),
     ];
     leaf.prop_recursive(3, 32, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(Any::Sequence),
-            prop::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|fields| {
-                Any::Struct(fields)
-            }),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(|fields| { Any::Struct(fields) }),
         ]
     })
 }

@@ -66,7 +66,11 @@ impl JmsBackend {
     /// Wrap a JMS provider, using `topic` as the relay destination.
     pub fn new(provider: JmsProvider, topic: &str) -> Self {
         let subscription = provider.create_durable_subscriber(topic, "ws-messenger-relay", None);
-        JmsBackend { provider, subscription, topic: topic.to_string() }
+        JmsBackend {
+            provider,
+            subscription,
+            topic: topic.to_string(),
+        }
     }
 
     fn encode(event: &InternalEvent) -> JmsMessage {
@@ -98,12 +102,17 @@ impl JmsBackend {
             _ => None,
         };
         let origin = match m.resolve("wsmOrigin") {
-            wsm_jms::JmsValue::String(s) => {
-                crate::detect::SpecDialect::ALL.into_iter().find(|d| d.label() == s)
-            }
+            wsm_jms::JmsValue::String(s) => crate::detect::SpecDialect::ALL
+                .into_iter()
+                .find(|d| d.label() == s),
             _ => None,
         };
-        Some(InternalEvent { topic, payload, producer, origin })
+        Some(InternalEvent {
+            topic,
+            payload,
+            producer,
+            origin,
+        })
     }
 }
 
@@ -150,7 +159,9 @@ mod tests {
         let b = JmsBackend::new(provider.clone(), "wsm.relay");
         let ev = InternalEvent::on_topic("storms/hail", Element::local("alert").with_text("x"))
             .from_producer(wsm_addressing::EndpointReference::new("http://pub"))
-            .with_origin(crate::detect::SpecDialect::Wsn(wsm_notification::WsnVersion::V1_3));
+            .with_origin(crate::detect::SpecDialect::Wsn(
+                wsm_notification::WsnVersion::V1_3,
+            ));
         b.publish(ev.clone());
         // The event really sits in the JMS provider.
         assert_eq!(provider.subscriber_count("wsm.relay"), 1);
@@ -163,7 +174,8 @@ mod tests {
     #[test]
     fn jms_backend_preserves_payload_markup() {
         let b = JmsBackend::new(JmsProvider::new(), "t");
-        let payload = wsm_xml::parse(r#"<e:alert xmlns:e="urn:wx" sev="4">h &amp; m</e:alert>"#).unwrap();
+        let payload =
+            wsm_xml::parse(r#"<e:alert xmlns:e="urn:wx" sev="4">h &amp; m</e:alert>"#).unwrap();
         b.publish(InternalEvent::raw(payload.clone()));
         assert_eq!(b.drain()[0].payload, payload);
     }

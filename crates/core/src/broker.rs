@@ -1,12 +1,14 @@
 //! The WS-Messenger broker itself.
 
 use crate::backend::{InMemoryBackend, MessagingBackend};
+use crate::delivery::{self, DeliveryEngine, PushJob, StatsDelta};
 use crate::detect::SpecDialect;
 use crate::event::InternalEvent;
 use crate::registry::{BrokerDeliveryMode, Registry, UnifiedFilters};
-use crate::render::{render_batch, render_notification};
+use crate::render::{render_batch, render_notification_cached, RenderCache};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use wsm_addressing::EndpointReference;
 use wsm_eventing::{EndStatus, Expires, WseCodec, WseVersion};
@@ -34,6 +36,19 @@ pub struct MediationStats {
     pub retried: u64,
 }
 
+impl MediationStats {
+    /// Merge one publication's accumulated delivery outcomes. Called
+    /// once per publish, replacing the seed engine's per-message lock
+    /// round-trips.
+    fn merge(&mut self, delta: &StatsDelta) {
+        self.delivered_wse += delta.delivered_wse;
+        self.delivered_wsn += delta.delivered_wsn;
+        self.mediated += delta.mediated;
+        self.failed += delta.failed;
+        self.retried += delta.retried;
+    }
+}
+
 struct MessengerInner {
     net: Network,
     uri: String,
@@ -44,10 +59,15 @@ struct MessengerInner {
     current: Mutex<HashMap<String, Element>>,
     properties: Mutex<Element>,
     stats: Mutex<MediationStats>,
-    publisher_registrations: Mutex<u64>,
+    publisher_registrations: AtomicU64,
     /// Delivery attempts per notification before the subscription is
     /// dropped (the broker's "reliable" knob; 1 = no retry).
-    delivery_attempts: Mutex<u32>,
+    delivery_attempts: AtomicU32,
+    /// Worker threads for push fan-out; 0 or 1 delivers sequentially.
+    fanout_workers: AtomicUsize,
+    /// Persistent push worker pool (threads spawn lazily on the first
+    /// large-enough fan-out).
+    engine: DeliveryEngine,
 }
 
 /// The dual-specification mediation broker (paper §VII).
@@ -64,7 +84,11 @@ impl WsMessenger {
 
     /// Start a broker over an explicit pub/sub backend (e.g.
     /// [`crate::backend::JmsBackend`] wrapping a JMS provider).
-    pub fn start_with_backend(net: &Network, uri: &str, backend: Arc<dyn MessagingBackend>) -> Self {
+    pub fn start_with_backend(
+        net: &Network,
+        uri: &str,
+        backend: Arc<dyn MessagingBackend>,
+    ) -> Self {
         let inner = Arc::new(MessengerInner {
             net: net.clone(),
             uri: uri.to_string(),
@@ -75,13 +99,22 @@ impl WsMessenger {
             current: Mutex::new(HashMap::new()),
             properties: Mutex::new(Element::local("ProducerProperties")),
             stats: Mutex::new(MediationStats::default()),
-            publisher_registrations: Mutex::new(0),
-            delivery_attempts: Mutex::new(1),
+            publisher_registrations: AtomicU64::new(0),
+            delivery_attempts: AtomicU32::new(1),
+            fanout_workers: AtomicUsize::new(delivery::default_workers()),
+            engine: DeliveryEngine::new(),
         });
-        net.register(uri, Arc::new(MessengerHandler { inner: Arc::clone(&inner) }));
+        net.register(
+            uri,
+            Arc::new(MessengerHandler {
+                inner: Arc::clone(&inner),
+            }),
+        );
         net.register(
             inner.manager_uri.clone(),
-            Arc::new(ManagerHandler { inner: Arc::clone(&inner) }),
+            Arc::new(ManagerHandler {
+                inner: Arc::clone(&inner),
+            }),
         );
         WsMessenger { inner }
     }
@@ -103,7 +136,7 @@ impl WsMessenger {
 
     /// Number of registered publishers.
     pub fn publisher_registration_count(&self) -> u64 {
-        *self.inner.publisher_registrations.lock()
+        self.inner.publisher_registrations.load(Ordering::Relaxed)
     }
 
     /// Mediation statistics so far.
@@ -117,7 +150,18 @@ impl WsMessenger {
     /// it absorbs injected loss, which is how the tests model flaky
     /// consumers.
     pub fn set_delivery_attempts(&self, attempts: u32) {
-        *self.inner.delivery_attempts.lock() = attempts.max(1);
+        self.inner
+            .delivery_attempts
+            .store(attempts.max(1), Ordering::Relaxed);
+    }
+
+    /// Set the push fan-out worker count. `0` or `1` delivers
+    /// sequentially on the publishing thread; the default is one worker
+    /// per available core. Small fan-outs are delivered inline either
+    /// way — the pool only spins up when a publication has enough push
+    /// jobs to amortize it.
+    pub fn set_fanout_workers(&self, workers: usize) {
+        self.inner.fanout_workers.store(workers, Ordering::Relaxed);
     }
 
     /// The backend name.
@@ -133,7 +177,9 @@ impl WsMessenger {
     /// Set a broker/producer property (ProducerProperties filters).
     pub fn set_property(&self, name: &str, value: &str) {
         let mut props = self.inner.properties.lock();
-        props.children.retain(|c| c.as_element().map(|e| e.name.local != name).unwrap_or(true));
+        props
+            .children
+            .retain(|c| c.as_element().map(|e| e.name.local != name).unwrap_or(true));
         props.push(Element::local(name).with_text(value));
     }
 
@@ -176,7 +222,10 @@ impl WsMessenger {
 fn ingest(inner: &MessengerInner, event: InternalEvent) -> usize {
     if let Some(t) = &event.topic {
         inner.topic_space.lock().add(t);
-        inner.current.lock().insert(t.to_string(), event.payload.clone());
+        inner
+            .current
+            .lock()
+            .insert(t.to_string(), event.payload.clone());
     }
     inner.stats.lock().published += 1;
     inner.backend.publish(event);
@@ -191,31 +240,21 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent) -> usize {
     let now = inner.net.clock().now_ms();
     inner.registry.sweep_expired(now);
     let props = inner.properties.lock().clone();
+    let cache = RenderCache::new(event);
     let mut delivered = 0;
+    let mut jobs: Vec<PushJob> = Vec::new();
     for sub in inner.registry.matching(event, Some(&props), now) {
         match sub.mode {
             BrokerDeliveryMode::Push => {
                 let epr = subscription_epr(inner, &sub.id, sub.spec);
-                let env = render_notification(&sub, event, &inner.uri, &epr);
-                match send_with_retry(inner, &sub.consumer.address, env) {
-                    Ok(()) => {
-                        delivered += 1;
-                        let mut stats = inner.stats.lock();
-                        match sub.spec {
-                            SpecDialect::Wse(_) => stats.delivered_wse += 1,
-                            SpecDialect::Wsn(_) => stats.delivered_wsn += 1,
-                        }
-                        if let Some(origin) = event.origin {
-                            if family(origin) != family(sub.spec) {
-                                stats.mediated += 1;
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        inner.stats.lock().failed += 1;
-                        drop_failed(inner, &sub.id);
-                    }
-                }
+                let envelope = render_notification_cached(&cache, &sub, event, &inner.uri, &epr);
+                jobs.push(PushJob {
+                    sub_id: sub.id,
+                    address: sub.consumer.address,
+                    envelope,
+                    wse: matches!(sub.spec, SpecDialect::Wse(_)),
+                    mediated: event.origin.is_some_and(|o| family(o) != family(sub.spec)),
+                });
             }
             BrokerDeliveryMode::Pull => {
                 if inner.registry.queue_event(&sub.id, event.payload.clone()) {
@@ -223,36 +262,27 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent) -> usize {
                 }
             }
             BrokerDeliveryMode::Wrapped => {
-                if inner.registry.buffer_wrapped(&sub.id, event.payload.clone()) {
+                if inner
+                    .registry
+                    .buffer_wrapped(&sub.id, event.payload.clone())
+                {
                     delivered += 1;
                 }
             }
         }
     }
-    delivered
-}
-
-/// One-shot or retried send, per the configured attempt budget.
-fn send_with_retry(
-    inner: &MessengerInner,
-    to: &str,
-    env: Envelope,
-) -> Result<(), wsm_transport::TransportError> {
-    let attempts = *inner.delivery_attempts.lock();
-    let mut last = None;
-    for i in 0..attempts {
-        match inner.net.send(to, env.clone()) {
-            Ok(()) => {
-                if i > 0 {
-                    inner.stats.lock().retried += i as u64;
-                }
-                return Ok(());
-            }
-            Err(e) => last = Some(e),
-        }
+    let report = inner.engine.execute(
+        &inner.net,
+        inner.delivery_attempts.load(Ordering::Relaxed),
+        inner.fanout_workers.load(Ordering::Relaxed),
+        jobs,
+    );
+    delivered += report.delivered;
+    inner.stats.lock().merge(&report.delta);
+    for id in &report.failed_subs {
+        drop_failed(inner, id);
     }
-    inner.stats.lock().retried += (attempts - 1) as u64;
-    Err(last.expect("attempts >= 1"))
+    delivered
 }
 
 fn family(d: SpecDialect) -> u8 {
@@ -290,27 +320,39 @@ fn subscription_epr(inner: &MessengerInner, id: &str, spec: SpecDialect) -> Endp
         SpecDialect::Wse(_) => epr,
         SpecDialect::Wsn(v) => epr.with_reference(
             v.wsa(),
-            Element::ns(v.ns(), wsm_notification::messages::SUBSCRIPTION_ID_LOCAL, "wsnt")
-                .with_text(id),
+            Element::ns(
+                v.ns(),
+                wsm_notification::messages::SUBSCRIPTION_ID_LOCAL,
+                "wsnt",
+            )
+            .with_text(id),
         ),
     }
 }
 
 // --------------------------------------------------- subscribe paths
 
-fn wse_subscribe(inner: &MessengerInner, v: WseVersion, request: &Envelope) -> Result<Envelope, Fault> {
+fn wse_subscribe(
+    inner: &MessengerInner,
+    v: WseVersion,
+    request: &Envelope,
+) -> Result<Envelope, Fault> {
     let codec = WseCodec::new(v);
     let req = codec.parse_subscribe(request)?;
     let mut filters = UnifiedFilters::default();
     if let Some(f) = &req.filter {
         if f.dialect != wsm_eventing::XPATH_DIALECT {
-            return Err(Fault::sender("the requested filter dialect is not supported")
-                .with_subcode("wse:FilteringNotSupported"));
+            return Err(
+                Fault::sender("the requested filter dialect is not supported")
+                    .with_subcode("wse:FilteringNotSupported"),
+            );
         }
-        filters.content.push(wsm_xpath::XPath::compile(&f.expression).map_err(|e| {
-            Fault::sender(format!("invalid XPath filter: {e}"))
-                .with_subcode("wse:FilteringNotSupported")
-        })?);
+        filters
+            .content
+            .push(wsm_xpath::XPath::compile(&f.expression).map_err(|e| {
+                Fault::sender(format!("invalid XPath filter: {e}"))
+                    .with_subcode("wse:FilteringNotSupported")
+            })?);
     }
     let mode = match req.mode {
         wsm_eventing::DeliveryMode::Push => BrokerDeliveryMode::Push,
@@ -337,7 +379,11 @@ fn wse_subscribe(inner: &MessengerInner, v: WseVersion, request: &Envelope) -> R
     Ok(codec.subscribe_response(&handle))
 }
 
-fn wsn_subscribe(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Result<Envelope, Fault> {
+fn wsn_subscribe(
+    inner: &MessengerInner,
+    v: WsnVersion,
+    request: &Envelope,
+) -> Result<Envelope, Fault> {
     let codec = WsnCodec::new(v);
     let req = codec.parse_subscribe(request)?;
     let mut filters = UnifiedFilters::default();
@@ -345,20 +391,27 @@ fn wsn_subscribe(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> R
         match f {
             WsnFilter::Topic(t) => filters.topics.push(t.clone()),
             WsnFilter::ProducerProperties(x) => {
-                filters.producer_props.push(wsm_xpath::XPath::compile(x).map_err(|e| {
-                    Fault::sender(format!("invalid ProducerProperties filter: {e}"))
-                        .with_subcode("wsnt:InvalidFilterFault")
-                })?)
+                filters
+                    .producer_props
+                    .push(wsm_xpath::XPath::compile(x).map_err(|e| {
+                        Fault::sender(format!("invalid ProducerProperties filter: {e}"))
+                            .with_subcode("wsnt:InvalidFilterFault")
+                    })?)
             }
-            WsnFilter::MessageContent { dialect, expression } => {
+            WsnFilter::MessageContent {
+                dialect,
+                expression,
+            } => {
                 if dialect != wsm_notification::XPATH_DIALECT {
                     return Err(Fault::sender("unsupported MessageContent dialect")
                         .with_subcode("wsnt:InvalidFilterFault"));
                 }
-                filters.content.push(wsm_xpath::XPath::compile(expression).map_err(|e| {
-                    Fault::sender(format!("invalid MessageContent filter: {e}"))
-                        .with_subcode("wsnt:InvalidFilterFault")
-                })?)
+                filters
+                    .content
+                    .push(wsm_xpath::XPath::compile(expression).map_err(|e| {
+                        Fault::sender(format!("invalid MessageContent filter: {e}"))
+                            .with_subcode("wsnt:InvalidFilterFault")
+                    })?)
             }
         }
     }
@@ -456,7 +509,10 @@ impl SoapHandler for MessengerHandler {
                         };
                         if let Some(t) = &ev.topic {
                             inner.topic_space.lock().add(t);
-                            inner.current.lock().insert(t.to_string(), ev.payload.clone());
+                            inner
+                                .current
+                                .lock()
+                                .insert(t.to_string(), ev.payload.clone());
                         }
                         inner.stats.lock().published += 1;
                         inner.backend.publish(ev);
@@ -486,11 +542,10 @@ impl SoapHandler for MessengerHandler {
                             }
                         }
                     }
-                    let n = {
-                        let mut c = inner.publisher_registrations.lock();
-                        *c += 1;
-                        *c
-                    };
+                    let n = inner
+                        .publisher_registrations
+                        .fetch_add(1, Ordering::Relaxed)
+                        + 1;
                     let reg = EndpointReference::new(format!("{}/registrations/{n}", inner.uri));
                     return Ok(Some(codec.register_publisher_response(&reg)));
                 }
@@ -555,7 +610,11 @@ impl SoapHandler for ManagerHandler {
     }
 }
 
-fn wse_manage(inner: &MessengerInner, v: WseVersion, request: &Envelope) -> Result<Envelope, Fault> {
+fn wse_manage(
+    inner: &MessengerInner,
+    v: WseVersion,
+    request: &Envelope,
+) -> Result<Envelope, Fault> {
     let codec = WseCodec::new(v);
     let ns = v.ns();
     let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
@@ -568,8 +627,12 @@ fn wse_manage(inner: &MessengerInner, v: WseVersion, request: &Envelope) -> Resu
 
     if body.name.is(ns, "Renew") {
         inner.registry.get(&id).ok_or_else(unknown)?;
-        let requested = body.child_ns(ns, "Expires").and_then(|e| Expires::parse(&e.text()));
-        inner.registry.set_expiry(&id, requested.map(|e| e.absolute(now)));
+        let requested = body
+            .child_ns(ns, "Expires")
+            .and_then(|e| Expires::parse(&e.text()));
+        inner
+            .registry
+            .set_expiry(&id, requested.map(|e| e.absolute(now)));
         Ok(codec.management_response("Renew", requested))
     } else if body.name.is(ns, "GetStatus") {
         if !v.has_get_status() {
@@ -582,15 +645,25 @@ fn wse_manage(inner: &MessengerInner, v: WseVersion, request: &Envelope) -> Resu
         Ok(codec.management_response("Unsubscribe", None))
     } else if body.name.is(ns, "Pull") {
         inner.registry.get(&id).ok_or_else(unknown)?;
-        let max = body.attr("MaxElements").and_then(|m| m.parse().ok()).unwrap_or(usize::MAX);
+        let max = body
+            .attr("MaxElements")
+            .and_then(|m| m.parse().ok())
+            .unwrap_or(usize::MAX);
         let events = inner.registry.drain_queue(&id, max);
         Ok(codec.pull_response(&events))
     } else {
-        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+        Err(Fault::sender(format!(
+            "unsupported operation {}",
+            body.name.clark()
+        )))
     }
 }
 
-fn wsn_manage(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Result<Envelope, Fault> {
+fn wsn_manage(
+    inner: &MessengerInner,
+    v: WsnVersion,
+    request: &Envelope,
+) -> Result<Envelope, Fault> {
     let codec = WsnCodec::new(v);
     let ns = v.ns();
     let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
@@ -599,8 +672,10 @@ fn wsn_manage(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Resu
         .ok_or_else(|| Fault::sender("no SubscriptionId in request"))?;
     let now = inner.net.clock().now_ms();
     inner.registry.sweep_expired(now);
-    let unknown =
-        || Fault::sender(format!("unknown subscription {id}")).with_subcode("wsnt:ResourceUnknownFault");
+    let unknown = || {
+        Fault::sender(format!("unknown subscription {id}"))
+            .with_subcode("wsnt:ResourceUnknownFault")
+    };
 
     if body.name.is(ns, "Renew") {
         if !v.has_native_renew_unsubscribe() {
@@ -631,8 +706,13 @@ fn wsn_manage(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Resu
         Ok(codec.management_response("ResumeSubscription"))
     } else if body.name.is(wsm_wsrf::WSRF_RL_NS, "Destroy") {
         inner.registry.remove(&id).ok_or_else(unknown)?;
-        Ok(Envelope::new(wsm_soap::SoapVersion::V11)
-            .with_body(Element::ns(wsm_wsrf::WSRF_RL_NS, "DestroyResponse", "wsrf-rl")))
+        Ok(
+            Envelope::new(wsm_soap::SoapVersion::V11).with_body(Element::ns(
+                wsm_wsrf::WSRF_RL_NS,
+                "DestroyResponse",
+                "wsrf-rl",
+            )),
+        )
     } else if body.name.is(wsm_wsrf::WSRF_RL_NS, "SetTerminationTime") {
         inner.registry.get(&id).ok_or_else(unknown)?;
         let t = body
@@ -642,7 +722,12 @@ fn wsn_manage(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Resu
         let abs = t.absolute(now);
         inner.registry.set_expiry(&id, Some(abs));
         Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(
-            Element::ns(wsm_wsrf::WSRF_RL_NS, "SetTerminationTimeResponse", "wsrf-rl").with_child(
+            Element::ns(
+                wsm_wsrf::WSRF_RL_NS,
+                "SetTerminationTimeResponse",
+                "wsrf-rl",
+            )
+            .with_child(
                 Element::ns(wsm_wsrf::WSRF_RL_NS, "NewTerminationTime", "wsrf-rl")
                     .with_text(wsm_xml::xsd::format_datetime(abs)),
             ),
@@ -651,11 +736,15 @@ fn wsn_manage(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Resu
         let sub = inner.registry.get(&id).ok_or_else(unknown)?;
         let wanted = body.text();
         let local = wanted.trim().rsplit(':').next().unwrap_or("");
-        let mut resp = Element::ns(wsm_wsrf::WSRF_RP_NS, "GetResourcePropertyResponse", "wsrf-rp");
+        let mut resp = Element::ns(
+            wsm_wsrf::WSRF_RP_NS,
+            "GetResourcePropertyResponse",
+            "wsrf-rp",
+        );
         match local {
-            "Paused" => resp.push(
-                Element::ns(ns, "Paused", "wsnt").with_text(sub.paused.to_string()),
-            ),
+            "Paused" => {
+                resp.push(Element::ns(ns, "Paused", "wsnt").with_text(sub.paused.to_string()))
+            }
             "TerminationTime" => {
                 if let Some(t) = sub.expires_at_ms {
                     resp.push(
@@ -665,12 +754,16 @@ fn wsn_manage(inner: &MessengerInner, v: WsnVersion, request: &Envelope) -> Resu
                 }
             }
             "ConsumerReference" => resp.push(
-                Element::ns(ns, "ConsumerReference", "wsnt").with_text(sub.consumer.address.clone()),
+                Element::ns(ns, "ConsumerReference", "wsnt")
+                    .with_text(sub.consumer.address.clone()),
             ),
             _ => {}
         }
         Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(resp))
     } else {
-        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+        Err(Fault::sender(format!(
+            "unsupported operation {}",
+            body.name.clark()
+        )))
     }
 }

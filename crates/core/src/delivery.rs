@@ -1,0 +1,343 @@
+//! Parallel push fan-out.
+//!
+//! The broker's push deliveries are independent of each other within a
+//! single publication — each matched subscriber gets exactly one
+//! envelope — so the delivery engine may overlap the
+//! serialize-send-retry work across a worker pool without touching the
+//! ordering guarantee: a publication blocks until its whole fan-out
+//! completes, so subscriber *S* always observes a publisher's event *n*
+//! before its event *n+1*.
+//!
+//! The pool is **persistent and lazy**: worker threads spawn the first
+//! time a publication has enough push jobs to amortize them
+//! ([`PARALLEL_THRESHOLD`]) and then park on a crossbeam channel
+//! between publications, so steady-state dispatch costs two channel
+//! hops per message and no thread creation. Small fan-outs (and
+//! `set_fanout_workers(0|1)`) deliver inline on the publishing thread.
+//!
+//! Workers report per-delivery outcomes; the caller merges them into
+//! one [`StatsDelta`] applied to the broker's `MediationStats` once per
+//! publication (instead of one lock round-trip per message), and drops
+//! failed subscriptions *after* the fan-out completes so worker threads
+//! never take registry locks.
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+use std::thread;
+use wsm_soap::Envelope;
+use wsm_transport::Network;
+
+/// How many push jobs a publication needs before the worker pool is
+/// worth its dispatch cost. Below this the engine delivers inline on
+/// the publishing thread.
+const PARALLEL_THRESHOLD: usize = 4;
+
+/// The default worker count: one per available core.
+pub fn default_workers() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One rendered push delivery, ready to send.
+pub struct PushJob {
+    /// Subscription the delivery answers (dropped on failure).
+    pub sub_id: String,
+    /// Consumer address.
+    pub address: String,
+    /// The rendered envelope.
+    pub envelope: Envelope,
+    /// Whether the consumer is WS-Eventing (for the per-family stat).
+    pub wse: bool,
+    /// Whether the delivery crosses specification families.
+    pub mediated: bool,
+}
+
+/// Stat increments accumulated over one fan-out, merged into
+/// [`crate::broker::MediationStats`] by the caller.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StatsDelta {
+    /// Deliveries to WS-Eventing consumers.
+    pub delivered_wse: u64,
+    /// Deliveries to WS-Notification consumers.
+    pub delivered_wsn: u64,
+    /// Deliveries that crossed specification families.
+    pub mediated: u64,
+    /// Deliveries that exhausted their attempt budget.
+    pub failed: u64,
+    /// Retries performed.
+    pub retried: u64,
+}
+
+impl StatsDelta {
+    fn record(&mut self, result: &JobResult) {
+        self.retried += result.retried;
+        if result.ok {
+            if result.wse {
+                self.delivered_wse += 1;
+            } else {
+                self.delivered_wsn += 1;
+            }
+            if result.mediated {
+                self.mediated += 1;
+            }
+        } else {
+            self.failed += 1;
+        }
+    }
+}
+
+/// What one publication's fan-out did.
+pub struct FanOutReport {
+    /// Successful deliveries.
+    pub delivered: usize,
+    /// Stat increments to merge.
+    pub delta: StatsDelta,
+    /// Subscriptions whose delivery failed (to be dropped).
+    pub failed_subs: Vec<String>,
+}
+
+struct JobResult {
+    sub_id: String,
+    ok: bool,
+    retried: u64,
+    wse: bool,
+    mediated: bool,
+}
+
+/// One unit of work queued to the pool: the delivery itself plus the
+/// per-publication results channel it reports into.
+struct Job {
+    push: PushJob,
+    attempts: u32,
+    results: Sender<JobResult>,
+}
+
+/// One-shot or retried send, per the configured attempt budget.
+fn send_with_retry(net: &Network, to: &str, env: &Envelope, attempts: u32) -> (bool, u64) {
+    for i in 0..attempts {
+        if net.send(to, env.clone()).is_ok() {
+            return (true, i as u64);
+        }
+    }
+    (false, (attempts - 1) as u64)
+}
+
+fn run_job(net: &Network, push: &PushJob, attempts: u32) -> JobResult {
+    let (ok, retried) = send_with_retry(net, &push.address, &push.envelope, attempts);
+    JobResult {
+        sub_id: push.sub_id.clone(),
+        ok,
+        retried,
+        wse: push.wse,
+        mediated: push.mediated,
+    }
+}
+
+/// A broker's delivery engine: sequential inline sends for small
+/// batches, a persistent worker pool for large ones.
+pub struct DeliveryEngine {
+    pool: Mutex<Option<Pool>>,
+}
+
+struct Pool {
+    tx: Sender<Job>,
+    size: usize,
+}
+
+impl Default for DeliveryEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeliveryEngine {
+    /// An engine with no worker threads yet (they spawn on demand).
+    pub fn new() -> Self {
+        DeliveryEngine {
+            pool: Mutex::new(None),
+        }
+    }
+
+    /// Execute a publication's push jobs: inline when the batch is
+    /// small or `workers <= 1`, otherwise over the worker pool.
+    pub fn execute(
+        &self,
+        net: &Network,
+        attempts: u32,
+        workers: usize,
+        jobs: Vec<PushJob>,
+    ) -> FanOutReport {
+        let attempts = attempts.max(1);
+        if workers <= 1 || jobs.len() < PARALLEL_THRESHOLD {
+            return execute_sequential(net, attempts, jobs);
+        }
+
+        let tx = self.pool_sender(net, workers);
+        let expected = jobs.len();
+        let (res_tx, res_rx) = bounded::<JobResult>(expected);
+        for push in jobs {
+            tx.send(Job {
+                push,
+                attempts,
+                results: res_tx.clone(),
+            })
+            .expect("delivery pool alive while engine exists");
+        }
+        drop(res_tx);
+
+        let mut delta = StatsDelta::default();
+        let mut failed_subs = Vec::new();
+        let mut delivered = 0;
+        for result in res_rx.iter().take(expected) {
+            delta.record(&result);
+            if result.ok {
+                delivered += 1;
+            } else {
+                failed_subs.push(result.sub_id);
+            }
+        }
+        FanOutReport {
+            delivered,
+            delta,
+            failed_subs,
+        }
+    }
+
+    /// The job queue for a pool of exactly `workers` threads, spawning
+    /// or resizing the pool as needed. On resize the old queue's sender
+    /// drops here, so the old workers drain their queue and exit.
+    fn pool_sender(&self, net: &Network, workers: usize) -> Sender<Job> {
+        let mut pool = self.pool.lock();
+        if let Some(p) = pool.as_ref() {
+            if p.size == workers {
+                return p.tx.clone();
+            }
+        }
+        let (tx, rx) = unbounded::<Job>();
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let net = net.clone();
+            thread::spawn(move || {
+                for job in rx.iter() {
+                    // A dropped receiver just means the publication's
+                    // collector already gave up; nothing to unwind.
+                    let _ = job.results.send(run_job(&net, &job.push, job.attempts));
+                }
+            });
+        }
+        *pool = Some(Pool {
+            tx: tx.clone(),
+            size: workers,
+        });
+        tx
+    }
+}
+
+fn execute_sequential(net: &Network, attempts: u32, jobs: Vec<PushJob>) -> FanOutReport {
+    let mut delta = StatsDelta::default();
+    let mut failed_subs = Vec::new();
+    let mut delivered = 0;
+    for job in jobs {
+        let result = run_job(net, &job, attempts);
+        delta.record(&result);
+        if result.ok {
+            delivered += 1;
+        } else {
+            failed_subs.push(result.sub_id);
+        }
+    }
+    FanOutReport {
+        delivered,
+        delta,
+        failed_subs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_soap::SoapVersion;
+    use wsm_transport::SoapHandler;
+    use wsm_xml::Element;
+
+    struct Counter(parking_lot::Mutex<u32>);
+    impl SoapHandler for Counter {
+        fn handle(&self, _req: Envelope) -> Result<Option<Envelope>, wsm_soap::Fault> {
+            *self.0.lock() += 1;
+            Ok(None)
+        }
+    }
+
+    fn jobs(n: usize, address: &str) -> Vec<PushJob> {
+        (0..n)
+            .map(|i| PushJob {
+                sub_id: format!("wsm-{i}"),
+                address: address.to_string(),
+                envelope: Envelope::new(SoapVersion::V11).with_body(Element::local("e")),
+                wse: i % 2 == 0,
+                mediated: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        for workers in [1, 4] {
+            let net = Network::new();
+            let counter = std::sync::Arc::new(Counter(parking_lot::Mutex::new(0)));
+            net.register("http://c", counter.clone());
+            let engine = DeliveryEngine::new();
+            let report = engine.execute(&net, 1, workers, jobs(16, "http://c"));
+            assert_eq!(report.delivered, 16, "workers={workers}");
+            assert_eq!(report.delta.delivered_wse, 8);
+            assert_eq!(report.delta.delivered_wsn, 8);
+            assert_eq!(report.delta.failed, 0);
+            assert!(report.failed_subs.is_empty());
+            assert_eq!(*counter.0.lock(), 16);
+        }
+    }
+
+    #[test]
+    fn pool_persists_across_publications() {
+        let net = Network::new();
+        let counter = std::sync::Arc::new(Counter(parking_lot::Mutex::new(0)));
+        net.register("http://c", counter.clone());
+        let engine = DeliveryEngine::new();
+        for _ in 0..10 {
+            let report = engine.execute(&net, 1, 4, jobs(8, "http://c"));
+            assert_eq!(report.delivered, 8);
+        }
+        assert_eq!(*counter.0.lock(), 80);
+        assert_eq!(engine.pool.lock().as_ref().map(|p| p.size), Some(4));
+    }
+
+    #[test]
+    fn failures_reported_with_retry_budget() {
+        let net = Network::new();
+        // No handler registered: every send fails.
+        let engine = DeliveryEngine::new();
+        let report = engine.execute(&net, 3, 4, jobs(8, "http://nowhere"));
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.delta.failed, 8);
+        assert_eq!(
+            report.delta.retried, 16,
+            "attempts-1 retries per failed job"
+        );
+        assert_eq!(report.failed_subs.len(), 8);
+    }
+
+    #[test]
+    fn small_batches_stay_inline() {
+        let net = Network::new();
+        let counter = std::sync::Arc::new(Counter(parking_lot::Mutex::new(0)));
+        net.register("http://c", counter.clone());
+        let engine = DeliveryEngine::new();
+        let report = engine.execute(&net, 1, 4, jobs(PARALLEL_THRESHOLD - 1, "http://c"));
+        assert_eq!(report.delivered, PARALLEL_THRESHOLD - 1);
+        assert!(
+            engine.pool.lock().is_none(),
+            "no threads spawned below the threshold"
+        );
+    }
+}

@@ -129,7 +129,10 @@ mod tests {
         let codec = WsnCodec::new(WsnVersion::V1_3);
         let notify = codec.notify(
             &epr(),
-            &[wsm_notification::NotificationMessage::new(None, wsm_xml::Element::local("x"))],
+            &[wsm_notification::NotificationMessage::new(
+                None,
+                wsm_xml::Element::local("x"),
+            )],
         );
         assert_eq!(
             SpecDialect::detect(&notify),
@@ -171,8 +174,8 @@ mod tests {
 
     #[test]
     fn unknown_message_is_none() {
-        let env = Envelope::new(wsm_soap::SoapVersion::V12)
-            .with_body(wsm_xml::Element::local("mystery"));
+        let env =
+            Envelope::new(wsm_soap::SoapVersion::V12).with_body(wsm_xml::Element::local("mystery"));
         assert_eq!(SpecDialect::detect(&env), None);
     }
 

@@ -30,12 +30,22 @@ pub struct InternalEvent {
 impl InternalEvent {
     /// An event with no topic (the WS-Eventing publication shape).
     pub fn raw(payload: Element) -> Self {
-        InternalEvent { topic: None, payload, producer: None, origin: None }
+        InternalEvent {
+            topic: None,
+            payload,
+            producer: None,
+            origin: None,
+        }
     }
 
     /// An event on a topic.
     pub fn on_topic(topic: &str, payload: Element) -> Self {
-        InternalEvent { topic: TopicPath::parse(topic), payload, producer: None, origin: None }
+        InternalEvent {
+            topic: TopicPath::parse(topic),
+            payload,
+            producer: None,
+            origin: None,
+        }
     }
 
     /// Builder-style producer reference.

@@ -56,6 +56,7 @@
 
 pub mod backend;
 pub mod broker;
+pub mod delivery;
 pub mod detect;
 pub mod event;
 pub mod registry;
@@ -63,6 +64,8 @@ pub mod render;
 
 pub use backend::{InMemoryBackend, JmsBackend, MessagingBackend};
 pub use broker::{MediationStats, WsMessenger};
+pub use delivery::{DeliveryEngine, FanOutReport, PushJob, StatsDelta};
 pub use detect::SpecDialect;
 pub use event::InternalEvent;
-pub use registry::{BrokerSubscription, UnifiedFilters};
+pub use registry::{BrokerDeliveryMode, BrokerSubscription, UnifiedFilters};
+pub use render::{render_notification, render_notification_cached, RenderCache};

@@ -105,7 +105,17 @@ impl BrokerSubscription {
     }
 }
 
-/// Thread-safe registry.
+/// Thread-safe registry with a topic index.
+///
+/// Subscriptions are bucketed by how an event's topic can reach them:
+/// by the literal root names their topic expressions open with (the
+/// common case — Simple and Concrete expressions always, Full ones
+/// without a leading wildcard), a side list for leading-wildcard
+/// expressions, and a side list for subscriptions with no topic filter
+/// at all. Matching a topical event then touches only the event root's
+/// bucket plus the two side lists — O(matching subs + wildcards)
+/// instead of O(all subs) — and a topicless event touches only the
+/// no-topic-filter list, since a topic filter never admits one.
 #[derive(Clone, Default)]
 pub struct Registry {
     inner: Arc<Mutex<RegistryInner>>,
@@ -115,6 +125,67 @@ pub struct Registry {
 struct RegistryInner {
     subs: HashMap<String, BrokerSubscription>,
     next_id: u64,
+    /// Root topic name → ids of subscriptions every one of whose topic
+    /// expressions opens with a literal root.
+    by_root: HashMap<String, Vec<String>>,
+    /// Ids with at least one leading-wildcard topic expression.
+    wildcard: Vec<String>,
+    /// Ids with no topic filter at all.
+    unfiltered: Vec<String>,
+}
+
+/// Where a subscription lives in the topic index.
+enum IndexSlot {
+    Roots(Vec<String>),
+    Wildcard,
+    Unfiltered,
+}
+
+fn index_slot(filters: &UnifiedFilters) -> IndexSlot {
+    if filters.topics.is_empty() {
+        return IndexSlot::Unfiltered;
+    }
+    let mut roots: Vec<String> = Vec::new();
+    for expr in &filters.topics {
+        match expr.index_roots() {
+            None => return IndexSlot::Wildcard,
+            Some(rs) => roots.extend(rs.into_iter().map(str::to_string)),
+        }
+    }
+    roots.sort();
+    roots.dedup();
+    IndexSlot::Roots(roots)
+}
+
+impl RegistryInner {
+    fn link(&mut self, id: &str, filters: &UnifiedFilters) {
+        match index_slot(filters) {
+            IndexSlot::Unfiltered => self.unfiltered.push(id.to_string()),
+            IndexSlot::Wildcard => self.wildcard.push(id.to_string()),
+            IndexSlot::Roots(roots) => {
+                for root in roots {
+                    self.by_root.entry(root).or_default().push(id.to_string());
+                }
+            }
+        }
+    }
+
+    fn unlink(&mut self, id: &str, filters: &UnifiedFilters) {
+        match index_slot(filters) {
+            IndexSlot::Unfiltered => self.unfiltered.retain(|x| x != id),
+            IndexSlot::Wildcard => self.wildcard.retain(|x| x != id),
+            IndexSlot::Roots(roots) => {
+                for root in roots {
+                    if let Some(bucket) = self.by_root.get_mut(&root) {
+                        bucket.retain(|x| x != id);
+                        if bucket.is_empty() {
+                            self.by_root.remove(&root);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Registry {
@@ -138,6 +209,7 @@ impl Registry {
         let mut inner = self.inner.lock();
         inner.next_id += 1;
         let id = format!("wsm-{}", inner.next_id);
+        inner.link(&id, &filters);
         inner.subs.insert(
             id.clone(),
             BrokerSubscription {
@@ -164,7 +236,10 @@ impl Registry {
 
     /// Remove one subscription.
     pub fn remove(&self, id: &str) -> Option<BrokerSubscription> {
-        self.inner.lock().subs.remove(id)
+        let mut inner = self.inner.lock();
+        let sub = inner.subs.remove(id)?;
+        inner.unlink(id, &sub.filters);
+        Some(sub)
     }
 
     /// Update expiry. False when unknown.
@@ -192,23 +267,50 @@ impl Registry {
     /// Remove expired subscriptions, returning them.
     pub fn sweep_expired(&self, now_ms: u64) -> Vec<BrokerSubscription> {
         let mut inner = self.inner.lock();
-        let ids: Vec<String> =
-            inner.subs.values().filter(|s| s.expired(now_ms)).map(|s| s.id.clone()).collect();
-        ids.iter().filter_map(|id| inner.subs.remove(id)).collect()
+        let ids: Vec<String> = inner
+            .subs
+            .values()
+            .filter(|s| s.expired(now_ms))
+            .map(|s| s.id.clone())
+            .collect();
+        ids.iter()
+            .filter_map(|id| {
+                let sub = inner.subs.remove(id)?;
+                inner.unlink(id, &sub.filters);
+                Some(sub)
+            })
+            .collect()
     }
 
     /// Live, unpaused subscriptions admitting `event`.
+    ///
+    /// Candidates come from the topic index: for a topical event, the
+    /// bucket of its root plus the wildcard and no-topic-filter side
+    /// lists; for a topicless event, only the no-topic-filter list
+    /// (topic filters never admit topicless events). Each candidate
+    /// still runs the full [`UnifiedFilters::admit`] check, so the
+    /// index is purely a pruning step and cannot change semantics.
     pub fn matching(
         &self,
         event: &InternalEvent,
         producer_properties: Option<&Element>,
         now_ms: u64,
     ) -> Vec<BrokerSubscription> {
-        self.inner
-            .lock()
-            .subs
-            .values()
-            .filter(|s| !s.paused && !s.expired(now_ms) && s.filters.admit(event, producer_properties))
+        let inner = self.inner.lock();
+        let mut candidates: Vec<&str> = Vec::new();
+        if let Some(topic) = &event.topic {
+            if let Some(bucket) = inner.by_root.get(topic.root()) {
+                candidates.extend(bucket.iter().map(String::as_str));
+            }
+            candidates.extend(inner.wildcard.iter().map(String::as_str));
+        }
+        candidates.extend(inner.unfiltered.iter().map(String::as_str));
+        candidates
+            .into_iter()
+            .filter_map(|id| inner.subs.get(id))
+            .filter(|s| {
+                !s.paused && !s.expired(now_ms) && s.filters.admit(event, producer_properties)
+            })
             .cloned()
             .collect()
     }
@@ -295,7 +397,8 @@ mod tests {
         };
         let hot = InternalEvent::on_topic("storms", Element::local("e").with_attr("sev", "5"));
         let cold = InternalEvent::on_topic("storms", Element::local("e").with_attr("sev", "1"));
-        let off_topic = InternalEvent::on_topic("traffic", Element::local("e").with_attr("sev", "5"));
+        let off_topic =
+            InternalEvent::on_topic("traffic", Element::local("e").with_attr("sev", "5"));
         let topicless = InternalEvent::raw(Element::local("e").with_attr("sev", "5"));
         assert!(f.admit(&hot, None));
         assert!(!f.admit(&cold, None));
@@ -339,6 +442,94 @@ mod tests {
         assert_eq!(r.matching(&ev, None, 0).len(), 1);
         r.set_paused(&id, true);
         assert_eq!(r.matching(&ev, None, 0).len(), 0);
+    }
+
+    fn topic_filters(expr: TopicExpression) -> UnifiedFilters {
+        UnifiedFilters {
+            topics: vec![expr],
+            content: vec![],
+            producer_props: vec![],
+        }
+    }
+
+    fn insert_with(r: &Registry, filters: UnifiedFilters) -> String {
+        r.insert(
+            spec(),
+            epr(),
+            None,
+            filters,
+            BrokerDeliveryMode::Push,
+            false,
+            None,
+        )
+    }
+
+    #[test]
+    fn topic_index_routes_each_event_shape() {
+        let r = Registry::new();
+        let rooted = insert_with(
+            &r,
+            topic_filters(TopicExpression::concrete("storms/hail").unwrap()),
+        );
+        let union = insert_with(
+            &r,
+            topic_filters(TopicExpression::full("storms/* | traffic").unwrap()),
+        );
+        let wild = insert_with(&r, topic_filters(TopicExpression::full("//hail").unwrap()));
+        let open = insert_with(&r, UnifiedFilters::default());
+
+        let ids = |ev: &InternalEvent| -> Vec<String> {
+            let mut v: Vec<String> = r.matching(ev, None, 0).into_iter().map(|s| s.id).collect();
+            v.sort();
+            v
+        };
+
+        let hail = InternalEvent::on_topic("storms/hail", Element::local("e"));
+        let mut expect = vec![rooted.clone(), union.clone(), wild.clone(), open.clone()];
+        expect.sort();
+        assert_eq!(ids(&hail), expect);
+
+        let traffic = InternalEvent::on_topic("traffic", Element::local("e"));
+        let mut expect = vec![union.clone(), open.clone()];
+        expect.sort();
+        assert_eq!(ids(&traffic), expect);
+
+        // A root no expression opens with reaches only wildcard +
+        // unfiltered candidates; the wildcard one still must admit.
+        let deep_hail = InternalEvent::on_topic("alerts/hail", Element::local("e"));
+        let mut expect = vec![wild.clone(), open.clone()];
+        expect.sort();
+        assert_eq!(ids(&deep_hail), expect);
+
+        // Topicless events bypass every topic-filtered subscription.
+        let topicless = InternalEvent::raw(Element::local("e"));
+        assert_eq!(ids(&topicless), vec![open.clone()]);
+
+        // Removal unlinks from every bucket it was linked into.
+        r.remove(&union);
+        let mut expect = vec![rooted, wild, open];
+        expect.sort();
+        assert_eq!(ids(&hail), expect);
+    }
+
+    #[test]
+    fn sweep_unlinks_from_topic_index() {
+        let r = Registry::new();
+        let id = r.insert(
+            spec(),
+            epr(),
+            None,
+            topic_filters(TopicExpression::simple("storms").unwrap()),
+            BrokerDeliveryMode::Push,
+            false,
+            Some(10),
+        );
+        let ev = InternalEvent::on_topic("storms", Element::local("e"));
+        assert_eq!(r.matching(&ev, None, 0).len(), 1);
+        let swept = r.sweep_expired(20);
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].id, id);
+        assert!(r.matching(&ev, None, 30).is_empty());
     }
 
     #[test]

@@ -8,16 +8,137 @@
 use crate::detect::SpecDialect;
 use crate::event::InternalEvent;
 use crate::registry::BrokerSubscription;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
 use wsm_addressing::EndpointReference;
 use wsm_eventing::WseCodec;
-use wsm_notification::{NotificationMessage, WsnCodec};
+use wsm_notification::{NotificationMessage, SharedNotificationMessage, WsnCodec};
 use wsm_soap::Envelope;
-use wsm_xml::Element;
+use wsm_xml::{Element, SharedElement};
 
 /// Namespace for broker-defined header extensions (the topic header on
 /// WS-Eventing deliveries — §V.4(6): WSE "needs to place it in the SOAP
 /// header if needed", the spec defining no body slot for it).
 pub const WSM_NS: &str = "urn:ws-messenger:broker";
+
+/// Per-publication render state, shared across the whole fan-out.
+///
+/// Two levels of reuse:
+///
+/// * The **payload subtree** — the only part of a notification that
+///   grows with event size — is wrapped in one [`SharedElement`] whose
+///   compact serialization is computed once and spliced into every
+///   outgoing envelope, so a publication serializes its payload once
+///   instead of once per subscriber.
+/// * **Class templates** — the fragments a dialect adds around the
+///   payload that do not depend on the individual subscriber (the WSE
+///   topic header; the WSN `NotificationMessage` topic and producer
+///   references) — are built once per `(spec version, raw-mode)`
+///   equivalence class and cloned per subscriber.
+///
+/// The cache is `Sync`, so the parallel fan-out workers can render
+/// against it concurrently.
+pub struct RenderCache {
+    payload: Arc<SharedElement>,
+    classes: Mutex<HashMap<(SpecDialect, bool), ClassTemplate>>,
+}
+
+#[derive(Clone)]
+enum ClassTemplate {
+    /// WSE raw delivery: shared body plus an optional topic header.
+    Wse { topic_header: Option<Element> },
+    /// WSN `UseRaw` delivery: shared body, nothing else.
+    WsnRaw,
+    /// WSN wrapped delivery: the `NotificationMessage` minus its
+    /// per-subscriber `SubscriptionReference`.
+    WsnNotify { message: SharedNotificationMessage },
+}
+
+impl RenderCache {
+    /// A cache for one publication of `event`.
+    pub fn new(event: &InternalEvent) -> Self {
+        RenderCache {
+            payload: SharedElement::new(event.payload.clone()),
+            classes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared payload subtree.
+    pub fn payload(&self) -> &Arc<SharedElement> {
+        &self.payload
+    }
+
+    /// How many equivalence classes have been rendered so far.
+    pub fn class_count(&self) -> usize {
+        self.classes.lock().len()
+    }
+
+    fn template(
+        &self,
+        event: &InternalEvent,
+        broker_uri: &str,
+        spec: SpecDialect,
+        use_raw: bool,
+    ) -> ClassTemplate {
+        self.classes
+            .lock()
+            .entry((spec, use_raw))
+            .or_insert_with(|| match spec {
+                SpecDialect::Wse(_) => ClassTemplate::Wse {
+                    topic_header: event
+                        .topic
+                        .as_ref()
+                        .map(|t| Element::ns(WSM_NS, "Topic", "wsm").with_text(t.to_string())),
+                },
+                SpecDialect::Wsn(_) if use_raw => ClassTemplate::WsnRaw,
+                SpecDialect::Wsn(_) => ClassTemplate::WsnNotify {
+                    message: SharedNotificationMessage {
+                        topic: event.topic.clone(),
+                        producer: event
+                            .producer
+                            .clone()
+                            .or_else(|| Some(EndpointReference::new(broker_uri.to_string()))),
+                        subscription: None,
+                        message: Arc::clone(&self.payload),
+                    },
+                },
+            })
+            .clone()
+    }
+}
+
+/// Render one event for one subscription through the per-publication
+/// cache. Produces envelopes byte-identical to [`render_notification`].
+pub fn render_notification_cached(
+    cache: &RenderCache,
+    sub: &BrokerSubscription,
+    event: &InternalEvent,
+    broker_uri: &str,
+    subscription_epr: &EndpointReference,
+) -> Envelope {
+    match (
+        sub.spec,
+        cache.template(event, broker_uri, sub.spec, sub.use_raw),
+    ) {
+        (SpecDialect::Wse(v), ClassTemplate::Wse { topic_header }) => {
+            let mut env = WseCodec::new(v).notification_shared(&sub.consumer, cache.payload());
+            if let Some(h) = topic_header {
+                env.add_header(h);
+            }
+            env
+        }
+        (SpecDialect::Wsn(v), ClassTemplate::WsnRaw) => {
+            WsnCodec::new(v).raw_notification_shared(&sub.consumer, cache.payload())
+        }
+        (SpecDialect::Wsn(v), ClassTemplate::WsnNotify { mut message }) => {
+            message.subscription = Some(subscription_epr.clone());
+            WsnCodec::new(v).notify_shared(&sub.consumer, &[message])
+        }
+        // A template is only ever built for its own dialect's key.
+        _ => unreachable!("class template matches its dialect"),
+    }
+}
 
 /// Render one event for one subscription.
 pub fn render_notification(
@@ -173,6 +294,31 @@ mod tests {
     }
 
     #[test]
+    fn cached_render_is_byte_identical_per_class() {
+        let event = ev();
+        let cache = RenderCache::new(&event);
+        let mut shapes: Vec<(SpecDialect, bool)> =
+            SpecDialect::ALL.iter().map(|d| (*d, false)).collect();
+        shapes.extend(
+            SpecDialect::ALL
+                .iter()
+                .filter(|d| matches!(d, SpecDialect::Wsn(_)))
+                .map(|d| (*d, true)),
+        );
+        let classes = shapes.len();
+        for (spec, raw) in shapes {
+            let s = sub(spec, raw);
+            let plain = render_notification(&s, &event, "http://b", &mgr());
+            let cached = render_notification_cached(&cache, &s, &event, "http://b", &mgr());
+            assert_eq!(cached.to_xml(), plain.to_xml(), "{spec:?} raw={raw}");
+            // A second subscriber of the same class reuses the template.
+            let again = render_notification_cached(&cache, &s, &event, "http://b", &mgr());
+            assert_eq!(again.to_xml(), plain.to_xml());
+        }
+        assert_eq!(cache.class_count(), classes);
+    }
+
+    #[test]
     fn original_producer_preserved_through_mediation() {
         let event = ev().from_producer(EndpointReference::new("http://origin"));
         let env = render_notification(
@@ -182,6 +328,9 @@ mod tests {
             &mgr(),
         );
         let parsed = WsnCodec::new(WsnVersion::V1_3).parse_notify(&env).unwrap();
-        assert_eq!(parsed[0].producer.as_ref().unwrap().address, "http://origin");
+        assert_eq!(
+            parsed[0].producer.as_ref().unwrap().address,
+            "http://origin"
+        );
     }
 }

@@ -14,8 +14,14 @@ fn broker_survives_concurrent_publish_and_subscribe() {
     // Pre-register half the sinks.
     let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
     for i in 0..4 {
-        let sink = EventSink::start(&net, format!("http://pre-{i}").as_str(), WseVersion::Aug2004);
-        subscriber.subscribe(broker.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+        let sink = EventSink::start(
+            &net,
+            format!("http://pre-{i}").as_str(),
+            WseVersion::Aug2004,
+        );
+        subscriber
+            .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+            .unwrap();
     }
 
     let publisher = {
@@ -32,9 +38,14 @@ fn broker_survives_concurrent_publish_and_subscribe() {
         thread::spawn(move || {
             let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
             for i in 0..4 {
-                let sink =
-                    EventSink::start(&net, format!("http://late-{i}").as_str(), WseVersion::Aug2004);
-                subscriber.subscribe(broker.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+                let sink = EventSink::start(
+                    &net,
+                    format!("http://late-{i}").as_str(),
+                    WseVersion::Aug2004,
+                );
+                subscriber
+                    .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+                    .unwrap();
             }
         })
     };

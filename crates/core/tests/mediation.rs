@@ -39,15 +39,21 @@ fn wsn_publisher_reaches_wse_consumer() {
         subscription: None,
         message: Element::local("alert").with_attr("sev", "4"),
     };
-    net.send(broker.uri(), codec.notify(&EndpointReference::new(broker.uri()), &[msg]))
-        .unwrap();
+    net.send(
+        broker.uri(),
+        codec.notify(&EndpointReference::new(broker.uri()), &[msg]),
+    )
+    .unwrap();
 
     let got = sink.received();
     assert_eq!(got.len(), 1, "WSN publication delivered to WSE consumer");
     assert_eq!(got[0].attr("sev"), Some("4"));
     let stats = broker.stats();
     assert_eq!(stats.delivered_wse, 1);
-    assert_eq!(stats.mediated, 1, "cross-family delivery counted as mediated");
+    assert_eq!(
+        stats.mediated, 1,
+        "cross-family delivery counted as mediated"
+    );
 }
 
 #[test]
@@ -68,9 +74,16 @@ fn wse_raw_publication_reaches_wsn_consumer() {
     );
 
     let got = consumer.notifications();
-    assert_eq!(got.len(), 1, "raw publication wrapped into Notify for WSN consumer");
+    assert_eq!(
+        got.len(),
+        1,
+        "raw publication wrapped into Notify for WSN consumer"
+    );
     assert_eq!(got[0].message.text(), "done");
-    assert!(got[0].producer.is_some(), "broker fills in a producer reference");
+    assert!(
+        got[0].producer.is_some(),
+        "broker fills in a producer reference"
+    );
     assert_eq!(broker.stats().mediated, 1);
 }
 
@@ -147,9 +160,17 @@ fn wse_management_against_the_broker() {
             SubscribeRequest::push(sink.epr()).with_expires(Expires::Duration(60_000)),
         )
         .unwrap();
-    assert_eq!(subscriber.get_status(&h).unwrap(), Some(Expires::At(60_000)));
-    subscriber.renew(&h, Some(Expires::Duration(120_000))).unwrap();
-    assert_eq!(subscriber.get_status(&h).unwrap(), Some(Expires::At(120_000)));
+    assert_eq!(
+        subscriber.get_status(&h).unwrap(),
+        Some(Expires::At(60_000))
+    );
+    subscriber
+        .renew(&h, Some(Expires::Duration(120_000)))
+        .unwrap();
+    assert_eq!(
+        subscriber.get_status(&h).unwrap(),
+        Some(Expires::At(120_000))
+    );
     subscriber.unsubscribe(&h).unwrap();
     assert_eq!(broker.subscription_count(), 0);
 }
@@ -252,7 +273,10 @@ fn get_current_message_served_cross_spec() {
     broker.publish_on("storms", &Element::local("latest").with_text("v2"));
     let client = WsnClient::new(&net, WsnVersion::V1_3);
     let topic = wsm_topics::TopicExpression::concrete("storms").unwrap();
-    let got = client.get_current_message(broker.uri(), &topic).unwrap().unwrap();
+    let got = client
+        .get_current_message(broker.uri(), &topic)
+        .unwrap()
+        .unwrap();
     assert_eq!(got.text(), "v2");
 }
 
@@ -391,8 +415,8 @@ fn no_retry_by_default() {
 #[test]
 fn must_understand_header_in_unknown_namespace_faults() {
     let (net, broker) = setup();
-    let env = wsm_soap::Envelope::new(wsm_soap::SoapVersion::V12)
-        .with_body(Element::local("payload"));
+    let env =
+        wsm_soap::Envelope::new(wsm_soap::SoapVersion::V12).with_body(Element::local("payload"));
     // Mark an alien header mustUnderstand.
     let alien = env.must_understand(Element::ns("urn:wise-security", "Token", "sec"));
     let env = env.with_header(alien);
@@ -403,8 +427,8 @@ fn must_understand_header_in_unknown_namespace_faults() {
         other => panic!("expected MustUnderstand fault, got {other:?}"),
     }
     // WSA headers marked mustUnderstand are fine — the broker speaks WSA.
-    let mut env2 = wsm_soap::Envelope::new(wsm_soap::SoapVersion::V12)
-        .with_body(Element::local("payload"));
+    let mut env2 =
+        wsm_soap::Envelope::new(wsm_soap::SoapVersion::V12).with_body(Element::local("payload"));
     let wsa_hdr = env2.must_understand(
         Element::ns("http://www.w3.org/2005/08/addressing", "Action", "wsa").with_text("urn:a"),
     );

@@ -35,7 +35,7 @@ proptest! {
             .subscribe(
                 broker.uri(),
                 SubscribeRequest::push(wse_sink.epr())
-                    .with_filter(Filter::xpath(&format!("/event[@sev > {wse_threshold}]"))),
+                    .with_filter(Filter::xpath(format!("/event[@sev > {wse_threshold}]"))),
             )
             .unwrap();
         // WSN consumer with a topic filter on `a`.

@@ -14,6 +14,16 @@ use wsm_addressing::{EndpointReference, MessageHeaders};
 use wsm_soap::{Envelope, Fault, SoapVersion};
 use wsm_xml::Element;
 
+/// The implied WS-Addressing action for a raw event delivery.
+fn notification_action(event: &Element) -> String {
+    event
+        .name
+        .ns
+        .clone()
+        .map(|ns| format!("{ns}/{}", event.name.local))
+        .unwrap_or_else(|| format!("urn:wsm:event/{}", event.name.local))
+}
+
 /// Message builder/parser for one WS-Eventing version.
 #[derive(Debug, Clone, Copy)]
 pub struct WseCodec {
@@ -73,7 +83,10 @@ impl WseCodec {
             );
         }
         let mut env = self.envelope().with_body(body);
-        self.apply_maps(&mut env, MessageHeaders::request(to, self.version.action("Subscribe")));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::request(to, self.version.action("Subscribe")),
+        );
         env
     }
 
@@ -118,10 +131,9 @@ impl WseCodec {
         };
 
         let expires = match body.child_ns(ns, "Expires") {
-            Some(e) => Some(
-                Expires::parse(&e.text())
-                    .ok_or_else(|| Fault::sender("invalid wse:Expires").with_subcode("wse:InvalidExpirationTime"))?,
-            ),
+            Some(e) => Some(Expires::parse(&e.text()).ok_or_else(|| {
+                Fault::sender("invalid wse:Expires").with_subcode("wse:InvalidExpirationTime")
+            })?),
             None => None,
         };
 
@@ -130,11 +142,20 @@ impl WseCodec {
             return Err(Fault::sender("WS-Eventing allows at most one filter"));
         }
         let filter = filters.first().map(|f| Filter {
-            dialect: f.attr("Dialect").unwrap_or(crate::XPATH_DIALECT).to_string(),
+            dialect: f
+                .attr("Dialect")
+                .unwrap_or(crate::XPATH_DIALECT)
+                .to_string(),
             expression: f.text().trim().to_string(),
         });
 
-        Ok(SubscribeRequest { notify_to, end_to, mode, expires, filter })
+        Ok(SubscribeRequest {
+            notify_to,
+            end_to,
+            mode,
+            expires,
+            filter,
+        })
     }
 
     /// Build a `SubscribeResponse`.
@@ -156,10 +177,10 @@ impl WseCodec {
                 body.push(self.el("Id").with_text(handle.id.clone()));
             }
             WseVersion::Aug2004 => {
-                let epr = handle.manager.clone().with_reference(
-                    wsa,
-                    self.el("Identifier").with_text(handle.id.clone()),
-                );
+                let epr = handle
+                    .manager
+                    .clone()
+                    .with_reference(wsa, self.el("Identifier").with_text(handle.id.clone()));
                 body.push(epr.to_named_element(wsa, self.el("SubscriptionManager")));
             }
         }
@@ -200,22 +221,37 @@ impl WseCodec {
                 .map(|e| e.text().trim().to_string())
                 .ok_or_else(|| Fault::sender("missing wse:Identifier reference parameter"))?,
         };
-        let expires = body.child_ns(ns, "Expires").and_then(|e| Expires::parse(&e.text()));
-        Ok(SubscriptionHandle { manager, id, expires, version: self.version })
+        let expires = body
+            .child_ns(ns, "Expires")
+            .and_then(|e| Expires::parse(&e.text()));
+        Ok(SubscriptionHandle {
+            manager,
+            id,
+            expires,
+            version: self.version,
+        })
     }
 
     // ------------------------------------------- subscription management
 
     /// Build a management request (`Renew`, `GetStatus`, `Unsubscribe`,
     /// or the modeled `Pull`) addressed at the subscription manager.
-    fn management_request(&self, handle: &SubscriptionHandle, op: &str, mut body: Element) -> Envelope {
+    fn management_request(
+        &self,
+        handle: &SubscriptionHandle,
+        op: &str,
+        mut body: Element,
+    ) -> Envelope {
         if self.version == WseVersion::Jan2004 {
             // 01/2004 carries the id in the body.
             body.push(self.el("Id").with_text(handle.id.clone()));
         }
         let mut env = self.envelope().with_body(body);
         // to_epr echoes the Identifier reference parameter for 08/2004.
-        self.apply_maps(&mut env, MessageHeaders::to_epr(&handle.manager, self.version.action(op)));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::to_epr(&handle.manager, self.version.action(op)),
+        );
         env
     }
 
@@ -297,7 +333,10 @@ impl WseCodec {
         let mut env = self.envelope().with_body(body);
         self.apply_maps(
             &mut env,
-            MessageHeaders { action: Some(self.version.action("PullResponse")), ..Default::default() },
+            MessageHeaders {
+                action: Some(self.version.action("PullResponse")),
+                ..Default::default()
+            },
         );
         env
     }
@@ -317,13 +356,29 @@ impl WseCodec {
     /// message-encapsulation comparison.
     pub fn notification(&self, to: &EndpointReference, event: &Element) -> Envelope {
         let mut env = self.envelope().with_body(event.clone());
-        let action = event
-            .name
-            .ns
-            .clone()
-            .map(|ns| format!("{ns}/{}", event.name.local))
-            .unwrap_or_else(|| format!("urn:wsm:event/{}", event.name.local));
-        self.apply_maps(&mut env, MessageHeaders::to_epr(to, action));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::to_epr(to, notification_action(event)),
+        );
+        env
+    }
+
+    /// A raw notification over a shared payload subtree, so every
+    /// envelope carrying the same event reuses one cached payload
+    /// serialization. Byte-identical to [`WseCodec::notification`]
+    /// over the same element.
+    pub fn notification_shared(
+        &self,
+        to: &EndpointReference,
+        event: &std::sync::Arc<wsm_xml::SharedElement>,
+    ) -> Envelope {
+        let mut env = self
+            .envelope()
+            .with_shared_body(std::sync::Arc::clone(event));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::to_epr(to, notification_action(event.element())),
+        );
         env
     }
 
@@ -354,12 +409,18 @@ impl WseCodec {
         let wsa = self.version.wsa();
         let mut body = self.el("SubscriptionEnd");
         body.push(manager.to_named_element(wsa, self.el("SubscriptionManager")));
-        body.push(self.el("Status").with_text(format!("wse:{}", status.wire_name())));
+        body.push(
+            self.el("Status")
+                .with_text(format!("wse:{}", status.wire_name())),
+        );
         if let Some(r) = reason {
             body.push(self.el("Reason").with_text(r));
         }
         let mut env = self.envelope().with_body(body);
-        self.apply_maps(&mut env, MessageHeaders::to_epr(to, self.version.action("SubscriptionEnd")));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::to_epr(to, self.version.action("SubscriptionEnd")),
+        );
         env
     }
 
@@ -389,7 +450,12 @@ mod tests {
         } else {
             EndpointReference::new("http://src")
         };
-        SubscriptionHandle { manager, id: "sub-1".into(), expires: Some(Expires::Duration(60_000)), version: v }
+        SubscriptionHandle {
+            manager,
+            id: "sub-1".into(),
+            expires: Some(Expires::Duration(60_000)),
+            version: v,
+        }
     }
 
     #[test]
@@ -424,7 +490,9 @@ mod tests {
         let codec = WseCodec::new(WseVersion::Aug2004);
         let req = SubscribeRequest::push(sink_epr()).with_mode(DeliveryMode::Pull);
         let env = codec.subscribe("http://src", &req);
-        let back = codec.parse_subscribe(&Envelope::from_xml(&env.to_xml()).unwrap()).unwrap();
+        let back = codec
+            .parse_subscribe(&Envelope::from_xml(&env.to_xml()).unwrap())
+            .unwrap();
         assert_eq!(back.mode, DeliveryMode::Pull);
     }
 
@@ -438,19 +506,26 @@ mod tests {
         body.push(delivery);
         let env = Envelope::new(SoapVersion::V12).with_body(body);
         let fault = codec.parse_subscribe(&env).unwrap_err();
-        assert_eq!(fault.subcode.as_deref(), Some("wse:DeliveryModeRequestedUnavailable"));
+        assert_eq!(
+            fault.subcode.as_deref(),
+            Some("wse:DeliveryModeRequestedUnavailable")
+        );
     }
 
     #[test]
     fn subscribe_response_id_placement_differs() {
         // 08/2004: Identifier inside ReferenceParameters.
         let aug = WseCodec::new(WseVersion::Aug2004);
-        let xml = aug.subscribe_response(&handle(WseVersion::Aug2004)).to_xml();
+        let xml = aug
+            .subscribe_response(&handle(WseVersion::Aug2004))
+            .to_xml();
         assert!(xml.contains("ReferenceParameters"), "{xml}");
         assert!(xml.contains("Identifier"), "{xml}");
         // 01/2004: separate wse:Id element.
         let jan = WseCodec::new(WseVersion::Jan2004);
-        let xml = jan.subscribe_response(&handle(WseVersion::Jan2004)).to_xml();
+        let xml = jan
+            .subscribe_response(&handle(WseVersion::Jan2004))
+            .to_xml();
         assert!(!xml.contains("ReferenceParameters"), "{xml}");
         assert!(xml.contains(">sub-1</"), "{xml}");
     }
@@ -475,7 +550,11 @@ mod tests {
             let codec = WseCodec::new(v);
             let env = codec.renew(&handle(v), Some(Expires::Duration(10_000)));
             let reparsed = Envelope::from_xml(&env.to_xml()).unwrap();
-            assert_eq!(codec.extract_subscription_id(&reparsed).as_deref(), Some("sub-1"), "{v:?}");
+            assert_eq!(
+                codec.extract_subscription_id(&reparsed).as_deref(),
+                Some("sub-1"),
+                "{v:?}"
+            );
         }
     }
 
@@ -539,7 +618,9 @@ mod tests {
     #[test]
     fn jan_subscribe_has_no_delivery_wrapper() {
         let codec = WseCodec::new(WseVersion::Jan2004);
-        let xml = codec.subscribe("http://src", &SubscribeRequest::push(sink_epr())).to_xml();
+        let xml = codec
+            .subscribe("http://src", &SubscribeRequest::push(sink_epr()))
+            .to_xml();
         assert!(!xml.contains("Delivery"), "{xml}");
         assert!(xml.contains("NotifyTo"), "{xml}");
     }

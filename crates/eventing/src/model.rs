@@ -92,7 +92,10 @@ pub struct Filter {
 impl Filter {
     /// An XPath content filter (the default dialect).
     pub fn xpath(expression: impl Into<String>) -> Self {
-        Filter { dialect: crate::XPATH_DIALECT.to_string(), expression: expression.into() }
+        Filter {
+            dialect: crate::XPATH_DIALECT.to_string(),
+            expression: expression.into(),
+        }
     }
 }
 
@@ -115,7 +118,13 @@ pub struct SubscribeRequest {
 impl SubscribeRequest {
     /// A push subscription with no filter and no expiry.
     pub fn push(notify_to: EndpointReference) -> Self {
-        SubscribeRequest { notify_to, end_to: None, mode: DeliveryMode::Push, expires: None, filter: None }
+        SubscribeRequest {
+            notify_to,
+            end_to: None,
+            mode: DeliveryMode::Push,
+            expires: None,
+            filter: None,
+        }
     }
 
     /// Builder-style filter.
@@ -212,18 +221,33 @@ mod tests {
 
     #[test]
     fn mode_uri_roundtrip() {
-        for m in [DeliveryMode::Push, DeliveryMode::Pull, DeliveryMode::Wrapped] {
+        for m in [
+            DeliveryMode::Push,
+            DeliveryMode::Pull,
+            DeliveryMode::Wrapped,
+        ] {
             let uri = m.uri(WseVersion::Aug2004);
             assert_eq!(DeliveryMode::from_uri(&uri, WseVersion::Aug2004), Some(m));
-            assert_eq!(DeliveryMode::from_uri(&uri, WseVersion::Jan2004), None, "URIs are versioned");
+            assert_eq!(
+                DeliveryMode::from_uri(&uri, WseVersion::Jan2004),
+                None,
+                "URIs are versioned"
+            );
         }
     }
 
     #[test]
     fn end_status_wire() {
-        for s in [EndStatus::DeliveryFailure, EndStatus::SourceShuttingDown, EndStatus::SourceCancelling] {
+        for s in [
+            EndStatus::DeliveryFailure,
+            EndStatus::SourceShuttingDown,
+            EndStatus::SourceCancelling,
+        ] {
             assert_eq!(EndStatus::from_wire(s.wire_name()), Some(s));
-            assert_eq!(EndStatus::from_wire(&format!("wse:{}", s.wire_name())), Some(s));
+            assert_eq!(
+                EndStatus::from_wire(&format!("wse:{}", s.wire_name())),
+                Some(s)
+            );
         }
         assert_eq!(EndStatus::from_wire("Nope"), None);
     }

@@ -60,12 +60,21 @@ impl EventSource {
             manager_uri,
             store: SubscriptionStore::new(),
         });
-        let source = EventSource { inner: Arc::clone(&inner) };
-        net.register(uri, Arc::new(SourceHandler { inner: Arc::clone(&inner) }));
+        let source = EventSource {
+            inner: Arc::clone(&inner),
+        };
+        net.register(
+            uri,
+            Arc::new(SourceHandler {
+                inner: Arc::clone(&inner),
+            }),
+        );
         if version.has_separate_subscription_manager() {
             net.register(
                 inner.manager_uri.clone(),
-                Arc::new(ManagerHandler { inner: Arc::clone(&inner) }),
+                Arc::new(ManagerHandler {
+                    inner: Arc::clone(&inner),
+                }),
             );
         }
         source
@@ -114,7 +123,12 @@ impl EventSource {
                 if inner.net.send(&sub.notify_to.address, env).is_ok() {
                     batches += 1;
                 } else {
-                    end_subscription(inner, &sub, EndStatus::DeliveryFailure, "wrapped delivery failed");
+                    end_subscription(
+                        inner,
+                        &sub,
+                        EndStatus::DeliveryFailure,
+                        "wrapped delivery failed",
+                    );
                     inner.store.remove(&id);
                 }
             }
@@ -126,7 +140,12 @@ impl EventSource {
     /// every subscription that asked for it, then drop them all.
     pub fn shutdown(&self) {
         for sub in self.inner.store.drain_all() {
-            end_subscription(&self.inner, &sub, EndStatus::SourceShuttingDown, "source shutting down");
+            end_subscription(
+                &self.inner,
+                &sub,
+                EndStatus::SourceShuttingDown,
+                "source shutting down",
+            );
         }
         self.inner.net.unregister(&self.inner.uri);
         if self.inner.codec.version.has_separate_subscription_manager() {
@@ -160,7 +179,12 @@ fn publish_event(inner: &SourceInner, event: &Element) -> PublishStats {
                     Err(_) => {
                         stats.failed += 1;
                         inner.store.remove(&sub.id);
-                        end_subscription(inner, &sub, EndStatus::DeliveryFailure, "delivery failed");
+                        end_subscription(
+                            inner,
+                            &sub,
+                            EndStatus::DeliveryFailure,
+                            "delivery failed",
+                        );
                     }
                 }
             }
@@ -185,7 +209,9 @@ fn publish_event(inner: &SourceInner, event: &Element) -> PublishStats {
 fn end_subscription(inner: &SourceInner, sub: &Subscription, status: EndStatus, reason: &str) {
     if let Some(end_to) = &sub.end_to {
         let manager = manager_epr(inner, &sub.id);
-        let env = inner.codec.subscription_end(end_to, &manager, status, Some(reason));
+        let env = inner
+            .codec
+            .subscription_end(end_to, &manager, status, Some(reason));
         let _ = inner.net.send(&end_to.address, env);
     }
 }
@@ -220,7 +246,10 @@ impl SoapHandler for SourceHandler {
         if !inner.codec.version.has_separate_subscription_manager() {
             return manage(inner, &request);
         }
-        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+        Err(Fault::sender(format!(
+            "unsupported operation {}",
+            body.name.clark()
+        )))
     }
 }
 
@@ -245,12 +274,16 @@ fn subscribe(inner: &SourceInner, request: &Envelope) -> Result<Envelope, Fault>
         None => None,
     };
     if req.mode != DeliveryMode::Push && !inner.codec.version.supports_pull_delivery() {
-        return Err(Fault::sender("only push delivery is defined in this version")
-            .with_subcode("wse:DeliveryModeRequestedUnavailable"));
+        return Err(
+            Fault::sender("only push delivery is defined in this version")
+                .with_subcode("wse:DeliveryModeRequestedUnavailable"),
+        );
     }
     let now = inner.net.clock().now_ms();
     let expires_at = req.expires.map(|e| e.absolute(now));
-    let id = inner.store.insert(req.notify_to, req.end_to, req.mode, expires_at, filter);
+    let id = inner
+        .store
+        .insert(req.notify_to, req.end_to, req.mode, expires_at, filter);
     let handle = SubscriptionHandle {
         manager: manager_epr(inner, &id),
         id,
@@ -285,17 +318,18 @@ fn manage(inner: &SourceInner, request: &Envelope) -> Result<Option<Envelope>, F
             return Err(Fault::sender("GetStatus is not defined in this version"));
         }
         let sub = inner.store.get(&id).ok_or_else(unknown)?;
-        Ok(Some(
-            inner
-                .codec
-                .management_response("GetStatus", sub.expires_at_ms.map(Expires::At)),
-        ))
+        Ok(Some(inner.codec.management_response(
+            "GetStatus",
+            sub.expires_at_ms.map(Expires::At),
+        )))
     } else if body.name.is(ns, "Unsubscribe") {
         inner.store.remove(&id).ok_or_else(unknown)?;
         Ok(Some(inner.codec.management_response("Unsubscribe", None)))
     } else if body.name.is(ns, "Pull") {
         if !inner.codec.version.supports_pull_delivery() {
-            return Err(Fault::sender("pull delivery is not defined in this version"));
+            return Err(Fault::sender(
+                "pull delivery is not defined in this version",
+            ));
         }
         inner.store.get(&id).ok_or_else(unknown)?;
         let max = body
@@ -305,7 +339,10 @@ fn manage(inner: &SourceInner, request: &Envelope) -> Result<Option<Envelope>, F
         let events = inner.store.drain_queue(&id, max);
         Ok(Some(inner.codec.pull_response(&events)))
     } else {
-        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+        Err(Fault::sender(format!(
+            "unsupported operation {}",
+            body.name.clark()
+        )))
     }
 }
 
@@ -344,7 +381,13 @@ impl EventSink {
             codec: WseCodec::new(version),
             uri: uri.to_string(),
         });
-        net.register_with(uri, Arc::new(SinkHandler { inner: Arc::clone(&inner) }), options);
+        net.register_with(
+            uri,
+            Arc::new(SinkHandler {
+                inner: Arc::clone(&inner),
+            }),
+            options,
+        );
         EventSink { inner }
     }
 
@@ -386,7 +429,9 @@ impl SoapHandler for SinkHandler {
             self.inner.ends.lock().push((status, reason));
             return Ok(None);
         }
-        let body = request.body().ok_or_else(|| Fault::sender("empty notification"))?;
+        let body = request
+            .body()
+            .ok_or_else(|| Fault::sender("empty notification"))?;
         if body.name.is(ns, "Notifications") {
             // Wrapped batch.
             self.inner.received.lock().extend(body.elements().cloned());
@@ -410,7 +455,10 @@ pub struct Subscriber {
 impl Subscriber {
     /// A subscriber speaking `version`.
     pub fn new(net: &Network, version: WseVersion) -> Self {
-        Subscriber { net: net.clone(), codec: WseCodec::new(version) }
+        Subscriber {
+            net: net.clone(),
+            codec: WseCodec::new(version),
+        }
     }
 
     /// Subscribe at an event source.
@@ -423,7 +471,7 @@ impl Subscriber {
         let resp = self.net.request(source_uri, env)?;
         self.codec
             .parse_subscribe_response(&resp)
-            .map_err(TransportError::Fault)
+            .map_err(|f| TransportError::Fault(Box::new(f)))
     }
 
     /// Renew a subscription; returns the granted expiry.
@@ -502,7 +550,11 @@ mod tests {
         };
         assert_eq!(src_old.uri(), src_old.manager_uri(), "01/2004: same entity");
         let (_n, src_new, _k, _u) = setup(WseVersion::Aug2004);
-        assert_ne!(src_new.uri(), src_new.manager_uri(), "08/2004: separate manager");
+        assert_ne!(
+            src_new.uri(),
+            src_new.manager_uri(),
+            "08/2004: separate manager"
+        );
     }
 
     #[test]
@@ -511,7 +563,8 @@ mod tests {
         subscriber
             .subscribe(
                 source.uri(),
-                SubscribeRequest::push(sink.epr()).with_filter(Filter::xpath("/job[@state='done']")),
+                SubscribeRequest::push(sink.epr())
+                    .with_filter(Filter::xpath("/job[@state='done']")),
             )
             .unwrap();
         source.publish(&Element::local("job").with_attr("state", "running"));
@@ -549,7 +602,9 @@ mod tests {
         source.publish(&Element::local("e1"));
         assert_eq!(sink.received().len(), 1);
         // Renew for another second.
-        subscriber.renew(&h, Some(Expires::Duration(1_000))).unwrap();
+        subscriber
+            .renew(&h, Some(Expires::Duration(1_000)))
+            .unwrap();
         net.clock().advance_ms(800);
         source.publish(&Element::local("e2"));
         assert_eq!(sink.received().len(), 2, "renewed subscription still live");
@@ -575,7 +630,10 @@ mod tests {
         let h = subscriber
             .subscribe(source.uri(), SubscribeRequest::push(sink.epr()))
             .unwrap();
-        assert!(subscriber.get_status(&h).is_err(), "01/2004 has no GetStatus");
+        assert!(
+            subscriber.get_status(&h).is_err(),
+            "01/2004 has no GetStatus"
+        );
     }
 
     #[test]
@@ -592,7 +650,11 @@ mod tests {
             .unwrap();
         let stats = source.publish(&Element::local("e"));
         assert_eq!(stats.failed, 1);
-        assert_eq!(source.subscription_count(), 0, "failed subscription removed");
+        assert_eq!(
+            source.subscription_count(),
+            0,
+            "failed subscription removed"
+        );
         let ends = end_sink.ends();
         assert_eq!(ends.len(), 1);
         assert_eq!(ends[0].0, EndStatus::DeliveryFailure);
@@ -602,7 +664,10 @@ mod tests {
     fn no_end_to_no_subscription_end() {
         let (net, source, _sink, subscriber) = setup(WseVersion::Aug2004);
         subscriber
-            .subscribe(source.uri(), SubscribeRequest::push(EndpointReference::new("http://dead")))
+            .subscribe(
+                source.uri(),
+                SubscribeRequest::push(EndpointReference::new("http://dead")),
+            )
             .unwrap();
         source.publish(&Element::local("e"));
         // No EndTo: the only trace entries are the failed push.
@@ -639,7 +704,10 @@ mod tests {
             .unwrap();
         source.publish(&Element::local("e1"));
         source.publish(&Element::local("e2"));
-        assert!(fw_sink.received().is_empty(), "nothing pushed through the firewall");
+        assert!(
+            fw_sink.received().is_empty(),
+            "nothing pushed through the firewall"
+        );
         let events = subscriber.pull(&h, 10).unwrap();
         assert_eq!(events.len(), 2);
         fw_sink.accept_events(events);
@@ -708,7 +776,13 @@ mod tests {
             expires: None,
             version: WseVersion::Aug2004,
         };
-        assert!(matches!(subscriber.renew(&bogus, None), Err(TransportError::Fault(_))));
-        assert!(matches!(subscriber.unsubscribe(&bogus), Err(TransportError::Fault(_))));
+        assert!(matches!(
+            subscriber.renew(&bogus, None),
+            Err(TransportError::Fault(_))
+        ));
+        assert!(matches!(
+            subscriber.unsubscribe(&bogus),
+            Err(TransportError::Fault(_))
+        ));
     }
 }

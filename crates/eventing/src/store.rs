@@ -26,7 +26,10 @@ impl CompiledFilter {
     pub fn compile(filter: Filter) -> Option<Self> {
         if filter.dialect == XPATH_DIALECT {
             let xpath = XPath::compile(&filter.expression).ok()?;
-            Some(CompiledFilter { filter, xpath: Some(xpath) })
+            Some(CompiledFilter {
+                filter,
+                xpath: Some(xpath),
+            })
         } else {
             None
         }
@@ -70,7 +73,10 @@ impl Subscription {
 
     /// Does the subscription's filter accept the event?
     pub fn accepts(&self, event: &Element) -> bool {
-        self.filter.as_ref().map(|f| f.matches(event)).unwrap_or(true)
+        self.filter
+            .as_ref()
+            .map(|f| f.matches(event))
+            .unwrap_or(true)
     }
 }
 
@@ -287,7 +293,10 @@ mod tests {
             expression: "x".into()
         })
         .is_none());
-        assert!(CompiledFilter::compile(Filter::xpath("][")).is_none(), "bad xpath");
+        assert!(
+            CompiledFilter::compile(Filter::xpath("][")).is_none(),
+            "bad xpath"
+        );
     }
 
     #[test]

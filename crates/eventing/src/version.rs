@@ -115,7 +115,9 @@ mod tests {
     fn capability_deltas_match_table_1() {
         let old = WseVersion::Jan2004;
         let new = WseVersion::Aug2004;
-        assert!(!old.has_separate_subscription_manager() && new.has_separate_subscription_manager());
+        assert!(
+            !old.has_separate_subscription_manager() && new.has_separate_subscription_manager()
+        );
         assert!(!old.has_get_status() && new.has_get_status());
         assert!(!old.id_in_reference_parameters() && new.id_in_reference_parameters());
         assert!(!old.supports_wrapped_delivery() && new.supports_wrapped_delivery());

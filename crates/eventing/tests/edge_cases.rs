@@ -2,8 +2,7 @@
 
 use wsm_addressing::EndpointReference;
 use wsm_eventing::{
-    DeliveryMode, EventSink, EventSource, Expires, Filter, SubscribeRequest, Subscriber,
-    WseVersion,
+    DeliveryMode, EventSink, EventSource, Expires, Filter, SubscribeRequest, Subscriber, WseVersion,
 };
 use wsm_transport::{Network, TransportError};
 use wsm_xml::Element;
@@ -46,7 +45,11 @@ fn renew_to_indefinite() {
     net.clock().advance_ms(1_000_000);
     source.publish(&Element::local("still-here"));
     assert_eq!(sink.received().len(), 1);
-    assert_eq!(subscriber.get_status(&h).unwrap(), None, "no expiry reported");
+    assert_eq!(
+        subscriber.get_status(&h).unwrap(),
+        None,
+        "no expiry reported"
+    );
 }
 
 #[test]
@@ -73,7 +76,9 @@ fn filters_that_inspect_structure_and_text() {
 fn two_sinks_one_source_mixed_modes() {
     let (net, source, push_sink, subscriber) = setup(WseVersion::Aug2004);
     let pull_sink = EventSink::start_firewalled(&net, "http://pull", WseVersion::Aug2004);
-    subscriber.subscribe(source.uri(), SubscribeRequest::push(push_sink.epr())).unwrap();
+    subscriber
+        .subscribe(source.uri(), SubscribeRequest::push(push_sink.epr()))
+        .unwrap();
     let pull_h = subscriber
         .subscribe(
             source.uri(),
@@ -110,7 +115,10 @@ fn subscribing_at_a_missing_source_fails_cleanly() {
     let net = Network::new();
     let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
     let err = subscriber
-        .subscribe("http://nowhere", SubscribeRequest::push(EndpointReference::new("http://s")))
+        .subscribe(
+            "http://nowhere",
+            SubscribeRequest::push(EndpointReference::new("http://s")),
+        )
         .unwrap_err();
     assert!(matches!(err, TransportError::NoEndpoint(_)));
 }
@@ -118,21 +126,30 @@ fn subscribing_at_a_missing_source_fails_cleanly() {
 #[test]
 fn double_unsubscribe_faults() {
     let (_net, source, sink, subscriber) = setup(WseVersion::Aug2004);
-    let h = subscriber.subscribe(source.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+    let h = subscriber
+        .subscribe(source.uri(), SubscribeRequest::push(sink.epr()))
+        .unwrap();
     subscriber.unsubscribe(&h).unwrap();
-    assert!(matches!(subscriber.unsubscribe(&h), Err(TransportError::Fault(_))));
+    assert!(matches!(
+        subscriber.unsubscribe(&h),
+        Err(TransportError::Fault(_))
+    ));
 }
 
 #[test]
 fn jan2004_manager_is_the_source_endpoint() {
     let (_net, source, sink, subscriber) = setup(WseVersion::Jan2004);
-    let h = subscriber.subscribe(source.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+    let h = subscriber
+        .subscribe(source.uri(), SubscribeRequest::push(sink.epr()))
+        .unwrap();
     assert_eq!(h.manager.address, source.uri());
     // And the id is NOT a reference parameter (01/2004 returns it as a
     // separate element).
     assert!(h.manager.reference_parameters.is_empty());
     assert!(h.manager.reference_properties.is_empty());
-    subscriber.renew(&h, Some(Expires::Duration(1_000))).unwrap();
+    subscriber
+        .renew(&h, Some(Expires::Duration(1_000)))
+        .unwrap();
     subscriber.unsubscribe(&h).unwrap();
 }
 
@@ -162,5 +179,9 @@ fn filter_rejecting_everything_never_delivers() {
         source.publish(&Element::local(format!("e{i}")));
     }
     assert!(sink.received().is_empty());
-    assert_eq!(source.subscription_count(), 1, "subscription stays; it just filters");
+    assert_eq!(
+        source.subscription_count(),
+        1,
+        "subscription stays; it just filters"
+    );
 }

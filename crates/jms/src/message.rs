@@ -196,7 +196,11 @@ impl JmsMessage {
                 .clone()
                 .map(JmsValue::String)
                 .unwrap_or(JmsValue::Null),
-            "JMSType" => self.jms_type.clone().map(JmsValue::String).unwrap_or(JmsValue::Null),
+            "JMSType" => self
+                .jms_type
+                .clone()
+                .map(JmsValue::String)
+                .unwrap_or(JmsValue::Null),
             "JMSRedelivered" => JmsValue::Bool(self.redelivered),
             _ => self
                 .properties

@@ -146,8 +146,10 @@ impl JmsProvider {
         {
             let mut topics = self.inner.topics.lock();
             if let Some(t) = topics.get_mut(topic) {
-                if let Some(existing) =
-                    t.subscribers.iter_mut().find(|s| s.durable_name.as_deref() == Some(name))
+                if let Some(existing) = t
+                    .subscribers
+                    .iter_mut()
+                    .find(|s| s.durable_name.as_deref() == Some(name))
                 {
                     existing.connected = true;
                     return TopicSubscription {
@@ -175,14 +177,23 @@ impl JmsProvider {
         };
         let buffer = Arc::new(Mutex::new(VecDeque::new()));
         let mut topics = self.inner.topics.lock();
-        topics.entry(topic.to_string()).or_default().subscribers.push(TopicSubscriber {
+        topics
+            .entry(topic.to_string())
+            .or_default()
+            .subscribers
+            .push(TopicSubscriber {
+                id,
+                selector,
+                buffer: Arc::clone(&buffer),
+                durable_name,
+                connected: true,
+            });
+        TopicSubscription {
+            inner: Arc::clone(&self.inner),
+            topic: topic.to_string(),
             id,
-            selector,
-            buffer: Arc::clone(&buffer),
-            durable_name,
-            connected: true,
-        });
-        TopicSubscription { inner: Arc::clone(&self.inner), topic: topic.to_string(), id, buffer }
+            buffer,
+        }
     }
 
     /// Publish a message to a topic: every matching subscriber gets a
@@ -190,14 +201,20 @@ impl JmsProvider {
     pub fn publish(&self, topic: &str, message: JmsMessage) -> usize {
         let m = self.stamp(message, topic);
         let mut topics = self.inner.topics.lock();
-        let Some(t) = topics.get_mut(topic) else { return 0 };
+        let Some(t) = topics.get_mut(topic) else {
+            return 0;
+        };
         let mut delivered = 0;
         for s in &t.subscribers {
             let eligible = s.connected || s.durable_name.is_some();
             if !eligible {
                 continue;
             }
-            if s.selector.as_ref().map(|sel| sel.matches(&m)).unwrap_or(true) {
+            if s.selector
+                .as_ref()
+                .map(|sel| sel.matches(&m))
+                .unwrap_or(true)
+            {
                 s.buffer.lock().push_back(m.clone());
                 delivered += 1;
             }
@@ -217,7 +234,10 @@ impl JmsProvider {
 
     /// Begin a transacted session.
     pub fn transacted_session(&self) -> TransactedSession {
-        TransactedSession { provider: self.clone(), pending: Vec::new() }
+        TransactedSession {
+            provider: self.clone(),
+            pending: Vec::new(),
+        }
     }
 }
 
@@ -277,12 +297,14 @@ enum Destination {
 impl TransactedSession {
     /// Buffer a queue send.
     pub fn send(&mut self, queue: &str, message: JmsMessage) {
-        self.pending.push((Destination::Queue(queue.to_string()), message));
+        self.pending
+            .push((Destination::Queue(queue.to_string()), message));
     }
 
     /// Buffer a topic publish.
     pub fn publish(&mut self, topic: &str, message: JmsMessage) {
-        self.pending.push((Destination::Topic(topic.to_string()), message));
+        self.pending
+            .push((Destination::Topic(topic.to_string()), message));
     }
 
     /// Deliver everything buffered, atomically from consumers'
@@ -340,7 +362,11 @@ mod tests {
                 _ => unreachable!(),
             })
             .collect();
-        assert_eq!(order, vec!["high", "high2", "mid", "low"], "priority desc, FIFO within");
+        assert_eq!(
+            order,
+            vec!["high", "high2", "mid", "low"],
+            "priority desc, FIFO within"
+        );
     }
 
     #[test]
@@ -368,8 +394,14 @@ mod tests {
         let p = JmsProvider::new();
         let all = p.create_subscriber("t", None);
         let hot = p.create_subscriber("t", Some(Selector::compile("sev >= 5").unwrap()));
-        assert_eq!(p.publish("t", JmsMessage::text("a").with_property("sev", 1i64)), 1);
-        assert_eq!(p.publish("t", JmsMessage::text("b").with_property("sev", 9i64)), 2);
+        assert_eq!(
+            p.publish("t", JmsMessage::text("a").with_property("sev", 1i64)),
+            1
+        );
+        assert_eq!(
+            p.publish("t", JmsMessage::text("b").with_property("sev", 9i64)),
+            2
+        );
         assert_eq!(all.pending(), 2);
         assert_eq!(hot.pending(), 1);
     }
@@ -452,7 +484,13 @@ mod tests {
     #[test]
     fn delivery_mode_preserved() {
         let p = JmsProvider::new();
-        p.send("q", JmsMessage::text("x").with_delivery_mode(DeliveryMode::NonPersistent));
-        assert_eq!(p.receive("q", None).unwrap().delivery_mode, DeliveryMode::NonPersistent);
+        p.send(
+            "q",
+            JmsMessage::text("x").with_delivery_mode(DeliveryMode::NonPersistent),
+        );
+        assert_eq!(
+            p.receive("q", None).unwrap().delivery_mode,
+            DeliveryMode::NonPersistent
+        );
     }
 }

@@ -90,8 +90,9 @@ enum Tok {
     Comma,
 }
 
-const KEYWORDS: [&str; 12] =
-    ["AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "ESCAPE", "IS", "NULL", "TRUE", "FALSE", "NOT"];
+const KEYWORDS: [&str; 12] = [
+    "AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "ESCAPE", "IS", "NULL", "TRUE", "FALSE", "NOT",
+];
 
 fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, SelectorError> {
     let b = s.as_bytes();
@@ -157,7 +158,10 @@ fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, SelectorError> {
                 loop {
                     match b.get(j) {
                         None => {
-                            return Err(SelectorError { at: i, message: "unterminated string".into() })
+                            return Err(SelectorError {
+                                at: i,
+                                message: "unterminated string".into(),
+                            })
                         }
                         Some(b'\'') => {
                             if b.get(j + 1) == Some(&b'\'') {
@@ -182,15 +186,19 @@ fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, SelectorError> {
                 while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
                     i += 1;
                 }
-                let n: f64 = s[start..i]
-                    .parse()
-                    .map_err(|_| SelectorError { at: start, message: "bad number".into() })?;
+                let n: f64 = s[start..i].parse().map_err(|_| SelectorError {
+                    at: start,
+                    message: "bad number".into(),
+                })?;
                 out.push((start, Tok::Num(n)));
             }
             _ if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
                 let start = i;
                 while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$' || b[i] == b'.')
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || b[i] == b'$'
+                        || b[i] == b'.')
                 {
                     i += 1;
                 }
@@ -222,10 +230,27 @@ enum Node {
     Arith(&'static str, Box<Node>, Box<Node>),
     Neg(Box<Node>),
     Cmp(&'static str, Box<Node>, Box<Node>),
-    Between { value: Box<Node>, low: Box<Node>, high: Box<Node>, negated: bool },
-    In { value: Box<Node>, list: Vec<String>, negated: bool },
-    Like { value: Box<Node>, pattern: String, escape: Option<char>, negated: bool },
-    IsNull { value: Box<Node>, negated: bool },
+    Between {
+        value: Box<Node>,
+        low: Box<Node>,
+        high: Box<Node>,
+        negated: bool,
+    },
+    In {
+        value: Box<Node>,
+        list: Vec<String>,
+        negated: bool,
+    },
+    Like {
+        value: Box<Node>,
+        pattern: String,
+        escape: Option<char>,
+        negated: bool,
+    },
+    IsNull {
+        value: Box<Node>,
+        negated: bool,
+    },
     And(Box<Node>, Box<Node>),
     Or(Box<Node>, Box<Node>),
     Not(Box<Node>),
@@ -243,14 +268,23 @@ impl Selector {
     pub fn compile(source: &str) -> Result<Self, SelectorError> {
         let toks = tokenize(source)?;
         if toks.is_empty() {
-            return Err(SelectorError { at: 0, message: "empty selector".into() });
+            return Err(SelectorError {
+                at: 0,
+                message: "empty selector".into(),
+            });
         }
         let mut p = P { toks, pos: 0 };
         let root = p.or()?;
         if p.pos != p.toks.len() {
-            return Err(SelectorError { at: p.at(), message: "trailing tokens".into() });
+            return Err(SelectorError {
+                at: p.at(),
+                message: "trailing tokens".into(),
+            });
         }
-        Ok(Selector { root, source: source.to_string() })
+        Ok(Selector {
+            root,
+            source: source.to_string(),
+        })
     }
 
     /// The original selector text.
@@ -271,7 +305,10 @@ struct P {
 
 impl P {
     fn at(&self) -> usize {
-        self.toks.get(self.pos).map(|(i, _)| *i).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.pos)
+            .map(|(i, _)| *i)
+            .unwrap_or(usize::MAX)
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -287,20 +324,22 @@ impl P {
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
-        if self.peek() == Some(&Tok::Kw(match kw {
-            "AND" => "AND",
-            "OR" => "OR",
-            "NOT" => "NOT",
-            "BETWEEN" => "BETWEEN",
-            "IN" => "IN",
-            "LIKE" => "LIKE",
-            "ESCAPE" => "ESCAPE",
-            "IS" => "IS",
-            "NULL" => "NULL",
-            "TRUE" => "TRUE",
-            "FALSE" => "FALSE",
-            _ => return false,
-        })) {
+        if self.peek()
+            == Some(&Tok::Kw(match kw {
+                "AND" => "AND",
+                "OR" => "OR",
+                "NOT" => "NOT",
+                "BETWEEN" => "BETWEEN",
+                "IN" => "IN",
+                "LIKE" => "LIKE",
+                "ESCAPE" => "ESCAPE",
+                "IS" => "IS",
+                "NULL" => "NULL",
+                "TRUE" => "TRUE",
+                "FALSE" => "FALSE",
+                _ => return false,
+            }))
+        {
             self.pos += 1;
             true
         } else {
@@ -319,7 +358,10 @@ impl P {
     }
 
     fn err(&self, message: impl Into<String>) -> SelectorError {
-        SelectorError { at: self.at(), message: message.into() }
+        SelectorError {
+            at: self.at(),
+            message: message.into(),
+        }
     }
 
     fn or(&mut self) -> Result<Node, SelectorError> {
@@ -373,7 +415,9 @@ impl P {
             loop {
                 match self.bump() {
                     Some(Tok::Str(s)) => list.push(s),
-                    other => return Err(self.err(format!("IN list expects strings, got {other:?}"))),
+                    other => {
+                        return Err(self.err(format!("IN list expects strings, got {other:?}")))
+                    }
                 }
                 match self.bump() {
                     Some(Tok::Comma) => continue,
@@ -381,12 +425,18 @@ impl P {
                     other => return Err(self.err(format!("expected `,` or `)`, got {other:?}"))),
                 }
             }
-            return Ok(Node::In { value: Box::new(left), list, negated });
+            return Ok(Node::In {
+                value: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("LIKE") {
             let pattern = match self.bump() {
                 Some(Tok::Str(s)) => s,
-                other => return Err(self.err(format!("LIKE expects a string pattern, got {other:?}"))),
+                other => {
+                    return Err(self.err(format!("LIKE expects a string pattern, got {other:?}")))
+                }
             };
             let escape = if self.eat_kw("ESCAPE") {
                 match self.bump() {
@@ -396,7 +446,12 @@ impl P {
             } else {
                 None
             };
-            return Ok(Node::Like { value: Box::new(left), pattern, escape, negated });
+            return Ok(Node::Like {
+                value: Box::new(left),
+                pattern,
+                escape,
+                negated,
+            });
         }
         if negated {
             return Err(self.err("dangling NOT"));
@@ -406,7 +461,10 @@ impl P {
             if !self.eat_kw("NULL") {
                 return Err(self.err("IS requires NULL"));
             }
-            return Ok(Node::IsNull { value: Box::new(left), negated });
+            return Ok(Node::IsNull {
+                value: Box::new(left),
+                negated,
+            });
         }
         for op in ["=", "<>", "<=", ">=", "<", ">"] {
             if self.eat_op(op) {
@@ -489,17 +547,15 @@ fn eval_value(node: &Node, m: &JmsMessage) -> JmsValue {
             Some(n) => JmsValue::Double(-n),
             None => JmsValue::Null,
         },
-        Node::Arith(op, l, r) => {
-            match (eval_value(l, m).as_f64(), eval_value(r, m).as_f64()) {
-                (Some(a), Some(b)) => JmsValue::Double(match *op {
-                    "+" => a + b,
-                    "-" => a - b,
-                    "*" => a * b,
-                    _ => a / b,
-                }),
-                _ => JmsValue::Null,
-            }
-        }
+        Node::Arith(op, l, r) => match (eval_value(l, m).as_f64(), eval_value(r, m).as_f64()) {
+            (Some(a), Some(b)) => JmsValue::Double(match *op {
+                "+" => a + b,
+                "-" => a - b,
+                "*" => a * b,
+                _ => a / b,
+            }),
+            _ => JmsValue::Null,
+        },
         // Boolean sub-expressions used as values.
         other => match eval_bool(other, m) {
             Tri::True => JmsValue::Bool(true),
@@ -553,7 +609,12 @@ fn eval_bool(node: &Node, m: &JmsMessage) -> Tri {
             };
             Tri::of(res)
         }
-        Node::Between { value, low, high, negated } => {
+        Node::Between {
+            value,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval_value(value, m);
             let (lo, hi) = (eval_value(low, m), eval_value(high, m));
             match (v.as_f64(), lo.as_f64(), hi.as_f64()) {
@@ -564,15 +625,24 @@ fn eval_bool(node: &Node, m: &JmsMessage) -> Tri {
                 _ => Tri::Unknown,
             }
         }
-        Node::In { value, list, negated } => match eval_value(value, m) {
+        Node::In {
+            value,
+            list,
+            negated,
+        } => match eval_value(value, m) {
             JmsValue::String(s) => {
-                let r = list.iter().any(|item| *item == s);
+                let r = list.contains(&s);
                 Tri::of(if *negated { !r } else { r })
             }
             JmsValue::Null => Tri::Unknown,
             _ => Tri::False,
         },
-        Node::Like { value, pattern, escape, negated } => match eval_value(value, m) {
+        Node::Like {
+            value,
+            pattern,
+            escape,
+            negated,
+        } => match eval_value(value, m) {
             JmsValue::String(s) => {
                 let r = like_match(&s, pattern, *escape);
                 Tri::of(if *negated { !r } else { r })
@@ -594,8 +664,8 @@ fn like_match(s: &str, pattern: &str, escape: Option<char>) -> bool {
     // Translate to a simple token list, then match recursively.
     #[derive(Debug)]
     enum P {
-        Any,     // %
-        One,     // _
+        Any, // %
+        One, // _
         Ch(char),
     }
     let mut toks = Vec::new();
@@ -725,7 +795,10 @@ mod tests {
 
     #[test]
     fn string_ordering_is_undefined() {
-        assert!(!m("site > 'aaa'"), "SQL92 defines only = and <> for strings");
+        assert!(
+            !m("site > 'aaa'"),
+            "SQL92 defines only = and <> for strings"
+        );
     }
 
     #[test]

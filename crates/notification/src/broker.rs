@@ -90,10 +90,17 @@ impl NotificationBroker {
                 }
             }));
         }
-        net.register(uri, Arc::new(BrokerHandler { inner: Arc::clone(&inner) }));
+        net.register(
+            uri,
+            Arc::new(BrokerHandler {
+                inner: Arc::clone(&inner),
+            }),
+        );
         net.register(
             producer.manager_uri.clone(),
-            Arc::new(BrokerManagerHandler { inner: Arc::clone(&inner) }),
+            Arc::new(BrokerManagerHandler {
+                inner: Arc::clone(&inner),
+            }),
         );
         NotificationBroker { inner }
     }
@@ -168,7 +175,9 @@ fn recompute_demand(inner: &BrokerInner) {
             }
         }
         for reg in regs.values() {
-            let (Some(handle), true) = (&reg.publisher_sub, reg.demand) else { continue };
+            let (Some(handle), true) = (&reg.publisher_sub, reg.demand) else {
+                continue;
+            };
             let demanded = subs.iter().any(|s| {
                 if s.paused || s.expired(now) {
                     return false;
@@ -183,15 +192,27 @@ fn recompute_demand(inner: &BrokerInner) {
                 })
             });
             if demanded && reg.publisher_paused {
-                actions.push(Action { handle: handle.clone(), pause: false, reg_id: reg.id.clone() });
+                actions.push(Action {
+                    handle: handle.clone(),
+                    pause: false,
+                    reg_id: reg.id.clone(),
+                });
             } else if !demanded && !reg.publisher_paused {
-                actions.push(Action { handle: handle.clone(), pause: true, reg_id: reg.id.clone() });
+                actions.push(Action {
+                    handle: handle.clone(),
+                    pause: true,
+                    reg_id: reg.id.clone(),
+                });
             }
         }
     }
     let client = WsnClient::new(&inner.producer.net, inner.producer.codec.version);
     for a in actions {
-        let ok = if a.pause { client.pause(&a.handle).is_ok() } else { client.resume(&a.handle).is_ok() };
+        let ok = if a.pause {
+            client.pause(&a.handle).is_ok()
+        } else {
+            client.resume(&a.handle).is_ok()
+        };
         if ok {
             if let Some(reg) = inner.registrations.lock().get_mut(&a.reg_id) {
                 reg.publisher_paused = a.pause;
@@ -205,10 +226,10 @@ fn handle_register_publisher(inner: &BrokerInner, request: &Envelope) -> Result<
     let codec = producer.codec;
     let (publisher, topics, demand) = codec.parse_register_publisher(request)?;
     if demand && publisher.is_none() {
-        return Err(Fault::sender(
-            "a demand-based registration requires a PublisherReference",
-        )
-        .with_subcode("wsn-br:PublisherRegistrationFailedFault"));
+        return Err(
+            Fault::sender("a demand-based registration requires a PublisherReference")
+                .with_subcode("wsn-br:PublisherRegistrationFailedFault"),
+        );
     }
     // Seed the topic space with concrete registered topics.
     {
@@ -333,7 +354,9 @@ mod tests {
     use crate::consumer::NotificationConsumer;
     use crate::producer::NotificationProducer;
 
-    fn setup(version: WsnVersion) -> (Network, NotificationBroker, NotificationConsumer, WsnClient) {
+    fn setup(
+        version: WsnVersion,
+    ) -> (Network, NotificationBroker, NotificationConsumer, WsnClient) {
         let net = Network::new();
         let broker = NotificationBroker::start(&net, "http://broker", version);
         let consumer = NotificationConsumer::start(&net, "http://consumer", version);
@@ -358,8 +381,11 @@ mod tests {
             subscription: None,
             message: Element::local("alert").with_text("hail"),
         };
-        net.send(broker.uri(), codec.notify(&EndpointReference::new(broker.uri()), &[msg]))
-            .unwrap();
+        net.send(
+            broker.uri(),
+            codec.notify(&EndpointReference::new(broker.uri()), &[msg]),
+        )
+        .unwrap();
         let got = consumer.notifications();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].message.text(), "hail");
@@ -418,7 +444,11 @@ mod tests {
         assert_eq!(publisher.subscription_count(), 1);
         // ...and with no consumers, paused it immediately.
         assert_eq!(broker.publisher_paused("reg-1"), Some(true));
-        assert_eq!(publisher.publish_on("storms", &Element::local("e0")), 0, "no demand: dropped");
+        assert_eq!(
+            publisher.publish_on("storms", &Element::local("e0")),
+            0,
+            "no demand: dropped"
+        );
 
         // A consumer arrives: demand resumes the publisher subscription.
         let h = client
@@ -458,14 +488,20 @@ mod tests {
                 &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("traffic")),
             )
             .unwrap();
-        assert_eq!(broker.publisher_paused("reg-1"), Some(true), "traffic ≠ storms");
+        assert_eq!(
+            broker.publisher_paused("reg-1"),
+            Some(true),
+            "traffic ≠ storms"
+        );
     }
 
     #[test]
     fn create_pull_point_via_broker() {
         let (net, broker, _consumer, client) = setup(WsnVersion::V1_3);
         let codec = WsnCodec::new(WsnVersion::V1_3);
-        let resp = net.request(broker.uri(), codec.create_pull_point(broker.uri())).unwrap();
+        let resp = net
+            .request(broker.uri(), codec.create_pull_point(broker.uri()))
+            .unwrap();
         let pp_epr = codec.parse_create_pull_point_response(&resp).unwrap();
         assert!(net.has_endpoint(&pp_epr.address));
         // Subscribe the pull point as the consumer, publish, then drain.
@@ -486,7 +522,10 @@ mod tests {
         let (net, broker, _consumer, client) = setup(WsnVersion::V1_3);
         broker.publish_on("storms", &Element::local("latest").with_text("x"));
         let topic = TopicExpression::concrete("storms").unwrap();
-        let got = client.get_current_message(broker.uri(), &topic).unwrap().unwrap();
+        let got = client
+            .get_current_message(broker.uri(), &topic)
+            .unwrap()
+            .unwrap();
         assert_eq!(got.name.local, "latest");
         // Unknown topic faults.
         let missing = TopicExpression::concrete("nothing").unwrap();

@@ -45,7 +45,13 @@ impl NotificationConsumer {
             notifications: Mutex::new(Vec::new()),
             raw: Mutex::new(Vec::new()),
         });
-        net.register_with(uri, Arc::new(ConsumerHandler { inner: Arc::clone(&inner) }), options);
+        net.register_with(
+            uri,
+            Arc::new(ConsumerHandler {
+                inner: Arc::clone(&inner),
+            }),
+            options,
+        );
         NotificationConsumer { inner }
     }
 
@@ -67,8 +73,13 @@ impl NotificationConsumer {
     /// All payloads regardless of encapsulation, in arrival order
     /// within each kind.
     pub fn payloads(&self) -> Vec<wsm_xml::Element> {
-        let mut out: Vec<wsm_xml::Element> =
-            self.inner.notifications.lock().iter().map(|n| n.message.clone()).collect();
+        let mut out: Vec<wsm_xml::Element> = self
+            .inner
+            .notifications
+            .lock()
+            .iter()
+            .map(|n| n.message.clone())
+            .collect();
         out.extend(self.inner.raw.lock().iter().cloned());
         out
     }
@@ -95,7 +106,9 @@ impl SoapHandler for ConsumerHandler {
             self.inner.notifications.lock().extend(msgs);
             return Ok(None);
         }
-        let body = request.body().ok_or_else(|| Fault::sender("empty notification"))?;
+        let body = request
+            .body()
+            .ok_or_else(|| Fault::sender("empty notification"))?;
         self.inner.raw.lock().push(body.clone());
         Ok(None)
     }
@@ -113,9 +126,13 @@ mod tests {
         let consumer = NotificationConsumer::start(&net, "http://c", WsnVersion::V1_3);
         let codec = WsnCodec::new(WsnVersion::V1_3);
         let msg = NotificationMessage::new(TopicPath::parse("a/b"), Element::local("m1"));
-        net.send("http://c", codec.notify(&consumer.epr(), &[msg])).unwrap();
-        net.send("http://c", codec.raw_notification(&consumer.epr(), &Element::local("m2")))
+        net.send("http://c", codec.notify(&consumer.epr(), &[msg]))
             .unwrap();
+        net.send(
+            "http://c",
+            codec.raw_notification(&consumer.epr(), &Element::local("m2")),
+        )
+        .unwrap();
         assert_eq!(consumer.notifications().len(), 1);
         assert_eq!(consumer.raw_messages().len(), 1);
         assert_eq!(consumer.payloads().len(), 2);

@@ -40,7 +40,7 @@ pub mod version;
 
 pub use broker::NotificationBroker;
 pub use consumer::NotificationConsumer;
-pub use messages::WsnCodec;
+pub use messages::{SharedNotificationMessage, WsnCodec};
 pub use model::{NotificationMessage, Termination, WsnFilter, WsnSubscribeRequest};
 pub use producer::{NotificationProducer, WsnClient, WsnSubscriptionHandle};
 pub use pullpoint::PullPoint;

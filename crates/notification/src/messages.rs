@@ -7,12 +7,40 @@
 //! WS-Eventing codec — the §V.4 "versions of underlying specifications"
 //! difference shows up for real in the message-diff experiment.
 
-use crate::model::{topic_dialect_uri, NotificationMessage, Termination, WsnFilter, WsnSubscribeRequest};
+use crate::model::{
+    topic_dialect_uri, NotificationMessage, Termination, WsnFilter, WsnSubscribeRequest,
+};
 use crate::version::WsnVersion;
+use std::sync::Arc;
 use wsm_addressing::{EndpointReference, MessageHeaders};
 use wsm_soap::{Envelope, Fault, SoapVersion};
 use wsm_topics::{TopicExpression, TopicPath};
-use wsm_xml::Element;
+use wsm_xml::{Element, Node, SharedElement};
+
+/// A notification whose payload is a [`SharedElement`] — the broker's
+/// fan-out shape, where one event's payload subtree (and its cached
+/// serialization) is shared across every consumer-facing envelope.
+#[derive(Debug, Clone)]
+pub struct SharedNotificationMessage {
+    /// The topic the message was published on.
+    pub topic: Option<TopicPath>,
+    /// The original producer.
+    pub producer: Option<EndpointReference>,
+    /// The subscription this delivery answers.
+    pub subscription: Option<EndpointReference>,
+    /// The shared payload subtree.
+    pub message: Arc<SharedElement>,
+}
+
+/// The implied WS-Addressing action for a raw payload delivery.
+fn raw_action(message: &Element) -> String {
+    message
+        .name
+        .ns
+        .clone()
+        .map(|ns| format!("{ns}/{}", message.name.local))
+        .unwrap_or_else(|| format!("urn:wsm:event/{}", message.name.local))
+}
 
 /// The element name that carries a subscription id inside the
 /// subscription-manager EPR. Its *container* differs by version —
@@ -72,7 +100,10 @@ impl WsnCodec {
     pub fn subscribe(&self, to: &str, req: &WsnSubscribeRequest) -> Envelope {
         let wsa = self.version.wsa();
         let mut body = self.el("Subscribe");
-        body.push(req.consumer.to_named_element(wsa, self.el("ConsumerReference")));
+        body.push(
+            req.consumer
+                .to_named_element(wsa, self.el("ConsumerReference")),
+        );
         match self.version {
             WsnVersion::V1_0 => {
                 // Bare filter children; TopicExpression is mandatory.
@@ -86,7 +117,10 @@ impl WsnCodec {
                                 .with_attr("Dialect", crate::XPATH_DIALECT)
                                 .with_text(x.clone()),
                         ),
-                        WsnFilter::MessageContent { dialect, expression } => body.push(
+                        WsnFilter::MessageContent {
+                            dialect,
+                            expression,
+                        } => body.push(
                             self.el("Selector")
                                 .with_attr("Dialect", dialect.clone())
                                 .with_text(expression.clone()),
@@ -110,7 +144,10 @@ impl WsnCodec {
                                     .with_attr("Dialect", crate::XPATH_DIALECT)
                                     .with_text(x.clone()),
                             ),
-                            WsnFilter::MessageContent { dialect, expression } => filter.push(
+                            WsnFilter::MessageContent {
+                                dialect,
+                                expression,
+                            } => filter.push(
                                 self.el("MessageContent")
                                     .with_attr("Dialect", dialect.clone())
                                     .with_text(expression.clone()),
@@ -128,7 +165,10 @@ impl WsnCodec {
             body.push(self.el("InitialTerminationTime").with_text(t.to_lexical()));
         }
         let mut env = self.envelope().with_body(body);
-        self.apply_maps(&mut env, MessageHeaders::request(to, self.version.action("Subscribe")));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::request(to, self.version.action("Subscribe")),
+        );
         env
     }
 
@@ -157,7 +197,10 @@ impl WsnCodec {
                 }
                 for sel in body.children_ns(ns, "Selector") {
                     filters.push(WsnFilter::MessageContent {
-                        dialect: sel.attr("Dialect").unwrap_or(crate::XPATH_DIALECT).to_string(),
+                        dialect: sel
+                            .attr("Dialect")
+                            .unwrap_or(crate::XPATH_DIALECT)
+                            .to_string(),
                         expression: sel.text().trim().to_string(),
                     });
                 }
@@ -183,7 +226,10 @@ impl WsnCodec {
                     }
                     for mc in filter.children_ns(ns, "MessageContent") {
                         filters.push(WsnFilter::MessageContent {
-                            dialect: mc.attr("Dialect").unwrap_or(crate::XPATH_DIALECT).to_string(),
+                            dialect: mc
+                                .attr("Dialect")
+                                .unwrap_or(crate::XPATH_DIALECT)
+                                .to_string(),
                             expression: mc.text().trim().to_string(),
                         });
                     }
@@ -200,7 +246,8 @@ impl WsnCodec {
                     Fault::sender("invalid InitialTerminationTime")
                         .with_subcode("wsnt:UnacceptableInitialTerminationTimeFault")
                 })?;
-                if matches!(t, Termination::Duration(_)) && !self.version.supports_duration_expiry() {
+                if matches!(t, Termination::Duration(_)) && !self.version.supports_duration_expiry()
+                {
                     return Err(Fault::sender(
                         "WS-BaseNotification 1.0 only accepts absolute termination times",
                     )
@@ -211,7 +258,12 @@ impl WsnCodec {
             None => None,
         };
 
-        Ok(WsnSubscribeRequest { consumer, filters, initial_termination, use_raw })
+        Ok(WsnSubscribeRequest {
+            consumer,
+            filters,
+            initial_termination,
+            use_raw,
+        })
     }
 
     /// Build a `SubscribeResponse` pointing at the subscription manager.
@@ -232,10 +284,14 @@ impl WsnCodec {
             .with_child(epr.to_named_element(wsa, self.el("SubscriptionReference")));
         if self.version == WsnVersion::V1_3 {
             body.push(
-                self.el("CurrentTime").with_text(wsm_xml::xsd::format_datetime(now_ms)),
+                self.el("CurrentTime")
+                    .with_text(wsm_xml::xsd::format_datetime(now_ms)),
             );
             if let Some(t) = termination_ms {
-                body.push(self.el("TerminationTime").with_text(wsm_xml::xsd::format_datetime(t)));
+                body.push(
+                    self.el("TerminationTime")
+                        .with_text(wsm_xml::xsd::format_datetime(t)),
+                );
             }
         }
         let mut env = self.envelope().with_body(body);
@@ -276,9 +332,17 @@ impl WsnCodec {
     /// `op` is `Renew`, `Unsubscribe`, `PauseSubscription`,
     /// `ResumeSubscription` (1.3 native ops + pause/resume), or the
     /// WSRF ops `Destroy`/`SetTerminationTime` used by 1.0.
-    pub fn management(&self, subscription: &EndpointReference, op: &str, body: Element) -> Envelope {
+    pub fn management(
+        &self,
+        subscription: &EndpointReference,
+        op: &str,
+        body: Element,
+    ) -> Envelope {
         let mut env = self.envelope().with_body(body);
-        self.apply_maps(&mut env, MessageHeaders::to_epr(subscription, self.version.action(op)));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::to_epr(subscription, self.version.action(op)),
+        );
         env
     }
 
@@ -297,12 +361,20 @@ impl WsnCodec {
 
     /// `PauseSubscription` (defined in both versions).
     pub fn pause(&self, subscription: &EndpointReference) -> Envelope {
-        self.management(subscription, "PauseSubscription", self.el("PauseSubscription"))
+        self.management(
+            subscription,
+            "PauseSubscription",
+            self.el("PauseSubscription"),
+        )
     }
 
     /// `ResumeSubscription`.
     pub fn resume(&self, subscription: &EndpointReference) -> Envelope {
-        self.management(subscription, "ResumeSubscription", self.el("ResumeSubscription"))
+        self.management(
+            subscription,
+            "ResumeSubscription",
+            self.el("ResumeSubscription"),
+        )
     }
 
     /// WSRF `Destroy` (how 1.0 unsubscribes — Table 2's mapping).
@@ -361,7 +433,10 @@ impl WsnCodec {
             .el("GetCurrentMessage")
             .with_child(self.topic_expression_element("Topic", topic));
         let mut env = self.envelope().with_body(body);
-        self.apply_maps(&mut env, MessageHeaders::request(to, self.version.action("GetCurrentMessage")));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::request(to, self.version.action("GetCurrentMessage")),
+        );
         env
     }
 
@@ -388,41 +463,102 @@ impl WsnCodec {
     /// *defines*, unlike WS-Eventing — Table 1's "Define Wrapped message
     /// format" row).
     pub fn notify(&self, to: &EndpointReference, messages: &[NotificationMessage]) -> Envelope {
+        self.notify_envelope(
+            to,
+            messages.iter().map(|m| {
+                (
+                    m.topic.as_ref(),
+                    m.producer.as_ref(),
+                    m.subscription.as_ref(),
+                    Node::Element(m.message.clone()),
+                )
+            }),
+        )
+    }
+
+    /// Build a `Notify` whose payloads are shared subtrees, so every
+    /// envelope carrying the same event reuses one cached payload
+    /// serialization. Output is byte-identical to [`WsnCodec::notify`]
+    /// over the equivalent plain messages.
+    pub fn notify_shared(
+        &self,
+        to: &EndpointReference,
+        messages: &[SharedNotificationMessage],
+    ) -> Envelope {
+        self.notify_envelope(
+            to,
+            messages.iter().map(|m| {
+                (
+                    m.topic.as_ref(),
+                    m.producer.as_ref(),
+                    m.subscription.as_ref(),
+                    Node::Shared(Arc::clone(&m.message)),
+                )
+            }),
+        )
+    }
+
+    fn notify_envelope<'a>(
+        &self,
+        to: &EndpointReference,
+        messages: impl Iterator<
+            Item = (
+                Option<&'a TopicPath>,
+                Option<&'a EndpointReference>,
+                Option<&'a EndpointReference>,
+                Node,
+            ),
+        >,
+    ) -> Envelope {
         let wsa = self.version.wsa();
         let mut body = self.el("Notify");
-        for m in messages {
+        for (topic, producer, subscription, message) in messages {
             let mut nm = self.el("NotificationMessage");
-            if let Some(sub) = &m.subscription {
+            if let Some(sub) = subscription {
                 nm.push(sub.to_named_element(wsa, self.el("SubscriptionReference")));
             }
-            if let Some(t) = &m.topic {
+            if let Some(t) = topic {
                 nm.push(
                     self.el("Topic")
                         .with_attr("Dialect", wsm_topics::expression::CONCRETE_DIALECT)
                         .with_text(t.segments.join("/")),
                 );
             }
-            if let Some(p) = &m.producer {
+            if let Some(p) = producer {
                 nm.push(p.to_named_element(wsa, self.el("ProducerReference")));
             }
-            nm.push(self.el("Message").with_child(m.message.clone()));
+            let mut msg = self.el("Message");
+            msg.children.push(message);
+            nm.push(msg);
             body.push(nm);
         }
         let mut env = self.envelope().with_body(body);
-        self.apply_maps(&mut env, MessageHeaders::to_epr(to, self.version.action("Notify")));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::to_epr(to, self.version.action("Notify")),
+        );
         env
     }
 
     /// Build a raw notification (just the payload in the body).
     pub fn raw_notification(&self, to: &EndpointReference, message: &Element) -> Envelope {
         let mut env = self.envelope().with_body(message.clone());
-        let action = message
-            .name
-            .ns
-            .clone()
-            .map(|ns| format!("{ns}/{}", message.name.local))
-            .unwrap_or_else(|| format!("urn:wsm:event/{}", message.name.local));
-        self.apply_maps(&mut env, MessageHeaders::to_epr(to, action));
+        self.apply_maps(&mut env, MessageHeaders::to_epr(to, raw_action(message)));
+        env
+    }
+
+    /// Raw notification over a shared payload subtree. Byte-identical
+    /// to [`WsnCodec::raw_notification`] over the same element.
+    pub fn raw_notification_shared(
+        &self,
+        to: &EndpointReference,
+        message: &Arc<SharedElement>,
+    ) -> Envelope {
+        let mut env = self.envelope().with_shared_body(Arc::clone(message));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::to_epr(to, raw_action(message.element())),
+        );
         env
     }
 
@@ -443,7 +579,12 @@ impl WsnCodec {
                 .child_ns(ns, "SubscriptionReference")
                 .and_then(|e| EndpointReference::from_element(e, wsa));
             let message = nm.child_ns(ns, "Message")?.elements().next()?.clone();
-            out.push(NotificationMessage { topic, producer, subscription, message });
+            out.push(NotificationMessage {
+                topic,
+                producer,
+                subscription,
+                message,
+            });
         }
         Some(out)
     }
@@ -453,7 +594,10 @@ impl WsnCodec {
     /// 1.3 `CreatePullPoint`.
     pub fn create_pull_point(&self, to: &str) -> Envelope {
         let mut env = self.envelope().with_body(self.br_el("CreatePullPoint"));
-        self.apply_maps(&mut env, MessageHeaders::request(to, self.version.action("CreatePullPoint")));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::request(to, self.version.action("CreatePullPoint")),
+        );
         env
     }
 
@@ -513,7 +657,9 @@ impl WsnCodec {
             .filter_map(|nm| {
                 let message = nm.child_ns(ns, "Message")?.elements().next()?.clone();
                 Some(NotificationMessage {
-                    topic: nm.child_ns(ns, "Topic").and_then(|t| TopicPath::parse(t.text().trim())),
+                    topic: nm
+                        .child_ns(ns, "Topic")
+                        .and_then(|t| TopicPath::parse(t.text().trim())),
                     producer: nm
                         .child_ns(ns, "ProducerReference")
                         .and_then(|e| EndpointReference::from_element(e, wsa)),
@@ -546,7 +692,10 @@ impl WsnCodec {
             body.push(self.br_el("Demand").with_text("true"));
         }
         let mut env = self.envelope().with_body(body);
-        self.apply_maps(&mut env, MessageHeaders::request(to, self.version.action("RegisterPublisher")));
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::request(to, self.version.action("RegisterPublisher")),
+        );
         env
     }
 
@@ -578,10 +727,12 @@ impl WsnCodec {
 
     /// `RegisterPublisherResponse` with the registration EPR.
     pub fn register_publisher_response(&self, registration: &EndpointReference) -> Envelope {
-        let body = self.br_el("RegisterPublisherResponse").with_child(
-            registration
-                .to_named_element(self.version.wsa(), self.br_el("PublisherRegistrationReference")),
-        );
+        let body =
+            self.br_el("RegisterPublisherResponse")
+                .with_child(registration.to_named_element(
+                    self.version.wsa(),
+                    self.br_el("PublisherRegistrationReference"),
+                ));
         self.envelope().with_body(body)
     }
 }
@@ -637,7 +788,8 @@ mod tests {
         );
         // 1.3 accepts durations (a convergence with WS-Eventing).
         let codec = WsnCodec::new(WsnVersion::V1_3);
-        let req = WsnSubscribeRequest::new(consumer()).with_termination(Termination::Duration(60_000));
+        let req =
+            WsnSubscribeRequest::new(consumer()).with_termination(Termination::Duration(60_000));
         let env = codec.subscribe("http://p", &req);
         assert!(codec.parse_subscribe(&env).is_ok());
     }
@@ -646,8 +798,7 @@ mod tests {
     fn filter_wrapper_only_in_13() {
         let with_filter = |v: WsnVersion| {
             let codec = WsnCodec::new(v);
-            let req =
-                WsnSubscribeRequest::new(consumer()).with_filter(WsnFilter::topic("storms"));
+            let req = WsnSubscribeRequest::new(consumer()).with_filter(WsnFilter::topic("storms"));
             codec.subscribe("http://p", &req).to_xml()
         };
         let x10 = with_filter(WsnVersion::V1_0);
@@ -694,7 +845,10 @@ mod tests {
         );
         let env = codec.renew(&mgr, Termination::Duration(60_000));
         let reparsed = Envelope::from_xml(&env.to_xml()).unwrap();
-        assert_eq!(codec.extract_subscription_id(&reparsed).as_deref(), Some("s-7"));
+        assert_eq!(
+            codec.extract_subscription_id(&reparsed).as_deref(),
+            Some("s-7")
+        );
     }
 
     #[test]
@@ -710,9 +864,14 @@ mod tests {
             NotificationMessage::new(None, Element::local("plain")),
         ];
         let env = codec.notify(&consumer(), &msgs);
-        let back = codec.parse_notify(&Envelope::from_xml(&env.to_xml()).unwrap()).unwrap();
+        let back = codec
+            .parse_notify(&Envelope::from_xml(&env.to_xml()).unwrap())
+            .unwrap();
         assert_eq!(back.len(), 2);
-        assert_eq!(back[0].topic.as_ref().unwrap().to_string(), "storms/tornado");
+        assert_eq!(
+            back[0].topic.as_ref().unwrap().to_string(),
+            "storms/tornado"
+        );
         assert_eq!(back[0].message.text(), "F5");
         assert!(back[1].topic.is_none());
     }
@@ -792,7 +951,9 @@ mod tests {
         let sub = EndpointReference::new("http://p/subs");
         let x = codec.wsrf_destroy(&sub).to_xml();
         assert!(x.contains("Destroy"), "{x}");
-        let x = codec.wsrf_set_termination_time(&sub, Termination::At(5_000)).to_xml();
+        let x = codec
+            .wsrf_set_termination_time(&sub, Termination::At(5_000))
+            .to_xml();
         assert!(x.contains("SetTerminationTime"), "{x}");
         let x = codec.wsrf_get_property(&sub, "TerminationTime").to_xml();
         assert!(x.contains("GetResourceProperty"), "{x}");

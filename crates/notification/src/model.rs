@@ -97,7 +97,12 @@ pub struct WsnSubscribeRequest {
 impl WsnSubscribeRequest {
     /// A wrapped-delivery subscription with no filters.
     pub fn new(consumer: EndpointReference) -> Self {
-        WsnSubscribeRequest { consumer, filters: Vec::new(), initial_termination: None, use_raw: false }
+        WsnSubscribeRequest {
+            consumer,
+            filters: Vec::new(),
+            initial_termination: None,
+            use_raw: false,
+        }
     }
 
     /// Builder-style filter.
@@ -143,7 +148,12 @@ pub struct NotificationMessage {
 impl NotificationMessage {
     /// A bare payload on a topic.
     pub fn new(topic: Option<TopicPath>, message: Element) -> Self {
-        NotificationMessage { topic, producer: None, subscription: None, message }
+        NotificationMessage {
+            topic,
+            producer: None,
+            subscription: None,
+            message,
+        }
     }
 }
 
@@ -165,7 +175,10 @@ mod tests {
         for t in [Termination::At(1_000_000), Termination::Duration(90_000)] {
             assert_eq!(Termination::parse(&t.to_lexical()), Some(t));
         }
-        assert_eq!(Termination::parse("PT1M"), Some(Termination::Duration(60_000)));
+        assert_eq!(
+            Termination::parse("PT1M"),
+            Some(Termination::Duration(60_000))
+        );
         assert!(Termination::parse("nope").is_none());
     }
 

@@ -69,10 +69,17 @@ impl NotificationProducer {
             resources: ResourceHome::new(),
             on_population_change: Mutex::new(None),
         });
-        net.register(uri, Arc::new(ProducerHandler { inner: Arc::clone(&inner) }));
+        net.register(
+            uri,
+            Arc::new(ProducerHandler {
+                inner: Arc::clone(&inner),
+            }),
+        );
         net.register(
             inner.manager_uri.clone(),
-            Arc::new(ManagerHandler { inner: Arc::clone(&inner) }),
+            Arc::new(ManagerHandler {
+                inner: Arc::clone(&inner),
+            }),
         );
         NotificationProducer { inner }
     }
@@ -111,7 +118,9 @@ impl NotificationProducer {
     pub fn set_property(&self, name: &str, value: &str) {
         let mut props = self.inner.properties.lock();
         // Replace an existing child of the same name.
-        props.children.retain(|c| c.as_element().map(|e| e.name.local != name).unwrap_or(true));
+        props
+            .children
+            .retain(|c| c.as_element().map(|e| e.name.local != name).unwrap_or(true));
         props.push(Element::local(name).with_text(value));
     }
 
@@ -164,7 +173,9 @@ pub(crate) fn publish_message(
         } else {
             let msg = NotificationMessage {
                 topic: topic.cloned(),
-                producer: producer_ref.cloned().or(Some(EndpointReference::new(inner.uri.clone()))),
+                producer: producer_ref
+                    .cloned()
+                    .or(Some(EndpointReference::new(inner.uri.clone()))),
                 subscription: Some(subscription_epr(inner, &sub.id)),
                 message: payload.clone(),
             };
@@ -203,14 +214,19 @@ pub(crate) fn subscription_epr(inner: &ProducerInner, id: &str) -> EndpointRefer
     )
 }
 
-pub(crate) fn handle_subscribe(inner: &ProducerInner, request: &Envelope) -> Result<Envelope, Fault> {
+pub(crate) fn handle_subscribe(
+    inner: &ProducerInner,
+    request: &Envelope,
+) -> Result<Envelope, Fault> {
     let req = inner.codec.parse_subscribe(request)?;
     let filters = CompiledFilters::compile(&req).map_err(|why| {
         Fault::sender(format!("invalid filter: {why}")).with_subcode("wsnt:InvalidFilterFault")
     })?;
     let now = inner.net.clock().now_ms();
     let termination = req.initial_termination.map(|t| t.absolute(now));
-    let id = inner.store.insert(req.consumer.clone(), filters, termination, req.use_raw);
+    let id = inner
+        .store
+        .insert(req.consumer.clone(), filters, termination, req.use_raw);
 
     // 1.0: expose the subscription as a WS-Resource.
     if inner.codec.version.requires_wsrf() {
@@ -282,7 +298,10 @@ impl SoapHandler for ProducerHandler {
         } else if body.name.is(ns, "GetCurrentMessage") {
             handle_get_current_message(inner, &request).map(Some)
         } else {
-            Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+            Err(Fault::sender(format!(
+                "unsupported operation {}",
+                body.name.clark()
+            )))
         }
     }
 }
@@ -309,8 +328,10 @@ pub(crate) fn handle_management(
         .extract_subscription_id(request)
         .ok_or_else(|| Fault::sender("no SubscriptionId in request"))?;
     let now = inner.net.clock().now_ms();
-    let unknown =
-        || Fault::sender(format!("unknown subscription {id}")).with_subcode("wsnt:ResourceUnknownFault");
+    let unknown = || {
+        Fault::sender(format!("unknown subscription {id}"))
+            .with_subcode("wsnt:ResourceUnknownFault")
+    };
 
     if body.name.is(ns, "Renew") {
         if !version.has_native_renew_unsubscribe() {
@@ -327,7 +348,8 @@ pub(crate) fn handle_management(
         inner.store.set_termination(&id, Some(abs));
         let mut env_body = Element::ns(ns, "RenewResponse", "wsnt");
         env_body.push(
-            Element::ns(ns, "TerminationTime", "wsnt").with_text(wsm_xml::xsd::format_datetime(abs)),
+            Element::ns(ns, "TerminationTime", "wsnt")
+                .with_text(wsm_xml::xsd::format_datetime(abs)),
         );
         env_body.push(
             Element::ns(ns, "CurrentTime", "wsnt").with_text(wsm_xml::xsd::format_datetime(now)),
@@ -363,16 +385,25 @@ pub(crate) fn handle_management(
         Ok(inner.codec.management_response("ResumeSubscription"))
     } else if body.name.is(wsm_wsrf::WSRF_RL_NS, "Destroy") {
         if !version.requires_wsrf() {
-            return Err(Fault::sender("WSRF lifetime is not exposed by this 1.3 producer"));
+            return Err(Fault::sender(
+                "WSRF lifetime is not exposed by this 1.3 producer",
+            ));
         }
         inner.store.remove(&id).ok_or_else(unknown)?;
         inner.resources.destroy(&id);
         notify_population_change(inner);
-        Ok(Envelope::new(wsm_soap::SoapVersion::V11)
-            .with_body(Element::ns(wsm_wsrf::WSRF_RL_NS, "DestroyResponse", "wsrf-rl")))
+        Ok(
+            Envelope::new(wsm_soap::SoapVersion::V11).with_body(Element::ns(
+                wsm_wsrf::WSRF_RL_NS,
+                "DestroyResponse",
+                "wsrf-rl",
+            )),
+        )
     } else if body.name.is(wsm_wsrf::WSRF_RL_NS, "SetTerminationTime") {
         if !version.requires_wsrf() {
-            return Err(Fault::sender("WSRF lifetime is not exposed by this 1.3 producer"));
+            return Err(Fault::sender(
+                "WSRF lifetime is not exposed by this 1.3 producer",
+            ));
         }
         inner.store.get(&id).ok_or_else(unknown)?;
         let t = body
@@ -389,25 +420,39 @@ pub(crate) fn handle_management(
             );
         });
         Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(
-            Element::ns(wsm_wsrf::WSRF_RL_NS, "SetTerminationTimeResponse", "wsrf-rl").with_child(
+            Element::ns(
+                wsm_wsrf::WSRF_RL_NS,
+                "SetTerminationTimeResponse",
+                "wsrf-rl",
+            )
+            .with_child(
                 Element::ns(wsm_wsrf::WSRF_RL_NS, "NewTerminationTime", "wsrf-rl")
                     .with_text(wsm_xml::xsd::format_datetime(abs)),
             ),
         ))
     } else if body.name.is(wsm_wsrf::WSRF_RP_NS, "GetResourceProperty") {
         if !version.requires_wsrf() {
-            return Err(Fault::sender("WSRF properties are not exposed by this 1.3 producer"));
+            return Err(Fault::sender(
+                "WSRF properties are not exposed by this 1.3 producer",
+            ));
         }
         let resource = inner.resources.get(&id).ok_or_else(unknown)?;
         let wanted = body.text();
         let local = wanted.trim().rsplit(':').next().unwrap_or("").to_string();
-        let mut resp = Element::ns(wsm_wsrf::WSRF_RP_NS, "GetResourcePropertyResponse", "wsrf-rp");
+        let mut resp = Element::ns(
+            wsm_wsrf::WSRF_RP_NS,
+            "GetResourcePropertyResponse",
+            "wsrf-rp",
+        );
         for p in resource.properties.get(&wsm_xml::QName::ns(ns, local)) {
             resp.push(p.clone());
         }
         Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(resp))
     } else {
-        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+        Err(Fault::sender(format!(
+            "unsupported operation {}",
+            body.name.clark()
+        )))
     }
 }
 
@@ -424,7 +469,10 @@ pub struct WsnClient {
 impl WsnClient {
     /// A client speaking `version`.
     pub fn new(net: &Network, version: WsnVersion) -> Self {
-        WsnClient { net: net.clone(), codec: WsnCodec::new(version) }
+        WsnClient {
+            net: net.clone(),
+            codec: WsnCodec::new(version),
+        }
     }
 
     /// Subscribe at a producer or broker.
@@ -435,9 +483,15 @@ impl WsnClient {
     ) -> Result<WsnSubscriptionHandle, TransportError> {
         let env = self.codec.subscribe(producer_uri, req);
         let resp = self.net.request(producer_uri, env)?;
-        let (reference, id) =
-            self.codec.parse_subscribe_response(&resp).map_err(TransportError::Fault)?;
-        Ok(WsnSubscriptionHandle { reference, id, version: self.codec.version })
+        let (reference, id) = self
+            .codec
+            .parse_subscribe_response(&resp)
+            .map_err(|f| TransportError::Fault(Box::new(f)))?;
+        Ok(WsnSubscriptionHandle {
+            reference,
+            id,
+            version: self.codec.version,
+        })
     }
 
     /// Renew: native in 1.3, WSRF `SetTerminationTime` in 1.0 — the

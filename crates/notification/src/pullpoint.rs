@@ -48,7 +48,12 @@ impl PullPoint {
             uri: uri.to_string(),
             queue: Mutex::new(VecDeque::new()),
         });
-        net.register(uri, Arc::new(PullPointHandler { inner: Arc::clone(&inner) }));
+        net.register(
+            uri,
+            Arc::new(PullPointHandler {
+                inner: Arc::clone(&inner),
+            }),
+        );
         Some(PullPoint { inner })
     }
 
@@ -124,14 +129,15 @@ impl SoapHandler for PullPointHandler {
         }
         if body.name.local == "DestroyPullPoint" {
             inner.net.unregister(&inner.uri);
-            return Ok(Some(
-                Envelope::new(wsm_soap::SoapVersion::V11).with_body(
-                    wsm_xml::Element::ns(ns, "DestroyPullPointResponse", "wsnt"),
-                ),
-            ));
+            return Ok(Some(Envelope::new(wsm_soap::SoapVersion::V11).with_body(
+                wsm_xml::Element::ns(ns, "DestroyPullPointResponse", "wsnt"),
+            )));
         }
         // Anything else is treated as a raw notification payload.
-        inner.queue.lock().push_back(NotificationMessage::new(None, body.clone()));
+        inner
+            .queue
+            .lock()
+            .push_back(NotificationMessage::new(None, body.clone()));
         Ok(None)
     }
 }
@@ -154,11 +160,10 @@ mod tests {
         let pp = PullPoint::create(&net, "http://pp", WsnVersion::V1_3).unwrap();
         let codec = WsnCodec::new(WsnVersion::V1_3);
         for i in 0..4 {
-            let msg = NotificationMessage::new(
-                TopicPath::parse("t"),
-                Element::local(format!("m{i}")),
-            );
-            net.send("http://pp", codec.notify(&pp.epr(), &[msg])).unwrap();
+            let msg =
+                NotificationMessage::new(TopicPath::parse("t"), Element::local(format!("m{i}")));
+            net.send("http://pp", codec.notify(&pp.epr(), &[msg]))
+                .unwrap();
         }
         assert_eq!(pp.len(), 4);
         // Remote GetMessages drains in order.
@@ -176,8 +181,11 @@ mod tests {
         let net = Network::new();
         let pp = PullPoint::create(&net, "http://pp", WsnVersion::V1_3).unwrap();
         let codec = WsnCodec::new(WsnVersion::V1_3);
-        net.send("http://pp", codec.raw_notification(&pp.epr(), &Element::local("raw")))
-            .unwrap();
+        net.send(
+            "http://pp",
+            codec.raw_notification(&pp.epr(), &Element::local("raw")),
+        )
+        .unwrap();
         assert_eq!(pp.take(1)[0].message.name.local, "raw");
     }
 

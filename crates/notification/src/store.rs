@@ -32,7 +32,10 @@ impl CompiledFilters {
                 WsnFilter::ProducerProperties(x) => out
                     .producer_props
                     .push(XPath::compile(x).map_err(|e| format!("ProducerProperties `{x}`: {e}"))?),
-                WsnFilter::MessageContent { dialect, expression } => {
+                WsnFilter::MessageContent {
+                    dialect,
+                    expression,
+                } => {
                     if dialect != crate::XPATH_DIALECT {
                         return Err(format!("unsupported MessageContent dialect `{dialect}`"));
                     }
@@ -137,7 +140,14 @@ impl WsnSubscriptionStore {
         let id = format!("wsn-sub-{}", inner.next_id);
         inner.subs.insert(
             id.clone(),
-            WsnSubscription { id: id.clone(), consumer, filters, termination_ms, paused: false, use_raw },
+            WsnSubscription {
+                id: id.clone(),
+                consumer,
+                filters,
+                termination_ms,
+                paused: false,
+                use_raw,
+            },
         );
         id
     }
@@ -199,7 +209,9 @@ impl WsnSubscriptionStore {
             .subs
             .values()
             .filter(|s| {
-                !s.paused && !s.expired(now_ms) && s.filters.admit(topic, payload, producer_properties)
+                !s.paused
+                    && !s.expired(now_ms)
+                    && s.filters.admit(topic, payload, producer_properties)
             })
             .cloned()
             .collect()
@@ -258,9 +270,11 @@ mod tests {
 
     #[test]
     fn producer_properties_filtering() {
-        let f = compile(vec![WsnFilter::ProducerProperties("/props/site = 'bloomington'".into())]);
-        let props = Element::local("props")
-            .with_child(Element::local("site").with_text("bloomington"));
+        let f = compile(vec![WsnFilter::ProducerProperties(
+            "/props/site = 'bloomington'".into(),
+        )]);
+        let props =
+            Element::local("props").with_child(Element::local("site").with_text("bloomington"));
         assert!(f.admit(None, &Element::local("x"), Some(&props)));
         let other =
             Element::local("props").with_child(Element::local("site").with_text("elsewhere"));

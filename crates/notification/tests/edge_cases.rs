@@ -8,7 +8,14 @@ use wsm_topics::TopicExpression;
 use wsm_transport::Network;
 use wsm_xml::Element;
 
-fn setup(v: WsnVersion) -> (Network, NotificationProducer, NotificationConsumer, WsnClient) {
+fn setup(
+    v: WsnVersion,
+) -> (
+    Network,
+    NotificationProducer,
+    NotificationConsumer,
+    WsnClient,
+) {
     let net = Network::new();
     let p = NotificationProducer::start(&net, "http://p", v);
     let c = NotificationConsumer::start(&net, "http://c", v);
@@ -24,7 +31,10 @@ fn get_current_message_with_wildcard_expression() {
     // A Full-dialect wildcard returns the most recent matching topic's
     // message.
     let expr = TopicExpression::full("storms/*").unwrap();
-    let got = client.get_current_message(producer.uri(), &expr).unwrap().unwrap();
+    let got = client
+        .get_current_message(producer.uri(), &expr)
+        .unwrap()
+        .unwrap();
     assert!(got.name.local == "h" || got.name.local == "t");
 }
 
@@ -114,7 +124,11 @@ fn several_subscriptions_same_consumer() {
         .unwrap();
     assert_ne!(h1.id, h2.id);
     producer.publish_on("a", &Element::local("m"));
-    assert_eq!(consumer.notifications().len(), 1, "only the matching subscription fires");
+    assert_eq!(
+        consumer.notifications().len(),
+        1,
+        "only the matching subscription fires"
+    );
     // Each is managed independently.
     client.unsubscribe(&h1).unwrap();
     producer.publish_on("a", &Element::local("m2"));
@@ -146,9 +160,16 @@ fn notify_batch_from_publisher_is_split_per_message() {
             )
         })
         .collect();
-    net.send(broker.uri(), codec.notify(&EndpointReference::new(broker.uri()), &msgs))
-        .unwrap();
-    assert_eq!(consumer.notifications().len(), 3, "each message republished");
+    net.send(
+        broker.uri(),
+        codec.notify(&EndpointReference::new(broker.uri()), &msgs),
+    )
+    .unwrap();
+    assert_eq!(
+        consumer.notifications().len(),
+        3,
+        "each message republished"
+    );
 }
 
 #[test]
@@ -160,14 +181,26 @@ fn wsrf_resource_view_tracks_pause_state_in_10() {
             &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("t")),
         )
         .unwrap();
-    assert_eq!(client.get_status_wsrf(&h, "Paused").unwrap().as_deref(), Some("false"));
+    assert_eq!(
+        client.get_status_wsrf(&h, "Paused").unwrap().as_deref(),
+        Some("false")
+    );
     client.pause(&h).unwrap();
-    assert_eq!(client.get_status_wsrf(&h, "Paused").unwrap().as_deref(), Some("true"));
+    assert_eq!(
+        client.get_status_wsrf(&h, "Paused").unwrap().as_deref(),
+        Some("true")
+    );
     client.resume(&h).unwrap();
-    assert_eq!(client.get_status_wsrf(&h, "Paused").unwrap().as_deref(), Some("false"));
+    assert_eq!(
+        client.get_status_wsrf(&h, "Paused").unwrap().as_deref(),
+        Some("false")
+    );
     // ConsumerReference is also exposed as a resource property.
     assert_eq!(
-        client.get_status_wsrf(&h, "ConsumerReference").unwrap().as_deref(),
+        client
+            .get_status_wsrf(&h, "ConsumerReference")
+            .unwrap()
+            .as_deref(),
         Some("http://c")
     );
 }

@@ -8,7 +8,14 @@ use wsm_notification::{
 use wsm_transport::Network;
 use wsm_xml::Element;
 
-fn setup(version: WsnVersion) -> (Network, NotificationProducer, NotificationConsumer, WsnClient) {
+fn setup(
+    version: WsnVersion,
+) -> (
+    Network,
+    NotificationProducer,
+    NotificationConsumer,
+    WsnClient,
+) {
     let net = Network::new();
     let producer = NotificationProducer::start(&net, "http://producer", version);
     let consumer = NotificationConsumer::start(&net, "http://consumer", version);
@@ -33,7 +40,10 @@ fn wrapped_delivery_end_to_end_both_versions() {
         assert_eq!(msgs.len(), 1, "{v:?}");
         assert_eq!(msgs[0].topic.as_ref().unwrap().to_string(), "storms");
         assert_eq!(msgs[0].message.text(), "hail");
-        assert!(msgs[0].subscription.is_some(), "subscription reference attached");
+        assert!(
+            msgs[0].subscription.is_some(),
+            "subscription reference attached"
+        );
     }
 }
 
@@ -59,7 +69,8 @@ fn topic_filtering_screens_messages() {
     client
         .subscribe(
             producer.uri(),
-            &WsnSubscribeRequest::new(consumer.epr()).with_filter(WsnFilter::topic("storms/tornado")),
+            &WsnSubscribeRequest::new(consumer.epr())
+                .with_filter(WsnFilter::topic("storms/tornado")),
         )
         .unwrap();
     producer.publish_on("storms/hail", &Element::local("a"));
@@ -103,7 +114,11 @@ fn producer_properties_filter() {
     assert_eq!(consumer.notifications().len(), 1);
     producer.set_property("site", "elsewhere");
     producer.publish_on("t", &Element::local("m2"));
-    assert_eq!(consumer.notifications().len(), 1, "property change stops delivery");
+    assert_eq!(
+        consumer.notifications().len(),
+        1,
+        "property change stops delivery"
+    );
 }
 
 #[test]
@@ -121,8 +136,11 @@ fn pause_resume_both_versions() {
         producer.publish_on("t", &Element::local("m2"));
         client.resume(&h).unwrap();
         producer.publish_on("t", &Element::local("m3"));
-        let got: Vec<String> =
-            consumer.notifications().iter().map(|m| m.message.name.local.clone()).collect();
+        let got: Vec<String> = consumer
+            .notifications()
+            .iter()
+            .map(|m| m.message.name.local.clone())
+            .collect();
         assert_eq!(got, vec!["m1", "m3"], "{v:?}: paused window missed m2");
     }
 }
@@ -142,7 +160,11 @@ fn v13_native_renew_and_unsubscribe() {
     client.renew(&h, Termination::Duration(1_000)).unwrap();
     net.clock().advance_ms(500);
     producer.publish_on("t", &Element::local("m1"));
-    assert_eq!(consumer.notifications().len(), 1, "renewed past original expiry");
+    assert_eq!(
+        consumer.notifications().len(),
+        1,
+        "renewed past original expiry"
+    );
     client.unsubscribe(&h).unwrap();
     producer.publish_on("t", &Element::local("m2"));
     assert_eq!(consumer.notifications().len(), 1);
@@ -211,7 +233,10 @@ fn get_current_message_returns_last_per_topic() {
     producer.publish_on("storms", &Element::local("old"));
     producer.publish_on("storms", &Element::local("new"));
     let topic = wsm_topics::TopicExpression::concrete("storms").unwrap();
-    let got = client.get_current_message(producer.uri(), &topic).unwrap().unwrap();
+    let got = client
+        .get_current_message(producer.uri(), &topic)
+        .unwrap()
+        .unwrap();
     assert_eq!(got.name.local, "new");
 }
 
@@ -220,7 +245,10 @@ fn v10_subscribe_without_topic_faults_on_wire() {
     let (net, producer, consumer, _client) = setup(WsnVersion::V1_0);
     let codec = wsm_notification::WsnCodec::new(WsnVersion::V1_0);
     let env = codec.subscribe(producer.uri(), &WsnSubscribeRequest::new(consumer.epr()));
-    assert!(net.request(producer.uri(), env).is_err(), "1.0 requires a topic");
+    assert!(
+        net.request(producer.uri(), env).is_err(),
+        "1.0 requires a topic"
+    );
 }
 
 #[test]

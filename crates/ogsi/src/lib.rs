@@ -57,7 +57,12 @@ impl NotificationSource {
             subscriptions: Mutex::new(Vec::new()),
             next_id: Mutex::new(0),
         });
-        net.register(uri, Arc::new(SourceHandler { inner: Arc::clone(&inner) }));
+        net.register(
+            uri,
+            Arc::new(SourceHandler {
+                inner: Arc::clone(&inner),
+            }),
+        );
         NotificationSource { inner }
     }
 
@@ -69,18 +74,19 @@ impl NotificationSource {
     /// Set a service data element; subscribed sinks are pushed the new
     /// value. Returns the number of notifications delivered.
     pub fn set_service_data(&self, name: &str, value: Element) -> usize {
-        self.inner.sde.lock().insert(name.to_string(), value.clone());
+        self.inner
+            .sde
+            .lock()
+            .insert(name.to_string(), value.clone());
         let now = self.inner.net.clock().now_ms();
         let mut delivered = 0;
         let mut dead: Vec<String> = Vec::new();
         {
             let mut subs = self.inner.subscriptions.lock();
-            subs.retain(|s| !s.expires_ms.is_some_and(|t| t <= now));
+            subs.retain(|s| s.expires_ms.is_none_or(|t| t > now));
             for s in subs.iter().filter(|s| s.sde_name == name) {
                 let body = Element::ns(OGSI_NS, "DeliverNotification", "ogsi")
-                    .with_child(
-                        Element::ns(OGSI_NS, "ServiceDataName", "ogsi").with_text(name),
-                    )
+                    .with_child(Element::ns(OGSI_NS, "ServiceDataName", "ogsi").with_text(name))
                     .with_child(
                         Element::ns(OGSI_NS, "ServiceDataValues", "ogsi").with_child(value.clone()),
                     );
@@ -162,8 +168,11 @@ impl SoapHandler for SourceHandler {
                 return Err(Fault::sender(format!("unknown subscription {id}")));
             }
             return Ok(Some(
-                Envelope::new(SoapVersion::V11)
-                    .with_body(Element::ns(OGSI_NS, "DestroyResponse", "ogsi")),
+                Envelope::new(SoapVersion::V11).with_body(Element::ns(
+                    OGSI_NS,
+                    "DestroyResponse",
+                    "ogsi",
+                )),
             ));
         }
         if body.name.is(OGSI_NS, "RequestTerminationAfter") {
@@ -181,12 +190,14 @@ impl SoapHandler for SourceHandler {
                 .find(|s| s.id == id)
                 .ok_or_else(|| Fault::sender(format!("unknown subscription {id}")))?;
             sub.expires_ms = Some(when);
-            return Ok(Some(
-                Envelope::new(SoapVersion::V11)
-                    .with_body(Element::ns(OGSI_NS, "RequestTerminationAfterResponse", "ogsi")),
-            ));
+            return Ok(Some(Envelope::new(SoapVersion::V11).with_body(
+                Element::ns(OGSI_NS, "RequestTerminationAfterResponse", "ogsi"),
+            )));
         }
-        Err(Fault::sender(format!("unsupported operation {}", body.name.clark())))
+        Err(Fault::sender(format!(
+            "unsupported operation {}",
+            body.name.clark()
+        )))
     }
 }
 
@@ -206,8 +217,16 @@ pub struct NotificationSink {
 impl NotificationSink {
     /// Start a sink endpoint.
     pub fn start(net: &Network, uri: &str) -> Self {
-        let inner = Arc::new(SinkInner { uri: uri.to_string(), received: Mutex::new(Vec::new()) });
-        net.register(uri, Arc::new(SinkHandler { inner: Arc::clone(&inner) }));
+        let inner = Arc::new(SinkInner {
+            uri: uri.to_string(),
+            received: Mutex::new(Vec::new()),
+        });
+        net.register(
+            uri,
+            Arc::new(SinkHandler {
+                inner: Arc::clone(&inner),
+            }),
+        );
         NotificationSink { inner }
     }
 
@@ -277,7 +296,11 @@ pub fn subscribe(
 }
 
 /// Client helper: destroy a subscription.
-pub fn destroy(net: &Network, source_uri: &str, subscription_id: &str) -> Result<(), TransportError> {
+pub fn destroy(
+    net: &Network,
+    source_uri: &str,
+    subscription_id: &str,
+) -> Result<(), TransportError> {
     let body = Element::ns(OGSI_NS, "Destroy", "ogsi").with_text(subscription_id);
     let env = Envelope::new(SoapVersion::V11).with_body(body);
     net.request(source_uri, env).map(|_| ())
@@ -323,7 +346,10 @@ mod tests {
         assert_eq!(source.subscription_count(), 0);
         source.set_service_data("s", Element::local("v"));
         assert!(sink.received().is_empty());
-        assert!(destroy(&net, source.uri(), &id).is_err(), "double destroy faults");
+        assert!(
+            destroy(&net, source.uri(), &id).is_err(),
+            "double destroy faults"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The envelope model.
 
 use std::fmt;
-use wsm_xml::{parse, to_string, Element, QName, XmlError};
+use std::sync::Arc;
+use wsm_xml::{parse, to_string, Element, Node, QName, SharedElement, XmlError};
 
 /// SOAP 1.1 envelope namespace.
 pub const SOAP11_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
@@ -88,17 +89,28 @@ impl From<XmlError> for SoapError {
 }
 
 /// A SOAP envelope: optional header blocks and a body.
+///
+/// Body entries are [`Node`]s so a broker fanning one publication out
+/// to many subscribers can splice a [`SharedElement`] payload — owned
+/// once, serialized once — into every per-subscriber envelope while
+/// the headers stay individually addressed. Node equality treats
+/// shared and plain subtrees identically, so this is invisible to
+/// comparisons and round-trips.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     version: SoapVersion,
     headers: Vec<Element>,
-    body: Vec<Element>,
+    body: Vec<Node>,
 }
 
 impl Envelope {
     /// An empty envelope of the given version.
     pub fn new(version: SoapVersion) -> Self {
-        Envelope { version, headers: Vec::new(), body: Vec::new() }
+        Envelope {
+            version,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// This envelope's SOAP version.
@@ -119,12 +131,24 @@ impl Envelope {
 
     /// Replace the body content with a single element.
     pub fn set_body(&mut self, body: Element) {
-        self.body = vec![body];
+        self.body = vec![Node::Element(body)];
     }
 
     /// Builder-style [`Envelope::set_body`].
     pub fn with_body(mut self, body: Element) -> Self {
         self.set_body(body);
+        self
+    }
+
+    /// Replace the body content with a shared subtree whose
+    /// serialization is cached across every envelope that embeds it.
+    pub fn set_shared_body(&mut self, body: Arc<SharedElement>) {
+        self.body = vec![Node::Shared(body)];
+    }
+
+    /// Builder-style [`Envelope::set_shared_body`].
+    pub fn with_shared_body(mut self, body: Arc<SharedElement>) -> Self {
+        self.set_shared_body(body);
         self
     }
 
@@ -140,12 +164,12 @@ impl Envelope {
 
     /// The first body element (the usual case).
     pub fn body(&self) -> Option<&Element> {
-        self.body.first()
+        self.body.iter().find_map(Node::as_element)
     }
 
-    /// All body elements.
-    pub fn body_elements(&self) -> &[Element] {
-        &self.body
+    /// All body elements, shared subtrees included.
+    pub fn body_elements(&self) -> impl Iterator<Item = &Element> {
+        self.body.iter().filter_map(Node::as_element)
     }
 
     /// Mark a header block mustUnderstand=true, version-appropriately.
@@ -172,7 +196,7 @@ impl Envelope {
         }
         let mut body = Element::ns(ns, "Body", p);
         for b in &self.body {
-            body.push(b.clone());
+            body.children.push(b.clone());
         }
         env.push(body);
         env
@@ -214,7 +238,13 @@ impl Envelope {
                 if body.is_some() {
                     return Err(SoapError::Structure("multiple Body elements".into()));
                 }
-                body = Some(child.elements().cloned().collect::<Vec<_>>());
+                body = Some(
+                    child
+                        .elements()
+                        .cloned()
+                        .map(Node::Element)
+                        .collect::<Vec<_>>(),
+                );
             } else {
                 return Err(SoapError::Structure(format!(
                     "unexpected envelope child {}",
@@ -223,7 +253,11 @@ impl Envelope {
             }
         }
         let body = body.ok_or_else(|| SoapError::Structure("missing Body".into()))?;
-        Ok(Envelope { version, headers, body })
+        Ok(Envelope {
+            version,
+            headers,
+            body,
+        })
     }
 }
 
@@ -247,9 +281,15 @@ mod tests {
     #[test]
     fn version_detection() {
         let e11 = Envelope::new(SoapVersion::V11).with_body(Element::local("x"));
-        assert_eq!(Envelope::from_xml(&e11.to_xml()).unwrap().version(), SoapVersion::V11);
+        assert_eq!(
+            Envelope::from_xml(&e11.to_xml()).unwrap().version(),
+            SoapVersion::V11
+        );
         let e12 = Envelope::new(SoapVersion::V12).with_body(Element::local("x"));
-        assert_eq!(Envelope::from_xml(&e12.to_xml()).unwrap().version(), SoapVersion::V12);
+        assert_eq!(
+            Envelope::from_xml(&e12.to_xml()).unwrap().version(),
+            SoapVersion::V12
+        );
     }
 
     #[test]
@@ -261,15 +301,19 @@ mod tests {
     #[test]
     fn missing_body_rejected() {
         let xml = format!(r#"<s:Envelope xmlns:s="{SOAP12_NS}"><s:Header/></s:Envelope>"#);
-        assert!(matches!(Envelope::from_xml(&xml).unwrap_err(), SoapError::Structure(_)));
+        assert!(matches!(
+            Envelope::from_xml(&xml).unwrap_err(),
+            SoapError::Structure(_)
+        ));
     }
 
     #[test]
     fn header_after_body_rejected() {
-        let xml = format!(
-            r#"<s:Envelope xmlns:s="{SOAP12_NS}"><s:Body/><s:Header/></s:Envelope>"#
-        );
-        assert!(matches!(Envelope::from_xml(&xml).unwrap_err(), SoapError::Structure(_)));
+        let xml = format!(r#"<s:Envelope xmlns:s="{SOAP12_NS}"><s:Body/><s:Header/></s:Envelope>"#);
+        assert!(matches!(
+            Envelope::from_xml(&xml).unwrap_err(),
+            SoapError::Structure(_)
+        ));
     }
 
     #[test]
@@ -301,16 +345,32 @@ mod tests {
     #[test]
     fn multiple_body_elements_preserved() {
         let mut env = Envelope::new(SoapVersion::V11);
-        env.body = vec![Element::local("a"), Element::local("b")];
+        env.body = vec![
+            Node::Element(Element::local("a")),
+            Node::Element(Element::local("b")),
+        ];
         let back = Envelope::from_xml(&env.to_xml()).unwrap();
-        assert_eq!(back.body_elements().len(), 2);
+        assert_eq!(back.body_elements().count(), 2);
+    }
+
+    #[test]
+    fn shared_body_round_trips_and_compares_like_plain() {
+        let payload = Element::ns("urn:app", "ev", "app").with_text("x & y");
+        let shared_env = Envelope::new(SoapVersion::V12)
+            .with_header(Element::ns("urn:h", "To", "h").with_text("a"))
+            .with_shared_body(SharedElement::new(payload.clone()));
+        let plain_env = Envelope::new(SoapVersion::V12)
+            .with_header(Element::ns("urn:h", "To", "h").with_text("a"))
+            .with_body(payload);
+        assert_eq!(shared_env, plain_env);
+        assert_eq!(shared_env.to_xml(), plain_env.to_xml());
+        assert_eq!(Envelope::from_xml(&shared_env.to_xml()).unwrap(), plain_env);
+        assert_eq!(shared_env.body().unwrap().name.local, "ev");
     }
 
     #[test]
     fn foreign_envelope_child_rejected() {
-        let xml = format!(
-            r#"<s:Envelope xmlns:s="{SOAP12_NS}"><weird/><s:Body/></s:Envelope>"#
-        );
+        let xml = format!(r#"<s:Envelope xmlns:s="{SOAP12_NS}"><weird/><s:Body/></s:Envelope>"#);
         assert!(Envelope::from_xml(&xml).is_err());
     }
 }

@@ -53,19 +53,30 @@ pub struct Fault {
     pub subcode: Option<String>,
     /// Human-readable reason.
     pub reason: String,
-    /// Application-specific detail content.
-    pub detail: Option<Element>,
+    /// Application-specific detail content, boxed so a `Fault` (and
+    /// every `Result` carrying one) stays small.
+    pub detail: Option<Box<Element>>,
 }
 
 impl Fault {
     /// Construct a sender fault (the common case for bad requests).
     pub fn sender(reason: impl Into<String>) -> Self {
-        Fault { code: FaultCode::Sender, subcode: None, reason: reason.into(), detail: None }
+        Fault {
+            code: FaultCode::Sender,
+            subcode: None,
+            reason: reason.into(),
+            detail: None,
+        }
     }
 
     /// Construct a receiver fault.
     pub fn receiver(reason: impl Into<String>) -> Self {
-        Fault { code: FaultCode::Receiver, subcode: None, reason: reason.into(), detail: None }
+        Fault {
+            code: FaultCode::Receiver,
+            subcode: None,
+            reason: reason.into(),
+            detail: None,
+        }
     }
 
     /// Builder-style subcode.
@@ -76,7 +87,7 @@ impl Fault {
 
     /// Builder-style detail element.
     pub fn with_detail(mut self, detail: Element) -> Self {
-        self.detail = Some(detail);
+        self.detail = Some(Box::new(detail));
         self
     }
 
@@ -97,7 +108,7 @@ impl Fault {
                     .with_child(Element::local("faultcode").with_text(code_text))
                     .with_child(Element::local("faultstring").with_text(self.reason.clone()));
                 if let Some(d) = &self.detail {
-                    fault.push(Element::local("detail").with_child(d.clone()));
+                    fault.push(Element::local("detail").with_child(d.as_ref().clone()));
                 }
                 fault
             }
@@ -126,7 +137,7 @@ impl Fault {
                     .with_child(code)
                     .with_child(reason);
                 if let Some(d) = &self.detail {
-                    fault.push(Element::ns(SOAP12_NS, "Detail", p).with_child(d.clone()));
+                    fault.push(Element::ns(SOAP12_NS, "Detail", p).with_child(d.as_ref().clone()));
                 }
                 fault
             }
@@ -147,7 +158,10 @@ impl Fault {
         }
         match env.version() {
             SoapVersion::V11 => {
-                let raw_code = body.child("faultcode").map(|c| c.text()).unwrap_or_default();
+                let raw_code = body
+                    .child("faultcode")
+                    .map(|c| c.text())
+                    .unwrap_or_default();
                 // Strip the envelope prefix (up to the FIRST colon — the
                 // subcode may itself contain colons), then split
                 // code.subcode.
@@ -162,16 +176,23 @@ impl Fault {
                 Some(Fault {
                     code: FaultCode::from_local(&code_name)?,
                     subcode,
-                    reason: body.child("faultstring").map(|c| c.text()).unwrap_or_default(),
+                    reason: body
+                        .child("faultstring")
+                        .map(|c| c.text())
+                        .unwrap_or_default(),
                     detail: body
                         .child("detail")
                         .and_then(|d| d.elements().next())
-                        .cloned(),
+                        .cloned()
+                        .map(Box::new),
                 })
             }
             SoapVersion::V12 => {
                 let code_el = body.child_ns(ns, "Code")?;
-                let value = code_el.child_ns(ns, "Value").map(|v| v.text()).unwrap_or_default();
+                let value = code_el
+                    .child_ns(ns, "Value")
+                    .map(|v| v.text())
+                    .unwrap_or_default();
                 let code_name = value.rsplit(':').next().unwrap_or("").to_string();
                 let subcode = code_el
                     .child_ns(ns, "Subcode")
@@ -189,7 +210,8 @@ impl Fault {
                     detail: body
                         .child_ns(ns, "Detail")
                         .and_then(|d| d.elements().next())
-                        .cloned(),
+                        .cloned()
+                        .map(Box::new),
                 })
             }
         }
@@ -256,9 +278,10 @@ mod tests {
             reason: "hdr".into(),
             detail: None,
         };
-        let back =
-            Fault::from_envelope(&Envelope::from_xml(&f.to_envelope(SoapVersion::V12).to_xml()).unwrap())
-                .unwrap();
+        let back = Fault::from_envelope(
+            &Envelope::from_xml(&f.to_envelope(SoapVersion::V12).to_xml()).unwrap(),
+        )
+        .unwrap();
         assert_eq!(back.code, FaultCode::MustUnderstand);
     }
 }

@@ -14,13 +14,17 @@ fn element_strategy() -> impl Strategy<Value = Element> {
         e
     });
     leaf.prop_recursive(3, 16, 3, |inner| {
-        ("[a-zA-Z][a-zA-Z0-9]{0,6}", prop::collection::vec(inner, 0..3)).prop_map(|(n, kids)| {
-            let mut e = Element::ns("urn:app", n, "app");
-            for k in kids {
-                e.push(k);
-            }
-            e
-        })
+        (
+            "[a-zA-Z][a-zA-Z0-9]{0,6}",
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(n, kids)| {
+                let mut e = Element::ns("urn:app", n, "app");
+                for k in kids {
+                    e.push(k);
+                }
+                e
+            })
     })
 }
 

@@ -25,8 +25,7 @@ pub fn to_topic_set(space: &TopicSpace) -> Element {
 fn node_to_element(node: &TopicNode) -> Element {
     // Topic names are used as element names (the WS-Topics convention);
     // every node present in the space is a topic.
-    let mut el = Element::local(&node.name)
-        .with_attr_ns(TOPIC_SET_NS, "topic", "wstop", "true");
+    let mut el = Element::local(&node.name).with_attr_ns(TOPIC_SET_NS, "topic", "wstop", "true");
     for c in &node.children {
         el.push(node_to_element(c));
     }

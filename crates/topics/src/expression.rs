@@ -62,7 +62,10 @@ impl fmt::Display for TopicExprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopicExprError::InvalidForDialect { dialect, text, why } => {
-                write!(f, "`{text}` is not a valid {dialect:?} topic expression: {why}")
+                write!(
+                    f,
+                    "`{text}` is not a valid {dialect:?} topic expression: {why}"
+                )
             }
             TopicExprError::UnknownDialect(u) => write!(f, "unknown topic dialect `{u}`"),
         }
@@ -143,7 +146,11 @@ impl TopicExpression {
                         }
                     })
                     .collect::<Result<_, _>>()?;
-                Ok(TopicExpression { dialect, text: text.to_string(), alternatives: vec![segs] })
+                Ok(TopicExpression {
+                    dialect,
+                    text: text.to_string(),
+                    alternatives: vec![segs],
+                })
             }
             Dialect::Full => {
                 let mut alternatives = Vec::new();
@@ -154,7 +161,11 @@ impl TopicExpression {
                     }
                     alternatives.push(parse_full_alternative(alt).map_err(|w| err(&w))?);
                 }
-                Ok(TopicExpression { dialect, text: text.to_string(), alternatives })
+                Ok(TopicExpression {
+                    dialect,
+                    text: text.to_string(),
+                    alternatives,
+                })
             }
         }
     }
@@ -174,6 +185,25 @@ impl TopicExpression {
     /// The original expression text.
     pub fn text(&self) -> &str {
         &self.text
+    }
+
+    /// The root topic names this expression can possibly match, one
+    /// per union alternative — or `None` when a leading wildcard
+    /// (`*`, `//`) makes every root reachable.
+    ///
+    /// Every dialect's match starts by comparing the first pattern
+    /// segment against the topic's root, so an expression whose
+    /// alternatives all open with literal names can only ever match
+    /// topics rooted at one of those names. Registries use this to
+    /// index subscriptions by root instead of scanning linearly.
+    pub fn index_roots(&self) -> Option<Vec<&str>> {
+        self.alternatives
+            .iter()
+            .map(|alt| match alt.first() {
+                Some(Seg::Name(n)) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Does `topic` match this expression?
@@ -231,7 +261,9 @@ fn parse_full_alternative(alt: &str) -> Result<Vec<Seg>, String> {
             segs.push(Seg::Descend);
             rest = r;
             if rest.is_empty() {
-                return Err("`//` must be followed by a segment (use `//*` for the subtree)".into());
+                return Err(
+                    "`//` must be followed by a segment (use `//*` for the subtree)".into(),
+                );
             }
         } else {
             rest = &tail[1..];
@@ -304,7 +336,10 @@ mod tests {
         let e = TopicExpression::full("storms/*").unwrap();
         assert!(e.matches(&p("storms/tornado")));
         assert!(!e.matches(&p("storms")));
-        assert!(!e.matches(&p("storms/tornado/f5")), "`*` is exactly one level");
+        assert!(
+            !e.matches(&p("storms/tornado/f5")),
+            "`*` is exactly one level"
+        );
     }
 
     #[test]
@@ -312,7 +347,10 @@ mod tests {
         let e = TopicExpression::full("storms//*").unwrap();
         assert!(e.matches(&p("storms/tornado")));
         assert!(e.matches(&p("storms/hail/severe")));
-        assert!(!e.matches(&p("storms")), "`//*` requires at least one level below");
+        assert!(
+            !e.matches(&p("storms")),
+            "`//*` requires at least one level below"
+        );
         let e2 = TopicExpression::full("//tornado").unwrap();
         assert!(e2.matches(&p("tornado")));
         assert!(e2.matches(&p("storms/tornado")));
@@ -324,7 +362,10 @@ mod tests {
         let e = TopicExpression::full("storms/* | traffic").unwrap();
         assert!(e.matches(&p("storms/hail")));
         assert!(e.matches(&p("traffic")));
-        assert!(!e.matches(&p("traffic/jam")), "full-dialect name match is exact depth");
+        assert!(
+            !e.matches(&p("traffic/jam")),
+            "full-dialect name match is exact depth"
+        );
     }
 
     #[test]
@@ -354,6 +395,33 @@ mod tests {
         let e = TopicExpression::compile_uri(FULL_DIALECT, "a/*").unwrap();
         assert_eq!(e.dialect(), Dialect::Full);
         assert!(TopicExpression::compile_uri("urn:x", "a").is_err());
+    }
+
+    #[test]
+    fn index_roots_cover_reachable_roots() {
+        assert_eq!(
+            TopicExpression::simple("storms").unwrap().index_roots(),
+            Some(vec!["storms"])
+        );
+        assert_eq!(
+            TopicExpression::concrete("storms/tornado")
+                .unwrap()
+                .index_roots(),
+            Some(vec!["storms"])
+        );
+        assert_eq!(
+            TopicExpression::full("a/* | b").unwrap().index_roots(),
+            Some(vec!["a", "b"])
+        );
+        assert_eq!(
+            TopicExpression::full("//tornado").unwrap().index_roots(),
+            None
+        );
+        assert_eq!(TopicExpression::full("*/b").unwrap().index_roots(), None);
+        assert_eq!(
+            TopicExpression::full("a | */b").unwrap().index_roots(),
+            None
+        );
     }
 
     #[test]

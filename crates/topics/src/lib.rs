@@ -32,6 +32,6 @@ pub mod path;
 pub mod space;
 
 pub use document::{from_topic_set, to_topic_set, TOPIC_SET_NS};
-pub use expression::{Dialect, TopicExpression, TopicExprError};
+pub use expression::{Dialect, TopicExprError, TopicExpression};
 pub use path::TopicPath;
-pub use space::{TopicSpace, TopicNode};
+pub use space::{TopicNode, TopicSpace};

@@ -25,10 +25,16 @@ impl TopicPath {
             return None;
         }
         let segments: Vec<String> = s.split('/').map(str::to_string).collect();
-        if segments.iter().any(|seg| seg.is_empty() || seg.contains(['*', '|', ' '])) {
+        if segments
+            .iter()
+            .any(|seg| seg.is_empty() || seg.contains(['*', '|', ' ']))
+        {
             return None;
         }
-        Some(TopicPath { namespace: namespace.map(str::to_string), segments })
+        Some(TopicPath {
+            namespace: namespace.map(str::to_string),
+            segments,
+        })
     }
 
     /// The root topic name.
@@ -45,7 +51,11 @@ impl TopicPath {
     pub fn is_or_contains(&self, other: &TopicPath) -> bool {
         self.namespace == other.namespace
             && other.segments.len() >= self.segments.len()
-            && self.segments.iter().zip(&other.segments).all(|(a, b)| a == b)
+            && self
+                .segments
+                .iter()
+                .zip(&other.segments)
+                .all(|(a, b)| a == b)
     }
 
     /// The parent topic, if any.
@@ -64,7 +74,10 @@ impl TopicPath {
     pub fn child(&self, name: impl Into<String>) -> TopicPath {
         let mut segments = self.segments.clone();
         segments.push(name.into());
-        TopicPath { namespace: self.namespace.clone(), segments }
+        TopicPath {
+            namespace: self.namespace.clone(),
+            segments,
+        }
     }
 }
 
@@ -101,7 +114,10 @@ mod tests {
         assert!(TopicPath::parse("").is_none());
         assert!(TopicPath::parse("a//b").is_none());
         assert!(TopicPath::parse("a/").is_none());
-        assert!(TopicPath::parse("a/*").is_none(), "wildcards are not concrete");
+        assert!(
+            TopicPath::parse("a/*").is_none(),
+            "wildcards are not concrete"
+        );
         assert!(TopicPath::parse("a b").is_none());
     }
 

@@ -14,7 +14,10 @@ pub struct TopicNode {
 
 impl TopicNode {
     fn new(name: &str) -> Self {
-        TopicNode { name: name.to_string(), children: Vec::new() }
+        TopicNode {
+            name: name.to_string(),
+            children: Vec::new(),
+        }
     }
 }
 
@@ -40,7 +43,10 @@ impl TopicSpace {
 
     /// A namespaced topic space.
     pub fn with_namespace(namespace: impl Into<String>) -> Self {
-        TopicSpace { namespace: Some(namespace.into()), roots: Vec::new() }
+        TopicSpace {
+            namespace: Some(namespace.into()),
+            roots: Vec::new(),
+        }
     }
 
     /// Add a concrete topic (and any missing ancestors).
@@ -99,7 +105,10 @@ impl TopicSpace {
     /// All concrete topics matching `expr` — how a broker turns a
     /// wildcard subscription into the set of topics it covers.
     pub fn expand(&self, expr: &TopicExpression) -> Vec<TopicPath> {
-        self.all_topics().into_iter().filter(|t| expr.matches(t)).collect()
+        self.all_topics()
+            .into_iter()
+            .filter(|t| expr.matches(t))
+            .collect()
     }
 
     /// Number of concrete topics.
@@ -120,7 +129,10 @@ impl TopicSpace {
 
 fn collect(node: &TopicNode, mut prefix: Vec<String>, ns: Option<&str>, out: &mut Vec<TopicPath>) {
     prefix.push(node.name.clone());
-    out.push(TopicPath { namespace: ns.map(str::to_string), segments: prefix.clone() });
+    out.push(TopicPath {
+        namespace: ns.map(str::to_string),
+        segments: prefix.clone(),
+    });
     for c in &node.children {
         collect(c, prefix.clone(), ns, out);
     }
@@ -188,7 +200,10 @@ mod tests {
         let mut s = TopicSpace::with_namespace("urn:wx");
         s.add_str("a/b");
         assert!(s.contains(&TopicPath::parse_in(Some("urn:wx"), "a/b").unwrap()));
-        assert!(!s.contains(&TopicPath::parse("a/b").unwrap()), "namespace must match");
+        assert!(
+            !s.contains(&TopicPath::parse("a/b").unwrap()),
+            "namespace must match"
+        );
     }
 
     #[test]

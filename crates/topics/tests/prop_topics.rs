@@ -8,8 +8,7 @@ fn seg() -> impl Strategy<Value = String> {
 }
 
 fn path_strategy() -> impl Strategy<Value = TopicPath> {
-    prop::collection::vec(seg(), 1..5)
-        .prop_map(|segs| TopicPath::parse(&segs.join("/")).unwrap())
+    prop::collection::vec(seg(), 1..5).prop_map(|segs| TopicPath::parse(&segs.join("/")).unwrap())
 }
 
 proptest! {

@@ -5,7 +5,9 @@ use crate::trace::{DeliveryOutcome, TraceRecord};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use wsm_soap::{Envelope, Fault};
 
 /// A SOAP endpoint: receives a request envelope, returns `Ok(Some(_))`
@@ -32,8 +34,9 @@ pub enum TransportError {
     Refused(String),
     /// Injected loss dropped the message.
     Dropped(String),
-    /// The handler answered with a SOAP fault.
-    Fault(Fault),
+    /// The handler answered with a SOAP fault. Boxed so the error arm
+    /// doesn't inflate every `Result` on the hot send path.
+    Fault(Box<Fault>),
     /// A two-way exchange got no response body.
     NoResponse(String),
 }
@@ -70,6 +73,10 @@ struct Inner {
     clock: SimClock,
     /// Simulated per-hop latency added to the clock on every delivery.
     latency_ms: Mutex<u64>,
+    /// Real wall-clock delay per delivery, in microseconds. Zero (the
+    /// default) keeps sends instantaneous; benches set it to model wire
+    /// time that concurrent senders can overlap.
+    send_delay_us: AtomicU64,
 }
 
 /// The simulated network. Cheap to clone; clones share all state.
@@ -91,6 +98,7 @@ impl Network {
             trace: Mutex::new(Vec::new()),
             clock: SimClock::new(),
             latency_ms: Mutex::new(0),
+            send_delay_us: AtomicU64::new(0),
         }))
     }
 
@@ -102,6 +110,19 @@ impl Network {
     /// Set the simulated per-hop latency (added to the clock per delivery).
     pub fn set_latency_ms(&self, ms: u64) {
         *self.0.latency_ms.lock() = ms;
+    }
+
+    /// Set a *real* wall-clock delay per delivery, in microseconds.
+    ///
+    /// Unlike [`set_latency_ms`](Self::set_latency_ms), which only
+    /// advances the virtual clock, this makes each delivery actually
+    /// take time — modeling the wire and remote-handler latency that a
+    /// deployed broker pays per HTTP notification. Deliveries on
+    /// different threads overlap their delays, so this is what makes
+    /// parallel fan-out measurably different from sequential fan-out in
+    /// the benches. Zero (the default) disables it.
+    pub fn set_send_delay_us(&self, us: u64) {
+        self.0.send_delay_us.store(us, Ordering::Relaxed);
     }
 
     /// Register a handler at `uri` with default options.
@@ -116,7 +137,10 @@ impl Network {
         handler: Arc<dyn SoapHandler>,
         options: EndpointOptions,
     ) {
-        self.0.endpoints.write().insert(uri.into(), Endpoint { handler, options });
+        self.0
+            .endpoints
+            .write()
+            .insert(uri.into(), Endpoint { handler, options });
     }
 
     /// Remove an endpoint. Returns true if one was registered.
@@ -155,6 +179,10 @@ impl Network {
     ) -> Result<Option<Envelope>, TransportError> {
         let latency = *self.0.latency_ms.lock();
         self.0.clock.advance_ms(latency);
+        let delay = self.0.send_delay_us.load(Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_micros(delay));
+        }
         let label = label_of(&envelope);
         let bytes = envelope.to_xml().len();
 
@@ -203,7 +231,7 @@ impl Network {
                     two_way,
                     DeliveryOutcome::Faulted(fault.reason.clone()),
                 );
-                Err(TransportError::Fault(fault))
+                Err(TransportError::Fault(Box::new(fault)))
             }
         }
     }
@@ -231,7 +259,12 @@ impl Network {
 
     /// Count trace records with the given outcome predicate.
     pub fn count_outcomes(&self, pred: impl Fn(&DeliveryOutcome) -> bool) -> usize {
-        self.0.trace.lock().iter().filter(|r| pred(&r.outcome)).count()
+        self.0
+            .trace
+            .lock()
+            .iter()
+            .filter(|r| pred(&r.outcome))
+            .count()
     }
 }
 
@@ -247,7 +280,9 @@ fn label_of(env: &Envelope) -> String {
             }
         }
     }
-    env.body().map(|b| b.name.local.clone()).unwrap_or_else(|| "(empty)".to_string())
+    env.body()
+        .map(|b| b.name.local.clone())
+        .unwrap_or_else(|| "(empty)".to_string())
 }
 
 #[cfg(test)]
@@ -301,21 +336,34 @@ mod tests {
     fn two_way_to_one_way_handler_is_no_response() {
         let net = Network::new();
         net.register("http://a", Arc::new(Sink));
-        assert!(matches!(net.request("http://a", env()), Err(TransportError::NoResponse(_))));
+        assert!(matches!(
+            net.request("http://a", env()),
+            Err(TransportError::NoResponse(_))
+        ));
     }
 
     #[test]
     fn missing_endpoint() {
         let net = Network::new();
-        assert!(matches!(net.send("http://nope", env()), Err(TransportError::NoEndpoint(_))));
+        assert!(matches!(
+            net.send("http://nope", env()),
+            Err(TransportError::NoEndpoint(_))
+        ));
         assert_eq!(net.count_outcomes(|o| *o == DeliveryOutcome::NoEndpoint), 1);
     }
 
     #[test]
     fn firewalled_endpoint_refuses_inbound() {
         let net = Network::new();
-        net.register_with("http://fw", Arc::new(Echo), EndpointOptions { firewalled: true });
-        assert!(matches!(net.send("http://fw", env()), Err(TransportError::Refused(_))));
+        net.register_with(
+            "http://fw",
+            Arc::new(Echo),
+            EndpointOptions { firewalled: true },
+        );
+        assert!(matches!(
+            net.send("http://fw", env()),
+            Err(TransportError::Refused(_))
+        ));
         // ... but the network still knows it exists.
         assert!(net.has_endpoint("http://fw"));
     }
@@ -325,8 +373,14 @@ mod tests {
         let net = Network::new();
         net.register("http://a", Arc::new(Sink));
         net.drop_next("http://a", 2);
-        assert!(matches!(net.send("http://a", env()), Err(TransportError::Dropped(_))));
-        assert!(matches!(net.send("http://a", env()), Err(TransportError::Dropped(_))));
+        assert!(matches!(
+            net.send("http://a", env()),
+            Err(TransportError::Dropped(_))
+        ));
+        assert!(matches!(
+            net.send("http://a", env()),
+            Err(TransportError::Dropped(_))
+        ));
         assert!(net.send("http://a", env()).is_ok());
         assert_eq!(net.count_outcomes(|o| *o == DeliveryOutcome::Dropped), 2);
     }
@@ -355,13 +409,31 @@ mod tests {
     }
 
     #[test]
+    fn send_delay_takes_real_time() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        net.set_send_delay_us(2_000);
+        let start = std::time::Instant::now();
+        net.send("http://a", env()).unwrap();
+        net.send("http://a", env()).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(4));
+        // Real delay leaves the virtual clock alone.
+        assert_eq!(net.clock().now_ms(), 0);
+        net.set_send_delay_us(0);
+        let start = std::time::Instant::now();
+        net.send("http://a", env()).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(4));
+    }
+
+    #[test]
     fn trace_labels_use_action_or_body() {
         let net = Network::new();
         net.register("http://a", Arc::new(Sink));
         net.send("http://a", env()).unwrap();
         let mut with_action = env();
         with_action.add_header(
-            Element::ns("http://www.w3.org/2005/08/addressing", "Action", "wsa").with_text("urn:go"),
+            Element::ns("http://www.w3.org/2005/08/addressing", "Action", "wsa")
+                .with_text("urn:go"),
         );
         net.send("http://a", with_action).unwrap();
         let t = net.trace();

@@ -54,7 +54,10 @@ mod tests {
     #[test]
     fn outcome_display() {
         assert_eq!(DeliveryOutcome::Delivered.to_string(), "delivered");
-        assert_eq!(DeliveryOutcome::Faulted("x".into()).to_string(), "faulted: x");
+        assert_eq!(
+            DeliveryOutcome::Faulted("x".into()).to_string(),
+            "faulted: x"
+        );
         assert!(DeliveryOutcome::Refused.to_string().contains("firewalled"));
     }
 }

@@ -23,12 +23,22 @@ fn msg(defs: &mut Definitions, ns: &str, local: &str) -> String {
 fn req_resp(defs: &mut Definitions, ns: &str, op: &str, action: String) -> Operation {
     let input = msg(defs, ns, op);
     let output = msg(defs, ns, &format!("{op}Response"));
-    Operation { name: op.to_string(), input, output: Some(output), action }
+    Operation {
+        name: op.to_string(),
+        input,
+        output: Some(output),
+        action,
+    }
 }
 
 fn one_way(defs: &mut Definitions, ns: &str, op: &str, action: String) -> Operation {
     let input = msg(defs, ns, op);
-    Operation { name: op.to_string(), input, output: None, action }
+    Operation {
+        name: op.to_string(),
+        input,
+        output: None,
+        action,
+    }
 }
 
 /// WSDL for a WS-Eventing event source (and its subscription manager)
@@ -37,13 +47,26 @@ pub fn wse_definitions(version: WseVersion, location: &str) -> Definitions {
     let ns = version.ns();
     let mut defs = Definitions::new("EventSourceService", ns, location);
 
-    let mut source_ops = vec![req_resp(&mut defs, ns, "Subscribe", version.action("Subscribe"))];
+    let mut source_ops = vec![req_resp(
+        &mut defs,
+        ns,
+        "Subscribe",
+        version.action("Subscribe"),
+    )];
     if !version.has_separate_subscription_manager() {
         // 01/2004: management ops live on the source itself.
         source_ops.push(req_resp(&mut defs, ns, "Renew", version.action("Renew")));
-        source_ops.push(req_resp(&mut defs, ns, "Unsubscribe", version.action("Unsubscribe")));
+        source_ops.push(req_resp(
+            &mut defs,
+            ns,
+            "Unsubscribe",
+            version.action("Unsubscribe"),
+        ));
     }
-    defs.add_port_type(PortType { name: "EventSourcePortType".into(), operations: source_ops });
+    defs.add_port_type(PortType {
+        name: "EventSourcePortType".into(),
+        operations: source_ops,
+    });
 
     if version.has_separate_subscription_manager() {
         let mut mgr_ops = vec![
@@ -51,7 +74,12 @@ pub fn wse_definitions(version: WseVersion, location: &str) -> Definitions {
             req_resp(&mut defs, ns, "Unsubscribe", version.action("Unsubscribe")),
         ];
         if version.has_get_status() {
-            mgr_ops.push(req_resp(&mut defs, ns, "GetStatus", version.action("GetStatus")));
+            mgr_ops.push(req_resp(
+                &mut defs,
+                ns,
+                "GetStatus",
+                version.action("GetStatus"),
+            ));
         }
         if version.supports_pull_delivery() {
             mgr_ops.push(req_resp(&mut defs, ns, "Pull", version.action("Pull")));
@@ -63,8 +91,16 @@ pub fn wse_definitions(version: WseVersion, location: &str) -> Definitions {
     }
 
     // The sink-side one-way messages the source emits.
-    let end = one_way(&mut defs, ns, "SubscriptionEnd", version.action("SubscriptionEnd"));
-    defs.add_port_type(PortType { name: "EventSinkPortType".into(), operations: vec![end] });
+    let end = one_way(
+        &mut defs,
+        ns,
+        "SubscriptionEnd",
+        version.action("SubscriptionEnd"),
+    );
+    defs.add_port_type(PortType {
+        name: "EventSinkPortType".into(),
+        operations: vec![end],
+    });
     defs
 }
 
@@ -74,7 +110,12 @@ pub fn wsn_definitions(version: WsnVersion, location: &str) -> Definitions {
     let brns = version.brokered_ns();
     let mut defs = Definitions::new("NotificationProducerService", ns, location);
 
-    let mut producer_ops = vec![req_resp(&mut defs, ns, "Subscribe", version.action("Subscribe"))];
+    let mut producer_ops = vec![req_resp(
+        &mut defs,
+        ns,
+        "Subscribe",
+        version.action("Subscribe"),
+    )];
     if version.has_get_current_message() {
         producer_ops.push(req_resp(
             &mut defs,
@@ -89,12 +130,25 @@ pub fn wsn_definitions(version: WsnVersion, location: &str) -> Definitions {
     });
 
     let mut mgr_ops = vec![
-        req_resp(&mut defs, ns, "PauseSubscription", version.action("PauseSubscription")),
-        req_resp(&mut defs, ns, "ResumeSubscription", version.action("ResumeSubscription")),
+        req_resp(
+            &mut defs,
+            ns,
+            "PauseSubscription",
+            version.action("PauseSubscription"),
+        ),
+        req_resp(
+            &mut defs,
+            ns,
+            "ResumeSubscription",
+            version.action("ResumeSubscription"),
+        ),
     ];
     if version.has_native_renew_unsubscribe() {
         mgr_ops.insert(0, req_resp(&mut defs, ns, "Renew", version.action("Renew")));
-        mgr_ops.insert(1, req_resp(&mut defs, ns, "Unsubscribe", version.action("Unsubscribe")));
+        mgr_ops.insert(
+            1,
+            req_resp(&mut defs, ns, "Unsubscribe", version.action("Unsubscribe")),
+        );
     } else {
         // 1.0: WSRF lifetime/properties stand in (Table 2's mapping).
         mgr_ops.push(req_resp(
@@ -103,7 +157,12 @@ pub fn wsn_definitions(version: WsnVersion, location: &str) -> Definitions {
             "SetTerminationTime",
             version.action("SetTerminationTime"),
         ));
-        mgr_ops.push(req_resp(&mut defs, wsm_wsrf_rl(), "Destroy", version.action("Destroy")));
+        mgr_ops.push(req_resp(
+            &mut defs,
+            wsm_wsrf_rl(),
+            "Destroy",
+            version.action("Destroy"),
+        ));
         mgr_ops.push(req_resp(
             &mut defs,
             wsm_wsrf_rp(),
@@ -111,7 +170,10 @@ pub fn wsn_definitions(version: WsnVersion, location: &str) -> Definitions {
             version.action("GetResourceProperty"),
         ));
     }
-    defs.add_port_type(PortType { name: "SubscriptionManagerPortType".into(), operations: mgr_ops });
+    defs.add_port_type(PortType {
+        name: "SubscriptionManagerPortType".into(),
+        operations: mgr_ops,
+    });
 
     let notify = one_way(&mut defs, ns, "Notify", version.action("Notify"));
     defs.add_port_type(PortType {
@@ -126,10 +188,23 @@ pub fn wsn_definitions(version: WsnVersion, location: &str) -> Definitions {
         version.action("RegisterPublisher"),
     )];
     if version.has_pull_point() {
-        broker_ops.push(req_resp(&mut defs, brns, "CreatePullPoint", version.action("CreatePullPoint")));
-        broker_ops.push(req_resp(&mut defs, ns, "GetMessages", version.action("GetMessages")));
+        broker_ops.push(req_resp(
+            &mut defs,
+            brns,
+            "CreatePullPoint",
+            version.action("CreatePullPoint"),
+        ));
+        broker_ops.push(req_resp(
+            &mut defs,
+            ns,
+            "GetMessages",
+            version.action("GetMessages"),
+        ));
     }
-    defs.add_port_type(PortType { name: "NotificationBrokerPortType".into(), operations: broker_ops });
+    defs.add_port_type(PortType {
+        name: "NotificationBrokerPortType".into(),
+        operations: broker_ops,
+    });
     defs
 }
 
@@ -145,11 +220,7 @@ fn wsm_wsrf_rp() -> &'static str {
 /// implements the current port types of *both* families — the
 /// interface-description form of §VII's dual-specification claim.
 pub fn messenger_definitions(location: &str) -> Definitions {
-    let mut defs = Definitions::new(
-        "WsMessengerService",
-        "urn:ws-messenger:broker",
-        location,
-    );
+    let mut defs = Definitions::new("WsMessengerService", "urn:ws-messenger:broker", location);
     let wse = wse_definitions(WseVersion::Aug2004, location);
     let wsn = wsn_definitions(WsnVersion::V1_3, location);
     // Names collide across the families (both define Subscribe messages
@@ -193,14 +264,22 @@ mod tests {
         let old = wse_definitions(WseVersion::Jan2004, "http://src");
         // 01/2004: no separate manager port type; Renew on the source.
         assert!(old.port_type("SubscriptionManagerPortType").is_none());
-        assert!(old.port_type("EventSourcePortType").unwrap().operation("Renew").is_some());
+        assert!(old
+            .port_type("EventSourcePortType")
+            .unwrap()
+            .operation("Renew")
+            .is_some());
         assert!(old.all_operations().all(|o| o.name != "GetStatus"));
 
         let new = wse_definitions(WseVersion::Aug2004, "http://src");
         let mgr = new.port_type("SubscriptionManagerPortType").unwrap();
         assert!(mgr.operation("GetStatus").is_some());
         assert!(mgr.operation("Pull").is_some());
-        assert!(new.port_type("EventSourcePortType").unwrap().operation("Renew").is_none());
+        assert!(new
+            .port_type("EventSourcePortType")
+            .unwrap()
+            .operation("Renew")
+            .is_none());
     }
 
     #[test]
@@ -210,7 +289,11 @@ mod tests {
         assert!(mgr.operation("Renew").is_none(), "1.0 renews via WSRF");
         assert!(mgr.operation("SetTerminationTime").is_some());
         assert!(mgr.operation("Destroy").is_some());
-        assert!(old.port_type("NotificationBrokerPortType").unwrap().operation("CreatePullPoint").is_none());
+        assert!(old
+            .port_type("NotificationBrokerPortType")
+            .unwrap()
+            .operation("CreatePullPoint")
+            .is_none());
 
         let new = wsn_definitions(WsnVersion::V1_3, "http://p");
         let mgr = new.port_type("SubscriptionManagerPortType").unwrap();
@@ -227,7 +310,11 @@ mod tests {
     #[test]
     fn actions_match_the_codecs() {
         let defs = wse_definitions(WseVersion::Aug2004, "http://src");
-        let sub = defs.port_type("EventSourcePortType").unwrap().operation("Subscribe").unwrap();
+        let sub = defs
+            .port_type("EventSourcePortType")
+            .unwrap()
+            .operation("Subscribe")
+            .unwrap();
         assert_eq!(sub.action, WseVersion::Aug2004.action("Subscribe"));
         let defs = wsn_definitions(WsnVersion::V1_3, "http://p");
         let sub = defs
@@ -304,9 +391,17 @@ mod merge_tests {
         }
         // Both families' Subscribe messages survive, pointing at their
         // own namespaces.
-        let wse_sub = defs.messages.iter().find(|m| m.name == "WseSubscribeMessage").unwrap();
+        let wse_sub = defs
+            .messages
+            .iter()
+            .find(|m| m.name == "WseSubscribeMessage")
+            .unwrap();
         assert!(wse_sub.element_ns.contains("eventing"));
-        let wsn_sub = defs.messages.iter().find(|m| m.name == "WsnSubscribeMessage").unwrap();
+        let wsn_sub = defs
+            .messages
+            .iter()
+            .find(|m| m.name == "WsnSubscribeMessage")
+            .unwrap();
         assert!(wsn_sub.element_ns.contains("wsn"));
     }
 }

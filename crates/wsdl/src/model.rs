@@ -111,7 +111,10 @@ impl Definitions {
                     .with_child(
                         Element::ns(WSDL_NS, "part", "wsdl")
                             .with_attr("name", "body")
-                            .with_attr("element", format!("{{{}}}{}", m.element_ns, m.element_local)),
+                            .with_attr(
+                                "element",
+                                format!("{{{}}}{}", m.element_ns, m.element_local),
+                            ),
                     ),
             );
         }
@@ -259,7 +262,7 @@ mod tests {
     fn xml_parses_back() {
         let xml = sample().to_xml();
         let el = wsm_xml::parse(&xml).unwrap();
-        assert_eq!(el.name.is(WSDL_NS, "definitions"), true, "{xml}");
+        assert!(el.name.is(WSDL_NS, "definitions"), "{xml}");
         // Service port carries the endpoint address.
         let svc = el.child_ns(WSDL_NS, "service").unwrap();
         let addr = svc
@@ -276,6 +279,10 @@ mod tests {
         assert!(d.port_type("SourcePortType").is_some());
         assert!(d.port_type("Nope").is_none());
         assert_eq!(d.all_operations().count(), 2);
-        assert!(d.port_type("SourcePortType").unwrap().operation("Subscribe").is_some());
+        assert!(d
+            .port_type("SourcePortType")
+            .unwrap()
+            .operation("Subscribe")
+            .is_some());
     }
 }

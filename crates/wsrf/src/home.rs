@@ -58,9 +58,14 @@ impl ResourceHome {
         if inner.resources.contains_key(&id) {
             return false;
         }
-        inner
-            .resources
-            .insert(id.clone(), WsResource { id, properties, termination_time_ms: None });
+        inner.resources.insert(
+            id.clone(),
+            WsResource {
+                id,
+                properties,
+                termination_time_ms: None,
+            },
+        );
         true
     }
 
@@ -119,8 +124,10 @@ impl ResourceHome {
                 .filter(|r| r.termination_time_ms.is_some_and(|t| t <= now_ms))
                 .map(|r| r.id.clone())
                 .collect();
-            let removed: Vec<WsResource> =
-                ids.iter().filter_map(|id| inner.resources.remove(id)).collect();
+            let removed: Vec<WsResource> = ids
+                .iter()
+                .filter_map(|id| inner.resources.remove(id))
+                .collect();
             (removed, inner.listeners.clone())
         };
         let mut out = Vec::with_capacity(expired.len());
@@ -157,14 +164,14 @@ impl ResourceHome {
 /// Build a WSRF `TerminationNotification` message element.
 pub fn termination_notification(resource_id: &str, reason: TerminationReason) -> Element {
     Element::ns(crate::WSRF_RL_NS, "TerminationNotification", "wsrf-rl")
+        .with_child(Element::ns(crate::WSRF_RL_NS, "TerminationTime", "wsrf-rl").with_text("(now)"))
         .with_child(
-            Element::ns(crate::WSRF_RL_NS, "TerminationTime", "wsrf-rl").with_text("(now)"),
-        )
-        .with_child(
-            Element::ns(crate::WSRF_RL_NS, "TerminationReason", "wsrf-rl").with_text(match reason {
-                TerminationReason::Destroyed => "resource destroyed",
-                TerminationReason::Expired => "termination time reached",
-            }),
+            Element::ns(crate::WSRF_RL_NS, "TerminationReason", "wsrf-rl").with_text(
+                match reason {
+                    TerminationReason::Destroyed => "resource destroyed",
+                    TerminationReason::Expired => "termination time reached",
+                },
+            ),
         )
         .with_attr("resource", resource_id)
 }
@@ -178,7 +185,10 @@ mod tests {
     fn create_and_get() {
         let home = ResourceHome::new();
         assert!(home.create("r1", ResourceProperties::new()));
-        assert!(!home.create("r1", ResourceProperties::new()), "duplicate id rejected");
+        assert!(
+            !home.create("r1", ResourceProperties::new()),
+            "duplicate id rejected"
+        );
         assert!(home.get("r1").is_some());
         assert!(home.get("r2").is_none());
         assert_eq!(home.len(), 1);
@@ -196,7 +206,10 @@ mod tests {
         assert!(home.destroy("r1"));
         assert!(!home.destroy("r1"));
         let log = seen.lock();
-        assert_eq!(log.as_slice(), &[("r1".to_string(), TerminationReason::Destroyed)]);
+        assert_eq!(
+            log.as_slice(),
+            &[("r1".to_string(), TerminationReason::Destroyed)]
+        );
     }
 
     #[test]
@@ -251,6 +264,10 @@ mod tests {
         let el = termination_notification("r9", TerminationReason::Expired);
         assert_eq!(el.name.local, "TerminationNotification");
         assert_eq!(el.attr("resource"), Some("r9"));
-        assert!(el.child("TerminationReason").unwrap().text().contains("time"));
+        assert!(el
+            .child("TerminationReason")
+            .unwrap()
+            .text()
+            .contains("time"));
     }
 }

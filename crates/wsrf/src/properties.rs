@@ -53,7 +53,10 @@ impl ResourceProperties {
 
     /// `GetMultipleResourceProperties`.
     pub fn get_multiple(&self, names: &[QName]) -> Vec<&Element> {
-        self.props.iter().filter(|p| names.contains(&p.name)).collect()
+        self.props
+            .iter()
+            .filter(|p| names.contains(&p.name))
+            .collect()
     }
 
     /// The full property document as one element (what
@@ -140,13 +143,11 @@ mod tests {
         rp.insert(prop("Paused", "true"));
         let doc = rp.document();
         assert_eq!(doc.name.local, "ResourcePropertyDocument");
-        let q = XPath::compile_with_namespaces(
-            "/*/s:Paused = 'true'",
-            &[("s", "urn:sub")],
-        )
-        .unwrap();
+        let q =
+            XPath::compile_with_namespaces("/*/s:Paused = 'true'", &[("s", "urn:sub")]).unwrap();
         assert!(rp.query(&q));
-        let q2 = XPath::compile_with_namespaces("/*/s:Paused = 'false'", &[("s", "urn:sub")]).unwrap();
+        let q2 =
+            XPath::compile_with_namespaces("/*/s:Paused = 'false'", &[("s", "urn:sub")]).unwrap();
         assert!(!rp.query(&q2));
     }
 }

@@ -1,7 +1,7 @@
 //! WSRF lifetime semantics exercised the way WSN 1.0 uses them.
 
-use std::sync::Arc;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use wsm_wsrf::{ResourceHome, ResourceProperties, TerminationReason};
 use wsm_xml::Element;
 use wsm_xpath::XPath;
@@ -25,7 +25,10 @@ fn scheduled_then_rescheduled_then_destroyed() {
     let events = log.lock();
     assert_eq!(events.len(), 2);
     assert_eq!(events[0], ("sub-1".to_string(), TerminationReason::Expired));
-    assert_eq!(events[1], ("sub-2".to_string(), TerminationReason::Destroyed));
+    assert_eq!(
+        events[1],
+        ("sub-2".to_string(), TerminationReason::Destroyed)
+    );
 }
 
 #[test]
@@ -44,7 +47,15 @@ fn property_document_queries_track_mutations() {
     });
     assert!(home.get("sub").unwrap().properties.query(&is_paused));
     // The untouched property is still there.
-    assert_eq!(home.get("sub").unwrap().properties.get_one("urn:s", "Topic").unwrap().text(), "storms");
+    assert_eq!(
+        home.get("sub")
+            .unwrap()
+            .properties
+            .get_one("urn:s", "Topic")
+            .unwrap()
+            .text(),
+        "storms"
+    );
 }
 
 #[test]
@@ -60,7 +71,10 @@ fn sweep_is_stable_under_many_resources() {
     gone.sort();
     assert_eq!(gone.len(), 26, "r0,r2,...,r50");
     assert_eq!(home.len(), 74);
-    assert!(home.sweep_expired(50).is_empty(), "idempotent at the same instant");
+    assert!(
+        home.sweep_expired(50).is_empty(),
+        "idempotent at the same instant"
+    );
 }
 
 #[test]

@@ -96,7 +96,11 @@ impl fmt::Display for DiffEntry {
                 }
             ),
             DiffKind::AttrValue { name, left, right } => {
-                write!(f, "{}: attribute `{name}` = `{left}` vs `{right}`", self.path)
+                write!(
+                    f,
+                    "{}: attribute `{name}` = `{left}` vs `{right}`",
+                    self.path
+                )
             }
             DiffKind::Text { left, right } => {
                 write!(f, "{}: text `{left}` vs `{right}`", self.path)
@@ -121,12 +125,18 @@ fn diff_elements(l: &Element, r: &Element, parent_path: String, out: &mut Vec<Di
     if l.name.local != r.name.local {
         out.push(DiffEntry {
             path: path.clone(),
-            kind: DiffKind::LocalName { left: l.name.local.clone(), right: r.name.local.clone() },
+            kind: DiffKind::LocalName {
+                left: l.name.local.clone(),
+                right: r.name.local.clone(),
+            },
         });
     } else if l.name.ns != r.name.ns {
         out.push(DiffEntry {
             path: path.clone(),
-            kind: DiffKind::Namespace { left: l.name.ns.clone(), right: r.name.ns.clone() },
+            kind: DiffKind::Namespace {
+                left: l.name.ns.clone(),
+                right: r.name.ns.clone(),
+            },
         });
     }
 
@@ -144,7 +154,10 @@ fn diff_elements(l: &Element, r: &Element, parent_path: String, out: &mut Vec<Di
             }),
             None => out.push(DiffEntry {
                 path: path.clone(),
-                kind: DiffKind::AttrPresence { name: la.name.clark(), side: Side::Left },
+                kind: DiffKind::AttrPresence {
+                    name: la.name.clark(),
+                    side: Side::Left,
+                },
             }),
         }
     }
@@ -152,7 +165,10 @@ fn diff_elements(l: &Element, r: &Element, parent_path: String, out: &mut Vec<Di
         if !l.attrs.iter().any(|la| la.name == ra.name) {
             out.push(DiffEntry {
                 path: path.clone(),
-                kind: DiffKind::AttrPresence { name: ra.name.clark(), side: Side::Right },
+                kind: DiffKind::AttrPresence {
+                    name: ra.name.clark(),
+                    side: Side::Right,
+                },
             });
         }
     }
@@ -162,7 +178,13 @@ fn diff_elements(l: &Element, r: &Element, parent_path: String, out: &mut Vec<Di
     let lt = normalize(&l.text());
     let rt = normalize(&r.text());
     if lt != rt {
-        out.push(DiffEntry { path: path.clone(), kind: DiffKind::Text { left: lt, right: rt } });
+        out.push(DiffEntry {
+            path: path.clone(),
+            kind: DiffKind::Text {
+                left: lt,
+                right: rt,
+            },
+        });
     }
 
     // Children, positionally.
@@ -171,7 +193,10 @@ fn diff_elements(l: &Element, r: &Element, parent_path: String, out: &mut Vec<Di
     if lc.len() != rc.len() {
         out.push(DiffEntry {
             path: path.clone(),
-            kind: DiffKind::ChildCount { left: lc.len(), right: rc.len() },
+            kind: DiffKind::ChildCount {
+                left: lc.len(),
+                right: rc.len(),
+            },
         });
     }
     for (cl, cr) in lc.iter().zip(rc.iter()) {
@@ -215,10 +240,7 @@ mod tests {
 
     #[test]
     fn namespace_difference_detected_separately() {
-        let ds = d(
-            r#"<r xmlns="urn:wse"/>"#,
-            r#"<r xmlns="urn:wsn"/>"#,
-        );
+        let ds = d(r#"<r xmlns="urn:wse"/>"#, r#"<r xmlns="urn:wsn"/>"#);
         assert_eq!(ds.len(), 1);
         assert!(matches!(&ds[0].kind, DiffKind::Namespace { .. }));
     }
@@ -226,13 +248,15 @@ mod tests {
     #[test]
     fn attribute_differences() {
         let ds = d("<r a='1' b='x'/>", "<r a='2' c='y'/>");
-        assert!(ds.iter().any(|e| matches!(&e.kind, DiffKind::AttrValue { name, .. } if name == "a")));
         assert!(ds
             .iter()
-            .any(|e| matches!(&e.kind, DiffKind::AttrPresence { name, side: Side::Left } if name == "b")));
-        assert!(ds
-            .iter()
-            .any(|e| matches!(&e.kind, DiffKind::AttrPresence { name, side: Side::Right } if name == "c")));
+            .any(|e| matches!(&e.kind, DiffKind::AttrValue { name, .. } if name == "a")));
+        assert!(ds.iter().any(
+            |e| matches!(&e.kind, DiffKind::AttrPresence { name, side: Side::Left } if name == "b")
+        ));
+        assert!(ds.iter().any(
+            |e| matches!(&e.kind, DiffKind::AttrPresence { name, side: Side::Right } if name == "c")
+        ));
     }
 
     #[test]
@@ -245,7 +269,9 @@ mod tests {
     #[test]
     fn structure_difference() {
         let ds = d("<r><a/><b/></r>", "<r><a/></r>");
-        assert!(ds.iter().any(|e| matches!(&e.kind, DiffKind::ChildCount { left: 2, right: 1 })));
+        assert!(ds
+            .iter()
+            .any(|e| matches!(&e.kind, DiffKind::ChildCount { left: 2, right: 1 })));
     }
 
     #[test]

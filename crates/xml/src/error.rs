@@ -43,7 +43,11 @@ pub enum ErrorKind {
 
 impl XmlError {
     pub(crate) fn new(kind: ErrorKind, position: usize, detail: impl Into<String>) -> Self {
-        XmlError { kind, position, detail: detail.into() }
+        XmlError {
+            kind,
+            position,
+            detail: detail.into(),
+        }
     }
 }
 

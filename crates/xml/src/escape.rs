@@ -57,9 +57,9 @@ pub fn unescape(raw: &str, base: usize) -> XmlResult<String> {
             i += ch_len;
             continue;
         }
-        let semi = raw[i..]
-            .find(';')
-            .ok_or_else(|| XmlError::new(ErrorKind::UnknownEntity, base + i, "unterminated entity"))?;
+        let semi = raw[i..].find(';').ok_or_else(|| {
+            XmlError::new(ErrorKind::UnknownEntity, base + i, "unterminated entity")
+        })?;
         let body = &raw[i + 1..i + semi];
         match body {
             "lt" => out.push('<'),
@@ -68,16 +68,26 @@ pub fn unescape(raw: &str, base: usize) -> XmlResult<String> {
             "apos" => out.push('\''),
             "quot" => out.push('"'),
             _ if body.starts_with('#') => {
-                let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                let code = if let Some(hex) =
+                    body.strip_prefix("#x").or_else(|| body.strip_prefix("#X"))
+                {
                     u32::from_str_radix(hex, 16)
                 } else {
                     body[1..].parse::<u32>()
                 }
                 .map_err(|_| {
-                    XmlError::new(ErrorKind::UnknownEntity, base + i, format!("bad character reference &{body};"))
+                    XmlError::new(
+                        ErrorKind::UnknownEntity,
+                        base + i,
+                        format!("bad character reference &{body};"),
+                    )
                 })?;
                 let c = char::from_u32(code).ok_or_else(|| {
-                    XmlError::new(ErrorKind::UnknownEntity, base + i, format!("invalid codepoint {code}"))
+                    XmlError::new(
+                        ErrorKind::UnknownEntity,
+                        base + i,
+                        format!("invalid codepoint {code}"),
+                    )
                 })?;
                 out.push(c);
             }

@@ -27,8 +27,8 @@
 //! ```
 
 pub mod diff;
-pub mod escape;
 pub mod error;
+pub mod escape;
 pub mod name;
 pub mod parser;
 pub mod tree;
@@ -39,5 +39,5 @@ pub use diff::{diff, DiffEntry, DiffKind};
 pub use error::{XmlError, XmlResult};
 pub use name::QName;
 pub use parser::parse;
-pub use tree::{Element, Node};
+pub use tree::{shared_serialization_count, Element, Node, SharedElement};
 pub use writer::{to_pretty_string, to_string, WriteOptions};

@@ -26,12 +26,18 @@ pub struct QName {
 impl QName {
     /// A name in no namespace.
     pub fn local(local: impl Into<String>) -> Self {
-        QName { ns: None, local: local.into() }
+        QName {
+            ns: None,
+            local: local.into(),
+        }
     }
 
     /// A name qualified by a namespace URI.
     pub fn ns(ns: impl Into<String>, local: impl Into<String>) -> Self {
-        QName { ns: Some(ns.into()), local: local.into() }
+        QName {
+            ns: Some(ns.into()),
+            local: local.into(),
+        }
     }
 
     /// True when this name has namespace `ns` and local part `local`.

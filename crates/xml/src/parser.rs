@@ -23,7 +23,13 @@ pub const MAX_DEPTH: usize = 256;
 /// element are accepted and discarded; anything else outside the root is
 /// an error.
 pub fn parse(input: &str) -> XmlResult<Element> {
-    let mut p = Parser { input, bytes: input.as_bytes(), pos: 0, scopes: Vec::new(), depth: 0 };
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+        scopes: Vec::new(),
+        depth: 0,
+    };
     p.skip_prolog()?;
     if p.at_end() {
         return Err(p.err(ErrorKind::Empty, "input contains no element"));
@@ -31,7 +37,10 @@ pub fn parse(input: &str) -> XmlResult<Element> {
     let root = p.parse_element()?;
     p.skip_misc()?;
     if !p.at_end() {
-        return Err(p.err(ErrorKind::TrailingContent, "unexpected content after document element"));
+        return Err(p.err(
+            ErrorKind::TrailingContent,
+            "unexpected content after document element",
+        ));
     }
     Ok(root)
 }
@@ -90,7 +99,10 @@ impl<'a> Parser<'a> {
             Err(self.err(ErrorKind::UnexpectedEof, format!("expected `{s}`")))
         } else {
             let got: String = self.input[self.pos..].chars().take(12).collect();
-            Err(self.err(ErrorKind::Malformed, format!("expected `{s}`, found `{got}`")))
+            Err(self.err(
+                ErrorKind::Malformed,
+                format!("expected `{s}`, found `{got}`"),
+            ))
         }
     }
 
@@ -135,7 +147,10 @@ impl<'a> Parser<'a> {
                 self.pos += i + end.len();
                 Ok(())
             }
-            None => Err(self.err(ErrorKind::UnexpectedEof, format!("unterminated construct, expected `{end}`"))),
+            None => Err(self.err(
+                ErrorKind::UnexpectedEof,
+                format!("unterminated construct, expected `{end}`"),
+            )),
         }
     }
 
@@ -168,17 +183,13 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        if end == self.input.len() {
-            self.pos = end;
-        } else {
-            self.pos = end;
-        }
+        self.pos = end;
         Ok(&self.input[start..end])
     }
 
     fn resolve(&self, prefix: Option<&str>, for_attr: bool) -> XmlResult<Option<String>> {
         match prefix {
-            Some("xml") => return Ok(Some(XML_NS.to_string())),
+            Some("xml") => Ok(Some(XML_NS.to_string())),
             Some(p) => {
                 for (pref, uri) in self.scopes.iter().rev() {
                     if pref.as_deref() == Some(p) {
@@ -192,7 +203,11 @@ impl<'a> Parser<'a> {
                         return Ok(Some(uri.clone()));
                     }
                 }
-                Err(XmlError::new(ErrorKind::UndeclaredPrefix, self.pos, format!("prefix `{p}`")))
+                Err(XmlError::new(
+                    ErrorKind::UndeclaredPrefix,
+                    self.pos,
+                    format!("prefix `{p}`"),
+                ))
             }
             None => {
                 if for_attr {
@@ -201,7 +216,11 @@ impl<'a> Parser<'a> {
                 }
                 for (pref, uri) in self.scopes.iter().rev() {
                     if pref.is_none() {
-                        return Ok(if uri.is_empty() { None } else { Some(uri.clone()) });
+                        return Ok(if uri.is_empty() {
+                            None
+                        } else {
+                            Some(uri.clone())
+                        });
                     }
                 }
                 Ok(None)
@@ -212,7 +231,10 @@ impl<'a> Parser<'a> {
     fn parse_element(&mut self) -> XmlResult<Element> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(self.err(ErrorKind::Malformed, format!("element nesting exceeds {MAX_DEPTH}")));
+            return Err(self.err(
+                ErrorKind::Malformed,
+                format!("element nesting exceeds {MAX_DEPTH}"),
+            ));
         }
         let out = self.parse_element_inner();
         self.depth -= 1;
@@ -254,7 +276,12 @@ impl<'a> Parser<'a> {
                     } else if prefix.is_none() && local == "xmlns" {
                         self.scopes.push((None, value));
                     } else {
-                        raw_attrs.push(RawAttr { prefix, local, value, pos: attr_pos });
+                        raw_attrs.push(RawAttr {
+                            prefix,
+                            local,
+                            value,
+                            pos: attr_pos,
+                        });
                     }
                 }
                 None => return Err(self.err(ErrorKind::UnexpectedEof, "inside start tag")),
@@ -268,7 +295,10 @@ impl<'a> Parser<'a> {
             e
         })?;
         let mut element = Element {
-            name: QName { ns: ens, local: elocal.to_string() },
+            name: QName {
+                ns: ens,
+                local: elocal.to_string(),
+            },
             prefix_hint: eprefix.map(str::to_string),
             attrs: Vec::with_capacity(raw_attrs.len()),
             children: Vec::new(),
@@ -278,9 +308,16 @@ impl<'a> Parser<'a> {
                 e.position = ra.pos;
                 e
             })?;
-            let name = QName { ns, local: ra.local.to_string() };
+            let name = QName {
+                ns,
+                local: ra.local.to_string(),
+            };
             if element.attrs.iter().any(|a| a.name == name) {
-                return Err(XmlError::new(ErrorKind::DuplicateAttribute, ra.pos, name.clark()));
+                return Err(XmlError::new(
+                    ErrorKind::DuplicateAttribute,
+                    ra.pos,
+                    name.clark(),
+                ));
             }
             element.attrs.push(Attribute {
                 name,
@@ -335,7 +372,9 @@ impl<'a> Parser<'a> {
                 let start = self.pos;
                 match self.input[self.pos..].find("]]>") {
                     Some(i) => {
-                        parent.children.push(Node::CData(self.input[start..start + i].to_string()));
+                        parent
+                            .children
+                            .push(Node::CData(self.input[start..start + i].to_string()));
                         self.pos = start + i + 3;
                     }
                     None => return Err(self.err(ErrorKind::UnexpectedEof, "unterminated CDATA")),
@@ -345,7 +384,9 @@ impl<'a> Parser<'a> {
                 let start = self.pos;
                 match self.input[self.pos..].find("-->") {
                     Some(i) => {
-                        parent.children.push(Node::Comment(self.input[start..start + i].to_string()));
+                        parent
+                            .children
+                            .push(Node::Comment(self.input[start..start + i].to_string()));
                         self.pos = start + i + 3;
                     }
                     None => return Err(self.err(ErrorKind::UnexpectedEof, "unterminated comment")),
@@ -360,7 +401,12 @@ impl<'a> Parser<'a> {
                         parent.children.push(Node::Pi { target, data });
                         self.pos = start + i + 2;
                     }
-                    None => return Err(self.err(ErrorKind::UnexpectedEof, "unterminated processing instruction")),
+                    None => {
+                        return Err(self.err(
+                            ErrorKind::UnexpectedEof,
+                            "unterminated processing instruction",
+                        ))
+                    }
                 }
             } else if self.peek() == Some(b'<') {
                 let child = self.parse_element()?;
@@ -368,7 +414,9 @@ impl<'a> Parser<'a> {
             } else {
                 // Text run up to the next '<'.
                 let start = self.pos;
-                let rel = self.input[self.pos..].find('<').unwrap_or(self.input.len() - self.pos);
+                let rel = self.input[self.pos..]
+                    .find('<')
+                    .unwrap_or(self.input.len() - self.pos);
                 let raw = &self.input[start..start + rel];
                 self.pos = start + rel;
                 let text = unescape(raw, start)?;
@@ -404,16 +452,18 @@ mod tests {
     fn default_namespace_applies_to_elements_not_attrs() {
         let e = parse(r#"<r xmlns="urn:d" a="1"><c/></r>"#).unwrap();
         assert_eq!(e.name, QName::ns("urn:d", "r"));
-        assert_eq!(e.attrs[0].name, QName::local("a"), "attrs do not take default ns");
+        assert_eq!(
+            e.attrs[0].name,
+            QName::local("a"),
+            "attrs do not take default ns"
+        );
         assert_eq!(e.elements().next().unwrap().name, QName::ns("urn:d", "c"));
     }
 
     #[test]
     fn prefixed_namespaces_and_scoping() {
-        let e = parse(
-            r#"<a:r xmlns:a="urn:a"><a:c xmlns:a="urn:b"><a:g/></a:c><a:d/></a:r>"#,
-        )
-        .unwrap();
+        let e =
+            parse(r#"<a:r xmlns:a="urn:a"><a:c xmlns:a="urn:b"><a:g/></a:c><a:d/></a:r>"#).unwrap();
         assert_eq!(e.name, QName::ns("urn:a", "r"));
         let c = e.elements().next().unwrap();
         assert_eq!(c.name, QName::ns("urn:b", "c"), "inner redeclaration wins");
@@ -481,7 +531,9 @@ mod tests {
         let e = parse("<r><!-- c --><?t d ?>x</r>").unwrap();
         assert_eq!(e.children.len(), 3);
         assert!(matches!(&e.children[0], Node::Comment(c) if c == " c "));
-        assert!(matches!(&e.children[1], Node::Pi { target, data } if target == "t" && data == "d"));
+        assert!(
+            matches!(&e.children[1], Node::Pi { target, data } if target == "t" && data == "d")
+        );
         assert_eq!(e.text(), "x");
     }
 
@@ -499,7 +551,15 @@ mod tests {
 
     #[test]
     fn unterminated_everything() {
-        for bad in ["<r", "<r>", "<r><c></c>", "<r><![CDATA[x", "<r><!-- x", "<r a=\"1", "<r>&amp"] {
+        for bad in [
+            "<r",
+            "<r>",
+            "<r><c></c>",
+            "<r><![CDATA[x",
+            "<r><!-- x",
+            "<r a=\"1",
+            "<r>&amp",
+        ] {
             assert!(parse(bad).is_err(), "`{bad}` should fail");
         }
     }

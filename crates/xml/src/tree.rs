@@ -1,12 +1,18 @@
-//! The element tree: [`Element`], [`Node`], [`Attribute`].
+//! The element tree: [`Element`], [`Node`], [`Attribute`],
+//! [`SharedElement`].
 
 use crate::name::QName;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A node in element content.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Node {
     /// A child element.
     Element(Element),
+    /// An immutable element subtree shared between documents, with a
+    /// cached serialization (see [`SharedElement`]).
+    Shared(Arc<SharedElement>),
     /// Character data (entities already expanded).
     Text(String),
     /// A CDATA section; identical to text for matching purposes but
@@ -24,15 +30,21 @@ pub enum Node {
 }
 
 impl Node {
-    /// The element inside this node, if it is one.
+    /// The element inside this node, if it is one (including shared
+    /// subtrees).
     pub fn as_element(&self) -> Option<&Element> {
         match self {
             Node::Element(e) => Some(e),
+            Node::Shared(s) => Some(s.element()),
             _ => None,
         }
     }
 
     /// Mutable variant of [`Node::as_element`].
+    ///
+    /// A [`Node::Shared`] subtree is immutable by construction, so this
+    /// returns `None` for it; callers that need to mutate must clone
+    /// the inner element into a regular [`Node::Element`] first.
     pub fn as_element_mut(&mut self) -> Option<&mut Element> {
         match self {
             Node::Element(e) => Some(e),
@@ -46,6 +58,89 @@ impl Node {
             Node::Text(t) | Node::CData(t) => Some(t),
             _ => None,
         }
+    }
+}
+
+/// Equality treats a shared subtree exactly like the element it wraps:
+/// sharing is a serialization optimization, not a semantic difference.
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Node::Text(a), Node::Text(b)) => a == b,
+            (Node::CData(a), Node::CData(b)) => a == b,
+            (Node::Comment(a), Node::Comment(b)) => a == b,
+            (
+                Node::Pi {
+                    target: at,
+                    data: ad,
+                },
+                Node::Pi {
+                    target: bt,
+                    data: bd,
+                },
+            ) => at == bt && ad == bd,
+            _ => match (self.as_element(), other.as_element()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
+/// Counts every *actual* serialization of a [`SharedElement`] (cache
+/// misses). The render-cache tests use this to prove a payload is
+/// serialized once per event rather than once per subscriber.
+static SHARED_SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of [`SharedElement`] serializations performed by this
+/// process (monotonic; cache hits do not count).
+pub fn shared_serialization_count() -> u64 {
+    SHARED_SERIALIZATIONS.load(Ordering::Relaxed)
+}
+
+/// An immutable element subtree that can be spliced into many
+/// documents, serializing at most once.
+///
+/// The cached form is the *standalone* compact serialization: every
+/// namespace the subtree uses is declared within it, so the writer can
+/// splice the cached bytes into any compact document where no default
+/// namespace is in force (the one binding that could capture the
+/// subtree's unprefixed names). In pretty-print mode, or under an
+/// active default namespace, the writer falls back to recursively
+/// writing the wrapped element.
+#[derive(Debug)]
+pub struct SharedElement {
+    element: Element,
+    xml: OnceLock<String>,
+}
+
+impl SharedElement {
+    /// Wrap an element for sharing.
+    pub fn new(element: Element) -> Arc<Self> {
+        Arc::new(SharedElement {
+            element,
+            xml: OnceLock::new(),
+        })
+    }
+
+    /// The wrapped element.
+    pub fn element(&self) -> &Element {
+        &self.element
+    }
+
+    /// The standalone compact serialization, rendered on first use and
+    /// cached for the lifetime of the subtree.
+    pub fn xml(&self) -> &str {
+        self.xml.get_or_init(|| {
+            SHARED_SERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+            crate::writer::to_string(&self.element)
+        })
+    }
+}
+
+impl PartialEq for SharedElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.element == other.element
     }
 }
 
@@ -103,7 +198,12 @@ impl PartialEq for Element {
 impl Element {
     /// Create an empty element with the given expanded name.
     pub fn new(name: QName) -> Self {
-        Element { name, prefix_hint: None, attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name,
+            prefix_hint: None,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Create an element in namespace `ns` with a preferred prefix.
@@ -166,7 +266,11 @@ impl Element {
         if let Some(a) = self.attrs.iter_mut().find(|a| a.name == name) {
             a.value = value;
         } else {
-            self.attrs.push(Attribute { name, prefix_hint: None, value });
+            self.attrs.push(Attribute {
+                name,
+                prefix_hint: None,
+                value,
+            });
         }
     }
 
@@ -219,7 +323,11 @@ impl Element {
     }
 
     /// All child elements with the given expanded name.
-    pub fn children_ns<'a>(&'a self, ns: &'a str, local: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+    pub fn children_ns<'a>(
+        &'a self,
+        ns: &'a str,
+        local: &'a str,
+    ) -> impl Iterator<Item = &'a Element> + 'a {
         self.elements().filter(move |e| e.name.is(ns, local))
     }
 
@@ -239,10 +347,10 @@ impl Element {
     pub fn deep_text(&self) -> String {
         fn walk(e: &Element, out: &mut String) {
             for c in &e.children {
-                match c {
-                    Node::Text(t) | Node::CData(t) => out.push_str(t),
-                    Node::Element(child) => walk(child, out),
-                    _ => {}
+                if let Some(t) = c.as_text() {
+                    out.push_str(t);
+                } else if let Some(child) = c.as_element() {
+                    walk(child, out);
                 }
             }
         }
@@ -292,7 +400,11 @@ mod tests {
     fn builder_and_accessors() {
         let e = sample();
         assert_eq!(e.attr("a"), Some("1"));
-        assert_eq!(e.attr("b"), None, "namespaced attr must not match plain lookup");
+        assert_eq!(
+            e.attr("b"),
+            None,
+            "namespaced attr must not match plain lookup"
+        );
         assert_eq!(e.attr_ns("urn:x", "b"), Some("2"));
         assert_eq!(e.element_count(), 2);
         assert_eq!(e.child("kid").unwrap().text(), "hello");
@@ -316,8 +428,9 @@ mod tests {
 
     #[test]
     fn descendant_search() {
-        let tree = Element::local("a")
-            .with_child(Element::local("b").with_child(Element::ns("urn:d", "deep", "d").with_text("x")));
+        let tree = Element::local("a").with_child(
+            Element::local("b").with_child(Element::ns("urn:d", "deep", "d").with_text("x")),
+        );
         assert_eq!(tree.descendant_ns("urn:d", "deep").unwrap().text(), "x");
         assert!(tree.descendant_ns("urn:d", "nope").is_none());
     }

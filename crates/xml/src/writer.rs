@@ -5,19 +5,13 @@ use crate::name::XML_NS;
 use crate::tree::{Element, Node};
 
 /// Serialization options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct WriteOptions {
     /// Emit `<?xml version="1.0" encoding="utf-8"?>` first.
     pub xml_decl: bool,
     /// `Some(n)` pretty-prints with `n`-space indentation. Elements with
     /// text content are kept inline so character data is never altered.
     pub indent: Option<usize>,
-}
-
-impl Default for WriteOptions {
-    fn default() -> Self {
-        WriteOptions { xml_decl: false, indent: None }
-    }
 }
 
 /// Serialize compactly (no XML declaration, no added whitespace).
@@ -27,7 +21,13 @@ pub fn to_string(root: &Element) -> String {
 
 /// Serialize pretty-printed with two-space indentation.
 pub fn to_pretty_string(root: &Element) -> String {
-    write_with(root, WriteOptions { xml_decl: false, indent: Some(2) })
+    write_with(
+        root,
+        WriteOptions {
+            xml_decl: false,
+            indent: Some(2),
+        },
+    )
 }
 
 /// Serialize with explicit [`WriteOptions`].
@@ -39,7 +39,12 @@ pub fn write_with(root: &Element, opts: WriteOptions) -> String {
             out.push('\n');
         }
     }
-    let mut w = Writer { out, opts, scopes: Vec::new(), gen_counter: 0 };
+    let mut w = Writer {
+        out,
+        opts,
+        scopes: Vec::new(),
+        gen_counter: 0,
+    };
     w.element(root, 0);
     w.out
 }
@@ -101,16 +106,26 @@ impl Writer {
         let mut decls: Vec<(Option<String>, String)> = Vec::new();
 
         // Resolve the element's own name.
-        let tag = self.qualify(&e.name.ns, e.prefix_hint.as_deref(), true, &mut decls, &e.name.local);
+        let tag = self.qualify(
+            &e.name.ns,
+            e.prefix_hint.as_deref(),
+            true,
+            &mut decls,
+            &e.name.local,
+        );
 
         // Resolve attribute names.
         let mut attr_strs: Vec<(String, String)> = Vec::with_capacity(e.attrs.len());
         for a in &e.attrs {
             let aname = match &a.name.ns {
                 None => a.name.local.clone(),
-                Some(_) => {
-                    self.qualify(&a.name.ns, a.prefix_hint.as_deref(), false, &mut decls, &a.name.local)
-                }
+                Some(_) => self.qualify(
+                    &a.name.ns,
+                    a.prefix_hint.as_deref(),
+                    false,
+                    &mut decls,
+                    &a.name.local,
+                ),
             };
             attr_strs.push((aname, escape_attr(&a.value)));
         }
@@ -147,13 +162,27 @@ impl Writer {
         self.out.push('>');
 
         let indent_children = self.opts.indent.is_some()
-            && e.children.iter().all(|c| !matches!(c, Node::Text(_) | Node::CData(_)));
+            && e.children
+                .iter()
+                .all(|c| !matches!(c, Node::Text(_) | Node::CData(_)));
         for c in &e.children {
             if indent_children {
                 self.newline_indent(depth + 1);
             }
             match c {
                 Node::Element(child) => self.element(child, depth + 1),
+                Node::Shared(shared) => {
+                    // The cached form self-declares every namespace it
+                    // uses, so it can be spliced anywhere a default
+                    // namespace cannot capture its unprefixed names.
+                    // Pretty mode re-renders so indentation stays right.
+                    let default_ns_active = self.binding_of(None).is_some_and(|u| !u.is_empty());
+                    if self.opts.indent.is_none() && !default_ns_active {
+                        self.out.push_str(shared.xml());
+                    } else {
+                        self.element(shared.element(), depth + 1);
+                    }
+                }
                 Node::Text(t) => self.out.push_str(&escape_text(t)),
                 Node::CData(t) => {
                     self.out.push_str("<![CDATA[");
@@ -293,10 +322,11 @@ mod tests {
 
     #[test]
     fn builder_tree_gets_declarations() {
-        let e = Element::ns("urn:s", "Envelope", "s")
-            .with_child(Element::ns("urn:s", "Body", "s").with_child(
+        let e = Element::ns("urn:s", "Envelope", "s").with_child(
+            Element::ns("urn:s", "Body", "s").with_child(
                 Element::ns("urn:app", "op", "app").with_attr_ns("urn:x", "id", "x", "7"),
-            ));
+            ),
+        );
         let s = to_string(&e);
         assert!(s.contains("xmlns:s=\"urn:s\""), "{s}");
         assert!(s.contains("xmlns:app=\"urn:app\""), "{s}");
@@ -306,7 +336,11 @@ mod tests {
         let back = parse(&s).unwrap();
         assert_eq!(back.name, QName::ns("urn:s", "Envelope"));
         assert_eq!(
-            back.child("Body").unwrap().child("op").unwrap().attr_ns("urn:x", "id"),
+            back.child("Body")
+                .unwrap()
+                .child("op")
+                .unwrap()
+                .attr_ns("urn:x", "id"),
             Some("7")
         );
     }
@@ -370,7 +404,13 @@ mod tests {
     #[test]
     fn xml_decl_option() {
         let e = Element::local("r");
-        let s = write_with(&e, WriteOptions { xml_decl: true, indent: None });
+        let s = write_with(
+            &e,
+            WriteOptions {
+                xml_decl: true,
+                indent: None,
+            },
+        );
         assert!(s.starts_with("<?xml version=\"1.0\""), "{s}");
     }
 
@@ -382,7 +422,58 @@ mod tests {
         let s = to_string(&e);
         let back = parse(&s).unwrap();
         assert_eq!(back.name, QName::ns("urn:a", "r"));
-        assert_eq!(back.elements().next().unwrap().name, QName::ns("urn:b", "c"));
+        assert_eq!(
+            back.elements().next().unwrap().name,
+            QName::ns("urn:b", "c")
+        );
+    }
+
+    #[test]
+    fn shared_subtree_writes_identically_to_plain() {
+        use crate::tree::SharedElement;
+        let payload = Element::ns("urn:app", "alert", "app")
+            .with_attr("sev", "3")
+            .with_child(Element::ns("urn:app", "src", "app").with_text("x < y & z"))
+            .with_child(Element::local("plain").with_text("t"));
+        let mut with_plain = Element::ns("urn:s", "Body", "s");
+        with_plain.children.push(Node::Element(payload.clone()));
+        let mut with_shared = Element::ns("urn:s", "Body", "s");
+        let shared = SharedElement::new(payload);
+        with_shared.children.push(Node::Shared(shared.clone()));
+        assert_eq!(to_string(&with_shared), to_string(&with_plain));
+        // Parsing the spliced form recovers the same tree.
+        assert_eq!(parse(&to_string(&with_shared)).unwrap(), with_plain);
+        // Pretty mode falls back to recursive writing and matches too.
+        assert_eq!(
+            to_pretty_string(&with_shared),
+            to_pretty_string(&with_plain)
+        );
+    }
+
+    #[test]
+    fn shared_subtree_under_default_namespace_is_not_spliced() {
+        use crate::tree::SharedElement;
+        // The no-namespace child would be captured by the active
+        // default namespace if the cached standalone form were spliced.
+        let payload = Element::local("note").with_text("hi");
+        let mut root = Element::new(QName::ns("urn:outer", "r"));
+        root.children
+            .push(Node::Shared(SharedElement::new(payload)));
+        let back = parse(&to_string(&root)).unwrap();
+        assert_eq!(back.elements().next().unwrap().name, QName::local("note"));
+    }
+
+    #[test]
+    fn shared_subtree_serializes_once_across_documents() {
+        use crate::tree::SharedElement;
+        let shared = SharedElement::new(Element::ns("urn:app", "ev", "app").with_text("payload"));
+        let before = crate::tree::shared_serialization_count();
+        for i in 0..16 {
+            let mut doc = Element::ns("urn:s", "Envelope", "s").with_attr("n", i.to_string());
+            doc.children.push(Node::Shared(shared.clone()));
+            let _ = to_string(&doc);
+        }
+        assert_eq!(crate::tree::shared_serialization_count() - before, 1);
     }
 
     #[test]

@@ -86,7 +86,15 @@ pub fn parse_duration(s: &str) -> Option<u64> {
         }
     };
     const DAY: f64 = 86_400_000.0;
-    parse_fields(date_part, &[('Y', 365.0 * DAY), ('M', 30.0 * DAY), ('W', 7.0 * DAY), ('D', DAY)])?;
+    parse_fields(
+        date_part,
+        &[
+            ('Y', 365.0 * DAY),
+            ('M', 30.0 * DAY),
+            ('W', 7.0 * DAY),
+            ('D', DAY),
+        ],
+    )?;
     if let Some(t) = time_part {
         parse_fields(t, &[('H', 3_600_000.0), ('M', 60_000.0), ('S', 1_000.0)])?;
     }
@@ -183,7 +191,16 @@ mod tests {
 
     #[test]
     fn duration_roundtrip() {
-        for ms in [0u64, 1, 999, 1000, 61_000, 3_600_000, 90_061_500, 86_400_000 * 40] {
+        for ms in [
+            0u64,
+            1,
+            999,
+            1000,
+            61_000,
+            3_600_000,
+            90_061_500,
+            86_400_000 * 40,
+        ] {
             let s = format_duration(ms);
             assert_eq!(parse_duration(&s), Some(ms), "{s}");
         }
@@ -211,7 +228,9 @@ mod tests {
 
     #[test]
     fn duration_rejects_garbage() {
-        for bad in ["", "P", "PT", "60S", "-P1D", "P1X", "PT1", "P1M2Y", "PT1M2H"] {
+        for bad in [
+            "", "P", "PT", "60S", "-P1D", "P1X", "PT1", "P1M2Y", "PT1M2H",
+        ] {
             assert_eq!(parse_duration(bad), None, "`{bad}` should fail");
         }
     }
@@ -224,7 +243,13 @@ mod tests {
 
     #[test]
     fn datetime_roundtrip() {
-        for ms in [0u64, 1_000, 86_400_000, 1_234_567_890_123, 1_700_000_000_000] {
+        for ms in [
+            0u64,
+            1_000,
+            86_400_000,
+            1_234_567_890_123,
+            1_700_000_000_000,
+        ] {
             let s = format_datetime(ms);
             assert_eq!(parse_datetime(&s), Some(ms), "{s}");
         }
@@ -249,7 +274,13 @@ mod tests {
 
     #[test]
     fn datetime_rejects_garbage() {
-        for bad in ["", "1970-01-01", "T00:00:00", "1969-12-31T23:59:59Z", "1970-13-01T00:00:00Z"] {
+        for bad in [
+            "",
+            "1970-01-01",
+            "T00:00:00",
+            "1969-12-31T23:59:59Z",
+            "1970-13-01T00:00:00Z",
+        ] {
             assert_eq!(parse_datetime(bad), None, "`{bad}` should fail");
         }
     }

@@ -24,7 +24,11 @@ fn ns_strategy() -> impl Strategy<Value = Option<String>> {
 }
 
 fn prefix_strategy() -> impl Strategy<Value = Option<String>> {
-    prop_oneof![Just(None), Just(Some("p".to_string())), Just(Some("q".to_string()))]
+    prop_oneof![
+        Just(None),
+        Just(Some("p".to_string())),
+        Just(Some("q".to_string()))
+    ]
 }
 
 fn text_strategy() -> impl Strategy<Value = String> {
@@ -33,9 +37,17 @@ fn text_strategy() -> impl Strategy<Value = String> {
 }
 
 fn leaf_strategy() -> impl Strategy<Value = Element> {
-    (name_strategy(), ns_strategy(), prefix_strategy(), proptest::option::of(text_strategy())).prop_map(
-        |(local, ns, prefix, text)| {
-            let mut e = Element::new(QName { ns: ns.clone(), local });
+    (
+        name_strategy(),
+        ns_strategy(),
+        prefix_strategy(),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(local, ns, prefix, text)| {
+            let mut e = Element::new(QName {
+                ns: ns.clone(),
+                local,
+            });
             // Prefix hints only make sense for namespaced elements.
             e.prefix_hint = if ns.is_some() { prefix } else { None };
             if let Some(t) = text {
@@ -44,8 +56,7 @@ fn leaf_strategy() -> impl Strategy<Value = Element> {
                 }
             }
             e
-        },
-    )
+        })
 }
 
 fn tree_strategy() -> impl Strategy<Value = Element> {

@@ -17,7 +17,13 @@ pub fn evaluate(expr: &Expr, root: &Element) -> Value {
 /// Evaluate with namespace bindings for prefixes in the expression.
 pub fn evaluate_with_namespaces(expr: &Expr, root: &Element, namespaces: &[(&str, &str)]) -> Value {
     let doc = DocIndex::build(root);
-    let ctx = Ctx { doc: &doc, namespaces, node: ROOT, position: 1, size: 1 };
+    let ctx = Ctx {
+        doc: &doc,
+        namespaces,
+        node: ROOT,
+        position: 1,
+        size: 1,
+    };
     match eval(&ctx, expr) {
         V::B(b) => Value::Boolean(b),
         V::N(n) => Value::Number(n),
@@ -52,7 +58,11 @@ struct DocIndex<'a> {
 
 impl<'a> DocIndex<'a> {
     fn build(root: &'a Element) -> Self {
-        let mut idx = DocIndex { nodes: Vec::new(), children: Vec::new(), attrs: Vec::new() };
+        let mut idx = DocIndex {
+            nodes: Vec::new(),
+            children: Vec::new(),
+            attrs: Vec::new(),
+        };
         idx.push(NodeData::Root);
         let root_id = idx.add_element(root, ROOT);
         idx.children[ROOT].push(root_id);
@@ -69,14 +79,24 @@ impl<'a> DocIndex<'a> {
     fn add_element(&mut self, el: &'a Element, parent: usize) -> usize {
         let id = self.push(NodeData::Element { el, parent });
         for a in &el.attrs {
-            let aid = self.push(NodeData::Attr { attr: a, parent: id });
+            let aid = self.push(NodeData::Attr {
+                attr: a,
+                parent: id,
+            });
             self.attrs[id].push(aid);
         }
         for c in &el.children {
             let cid = match c {
                 Node::Element(child) => self.add_element(child, id),
-                Node::Text(t) | Node::CData(t) => self.push(NodeData::Text { text: t, parent: id }),
-                Node::Comment(t) => self.push(NodeData::Comment { text: t, parent: id }),
+                Node::Shared(shared) => self.add_element(shared.element(), id),
+                Node::Text(t) | Node::CData(t) => self.push(NodeData::Text {
+                    text: t,
+                    parent: id,
+                }),
+                Node::Comment(t) => self.push(NodeData::Comment {
+                    text: t,
+                    parent: id,
+                }),
                 Node::Pi { .. } => continue,
             };
             self.children[id].push(cid);
@@ -133,11 +153,20 @@ struct Ctx<'a, 'd> {
 
 impl<'a, 'd> Ctx<'a, 'd> {
     fn with_node(&self, node: usize, position: usize, size: usize) -> Ctx<'a, 'd> {
-        Ctx { doc: self.doc, namespaces: self.namespaces, node, position, size }
+        Ctx {
+            doc: self.doc,
+            namespaces: self.namespaces,
+            node,
+            position,
+            size,
+        }
     }
 
     fn resolve_prefix(&self, prefix: &str) -> Option<&str> {
-        self.namespaces.iter().find(|(p, _)| *p == prefix).map(|(_, u)| *u)
+        self.namespaces
+            .iter()
+            .find(|(p, _)| *p == prefix)
+            .map(|(_, u)| *u)
     }
 }
 
@@ -152,7 +181,11 @@ fn eval(ctx: &Ctx, expr: &Expr) -> V {
         Expr::Binary(op, l, r) => eval_binary(ctx, *op, l, r),
         Expr::Call { name, args } => eval_call(ctx, name, args),
         Expr::Path(lp) => V::Nodes(eval_path(ctx, lp, None)),
-        Expr::Filtered { primary, predicates, path } => {
+        Expr::Filtered {
+            primary,
+            predicates,
+            path,
+        } => {
             let base = match eval(ctx, primary) {
                 V::Nodes(ids) => ids,
                 // Predicating a non-node-set is a type error in XPath;
@@ -219,7 +252,12 @@ fn eval_binary(ctx: &Ctx, op: BinOp, l: &Expr, r: &Expr) -> V {
             }
             V::B(to_bool(ctx, &eval(ctx, r)))
         }
-        BinOp::Eq | BinOp::NotEq => V::B(compare_eq(ctx, op == BinOp::NotEq, eval(ctx, l), eval(ctx, r))),
+        BinOp::Eq | BinOp::NotEq => V::B(compare_eq(
+            ctx,
+            op == BinOp::NotEq,
+            eval(ctx, l),
+            eval(ctx, r),
+        )),
         BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
             V::B(compare_rel(ctx, op, eval(ctx, l), eval(ctx, r)))
         }
@@ -250,7 +288,8 @@ fn compare_eq(ctx: &Ctx, negate: bool, l: V, r: V) -> bool {
             let bs: Vec<String> = b.iter().map(|&id| ctx.doc.string_value(id)).collect();
             a.iter().any(|&ia| {
                 let sa = ctx.doc.string_value(ia);
-                bs.iter().any(|sb| if negate { *sb != sa } else { *sb == sa })
+                bs.iter()
+                    .any(|sb| if negate { *sb != sa } else { *sb == sa })
             })
         }
         (V::Nodes(a), V::N(n)) | (V::N(n), V::Nodes(a)) => a.iter().any(|&id| {
@@ -328,15 +367,18 @@ fn compare_rel(ctx: &Ctx, op: BinOp, l: V, r: V) -> bool {
     match (&l, &r) {
         (V::Nodes(a), V::Nodes(b)) => a.iter().any(|&ia| {
             let na = str_to_number(&ctx.doc.string_value(ia));
-            b.iter().any(|&ib| cmp(na, str_to_number(&ctx.doc.string_value(ib))))
+            b.iter()
+                .any(|&ib| cmp(na, str_to_number(&ctx.doc.string_value(ib))))
         }),
         (V::Nodes(a), _) => {
             let rn = num_of(ctx, &r);
-            a.iter().any(|&id| cmp(str_to_number(&ctx.doc.string_value(id)), rn))
+            a.iter()
+                .any(|&id| cmp(str_to_number(&ctx.doc.string_value(id)), rn))
         }
         (_, V::Nodes(b)) => {
             let ln = num_of(ctx, &l);
-            b.iter().any(|&id| cmp(ln, str_to_number(&ctx.doc.string_value(id))))
+            b.iter()
+                .any(|&id| cmp(ln, str_to_number(&ctx.doc.string_value(id))))
         }
         _ => cmp(num_of(ctx, &l), num_of(ctx, &r)),
     }
@@ -369,7 +411,10 @@ fn eval_path(ctx: &Ctx, lp: &LocationPath, start: Option<Vec<usize>>) -> Vec<usi
 }
 
 fn is_reverse_axis(axis: Axis) -> bool {
-    matches!(axis, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling)
+    matches!(
+        axis,
+        Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling
+    )
 }
 
 /// Nodes on `axis` from `node`, in axis order (reverse axes are returned
@@ -539,9 +584,7 @@ fn eval_call(ctx: &Ctx, name: &str, args: &[Expr]) -> V {
             }
             V::S(s)
         }
-        ("starts-with", 2) => {
-            V::B(to_string_v(ctx, arg(0)).starts_with(&to_string_v(ctx, arg(1))))
-        }
+        ("starts-with", 2) => V::B(to_string_v(ctx, arg(0)).starts_with(&to_string_v(ctx, arg(1)))),
         ("contains", 2) => V::B(to_string_v(ctx, arg(0)).contains(&to_string_v(ctx, arg(1)))),
         ("substring-before", 2) => {
             let s = to_string_v(ctx, arg(0));
@@ -551,13 +594,21 @@ fn eval_call(ctx: &Ctx, name: &str, args: &[Expr]) -> V {
         ("substring-after", 2) => {
             let s = to_string_v(ctx, arg(0));
             let pat = to_string_v(ctx, arg(1));
-            V::S(s.find(&pat).map(|i| s[i + pat.len()..].to_string()).unwrap_or_default())
+            V::S(
+                s.find(&pat)
+                    .map(|i| s[i + pat.len()..].to_string())
+                    .unwrap_or_default(),
+            )
         }
         ("substring", 2 | 3) => {
             let s = to_string_v(ctx, arg(0));
             let chars: Vec<char> = s.chars().collect();
             let start = to_number(ctx, arg(1));
-            let len = if args.len() == 3 { to_number(ctx, arg(2)) } else { f64::INFINITY };
+            let len = if args.len() == 3 {
+                to_number(ctx, arg(2))
+            } else {
+                f64::INFINITY
+            };
             if start.is_nan() || len.is_nan() {
                 return V::S(String::new());
             }
@@ -577,9 +628,7 @@ fn eval_call(ctx: &Ctx, name: &str, args: &[Expr]) -> V {
         }
         ("string-length", 0) => V::N(ctx.doc.string_value(ctx.node).chars().count() as f64),
         ("string-length", 1) => V::N(to_string_v(ctx, arg(0)).chars().count() as f64),
-        ("normalize-space", 0) => {
-            V::S(normalize_space(&ctx.doc.string_value(ctx.node)))
-        }
+        ("normalize-space", 0) => V::S(normalize_space(&ctx.doc.string_value(ctx.node))),
         ("normalize-space", 1) => V::S(normalize_space(&to_string_v(ctx, arg(0)))),
         ("translate", 3) => {
             let s = to_string_v(ctx, arg(0));
@@ -600,7 +649,9 @@ fn eval_call(ctx: &Ctx, name: &str, args: &[Expr]) -> V {
         },
         ("sum", 1) => match arg(0) {
             V::Nodes(ids) => V::N(
-                ids.iter().map(|&id| str_to_number(&ctx.doc.string_value(id))).sum(),
+                ids.iter()
+                    .map(|&id| str_to_number(&ctx.doc.string_value(id)))
+                    .sum(),
             ),
             _ => V::N(f64::NAN),
         },
@@ -615,19 +666,29 @@ fn eval_call(ctx: &Ctx, name: &str, args: &[Expr]) -> V {
         }
         ("local-name", 0) => V::S(local_name_of(ctx, ctx.node)),
         ("local-name", 1) => match arg(0) {
-            V::Nodes(ids) => V::S(ids.first().map(|&id| local_name_of(ctx, id)).unwrap_or_default()),
+            V::Nodes(ids) => V::S(
+                ids.first()
+                    .map(|&id| local_name_of(ctx, id))
+                    .unwrap_or_default(),
+            ),
             _ => V::S(String::new()),
         },
         ("namespace-uri", 0) => V::S(namespace_of(ctx, ctx.node)),
         ("namespace-uri", 1) => match arg(0) {
-            V::Nodes(ids) => {
-                V::S(ids.first().map(|&id| namespace_of(ctx, id)).unwrap_or_default())
-            }
+            V::Nodes(ids) => V::S(
+                ids.first()
+                    .map(|&id| namespace_of(ctx, id))
+                    .unwrap_or_default(),
+            ),
             _ => V::S(String::new()),
         },
         ("name", 0) => V::S(local_name_of(ctx, ctx.node)),
         ("name", 1) => match arg(0) {
-            V::Nodes(ids) => V::S(ids.first().map(|&id| local_name_of(ctx, id)).unwrap_or_default()),
+            V::Nodes(ids) => V::S(
+                ids.first()
+                    .map(|&id| local_name_of(ctx, id))
+                    .unwrap_or_default(),
+            ),
             _ => V::S(String::new()),
         },
         // Unknown function or wrong arity: empty — filters must not
@@ -637,7 +698,10 @@ fn eval_call(ctx: &Ctx, name: &str, args: &[Expr]) -> V {
 }
 
 fn local_name_of(ctx: &Ctx, id: usize) -> String {
-    ctx.doc.expanded_name(id).map(|(_, l)| l.to_string()).unwrap_or_default()
+    ctx.doc
+        .expanded_name(id)
+        .map(|(_, l)| l.to_string())
+        .unwrap_or_default()
 }
 
 fn namespace_of(ctx: &Ctx, id: usize) -> String {
@@ -696,7 +760,11 @@ mod tests {
     fn descendants() {
         assert_eq!(evn("count(//item)", DOC), 2.0);
         assert_eq!(evs("//note", DOC), "rush");
-        assert_eq!(evn("count(/descendant-or-self::node())", DOC), 8.0, "root-elem+3 elems+... text nodes");
+        assert_eq!(
+            evn("count(/descendant-or-self::node())", DOC),
+            8.0,
+            "root-elem+3 elems+... text nodes"
+        );
     }
 
     #[test]
@@ -718,7 +786,11 @@ mod tests {
     #[test]
     fn siblings() {
         assert_eq!(evs("/order/item[1]/following-sibling::item", DOC), "gadget");
-        assert_eq!(evs("/order/note/preceding-sibling::item[1]", DOC), "gadget", "nearest first");
+        assert_eq!(
+            evs("/order/note/preceding-sibling::item[1]", DOC),
+            "gadget",
+            "nearest first"
+        );
     }
 
     #[test]
@@ -794,21 +866,34 @@ mod tests {
         let nsdoc = r#"<e:v xmlns:e="urn:e"><e:k>go</e:k><plain>x</plain></e:v>"#;
         let d = xml(nsdoc).unwrap();
         let e = xp("/w:v/w:k").unwrap();
-        assert_eq!(evaluate_with_namespaces(&e, &d, &[("w", "urn:e")]).string(), "go");
+        assert_eq!(
+            evaluate_with_namespaces(&e, &d, &[("w", "urn:e")]).string(),
+            "go"
+        );
         // Unprefixed test matches only no-namespace nodes.
         let e2 = xp("//plain").unwrap();
         assert!(evaluate(&e2, &d).boolean());
         let e3 = xp("//k").unwrap();
-        assert!(!evaluate(&e3, &d).boolean(), "no default namespace in XPath 1.0");
+        assert!(
+            !evaluate(&e3, &d).boolean(),
+            "no default namespace in XPath 1.0"
+        );
         // prefix:* wildcard
         let e4 = xp("count(/w:v/w:*)").unwrap();
-        assert_eq!(evaluate_with_namespaces(&e4, &d, &[("w", "urn:e")]).number(), 1.0);
+        assert_eq!(
+            evaluate_with_namespaces(&e4, &d, &[("w", "urn:e")]).number(),
+            1.0
+        );
     }
 
     #[test]
     fn union() {
         assert_eq!(evn("count(/order/item | /order/note)", DOC), 3.0);
-        assert_eq!(evn("count(/order/item | /order/item)", DOC), 2.0, "union dedups");
+        assert_eq!(
+            evn("count(/order/item | /order/item)", DOC),
+            2.0,
+            "union dedups"
+        );
     }
 
     #[test]

@@ -261,7 +261,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, (usize, String)> {
                 }
             }
             _ => {
-                return Err((i, format!("unexpected character `{}`", input[i..].chars().next().unwrap())))
+                return Err((
+                    i,
+                    format!(
+                        "unexpected character `{}`",
+                        input[i..].chars().next().unwrap()
+                    ),
+                ))
             }
         }
     }
@@ -365,7 +371,11 @@ mod tests {
         assert_eq!(toks("p:*"), vec![Token::Name(Some("p".into()), "*".into())]);
         assert_eq!(
             toks("child::x"),
-            vec![Token::Name(None, "child".into()), Token::ColonColon, Token::Name(None, "x".into())]
+            vec![
+                Token::Name(None, "child".into()),
+                Token::ColonColon,
+                Token::Name(None, "x".into())
+            ]
         );
     }
 

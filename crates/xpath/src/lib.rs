@@ -64,7 +64,11 @@ impl XPath {
     /// Parse `source` into a compiled expression.
     pub fn compile(source: &str) -> Result<Self, XPathError> {
         let expr = parser::parse(source)?;
-        Ok(XPath { expr, source: source.to_string(), namespaces: Vec::new() })
+        Ok(XPath {
+            expr,
+            source: source.to_string(),
+            namespaces: Vec::new(),
+        })
     }
 
     /// Parse with namespace bindings for prefixes used in the expression
@@ -77,7 +81,10 @@ impl XPath {
         Ok(XPath {
             expr,
             source: source.to_string(),
-            namespaces: namespaces.iter().map(|(p, u)| (p.to_string(), u.to_string())).collect(),
+            namespaces: namespaces
+                .iter()
+                .map(|(p, u)| (p.to_string(), u.to_string()))
+                .collect(),
         })
     }
 
@@ -88,8 +95,11 @@ impl XPath {
 
     /// Evaluate against `doc` and return the full XPath value.
     pub fn evaluate(&self, doc: &Element) -> Value {
-        let ns: Vec<(&str, &str)> =
-            self.namespaces.iter().map(|(p, u)| (p.as_str(), u.as_str())).collect();
+        let ns: Vec<(&str, &str)> = self
+            .namespaces
+            .iter()
+            .map(|(p, u)| (p.as_str(), u.as_str()))
+            .collect();
         eval::evaluate_with_namespaces(&self.expr, doc, &ns)
     }
 
@@ -123,10 +133,12 @@ mod tests {
     #[test]
     fn namespaced_filter() {
         let doc = parse(r#"<e:ev xmlns:e="urn:ev"><e:kind>done</e:kind></e:ev>"#).unwrap();
-        let xp = XPath::compile_with_namespaces("/n:ev/n:kind = 'done'", &[("n", "urn:ev")]).unwrap();
+        let xp =
+            XPath::compile_with_namespaces("/n:ev/n:kind = 'done'", &[("n", "urn:ev")]).unwrap();
         assert!(xp.matches(&doc));
         // Wrong binding does not match.
-        let xp2 = XPath::compile_with_namespaces("/n:ev/n:kind = 'done'", &[("n", "urn:other")]).unwrap();
+        let xp2 =
+            XPath::compile_with_namespaces("/n:ev/n:kind = 'done'", &[("n", "urn:other")]).unwrap();
         assert!(!xp2.matches(&doc));
     }
 

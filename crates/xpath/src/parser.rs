@@ -25,7 +25,10 @@ impl std::error::Error for XPathError {}
 pub fn parse(input: &str) -> Result<Expr, XPathError> {
     let tokens = tokenize(input).map_err(|(at, message)| XPathError { at, message })?;
     if tokens.is_empty() {
-        return Err(XPathError { at: 0, message: "empty expression".into() });
+        return Err(XPathError {
+            at: 0,
+            message: "empty expression".into(),
+        });
     }
     let mut p = P { tokens, pos: 0 };
     let e = p.or_expr()?;
@@ -42,7 +45,10 @@ struct P {
 
 impl P {
     fn err(&self, message: impl Into<String>) -> XPathError {
-        XPathError { at: self.pos, message: message.into() }
+        XPathError {
+            at: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -76,7 +82,9 @@ impl P {
         } else {
             Err(self.err(format!(
                 "expected `{t}`, found {}",
-                self.peek().map(|x| format!("`{x}`")).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|x| format!("`{x}`"))
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -207,7 +215,10 @@ impl P {
             Some(Token::LParen | Token::Literal(_) | Token::Number(_) | Token::Variable(_)) => true,
             Some(Token::Name(None, n)) => {
                 self.peek2() == Some(&Token::LParen)
-                    && !matches!(n.as_str(), "text" | "node" | "comment" | "processing-instruction")
+                    && !matches!(
+                        n.as_str(),
+                        "text" | "node" | "comment" | "processing-instruction"
+                    )
             }
             _ => false,
         };
@@ -219,16 +230,20 @@ impl P {
                 predicates.push(self.or_expr()?);
                 self.expect(&Token::RBracket)?;
             }
-            let path = if self.peek() == Some(&Token::Slash) || self.peek() == Some(&Token::SlashSlash)
-            {
-                Some(self.relative_path_after_primary()?)
-            } else {
-                None
-            };
+            let path =
+                if self.peek() == Some(&Token::Slash) || self.peek() == Some(&Token::SlashSlash) {
+                    Some(self.relative_path_after_primary()?)
+                } else {
+                    None
+                };
             if predicates.is_empty() && path.is_none() {
                 return Ok(primary);
             }
-            return Ok(Expr::Filtered { primary: Box::new(primary), predicates, path });
+            return Ok(Expr::Filtered {
+                primary: Box::new(primary),
+                predicates,
+                path,
+            });
         }
         Ok(Expr::Path(self.location_path()?))
     }
@@ -253,7 +268,10 @@ impl P {
                 _ => break,
             }
         }
-        Ok(LocationPath { absolute: false, steps })
+        Ok(LocationPath {
+            absolute: false,
+            steps,
+        })
     }
 
     fn primary_expr(&mut self) -> Result<Expr, XPathError> {
@@ -282,7 +300,9 @@ impl P {
             }
             other => Err(self.err(format!(
                 "expected a primary expression, found {}",
-                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -336,23 +356,25 @@ impl P {
     fn step_starts(&self) -> bool {
         matches!(
             self.peek(),
-            Some(
-                Token::Name(..)
-                    | Token::Star
-                    | Token::At
-                    | Token::Dot
-                    | Token::DotDot
-            )
+            Some(Token::Name(..) | Token::Star | Token::At | Token::Dot | Token::DotDot)
         )
     }
 
     fn step(&mut self) -> Result<Step, XPathError> {
         // Abbreviations first.
         if self.eat(&Token::Dot) {
-            return Ok(Step { axis: Axis::SelfAxis, test: NodeTest::AnyNode, predicates: Vec::new() });
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::AnyNode,
+                predicates: Vec::new(),
+            });
         }
         if self.eat(&Token::DotDot) {
-            return Ok(Step { axis: Axis::Parent, test: NodeTest::AnyNode, predicates: Vec::new() });
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyNode,
+                predicates: Vec::new(),
+            });
         }
         let mut axis = Axis::Child;
         if self.eat(&Token::At) {
@@ -397,7 +419,9 @@ impl P {
                             self.expect(&Token::RParen)?;
                             NodeTest::Comment
                         }
-                        other => return Err(self.err(format!("unsupported node type test `{other}()`"))),
+                        other => {
+                            return Err(self.err(format!("unsupported node type test `{other}()`")))
+                        }
                     }
                 } else if local == "*" {
                     NodeTest::NamespaceWildcard(prefix.unwrap_or_default())
@@ -408,7 +432,9 @@ impl P {
             other => {
                 return Err(self.err(format!(
                     "expected a node test, found {}",
-                    other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| format!("`{t}`"))
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         };
@@ -418,7 +444,11 @@ impl P {
             predicates.push(self.or_expr()?);
             self.expect(&Token::RBracket)?;
         }
-        Ok(Step { axis, test, predicates })
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
     }
 }
 
@@ -432,9 +462,15 @@ mod tests {
 
     #[test]
     fn absolute_and_relative_paths() {
-        assert!(matches!(p("/a/b"), Expr::Path(LocationPath { absolute: true, ref steps }) if steps.len() == 2));
-        assert!(matches!(p("a"), Expr::Path(LocationPath { absolute: false, ref steps }) if steps.len() == 1));
-        assert!(matches!(p("/"), Expr::Path(LocationPath { absolute: true, ref steps }) if steps.is_empty()));
+        assert!(
+            matches!(p("/a/b"), Expr::Path(LocationPath { absolute: true, ref steps }) if steps.len() == 2)
+        );
+        assert!(
+            matches!(p("a"), Expr::Path(LocationPath { absolute: false, ref steps }) if steps.len() == 1)
+        );
+        assert!(
+            matches!(p("/"), Expr::Path(LocationPath { absolute: true, ref steps }) if steps.is_empty())
+        );
     }
 
     #[test]
@@ -457,7 +493,10 @@ mod tests {
         p("ancestor::x");
         p("following-sibling::x");
         p("self::node()");
-        assert!(parse("following::x").is_err(), "unsupported axis must error");
+        assert!(
+            parse("following::x").is_err(),
+            "unsupported axis must error"
+        );
     }
 
     #[test]
@@ -514,7 +553,9 @@ mod tests {
     #[test]
     fn filter_expr_with_path() {
         match p("(//a)[1]/b") {
-            Expr::Filtered { predicates, path, .. } => {
+            Expr::Filtered {
+                predicates, path, ..
+            } => {
                 assert_eq!(predicates.len(), 1);
                 assert_eq!(path.unwrap().steps.len(), 1);
             }
@@ -542,7 +583,10 @@ mod tests {
         if let Expr::Path(lp) = p("/p:a/q:*") {
             assert_eq!(
                 lp.steps[0].test,
-                NodeTest::Name { prefix: Some("p".into()), local: "a".into() }
+                NodeTest::Name {
+                    prefix: Some("p".into()),
+                    local: "a".into()
+                }
             );
             assert_eq!(lp.steps[1].test, NodeTest::NamespaceWildcard("q".into()));
         } else {

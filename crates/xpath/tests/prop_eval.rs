@@ -8,18 +8,22 @@ use wsm_xpath::{Value, XPath};
 /// Small random trees with known tag vocabulary.
 fn tree_strategy() -> impl Strategy<Value = Element> {
     let leaf = (prop_oneof![Just("a"), Just("b"), Just("c")], 0u8..9).prop_map(|(n, v)| {
-        Element::local(n).with_attr("v", v.to_string()).with_text(v.to_string())
+        Element::local(n)
+            .with_attr("v", v.to_string())
+            .with_text(v.to_string())
     });
     leaf.prop_recursive(3, 24, 3, |inner| {
-        (prop_oneof![Just("a"), Just("b"), Just("r")], prop::collection::vec(inner, 0..4)).prop_map(
-            |(n, kids)| {
+        (
+            prop_oneof![Just("a"), Just("b"), Just("r")],
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(n, kids)| {
                 let mut e = Element::local(n);
                 for k in kids {
                     e.push(k);
                 }
                 e
-            },
-        )
+            })
     })
 }
 

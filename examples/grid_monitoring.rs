@@ -68,7 +68,10 @@ fn main() {
         )
         .unwrap();
 
-    println!("{} subscriptions registered at the broker", broker.subscription_count());
+    println!(
+        "{} subscriptions registered at the broker",
+        broker.subscription_count()
+    );
 
     // The workflow engine runs a few jobs.
     broker.publish_on("jobs/status", &job_event("bwa-align-1", "RUNNING", 1));
@@ -77,40 +80,63 @@ fn main() {
     broker.publish_on("jobs/status", &job_event("varcall-2", "RETRYING", 3));
 
     // The dashboard saw everything under jobs/.
-    println!("dashboard received {} notifications:", dashboard.notifications().len());
+    println!(
+        "dashboard received {} notifications:",
+        dashboard.notifications().len()
+    );
     for m in dashboard.notifications() {
         println!(
             "  [{}] job {} -> {}",
             m.topic.as_ref().map(|t| t.to_string()).unwrap_or_default(),
             m.message.attr("job").unwrap_or("?"),
-            m.message.child("state").map(|s| s.text()).unwrap_or_default()
+            m.message
+                .child("state")
+                .map(|s| s.text())
+                .unwrap_or_default()
         );
     }
     assert_eq!(dashboard.notifications().len(), 4);
 
     // Alerting only saw the failure.
     let alarm = alerts.received();
-    println!("alerting service received {} event(s): job {}", alarm.len(), alarm[0].attr("job").unwrap());
+    println!(
+        "alerting service received {} event(s): job {}",
+        alarm.len(),
+        alarm[0].attr("job").unwrap()
+    );
     assert_eq!(alarm.len(), 1);
     assert_eq!(alarm[0].attr("job"), Some("varcall-2"));
 
     // The laptop polls from behind its firewall.
     let pulled = wse.pull(&laptop_handle, 10).unwrap();
-    println!("laptop pulled {} queued event(s) through the firewall", pulled.len());
+    println!(
+        "laptop pulled {} queued event(s) through the firewall",
+        pulled.len()
+    );
     assert_eq!(pulled.len(), 4);
 
     // Time passes; the alerting lease is renewed before it expires.
     net.clock().advance_ms(3_000_000);
-    wse.renew(&alert_handle, Some(Expires::Duration(3_600_000))).unwrap();
+    wse.renew(&alert_handle, Some(Expires::Duration(3_600_000)))
+        .unwrap();
     net.clock().advance_ms(1_000_000); // past the original expiry
     broker.publish_on("jobs/errors", &job_event("bwa-align-9", "FAILED", 5));
     assert_eq!(alerts.received().len(), 2, "renewed lease still delivering");
-    println!("after renewal, alerting service has {} events", alerts.received().len());
+    println!(
+        "after renewal, alerting service has {} events",
+        alerts.received().len()
+    );
 
     // The ops team checks the last state of the errors topic on demand.
     let topic = ws_messenger_suite::topics::TopicExpression::concrete("jobs/errors").unwrap();
-    let last = wsn.get_current_message(broker.uri(), &topic).unwrap().unwrap();
-    println!("GetCurrentMessage(jobs/errors) -> job {}", last.attr("job").unwrap());
+    let last = wsn
+        .get_current_message(broker.uri(), &topic)
+        .unwrap()
+        .unwrap();
+    println!(
+        "GetCurrentMessage(jobs/errors) -> job {}",
+        last.attr("job").unwrap()
+    );
     assert_eq!(last.attr("job"), Some("bwa-align-9"));
     println!("ok");
 }

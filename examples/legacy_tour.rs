@@ -28,7 +28,11 @@ fn corba_event_service() {
     supplier.push(Any::from("disk full"));
     supplier.push(Any::Struct(vec![("load".into(), Any::from(0.93))]));
     println!("  push consumer saw everything: {:?}", seen.lock());
-    println!("  pull consumer drains: {:?} {:?}", puller.try_pull(), puller.try_pull());
+    println!(
+        "  pull consumer drains: {:?} {:?}",
+        puller.try_pull(),
+        puller.try_pull()
+    );
     // CDR framing, as the payloads would travel over IIOP.
     let bytes = ws_messenger_suite::corba::cdr::encode(&Any::from("disk full"));
     println!("  CDR encoding of the first event: {} bytes\n", bytes.len());
@@ -37,22 +41,26 @@ fn corba_event_service() {
 fn corba_notification_service() {
     println!("== CORBA Notification Service (1997): structured events + ETCL + QoS ==");
     let channel = NotificationChannel::new();
-    channel.set_qos("OrderPolicy", QosValue::Name("PriorityOrder".into())).unwrap();
+    channel
+        .set_qos("OrderPolicy", QosValue::Name("PriorityOrder".into()))
+        .unwrap();
     let (proxy, pull) = channel.connect_structured_pull_consumer();
-    proxy
-        .add_filter(EtclFilter::compile("$domain_name == 'Grid' and $severity >= 3").unwrap());
+    proxy.add_filter(EtclFilter::compile("$domain_name == 'Grid' and $severity >= 3").unwrap());
     for (name, sev, prio) in [("j1", 1, 0), ("j2", 5, 2), ("j3", 4, 9)] {
         let ev = StructuredEvent::new("Grid", "JobStatus", name)
             .with_field("severity", sev)
             .with_field("priority", prio);
         channel.push_structured_event(&ev);
     }
-    let order: Vec<String> =
-        std::iter::from_fn(|| pull.try_pull()).map(|e| e.event_name).collect();
+    let order: Vec<String> = std::iter::from_fn(|| pull.try_pull())
+        .map(|e| e.event_name)
+        .collect();
     println!("  ETCL filter `$severity >= 3` + PriorityOrder queue -> {order:?}");
     assert_eq!(order, vec!["j3", "j2"]);
-    println!("  13 standard QoS properties understood: {}\n",
-        ws_messenger_suite::corba::STANDARD_QOS_PROPERTIES.len());
+    println!(
+        "  13 standard QoS properties understood: {}\n",
+        ws_messenger_suite::corba::STANDARD_QOS_PROPERTIES.len()
+    );
 }
 
 fn jms() {
@@ -60,10 +68,18 @@ fn jms() {
     let provider = JmsProvider::new();
     // Point-to-point with a selector.
     provider.send("work", JmsMessage::text("low").with_property("sev", 1i64));
-    provider.send("work", JmsMessage::text("high").with_property("sev", 5i64).with_priority(9));
+    provider.send(
+        "work",
+        JmsMessage::text("high")
+            .with_property("sev", 5i64)
+            .with_priority(9),
+    );
     let sel = Selector::compile("sev BETWEEN 3 AND 9").unwrap();
     let got = provider.receive("work", Some(&sel)).unwrap();
-    println!("  queue receive with selector `sev BETWEEN 3 AND 9` -> priority {}", got.priority);
+    println!(
+        "  queue receive with selector `sev BETWEEN 3 AND 9` -> priority {}",
+        got.priority
+    );
 
     // Durable pub/sub surviving a disconnect.
     let audit = provider.create_durable_subscriber("events", "audit", None);
@@ -71,7 +87,10 @@ fn jms() {
     audit.disconnect();
     provider.publish("events", JmsMessage::text("e2"));
     let audit2 = provider.create_durable_subscriber("events", "audit", None);
-    println!("  durable subscriber reconnects to {} buffered message(s)", audit2.pending());
+    println!(
+        "  durable subscriber reconnects to {} buffered message(s)",
+        audit2.pending()
+    );
     assert_eq!(audit2.pending(), 2);
 
     // Transactions.
@@ -79,7 +98,10 @@ fn jms() {
     tx.publish("events", JmsMessage::text("uncommitted"));
     tx.rollback();
     tx.commit();
-    println!("  rolled-back publish never delivered (pending={})\n", audit2.pending());
+    println!(
+        "  rolled-back publish never delivered (pending={})\n",
+        audit2.pending()
+    );
 }
 
 fn ogsi_notification() {
@@ -97,7 +119,11 @@ fn ogsi_notification() {
         got[0].0,
         got[0].1.text()
     );
-    assert_eq!(got.len(), 1, "only the subscribed service data name notifies");
+    assert_eq!(
+        got.len(),
+        1,
+        "only the subscribed service data name notifies"
+    );
     println!();
 }
 

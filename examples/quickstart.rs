@@ -15,10 +15,18 @@ fn main() {
     // The simulated network and the WS-Messenger broker.
     let net = Network::new();
     let broker = WsMessenger::start(&net, "http://broker.example.org/events");
-    println!("broker up at {} (backend: {})", broker.uri(), broker.backend_name());
+    println!(
+        "broker up at {} (backend: {})",
+        broker.uri(),
+        broker.backend_name()
+    );
 
     // Consumer 1 speaks WS-Eventing (August 2004).
-    let wse_sink = EventSink::start(&net, "http://apps.example.org/wse-sink", WseVersion::Aug2004);
+    let wse_sink = EventSink::start(
+        &net,
+        "http://apps.example.org/wse-sink",
+        WseVersion::Aug2004,
+    );
     Subscriber::new(&net, WseVersion::Aug2004)
         .subscribe(broker.uri(), SubscribeRequest::push(wse_sink.epr()))
         .expect("WSE subscribe");
@@ -43,7 +51,11 @@ fn main() {
     println!(
         "WSE sink received {} raw notification(s): {:?}",
         wse_sink.received().len(),
-        wse_sink.received().iter().map(|e| e.text()).collect::<Vec<_>>()
+        wse_sink
+            .received()
+            .iter()
+            .map(|e| e.text())
+            .collect::<Vec<_>>()
     );
     let wsn_msgs = wsn_consumer.notifications();
     println!(

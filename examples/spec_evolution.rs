@@ -16,8 +16,14 @@ fn main() {
     print!("{}", compare::render_table3());
 
     println!("=== Figures 1 & 2 ===\n");
-    println!("{}", compare::render_architecture(&compare::wse_architecture()));
-    println!("{}", compare::render_architecture(&compare::wsbase_architecture()));
+    println!(
+        "{}",
+        compare::render_architecture(&compare::wse_architecture())
+    );
+    println!(
+        "{}",
+        compare::render_architecture(&compare::wsbase_architecture())
+    );
 
     println!("=== SSV.4: message-format differences, measured ===\n");
     let report = compare::run_msgdiff();

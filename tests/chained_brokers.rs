@@ -37,13 +37,20 @@ fn two_hop_mediation() {
         .unwrap();
     let wsn_consumer = NotificationConsumer::start(&net, "http://end-wsn", WsnVersion::V1_3);
     WsnClient::new(&net, WsnVersion::V1_3)
-        .subscribe(broker_b.uri(), &WsnSubscribeRequest::new(wsn_consumer.epr()))
+        .subscribe(
+            broker_b.uri(),
+            &WsnSubscribeRequest::new(wsn_consumer.epr()),
+        )
         .unwrap();
 
     // Publish at broker A.
     let delivered_at_a = broker_a.publish_raw(&Element::local("evt").with_text("x"));
     assert_eq!(delivered_at_a, 1, "A delivers to its one consumer (B)");
-    assert_eq!(broker_b.stats().published, 1, "B republished the bridged event");
+    assert_eq!(
+        broker_b.stats().published,
+        1,
+        "B republished the bridged event"
+    );
     assert_eq!(wse_sink.received().len(), 1);
     assert_eq!(wsn_consumer.notifications().len(), 1);
     assert_eq!(wse_sink.received()[0].text(), "x");

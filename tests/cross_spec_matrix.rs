@@ -42,7 +42,14 @@ fn setup() -> Matrix {
     WsnClient::new(&net, WsnVersion::V1_3)
         .subscribe(broker.uri(), &WsnSubscribeRequest::new(wsn_13.epr()))
         .unwrap();
-    Matrix { net, broker, wse_jan, wse_aug, wsn_10, wsn_13 }
+    Matrix {
+        net,
+        broker,
+        wse_jan,
+        wse_aug,
+        wsn_10,
+        wsn_13,
+    }
 }
 
 impl Matrix {
@@ -130,7 +137,9 @@ fn unsubscribing_one_dialect_leaves_the_rest() {
     let broker = WsMessenger::start(&net, "http://broker");
     let sink = EventSink::start(&net, "http://s", WseVersion::Aug2004);
     let sub = Subscriber::new(&net, WseVersion::Aug2004);
-    let h = sub.subscribe(broker.uri(), SubscribeRequest::push(sink.epr())).unwrap();
+    let h = sub
+        .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+        .unwrap();
     let consumer = NotificationConsumer::start(&net, "http://c", WsnVersion::V1_3);
     WsnClient::new(&net, WsnVersion::V1_3)
         .subscribe(broker.uri(), &WsnSubscribeRequest::new(consumer.epr()))

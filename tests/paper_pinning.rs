@@ -76,5 +76,8 @@ fn wsdl_for_every_version_generates() {
         assert!(!defs.port_types.is_empty());
     }
     let merged = ws_messenger_suite::wsdl::messenger_definitions("http://broker");
-    assert!(merged.port_types.len() >= 6, "both families' port types merged");
+    assert!(
+        merged.port_types.len() >= 6,
+        "both families' port types merged"
+    );
 }

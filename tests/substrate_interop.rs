@@ -69,8 +69,9 @@ fn corba_and_ws_brokers_filter_identically() {
     Subscriber::new(&net, WseVersion::Aug2004)
         .subscribe(
             broker.uri(),
-            SubscribeRequest::push(sink.epr())
-                .with_filter(ws_messenger_suite::eventing::Filter::xpath("/ev[@sev >= 5]")),
+            SubscribeRequest::push(sink.epr()).with_filter(
+                ws_messenger_suite::eventing::Filter::xpath("/ev[@sev >= 5]"),
+            ),
         )
         .unwrap();
 
@@ -122,11 +123,18 @@ fn ogsi_and_wsn_observe_the_same_changes() {
     assert_eq!(ogsi_sink.received().len(), 3);
     assert_eq!(consumer.notifications().len(), 3);
     // Same final state visible via both query mechanisms.
-    assert_eq!(source.find_service_data("jobStatus").unwrap().text(), "DONE");
+    assert_eq!(
+        source.find_service_data("jobStatus").unwrap().text(),
+        "DONE"
+    );
     let topic = ws_messenger_suite::topics::TopicExpression::concrete("jobStatus").unwrap();
     let client = WsnClient::new(&net, WsnVersion::V1_3);
     assert_eq!(
-        client.get_current_message(producer.uri(), &topic).unwrap().unwrap().text(),
+        client
+            .get_current_message(producer.uri(), &topic)
+            .unwrap()
+            .unwrap()
+            .text(),
         "DONE"
     );
 }
@@ -140,8 +148,10 @@ fn injected_loss_terminates_only_the_affected_subscription() {
     let healthy = EventSink::start(&net, "http://ok", WseVersion::Aug2004);
     let flaky = EventSink::start(&net, "http://flaky", WseVersion::Aug2004);
     let sub = Subscriber::new(&net, WseVersion::Aug2004);
-    sub.subscribe(broker.uri(), SubscribeRequest::push(healthy.epr())).unwrap();
-    sub.subscribe(broker.uri(), SubscribeRequest::push(flaky.epr())).unwrap();
+    sub.subscribe(broker.uri(), SubscribeRequest::push(healthy.epr()))
+        .unwrap();
+    sub.subscribe(broker.uri(), SubscribeRequest::push(flaky.epr()))
+        .unwrap();
 
     net.drop_next("http://flaky", 1);
     broker.publish_raw(&Element::local("e1"));

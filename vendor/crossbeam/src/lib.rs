@@ -1,0 +1,12 @@
+//! Minimal in-tree substitute for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::channel` MPMC channel subset the delivery
+//! engine uses (`bounded`/`unbounded`, cloneable `Sender`/`Receiver`),
+//! implemented with a `Mutex<VecDeque>` plus two condvars. Semantics
+//! match crossbeam-channel where exercised: sends to a channel with no
+//! receivers fail, receives on an empty channel with no senders fail,
+//! and a bounded sender blocks while the queue is full.
+
+#![warn(missing_docs)]
+
+pub mod channel;

@@ -1,0 +1,121 @@
+//! `any::<T>()` strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly well-scaled finite values, occasionally raw bit soup
+        // (which may produce infinities and NaN, as real proptest can).
+        if rng.below(8) == 0 {
+            f64::from_bits(rng.next_u64())
+        } else {
+            let magnitude = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let scaled = magnitude * 1e6 - 5e5;
+            if rng.below(2) == 0 {
+                scaled
+            } else {
+                scaled / 1e3
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        loop {
+            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::for_case("arbitrary::tests", 0);
+        let vals: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(vals.contains(&true) && vals.contains(&false));
+    }
+
+    #[test]
+    fn f64_produces_finite_values() {
+        let mut rng = TestRng::for_case("arbitrary::tests", 1);
+        assert!((0..64).any(|_| f64::arbitrary(&mut rng).is_finite()));
+    }
+}

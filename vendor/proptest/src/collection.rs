@@ -1,0 +1,43 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec`s whose length lies in `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.clone());
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_range() {
+        let s = vec(0u8..10, 1..5);
+        let mut rng = TestRng::for_case("collection::tests", 0);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+}

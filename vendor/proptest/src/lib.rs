@@ -1,0 +1,161 @@
+//! Minimal in-tree substitute for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored
+//! crate implements the subset of the proptest API the workspace's
+//! property tests use: the [`proptest!`]/[`prop_oneof!`]/
+//! [`prop_assert*`](prop_assert) macros, the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_filter`/`prop_recursive`/`boxed`,
+//! tuple/range/`&str`-regex strategies, `any::<T>()`,
+//! `collection::vec`, `option::of`, and `string::string_regex`.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case reports its generated inputs via
+//!   the panic message (`Debug`) but is not minimized;
+//! - deterministic generation — each `(test name, case index)` pair
+//!   seeds a splitmix64 stream, so failures reproduce exactly;
+//! - `.proptest-regressions` files are ignored.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of the crate root, as re-exported by
+/// `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::string;
+}
+
+/// Define property tests.
+///
+/// Accepts an optional `#![proptest_config(...)]` header followed by
+/// any number of `fn name(arg in strategy, ...) { body }` items. Each
+/// becomes a named function running `config.cases` deterministic
+/// cases; bodies may use `prop_assert!`-family macros, which abort the
+/// case with a descriptive failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::new_value(&strategies, &mut rng);
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest case {} of {} failed: {}\n  inputs: {}",
+                        case,
+                        stringify!($name),
+                        err,
+                        inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Choose uniformly between several strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n  {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                left
+            )));
+        }
+    }};
+}

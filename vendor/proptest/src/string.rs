@@ -1,0 +1,277 @@
+//! String strategies from a regex subset.
+//!
+//! Supports the patterns the workspace's tests use: literal
+//! characters, character classes with ranges and `&&[^...]`
+//! subtraction (Java-style intersection syntax), escapes
+//! (`\n`, `\t`, `\r`, `\\`, and escaped metacharacters), and the
+//! quantifiers `{n}`, `{n,m}`, `?`, `*`, `+` (the unbounded ones are
+//! capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt;
+
+/// Error from [`string_regex`] on an unsupported or malformed pattern.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Strategy generating strings matching a regex subset.
+#[derive(Debug, Clone)]
+pub struct StringRegex {
+    atoms: Vec<Atom>,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Compile `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<StringRegex, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let class = parse_class(&mut chars)?;
+                if class.negated {
+                    return Err(Error(format!(
+                        "top-level negated classes are unsupported: {pattern}"
+                    )));
+                }
+                class.chars
+            }
+            '\\' => vec![unescape(
+                chars.next().ok_or_else(|| Error("trailing \\".into()))?,
+            )],
+            '.' | '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!(
+                    "unsupported regex construct {c:?} in {pattern}"
+                )))
+            }
+            literal => vec![literal],
+        };
+        if set.is_empty() {
+            return Err(Error(format!("empty character class in {pattern}")));
+        }
+        let (min, max) = parse_quantifier(&mut chars)?;
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    Ok(StringRegex { atoms })
+}
+
+struct Class {
+    chars: Vec<char>,
+    negated: bool,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Class, Error> {
+    let negated = chars.peek() == Some(&'^') && {
+        chars.next();
+        true
+    };
+    let mut set: Vec<char> = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .ok_or_else(|| Error("unterminated character class".into()))?;
+        match c {
+            ']' => break,
+            '&' if chars.peek() == Some(&'&') => {
+                chars.next();
+                if chars.next() != Some('[') {
+                    return Err(Error("&& must be followed by a class".into()));
+                }
+                let other = parse_class(chars)?;
+                if other.negated {
+                    set.retain(|ch| !other.chars.contains(ch));
+                } else {
+                    set.retain(|ch| other.chars.contains(ch));
+                }
+            }
+            _ => {
+                let lo = if c == '\\' {
+                    unescape(chars.next().ok_or_else(|| Error("trailing \\".into()))?)
+                } else {
+                    c
+                };
+                // A `-` that is not last in the class denotes a range.
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek().is_some_and(|&n| n != ']') {
+                        chars.next();
+                        let hc = chars.next().expect("peeked");
+                        let hi = if hc == '\\' {
+                            unescape(chars.next().ok_or_else(|| Error("trailing \\".into()))?)
+                        } else {
+                            hc
+                        };
+                        if (lo as u32) > (hi as u32) {
+                            return Err(Error(format!("inverted range {lo}-{hi}")));
+                        }
+                        for cp in (lo as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(cp) {
+                                set.push(ch);
+                            }
+                        }
+                        continue;
+                    }
+                }
+                set.push(lo);
+            }
+        }
+    }
+    set.dedup();
+    Ok(Class {
+        chars: set,
+        negated,
+    })
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(usize, usize), Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        None => {
+                            let n = parse_count(&spec)?;
+                            (n, n)
+                        }
+                        Some((lo, hi)) => (parse_count(lo)?, parse_count(hi)?),
+                    };
+                    if min > max {
+                        return Err(Error(format!("inverted quantifier {{{spec}}}")));
+                    }
+                    return Ok((min, max));
+                }
+                spec.push(c);
+            }
+            Err(Error("unterminated quantifier".into()))
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse_count(s: &str) -> Result<usize, Error> {
+    s.trim()
+        .parse()
+        .map_err(|_| Error(format!("bad quantifier count {s:?}")))
+}
+
+impl Strategy for StringRegex {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let strat = string_regex(pattern).unwrap();
+        let mut rng = TestRng::for_case("string::tests", 1);
+        (0..200).map(|_| strat.new_value(&mut rng)).collect()
+    }
+
+    #[test]
+    fn simple_class_with_quantifier() {
+        for s in gen_many("[a-z]{2,8}") {
+            assert!((2..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn multi_atom_pattern() {
+        for s in gen_many("[a-z]{1,8}:[A-Za-z]{1,16}") {
+            let (l, r) = s.split_once(':').expect("colon literal");
+            assert!(!l.is_empty() && !r.is_empty(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_subtraction() {
+        for s in gen_many("[ -~&&[^<>&]]{1,40}") {
+            assert!(!s.contains(['<', '>', '&']), "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn escapes_and_multibyte() {
+        let all: String = gen_many("[ -~é世\\n\\t]{0,24}").concat();
+        assert!(all.chars().all(|c| (' '..='~').contains(&c)
+            || c == 'é'
+            || c == '世'
+            || c == '\n'
+            || c == '\t'));
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        for s in gen_many("[a-f0-9-]{8,16}") {
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn unsupported_patterns_error() {
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("(ab)").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("[a").is_err());
+    }
+}
