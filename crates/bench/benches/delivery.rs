@@ -13,7 +13,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use wsm_bench::{make_event, measure_events_per_sec, write_bench_json, ThroughputSample};
+use wsm_bench::{
+    broker_with_subscribers, make_event, measure_events_per_sec, stage_breakdowns,
+    write_bench_json_with_stages, ThroughputSample,
+};
 use wsm_eventing::{
     DeliveryMode, EventSink, EventSource, SubscribeRequest, Subscriber, WseVersion,
 };
@@ -41,6 +44,12 @@ fn setup(
 }
 
 fn bench_delivery(c: &mut Criterion) {
+    if wsm_bench::quick_mode() {
+        // CI smoke: skip the Criterion sweeps, still emit the
+        // machine-readable report (with a shrunken measure window).
+        write_machine_readable();
+        return;
+    }
     let mut group = c.benchmark_group("delivery");
     group.sample_size(20);
 
@@ -106,7 +115,9 @@ fn bench_delivery(c: &mut Criterion) {
     write_machine_readable();
 }
 
-/// Emit `BENCH_delivery.json`: per-mode delivery throughput.
+/// Emit `BENCH_delivery.json`: per-mode delivery throughput, the
+/// broker's per-stage pipeline breakdown on a 256-subscriber inline
+/// fan-out, and the measured throughput cost of live instrumentation.
 fn write_machine_readable() {
     let mut samples = Vec::new();
 
@@ -141,8 +152,48 @@ fn write_machine_readable() {
         });
     }
 
-    let path = write_bench_json("delivery", &samples);
+    // Broker publish path, 256 subscribers, inline regime: where does
+    // a publication's time go, and what does recording that cost? The
+    // overhead comparison runs in one binary — obs enabled against the
+    // same broker with recording disabled at runtime — so it isolates
+    // the instrumentation itself, not a rebuild.
+    let (_net, broker) = broker_with_subscribers(256, "jobs/status");
+    let mut seq = 0u64;
+    let mut publish = |broker: &wsm_messenger::WsMessenger| {
+        seq += 1;
+        broker.publish_on("jobs/status", &make_event(seq));
+    };
+    // Alternate A/B rounds and keep each mode's peak, so pool warm-up
+    // and scheduler noise don't land on one side of the comparison.
+    let (mut enabled_eps, mut disabled_eps) = (0.0f64, 0.0f64);
+    let mut stages = Vec::new();
+    for _ in 0..3 {
+        broker.set_obs_enabled(true);
+        enabled_eps = enabled_eps.max(measure_events_per_sec(1, &mut || publish(&broker)));
+        stages = stage_breakdowns(&broker.obs_snapshot());
+        broker.set_obs_enabled(false);
+        disabled_eps = disabled_eps.max(measure_events_per_sec(1, &mut || publish(&broker)));
+    }
+    samples.push(ThroughputSample {
+        scenario: "broker_publish_inline".into(),
+        mode: "obs_enabled".into(),
+        param: 256,
+        events_per_sec: enabled_eps,
+    });
+    samples.push(ThroughputSample {
+        scenario: "broker_publish_inline".into(),
+        mode: "obs_disabled".into(),
+        param: 256,
+        events_per_sec: disabled_eps,
+    });
+    let overhead_pct = (disabled_eps - enabled_eps) / disabled_eps * 100.0;
+
+    let path = write_bench_json_with_stages("delivery", &samples, &stages, Some(overhead_pct));
     println!("wrote {}", path.display());
+    println!(
+        "instrumentation overhead on 256-subscriber inline publish: {overhead_pct:.2}% \
+         ({enabled_eps:.0} vs {disabled_eps:.0} events/s)"
+    );
 }
 
 criterion_group!(benches, bench_delivery);

@@ -24,13 +24,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use wsm_bench::{make_event, measure_events_per_sec, write_bench_json, ThroughputSample};
-use wsm_eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
-use wsm_messenger::WsMessenger;
-use wsm_notification::{
-    NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
+use wsm_bench::{
+    broker_with_subscribers as setup, make_event, measure_events_per_sec, stage_breakdowns,
+    write_bench_json_with_stages, ThroughputSample,
 };
-use wsm_transport::Network;
 
 /// Worker count for the parallel axis. Explicit (not
 /// `default_workers()`) so the parallel engine engages even on
@@ -41,37 +38,11 @@ const PARALLEL_WORKERS: usize = 4;
 /// Per-send wire latency for the `wire` regime, in microseconds.
 const WIRE_DELAY_US: u64 = 100;
 
-fn setup(n: usize, topic: &str) -> (Network, WsMessenger) {
-    let net = Network::new();
-    let broker = WsMessenger::start(&net, "http://broker");
-    let wse = Subscriber::new(&net, WseVersion::Aug2004);
-    let wsn = WsnClient::new(&net, WsnVersion::V1_3);
-    for i in 0..n {
-        if i % 2 == 0 {
-            let sink = EventSink::start(
-                &net,
-                format!("http://sink-{i}").as_str(),
-                WseVersion::Aug2004,
-            );
-            wse.subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
-                .unwrap();
-        } else {
-            let c = NotificationConsumer::start(
-                &net,
-                format!("http://nc-{i}").as_str(),
-                WsnVersion::V1_3,
-            );
-            wsn.subscribe(
-                broker.uri(),
-                &WsnSubscribeRequest::new(c.epr()).with_filter(WsnFilter::topic(topic)),
-            )
-            .unwrap();
-        }
-    }
-    (net, broker)
-}
-
 fn bench_scaling(c: &mut Criterion) {
+    if wsm_bench::quick_mode() {
+        write_machine_readable();
+        return;
+    }
     let mut group = c.benchmark_group("scaling");
     group.sample_size(15);
 
@@ -124,9 +95,11 @@ fn bench_scaling(c: &mut Criterion) {
 /// Emit `BENCH_scaling.json`: events/sec against subscriber count, for
 /// the sequential and parallel delivery engines, in both the zero-cost
 /// `publish_inline` regime and the 100µs-per-send `publish_wire`
-/// regime (see the module docs).
+/// regime (see the module docs) — plus a per-stage pipeline breakdown
+/// from the largest wire-regime population.
 fn write_machine_readable() {
     let mut samples = Vec::new();
+    let mut stages = Vec::new();
     for (scenario, delay_us) in [("publish_inline", 0u64), ("publish_wire", WIRE_DELAY_US)] {
         for n in [1u64, 8, 64, 256] {
             for (mode, workers) in [("sequential", 1usize), ("parallel", PARALLEL_WORKERS)] {
@@ -144,10 +117,15 @@ fn write_machine_readable() {
                     param: n,
                     events_per_sec,
                 });
+                // Per-stage breakdown from the heaviest configuration:
+                // 256 subscribers paying wire latency, parallel engine.
+                if scenario == "publish_wire" && n == 256 && mode == "parallel" {
+                    stages = stage_breakdowns(&broker.obs_snapshot());
+                }
             }
         }
     }
-    let path = write_bench_json("scaling", &samples);
+    let path = write_bench_json_with_stages("scaling", &samples, &stages, None);
     println!("wrote {}", path.display());
 }
 

@@ -8,7 +8,31 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+use wsm_eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use wsm_messenger::WsMessenger;
+use wsm_notification::{
+    NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
+};
+use wsm_transport::Network;
 use wsm_xml::Element;
+
+/// Smoke-test mode: `WSM_BENCH_QUICK=1` shrinks the measurement window
+/// so CI can exercise the bench binaries (and their `BENCH_*.json`
+/// emission) in seconds. The vendored criterion substitute has no CLI
+/// filtering, so the env var is the only knob.
+pub fn quick_mode() -> bool {
+    std::env::var_os("WSM_BENCH_QUICK").is_some()
+}
+
+/// The throughput measurement window: ~200ms normally, ~10ms in
+/// [`quick_mode`].
+pub fn measure_window() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(200)
+    }
+}
 
 /// A synthetic Grid-monitoring event: `<event sev=".." seq="..">
 /// <source>gridftp-N</source><detail>...</detail></event>`.
@@ -63,6 +87,7 @@ pub fn measure_events_per_sec(events_per_iter: u64, f: &mut dyn FnMut()) -> f64 
     for _ in 0..3 {
         f();
     }
+    let window = measure_window();
     let mut iters: u64 = 1;
     loop {
         let start = Instant::now();
@@ -70,17 +95,114 @@ pub fn measure_events_per_sec(events_per_iter: u64, f: &mut dyn FnMut()) -> f64 
             f();
         }
         let elapsed = start.elapsed();
-        if elapsed >= Duration::from_millis(200) {
+        if elapsed >= window {
             return (iters * events_per_iter) as f64 / elapsed.as_secs_f64();
         }
         iters = iters.saturating_mul(4);
     }
 }
 
+/// A broker with `n` push subscribers, half WS-Eventing (topicless)
+/// and half WS-Notification filtered on `topic` — the standard
+/// mediation population the scaling and observability benches share.
+pub fn broker_with_subscribers(n: usize, topic: &str) -> (Network, WsMessenger) {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let wse = Subscriber::new(&net, WseVersion::Aug2004);
+    let wsn = WsnClient::new(&net, WsnVersion::V1_3);
+    for i in 0..n {
+        if i % 2 == 0 {
+            let sink = EventSink::start(
+                &net,
+                format!("http://sink-{i}").as_str(),
+                WseVersion::Aug2004,
+            );
+            wse.subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+                .unwrap();
+        } else {
+            let c = NotificationConsumer::start(
+                &net,
+                format!("http://nc-{i}").as_str(),
+                WsnVersion::V1_3,
+            );
+            wsn.subscribe(
+                broker.uri(),
+                &WsnSubscribeRequest::new(c.epr()).with_filter(WsnFilter::topic(topic)),
+            )
+            .unwrap();
+        }
+    }
+    (net, broker)
+}
+
+/// One pipeline stage's duration statistics for the machine-readable
+/// reports, in microseconds.
+pub struct StageBreakdown {
+    /// Stage name: `publish`, `detect`, `match`, `render`, `deliver` —
+    /// or `send_latency` for the per-subscriber delivery histogram.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean duration (µs).
+    pub mean_us: f64,
+    /// Median (µs).
+    pub p50_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+}
+
+impl StageBreakdown {
+    /// Convert one stage's nanosecond histogram stats to the report
+    /// shape.
+    pub fn from_stats(name: &str, stats: &wsm_messenger::HistogramStats) -> Self {
+        StageBreakdown {
+            name: name.to_string(),
+            count: stats.count,
+            mean_us: stats.mean / 1_000.0,
+            p50_us: stats.p50 / 1_000.0,
+            p95_us: stats.p95 / 1_000.0,
+            p99_us: stats.p99 / 1_000.0,
+        }
+    }
+}
+
+/// Every stage of a broker's [`ObsSnapshot`](wsm_messenger::ObsSnapshot)
+/// plus the per-subscriber send-latency histogram, as report rows.
+pub fn stage_breakdowns(snap: &wsm_messenger::ObsSnapshot) -> Vec<StageBreakdown> {
+    let mut out: Vec<StageBreakdown> = snap
+        .stages
+        .iter()
+        .filter(|(_, s)| s.count > 0)
+        .map(|(name, s)| StageBreakdown::from_stats(name, s))
+        .collect();
+    if snap.delivery_latency.count > 0 {
+        out.push(StageBreakdown::from_stats(
+            "send_latency",
+            &snap.delivery_latency,
+        ));
+    }
+    out
+}
+
 /// Serialize samples as `BENCH_<name>.json` at the workspace root so
 /// tooling can track bench trends without parsing human-oriented
 /// Criterion output.
 pub fn write_bench_json(bench: &str, samples: &[ThroughputSample]) -> PathBuf {
+    write_bench_json_with_stages(bench, samples, &[], None)
+}
+
+/// [`write_bench_json`] plus per-stage duration breakdowns (a
+/// `"stages"` object keyed by stage name) and, when measured, the
+/// throughput cost of live instrumentation
+/// (`"instrumentation_overhead_pct"`).
+pub fn write_bench_json_with_stages(
+    bench: &str,
+    samples: &[ThroughputSample],
+    stages: &[StageBreakdown],
+    instrumentation_overhead_pct: Option<f64>,
+) -> PathBuf {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join(format!("BENCH_{bench}.json"));
@@ -96,7 +218,27 @@ pub fn write_bench_json(bench: &str, samples: &[ThroughputSample]) -> PathBuf {
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !stages.is_empty() {
+        out.push_str(",\n  \"stages\": {\n");
+        for (i, st) in stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"mean_us\": {:.2}, \"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}}}{}\n",
+                st.name,
+                st.count,
+                st.mean_us,
+                st.p50_us,
+                st.p95_us,
+                st.p99_us,
+                if i + 1 < stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  }");
+    }
+    if let Some(pct) = instrumentation_overhead_pct {
+        out.push_str(&format!(",\n  \"instrumentation_overhead_pct\": {pct:.2}"));
+    }
+    out.push_str("\n}\n");
     let mut file = std::fs::File::create(&path).expect("create bench json");
     file.write_all(out.as_bytes()).expect("write bench json");
     path

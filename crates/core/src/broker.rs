@@ -4,6 +4,7 @@ use crate::backend::{InMemoryBackend, MessagingBackend};
 use crate::delivery::{self, DeliveryEngine, PushJob, StatsDelta};
 use crate::detect::SpecDialect;
 use crate::event::InternalEvent;
+use crate::obs::{BrokerObs, Stage};
 use crate::registry::{BrokerDeliveryMode, Registry, UnifiedFilters};
 use crate::render::{render_batch, render_notification_cached, RenderCache};
 use parking_lot::Mutex;
@@ -36,16 +37,46 @@ pub struct MediationStats {
     pub retried: u64,
 }
 
-impl MediationStats {
-    /// Merge one publication's accumulated delivery outcomes. Called
-    /// once per publish, replacing the seed engine's per-message lock
-    /// round-trips.
-    fn merge(&mut self, delta: &StatsDelta) {
-        self.delivered_wse += delta.delivered_wse;
-        self.delivered_wsn += delta.delivered_wsn;
-        self.mediated += delta.mediated;
-        self.failed += delta.failed;
-        self.retried += delta.retried;
+/// The broker's live mediation counters: one relaxed atomic per field,
+/// so `stats()` snapshots without ever blocking a publishing thread
+/// (the seed kept these behind a `Mutex<MediationStats>`, which a
+/// snapshot reader could contend with mid-publication).
+#[derive(Debug, Default)]
+struct StatsCells {
+    published: AtomicU64,
+    delivered_wse: AtomicU64,
+    delivered_wsn: AtomicU64,
+    mediated: AtomicU64,
+    failed: AtomicU64,
+    retried: AtomicU64,
+}
+
+impl StatsCells {
+    fn inc_published(&self) {
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge one publication's accumulated delivery outcomes: a single
+    /// pass of relaxed adds, once per publish.
+    fn merge(&self, delta: &StatsDelta) {
+        self.delivered_wse
+            .fetch_add(delta.delivered_wse, Ordering::Relaxed);
+        self.delivered_wsn
+            .fetch_add(delta.delivered_wsn, Ordering::Relaxed);
+        self.mediated.fetch_add(delta.mediated, Ordering::Relaxed);
+        self.failed.fetch_add(delta.failed, Ordering::Relaxed);
+        self.retried.fetch_add(delta.retried, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> MediationStats {
+        MediationStats {
+            published: self.published.load(Ordering::Relaxed),
+            delivered_wse: self.delivered_wse.load(Ordering::Relaxed),
+            delivered_wsn: self.delivered_wsn.load(Ordering::Relaxed),
+            mediated: self.mediated.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -58,7 +89,8 @@ struct MessengerInner {
     topic_space: Mutex<TopicSpace>,
     current: Mutex<HashMap<String, Element>>,
     properties: Mutex<Element>,
-    stats: Mutex<MediationStats>,
+    stats: StatsCells,
+    obs: BrokerObs,
     publisher_registrations: AtomicU64,
     /// Delivery attempts per notification before the subscription is
     /// dropped (the broker's "reliable" knob; 1 = no retry).
@@ -98,7 +130,8 @@ impl WsMessenger {
             topic_space: Mutex::new(TopicSpace::new()),
             current: Mutex::new(HashMap::new()),
             properties: Mutex::new(Element::local("ProducerProperties")),
-            stats: Mutex::new(MediationStats::default()),
+            stats: StatsCells::default(),
+            obs: BrokerObs::new(),
             publisher_registrations: AtomicU64::new(0),
             delivery_attempts: AtomicU32::new(1),
             fanout_workers: AtomicUsize::new(delivery::default_workers()),
@@ -139,9 +172,17 @@ impl WsMessenger {
         self.inner.publisher_registrations.load(Ordering::Relaxed)
     }
 
-    /// Mediation statistics so far.
+    /// Mediation statistics so far (a lock-free snapshot of relaxed
+    /// per-field atomics; never blocks a publishing thread).
     pub fn stats(&self) -> MediationStats {
-        *self.inner.stats.lock()
+        self.inner.stats.snapshot()
+    }
+
+    /// Runtime observability kill-switch: `false` stops metric and
+    /// span recording without recompiling. A no-op when the `obs`
+    /// feature is compiled out.
+    pub fn set_obs_enabled(&self, on: bool) {
+        self.inner.obs.set_enabled(on);
     }
 
     /// Set how many delivery attempts each notification gets before the
@@ -167,6 +208,34 @@ impl WsMessenger {
     /// The backend name.
     pub fn backend_name(&self) -> &'static str {
         self.inner.backend.name()
+    }
+
+    /// Prometheus-style text exposition of the broker metrics
+    /// (refreshes the live-subscription gauge at scrape time).
+    #[cfg(feature = "obs")]
+    pub fn metrics_text(&self) -> String {
+        self.inner
+            .obs
+            .set_subscriptions(self.inner.registry.len() as i64);
+        self.inner.obs.prometheus()
+    }
+
+    /// Snapshot of the buffered pipeline-stage spans, oldest first.
+    #[cfg(feature = "obs")]
+    pub fn trace_spans(&self) -> Vec<crate::obs::SpanRecord> {
+        self.inner.obs.spans()
+    }
+
+    /// Take the buffered pipeline-stage spans, leaving the ring empty.
+    #[cfg(feature = "obs")]
+    pub fn drain_trace_spans(&self) -> Vec<crate::obs::SpanRecord> {
+        self.inner.obs.drain_spans()
+    }
+
+    /// Aggregate per-stage and per-delivery latency statistics.
+    #[cfg(feature = "obs")]
+    pub fn obs_snapshot(&self) -> crate::obs::ObsSnapshot {
+        self.inner.obs.snapshot()
     }
 
     /// Declare a topic.
@@ -220,6 +289,15 @@ impl WsMessenger {
 // ---------------------------------------------------------- ingestion
 
 fn ingest(inner: &MessengerInner, event: InternalEvent) -> usize {
+    let seq = inner.obs.next_seq();
+    ingest_seq(inner, event, seq)
+}
+
+/// Ingest one publication under an already-minted trace sequence
+/// number (the SOAP handler mints the seq when it times dialect
+/// detection, so all of a request's stage spans share one trace id).
+fn ingest_seq(inner: &MessengerInner, event: InternalEvent, seq: u64) -> usize {
+    let timer = inner.obs.start();
     if let Some(t) = &event.topic {
         inner.topic_space.lock().add(t);
         inner
@@ -227,23 +305,33 @@ fn ingest(inner: &MessengerInner, event: InternalEvent) -> usize {
             .lock()
             .insert(t.to_string(), event.payload.clone());
     }
-    inner.stats.lock().published += 1;
+    inner.stats.inc_published();
+    inner.obs.record_publication();
     inner.backend.publish(event);
+    inner
+        .obs
+        .stage(Stage::Publish, seq, timer, inner.net.clock().now_ms(), 1);
     let mut delivered = 0;
     for ev in inner.backend.drain() {
-        delivered += fan_out(inner, &ev);
+        delivered += fan_out(inner, &ev, seq);
     }
     delivered
 }
 
-fn fan_out(inner: &MessengerInner, event: &InternalEvent) -> usize {
+fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
     let now = inner.net.clock().now_ms();
+    let match_timer = inner.obs.start();
     inner.registry.sweep_expired(now);
     let props = inner.properties.lock().clone();
+    let subs = inner.registry.matching(event, Some(&props), now);
+    inner
+        .obs
+        .stage(Stage::Match, seq, match_timer, now, subs.len() as u64);
+    let render_timer = inner.obs.start();
     let cache = RenderCache::new(event);
     let mut delivered = 0;
     let mut jobs: Vec<PushJob> = Vec::new();
-    for sub in inner.registry.matching(event, Some(&props), now) {
+    for sub in subs {
         match sub.mode {
             BrokerDeliveryMode::Push => {
                 let epr = subscription_epr(inner, &sub.id, sub.spec);
@@ -271,14 +359,32 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent) -> usize {
             }
         }
     }
+    inner
+        .obs
+        .stage(Stage::Render, seq, render_timer, now, jobs.len() as u64);
+    let deliver_timer = inner.obs.start();
     let report = inner.engine.execute(
         &inner.net,
         inner.delivery_attempts.load(Ordering::Relaxed),
         inner.fanout_workers.load(Ordering::Relaxed),
         jobs,
     );
+    inner.obs.stage(
+        Stage::Deliver,
+        seq,
+        deliver_timer,
+        inner.net.clock().now_ms(),
+        report.delivered as u64,
+    );
+    #[cfg(feature = "obs")]
+    inner.obs.record_latencies(&report.latencies_ns);
+    inner.obs.record_outcomes(
+        report.delivered as u64,
+        report.delta.failed,
+        report.delta.mediated,
+    );
     delivered += report.delivered;
-    inner.stats.lock().merge(&report.delta);
+    inner.stats.merge(&report.delta);
     for id in &report.failed_subs {
         drop_failed(inner, id);
     }
@@ -482,8 +588,28 @@ impl SoapHandler for MessengerHandler {
     fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault> {
         let inner = &self.inner;
         wsm_soap::check_must_understand(&request, &understood_namespaces())?;
-        let dialect = SpecDialect::detect(&request);
         let body = request.body().ok_or_else(|| Fault::sender("empty body"))?;
+        // Observability operations short-circuit before dialect
+        // detection: they live in the broker's own namespace and must
+        // not perturb the pipeline they report on.
+        #[cfg(feature = "obs")]
+        if body.name.is(crate::render::WSM_NS, "GetMetrics") {
+            return get_metrics(inner).map(Some);
+        }
+        #[cfg(feature = "obs")]
+        if body.name.is(crate::render::WSM_NS, "GetTrace") {
+            return get_trace(inner, body).map(Some);
+        }
+        let seq = inner.obs.next_seq();
+        let detect_timer = inner.obs.start();
+        let dialect = SpecDialect::detect(&request);
+        inner.obs.stage(
+            Stage::Detect,
+            seq,
+            detect_timer,
+            inner.net.clock().now_ms(),
+            1,
+        );
         match dialect {
             Some(SpecDialect::Wse(v)) => {
                 if body.name.is(v.ns(), "Subscribe") {
@@ -500,6 +626,9 @@ impl SoapHandler for MessengerHandler {
                     return wsn_subscribe(inner, v, &request).map(Some);
                 }
                 if let Some(msgs) = codec.parse_notify(&request) {
+                    // Every NotificationMessage in the batch shares the
+                    // request's trace seq: one inbound Notify is one
+                    // trace, however many messages it carries.
                     for m in msgs {
                         let ev = InternalEvent {
                             topic: m.topic,
@@ -507,18 +636,7 @@ impl SoapHandler for MessengerHandler {
                             producer: m.producer,
                             origin: Some(SpecDialect::Wsn(v)),
                         };
-                        if let Some(t) = &ev.topic {
-                            inner.topic_space.lock().add(t);
-                            inner
-                                .current
-                                .lock()
-                                .insert(t.to_string(), ev.payload.clone());
-                        }
-                        inner.stats.lock().published += 1;
-                        inner.backend.publish(ev);
-                    }
-                    for ev in inner.backend.drain() {
-                        fan_out(inner, &ev);
+                        ingest_seq(inner, ev, seq);
                     }
                     return Ok(None);
                 }
@@ -557,11 +675,46 @@ impl SoapHandler for MessengerHandler {
             None => {
                 // A bare payload: treat as a raw publication.
                 let ev = InternalEvent::raw(body.clone());
-                ingest(inner, ev);
+                ingest_seq(inner, ev, seq);
                 Ok(None)
             }
         }
     }
+}
+
+/// `GetMetrics` (broker extension namespace): the Prometheus-style
+/// text exposition wrapped in a SOAP response.
+#[cfg(feature = "obs")]
+fn get_metrics(inner: &MessengerInner) -> Result<Envelope, Fault> {
+    inner.obs.set_subscriptions(inner.registry.len() as i64);
+    Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(
+        Element::ns(crate::render::WSM_NS, "GetMetricsResponse", "wsm").with_child(
+            Element::ns(crate::render::WSM_NS, "Exposition", "wsm")
+                .with_text(inner.obs.prometheus()),
+        ),
+    ))
+}
+
+/// `GetTrace` (broker extension namespace): the buffered pipeline
+/// spans as `Span` elements. `Drain="true"` empties the ring.
+#[cfg(feature = "obs")]
+fn get_trace(inner: &MessengerInner, body: &Element) -> Result<Envelope, Fault> {
+    let spans = if body.attr("Drain") == Some("true") {
+        inner.obs.drain_spans()
+    } else {
+        inner.obs.spans()
+    };
+    let mut resp = Element::ns(crate::render::WSM_NS, "GetTraceResponse", "wsm");
+    for s in spans {
+        let mut el = Element::ns(crate::render::WSM_NS, "Span", "wsm");
+        el.set_attr(wsm_xml::QName::local("Seq"), s.seq.to_string());
+        el.set_attr(wsm_xml::QName::local("Stage"), s.stage.name());
+        el.set_attr(wsm_xml::QName::local("AtMs"), s.at_ms.to_string());
+        el.set_attr(wsm_xml::QName::local("DurNs"), s.dur_ns.to_string());
+        el.set_attr(wsm_xml::QName::local("Items"), s.items.to_string());
+        resp.push(el);
+    }
+    Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(resp))
 }
 
 fn get_current_message(

@@ -95,6 +95,10 @@ pub struct FanOutReport {
     pub delta: StatsDelta,
     /// Subscriptions whose delivery failed (to be dropped).
     pub failed_subs: Vec<String>,
+    /// Wall-clock send duration per job (including retries), for the
+    /// broker's per-subscriber delivery-latency histogram.
+    #[cfg(feature = "obs")]
+    pub latencies_ns: Vec<u64>,
 }
 
 struct JobResult {
@@ -103,6 +107,8 @@ struct JobResult {
     retried: u64,
     wse: bool,
     mediated: bool,
+    #[cfg(feature = "obs")]
+    elapsed_ns: u64,
 }
 
 /// One unit of work queued to the pool: the delivery itself plus the
@@ -124,6 +130,8 @@ fn send_with_retry(net: &Network, to: &str, env: &Envelope, attempts: u32) -> (b
 }
 
 fn run_job(net: &Network, push: &PushJob, attempts: u32) -> JobResult {
+    #[cfg(feature = "obs")]
+    let started = std::time::Instant::now();
     let (ok, retried) = send_with_retry(net, &push.address, &push.envelope, attempts);
     JobResult {
         sub_id: push.sub_id.clone(),
@@ -131,6 +139,8 @@ fn run_job(net: &Network, push: &PushJob, attempts: u32) -> JobResult {
         retried,
         wse: push.wse,
         mediated: push.mediated,
+        #[cfg(feature = "obs")]
+        elapsed_ns: started.elapsed().as_nanos() as u64,
     }
 }
 
@@ -189,8 +199,12 @@ impl DeliveryEngine {
         let mut delta = StatsDelta::default();
         let mut failed_subs = Vec::new();
         let mut delivered = 0;
+        #[cfg(feature = "obs")]
+        let mut latencies_ns = Vec::with_capacity(expected);
         for result in res_rx.iter().take(expected) {
             delta.record(&result);
+            #[cfg(feature = "obs")]
+            latencies_ns.push(result.elapsed_ns);
             if result.ok {
                 delivered += 1;
             } else {
@@ -201,6 +215,8 @@ impl DeliveryEngine {
             delivered,
             delta,
             failed_subs,
+            #[cfg(feature = "obs")]
+            latencies_ns,
         }
     }
 
@@ -215,16 +231,21 @@ impl DeliveryEngine {
             }
         }
         let (tx, rx) = unbounded::<Job>();
-        for _ in 0..workers {
+        for i in 0..workers {
             let rx = rx.clone();
             let net = net.clone();
-            thread::spawn(move || {
-                for job in rx.iter() {
-                    // A dropped receiver just means the publication's
-                    // collector already gave up; nothing to unwind.
-                    let _ = job.results.send(run_job(&net, &job.push, job.attempts));
-                }
-            });
+            // Named threads so the transport trace can attribute each
+            // delivery to the worker that sent it.
+            thread::Builder::new()
+                .name(format!("wsm-push-{i}"))
+                .spawn(move || {
+                    for job in rx.iter() {
+                        // A dropped receiver just means the publication's
+                        // collector already gave up; nothing to unwind.
+                        let _ = job.results.send(run_job(&net, &job.push, job.attempts));
+                    }
+                })
+                .expect("spawn delivery worker");
         }
         *pool = Some(Pool {
             tx: tx.clone(),
@@ -238,9 +259,13 @@ fn execute_sequential(net: &Network, attempts: u32, jobs: Vec<PushJob>) -> FanOu
     let mut delta = StatsDelta::default();
     let mut failed_subs = Vec::new();
     let mut delivered = 0;
+    #[cfg(feature = "obs")]
+    let mut latencies_ns = Vec::with_capacity(jobs.len());
     for job in jobs {
         let result = run_job(net, &job, attempts);
         delta.record(&result);
+        #[cfg(feature = "obs")]
+        latencies_ns.push(result.elapsed_ns);
         if result.ok {
             delivered += 1;
         } else {
@@ -251,6 +276,8 @@ fn execute_sequential(net: &Network, attempts: u32, jobs: Vec<PushJob>) -> FanOu
         delivered,
         delta,
         failed_subs,
+        #[cfg(feature = "obs")]
+        latencies_ns,
     }
 }
 

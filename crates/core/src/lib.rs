@@ -59,6 +59,7 @@ pub mod broker;
 pub mod delivery;
 pub mod detect;
 pub mod event;
+pub mod obs;
 pub mod registry;
 pub mod render;
 
@@ -67,5 +68,9 @@ pub use broker::{MediationStats, WsMessenger};
 pub use delivery::{DeliveryEngine, FanOutReport, PushJob, StatsDelta};
 pub use detect::SpecDialect;
 pub use event::InternalEvent;
+#[cfg(feature = "obs")]
+pub use obs::ObsSnapshot;
 pub use registry::{BrokerDeliveryMode, BrokerSubscription, UnifiedFilters};
 pub use render::{render_notification, render_notification_cached, RenderCache};
+#[cfg(feature = "obs")]
+pub use wsm_obs::{HistogramStats, SpanRecord, Stage};

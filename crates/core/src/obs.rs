@@ -1,0 +1,292 @@
+//! Broker observability: the instrumentation facade the pipeline
+//! records into.
+//!
+//! With the default `obs` feature this wraps a `wsm-obs`
+//! [`MetricsRegistry`](wsm_obs::MetricsRegistry) (counters + per-stage
+//! latency histograms) and a bounded [`SpanRing`](wsm_obs::SpanRing)
+//! of pipeline-stage spans, timestamped on the network's virtual clock.
+//! Without the feature every method is an empty `#[inline]` no-op and
+//! the timer type is zero-sized, so `--no-default-features` builds
+//! compile the instrumentation out of the hot path entirely.
+//!
+//! A runtime kill-switch ([`BrokerObs::set_enabled`]) additionally
+//! lets an `obs`-enabled broker stop recording — which is how the
+//! bench harness measures the overhead of live instrumentation
+//! against an identical binary with recording skipped.
+
+#[cfg(feature = "obs")]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use wsm_obs::{Counter, Gauge, Histogram, HistogramStats, MetricsRegistry, SpanRing};
+
+    pub use wsm_obs::{SpanRecord, Stage};
+
+    /// Wall-clock handle for one open stage (`None` when recording is
+    /// disabled, so a disabled broker skips even the `Instant` read).
+    pub type StageTimer = Option<Instant>;
+
+    /// How many spans the trace ring retains before overwriting the
+    /// oldest (documented in DESIGN.md §8).
+    pub const SPAN_RING_CAPACITY: usize = 4096;
+
+    /// One broker's observability state.
+    pub struct BrokerObs {
+        registry: MetricsRegistry,
+        ring: SpanRing,
+        enabled: AtomicBool,
+        seq: AtomicU64,
+        published: Arc<Counter>,
+        delivered: Arc<Counter>,
+        failed: Arc<Counter>,
+        mediated: Arc<Counter>,
+        subscriptions: Arc<Gauge>,
+        /// Indexed by `Stage as usize` (pipeline order).
+        stages: [Arc<Histogram>; 5],
+        delivery_latency: Arc<Histogram>,
+    }
+
+    impl Default for BrokerObs {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl BrokerObs {
+        /// Fresh metrics and an empty span ring; recording enabled.
+        pub fn new() -> Self {
+            let registry = MetricsRegistry::new();
+            let stages =
+                Stage::ALL.map(|s| registry.histogram(&format!("wsm_stage_{}_ns", s.name())));
+            BrokerObs {
+                published: registry.counter("wsm_published_total"),
+                delivered: registry.counter("wsm_delivered_total"),
+                failed: registry.counter("wsm_failed_total"),
+                mediated: registry.counter("wsm_mediated_total"),
+                subscriptions: registry.gauge("wsm_subscriptions"),
+                delivery_latency: registry.histogram("wsm_delivery_latency_ns"),
+                stages,
+                ring: SpanRing::new(SPAN_RING_CAPACITY),
+                enabled: AtomicBool::new(true),
+                seq: AtomicU64::new(0),
+                registry,
+            }
+        }
+
+        /// Is recording on?
+        #[inline]
+        pub fn enabled(&self) -> bool {
+            self.enabled.load(Ordering::Relaxed)
+        }
+
+        /// Runtime kill-switch: `false` makes every record call an
+        /// early-returning branch.
+        pub fn set_enabled(&self, on: bool) {
+            self.enabled.store(on, Ordering::Relaxed);
+        }
+
+        /// Mint the next publication sequence number (trace id).
+        #[inline]
+        pub fn next_seq(&self) -> u64 {
+            self.seq.fetch_add(1, Ordering::Relaxed) + 1
+        }
+
+        /// Open a stage timer (`None` while disabled).
+        #[inline]
+        pub fn start(&self) -> StageTimer {
+            if self.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            }
+        }
+
+        /// Close a stage: record its duration into the stage histogram
+        /// and append a span (virtual-clock position `at_ms`, `items`
+        /// the stage's cardinality). Spans from fan-out workers carry
+        /// no worker tag here — worker attribution lives in the
+        /// transport trace, which records the delivering thread name.
+        pub fn stage(&self, stage: Stage, seq: u64, timer: StageTimer, at_ms: u64, items: u64) {
+            let Some(t) = timer else { return };
+            let dur_ns = t.elapsed().as_nanos() as u64;
+            self.stages[stage as usize].record(dur_ns);
+            self.ring
+                .push(SpanRecord::new(seq, stage, at_ms, dur_ns, items));
+        }
+
+        /// Count one ingested publication.
+        #[inline]
+        pub fn record_publication(&self) {
+            if self.enabled() {
+                self.published.inc();
+            }
+        }
+
+        /// Merge one fan-out's outcome totals.
+        pub fn record_outcomes(&self, delivered: u64, failed: u64, mediated: u64) {
+            if !self.enabled() {
+                return;
+            }
+            self.delivered.add(delivered);
+            self.failed.add(failed);
+            self.mediated.add(mediated);
+        }
+
+        /// Record per-subscriber delivery latencies from one fan-out.
+        pub fn record_latencies(&self, latencies_ns: &[u64]) {
+            if !self.enabled() {
+                return;
+            }
+            for &ns in latencies_ns {
+                self.delivery_latency.record(ns);
+            }
+        }
+
+        /// Update the live-subscription gauge (called at scrape time).
+        pub fn set_subscriptions(&self, n: i64) {
+            self.subscriptions.set(n);
+        }
+
+        /// The metrics registry.
+        pub fn registry(&self) -> &MetricsRegistry {
+            &self.registry
+        }
+
+        /// Prometheus text exposition of the broker metrics.
+        pub fn prometheus(&self) -> String {
+            wsm_obs::export::prometheus(&self.registry)
+        }
+
+        /// Snapshot of the buffered spans, oldest first.
+        pub fn spans(&self) -> Vec<SpanRecord> {
+            self.ring.snapshot()
+        }
+
+        /// Take the buffered spans, leaving the ring empty.
+        pub fn drain_spans(&self) -> Vec<SpanRecord> {
+            self.ring.drain()
+        }
+
+        /// Aggregate per-stage and per-delivery statistics.
+        pub fn snapshot(&self) -> ObsSnapshot {
+            ObsSnapshot {
+                stages: Stage::ALL
+                    .iter()
+                    .map(|s| (s.name(), self.stages[*s as usize].stats()))
+                    .collect(),
+                delivery_latency: self.delivery_latency.stats(),
+                published: self.published.get(),
+                delivered: self.delivered.get(),
+                failed: self.failed.get(),
+                spans_buffered: self.ring.len(),
+                spans_evicted: self.ring.dropped(),
+            }
+        }
+    }
+
+    /// Point-in-time aggregate of a broker's pipeline metrics, in the
+    /// shape the bench emitters serialize.
+    #[derive(Debug, Clone)]
+    pub struct ObsSnapshot {
+        /// `(stage name, duration stats in ns)` in pipeline order
+        /// (publish, detect, match, render, deliver).
+        pub stages: Vec<(&'static str, HistogramStats)>,
+        /// Per-subscriber send latency (ns).
+        pub delivery_latency: HistogramStats,
+        /// Publications ingested.
+        pub published: u64,
+        /// Successful deliveries.
+        pub delivered: u64,
+        /// Failed deliveries.
+        pub failed: u64,
+        /// Spans currently buffered in the ring.
+        pub spans_buffered: usize,
+        /// Spans evicted to stay within the ring bound.
+        pub spans_evicted: u64,
+    }
+
+    impl ObsSnapshot {
+        /// Stats for one stage by name (`"match"`, `"render"`, ...).
+        pub fn stage(&self, name: &str) -> Option<HistogramStats> {
+            self.stages
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, s)| *s)
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod imp {
+    //! No-op shims: same call surface as the instrumented facade, all
+    //! methods empty and inlined away.
+    #![allow(dead_code)]
+
+    /// Zero-sized stage timer.
+    pub type StageTimer = ();
+
+    /// Pipeline stages (names only; nothing records them).
+    #[derive(Debug, Clone, Copy)]
+    pub enum Stage {
+        /// Ingesting a publication.
+        Publish,
+        /// Dialect detection.
+        Detect,
+        /// Subscription matching.
+        Match,
+        /// Envelope rendering.
+        Render,
+        /// Push fan-out.
+        Deliver,
+    }
+
+    /// No-op observability state.
+    #[derive(Debug, Default)]
+    pub struct BrokerObs;
+
+    impl BrokerObs {
+        /// A no-op facade.
+        pub fn new() -> Self {
+            BrokerObs
+        }
+
+        /// Always `false` (nothing records).
+        #[inline(always)]
+        pub fn enabled(&self) -> bool {
+            false
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set_enabled(&self, _on: bool) {}
+
+        /// Always 0 — sequence numbers only matter to spans.
+        #[inline(always)]
+        pub fn next_seq(&self) -> u64 {
+            0
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn start(&self) -> StageTimer {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn stage(&self, _s: Stage, _seq: u64, _t: StageTimer, _at_ms: u64, _items: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record_publication(&self) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record_outcomes(&self, _delivered: u64, _failed: u64, _mediated: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set_subscriptions(&self, _n: i64) {}
+    }
+}
+
+pub use imp::*;

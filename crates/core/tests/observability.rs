@@ -1,0 +1,262 @@
+//! End-to-end observability: pipeline-stage tracing across a mediated
+//! publish, the SOAP `GetMetrics`/`GetTrace` extension operations, and
+//! per-worker delivery attribution in the transport trace.
+
+use std::sync::Arc;
+use wsm_eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use wsm_messenger::WsMessenger;
+use wsm_notification::{NotificationMessage, WsnCodec, WsnVersion};
+use wsm_soap::{Envelope, SoapVersion};
+use wsm_topics::TopicPath;
+use wsm_transport::{DeliveryOutcome, EndpointOptions, Network, SoapHandler};
+use wsm_xml::Element;
+
+fn broker_with_wse_sink(net: &Network) -> (WsMessenger, EventSink) {
+    let broker = WsMessenger::start(net, "http://broker");
+    let sink = EventSink::start(net, "http://sink", WseVersion::Aug2004);
+    Subscriber::new(net, WseVersion::Aug2004)
+        .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+        .unwrap();
+    (broker, sink)
+}
+
+/// A WSN `Notify` carrying one message on `topic`.
+fn notify_envelope(topic: &str, payload: Element) -> Envelope {
+    let codec = WsnCodec::new(WsnVersion::V1_3);
+    let to = wsm_addressing::EndpointReference::new("http://broker");
+    codec.notify(
+        &to,
+        &[NotificationMessage::new(TopicPath::parse(topic), payload)],
+    )
+}
+
+#[cfg(feature = "obs")]
+mod spans {
+    use super::*;
+
+    /// The tentpole trace: a WSN publication mediated to a WS-Eventing
+    /// consumer leaves one span per pipeline stage, all sharing the
+    /// request's trace seq, in pipeline order.
+    #[test]
+    fn mediated_publish_traces_every_stage() {
+        let net = Network::new();
+        let (broker, sink) = broker_with_wse_sink(&net);
+        broker.drain_trace_spans(); // discard the Subscribe request's Detect span
+
+        net.send(
+            "http://broker",
+            notify_envelope("storms", Element::local("alert")),
+        )
+        .unwrap();
+        assert_eq!(sink.received().len(), 1);
+        assert_eq!(broker.stats().mediated, 1, "WSN->WSE crossing is mediated");
+
+        let spans = broker.drain_trace_spans();
+        let seq = spans
+            .iter()
+            .find(|s| s.stage.name() == "deliver")
+            .expect("a deliver span")
+            .seq;
+        let stages: Vec<&str> = spans
+            .iter()
+            .filter(|s| s.seq == seq)
+            .map(|s| s.stage.name())
+            .collect();
+        assert_eq!(
+            stages,
+            ["detect", "publish", "match", "render", "deliver"],
+            "one span per stage, in pipeline order, sharing the trace seq"
+        );
+        let matched = spans
+            .iter()
+            .find(|s| s.seq == seq && s.stage.name() == "match")
+            .unwrap();
+        assert_eq!(matched.items, 1, "one subscription matched");
+        let delivered = spans
+            .iter()
+            .find(|s| s.seq == seq && s.stage.name() == "deliver")
+            .unwrap();
+        assert_eq!(delivered.items, 1, "one push delivery");
+    }
+
+    #[test]
+    fn stage_histograms_and_latency_populate_snapshot() {
+        let net = Network::new();
+        let (broker, _sink) = broker_with_wse_sink(&net);
+        for i in 0..10 {
+            broker.publish_on("storms", &Element::local(format!("e{i}")));
+        }
+        let snap = broker.obs_snapshot();
+        assert_eq!(snap.published, 10);
+        assert_eq!(snap.delivered, 10);
+        assert_eq!(snap.failed, 0);
+        for (name, stats) in &snap.stages {
+            if *name == "detect" {
+                continue; // in-process publishes skip the SOAP handler
+            }
+            assert_eq!(stats.count, 10, "stage {name} recorded every publish");
+            assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
+        }
+        assert_eq!(snap.delivery_latency.count, 10);
+        assert!(snap.delivery_latency.max as f64 >= snap.delivery_latency.p50);
+    }
+
+    #[test]
+    fn kill_switch_stops_recording() {
+        let net = Network::new();
+        let (broker, sink) = broker_with_wse_sink(&net);
+        broker.drain_trace_spans();
+        broker.set_obs_enabled(false);
+        broker.publish_on("storms", &Element::local("quiet"));
+        assert_eq!(sink.received().len(), 1, "delivery is unaffected");
+        assert!(
+            broker.trace_spans().is_empty(),
+            "no spans while recording is disabled"
+        );
+        assert_eq!(broker.obs_snapshot().published, 0);
+        broker.set_obs_enabled(true);
+        broker.publish_on("storms", &Element::local("loud"));
+        assert_eq!(broker.obs_snapshot().published, 1);
+        assert!(!broker.trace_spans().is_empty());
+    }
+
+    #[test]
+    fn get_metrics_soap_roundtrip() {
+        let net = Network::new();
+        let (broker, _sink) = broker_with_wse_sink(&net);
+        broker.publish_on("storms", &Element::local("alert"));
+        let req = Envelope::new(SoapVersion::V11).with_body(Element::ns(
+            wsm_messenger::render::WSM_NS,
+            "GetMetrics",
+            "wsm",
+        ));
+        let resp = net.request("http://broker", req).unwrap();
+        let body = resp.body().unwrap();
+        assert!(body
+            .name
+            .is(wsm_messenger::render::WSM_NS, "GetMetricsResponse"));
+        let text = body
+            .child_ns(wsm_messenger::render::WSM_NS, "Exposition")
+            .unwrap()
+            .text();
+        assert!(text.contains("wsm_published_total 1"), "got:\n{text}");
+        assert!(text.contains("wsm_delivered_total 1"));
+        assert!(
+            text.contains("wsm_subscriptions 1"),
+            "gauge refreshed at scrape"
+        );
+        assert!(text.contains("wsm_stage_match_ns_bucket"));
+    }
+
+    #[test]
+    fn get_trace_soap_roundtrip_and_drain() {
+        let net = Network::new();
+        let (broker, _sink) = broker_with_wse_sink(&net);
+        broker.drain_trace_spans();
+        broker.publish_on("storms", &Element::local("alert"));
+
+        let trace_req = || {
+            Envelope::new(SoapVersion::V11).with_body(
+                Element::ns(wsm_messenger::render::WSM_NS, "GetTrace", "wsm")
+                    .with_attr("Drain", "true"),
+            )
+        };
+        let resp = net.request("http://broker", trace_req()).unwrap();
+        let body = resp.body().unwrap();
+        assert!(body
+            .name
+            .is(wsm_messenger::render::WSM_NS, "GetTraceResponse"));
+        let stages: Vec<String> = body
+            .elements()
+            .map(|s| s.attr("Stage").unwrap().to_string())
+            .collect();
+        assert_eq!(stages, ["publish", "match", "render", "deliver"]);
+        for span in body.elements() {
+            assert!(span.attr("Seq").is_some());
+            assert!(span.attr("DurNs").unwrap().parse::<u64>().is_ok());
+        }
+
+        // Drain="true" emptied the ring.
+        let resp = net.request("http://broker", trace_req()).unwrap();
+        assert_eq!(resp.body().unwrap().elements().count(), 0);
+    }
+}
+
+/// Consumers that never answer: the fan-out should attribute each
+/// failed outcome to the pool worker that attempted it.
+struct Unreachable;
+impl SoapHandler for Unreachable {
+    fn handle(&self, _req: Envelope) -> Result<Option<Envelope>, wsm_soap::Fault> {
+        Ok(None)
+    }
+}
+
+/// Satellite 1 (compiles with or without `obs`): the parallel fan-out
+/// path records one transport trace record per attempt, tagged with
+/// the `wsm-push-N` worker thread that sent it, covering delivered,
+/// dropped, refused, and missing-endpoint outcomes.
+#[test]
+fn parallel_fanout_trace_attributes_workers_and_outcomes() {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    broker.set_fanout_workers(4);
+
+    let subscribe = |addr: &str| {
+        Subscriber::new(&net, WseVersion::Aug2004)
+            .subscribe(
+                broker.uri(),
+                SubscribeRequest::push(wsm_addressing::EndpointReference::new(addr)),
+            )
+            .unwrap();
+    };
+    // Five healthy sinks plus one of each failure mode: enough jobs to
+    // engage the worker pool.
+    let mut sinks = Vec::new();
+    for i in 0..5 {
+        let uri = format!("http://good-{i}");
+        sinks.push(EventSink::start(&net, &uri, WseVersion::Aug2004));
+        subscribe(&uri);
+    }
+    net.register_with(
+        "http://walled",
+        Arc::new(Unreachable),
+        EndpointOptions { firewalled: true },
+    );
+    subscribe("http://walled");
+    net.register("http://flaky", Arc::new(Unreachable));
+    net.drop_next("http://flaky", 1);
+    subscribe("http://flaky");
+    subscribe("http://missing");
+
+    net.drain_trace(); // discard the subscribe round-trips
+    broker.publish_raw(&Element::local("alert"));
+    for sink in &sinks {
+        assert_eq!(sink.received().len(), 1);
+    }
+
+    let fanout: Vec<_> = net
+        .drain_trace()
+        .into_iter()
+        .filter(|r| !r.two_way)
+        .collect();
+    assert_eq!(fanout.len(), 8, "one record per push attempt");
+    for r in &fanout {
+        assert!(
+            r.worker.starts_with("wsm-push-"),
+            "delivery to {} attributed to {:?}, not a pool worker",
+            r.to,
+            r.worker
+        );
+    }
+    let outcome_of = |to: &str| &fanout.iter().find(|r| r.to == to).unwrap().outcome;
+    assert_eq!(*outcome_of("http://walled"), DeliveryOutcome::Refused);
+    assert_eq!(*outcome_of("http://flaky"), DeliveryOutcome::Dropped);
+    assert_eq!(*outcome_of("http://missing"), DeliveryOutcome::NoEndpoint);
+    assert_eq!(
+        fanout
+            .iter()
+            .filter(|r| r.outcome == DeliveryOutcome::Delivered)
+            .count(),
+        5
+    );
+}

@@ -1,0 +1,174 @@
+//! Exporters: Prometheus-style text exposition and JSONL span events.
+
+use crate::metrics::{Metric, MetricsRegistry};
+use crate::span::SpanRecord;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+
+/// Render a registry as Prometheus text exposition.
+///
+/// Counters and gauges emit `# TYPE` plus a single sample; histograms
+/// emit cumulative `_bucket{le="..."}` samples (upper bounds in the
+/// histogram's native unit), `_sum`, `_count`, and a `+Inf` bucket.
+pub fn prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, metric) in registry.snapshot() {
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let counts = h.bucket_counts();
+                let mut cum = 0u64;
+                for (i, c) in counts.iter().enumerate() {
+                    cum += c;
+                    if i < h.bounds().len() {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", h.bounds()[i]);
+                    } else {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                    }
+                }
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// One span as a single JSON object (no trailing newline).
+pub fn span_json(span: &SpanRecord) -> String {
+    let mut out = format!(
+        "{{\"seq\":{},\"stage\":\"{}\",\"at_ms\":{},\"dur_ns\":{},\"items\":{}",
+        span.seq,
+        span.stage.name(),
+        span.at_ms,
+        span.dur_ns,
+        span.items
+    );
+    if let Some(w) = &span.worker {
+        let _ = write!(out, ",\"worker\":\"{}\"", w.replace('"', "'"));
+    }
+    out.push('}');
+    out
+}
+
+/// Spans as JSONL: one JSON object per line.
+pub fn spans_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&span_json(s));
+        out.push('\n');
+    }
+    out
+}
+
+/// An in-memory JSONL event sink.
+///
+/// Spans append as serialized lines; [`JsonlSink::dump`] yields the
+/// accumulated document and [`JsonlSink::write_to`] streams it to any
+/// writer (a file, a socket). The sink takes its own lock per append,
+/// so fan-out workers can feed it directly.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// Append one span event.
+    pub fn push(&self, span: &SpanRecord) {
+        self.lines.lock().push(span_json(span));
+    }
+
+    /// Append many span events.
+    pub fn extend(&self, spans: &[SpanRecord]) {
+        let mut lines = self.lines.lock();
+        lines.extend(spans.iter().map(span_json));
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// Is the sink empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The accumulated JSONL document.
+    pub fn dump(&self) -> String {
+        let lines = self.lines.lock();
+        let mut out = String::new();
+        for l in lines.iter() {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Stream the accumulated document to `w` and clear the sink.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        let lines: Vec<String> = std::mem::take(&mut *self.lines.lock());
+        for l in lines {
+            writeln!(w, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    #[test]
+    fn prometheus_exposition_shapes() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total").add(3);
+        r.gauge("b").set(-2);
+        let h = r.histogram_with("lat", || vec![10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        let text = prometheus(&r);
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total 3"));
+        assert!(text.contains("b -2"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"100\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_sum 555"));
+        assert!(text.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn jsonl_one_line_per_span() {
+        let sink = JsonlSink::new();
+        let mut s = SpanRecord::new(7, Stage::Deliver, 12, 900, 2);
+        s.worker = Some("wsm-push-1".into());
+        sink.push(&s);
+        sink.extend(&[SpanRecord::new(8, Stage::Match, 13, 100, 5)]);
+        let doc = sink.dump();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"stage\":\"deliver\""));
+        assert!(lines[0].contains("\"worker\":\"wsm-push-1\""));
+        assert!(lines[1].contains("\"seq\":8"));
+        let mut buf = Vec::new();
+        sink.write_to(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), doc);
+        assert!(sink.is_empty(), "write_to drains");
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! # wsm-obs — broker-wide observability primitives
+//!
+//! The WS-Messenger broker is a mediation *pipeline* — detect dialect →
+//! match subscriptions → render per-dialect → deliver — and the paper's
+//! scalability claims (§VII) are claims about where time goes inside
+//! that pipeline. This crate provides the measurement substrate the
+//! rest of the workspace instruments itself with:
+//!
+//! * a **metrics registry** ([`MetricsRegistry`]) of lock-free
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket latency [`Histogram`]s
+//!   (p50/p95/p99 by bucket interpolation) cheap enough to sit on the
+//!   publish hot path — recording is a couple of relaxed atomic adds,
+//!   and the registry lock is only touched at registration time;
+//! * **pipeline-stage spans** ([`SpanRecord`], [`Stage`]) collected
+//!   into a bounded ring buffer ([`SpanRing`]) that tolerates
+//!   concurrent writers — the crossbeam fan-out workers — and
+//!   overwrites oldest-first when full, so tracing can stay on
+//!   permanently without unbounded memory;
+//! * **exporters**: a Prometheus-style text exposition
+//!   ([`export::prometheus`]) and a JSONL event sink
+//!   ([`export::spans_jsonl`], [`export::JsonlSink`]).
+//!
+//! Timestamps are supplied by the caller (the workspace's virtual clock
+//! `wsm_transport::clock::SimClock` for span positions, wall-clock
+//! `Instant` deltas for durations), keeping this crate free of any
+//! transport dependency so both `wsm-transport` and `wsm-messenger`
+//! can layer on top of it.
+//!
+//! ```
+//! use wsm_obs::{MetricsRegistry, Stage, SpanRing, SpanRecord};
+//!
+//! let registry = MetricsRegistry::new();
+//! let published = registry.counter("wsm_published_total");
+//! let latency = registry.histogram("wsm_delivery_latency_ns");
+//! published.inc();
+//! latency.record(42_000);
+//! assert!(wsm_obs::export::prometheus(&registry).contains("wsm_published_total 1"));
+//!
+//! let ring = SpanRing::new(1024);
+//! ring.push(SpanRecord::new(1, Stage::Match, 0, 12_000, 3));
+//! assert_eq!(ring.snapshot()[0].stage, Stage::Match);
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use export::JsonlSink;
+pub use metrics::{Counter, Gauge, Histogram, HistogramStats, MetricsRegistry};
+pub use span::{SpanRecord, SpanRing, Stage};

@@ -1,0 +1,393 @@
+//! Lock-free metric primitives and the named registry.
+//!
+//! Recording never blocks: counters and gauges are single relaxed
+//! atomics, and a histogram observation is one binary search over an
+//! immutable bound table plus three relaxed atomic adds. The registry
+//! itself holds an `RwLock` only around the name → metric map, which
+//! instrumented code touches once at startup to obtain `Arc` handles.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `d`.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Quantile summary of a [`Histogram`], in the histogram's native unit
+/// (nanoseconds for the default latency bounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Interpolated 50th percentile (0 when empty).
+    pub p50: f64,
+    /// Interpolated 95th percentile (0 when empty).
+    pub p95: f64,
+    /// Interpolated 99th percentile (0 when empty).
+    pub p99: f64,
+}
+
+/// A fixed-bucket histogram with lock-free recording.
+///
+/// Buckets are defined by an ascending table of inclusive upper bounds
+/// plus an implicit overflow bucket. Quantiles are estimated by linear
+/// interpolation inside the bucket holding the target rank; the
+/// overflow bucket interpolates up to the largest value actually
+/// observed (tracked separately), so `quantile(1.0)` never invents a
+/// value beyond what was recorded.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Default latency bounds: geometric, 128ns doubling up to ~4.6 min.
+/// Two-times spacing keeps interpolation error under ~50% of the value
+/// anywhere in range, which is plenty for p50/p95/p99 trend tracking.
+fn latency_bounds() -> Vec<u64> {
+    (0..32).map(|i| 128u64 << i).collect()
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_bounds(latency_bounds())
+    }
+}
+
+impl Histogram {
+    /// A histogram with the default latency bounds (nanoseconds).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// A histogram over explicit ascending upper bounds.
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = match self.bounds.binary_search(&value) {
+            Ok(i) => i,
+            Err(i) => i, // > last bound lands in the overflow bucket
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The bucket upper bounds (without the overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Snapshot of per-bucket counts (last entry is the overflow
+    /// bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation within the bucket holding the target rank.
+    /// `None` when nothing has been observed.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: interpolate toward the observed
+                    // maximum rather than an invented bound.
+                    self.max().max(*self.bounds.last().unwrap())
+                };
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lower as f64 + frac * (upper - lower) as f64);
+            }
+            cum = next;
+        }
+        // q == 0.0 with all counts past the loop can't happen (total > 0),
+        // but stay defensive.
+        Some(self.max() as f64)
+    }
+
+    /// One-call summary: count, sum, max, mean, p50/p95/p99.
+    pub fn stats(&self) -> HistogramStats {
+        let count = self.count();
+        let sum = self.sum();
+        HistogramStats {
+            count,
+            sum,
+            max: self.max(),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// A registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: instrumented code
+/// calls them once at startup and keeps the returned `Arc` handle, so
+/// the map's `RwLock` never appears on a hot path. Exporters snapshot
+/// the map under a read lock.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram `name` with the default latency
+    /// bounds.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, latency_bounds)
+    }
+
+    /// Get or create the histogram `name`, building bounds with
+    /// `bounds` when absent.
+    pub fn histogram_with(&self, name: &str, bounds: impl FnOnce() -> Vec<u64>) -> Arc<Histogram> {
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::with_bounds(bounds()))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.metrics
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn histogram_records_into_expected_buckets() {
+        let h = Histogram::with_bounds(vec![10, 100, 1000]);
+        h.record(0); // <= 10
+        h.record(10); // inclusive upper bound stays in bucket 0
+        h.record(11); // <= 100
+        h.record(5000); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 0, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5021);
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unordered_bounds_rejected() {
+        let _ = Histogram::with_bounds(vec![10, 10]);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_handles() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.len(), 1);
+        let _ = r.gauge("g");
+        let _ = r.histogram("h");
+        assert_eq!(r.len(), 3);
+        let names: Vec<String> = r.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["g", "h", "x"], "sorted export order");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn registry_kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.gauge("m");
+        let _ = r.counter("m");
+    }
+}

@@ -1,0 +1,172 @@
+//! Pipeline-stage spans and the bounded ring buffer they collect into.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A stage of the broker's mediation pipeline
+/// (publish → detect → match → render → deliver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Ingesting a publication (the whole publish call).
+    Publish,
+    /// Sniffing the specification dialect of an inbound envelope.
+    Detect,
+    /// Evaluating subscriptions against the event.
+    Match,
+    /// Rendering consumer-native envelopes.
+    Render,
+    /// Executing the push fan-out (the send phase).
+    Deliver,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Publish,
+        Stage::Detect,
+        Stage::Match,
+        Stage::Render,
+        Stage::Deliver,
+    ];
+
+    /// Stable lowercase name (metric labels, JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Publish => "publish",
+            Stage::Detect => "detect",
+            Stage::Match => "match",
+            Stage::Render => "render",
+            Stage::Deliver => "deliver",
+        }
+    }
+}
+
+/// One closed span: a stage of one publication's trip through the
+/// pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Publication sequence number (mints one trace id per ingested
+    /// publication; every stage of the same publication shares it).
+    pub seq: u64,
+    /// Which pipeline stage closed.
+    pub stage: Stage,
+    /// Virtual-clock time when the span closed, in milliseconds.
+    pub at_ms: u64,
+    /// Measured wall-clock duration, in nanoseconds.
+    pub dur_ns: u64,
+    /// Stage cardinality: subscriptions matched, envelopes rendered,
+    /// deliveries made — whatever the stage counts.
+    pub items: u64,
+    /// Thread that closed the span, when it was a fan-out worker.
+    pub worker: Option<String>,
+}
+
+impl SpanRecord {
+    /// A span with no worker attribution.
+    pub fn new(seq: u64, stage: Stage, at_ms: u64, dur_ns: u64, items: u64) -> Self {
+        SpanRecord {
+            seq,
+            stage,
+            at_ms,
+            dur_ns,
+            items,
+            worker: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    buf: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// A bounded ring of spans: push never fails and never grows past the
+/// capacity — when full, the oldest span is overwritten and counted in
+/// [`SpanRing::dropped`]. Safe for concurrent producers (the fan-out
+/// workers) via a short critical section per push.
+#[derive(Debug)]
+pub struct SpanRing {
+    cap: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl SpanRing {
+    /// A ring holding at most `cap` spans (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        SpanRing {
+            cap: cap.max(1),
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// Append a span, evicting the oldest when full.
+    pub fn push(&self, span: SpanRecord) {
+        let mut inner = self.inner.lock();
+        if inner.buf.len() == self.cap {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(span);
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many spans have been evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Copy out the buffered spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Take the buffered spans, leaving the ring empty (the eviction
+    /// counter is preserved).
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.inner.lock().buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_evicts_oldest() {
+        let ring = SpanRing::new(3);
+        for seq in 0..5 {
+            ring.push(SpanRecord::new(seq, Stage::Match, 0, 10, 1));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(ring.drain().len(), 3);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2, "drain keeps the eviction count");
+    }
+
+    #[test]
+    fn stage_names_are_pipeline_ordered() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["publish", "detect", "match", "render", "deliver"]
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Metric-primitive coverage: histogram bucket boundaries, quantile
+//! interpolation, and exact totals under concurrent hammering.
+
+use std::sync::Arc;
+use std::thread;
+use wsm_obs::{Histogram, MetricsRegistry, SpanRecord, SpanRing, Stage};
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = Histogram::new();
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.quantile(0.99), None);
+    let s = h.stats();
+    assert_eq!(s.count, 0);
+    assert_eq!(s.mean, 0.0);
+    assert_eq!(s.p50, 0.0);
+}
+
+#[test]
+fn zero_value_lands_in_first_bucket() {
+    let h = Histogram::with_bounds(vec![10, 100]);
+    h.record(0);
+    assert_eq!(h.bucket_counts(), vec![1, 0, 0]);
+    // Interpolated within [0, 10]; never negative, never past the bound.
+    let p50 = h.quantile(0.5).unwrap();
+    assert!((0.0..=10.0).contains(&p50), "p50={p50}");
+}
+
+#[test]
+fn max_bucket_overflow_clamps_to_observed_max() {
+    let h = Histogram::with_bounds(vec![10, 100]);
+    h.record(1_000_000);
+    let p = h.quantile(1.0).unwrap();
+    assert!(
+        p <= 1_000_000.0,
+        "overflow quantile must not exceed the observed max, got {p}"
+    );
+    assert!(
+        p > 100.0,
+        "overflow quantile interpolates past the last bound, got {p}"
+    );
+    assert_eq!(h.max(), 1_000_000);
+}
+
+#[test]
+fn exact_bound_values_stay_in_their_bucket() {
+    let h = Histogram::with_bounds(vec![10, 100, 1000]);
+    h.record(10);
+    h.record(100);
+    h.record(1000);
+    assert_eq!(h.bucket_counts(), vec![1, 1, 1, 0]);
+}
+
+#[test]
+fn quantile_interpolation_tracks_uniform_data() {
+    // 1..=1000 uniformly: p50 ≈ 500, p95 ≈ 950 — allow generous slack
+    // for the geometric bucketing (one power-of-two bucket wide).
+    let h = Histogram::new();
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let p50 = h.quantile(0.50).unwrap();
+    let p95 = h.quantile(0.95).unwrap();
+    let p99 = h.quantile(0.99).unwrap();
+    assert!((256.0..=1024.0).contains(&p50), "p50={p50}");
+    assert!((512.0..=1024.0).contains(&p95), "p95={p95}");
+    assert!(p95 <= p99 + f64::EPSILON, "quantiles are monotone");
+    assert_eq!(h.count(), 1000);
+    assert_eq!(h.sum(), 500500);
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let h = Histogram::new();
+    for v in [3u64, 17, 90, 900, 15_000, 250_000, 4_000_000] {
+        h.record(v);
+    }
+    let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        .iter()
+        .map(|q| h.quantile(*q).unwrap())
+        .collect();
+    for w in qs.windows(2) {
+        assert!(w[0] <= w[1] + f64::EPSILON, "{qs:?}");
+    }
+}
+
+#[test]
+fn concurrent_increments_are_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let registry = Arc::new(MetricsRegistry::new());
+    let counter = registry.counter("hammer_total");
+    let hist = registry.histogram("hammer_ns");
+    let gauge = registry.gauge("hammer_inflight");
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            let gauge = Arc::clone(&gauge);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record((t as u64) * 1_000 + (i % 64));
+                    gauge.add(1);
+                    gauge.add(-1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), total);
+    assert_eq!(hist.count(), total);
+    assert_eq!(
+        hist.bucket_counts().iter().sum::<u64>(),
+        total,
+        "bucket counts account for every observation"
+    );
+    assert_eq!(gauge.get(), 0);
+}
+
+#[test]
+fn concurrent_ring_pushes_stay_bounded() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let ring = Arc::new(SpanRing::new(512));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    ring.push(SpanRecord::new(
+                        t as u64 * PER_THREAD + i,
+                        Stage::Deliver,
+                        0,
+                        1,
+                        1,
+                    ));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(ring.len(), 512);
+    assert_eq!(
+        ring.dropped() + ring.len() as u64,
+        THREADS as u64 * PER_THREAD,
+        "every push is either buffered or counted as evicted"
+    );
+}

@@ -42,6 +42,7 @@
 
 pub mod clock;
 pub mod network;
+mod obs;
 pub mod trace;
 
 pub use clock::SimClock;

@@ -1,6 +1,7 @@
 //! The endpoint registry and delivery engine.
 
 use crate::clock::SimClock;
+use crate::obs::{NetObs, NetTimer};
 use crate::trace::{DeliveryOutcome, TraceRecord};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -77,6 +78,8 @@ struct Inner {
     /// default) keeps sends instantaneous; benches set it to model wire
     /// time that concurrent senders can overlap.
     send_delay_us: AtomicU64,
+    /// Send-path metrics (no-op without the `obs` feature).
+    obs: NetObs,
 }
 
 /// The simulated network. Cheap to clone; clones share all state.
@@ -99,6 +102,7 @@ impl Network {
             clock: SimClock::new(),
             latency_ms: Mutex::new(0),
             send_delay_us: AtomicU64::new(0),
+            obs: NetObs::new(),
         }))
     }
 
@@ -177,6 +181,7 @@ impl Network {
         envelope: Envelope,
         two_way: bool,
     ) -> Result<Option<Envelope>, TransportError> {
+        let timer = self.0.obs.start();
         let latency = *self.0.latency_ms.lock();
         self.0.clock.advance_ms(latency);
         let delay = self.0.send_delay_us.load(Ordering::Relaxed);
@@ -196,7 +201,7 @@ impl Network {
                         plan.drop_next.remove(to);
                     }
                     drop(plan);
-                    self.record(to, &label, bytes, two_way, DeliveryOutcome::Dropped);
+                    self.record(timer, to, &label, bytes, two_way, DeliveryOutcome::Dropped);
                     return Err(TransportError::Dropped(to.to_string()));
                 }
             }
@@ -208,23 +213,38 @@ impl Network {
                 Some(ep) => (Arc::clone(&ep.handler), ep.options),
                 None => {
                     drop(map);
-                    self.record(to, &label, bytes, two_way, DeliveryOutcome::NoEndpoint);
+                    self.record(
+                        timer,
+                        to,
+                        &label,
+                        bytes,
+                        two_way,
+                        DeliveryOutcome::NoEndpoint,
+                    );
                     return Err(TransportError::NoEndpoint(to.to_string()));
                 }
             }
         };
         if options.firewalled {
-            self.record(to, &label, bytes, two_way, DeliveryOutcome::Refused);
+            self.record(timer, to, &label, bytes, two_way, DeliveryOutcome::Refused);
             return Err(TransportError::Refused(to.to_string()));
         }
 
         match handler.handle(envelope) {
             Ok(resp) => {
-                self.record(to, &label, bytes, two_way, DeliveryOutcome::Delivered);
+                self.record(
+                    timer,
+                    to,
+                    &label,
+                    bytes,
+                    two_way,
+                    DeliveryOutcome::Delivered,
+                );
                 Ok(resp)
             }
             Err(fault) => {
                 self.record(
+                    timer,
                     to,
                     &label,
                     bytes,
@@ -236,7 +256,16 @@ impl Network {
         }
     }
 
-    fn record(&self, to: &str, label: &str, bytes: usize, two_way: bool, outcome: DeliveryOutcome) {
+    fn record(
+        &self,
+        timer: NetTimer,
+        to: &str,
+        label: &str,
+        bytes: usize,
+        two_way: bool,
+        outcome: DeliveryOutcome,
+    ) {
+        self.0.obs.observe(timer, &outcome, bytes);
         self.0.trace.lock().push(TraceRecord {
             time_ms: self.0.clock.now_ms(),
             to: to.to_string(),
@@ -244,6 +273,10 @@ impl Network {
             bytes,
             two_way,
             outcome,
+            worker: std::thread::current()
+                .name()
+                .unwrap_or("(unnamed)")
+                .to_string(),
         });
     }
 
@@ -252,9 +285,29 @@ impl Network {
         self.0.trace.lock().clone()
     }
 
+    /// Take the delivery trace, leaving it empty — the cheap way for
+    /// tests to assert exactly the records one scenario produced,
+    /// including per-worker records from the parallel fan-out path.
+    pub fn drain_trace(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut *self.0.trace.lock())
+    }
+
     /// Clear the trace (benches do this between runs).
     pub fn clear_trace(&self) {
         self.0.trace.lock().clear();
+    }
+
+    /// Send-path metrics registry (attempt/byte/outcome counters and
+    /// the `net_send_ns` latency histogram).
+    #[cfg(feature = "obs")]
+    pub fn metrics(&self) -> &wsm_obs::MetricsRegistry {
+        self.0.obs.registry()
+    }
+
+    /// Send-path metrics as Prometheus text exposition.
+    #[cfg(feature = "obs")]
+    pub fn metrics_text(&self) -> String {
+        wsm_obs::export::prometheus(self.0.obs.registry())
     }
 
     /// Count trace records with the given outcome predicate.
@@ -467,5 +520,39 @@ mod tests {
         net.send("http://a", env()).unwrap();
         net.clear_trace();
         assert!(net.trace().is_empty());
+    }
+
+    #[test]
+    fn drain_trace_takes_and_empties() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        net.send("http://a", env()).unwrap();
+        let _ = net.send("http://missing", env());
+        let drained = net.drain_trace();
+        assert_eq!(drained.len(), 2);
+        assert!(net.trace().is_empty());
+        assert!(net.drain_trace().is_empty());
+        // Every record carries the delivering thread's name.
+        assert!(drained.iter().all(|r| !r.worker.is_empty()));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn send_metrics_count_attempts_and_outcomes() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        net.send("http://a", env()).unwrap();
+        net.send("http://a", env()).unwrap();
+        let _ = net.send("http://missing", env());
+        net.drop_next("http://a", 1);
+        let _ = net.send("http://a", env());
+        let text = net.metrics_text();
+        assert!(text.contains("net_sends_total 4"), "{text}");
+        assert!(text.contains("net_outcome_delivered_total 2"));
+        assert!(text.contains("net_outcome_no_endpoint_total 1"));
+        assert!(text.contains("net_outcome_dropped_total 1"));
+        assert!(text.contains("net_send_ns_count 4"));
+        let h = net.metrics().histogram("net_send_ns");
+        assert!(h.quantile(0.5).is_some());
     }
 }

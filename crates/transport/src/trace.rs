@@ -45,6 +45,10 @@ pub struct TraceRecord {
     pub two_way: bool,
     /// Outcome.
     pub outcome: DeliveryOutcome,
+    /// Name of the thread that performed the delivery — a fan-out
+    /// worker (`wsm-push-N`) on the parallel path, the publishing or
+    /// test thread otherwise. `(unnamed)` for anonymous threads.
+    pub worker: String,
 }
 
 #[cfg(test)]

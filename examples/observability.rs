@@ -1,0 +1,133 @@
+//! Watching the broker work: the observability layer end to end.
+//!
+//! A mixed WS-Eventing / WS-Notification population subscribes to a
+//! broker, a publisher pushes a burst of events through it, and then
+//! the instrumentation answers three questions:
+//!
+//! 1. **Where does a publication's time go?** Per-stage latency
+//!    histograms (detect → match → render → deliver) with p50/p95/p99.
+//! 2. **What exactly happened?** The bounded span ring replays the
+//!    pipeline stages of each publication, and the transport trace
+//!    attributes every delivery attempt to the worker thread that made
+//!    it.
+//! 3. **How do I scrape it?** The same data is exposed as
+//!    Prometheus-style text and over SOAP (`GetMetrics` / `GetTrace`
+//!    in the broker's extension namespace), so a monitoring agent
+//!    needs nothing but a SOAP client.
+//!
+//! Run with `cargo run --example observability`.
+
+use ws_messenger_suite::eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use ws_messenger_suite::messenger::WsMessenger;
+use ws_messenger_suite::notification::{
+    NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
+};
+use ws_messenger_suite::soap::{Envelope, SoapVersion};
+use ws_messenger_suite::transport::Network;
+use ws_messenger_suite::xml::Element;
+
+fn main() {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    broker.set_fanout_workers(4);
+
+    // Eight consumers, half per specification family, so every
+    // publication exercises the mediation path.
+    let wse = Subscriber::new(&net, WseVersion::Aug2004);
+    let wsn = WsnClient::new(&net, WsnVersion::V1_3);
+    for i in 0..8 {
+        if i % 2 == 0 {
+            let sink = EventSink::start(&net, &format!("http://sink-{i}"), WseVersion::Aug2004);
+            wse.subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+                .unwrap();
+        } else {
+            let c = NotificationConsumer::start(&net, &format!("http://nc-{i}"), WsnVersion::V1_3);
+            wsn.subscribe(
+                broker.uri(),
+                &WsnSubscribeRequest::new(c.epr()).with_filter(WsnFilter::topic("storms")),
+            )
+            .unwrap();
+        }
+    }
+
+    net.drain_trace();
+    for i in 0..50 {
+        broker.publish_on(
+            "storms",
+            &Element::local("reading").with_attr("n", i.to_string()),
+        );
+    }
+
+    // 1. Per-stage latency: where a publication's time goes.
+    let snap = broker.obs_snapshot();
+    println!("pipeline stages over {} publications:", snap.published);
+    println!(
+        "  {:<10} {:>6} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50 µs", "p95 µs", "p99 µs"
+    );
+    for (name, stats) in &snap.stages {
+        if stats.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<10} {:>6} {:>10.2} {:>10.2} {:>10.2}",
+            name,
+            stats.count,
+            stats.p50 / 1000.0,
+            stats.p95 / 1000.0,
+            stats.p99 / 1000.0
+        );
+    }
+    println!(
+        "per-subscriber send latency: p50 {:.2}µs, p99 {:.2}µs over {} sends\n",
+        snap.delivery_latency.p50 / 1000.0,
+        snap.delivery_latency.p99 / 1000.0,
+        snap.delivery_latency.count
+    );
+
+    // 2a. The span ring replays one publication's pipeline.
+    let spans = broker.trace_spans();
+    let last_seq = spans.last().unwrap().seq;
+    println!("trace of publication #{last_seq}:");
+    for s in spans.iter().filter(|s| s.seq == last_seq) {
+        println!(
+            "  t={}ms {:<8} {:>8}ns  ({} item{})",
+            s.at_ms,
+            s.stage.name(),
+            s.dur_ns,
+            s.items,
+            if s.items == 1 { "" } else { "s" }
+        );
+    }
+
+    // 2b. The transport trace attributes deliveries to pool workers.
+    let trace = net.drain_trace();
+    let workers: std::collections::BTreeSet<_> = trace.iter().map(|r| r.worker.clone()).collect();
+    println!(
+        "\n{} deliveries made by workers: {workers:?}\n",
+        trace.len()
+    );
+
+    // 3. Scraping: Prometheus text locally, or GetMetrics over SOAP.
+    let metrics = broker.metrics_text();
+    for line in metrics
+        .lines()
+        .filter(|l| l.starts_with("wsm_") && !l.contains("_bucket"))
+    {
+        println!("{line}");
+    }
+    let resp = net
+        .request(
+            "http://broker",
+            Envelope::new(SoapVersion::V11).with_body(Element::ns(
+                ws_messenger_suite::messenger::render::WSM_NS,
+                "GetTrace",
+                "wsm",
+            )),
+        )
+        .unwrap();
+    println!(
+        "\nGetTrace over SOAP returned {} spans",
+        resp.body().unwrap().elements().count()
+    );
+}

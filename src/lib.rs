@@ -11,6 +11,7 @@ pub use wsm_eventing as eventing;
 pub use wsm_jms as jms;
 pub use wsm_messenger as messenger;
 pub use wsm_notification as notification;
+pub use wsm_obs as obs;
 pub use wsm_ogsi as ogsi;
 pub use wsm_soap as soap;
 pub use wsm_topics as topics;
