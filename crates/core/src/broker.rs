@@ -1,13 +1,16 @@
 //! The WS-Messenger broker itself.
 
 use crate::backend::{InMemoryBackend, MessagingBackend};
-use crate::delivery::{self, DeliveryEngine, PushJob, StatsDelta};
+use crate::delivery::{self, DeliveryEngine, FailKind, PushJob, StatsDelta};
 use crate::detect::SpecDialect;
 use crate::event::InternalEvent;
 use crate::obs::{BrokerObs, Stage};
 use crate::registry::{BrokerDeliveryMode, Registry, UnifiedFilters};
+use crate::reliability::{
+    Admitted, BreakerState, DeadLetter, FaultTolerance, PumpReport, ReliabilityState,
+};
 use crate::render::{render_batch, render_notification_cached, RenderCache};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,10 +34,17 @@ pub struct MediationStats {
     /// Deliveries whose inbound dialect family differed from the
     /// consumer's — the mediated traffic.
     pub mediated: u64,
-    /// Deliveries that failed (subscription dropped).
+    /// Deliveries that failed for good: in legacy mode the
+    /// subscription was dropped, in fault-tolerant mode the message
+    /// was dead-lettered.
     pub failed: u64,
-    /// Retries performed by the delivery engine.
+    /// Retries performed by the delivery engine and the redelivery
+    /// pump.
     pub retried: u64,
+    /// Successful deliveries that came off the redelivery queue.
+    pub redelivered: u64,
+    /// Messages moved to the dead-letter store.
+    pub dead_lettered: u64,
 }
 
 /// The broker's live mediation counters: one relaxed atomic per field,
@@ -49,6 +59,8 @@ struct StatsCells {
     mediated: AtomicU64,
     failed: AtomicU64,
     retried: AtomicU64,
+    redelivered: AtomicU64,
+    dead_lettered: AtomicU64,
 }
 
 impl StatsCells {
@@ -66,6 +78,10 @@ impl StatsCells {
         self.mediated.fetch_add(delta.mediated, Ordering::Relaxed);
         self.failed.fetch_add(delta.failed, Ordering::Relaxed);
         self.retried.fetch_add(delta.retried, Ordering::Relaxed);
+        self.redelivered
+            .fetch_add(delta.redelivered, Ordering::Relaxed);
+        self.dead_lettered
+            .fetch_add(delta.dead_lettered, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> MediationStats {
@@ -76,6 +92,8 @@ impl StatsCells {
             mediated: self.mediated.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
+            redelivered: self.redelivered.load(Ordering::Relaxed),
+            dead_lettered: self.dead_lettered.load(Ordering::Relaxed),
         }
     }
 }
@@ -100,6 +118,10 @@ struct MessengerInner {
     /// Persistent push worker pool (threads spawn lazily on the first
     /// large-enough fan-out).
     engine: DeliveryEngine,
+    /// Fault-tolerant delivery state (redelivery queue, breakers,
+    /// dead-letter store); `None` keeps the seed's drop-on-failure
+    /// semantics.
+    reliability: RwLock<Option<Arc<ReliabilityState>>>,
 }
 
 /// The dual-specification mediation broker (paper §VII).
@@ -136,6 +158,7 @@ impl WsMessenger {
             delivery_attempts: AtomicU32::new(1),
             fanout_workers: AtomicUsize::new(delivery::default_workers()),
             engine: DeliveryEngine::new(),
+            reliability: RwLock::new(None),
         });
         net.register(
             uri,
@@ -205,6 +228,98 @@ impl WsMessenger {
         self.inner.fanout_workers.store(workers, Ordering::Relaxed);
     }
 
+    /// Switch fault-tolerant delivery on (`Some(config)`) or back to
+    /// the seed's drop-on-failure semantics (`None`).
+    ///
+    /// With fault tolerance on, a failed push never evicts the
+    /// subscription. The message re-enqueues with exponential backoff
+    /// and deterministic seeded jitter (transient failures) until
+    /// [`FaultTolerance::max_redeliveries`], a circuit breaker per
+    /// subscriber sheds load from endpoints that keep failing, and
+    /// messages that exhaust their budget — or provoke
+    /// [`FaultTolerance::poison_budget`] SOAP-fault responses — land
+    /// in the dead-letter store ([`WsMessenger::dead_letters`],
+    /// queryable over SOAP via `wsm:GetDeadLetters`).
+    pub fn set_fault_tolerance(&self, config: Option<FaultTolerance>) {
+        *self.inner.reliability.write() = config.map(|c| Arc::new(ReliabilityState::new(c)));
+    }
+
+    /// Whether fault-tolerant delivery is active.
+    pub fn fault_tolerance_enabled(&self) -> bool {
+        self.inner.reliability.read().is_some()
+    }
+
+    /// Attempt every due redelivery at the current virtual time.
+    /// Returns what the pass did. A no-op (empty report) when fault
+    /// tolerance is off or nothing is due.
+    pub fn pump_redeliveries(&self) -> PumpReport {
+        pump_reliability(&self.inner)
+    }
+
+    /// Drain the redelivery queue by advancing the virtual clock to
+    /// each due time within `horizon_ms` of now and pumping, until the
+    /// queue is empty, every breaker holds, or the horizon passes.
+    /// Returns the accumulated outcomes.
+    pub fn drain_redeliveries(&self, horizon_ms: u64) -> PumpReport {
+        let mut total = PumpReport::default();
+        let Some(rel) = self.inner.reliability.read().clone() else {
+            return total;
+        };
+        let deadline = self.inner.net.clock().now_ms().saturating_add(horizon_ms);
+        while let Some(due) = rel.next_due_ms() {
+            if due > deadline {
+                break;
+            }
+            self.inner.net.clock().set_ms(due);
+            total.absorb(pump_reliability(&self.inner));
+        }
+        total
+    }
+
+    /// Messages waiting in the redelivery queue.
+    pub fn redelivery_depth(&self) -> usize {
+        self.inner
+            .reliability
+            .read()
+            .as_ref()
+            .map_or(0, |r| r.depth())
+    }
+
+    /// Snapshot of the dead-letter store.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.inner
+            .reliability
+            .read()
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.dead_letters())
+    }
+
+    /// Dead letters currently stored.
+    pub fn dead_letter_count(&self) -> usize {
+        self.inner
+            .reliability
+            .read()
+            .as_ref()
+            .map_or(0, |r| r.dead_count())
+    }
+
+    /// Move every dead letter back into its subscriber's redelivery
+    /// channel with a fresh budget. Returns how many were requeued;
+    /// drive them with [`WsMessenger::drain_redeliveries`].
+    pub fn redeliver_dead_letters(&self) -> usize {
+        let Some(rel) = self.inner.reliability.read().clone() else {
+            return 0;
+        };
+        rel.redeliver_dead(self.inner.net.clock().now_ms())
+    }
+
+    /// The circuit-breaker state guarding one subscription, if fault
+    /// tolerance is on and the subscriber has a redelivery channel.
+    pub fn breaker_state(&self, sub_id: &str) -> Option<BreakerState> {
+        let rel = self.inner.reliability.read().clone()?;
+        rel.breaker_state(sub_id, self.inner.net.clock().now_ms())
+    }
+
     /// The backend name.
     pub fn backend_name(&self) -> &'static str {
         self.inner.backend.name()
@@ -217,6 +332,9 @@ impl WsMessenger {
         self.inner
             .obs
             .set_subscriptions(self.inner.registry.len() as i64);
+        if let Some(rel) = self.inner.reliability.read().clone() {
+            refresh_reliability_gauges(&self.inner, &rel);
+        }
         self.inner.obs.prometheus()
     }
 
@@ -315,6 +433,12 @@ fn ingest_seq(inner: &MessengerInner, event: InternalEvent, seq: u64) -> usize {
     for ev in inner.backend.drain() {
         delivered += fan_out(inner, &ev, seq);
     }
+    // Piggyback a redelivery pass on every publication: queued
+    // messages whose backoff elapsed (the sends above advanced the
+    // virtual clock) go out now. A cheap no-op when nothing is due.
+    if inner.reliability.read().is_some() {
+        pump_reliability(inner);
+    }
     delivered
 }
 
@@ -329,6 +453,7 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
         .stage(Stage::Match, seq, match_timer, now, subs.len() as u64);
     let render_timer = inner.obs.start();
     let cache = RenderCache::new(event);
+    let rel = inner.reliability.read().clone();
     let mut delivered = 0;
     let mut jobs: Vec<PushJob> = Vec::new();
     for sub in subs {
@@ -336,13 +461,21 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
             BrokerDeliveryMode::Push => {
                 let epr = subscription_epr(inner, &sub.id, sub.spec);
                 let envelope = render_notification_cached(&cache, &sub, event, &inner.uri, &epr);
-                jobs.push(PushJob {
+                let job = PushJob {
                     sub_id: sub.id,
                     address: sub.consumer.address,
                     envelope,
                     wse: matches!(sub.spec, SpecDialect::Wse(_)),
                     mediated: event.origin.is_some_and(|o| family(o) != family(sub.spec)),
-                });
+                };
+                // FIFO per subscriber: while redeliveries are pending
+                // (or the breaker is open) a fresh message queues
+                // behind them instead of overtaking on the wire.
+                if let Some(rel) = rel.as_ref().filter(|r| r.must_enqueue(&job.sub_id, now)) {
+                    rel.enqueue_new(job, now);
+                } else {
+                    jobs.push(job);
+                }
             }
             BrokerDeliveryMode::Pull => {
                 if inner.registry.queue_event(&sub.id, event.payload.clone()) {
@@ -378,17 +511,68 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
     );
     #[cfg(feature = "obs")]
     inner.obs.record_latencies(&report.latencies_ns);
-    inner.obs.record_outcomes(
-        report.delivered as u64,
-        report.delta.failed,
-        report.delta.mediated,
-    );
     delivered += report.delivered;
-    inner.stats.merge(&report.delta);
-    for id in &report.failed_subs {
-        drop_failed(inner, id);
+    let mut delta = report.delta;
+    match rel {
+        Some(rel) => {
+            // Fault-tolerant mode: a failed push is not "failed" yet —
+            // it re-enqueues with backoff, and only dead-lettering
+            // counts against the broker.
+            delta.failed = 0;
+            let now = inner.net.clock().now_ms();
+            for (kind, job) in report.failures {
+                match rel.admit_failure(kind, job, now) {
+                    Admitted::Requeued { backoff_ms, .. } => {
+                        inner.obs.record_backoff(backoff_ms);
+                    }
+                    Admitted::DeadLettered => {
+                        delta.failed += 1;
+                        delta.dead_lettered += 1;
+                        inner.obs.record_dead_letter();
+                    }
+                }
+            }
+            refresh_reliability_gauges(inner, &rel);
+        }
+        None => {
+            for (_, job) in &report.failures {
+                drop_failed(inner, &job.sub_id);
+            }
+        }
     }
+    inner
+        .obs
+        .record_outcomes(report.delivered as u64, delta.failed, delta.mediated);
+    inner.stats.merge(&delta);
     delivered
+}
+
+/// Attempt every due redelivery at the current virtual time, merging
+/// outcomes into the broker's stats and metrics.
+fn pump_reliability(inner: &MessengerInner) -> PumpReport {
+    let Some(rel) = inner.reliability.read().clone() else {
+        return PumpReport::default();
+    };
+    let now = inner.net.clock().now_ms();
+    let report = rel.pump(now, &|to, env| {
+        inner.net.send(to, env).map_err(|e| FailKind::of(&e))
+    });
+    for b in &report.backoffs_ms {
+        inner.obs.record_backoff(*b);
+    }
+    for _ in 0..report.dead_lettered {
+        inner.obs.record_dead_letter();
+    }
+    inner.stats.merge(&report.delta);
+    refresh_reliability_gauges(inner, &rel);
+    report
+}
+
+/// Push the redelivery-depth and open-breaker gauges.
+fn refresh_reliability_gauges(inner: &MessengerInner, rel: &ReliabilityState) {
+    inner.obs.set_redelivery_depth(rel.depth() as i64);
+    let (open, _) = rel.breaker_census(inner.net.clock().now_ms());
+    inner.obs.set_breakers_open(open as i64);
 }
 
 fn family(d: SpecDialect) -> u8 {
@@ -398,9 +582,17 @@ fn family(d: SpecDialect) -> u8 {
     }
 }
 
+/// Forget a removed subscription's redelivery channel (if any).
+fn forget_reliability(inner: &MessengerInner, id: &str) {
+    if let Some(rel) = inner.reliability.read().as_ref() {
+        rel.forget(id);
+    }
+}
+
 /// Remove a subscription after a delivery failure, sending the WSE
 /// `SubscriptionEnd` when the subscriber asked for one.
 fn drop_failed(inner: &MessengerInner, id: &str) {
+    forget_reliability(inner, id);
     if let Some(sub) = inner.registry.remove(id) {
         if let (SpecDialect::Wse(v), Some(end_to)) = (sub.spec, &sub.end_to) {
             let codec = WseCodec::new(v);
@@ -600,6 +792,14 @@ impl SoapHandler for MessengerHandler {
         if body.name.is(crate::render::WSM_NS, "GetTrace") {
             return get_trace(inner, body).map(Some);
         }
+        // Dead-letter operations are part of the delivery contract,
+        // not observability — available with or without `obs`.
+        if body.name.is(crate::render::WSM_NS, "GetDeadLetters") {
+            return get_dead_letters(inner).map(Some);
+        }
+        if body.name.is(crate::render::WSM_NS, "RedeliverDeadLetters") {
+            return redeliver_dead_letters_op(inner).map(Some);
+        }
         let seq = inner.obs.next_seq();
         let detect_timer = inner.obs.start();
         let dialect = SpecDialect::detect(&request);
@@ -717,6 +917,45 @@ fn get_trace(inner: &MessengerInner, body: &Element) -> Result<Envelope, Fault> 
     Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(resp))
 }
 
+/// `GetDeadLetters` (broker extension namespace): every message in the
+/// dead-letter store as a `wsm:DeadLetter` element carrying the
+/// subscription, consumer address, reason, budget spent, virtual
+/// timestamp, and the undeliverable payload itself.
+fn get_dead_letters(inner: &MessengerInner) -> Result<Envelope, Fault> {
+    let letters = inner
+        .reliability
+        .read()
+        .as_ref()
+        .map_or_else(Vec::new, |r| r.dead_letters());
+    let mut resp = Element::ns(crate::render::WSM_NS, "GetDeadLettersResponse", "wsm");
+    for dl in letters {
+        let mut el = Element::ns(crate::render::WSM_NS, "DeadLetter", "wsm");
+        el.set_attr(wsm_xml::QName::local("Sub"), dl.sub_id);
+        el.set_attr(wsm_xml::QName::local("Address"), dl.address);
+        el.set_attr(wsm_xml::QName::local("Reason"), dl.reason);
+        el.set_attr(wsm_xml::QName::local("Attempts"), dl.attempts.to_string());
+        el.set_attr(wsm_xml::QName::local("Strikes"), dl.strikes.to_string());
+        el.set_attr(wsm_xml::QName::local("AtMs"), dl.at_ms.to_string());
+        if let Some(body) = dl.envelope.body() {
+            el.push(body.clone());
+        }
+        resp.push(el);
+    }
+    Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(resp))
+}
+
+/// `RedeliverDeadLetters` (broker extension namespace): requeue every
+/// dead letter with a fresh budget and report how many.
+fn redeliver_dead_letters_op(inner: &MessengerInner) -> Result<Envelope, Fault> {
+    let count = match inner.reliability.read().clone() {
+        Some(rel) => rel.redeliver_dead(inner.net.clock().now_ms()),
+        None => 0,
+    };
+    let mut resp = Element::ns(crate::render::WSM_NS, "RedeliverDeadLettersResponse", "wsm");
+    resp.set_attr(wsm_xml::QName::local("Count"), count.to_string());
+    Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(resp))
+}
+
 fn get_current_message(
     inner: &MessengerInner,
     v: WsnVersion,
@@ -795,6 +1034,7 @@ fn wse_manage(
         Ok(codec.management_response("GetStatus", sub.expires_at_ms.map(Expires::At)))
     } else if body.name.is(ns, "Unsubscribe") {
         inner.registry.remove(&id).ok_or_else(unknown)?;
+        forget_reliability(inner, &id);
         Ok(codec.management_response("Unsubscribe", None))
     } else if body.name.is(ns, "Pull") {
         inner.registry.get(&id).ok_or_else(unknown)?;
@@ -846,6 +1086,7 @@ fn wsn_manage(
             return Err(Fault::sender("WSN 1.0 unsubscribes via WSRF Destroy"));
         }
         inner.registry.remove(&id).ok_or_else(unknown)?;
+        forget_reliability(inner, &id);
         Ok(codec.management_response("Unsubscribe"))
     } else if body.name.is(ns, "PauseSubscription") {
         if !inner.registry.set_paused(&id, true) {
@@ -859,6 +1100,7 @@ fn wsn_manage(
         Ok(codec.management_response("ResumeSubscription"))
     } else if body.name.is(wsm_wsrf::WSRF_RL_NS, "Destroy") {
         inner.registry.remove(&id).ok_or_else(unknown)?;
+        forget_reliability(inner, &id);
         Ok(
             Envelope::new(wsm_soap::SoapVersion::V11).with_body(Element::ns(
                 wsm_wsrf::WSRF_RL_NS,

@@ -10,7 +10,7 @@
 //!
 //! The pool is **persistent and lazy**: worker threads spawn the first
 //! time a publication has enough push jobs to amortize them
-//! ([`PARALLEL_THRESHOLD`]) and then park on a crossbeam channel
+//! (`PARALLEL_THRESHOLD`) and then park on a crossbeam channel
 //! between publications, so steady-state dispatch costs two channel
 //! hops per message and no thread creation. Small fan-outs (and
 //! `set_fanout_workers(0|1)`) deliver inline on the publishing thread.
@@ -25,7 +25,7 @@ use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
 use std::thread;
 use wsm_soap::Envelope;
-use wsm_transport::Network;
+use wsm_transport::{Network, TransportError};
 
 /// How many push jobs a publication needs before the worker pool is
 /// worth its dispatch cost. Below this the engine delivers inline on
@@ -39,7 +39,39 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// How a delivery failed — the distinction that decides its fate.
+///
+/// The seed conflated these: a SOAP fault from a live-but-rejecting
+/// consumer and a dropped datagram both counted as "failed" and burned
+/// the same retry budget. They are different problems. A **transient**
+/// failure (loss, missing endpoint, no response) means *try again
+/// later*; a **poison** response (SOAP fault, refused connection)
+/// means the endpoint is alive and saying no — retrying back-to-back
+/// is pointless, and only these count toward the small
+/// [`poison_budget`](crate::reliability::FaultTolerance::poison_budget)
+/// that dead-letters a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// The message may succeed if simply sent again later.
+    Transient,
+    /// The endpoint actively rejected the message.
+    Poison,
+}
+
+impl FailKind {
+    /// Classify a transport error.
+    pub fn of(err: &TransportError) -> FailKind {
+        match err {
+            TransportError::Fault(_) | TransportError::Refused(_) => FailKind::Poison,
+            TransportError::NoEndpoint(_)
+            | TransportError::Dropped(_)
+            | TransportError::NoResponse(_) => FailKind::Transient,
+        }
+    }
+}
+
 /// One rendered push delivery, ready to send.
+#[derive(Debug, Clone)]
 pub struct PushJob {
     /// Subscription the delivery answers (dropped on failure).
     pub sub_id: String,
@@ -67,6 +99,10 @@ pub struct StatsDelta {
     pub failed: u64,
     /// Retries performed.
     pub retried: u64,
+    /// Successful deliveries that came off the redelivery queue.
+    pub redelivered: u64,
+    /// Messages moved to the dead-letter store.
+    pub dead_lettered: u64,
 }
 
 impl StatsDelta {
@@ -93,8 +129,10 @@ pub struct FanOutReport {
     pub delivered: usize,
     /// Stat increments to merge.
     pub delta: StatsDelta,
-    /// Subscriptions whose delivery failed (to be dropped).
-    pub failed_subs: Vec<String>,
+    /// Failed jobs, classified and handed back intact so the broker
+    /// can re-enqueue them (fault-tolerant mode) or drop the
+    /// subscription (legacy mode).
+    pub failures: Vec<(FailKind, PushJob)>,
     /// Wall-clock send duration per job (including retries), for the
     /// broker's per-subscriber delivery-latency histogram.
     #[cfg(feature = "obs")]
@@ -102,11 +140,12 @@ pub struct FanOutReport {
 }
 
 struct JobResult {
-    sub_id: String,
     ok: bool,
     retried: u64,
     wse: bool,
     mediated: bool,
+    /// On failure, the classified job handed back for redelivery.
+    failed: Option<(FailKind, PushJob)>,
     #[cfg(feature = "obs")]
     elapsed_ns: u64,
 }
@@ -120,27 +159,48 @@ struct Job {
 }
 
 /// One-shot or retried send, per the configured attempt budget.
-fn send_with_retry(net: &Network, to: &str, env: &Envelope, attempts: u32) -> (bool, u64) {
+///
+/// Only **transient** errors consume the immediate-retry budget; a
+/// poison response (SOAP fault, refused connection) short-circuits —
+/// the endpoint just told us it would reject an identical resend.
+fn send_with_retry(
+    net: &Network,
+    to: &str,
+    env: &Envelope,
+    attempts: u32,
+) -> (Result<(), FailKind>, u64) {
+    let mut retried = 0;
     for i in 0..attempts {
-        if net.send(to, env.clone()).is_ok() {
-            return (true, i as u64);
+        match net.send(to, env.clone()) {
+            Ok(()) => return (Ok(()), retried),
+            Err(err) => {
+                let kind = FailKind::of(&err);
+                if kind == FailKind::Poison {
+                    return (Err(kind), retried);
+                }
+                if i + 1 < attempts {
+                    retried += 1;
+                }
+            }
         }
     }
-    (false, (attempts - 1) as u64)
+    (Err(FailKind::Transient), retried)
 }
 
-fn run_job(net: &Network, push: &PushJob, attempts: u32) -> JobResult {
+fn run_job(net: &Network, push: PushJob, attempts: u32) -> JobResult {
     #[cfg(feature = "obs")]
     let started = std::time::Instant::now();
-    let (ok, retried) = send_with_retry(net, &push.address, &push.envelope, attempts);
+    let (outcome, retried) = send_with_retry(net, &push.address, &push.envelope, attempts);
+    #[cfg(feature = "obs")]
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
     JobResult {
-        sub_id: push.sub_id.clone(),
-        ok,
+        ok: outcome.is_ok(),
         retried,
         wse: push.wse,
         mediated: push.mediated,
+        failed: outcome.err().map(|kind| (kind, push)),
         #[cfg(feature = "obs")]
-        elapsed_ns: started.elapsed().as_nanos() as u64,
+        elapsed_ns,
     }
 }
 
@@ -197,7 +257,7 @@ impl DeliveryEngine {
         drop(res_tx);
 
         let mut delta = StatsDelta::default();
-        let mut failed_subs = Vec::new();
+        let mut failures = Vec::new();
         let mut delivered = 0;
         #[cfg(feature = "obs")]
         let mut latencies_ns = Vec::with_capacity(expected);
@@ -207,14 +267,15 @@ impl DeliveryEngine {
             latencies_ns.push(result.elapsed_ns);
             if result.ok {
                 delivered += 1;
-            } else {
-                failed_subs.push(result.sub_id);
+            }
+            if let Some(failure) = result.failed {
+                failures.push(failure);
             }
         }
         FanOutReport {
             delivered,
             delta,
-            failed_subs,
+            failures,
             #[cfg(feature = "obs")]
             latencies_ns,
         }
@@ -242,7 +303,7 @@ impl DeliveryEngine {
                     for job in rx.iter() {
                         // A dropped receiver just means the publication's
                         // collector already gave up; nothing to unwind.
-                        let _ = job.results.send(run_job(&net, &job.push, job.attempts));
+                        let _ = job.results.send(run_job(&net, job.push, job.attempts));
                     }
                 })
                 .expect("spawn delivery worker");
@@ -257,25 +318,26 @@ impl DeliveryEngine {
 
 fn execute_sequential(net: &Network, attempts: u32, jobs: Vec<PushJob>) -> FanOutReport {
     let mut delta = StatsDelta::default();
-    let mut failed_subs = Vec::new();
+    let mut failures = Vec::new();
     let mut delivered = 0;
     #[cfg(feature = "obs")]
     let mut latencies_ns = Vec::with_capacity(jobs.len());
     for job in jobs {
-        let result = run_job(net, &job, attempts);
+        let result = run_job(net, job, attempts);
         delta.record(&result);
         #[cfg(feature = "obs")]
         latencies_ns.push(result.elapsed_ns);
         if result.ok {
             delivered += 1;
-        } else {
-            failed_subs.push(result.sub_id);
+        }
+        if let Some(failure) = result.failed {
+            failures.push(failure);
         }
     }
     FanOutReport {
         delivered,
         delta,
-        failed_subs,
+        failures,
         #[cfg(feature = "obs")]
         latencies_ns,
     }
@@ -320,7 +382,7 @@ mod tests {
             assert_eq!(report.delta.delivered_wse, 8);
             assert_eq!(report.delta.delivered_wsn, 8);
             assert_eq!(report.delta.failed, 0);
-            assert!(report.failed_subs.is_empty());
+            assert!(report.failures.is_empty());
             assert_eq!(*counter.0.lock(), 16);
         }
     }
@@ -351,7 +413,36 @@ mod tests {
             report.delta.retried, 16,
             "attempts-1 retries per failed job"
         );
-        assert_eq!(report.failed_subs.len(), 8);
+        assert_eq!(report.failures.len(), 8);
+        for (kind, job) in &report.failures {
+            assert_eq!(*kind, FailKind::Transient, "missing endpoint is transient");
+            assert_eq!(job.address, "http://nowhere", "job handed back intact");
+        }
+    }
+
+    struct Faulty;
+    impl SoapHandler for Faulty {
+        fn handle(&self, _req: Envelope) -> Result<Option<Envelope>, wsm_soap::Fault> {
+            Err(wsm_soap::Fault::receiver("always rejects"))
+        }
+    }
+
+    #[test]
+    fn poison_responses_skip_the_retry_budget() {
+        let net = Network::new();
+        net.register("http://faulty", std::sync::Arc::new(Faulty));
+        let engine = DeliveryEngine::new();
+        let report = engine.execute(&net, 3, 1, jobs(2, "http://faulty"));
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.delta.failed, 2);
+        assert_eq!(
+            report.delta.retried, 0,
+            "a SOAP fault short-circuits the immediate retries"
+        );
+        assert!(report
+            .failures
+            .iter()
+            .all(|(kind, _)| *kind == FailKind::Poison));
     }
 
     #[test]

@@ -61,16 +61,21 @@ pub mod detect;
 pub mod event;
 pub mod obs;
 pub mod registry;
+pub mod reliability;
 pub mod render;
 
 pub use backend::{InMemoryBackend, JmsBackend, MessagingBackend};
 pub use broker::{MediationStats, WsMessenger};
-pub use delivery::{DeliveryEngine, FanOutReport, PushJob, StatsDelta};
+pub use delivery::{DeliveryEngine, FailKind, FanOutReport, PushJob, StatsDelta};
 pub use detect::SpecDialect;
 pub use event::InternalEvent;
 #[cfg(feature = "obs")]
 pub use obs::ObsSnapshot;
 pub use registry::{BrokerDeliveryMode, BrokerSubscription, UnifiedFilters};
+pub use reliability::{
+    BreakerConfig, BreakerState, CircuitBreaker, DeadLetter, FaultTolerance, PumpReport,
+    ReliabilityState,
+};
 pub use render::{render_notification, render_notification_cached, RenderCache};
 #[cfg(feature = "obs")]
 pub use wsm_obs::{HistogramStats, SpanRecord, Stage};

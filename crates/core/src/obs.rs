@@ -45,6 +45,10 @@ mod imp {
         /// Indexed by `Stage as usize` (pipeline order).
         stages: [Arc<Histogram>; 5],
         delivery_latency: Arc<Histogram>,
+        dead_letters: Arc<Counter>,
+        redelivery_depth: Arc<Gauge>,
+        breakers_open: Arc<Gauge>,
+        backoff_delay: Arc<Histogram>,
     }
 
     impl Default for BrokerObs {
@@ -66,6 +70,10 @@ mod imp {
                 mediated: registry.counter("wsm_mediated_total"),
                 subscriptions: registry.gauge("wsm_subscriptions"),
                 delivery_latency: registry.histogram("wsm_delivery_latency_ns"),
+                dead_letters: registry.counter("wsm_dead_letters_total"),
+                redelivery_depth: registry.gauge("wsm_redelivery_depth"),
+                breakers_open: registry.gauge("wsm_breakers_open"),
+                backoff_delay: registry.histogram("wsm_backoff_delay_ms"),
                 stages,
                 ring: SpanRing::new(SPAN_RING_CAPACITY),
                 enabled: AtomicBool::new(true),
@@ -146,6 +154,32 @@ mod imp {
         /// Update the live-subscription gauge (called at scrape time).
         pub fn set_subscriptions(&self, n: i64) {
             self.subscriptions.set(n);
+        }
+
+        /// Count one message moved to the dead-letter store.
+        #[inline]
+        pub fn record_dead_letter(&self) {
+            if self.enabled() {
+                self.dead_letters.inc();
+            }
+        }
+
+        /// Record one scheduled backoff delay (virtual ms).
+        #[inline]
+        pub fn record_backoff(&self, delay_ms: u64) {
+            if self.enabled() {
+                self.backoff_delay.record(delay_ms);
+            }
+        }
+
+        /// Update the redelivery-queue depth gauge.
+        pub fn set_redelivery_depth(&self, n: i64) {
+            self.redelivery_depth.set(n);
+        }
+
+        /// Update the open-circuit-breaker gauge.
+        pub fn set_breakers_open(&self, n: i64) {
+            self.breakers_open.set(n);
         }
 
         /// The metrics registry.
@@ -286,6 +320,22 @@ mod imp {
         /// No-op.
         #[inline(always)]
         pub fn set_subscriptions(&self, _n: i64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record_dead_letter(&self) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record_backoff(&self, _delay_ms: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set_redelivery_depth(&self, _n: i64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set_breakers_open(&self, _n: i64) {}
     }
 }
 

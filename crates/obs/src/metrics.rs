@@ -211,7 +211,11 @@ impl Histogram {
                     self.max().max(*self.bounds.last().unwrap())
                 };
                 let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
-                return Some(lower as f64 + frac * (upper - lower) as f64);
+                let est = lower as f64 + frac * (upper - lower) as f64;
+                // A bucket's upper bound can exceed every recorded
+                // value; the true quantile never exceeds the exact
+                // observed maximum, so cap the estimate there.
+                return Some(est.min(self.max() as f64));
             }
             cum = next;
         }
@@ -366,6 +370,24 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unordered_bounds_rejected() {
         let _ = Histogram::with_bounds(vec![10, 10]);
+    }
+
+    #[test]
+    fn quantile_estimate_never_exceeds_observed_max() {
+        // Every sample sits far below its bucket's upper bound; the
+        // interpolated estimate must cap at the exact max.
+        let h = Histogram::with_bounds(vec![1_000_000]);
+        for _ in 0..10 {
+            h.record(3);
+        }
+        let stats = h.stats();
+        assert!(
+            stats.p50 <= stats.max as f64,
+            "p50 {} > max {}",
+            stats.p50,
+            stats.max
+        );
+        assert!(stats.p99 <= stats.max as f64);
     }
 
     #[test]

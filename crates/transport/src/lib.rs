@@ -14,9 +14,11 @@
 //! * **firewalled endpoints** that refuse inbound connections — the
 //!   scenario the paper gives for pull delivery ("delivering messages
 //!   to consumers behind firewalls");
-//! * **fault injection** (drop the next N deliveries to a URI) and a
-//!   fixed per-hop simulated latency, driving a **virtual clock** that
-//!   subscription expiration is measured against;
+//! * **fault injection** expressed as data (a seeded [`FaultPlan`]:
+//!   one-shot drops and poison SOAP faults, probabilistic loss,
+//!   flapping down-windows, latency spikes) and a fixed per-hop
+//!   simulated latency, driving a **virtual clock** that subscription
+//!   expiration and fault schedules are measured against;
 //! * a **trace** of every delivery attempt, which the benches and the
 //!   EXPERIMENTS harness read back.
 //!
@@ -41,10 +43,12 @@
 //! ```
 
 pub mod clock;
+pub mod faults;
 pub mod network;
 mod obs;
 pub mod trace;
 
 pub use clock::SimClock;
+pub use faults::{EndpointFaults, FaultPlan, Flap, Injected, Injection};
 pub use network::{EndpointOptions, Network, SoapHandler, TransportError};
 pub use trace::{DeliveryOutcome, TraceRecord};

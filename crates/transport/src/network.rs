@@ -1,6 +1,7 @@
 //! The endpoint registry and delivery engine.
 
 use crate::clock::SimClock;
+use crate::faults::{FaultPlan, Injection};
 use crate::obs::{NetObs, NetTimer};
 use crate::trace::{DeliveryOutcome, TraceRecord};
 use parking_lot::{Mutex, RwLock};
@@ -59,12 +60,6 @@ impl std::error::Error for TransportError {}
 struct Endpoint {
     handler: Arc<dyn SoapHandler>,
     options: EndpointOptions,
-}
-
-#[derive(Default)]
-struct FaultPlan {
-    /// URI → number of upcoming deliveries to drop.
-    drop_next: HashMap<String, u32>,
 }
 
 struct Inner {
@@ -159,7 +154,40 @@ impl Network {
 
     /// Drop the next `n` deliveries addressed to `uri`.
     pub fn drop_next(&self, uri: impl Into<String>, n: u32) {
-        self.0.faults.lock().drop_next.insert(uri.into(), n);
+        self.0.faults.lock().endpoint_mut(uri).drop_next = n;
+    }
+
+    /// Answer the next `n` deliveries to `uri` with an injected SOAP
+    /// fault — a *poison* response, as opposed to transient loss.
+    pub fn fault_next(&self, uri: impl Into<String>, n: u32) {
+        self.0.faults.lock().endpoint_mut(uri).fault_next = n;
+    }
+
+    /// Add `n` latency spikes of `ms` extra virtual milliseconds to the
+    /// upcoming deliveries addressed to `uri`.
+    pub fn latency_spike_next(&self, uri: impl Into<String>, ms: u64, n: usize) {
+        self.0
+            .faults
+            .lock()
+            .endpoint_mut(uri)
+            .latency_spikes_ms
+            .extend(std::iter::repeat_n(ms, n));
+    }
+
+    /// Make `uri` flap: unreachable for `down_ms` out of every
+    /// `period_ms` of virtual time.
+    pub fn set_flapping(&self, uri: impl Into<String>, period_ms: u64, down_ms: u64) {
+        self.0.faults.lock().endpoint_mut(uri).flap = Some(crate::faults::Flap {
+            period_ms,
+            down_ms,
+            phase_ms: 0,
+        });
+    }
+
+    /// Install a whole [`FaultPlan`], replacing any existing faults
+    /// (including pending `drop_next` budgets).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.0.faults.lock() = plan;
     }
 
     /// One-way send (fire-and-forget notification delivery).
@@ -182,7 +210,10 @@ impl Network {
         two_way: bool,
     ) -> Result<Option<Envelope>, TransportError> {
         let timer = self.0.obs.start();
-        let latency = *self.0.latency_ms.lock();
+        // Consult the fault plan before the hop: it decides this
+        // delivery's fate and any extra injected latency.
+        let injected = self.0.faults.lock().on_delivery(to, self.0.clock.now_ms());
+        let latency = *self.0.latency_ms.lock() + injected.extra_latency_ms;
         self.0.clock.advance_ms(latency);
         let delay = self.0.send_delay_us.load(Ordering::Relaxed);
         if delay > 0 {
@@ -191,19 +222,23 @@ impl Network {
         let label = label_of(&envelope);
         let bytes = envelope.to_xml().len();
 
-        // Injected loss?
-        {
-            let mut plan = self.0.faults.lock();
-            if let Some(n) = plan.drop_next.get_mut(to) {
-                if *n > 0 {
-                    *n -= 1;
-                    if *n == 0 {
-                        plan.drop_next.remove(to);
-                    }
-                    drop(plan);
-                    self.record(timer, to, &label, bytes, two_way, DeliveryOutcome::Dropped);
-                    return Err(TransportError::Dropped(to.to_string()));
-                }
+        match injected.action {
+            Injection::Deliver => {}
+            Injection::Drop => {
+                self.record(timer, to, &label, bytes, two_way, DeliveryOutcome::Dropped);
+                return Err(TransportError::Dropped(to.to_string()));
+            }
+            Injection::Fault => {
+                let fault = Fault::receiver("injected fault");
+                self.record(
+                    timer,
+                    to,
+                    &label,
+                    bytes,
+                    two_way,
+                    DeliveryOutcome::Faulted(fault.reason.clone()),
+                );
+                return Err(TransportError::Fault(Box::new(fault)));
             }
         }
 
@@ -295,6 +330,22 @@ impl Network {
     /// Clear the trace (benches do this between runs).
     pub fn clear_trace(&self) {
         self.0.trace.lock().clear();
+    }
+
+    /// The delivery trace as JSONL, one record per line.
+    ///
+    /// Every field is derived from the virtual clock and message
+    /// content — no wall-clock durations — so two runs of the same
+    /// seeded scenario produce byte-identical documents. The chaos CI
+    /// job diffs this export across back-to-back runs.
+    pub fn trace_jsonl(&self) -> String {
+        let trace = self.0.trace.lock();
+        let mut out = String::with_capacity(trace.len() * 96);
+        for r in trace.iter() {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
     }
 
     /// Send-path metrics registry (attempt/byte/outcome counters and

@@ -17,6 +17,20 @@ pub enum DeliveryOutcome {
     Faulted(String),
 }
 
+impl DeliveryOutcome {
+    /// A short machine-readable tag (`delivered`, `dropped`,
+    /// `no_endpoint`, `refused`, `faulted`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DeliveryOutcome::Delivered => "delivered",
+            DeliveryOutcome::Dropped => "dropped",
+            DeliveryOutcome::NoEndpoint => "no_endpoint",
+            DeliveryOutcome::Refused => "refused",
+            DeliveryOutcome::Faulted(_) => "faulted",
+        }
+    }
+}
+
 impl fmt::Display for DeliveryOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -51,9 +65,53 @@ pub struct TraceRecord {
     pub worker: String,
 }
 
+impl TraceRecord {
+    /// The record as one JSON object (no trailing newline).
+    ///
+    /// Every field is deterministic for a seeded scenario on the
+    /// virtual clock (no wall-clock values), which is what lets the
+    /// chaos CI job diff two runs' exports byte for byte.
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('"', "'");
+        let mut out = format!(
+            "{{\"time_ms\":{},\"to\":\"{}\",\"label\":\"{}\",\"bytes\":{},\"two_way\":{},\"outcome\":\"{}\"",
+            self.time_ms,
+            esc(&self.to),
+            esc(&self.label),
+            self.bytes,
+            self.two_way,
+            self.outcome.tag(),
+        );
+        if let DeliveryOutcome::Faulted(reason) = &self.outcome {
+            out.push_str(&format!(",\"reason\":\"{}\"", esc(reason)));
+        }
+        out.push_str(&format!(",\"worker\":\"{}\"}}", esc(&self.worker)));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_json_is_one_deterministic_object() {
+        let r = TraceRecord {
+            time_ms: 42,
+            to: "http://c".into(),
+            label: "urn:go".into(),
+            bytes: 100,
+            two_way: false,
+            outcome: DeliveryOutcome::Faulted("no \"thanks\"".into()),
+            worker: "main".into(),
+        };
+        let json = r.to_json();
+        assert_eq!(json, r.to_json());
+        assert!(json.starts_with("{\"time_ms\":42,"));
+        assert!(json.contains("\"outcome\":\"faulted\""));
+        assert!(json.contains("\"reason\":\"no 'thanks'\""));
+        assert!(json.ends_with("\"worker\":\"main\"}"));
+    }
 
     #[test]
     fn outcome_display() {
