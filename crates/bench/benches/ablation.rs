@@ -218,9 +218,15 @@ fn bench_ablation(c: &mut Criterion) {
             let cache = RenderCache::new(&event);
             let mut bytes = 0usize;
             for s in &subs {
-                bytes += render_notification_cached(&cache, s, &event, "http://broker", &manager)
-                    .to_xml()
-                    .len();
+                bytes += render_notification_cached(
+                    &cache,
+                    s,
+                    &event,
+                    "http://broker",
+                    "http://broker/subs",
+                )
+                .to_xml()
+                .len();
             }
             black_box(bytes)
         })

@@ -1,4 +1,5 @@
-//! X-B4a: codec cost per specification version.
+//! X-B4a: codec cost per specification version, plus the
+//! allocation-regression harness for the zero-allocation hot path.
 //!
 //! §V.4's six categories of format difference have a cost dimension:
 //! the four dialects produce envelopes of different sizes and shapes.
@@ -8,16 +9,44 @@
 //! Expectation: WSN messages cost more than WSE ones (the Notify
 //! wrapper and the Filter element add elements), and 1.3 costs slightly
 //! more than 1.0 (Filter wrapper, CurrentTime/TerminationTime).
+//!
+//! The machine-readable side (`BENCH_codec.json`) additionally reports
+//! **allocs/op and bytes/op** for the codec hot path — parse, render,
+//! serialize, and a 256-subscriber mediated broker publication —
+//! measured through a counting [`wsm_bench::CountingAlloc`] installed
+//! as this binary's global allocator. The mediated-publish figure is
+//! checked against [`MEDIATED_PUBLISH_ALLOC_BUDGET`]; exceeding it
+//! fails the bench (and therefore the CI smoke job), so allocation
+//! regressions on the fan-out path are caught at build time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
 use wsm_addressing::EndpointReference;
-use wsm_bench::make_event;
+use wsm_bench::{broker_with_subscribers, make_event, measure_allocs, AllocSample};
 use wsm_eventing::{Filter, SubscribeRequest, WseCodec, WseVersion};
 use wsm_notification::{NotificationMessage, WsnCodec, WsnFilter, WsnSubscribeRequest, WsnVersion};
 use wsm_soap::Envelope;
 
+#[global_allocator]
+static COUNTING: wsm_bench::CountingAlloc = wsm_bench::CountingAlloc;
+
+/// Allocation budget for one mediated publication fanning out to 256
+/// push subscribers (half WSE, half WSN), *including* the simulated
+/// consumers' parse work. Measured ~23.1k allocs/op after the
+/// interning/pooling work (the seed took ~61.8k); the budget leaves
+/// ~40% headroom for noise while still failing the build long before a
+/// per-subscriber deep clone or serialization sneaks back in.
+const MEDIATED_PUBLISH_ALLOC_BUDGET: f64 = 32_000.0;
+
 fn bench_codec(c: &mut Criterion) {
+    if wsm_bench::quick_mode() {
+        // CI smoke: skip the Criterion sweeps, still emit the
+        // machine-readable report and enforce the allocation budget.
+        write_machine_readable();
+        return;
+    }
     let mut group = c.benchmark_group("codec");
     group.sample_size(30);
     let consumer = EndpointReference::new("http://consumer/sink");
@@ -88,6 +117,110 @@ fn bench_codec(c: &mut Criterion) {
     });
 
     group.finish();
+    write_machine_readable();
+}
+
+/// One hot-path workload's measurements for `BENCH_codec.json`.
+struct CodecSample {
+    name: &'static str,
+    alloc: AllocSample,
+    ns_per_op: f64,
+}
+
+fn sample(name: &'static str, iters: u64, mut f: impl FnMut()) -> CodecSample {
+    let alloc = measure_allocs(iters, &mut f);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns_per_op = start.elapsed().as_nanos() as f64 / iters as f64;
+    CodecSample {
+        name,
+        alloc,
+        ns_per_op,
+    }
+}
+
+/// Emit `BENCH_codec.json`: allocs/op, bytes/op and ns/op for the
+/// codec hot path, and enforce the mediated-publish allocation budget.
+fn write_machine_readable() {
+    let iters: u64 = if wsm_bench::quick_mode() { 40 } else { 400 };
+    let consumer = EndpointReference::new("http://consumer/sink");
+    let payload = make_event(7);
+    let wse = WseCodec::new(WseVersion::Aug2004);
+    let wsn = WsnCodec::new(WsnVersion::V1_3);
+
+    let mut samples = Vec::new();
+
+    // Parse: wire bytes -> envelope tree (the WSN Notify shape, the
+    // richest of the four dialects).
+    let wsn_xml = wsn
+        .notify(
+            &consumer,
+            &[NotificationMessage {
+                topic: wsm_topics::TopicPath::parse("jobs/status"),
+                producer: Some(EndpointReference::new("http://broker")),
+                subscription: Some(consumer.clone()),
+                message: payload.clone(),
+            }],
+        )
+        .to_xml();
+    samples.push(sample("parse", iters, || {
+        black_box(Envelope::from_xml(&wsn_xml).unwrap());
+    }));
+
+    // Render: event element -> dialect envelope (build only).
+    samples.push(sample("render", iters, || {
+        black_box(wse.notification(&consumer, &payload));
+    }));
+
+    // Serialize: envelope -> wire bytes, through the pooled buffer.
+    let env = wse.notification(&consumer, &payload);
+    samples.push(sample("serialize", iters, || {
+        black_box(env.to_xml());
+    }));
+
+    // The headline figure: one mediated publication fanning out to 256
+    // subscribers through the broker pipeline (match, render, deliver).
+    let (_net, broker) = broker_with_subscribers(256, "jobs/status");
+    let mut seq = 0u64;
+    let mediated = sample("mediated_publish_256", iters.min(60), || {
+        seq += 1;
+        broker.publish_on("jobs/status", &make_event(seq));
+    });
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_codec.json");
+    let mut out = String::from("{\n  \"bench\": \"codec\",\n  \"alloc\": {\n");
+    for s in samples.iter().chain([&mediated]) {
+        out.push_str(&format!(
+            "    \"{}\": {{\"allocs_per_op\": {:.1}, \"bytes_per_op\": {:.1}, \"ns_per_op\": {:.0}}},\n",
+            s.name, s.alloc.allocs_per_op, s.alloc.bytes_per_op, s.ns_per_op
+        ));
+    }
+    out.truncate(out.len() - 2);
+    out.push_str(&format!(
+        "\n  }},\n  \"budgets\": {{\"mediated_publish_256_allocs_per_op\": {MEDIATED_PUBLISH_ALLOC_BUDGET:.1}}}\n}}\n"
+    ));
+    let mut file = std::fs::File::create(&path).expect("create BENCH_codec.json");
+    file.write_all(out.as_bytes())
+        .expect("write BENCH_codec.json");
+    println!("wrote {}", path.display());
+    for s in samples.iter().chain([&mediated]) {
+        println!(
+            "  {:<22} {:>9.1} allocs/op {:>11.1} bytes/op {:>9.0} ns/op",
+            s.name, s.alloc.allocs_per_op, s.alloc.bytes_per_op, s.ns_per_op
+        );
+    }
+
+    assert!(
+        mediated.alloc.allocs_per_op <= MEDIATED_PUBLISH_ALLOC_BUDGET,
+        "allocation budget exceeded: mediated publish to 256 subscribers took \
+         {:.1} allocs/op (budget {MEDIATED_PUBLISH_ALLOC_BUDGET:.1}) — a deep clone or \
+         per-subscriber serialization crept back into the fan-out path",
+        mediated.alloc.allocs_per_op,
+    );
 }
 
 criterion_group!(benches, bench_codec);

@@ -5,8 +5,10 @@
 //! table/figure regeneration binaries (`table1`, `table2`, `table3`,
 //! `figures`, `msgdiff`).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use wsm_eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
 use wsm_messenger::WsMessenger;
@@ -31,6 +33,83 @@ pub fn measure_window() -> Duration {
         Duration::from_millis(10)
     } else {
         Duration::from_millis(200)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allocation counting
+// ---------------------------------------------------------------------
+
+/// A counting wrapper around the system allocator, for the
+/// allocation-regression harness (`benches/codec.rs`).
+///
+/// Install it in a bench binary with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;` and
+/// read the counters through [`alloc_counters`] / [`measure_allocs`].
+/// Counters are global relaxed atomics, so allocations made on fan-out
+/// worker threads are counted too.
+pub struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter updates have
+// no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Cumulative `(allocations, bytes)` since process start. Only
+/// meaningful in binaries that installed [`CountingAlloc`]; elsewhere
+/// both stay zero.
+pub fn alloc_counters() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Per-operation allocation statistics from [`measure_allocs`].
+#[derive(Debug, Clone, Copy)]
+pub struct AllocSample {
+    /// Heap allocations per operation (allocs + reallocs).
+    pub allocs_per_op: f64,
+    /// Bytes newly requested per operation.
+    pub bytes_per_op: f64,
+}
+
+/// Measure a workload's allocation rate: warm up (filling buffer pools
+/// and interner tables, which are one-time costs by design), then run
+/// `iters` iterations and average the counter deltas.
+pub fn measure_allocs(iters: u64, f: &mut dyn FnMut()) -> AllocSample {
+    for _ in 0..8 {
+        f();
+    }
+    let (a0, b0) = alloc_counters();
+    for _ in 0..iters {
+        f();
+    }
+    let (a1, b1) = alloc_counters();
+    AllocSample {
+        allocs_per_op: (a1 - a0) as f64 / iters as f64,
+        bytes_per_op: (b1 - b0) as f64 / iters as f64,
     }
 }
 

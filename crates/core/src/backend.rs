@@ -74,7 +74,7 @@ impl JmsBackend {
     }
 
     fn encode(event: &InternalEvent) -> JmsMessage {
-        let mut m = JmsMessage::text(wsm_xml::to_string(&event.payload));
+        let mut m = JmsMessage::text(event.payload.xml().to_string());
         if let Some(t) = &event.topic {
             m = m.with_property("wsmTopic", t.to_string().as_str());
         }
@@ -109,7 +109,7 @@ impl JmsBackend {
         };
         Some(InternalEvent {
             topic,
-            payload,
+            payload: wsm_xml::SharedElement::new(payload),
             producer,
             origin,
         })
@@ -147,7 +147,7 @@ mod tests {
         b.publish(InternalEvent::on_topic("t", Element::local("b")));
         let got = b.drain();
         assert_eq!(got.len(), 2);
-        assert_eq!(got[0].payload.name.local, "a");
+        assert_eq!(got[0].payload_element().name.local, "a");
         assert_eq!(got[1].topic.as_ref().unwrap().to_string(), "t");
         assert!(b.drain().is_empty());
         assert_eq!(b.name(), "in-memory");
@@ -177,6 +177,6 @@ mod tests {
         let payload =
             wsm_xml::parse(r#"<e:alert xmlns:e="urn:wx" sev="4">h &amp; m</e:alert>"#).unwrap();
         b.publish(InternalEvent::raw(payload.clone()));
-        assert_eq!(b.drain()[0].payload, payload);
+        assert_eq!(b.drain()[0].payload_element(), &payload);
     }
 }

@@ -20,7 +20,7 @@ use wsm_notification::{Termination, WsnCodec, WsnFilter, WsnVersion};
 use wsm_soap::{Envelope, Fault};
 use wsm_topics::{TopicExpression, TopicSpace};
 use wsm_transport::{Network, SoapHandler};
-use wsm_xml::Element;
+use wsm_xml::{Element, SharedElement};
 
 /// Counters describing the broker's mediation activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -105,7 +105,7 @@ struct MessengerInner {
     registry: Registry,
     backend: Arc<dyn MessagingBackend>,
     topic_space: Mutex<TopicSpace>,
-    current: Mutex<HashMap<String, Element>>,
+    current: Mutex<HashMap<String, Arc<SharedElement>>>,
     properties: Mutex<Element>,
     stats: StatsCells,
     obs: BrokerObs,
@@ -459,8 +459,8 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
     for sub in subs {
         match sub.mode {
             BrokerDeliveryMode::Push => {
-                let epr = subscription_epr(inner, &sub.id, sub.spec);
-                let envelope = render_notification_cached(&cache, &sub, event, &inner.uri, &epr);
+                let envelope =
+                    render_notification_cached(&cache, &sub, event, &inner.uri, &inner.manager_uri);
                 let job = PushJob {
                     sub_id: sub.id,
                     address: sub.consumer.address,
@@ -616,15 +616,9 @@ fn subscription_epr(inner: &MessengerInner, id: &str, spec: SpecDialect) -> Endp
             Element::ns(v.ns(), "Identifier", "wse").with_text(id),
         ),
         SpecDialect::Wse(_) => epr,
-        SpecDialect::Wsn(v) => epr.with_reference(
-            v.wsa(),
-            Element::ns(
-                v.ns(),
-                wsm_notification::messages::SUBSCRIPTION_ID_LOCAL,
-                "wsnt",
-            )
-            .with_text(id),
-        ),
+        // Kept in lockstep with the cached render path, which patches
+        // the same EPR shape into its SubscriptionReference prototype.
+        SpecDialect::Wsn(v) => crate::render::wsn_subscription_epr(v, &inner.manager_uri, id),
     }
 }
 
@@ -832,7 +826,7 @@ impl SoapHandler for MessengerHandler {
                     for m in msgs {
                         let ev = InternalEvent {
                             topic: m.topic,
-                            payload: m.message,
+                            payload: SharedElement::new(m.message),
                             producer: m.producer,
                             origin: Some(SpecDialect::Wsn(v)),
                         };
@@ -978,7 +972,7 @@ fn get_current_message(
         .rev()
         .find_map(|t| current.get(&t.to_string()).cloned());
     match last {
-        Some(m) => Ok(codec.get_current_message_response(Some(&m))),
+        Some(m) => Ok(codec.get_current_message_response(Some(m.element()))),
         None => Err(Fault::sender("no current message on that topic")
             .with_subcode("wsnt:NoCurrentMessageOnTopicFault")),
     }
@@ -1043,7 +1037,7 @@ fn wse_manage(
             .and_then(|m| m.parse().ok())
             .unwrap_or(usize::MAX);
         let events = inner.registry.drain_queue(&id, max);
-        Ok(codec.pull_response(&events))
+        Ok(codec.pull_response_shared(&events))
     } else {
         Err(Fault::sender(format!(
             "unsupported operation {}",

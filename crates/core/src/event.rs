@@ -7,18 +7,26 @@
 //! re-encode cost is what bench X-B1 measures.
 
 use crate::detect::SpecDialect;
+use std::sync::Arc;
 use wsm_addressing::EndpointReference;
 use wsm_topics::TopicPath;
-use wsm_xml::Element;
+use wsm_xml::{Element, SharedElement};
 
 /// One publication, spec-neutral.
+///
+/// The payload is held as a shared, immutable subtree from the moment
+/// the event enters the broker: every downstream stage — render cache,
+/// pull queues, wrapped-delivery buffers, the current-message store —
+/// clones an `Arc`, never the tree, and the payload's compact
+/// serialization is computed at most once per publication no matter how
+/// many consumers it fans out to.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InternalEvent {
     /// The topic, when the inbound dialect carries one (WSN) or the
     /// publisher supplied one out-of-band.
     pub topic: Option<TopicPath>,
-    /// The payload element.
-    pub payload: Element,
+    /// The payload subtree, shared across the fan-out.
+    pub payload: Arc<SharedElement>,
     /// The original producer, when known (brokered WSN).
     pub producer: Option<EndpointReference>,
     /// The dialect the publication arrived in, when it arrived over
@@ -32,7 +40,7 @@ impl InternalEvent {
     pub fn raw(payload: Element) -> Self {
         InternalEvent {
             topic: None,
-            payload,
+            payload: SharedElement::new(payload),
             producer: None,
             origin: None,
         }
@@ -42,10 +50,15 @@ impl InternalEvent {
     pub fn on_topic(topic: &str, payload: Element) -> Self {
         InternalEvent {
             topic: TopicPath::parse(topic),
-            payload,
+            payload: SharedElement::new(payload),
             producer: None,
             origin: None,
         }
+    }
+
+    /// The payload as a plain element (filter evaluation, tests).
+    pub fn payload_element(&self) -> &Element {
+        self.payload.element()
     }
 
     /// Builder-style producer reference.
@@ -69,6 +82,7 @@ mod tests {
     fn constructors() {
         let e = InternalEvent::raw(Element::local("x"));
         assert!(e.topic.is_none());
+        assert_eq!(e.payload_element().name.local, "x");
         let e = InternalEvent::on_topic("a/b", Element::local("x"))
             .from_producer(EndpointReference::new("http://p"));
         assert_eq!(e.topic.unwrap().to_string(), "a/b");
@@ -79,5 +93,13 @@ mod tests {
     fn bad_topic_is_none() {
         let e = InternalEvent::on_topic("", Element::local("x"));
         assert!(e.topic.is_none());
+    }
+
+    #[test]
+    fn clone_shares_the_payload() {
+        let e = InternalEvent::raw(Element::local("x"));
+        let f = e.clone();
+        assert!(Arc::ptr_eq(&e.payload, &f.payload));
+        assert_eq!(e, f);
     }
 }

@@ -14,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use wsm_addressing::EndpointReference;
 use wsm_topics::TopicExpression;
-use wsm_xml::Element;
+use wsm_xml::{Element, SharedElement};
 use wsm_xpath::XPath;
 
 /// Unified compiled filters.
@@ -42,7 +42,12 @@ impl UnifiedFilters {
                 None => return false,
             }
         }
-        if !self.content.is_empty() && !self.content.iter().any(|x| x.matches(&event.payload)) {
+        if !self.content.is_empty()
+            && !self
+                .content
+                .iter()
+                .any(|x| x.matches(event.payload_element()))
+        {
             return false;
         }
         if !self.producer_props.is_empty() {
@@ -92,10 +97,11 @@ pub struct BrokerSubscription {
     pub paused: bool,
     /// Absolute expiry on the virtual clock.
     pub expires_at_ms: Option<u64>,
-    /// Queued events (pull mode).
-    pub queue: VecDeque<Element>,
-    /// Buffered events (wrapped mode).
-    pub wrap_buffer: Vec<Element>,
+    /// Queued events (pull mode), shared with the originating
+    /// publication — queueing is an `Arc` bump, not a tree clone.
+    pub queue: VecDeque<Arc<SharedElement>>,
+    /// Buffered events (wrapped mode), shared the same way.
+    pub wrap_buffer: Vec<Arc<SharedElement>>,
 }
 
 impl BrokerSubscription {
@@ -316,7 +322,7 @@ impl Registry {
     }
 
     /// Queue an event on a pull subscription.
-    pub fn queue_event(&self, id: &str, payload: Element) -> bool {
+    pub fn queue_event(&self, id: &str, payload: Arc<SharedElement>) -> bool {
         match self.inner.lock().subs.get_mut(id) {
             Some(s) => {
                 s.queue.push_back(payload);
@@ -327,7 +333,7 @@ impl Registry {
     }
 
     /// Drain up to `max` queued events.
-    pub fn drain_queue(&self, id: &str, max: usize) -> Vec<Element> {
+    pub fn drain_queue(&self, id: &str, max: usize) -> Vec<Arc<SharedElement>> {
         match self.inner.lock().subs.get_mut(id) {
             Some(s) => {
                 let n = max.min(s.queue.len());
@@ -338,7 +344,7 @@ impl Registry {
     }
 
     /// Buffer an event for wrapped delivery.
-    pub fn buffer_wrapped(&self, id: &str, payload: Element) -> bool {
+    pub fn buffer_wrapped(&self, id: &str, payload: Arc<SharedElement>) -> bool {
         match self.inner.lock().subs.get_mut(id) {
             Some(s) => {
                 s.wrap_buffer.push(payload);
@@ -349,7 +355,7 @@ impl Registry {
     }
 
     /// Take all wrapped buffers.
-    pub fn take_wrap_buffers(&self) -> Vec<(String, Vec<Element>)> {
+    pub fn take_wrap_buffers(&self) -> Vec<(String, Vec<Arc<SharedElement>>)> {
         self.inner
             .lock()
             .subs
@@ -544,11 +550,11 @@ mod tests {
             false,
             None,
         );
-        r.queue_event(&id, Element::local("a"));
-        r.queue_event(&id, Element::local("b"));
+        r.queue_event(&id, SharedElement::new(Element::local("a")));
+        r.queue_event(&id, SharedElement::new(Element::local("b")));
         assert_eq!(r.drain_queue(&id, 1).len(), 1);
         assert_eq!(r.drain_queue(&id, 10).len(), 1);
-        r.buffer_wrapped(&id, Element::local("c"));
+        r.buffer_wrapped(&id, SharedElement::new(Element::local("c")));
         let buffers = r.take_wrap_buffers();
         assert_eq!(buffers.len(), 1);
         assert_eq!(buffers[0].1.len(), 1);

@@ -15,7 +15,7 @@ use wsm_addressing::EndpointReference;
 use wsm_eventing::WseCodec;
 use wsm_notification::{NotificationMessage, SharedNotificationMessage, WsnCodec};
 use wsm_soap::Envelope;
-use wsm_xml::{Element, SharedElement};
+use wsm_xml::{Element, Node, SharedElement};
 
 /// Namespace for broker-defined header extensions (the topic header on
 /// WS-Eventing deliveries — §V.4(6): WSE "needs to place it in the SOAP
@@ -31,11 +31,13 @@ pub const WSM_NS: &str = "urn:ws-messenger:broker";
 ///   compact serialization is computed once and spliced into every
 ///   outgoing envelope, so a publication serializes its payload once
 ///   instead of once per subscriber.
-/// * **Class templates** — the fragments a dialect adds around the
-///   payload that do not depend on the individual subscriber (the WSE
-///   topic header; the WSN `NotificationMessage` topic and producer
-///   references) — are built once per `(spec version, raw-mode)`
-///   equivalence class and cloned per subscriber.
+/// * **Prototype envelopes** — a complete envelope is built once per
+///   `(spec version, raw-mode)` equivalence class, addressed to a
+///   placeholder consumer. Per subscriber the prototype is cloned
+///   (interned names make that Arc bumps, not string copies) and only
+///   the subscriber-dependent parts are patched in: the `wsa:To` text,
+///   the consumer EPR's echoed reference data, and — for wrapped WSN —
+///   the `SubscriptionReference` inside the `NotificationMessage`.
 ///
 /// The cache is `Sync`, so the parallel fan-out workers can render
 /// against it concurrently.
@@ -44,22 +46,34 @@ pub struct RenderCache {
     classes: Mutex<HashMap<(SpecDialect, bool), ClassTemplate>>,
 }
 
+/// One equivalence class's prebuilt envelope plus the patch points.
 #[derive(Clone)]
-enum ClassTemplate {
-    /// WSE raw delivery: shared body plus an optional topic header.
-    Wse { topic_header: Option<Element> },
-    /// WSN `UseRaw` delivery: shared body, nothing else.
-    WsnRaw,
-    /// WSN wrapped delivery: the `NotificationMessage` minus its
-    /// per-subscriber `SubscriptionReference`.
-    WsnNotify { message: SharedNotificationMessage },
+struct ClassTemplate {
+    /// The full envelope, addressed to an empty placeholder consumer
+    /// (blank `wsa:To`, no echoed reference data, and for wrapped WSN
+    /// no `SubscriptionReference`).
+    proto: Envelope,
+    /// Header index where a consumer's echoed reference data belongs:
+    /// after the MAPs (`To`, `Action`), before extension headers such
+    /// as the WSE topic header.
+    echo_at: usize,
+    /// Wrapped WSN only: prototype `SubscriptionReference` addressing
+    /// the subscription manager, its identifier element still empty.
+    /// Per subscriber it is cloned, the id text patched in, and the
+    /// result spliced into the `NotificationMessage` — replacing a
+    /// per-subscriber EPR construction and serialization.
+    sub_ref: Option<Element>,
 }
 
 impl RenderCache {
     /// A cache for one publication of `event`.
+    ///
+    /// O(1): the event already carries its payload as a shared subtree,
+    /// so the cache takes a reference instead of deep-cloning the tree
+    /// (which made cache construction O(payload size) in the seed).
     pub fn new(event: &InternalEvent) -> Self {
         RenderCache {
-            payload: SharedElement::new(event.payload.clone()),
+            payload: Arc::clone(&event.payload),
             classes: Mutex::new(HashMap::new()),
         }
     }
@@ -78,66 +92,154 @@ impl RenderCache {
         &self,
         event: &InternalEvent,
         broker_uri: &str,
+        manager_uri: &str,
         spec: SpecDialect,
         use_raw: bool,
     ) -> ClassTemplate {
         self.classes
             .lock()
             .entry((spec, use_raw))
-            .or_insert_with(|| match spec {
-                SpecDialect::Wse(_) => ClassTemplate::Wse {
-                    topic_header: event
-                        .topic
-                        .as_ref()
-                        .map(|t| Element::ns(WSM_NS, "Topic", "wsm").with_text(t.to_string())),
-                },
-                SpecDialect::Wsn(_) if use_raw => ClassTemplate::WsnRaw,
-                SpecDialect::Wsn(_) => ClassTemplate::WsnNotify {
-                    message: SharedNotificationMessage {
-                        topic: event.topic.clone(),
-                        producer: event
-                            .producer
-                            .clone()
-                            .or_else(|| Some(EndpointReference::new(broker_uri.to_string()))),
-                        subscription: None,
-                        message: Arc::clone(&self.payload),
-                    },
-                },
+            .or_insert_with(|| {
+                let placeholder = EndpointReference::new("");
+                match spec {
+                    SpecDialect::Wse(v) => {
+                        let mut proto =
+                            WseCodec::new(v).notification_shared(&placeholder, &self.payload);
+                        let echo_at = proto.headers().len();
+                        if let Some(t) = &event.topic {
+                            proto.add_header(
+                                Element::ns(WSM_NS, "Topic", "wsm").with_text(t.to_string()),
+                            );
+                        }
+                        ClassTemplate {
+                            proto,
+                            echo_at,
+                            sub_ref: None,
+                        }
+                    }
+                    SpecDialect::Wsn(v) if use_raw => {
+                        let proto =
+                            WsnCodec::new(v).raw_notification_shared(&placeholder, &self.payload);
+                        let echo_at = proto.headers().len();
+                        ClassTemplate {
+                            proto,
+                            echo_at,
+                            sub_ref: None,
+                        }
+                    }
+                    SpecDialect::Wsn(v) => {
+                        let message = SharedNotificationMessage {
+                            topic: event.topic.clone(),
+                            producer: event
+                                .producer
+                                .clone()
+                                .or_else(|| Some(EndpointReference::new(broker_uri.to_string()))),
+                            subscription: None,
+                            message: Arc::clone(&self.payload),
+                        };
+                        let proto = WsnCodec::new(v).notify_shared(&placeholder, &[message]);
+                        let echo_at = proto.headers().len();
+                        ClassTemplate {
+                            proto,
+                            echo_at,
+                            sub_ref: Some(subscription_reference_proto(v, manager_uri)),
+                        }
+                    }
+                }
             })
             .clone()
     }
 }
 
+/// The subscription-manager EPR the broker mints for subscription `id`
+/// under a WSN dialect: the manager address plus the dialect's
+/// subscription-identifier element in the WSA-version-appropriate
+/// reference container.
+pub fn wsn_subscription_epr(
+    v: wsm_notification::WsnVersion,
+    manager_uri: &str,
+    id: &str,
+) -> EndpointReference {
+    EndpointReference::new(manager_uri.to_string()).with_reference(
+        v.wsa(),
+        Element::ns(
+            v.ns(),
+            wsm_notification::messages::SUBSCRIPTION_ID_LOCAL,
+            "wsnt",
+        )
+        .with_text(id),
+    )
+}
+
+/// The `SubscriptionReference` prototype for a class: identical to
+/// [`WsnCodec::subscription_reference`] over [`wsn_subscription_epr`],
+/// except the identifier element is still empty. Shape is fixed —
+/// `[Address, <reference container>[identifier]]` — so the per-sub
+/// patch can address the id slot by position.
+fn subscription_reference_proto(v: wsm_notification::WsnVersion, manager_uri: &str) -> Element {
+    let manager = EndpointReference::new(manager_uri.to_string()).with_reference(
+        v.wsa(),
+        Element::ns(
+            v.ns(),
+            wsm_notification::messages::SUBSCRIPTION_ID_LOCAL,
+            "wsnt",
+        ),
+    );
+    WsnCodec::new(v).subscription_reference(&manager)
+}
+
 /// Render one event for one subscription through the per-publication
-/// cache. Produces envelopes byte-identical to [`render_notification`].
+/// cache. Produces envelopes byte-identical to [`render_notification`]
+/// over the subscription-manager EPR the broker mints (see
+/// [`wsn_subscription_epr`]).
+///
+/// Per subscriber this clones the class prototype and patches the three
+/// subscriber-dependent spots — the `wsa:To` text, the consumer's
+/// echoed reference data, and (wrapped WSN) the subscription id inside
+/// the prototype `SubscriptionReference` — instead of rebuilding the
+/// tree, so the per-subscriber cost no longer scales with envelope
+/// size.
 pub fn render_notification_cached(
     cache: &RenderCache,
     sub: &BrokerSubscription,
     event: &InternalEvent,
     broker_uri: &str,
-    subscription_epr: &EndpointReference,
+    manager_uri: &str,
 ) -> Envelope {
-    match (
-        sub.spec,
-        cache.template(event, broker_uri, sub.spec, sub.use_raw),
-    ) {
-        (SpecDialect::Wse(v), ClassTemplate::Wse { topic_header }) => {
-            let mut env = WseCodec::new(v).notification_shared(&sub.consumer, cache.payload());
-            if let Some(h) = topic_header {
-                env.add_header(h);
-            }
-            env
-        }
-        (SpecDialect::Wsn(v), ClassTemplate::WsnRaw) => {
-            WsnCodec::new(v).raw_notification_shared(&sub.consumer, cache.payload())
-        }
-        (SpecDialect::Wsn(v), ClassTemplate::WsnNotify { mut message }) => {
-            message.subscription = Some(subscription_epr.clone());
-            WsnCodec::new(v).notify_shared(&sub.consumer, &[message])
-        }
-        // A template is only ever built for its own dialect's key.
-        _ => unreachable!("class template matches its dialect"),
+    let t = cache.template(event, broker_uri, manager_uri, sub.spec, sub.use_raw);
+    let mut env = t.proto;
+    // Patch wsa:To — always the first header the MAPs applied.
+    if let Some(to) = env.header_at_mut(0) {
+        to.children.clear();
+        to.push_text(sub.consumer.address.clone());
     }
+    // Echo the consumer EPR's reference data after the MAPs, before any
+    // extension headers (the WSE topic header), as the plain path does.
+    for (at, item) in (t.echo_at..).zip(sub.consumer.all_reference_data()) {
+        env.insert_header(at, item.clone());
+    }
+    if let Some(proto) = t.sub_ref {
+        let mut sub_ref = proto;
+        // Proto shape is [Address, <container>[identifier]]; write this
+        // subscription's id into the identifier slot.
+        if let Some(id_el) = sub_ref
+            .children
+            .get_mut(1)
+            .and_then(Node::as_element_mut)
+            .and_then(|c| c.children.get_mut(0).and_then(Node::as_element_mut))
+        {
+            id_el.push_text(sub.id.clone());
+        }
+        // Notify > NotificationMessage: the reference is its first
+        // child, exactly where `notify_envelope` places it.
+        if let Some(nm) = env
+            .body_first_mut()
+            .and_then(|b| b.children.iter_mut().find_map(Node::as_element_mut))
+        {
+            nm.children.insert(0, Node::Element(sub_ref));
+        }
+    }
+    env
 }
 
 /// Render one event for one subscription.
@@ -150,7 +252,7 @@ pub fn render_notification(
     match sub.spec {
         SpecDialect::Wse(v) => {
             let codec = WseCodec::new(v);
-            let mut env = codec.notification(&sub.consumer, &event.payload);
+            let mut env = codec.notification(&sub.consumer, event.payload_element());
             // Topic rides in a SOAP header for WSE consumers.
             if let Some(t) = &event.topic {
                 env.add_header(Element::ns(WSM_NS, "Topic", "wsm").with_text(t.to_string()));
@@ -160,7 +262,7 @@ pub fn render_notification(
         SpecDialect::Wsn(v) => {
             let codec = WsnCodec::new(v);
             if sub.use_raw {
-                codec.raw_notification(&sub.consumer, &event.payload)
+                codec.raw_notification(&sub.consumer, event.payload_element())
             } else {
                 let msg = NotificationMessage {
                     topic: event.topic.clone(),
@@ -169,7 +271,7 @@ pub fn render_notification(
                         .clone()
                         .or_else(|| Some(EndpointReference::new(broker_uri.to_string()))),
                     subscription: Some(subscription_epr.clone()),
-                    message: event.payload.clone(),
+                    message: event.payload_element().clone(),
                 };
                 codec.notify(&sub.consumer, &[msg])
             }
@@ -177,27 +279,31 @@ pub fn render_notification(
     }
 }
 
-/// Render a wrapped batch for one subscription.
+/// Render a wrapped batch for one subscription. Payloads arrive as the
+/// shared subtrees the wrap buffer accumulated, so each one splices its
+/// cached serialization into the batch envelope.
 pub fn render_batch(
     sub: &BrokerSubscription,
-    payloads: &[Element],
+    payloads: &[Arc<SharedElement>],
     broker_uri: &str,
     subscription_epr: &EndpointReference,
 ) -> Envelope {
     match sub.spec {
-        SpecDialect::Wse(v) => WseCodec::new(v).wrapped_notification(&sub.consumer, payloads),
+        SpecDialect::Wse(v) => {
+            WseCodec::new(v).wrapped_notification_shared(&sub.consumer, payloads)
+        }
         SpecDialect::Wsn(v) => {
             let codec = WsnCodec::new(v);
-            let msgs: Vec<NotificationMessage> = payloads
+            let msgs: Vec<SharedNotificationMessage> = payloads
                 .iter()
-                .map(|p| NotificationMessage {
+                .map(|p| SharedNotificationMessage {
                     topic: None,
                     producer: Some(EndpointReference::new(broker_uri.to_string())),
                     subscription: Some(subscription_epr.clone()),
-                    message: p.clone(),
+                    message: Arc::clone(p),
                 })
                 .collect();
-            codec.notify(&sub.consumer, &msgs)
+            codec.notify_shared(&sub.consumer, &msgs)
         }
     }
 }
@@ -274,7 +380,10 @@ mod tests {
 
     #[test]
     fn batches_per_dialect() {
-        let payloads = vec![Element::local("a"), Element::local("b")];
+        let payloads = vec![
+            SharedElement::new(Element::local("a")),
+            SharedElement::new(Element::local("b")),
+        ];
         let wse = render_batch(
             &sub(SpecDialect::Wse(WseVersion::Aug2004), false),
             &payloads,
@@ -308,14 +417,53 @@ mod tests {
         let classes = shapes.len();
         for (spec, raw) in shapes {
             let s = sub(spec, raw);
-            let plain = render_notification(&s, &event, "http://b", &mgr());
-            let cached = render_notification_cached(&cache, &s, &event, "http://b", &mgr());
+            // The plain path receives the same subscription-manager EPR
+            // the cached path mints from (manager_uri, sub.id).
+            let epr = match spec {
+                SpecDialect::Wsn(v) => wsn_subscription_epr(v, "http://b/subscriptions", &s.id),
+                SpecDialect::Wse(_) => mgr(),
+            };
+            let plain = render_notification(&s, &event, "http://b", &epr);
+            let cached = render_notification_cached(
+                &cache,
+                &s,
+                &event,
+                "http://b",
+                "http://b/subscriptions",
+            );
             assert_eq!(cached.to_xml(), plain.to_xml(), "{spec:?} raw={raw}");
             // A second subscriber of the same class reuses the template.
-            let again = render_notification_cached(&cache, &s, &event, "http://b", &mgr());
+            let again = render_notification_cached(
+                &cache,
+                &s,
+                &event,
+                "http://b",
+                "http://b/subscriptions",
+            );
             assert_eq!(again.to_xml(), plain.to_xml());
         }
         assert_eq!(cache.class_count(), classes);
+    }
+
+    #[test]
+    fn cached_render_patches_distinct_subscription_ids() {
+        let event = ev();
+        let cache = RenderCache::new(&event);
+        for id in ["wsm-1", "wsm-2"] {
+            let mut s = sub(SpecDialect::Wsn(WsnVersion::V1_3), false);
+            s.id = id.into();
+            let env = render_notification_cached(&cache, &s, &event, "http://b", "http://b/subs");
+            let parsed = WsnCodec::new(WsnVersion::V1_3).parse_notify(&env).unwrap();
+            let epr = parsed[0].subscription.as_ref().unwrap();
+            assert_eq!(epr.address, "http://b/subs");
+            let item = epr
+                .reference_item(
+                    WsnVersion::V1_3.ns(),
+                    wsm_notification::messages::SUBSCRIPTION_ID_LOCAL,
+                )
+                .expect("identifier patched in");
+            assert_eq!(item.text(), id);
+        }
     }
 
     #[test]

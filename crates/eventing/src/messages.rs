@@ -341,6 +341,29 @@ impl WseCodec {
         env
     }
 
+    /// Build a `PullResponse` over shared event subtrees: each queued
+    /// event splices its cached serialization instead of deep-cloning
+    /// into the wrapper. Byte-identical to [`WseCodec::pull_response`]
+    /// over the same elements.
+    pub fn pull_response_shared(
+        &self,
+        events: &[std::sync::Arc<wsm_xml::SharedElement>],
+    ) -> Envelope {
+        let mut body = self.el("PullResponse");
+        for e in events {
+            body.push_shared(std::sync::Arc::clone(e));
+        }
+        let mut env = self.envelope().with_body(body);
+        self.apply_maps(
+            &mut env,
+            MessageHeaders {
+                action: Some(self.version.action("PullResponse")),
+                ..Default::default()
+            },
+        );
+        env
+    }
+
     /// Parse the events out of a `PullResponse`.
     pub fn parse_pull_response(&self, env: &Envelope) -> Vec<Element> {
         env.body()
@@ -389,6 +412,27 @@ impl WseCodec {
         let mut wrapper = self.el("Notifications");
         for e in events {
             wrapper.push(e.clone());
+        }
+        let mut env = self.envelope().with_body(wrapper);
+        self.apply_maps(
+            &mut env,
+            MessageHeaders::to_epr(to, self.version.delivery_mode_uri("Wrap")),
+        );
+        env
+    }
+
+    /// A wrapped notification batch over shared event subtrees — the
+    /// batched counterpart of [`WseCodec::notification_shared`].
+    /// Byte-identical to [`WseCodec::wrapped_notification`] over the
+    /// same elements.
+    pub fn wrapped_notification_shared(
+        &self,
+        to: &EndpointReference,
+        events: &[std::sync::Arc<wsm_xml::SharedElement>],
+    ) -> Envelope {
+        let mut wrapper = self.el("Notifications");
+        for e in events {
+            wrapper.push_shared(std::sync::Arc::clone(e));
         }
         let mut env = self.envelope().with_body(wrapper);
         self.apply_maps(

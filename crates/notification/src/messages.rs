@@ -66,6 +66,14 @@ impl WsnCodec {
         Element::ns(self.version.ns(), local, "wsnt")
     }
 
+    /// The `wsnt:SubscriptionReference` element for `epr`, exactly as a
+    /// `NotificationMessage` built by [`WsnCodec::notify`] embeds it.
+    /// Lets a renderer splice the one per-subscriber child into a cached
+    /// prototype envelope instead of rebuilding the whole message.
+    pub fn subscription_reference(&self, epr: &EndpointReference) -> Element {
+        epr.to_named_element(self.version.wsa(), self.el("SubscriptionReference"))
+    }
+
     fn br_el(&self, local: &str) -> Element {
         Element::ns(self.version.brokered_ns(), local, "wsn-br")
     }

@@ -139,7 +139,7 @@ fn pause_resume_both_versions() {
         let got: Vec<String> = consumer
             .notifications()
             .iter()
-            .map(|m| m.message.name.local.clone())
+            .map(|m| m.message.name.local.to_string())
             .collect();
         assert_eq!(got, vec!["m1", "m3"], "{v:?}: paused window missed m2");
     }

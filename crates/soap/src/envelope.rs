@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::sync::Arc;
-use wsm_xml::{parse, to_string, Element, Node, QName, SharedElement, XmlError};
+use wsm_xml::{parse, Element, Node, QName, SharedElement, XmlError};
 
 /// SOAP 1.1 envelope namespace.
 pub const SOAP11_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
@@ -129,6 +129,33 @@ impl Envelope {
         self
     }
 
+    /// Insert a header block at `index`, shifting later headers right.
+    ///
+    /// WS-Addressing binding rules make header *order* observable (To,
+    /// Action, then echoed reference data, then extensions), so callers
+    /// patching a cloned prototype envelope need positional insertion
+    /// rather than [`Envelope::add_header`]'s append.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > self.headers().len()`.
+    pub fn insert_header(&mut self, index: usize, header: Element) {
+        self.headers.insert(index, header);
+    }
+
+    /// Mutable access to the header block at `index`, if any.
+    pub fn header_at_mut(&mut self, index: usize) -> Option<&mut Element> {
+        self.headers.get_mut(index)
+    }
+
+    /// Mutable access to the first body element (the usual case).
+    pub fn body_first_mut(&mut self) -> Option<&mut Element> {
+        self.body.iter_mut().find_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
     /// Replace the body content with a single element.
     pub fn set_body(&mut self, body: Element) {
         self.body = vec![Node::Element(body)];
@@ -176,7 +203,7 @@ impl Envelope {
     pub fn must_understand(&self, mut header: Element) -> Element {
         header.attrs.push(wsm_xml::tree::Attribute {
             name: QName::ns(self.version.ns(), "mustUnderstand"),
-            prefix_hint: Some(self.version.prefix().to_string()),
+            prefix_hint: Some(wsm_xml::intern(self.version.prefix())),
             value: self.version.must_understand_true().to_string(),
         });
         header
@@ -204,7 +231,40 @@ impl Envelope {
 
     /// Serialize to compact XML text.
     pub fn to_xml(&self) -> String {
-        to_string(&self.to_element())
+        let mut out = String::with_capacity(self.xml_size_hint());
+        self.write_xml_into(&mut out);
+        out
+    }
+
+    /// Serialize compactly by appending to an existing buffer — the
+    /// allocation-lean path the fan-out workers use with a pooled
+    /// buffer from [`wsm_xml::with_buffer`].
+    pub fn write_xml_into(&self, out: &mut String) {
+        wsm_xml::write_into(&self.to_element(), out, wsm_xml::WriteOptions::default());
+    }
+
+    /// Estimated serialized size, used to right-size output buffers on
+    /// first use. Shared body subtrees report their exact cached length;
+    /// headers and plain bodies are estimated.
+    pub fn xml_size_hint(&self) -> usize {
+        let mut hint = 192 + self.headers.len() * 128;
+        for b in &self.body {
+            hint += match b {
+                Node::Shared(s) => s.serialized_len(),
+                _ => 256,
+            };
+        }
+        hint
+    }
+
+    /// Byte length of the compact serialization, computed in a pooled
+    /// buffer so callers that only need the size (delivery accounting,
+    /// content-length headers) allocate nothing in steady state.
+    pub fn xml_len(&self) -> usize {
+        wsm_xml::with_buffer(self.xml_size_hint(), |buf| {
+            self.write_xml_into(buf);
+            buf.len()
+        })
     }
 
     /// Parse an envelope from XML text, detecting the SOAP version from

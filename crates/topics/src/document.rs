@@ -55,7 +55,7 @@ fn walk(el: &Element, mut prefix: Vec<String>, space: &mut TopicSpace) {
         .attr_ns(TOPIC_SET_NS, "topic")
         .map(|v| v == "true")
         .unwrap_or(true);
-    prefix.push(el.name.local.clone());
+    prefix.push(el.name.local.to_string());
     if marked {
         space.add(&TopicPath {
             namespace: space.namespace.clone(),

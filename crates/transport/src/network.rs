@@ -220,7 +220,9 @@ impl Network {
             std::thread::sleep(Duration::from_micros(delay));
         }
         let label = label_of(&envelope);
-        let bytes = envelope.to_xml().len();
+        // Size accounting only needs the length; a pooled buffer keeps
+        // this off the allocator on every send.
+        let bytes = envelope.xml_len();
 
         match injected.action {
             Injection::Deliver => {}
@@ -385,7 +387,7 @@ fn label_of(env: &Envelope) -> String {
         }
     }
     env.body()
-        .map(|b| b.name.local.clone())
+        .map(|b| b.name.local.to_string())
         .unwrap_or_else(|| "(empty)".to_string())
 }
 

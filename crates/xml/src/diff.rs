@@ -126,16 +126,16 @@ fn diff_elements(l: &Element, r: &Element, parent_path: String, out: &mut Vec<Di
         out.push(DiffEntry {
             path: path.clone(),
             kind: DiffKind::LocalName {
-                left: l.name.local.clone(),
-                right: r.name.local.clone(),
+                left: l.name.local.to_string(),
+                right: r.name.local.to_string(),
             },
         });
     } else if l.name.ns != r.name.ns {
         out.push(DiffEntry {
             path: path.clone(),
             kind: DiffKind::Namespace {
-                left: l.name.ns.clone(),
-                right: r.name.ns.clone(),
+                left: l.name.ns.as_deref().map(str::to_string),
+                right: r.name.ns.as_deref().map(str::to_string),
             },
         });
     }

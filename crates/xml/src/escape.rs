@@ -1,14 +1,46 @@
 //! Escaping and entity expansion.
+//!
+//! All three entry points are `Cow`-based: the overwhelming majority of
+//! SOAP text — action URIs, identifiers, timestamps, payload values —
+//! contains no markup-significant bytes, and for those a byte scan
+//! proves it and the input is returned borrowed. Only text that
+//! actually contains an escapable byte (or an entity, on the way in)
+//! pays for a fresh `String`.
 
 use crate::error::{ErrorKind, XmlError, XmlResult};
+use std::borrow::Cow;
+
+/// Position of the first byte of `text` that [`escape_text`] would
+/// rewrite, or `None` when the text can be emitted verbatim.
+#[inline]
+fn first_text_escape(text: &str) -> Option<usize> {
+    text.as_bytes()
+        .iter()
+        .position(|&b| matches!(b, b'<' | b'>' | b'&'))
+}
+
+/// Position of the first byte of `value` that [`escape_attr`] would
+/// rewrite, or `None` when the value can be emitted verbatim.
+#[inline]
+fn first_attr_escape(value: &str) -> Option<usize> {
+    value
+        .as_bytes()
+        .iter()
+        .position(|&b| matches!(b, b'<' | b'>' | b'&' | b'"' | b'\n' | b'\t' | b'\r'))
+}
 
 /// Escape `text` for use as element character data.
 ///
 /// `<`, `&` and `>` are escaped (`>` strictly only needs escaping in
 /// `]]>` but escaping it everywhere is harmless and common practice).
-pub fn escape_text(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
+/// Returns `Cow::Borrowed` when nothing needs escaping.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    let Some(first) = first_text_escape(text) else {
+        return Cow::Borrowed(text);
+    };
+    let mut out = String::with_capacity(text.len() + 8);
+    out.push_str(&text[..first]);
+    for c in text[first..].chars() {
         match c {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
@@ -16,13 +48,19 @@ pub fn escape_text(text: &str) -> String {
             _ => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 /// Escape `value` for use inside a double-quoted attribute value.
-pub fn escape_attr(value: &str) -> String {
-    let mut out = String::with_capacity(value.len());
-    for c in value.chars() {
+///
+/// Returns `Cow::Borrowed` when nothing needs escaping.
+pub fn escape_attr(value: &str) -> Cow<'_, str> {
+    let Some(first) = first_attr_escape(value) else {
+        return Cow::Borrowed(value);
+    };
+    let mut out = String::with_capacity(value.len() + 8);
+    out.push_str(&value[..first]);
+    for c in value[first..].chars() {
         match c {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
@@ -34,21 +72,22 @@ pub fn escape_attr(value: &str) -> String {
             _ => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 /// Expand the five predefined entities and numeric character references
 /// in `raw`, which must not contain markup.
 ///
 /// `base` is the byte offset of `raw` in the overall input, used for
-/// error positions.
-pub fn unescape(raw: &str, base: usize) -> XmlResult<String> {
-    if !raw.contains('&') {
-        return Ok(raw.to_string());
-    }
+/// error positions. Input without a `&` comes back borrowed.
+pub fn unescape(raw: &str, base: usize) -> XmlResult<Cow<'_, str>> {
+    let Some(first) = raw.as_bytes().iter().position(|&b| b == b'&') else {
+        return Ok(Cow::Borrowed(raw));
+    };
     let mut out = String::with_capacity(raw.len());
+    out.push_str(&raw[..first]);
     let bytes = raw.as_bytes();
-    let mut i = 0;
+    let mut i = first;
     while i < bytes.len() {
         if bytes[i] != b'&' {
             // Advance over one UTF-8 scalar.
@@ -101,7 +140,7 @@ pub fn unescape(raw: &str, base: usize) -> XmlResult<String> {
         }
         i += semi + 1;
     }
-    Ok(out)
+    Ok(Cow::Owned(out))
 }
 
 fn utf8_len(first: u8) -> usize {
@@ -123,6 +162,31 @@ mod tests {
         let esc = escape_text(raw);
         assert_eq!(esc, "a &lt; b &amp;&amp; c &gt; d");
         assert_eq!(unescape(&esc, 0).unwrap(), raw);
+    }
+
+    #[test]
+    fn clean_text_borrows() {
+        assert!(matches!(escape_text("urn:op/NotifyTo"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("true"), Cow::Borrowed(_)));
+        assert!(matches!(
+            unescape("plain text", 0).unwrap(),
+            Cow::Borrowed(_)
+        ));
+        // Multibyte content without escapables also borrows.
+        assert!(matches!(escape_text("héllo — 世界"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn dirty_text_owns() {
+        assert!(matches!(escape_text("a<b"), Cow::Owned(_)));
+        assert!(matches!(escape_attr("a\"b"), Cow::Owned(_)));
+        assert!(matches!(unescape("&amp;", 0).unwrap(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn escapable_late_in_string_still_escapes() {
+        assert_eq!(escape_text("aaaaaaaa<"), "aaaaaaaa&lt;");
+        assert_eq!(escape_attr("aaaaaaaa\n"), "aaaaaaaa&#10;");
     }
 
     #[test]

@@ -29,15 +29,19 @@
 pub mod diff;
 pub mod error;
 pub mod escape;
+pub mod intern;
 pub mod name;
 pub mod parser;
+pub mod pool;
 pub mod tree;
 pub mod writer;
 pub mod xsd;
 
 pub use diff::{diff, DiffEntry, DiffKind};
 pub use error::{XmlError, XmlResult};
+pub use intern::{intern, interned_count, Interned};
 pub use name::QName;
 pub use parser::parse;
+pub use pool::with_buffer;
 pub use tree::{shared_serialization_count, Element, Node, SharedElement};
-pub use writer::{to_pretty_string, to_string, WriteOptions};
+pub use writer::{to_pretty_string, to_string, write_into, WriteOptions};

@@ -1,5 +1,6 @@
 //! Qualified names.
 
+use crate::intern::{intern, Interned};
 use std::fmt;
 
 /// The namespace URI reserved for the `xml` prefix.
@@ -15,28 +16,35 @@ pub const XMLNS_NS: &str = "http://www.w3.org/2000/xmlns/";
 /// equivalence the WS-* specs rely on, and what the paper's
 /// message-format experiment (§V.4 category 2, "namespaces difference")
 /// measures against.
+///
+/// Both parts are [`Interned`]: the well-known SOAP/WSA/WSE/WSN names
+/// that appear on every message are allocated once per process, and
+/// name equality is a pointer comparison instead of two string
+/// comparisons. Construction from `&str` stays cheap (an interner
+/// read-lock hit) and the parts still deref to `str`, so call sites
+/// read exactly as they did when these were `String`s.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QName {
     /// Namespace URI, or `None` for names in no namespace.
-    pub ns: Option<String>,
+    pub ns: Option<Interned>,
     /// Local part.
-    pub local: String,
+    pub local: Interned,
 }
 
 impl QName {
     /// A name in no namespace.
-    pub fn local(local: impl Into<String>) -> Self {
+    pub fn local(local: impl AsRef<str>) -> Self {
         QName {
             ns: None,
-            local: local.into(),
+            local: intern(local.as_ref()),
         }
     }
 
     /// A name qualified by a namespace URI.
-    pub fn ns(ns: impl Into<String>, local: impl Into<String>) -> Self {
+    pub fn ns(ns: impl AsRef<str>, local: impl AsRef<str>) -> Self {
         QName {
-            ns: Some(ns.into()),
-            local: local.into(),
+            ns: Some(intern(ns.as_ref())),
+            local: intern(local.as_ref()),
         }
     }
 
@@ -45,18 +53,29 @@ impl QName {
         self.local == local && self.ns.as_deref() == Some(ns)
     }
 
+    /// Allocation-free comparison against an expanded name where the
+    /// namespace may be absent — the general form of [`QName::is`] for
+    /// detect/match call sites that handle no-namespace names too.
+    pub fn matches(&self, ns: Option<&str>, local: &str) -> bool {
+        self.local == local && self.ns.as_deref() == ns
+    }
+
     /// Clark notation (`{uri}local`), handy in error messages and tests.
+    ///
+    /// Allocates; hot paths should use the allocation-free [`std::fmt::Display`]
+    /// impl (which writes the same notation) or [`QName::matches`].
     pub fn clark(&self) -> String {
-        match &self.ns {
-            Some(ns) => format!("{{{ns}}}{}", self.local),
-            None => self.local.clone(),
-        }
+        self.to_string()
     }
 }
 
+/// Clark notation, written part by part — no intermediate `String`.
 impl fmt::Display for QName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.clark())
+        if let Some(ns) = &self.ns {
+            write!(f, "{{{ns}}}")?;
+        }
+        f.write_str(&self.local)
     }
 }
 
@@ -114,9 +133,21 @@ mod tests {
     }
 
     #[test]
+    fn equal_names_share_interned_parts() {
+        let a = QName::ns("urn:a", "x");
+        let b = QName::ns("urn:a", "x");
+        assert!(Interned::ptr_eq(&a.local, &b.local));
+        assert!(Interned::ptr_eq(
+            a.ns.as_ref().unwrap(),
+            b.ns.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
     fn clark_notation() {
         assert_eq!(QName::ns("urn:a", "x").clark(), "{urn:a}x");
         assert_eq!(QName::local("x").clark(), "x");
+        assert_eq!(QName::ns("urn:a", "x").to_string(), "{urn:a}x");
     }
 
     #[test]
@@ -125,6 +156,14 @@ mod tests {
         assert!(q.is("urn:a", "x"));
         assert!(!q.is("urn:a", "y"));
         assert!(!QName::local("x").is("urn:a", "x"));
+    }
+
+    #[test]
+    fn matches_handles_no_namespace() {
+        assert!(QName::local("x").matches(None, "x"));
+        assert!(!QName::local("x").matches(Some("urn:a"), "x"));
+        assert!(QName::ns("urn:a", "x").matches(Some("urn:a"), "x"));
+        assert!(!QName::ns("urn:a", "x").matches(None, "x"));
     }
 
     #[test]

@@ -8,8 +8,10 @@
 
 use crate::error::{ErrorKind, XmlError, XmlResult};
 use crate::escape::unescape;
+use crate::intern::{intern, Interned};
 use crate::name::{is_name_char, is_name_start, split_prefixed, QName, XML_NS};
 use crate::tree::{Attribute, Element, Node};
+use std::borrow::Cow;
 
 /// Maximum element nesting depth accepted by [`parse`].
 ///
@@ -52,15 +54,18 @@ struct Parser<'a> {
     depth: usize,
     /// In-scope namespace declarations, innermost last:
     /// `(prefix, uri, depth_marker)`. A frame is popped by truncating to
-    /// the length recorded when the element was entered.
-    scopes: Vec<(Option<String>, String)>,
+    /// the length recorded when the element was entered. Both parts are
+    /// interned: the same prefixes and URIs recur on every message, so
+    /// pushing a scope is two reference-count bumps, not two `String`s.
+    scopes: Vec<(Option<Interned>, Interned)>,
 }
 
-/// Raw attribute before namespace resolution.
+/// Raw attribute before namespace resolution. The value borrows from
+/// the input unless entity expansion forced a copy.
 struct RawAttr<'a> {
     prefix: Option<&'a str>,
     local: &'a str,
-    value: String,
+    value: Cow<'a, str>,
     pos: usize,
 }
 
@@ -187,9 +192,9 @@ impl<'a> Parser<'a> {
         Ok(&self.input[start..end])
     }
 
-    fn resolve(&self, prefix: Option<&str>, for_attr: bool) -> XmlResult<Option<String>> {
+    fn resolve(&self, prefix: Option<&str>, for_attr: bool) -> XmlResult<Option<Interned>> {
         match prefix {
-            Some("xml") => Ok(Some(XML_NS.to_string())),
+            Some("xml") => Ok(Some(intern(XML_NS))),
             Some(p) => {
                 for (pref, uri) in self.scopes.iter().rev() {
                     if pref.as_deref() == Some(p) {
@@ -272,9 +277,9 @@ impl<'a> Parser<'a> {
                     let value = self.read_attr_value()?;
                     let (prefix, local) = split_prefixed(raw);
                     if prefix == Some("xmlns") {
-                        self.scopes.push((Some(local.to_string()), value));
+                        self.scopes.push((Some(intern(local)), intern(&value)));
                     } else if prefix.is_none() && local == "xmlns" {
-                        self.scopes.push((None, value));
+                        self.scopes.push((None, intern(&value)));
                     } else {
                         raw_attrs.push(RawAttr {
                             prefix,
@@ -297,9 +302,9 @@ impl<'a> Parser<'a> {
         let mut element = Element {
             name: QName {
                 ns: ens,
-                local: elocal.to_string(),
+                local: intern(elocal),
             },
-            prefix_hint: eprefix.map(str::to_string),
+            prefix_hint: eprefix.map(intern),
             attrs: Vec::with_capacity(raw_attrs.len()),
             children: Vec::new(),
         };
@@ -310,7 +315,7 @@ impl<'a> Parser<'a> {
             })?;
             let name = QName {
                 ns,
-                local: ra.local.to_string(),
+                local: intern(ra.local),
             };
             if element.attrs.iter().any(|a| a.name == name) {
                 return Err(XmlError::new(
@@ -321,8 +326,8 @@ impl<'a> Parser<'a> {
             }
             element.attrs.push(Attribute {
                 name,
-                prefix_hint: ra.prefix.map(str::to_string),
-                value: ra.value,
+                prefix_hint: ra.prefix.map(intern),
+                value: ra.value.into_owned(),
             });
         }
 
@@ -333,7 +338,7 @@ impl<'a> Parser<'a> {
         Ok(element)
     }
 
-    fn read_attr_value(&mut self) -> XmlResult<String> {
+    fn read_attr_value(&mut self) -> XmlResult<Cow<'a, str>> {
         let quote = match self.peek() {
             Some(q @ (b'"' | b'\'')) => q,
             _ => return Err(self.err(ErrorKind::Malformed, "expected quoted attribute value")),
@@ -421,7 +426,7 @@ impl<'a> Parser<'a> {
                 self.pos = start + rel;
                 let text = unescape(raw, start)?;
                 if !text.is_empty() {
-                    parent.children.push(Node::Text(text));
+                    parent.children.push(Node::Text(text.into_owned()));
                 }
             }
         }

@@ -1,0 +1,101 @@
+//! Thread-local reusable serialization buffers.
+//!
+//! Fan-out delivery serializes thousands of envelopes per second from a
+//! fixed set of worker threads; allocating (and immediately freeing) a
+//! fresh ~1KB `String` per serialization is pure churn. [`with_buffer`]
+//! hands callers a cleared `String` recycled per thread, so the steady
+//! state of the push workers and the transport send path performs zero
+//! output-buffer allocations.
+//!
+//! The pool is deliberately tiny and unsynchronized: a thread-local
+//! stack of at most `MAX_POOLED` buffers, each capped at
+//! `MAX_RETAINED_CAPACITY` so one pathological message cannot pin
+//! megabytes per thread forever.
+
+use std::cell::RefCell;
+
+/// Maximum buffers retained per thread. Serialization nests at most a
+/// few levels deep (an envelope embedding a pre-rendered body), so a
+/// small stack suffices.
+const MAX_POOLED: usize = 8;
+
+/// Buffers that grew beyond this are dropped instead of pooled.
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static POOL: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a cleared, reusable `String` of at least
+/// `capacity_hint` bytes, returning `f`'s result.
+///
+/// The buffer comes from (and returns to) a thread-local pool;
+/// re-entrant use is fine — nested calls simply draw further buffers.
+/// Callers that need the serialized text beyond the closure should
+/// extract what they need (length, a hash, an owned copy) inside it.
+pub fn with_buffer<R>(capacity_hint: usize, f: impl FnOnce(&mut String) -> R) -> R {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    if buf.capacity() < capacity_hint {
+        buf.reserve(capacity_hint - buf.len());
+    }
+    let out = f(&mut buf);
+    if buf.capacity() <= MAX_RETAINED_CAPACITY {
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_is_cleared_and_reused() {
+        with_buffer(0, |b| b.push_str("first use"));
+        with_buffer(0, |b| {
+            assert!(b.is_empty(), "pooled buffer must come back cleared");
+            assert!(b.capacity() >= "first use".len(), "capacity is retained");
+        });
+    }
+
+    #[test]
+    fn capacity_hint_is_honored() {
+        with_buffer(4096, |b| assert!(b.capacity() >= 4096));
+    }
+
+    #[test]
+    fn nested_use_draws_distinct_buffers() {
+        with_buffer(0, |outer| {
+            outer.push_str("outer");
+            with_buffer(0, |inner| {
+                assert!(inner.is_empty());
+                inner.push_str("inner");
+            });
+            assert_eq!(outer, "outer");
+        });
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        with_buffer(MAX_RETAINED_CAPACITY * 2, |b| {
+            b.push('x');
+        });
+        // The next buffer must not arrive with the huge capacity.
+        with_buffer(0, |b| assert!(b.capacity() <= MAX_RETAINED_CAPACITY));
+    }
+
+    #[test]
+    fn returns_closure_result() {
+        let n = with_buffer(16, |b| {
+            b.push_str("abc");
+            b.len()
+        });
+        assert_eq!(n, 3);
+    }
+}

@@ -1,6 +1,7 @@
 //! The element tree: [`Element`], [`Node`], [`Attribute`],
 //! [`SharedElement`].
 
+use crate::intern::{intern, Interned};
 use crate::name::QName;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -136,6 +137,13 @@ impl SharedElement {
             crate::writer::to_string(&self.element)
         })
     }
+
+    /// Byte length of the cached serialization — a capacity hint for
+    /// callers sizing an output buffer that will embed this subtree
+    /// (forces the one-time serialization if it has not happened yet).
+    pub fn serialized_len(&self) -> usize {
+        self.xml().len()
+    }
 }
 
 impl PartialEq for SharedElement {
@@ -156,7 +164,7 @@ pub struct Attribute {
     pub name: QName,
     /// The prefix the attribute was written with, kept as a
     /// serialization hint.
-    pub prefix_hint: Option<String>,
+    pub prefix_hint: Option<Interned>,
     /// Attribute value, entities expanded.
     pub value: String,
 }
@@ -176,7 +184,7 @@ pub struct Element {
     pub name: QName,
     /// The prefix this element was written with (or should be written
     /// with); `None` requests the default namespace or no prefix.
-    pub prefix_hint: Option<String>,
+    pub prefix_hint: Option<Interned>,
     /// Attributes in document order.
     pub attrs: Vec<Attribute>,
     /// Children in document order.
@@ -210,24 +218,24 @@ impl Element {
     ///
     /// This is the constructor the WS-* codecs use: each spec mandates a
     /// namespace and conventionally a prefix (`wse`, `wsnt`, `wsa`...).
-    pub fn ns(ns: impl Into<String>, local: impl Into<String>, prefix: impl Into<String>) -> Self {
+    pub fn ns(ns: impl AsRef<str>, local: impl AsRef<str>, prefix: impl AsRef<str>) -> Self {
         Element {
             name: QName::ns(ns, local),
-            prefix_hint: Some(prefix.into()),
+            prefix_hint: Some(intern(prefix.as_ref())),
             attrs: Vec::new(),
             children: Vec::new(),
         }
     }
 
     /// Create an element in no namespace.
-    pub fn local(local: impl Into<String>) -> Self {
+    pub fn local(local: impl AsRef<str>) -> Self {
         Element::new(QName::local(local))
     }
 
     // ---- builder-style composition -------------------------------------
 
     /// Add an attribute in no namespace (builder style).
-    pub fn with_attr(mut self, local: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn with_attr(mut self, local: impl AsRef<str>, value: impl Into<String>) -> Self {
         self.set_attr(QName::local(local), value);
         self
     }
@@ -235,14 +243,14 @@ impl Element {
     /// Add a namespaced attribute (builder style).
     pub fn with_attr_ns(
         mut self,
-        ns: impl Into<String>,
-        local: impl Into<String>,
-        prefix: impl Into<String>,
+        ns: impl AsRef<str>,
+        local: impl AsRef<str>,
+        prefix: impl AsRef<str>,
         value: impl Into<String>,
     ) -> Self {
         self.attrs.push(Attribute {
             name: QName::ns(ns, local),
-            prefix_hint: Some(prefix.into()),
+            prefix_hint: Some(intern(prefix.as_ref())),
             value: value.into(),
         });
         self
@@ -282,6 +290,12 @@ impl Element {
     /// Append a text node.
     pub fn push_text(&mut self, text: impl Into<String>) {
         self.children.push(Node::Text(text.into()));
+    }
+
+    /// Append a shared child subtree, splicing its cached serialization
+    /// instead of deep-copying the tree.
+    pub fn push_shared(&mut self, child: Arc<SharedElement>) {
+        self.children.push(Node::Shared(child));
     }
 
     // ---- accessors ------------------------------------------------------

@@ -1,6 +1,16 @@
 //! Serialization with automatic namespace-declaration management.
+//!
+//! The writer is allocation-lean by design: tag names are pairs of
+//! interned handles (cloning one is a reference-count bump, and the
+//! open tag is reused verbatim for the close tag), namespace scopes
+//! hold interned prefixes/URIs, and text/attribute escaping goes
+//! through the `Cow` fast path in [`crate::escape`] so clean content is
+//! appended directly from the tree. Callers that serialize repeatedly
+//! should prefer [`write_into`] with a buffer from
+//! [`crate::pool::with_buffer`] so even the output `String` is reused.
 
 use crate::escape::{escape_attr, escape_text};
+use crate::intern::{intern, Interned};
 use crate::name::XML_NS;
 use crate::tree::{Element, Node};
 
@@ -33,6 +43,16 @@ pub fn to_pretty_string(root: &Element) -> String {
 /// Serialize with explicit [`WriteOptions`].
 pub fn write_with(root: &Element, opts: WriteOptions) -> String {
     let mut out = String::with_capacity(256);
+    write_into(root, &mut out, opts);
+    out
+}
+
+/// Serialize `root` by appending to an existing buffer.
+///
+/// This is the allocation-free entry point: with a pooled, pre-sized
+/// buffer the serializer performs no output allocation beyond what the
+/// document's namespace bookkeeping strictly requires.
+pub fn write_into(root: &Element, out: &mut String, opts: WriteOptions) {
     if opts.xml_decl {
         out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
         if opts.indent.is_some() {
@@ -46,56 +66,81 @@ pub fn write_with(root: &Element, opts: WriteOptions) -> String {
         gen_counter: 0,
     };
     w.element(root, 0);
-    w.out
 }
 
-struct Writer {
-    out: String,
+/// A resolved lexical tag name. Both halves are interned handles, so a
+/// `Tag` is cheap to build, and the element writer reuses the same
+/// value for the open and close tags instead of formatting a `String`
+/// per tag as the seed did.
+enum Tag {
+    /// `local`
+    Plain(Interned),
+    /// `prefix:local`
+    Prefixed(Interned, Interned),
+}
+
+impl Tag {
+    fn push_to(&self, out: &mut String) {
+        match self {
+            Tag::Plain(local) => out.push_str(local),
+            Tag::Prefixed(prefix, local) => {
+                out.push_str(prefix);
+                out.push(':');
+                out.push_str(local);
+            }
+        }
+    }
+}
+
+struct Writer<'a> {
+    out: &'a mut String,
     opts: WriteOptions,
     /// In-scope declarations, innermost last: `(prefix, uri)`.
     /// `prefix == None` is the default namespace; an empty uri
     /// represents an un-declaration.
-    scopes: Vec<(Option<String>, String)>,
+    scopes: Vec<(Option<Interned>, Interned)>,
     gen_counter: usize,
 }
 
-impl Writer {
+impl Writer<'_> {
     /// URI currently bound to `prefix` (innermost wins).
-    fn binding_of(&self, prefix: Option<&str>) -> Option<&str> {
+    fn binding_of(&self, prefix: Option<&str>) -> Option<&Interned> {
         self.scopes
             .iter()
             .rev()
             .find(|(p, _)| p.as_deref() == prefix)
-            .map(|(_, u)| u.as_str())
+            .map(|(_, u)| u)
     }
 
     /// An in-scope, unshadowed prefix bound to `uri`. When `allow_default`
     /// is false (attributes), the default namespace does not count.
-    fn prefix_for(&self, uri: &str, allow_default: bool) -> Option<Option<&str>> {
+    ///
+    /// Returns an owned (reference-counted) prefix so callers can keep
+    /// it across later scope mutations.
+    fn prefix_for(&self, uri: &str, allow_default: bool) -> Option<Option<Interned>> {
         for (p, u) in self.scopes.iter().rev() {
-            if u == uri {
-                let pref = p.as_deref();
-                if !allow_default && pref.is_none() {
+            if *u == uri {
+                if !allow_default && p.is_none() {
                     continue;
                 }
                 // Check that this binding is not shadowed by an inner one.
-                if self.binding_of(pref) == Some(uri) {
-                    return Some(pref);
+                if self.binding_of(p.as_deref()).is_some_and(|b| b == uri) {
+                    return Some(p.clone());
                 }
             }
         }
         if uri == XML_NS {
-            return Some(Some("xml"));
+            return Some(Some(intern("xml")));
         }
         None
     }
 
-    fn fresh_prefix(&mut self) -> String {
+    fn fresh_prefix(&mut self) -> Interned {
         loop {
             let cand = format!("ns{}", self.gen_counter);
             self.gen_counter += 1;
             if self.binding_of(Some(&cand)).is_none() {
-                return cand;
+                return intern(&cand);
             }
         }
     }
@@ -103,35 +148,35 @@ impl Writer {
     fn element(&mut self, e: &Element, depth: usize) {
         let scope_base = self.scopes.len();
         // Declarations this element must carry: (prefix, uri).
-        let mut decls: Vec<(Option<String>, String)> = Vec::new();
+        let mut decls: Vec<(Option<Interned>, Interned)> = Vec::new();
 
         // Resolve the element's own name.
         let tag = self.qualify(
             &e.name.ns,
-            e.prefix_hint.as_deref(),
+            e.prefix_hint.as_ref(),
             true,
             &mut decls,
             &e.name.local,
         );
 
-        // Resolve attribute names.
-        let mut attr_strs: Vec<(String, String)> = Vec::with_capacity(e.attrs.len());
+        // Resolve attribute names (values are escaped at write time).
+        let mut attr_tags: Vec<Tag> = Vec::with_capacity(e.attrs.len());
         for a in &e.attrs {
             let aname = match &a.name.ns {
-                None => a.name.local.clone(),
+                None => Tag::Plain(a.name.local.clone()),
                 Some(_) => self.qualify(
                     &a.name.ns,
-                    a.prefix_hint.as_deref(),
+                    a.prefix_hint.as_ref(),
                     false,
                     &mut decls,
                     &a.name.local,
                 ),
             };
-            attr_strs.push((aname, escape_attr(&a.value)));
+            attr_tags.push(aname);
         }
 
         self.out.push('<');
-        self.out.push_str(&tag);
+        tag.push_to(self.out);
         for (p, u) in &decls {
             match p {
                 None => {
@@ -146,11 +191,11 @@ impl Writer {
             self.out.push_str(&escape_attr(u));
             self.out.push('"');
         }
-        for (n, v) in &attr_strs {
+        for (a, aname) in e.attrs.iter().zip(&attr_tags) {
             self.out.push(' ');
-            self.out.push_str(n);
+            aname.push_to(self.out);
             self.out.push_str("=\"");
-            self.out.push_str(v);
+            self.out.push_str(&escape_attr(&a.value));
             self.out.push('"');
         }
 
@@ -209,7 +254,7 @@ impl Writer {
             self.newline_indent(depth);
         }
         self.out.push_str("</");
-        self.out.push_str(&tag);
+        tag.push_to(self.out);
         self.out.push('>');
         self.scopes.truncate(scope_base);
     }
@@ -227,51 +272,52 @@ impl Writer {
     /// declaration needed to `decls` and the scope stack.
     fn qualify(
         &mut self,
-        ns: &Option<String>,
-        hint: Option<&str>,
+        ns: &Option<Interned>,
+        hint: Option<&Interned>,
         allow_default: bool,
-        decls: &mut Vec<(Option<String>, String)>,
-        local: &str,
-    ) -> String {
+        decls: &mut Vec<(Option<Interned>, Interned)>,
+        local: &Interned,
+    ) -> Tag {
         match ns {
             None => {
                 // For elements, make sure no default namespace captures us.
                 if allow_default {
                     if let Some(u) = self.binding_of(None) {
                         if !u.is_empty() {
-                            decls.push((None, String::new()));
-                            self.scopes.push((None, String::new()));
+                            let empty = intern("");
+                            decls.push((None, empty.clone()));
+                            self.scopes.push((None, empty));
                         }
                     }
                 }
-                local.to_string()
+                Tag::Plain(local.clone())
             }
             Some(uri) => {
-                if uri == XML_NS {
-                    return format!("xml:{local}");
+                if *uri == XML_NS {
+                    return Tag::Prefixed(intern("xml"), local.clone());
                 }
                 // Prefer the hint when it is already correctly bound.
                 if let Some(h) = hint {
-                    if self.binding_of(Some(h)) == Some(uri.as_str()) {
-                        return format!("{h}:{local}");
+                    if self.binding_of(Some(h.as_str())).is_some_and(|b| b == uri) {
+                        return Tag::Prefixed(h.clone(), local.clone());
                     }
                 }
                 if hint.is_none() {
                     if let Some(binding) = self.prefix_for(uri, allow_default) {
                         return match binding {
-                            None => local.to_string(),
-                            Some(p) => format!("{p}:{local}"),
+                            None => Tag::Plain(local.clone()),
+                            Some(p) => Tag::Prefixed(p, local.clone()),
                         };
                     }
                 }
                 // Need a new declaration.
                 let prefix = match hint {
-                    Some(h) if !h.is_empty() => h.to_string(),
+                    Some(h) if !h.is_empty() => h.clone(),
                     _ => {
                         if let Some(binding) = self.prefix_for(uri, allow_default) {
                             return match binding {
-                                None => local.to_string(),
-                                Some(p) => format!("{p}:{local}"),
+                                None => Tag::Plain(local.clone()),
+                                Some(p) => Tag::Prefixed(p, local.clone()),
                             };
                         }
                         if allow_default {
@@ -279,14 +325,14 @@ impl Writer {
                             // namespace rather than inventing a prefix.
                             decls.push((None, uri.clone()));
                             self.scopes.push((None, uri.clone()));
-                            return local.to_string();
+                            return Tag::Plain(local.clone());
                         }
                         self.fresh_prefix()
                     }
                 };
                 decls.push((Some(prefix.clone()), uri.clone()));
                 self.scopes.push((Some(prefix.clone()), uri.clone()));
-                format!("{prefix}:{local}")
+                Tag::Prefixed(prefix, local.clone())
             }
         }
     }
@@ -415,6 +461,17 @@ mod tests {
     }
 
     #[test]
+    fn write_into_appends_to_existing_buffer() {
+        let mut buf = String::from("PREFIX|");
+        write_into(
+            &Element::local("r").with_text("x"),
+            &mut buf,
+            WriteOptions::default(),
+        );
+        assert_eq!(buf, "PREFIX|<r>x</r>");
+    }
+
+    #[test]
     fn hint_collision_rebinds_locally() {
         // Parent binds p->urn:a; child insists on p->urn:b. Legal XML:
         // the child carries its own xmlns:p.
@@ -481,7 +538,7 @@ mod tests {
         let mut e = Element::local("r");
         e.attrs.push(crate::tree::Attribute {
             name: QName::ns(crate::name::XML_NS, "lang"),
-            prefix_hint: Some("xml".into()),
+            prefix_hint: Some(crate::intern::intern("xml")),
             value: "en".into(),
         });
         let s = to_string(&e);

@@ -126,10 +126,10 @@ impl<'a> DocIndex<'a> {
         }
     }
 
-    fn expanded_name(&self, id: usize) -> Option<(&Option<String>, &str)> {
+    fn expanded_name(&self, id: usize) -> Option<(Option<&str>, &str)> {
         match &self.nodes[id] {
-            NodeData::Element { el, .. } => Some((&el.name.ns, &el.name.local)),
-            NodeData::Attr { attr, .. } => Some((&attr.name.ns, &attr.name.local)),
+            NodeData::Element { el, .. } => Some((el.name.ns.as_deref(), &el.name.local)),
+            NodeData::Attr { attr, .. } => Some((attr.name.ns.as_deref(), &attr.name.local)),
             _ => None,
         }
     }
@@ -516,10 +516,7 @@ fn node_test_matches(ctx: &Ctx, id: usize, step: &Step) -> bool {
             } else {
                 matches!(doc.nodes[id], NodeData::Element { .. })
             };
-            principal
-                && doc
-                    .expanded_name(id)
-                    .is_some_and(|(ns, _)| ns.as_deref() == want)
+            principal && doc.expanded_name(id).is_some_and(|(ns, _)| ns == want)
         }
         NodeTest::Name { prefix, local } => {
             let principal = if is_attr_axis {
@@ -540,7 +537,7 @@ fn node_test_matches(ctx: &Ctx, id: usize, step: &Step) -> bool {
                 },
             };
             doc.expanded_name(id)
-                .is_some_and(|(ns, l)| l == local && ns.as_deref() == want_ns)
+                .is_some_and(|(ns, l)| l == local && ns == want_ns)
         }
     }
 }
@@ -707,7 +704,7 @@ fn local_name_of(ctx: &Ctx, id: usize) -> String {
 fn namespace_of(ctx: &Ctx, id: usize) -> String {
     ctx.doc
         .expanded_name(id)
-        .and_then(|(ns, _)| ns.clone())
+        .and_then(|(ns, _)| ns.map(str::to_string))
         .unwrap_or_default()
 }
 
