@@ -195,10 +195,6 @@ fn bench_ablation(c: &mut Criterion) {
             filters: UnifiedFilters::default(),
             mode: BrokerDeliveryMode::Push,
             use_raw: false,
-            paused: false,
-            expires_at_ms: None,
-            queue: Default::default(),
-            wrap_buffer: Vec::new(),
         })
         .collect();
     let event = InternalEvent::on_topic("jobs/status", make_event(1));

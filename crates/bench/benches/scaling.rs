@@ -24,10 +24,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wsm_addressing::EndpointReference;
 use wsm_bench::{
     broker_with_subscribers as setup, make_event, measure_events_per_sec, stage_breakdowns,
-    write_bench_json_with_stages, ThroughputSample,
+    write_bench_json_full, MatchingSample, ThroughputSample,
 };
+use wsm_eventing::WseVersion;
+use wsm_messenger::registry::Registry;
+use wsm_messenger::{BrokerDeliveryMode, InternalEvent, SpecDialect, UnifiedFilters};
+use wsm_topics::TopicExpression;
 
 /// Worker count for the parallel axis. Explicit (not
 /// `default_workers()`) so the parallel engine engages even on
@@ -92,11 +97,150 @@ fn bench_scaling(c: &mut Criterion) {
     write_machine_readable();
 }
 
+/// Insert one subscription directly into a registry (bypassing SOAP
+/// `Subscribe`, which would dominate setup at the million scale).
+fn insert_sub(r: &Registry, filters: UnifiedFilters) {
+    r.insert(
+        SpecDialect::Wse(WseVersion::Aug2004),
+        EndpointReference::new("http://sink"),
+        None,
+        filters,
+        BrokerDeliveryMode::Push,
+        false,
+        None,
+    );
+}
+
+fn topic_filters(expr: &str) -> UnifiedFilters {
+    UnifiedFilters {
+        topics: vec![TopicExpression::concrete(expr).unwrap()],
+        content: vec![],
+        producer_props: vec![],
+    }
+}
+
+/// A registry with `matched` subscriptions on the hot topic and
+/// `total - matched` on distinct cold topics — the shape where index
+/// quality shows: a linear scan pays for every cold subscription,
+/// the trie never visits them.
+fn matching_registry(total: u64, matched: u64) -> Registry {
+    let r = Registry::new();
+    for _ in 0..matched {
+        insert_sub(&r, topic_filters("hot/t"));
+    }
+    for i in 0..total - matched {
+        insert_sub(&r, topic_filters(&format!("cold/t{i}")));
+    }
+    r
+}
+
+/// Mean `Registry::matching` cost per publication, in nanoseconds.
+fn mean_match_ns(registry: &Registry) -> f64 {
+    let mut seq = 0u64;
+    let eps = measure_events_per_sec(1, &mut || {
+        seq += 1;
+        let event = InternalEvent::on_topic("hot/t", make_event(seq));
+        black_box(registry.matching(&event, None, 0));
+    });
+    1e9 / eps
+}
+
+/// The matching-scaling curve (the tentpole's acceptance numbers):
+/// sweep registry size with (a) a fixed matching population and (b) a
+/// fixed 1% match rate, plus the seed's 256-subscriber mediation mix,
+/// asserting the in-binary budgets so CI fails on an index regression.
+fn measure_matching() -> Vec<MatchingSample> {
+    let mut out = Vec::new();
+    // The 1M point is a dev-machine measurement; CI's quick mode stops
+    // at 64k to keep the smoke run in seconds.
+    let sizes: &[u64] = if wsm_bench::quick_mode() {
+        &[256, 4096, 65536]
+    } else {
+        &[256, 4096, 65536, 1_048_576]
+    };
+
+    let mut fixed64 = std::collections::HashMap::new();
+    for &n in sizes {
+        let registry = matching_registry(n, 64);
+        let mean = mean_match_ns(&registry);
+        fixed64.insert(n, mean);
+        out.push(MatchingSample {
+            scenario: "matching_fixed64".into(),
+            param: n,
+            matched: 64,
+            mean_ns: mean,
+        });
+    }
+    // Budget: with the matching population held constant, growing the
+    // cold population 256× may cost at most 3× (the index must not
+    // degrade toward a linear scan). The 1µs floor absorbs timer noise
+    // on sub-microsecond means.
+    let base = fixed64[&256].max(1_000.0);
+    let at_64k = fixed64[&65536];
+    assert!(
+        at_64k <= 3.0 * base,
+        "matching_fixed64 regressed: 64k mean {at_64k:.0}ns > 3x 256 mean {base:.0}ns"
+    );
+
+    let mut rate = std::collections::HashMap::new();
+    for &n in sizes {
+        let matched = n / 100;
+        let registry = matching_registry(n, matched);
+        let mean = mean_match_ns(&registry);
+        rate.insert(n, mean / matched as f64);
+        out.push(MatchingSample {
+            scenario: "matching_rate_1pct".into(),
+            param: n,
+            matched,
+            mean_ns: mean,
+        });
+    }
+    // At a fixed match *rate* total cost necessarily grows with the
+    // matched population, so the budget is per matched subscription.
+    let base = rate[&256].max(500.0);
+    let at_64k = rate[&65536];
+    assert!(
+        at_64k <= 3.0 * base,
+        "matching_rate_1pct regressed: 64k per-match {at_64k:.0}ns > 3x 256 per-match {base:.0}ns"
+    );
+
+    // The seed's mediation population: 128 topicless WSE subscriptions
+    // (broadcast placement) + 128 WSN subscriptions on one topic. The
+    // seed's linear scan spent 173µs matching a publication here.
+    let registry = Registry::new();
+    for i in 0..256u64 {
+        if i % 2 == 0 {
+            insert_sub(&registry, UnifiedFilters::default());
+        } else {
+            insert_sub(&registry, topic_filters("jobs/status"));
+        }
+    }
+    let mut seq = 0u64;
+    let eps = measure_events_per_sec(1, &mut || {
+        seq += 1;
+        let event = InternalEvent::on_topic("jobs/status", make_event(seq));
+        black_box(registry.matching(&event, None, 0));
+    });
+    let mean = 1e9 / eps;
+    assert!(
+        mean < 173_000.0,
+        "matching_mediation_256 regressed: mean {mean:.0}ns >= seed's 173us"
+    );
+    out.push(MatchingSample {
+        scenario: "matching_mediation_256".into(),
+        param: 256,
+        matched: 256,
+        mean_ns: mean,
+    });
+    out
+}
+
 /// Emit `BENCH_scaling.json`: events/sec against subscriber count, for
 /// the sequential and parallel delivery engines, in both the zero-cost
 /// `publish_inline` regime and the 100µs-per-send `publish_wire`
 /// regime (see the module docs) — plus a per-stage pipeline breakdown
-/// from the largest wire-regime population.
+/// from the largest wire-regime population and the subscription-
+/// matching scaling curve.
 fn write_machine_readable() {
     let mut samples = Vec::new();
     let mut stages = Vec::new();
@@ -125,7 +269,8 @@ fn write_machine_readable() {
             }
         }
     }
-    let path = write_bench_json_with_stages("scaling", &samples, &stages, None);
+    let matching = measure_matching();
+    let path = write_bench_json_full("scaling", &samples, &stages, &matching, None);
     println!("wrote {}", path.display());
 }
 

@@ -265,6 +265,20 @@ pub fn stage_breakdowns(snap: &wsm_messenger::ObsSnapshot) -> Vec<StageBreakdown
     out
 }
 
+/// One measured subscription-matching point: mean per-publication
+/// match cost at a registry size (the `"matching"` section of
+/// `BENCH_scaling.json`).
+pub struct MatchingSample {
+    /// Workload name, e.g. `matching_fixed64`.
+    pub scenario: String,
+    /// Registered subscriptions.
+    pub param: u64,
+    /// How many of them match each publication.
+    pub matched: u64,
+    /// Mean `Registry::matching` cost per publication, nanoseconds.
+    pub mean_ns: f64,
+}
+
 /// Serialize samples as `BENCH_<name>.json` at the workspace root so
 /// tooling can track bench trends without parsing human-oriented
 /// Criterion output.
@@ -280,6 +294,19 @@ pub fn write_bench_json_with_stages(
     bench: &str,
     samples: &[ThroughputSample],
     stages: &[StageBreakdown],
+    instrumentation_overhead_pct: Option<f64>,
+) -> PathBuf {
+    write_bench_json_full(bench, samples, stages, &[], instrumentation_overhead_pct)
+}
+
+/// [`write_bench_json_with_stages`] plus the subscription-matching
+/// scaling curve (a `"matching"` array of
+/// `{scenario, param, matched, mean_ns}` rows).
+pub fn write_bench_json_full(
+    bench: &str,
+    samples: &[ThroughputSample],
+    stages: &[StageBreakdown],
+    matching: &[MatchingSample],
     instrumentation_overhead_pct: Option<f64>,
 ) -> PathBuf {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -313,6 +340,20 @@ pub fn write_bench_json_with_stages(
             ));
         }
         out.push_str("  }");
+    }
+    if !matching.is_empty() {
+        out.push_str(",\n  \"matching\": [\n");
+        for (i, m) in matching.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"param\": {}, \"matched\": {}, \"mean_ns\": {:.0}}}{}\n",
+                m.scenario,
+                m.param,
+                m.matched,
+                m.mean_ns,
+                if i + 1 < matching.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
     }
     if let Some(pct) = instrumentation_overhead_pct {
         out.push_str(&format!(",\n  \"instrumentation_overhead_pct\": {pct:.2}"));

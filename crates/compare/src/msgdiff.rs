@@ -211,10 +211,6 @@ pub fn run_msgdiff() -> MsgDiffReport {
         filters: UnifiedFilters::default(),
         mode: BrokerDeliveryMode::Push,
         use_raw: false,
-        paused: false,
-        expires_at_ms: None,
-        queue: Default::default(),
-        wrap_buffer: Vec::new(),
     };
     let wse_notif = render_notification(
         &mk_sub(SpecDialect::Wse(WseVersion::Aug2004)),

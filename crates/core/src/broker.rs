@@ -462,8 +462,8 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
                 let envelope =
                     render_notification_cached(&cache, &sub, event, &inner.uri, &inner.manager_uri);
                 let job = PushJob {
-                    sub_id: sub.id,
-                    address: sub.consumer.address,
+                    sub_id: sub.id.clone(),
+                    address: sub.consumer.address.clone(),
                     envelope,
                     wse: matches!(sub.spec, SpecDialect::Wse(_)),
                     mediated: event.origin.is_some_and(|o| family(o) != family(sub.spec)),
@@ -639,12 +639,13 @@ fn wse_subscribe(
                     .with_subcode("wse:FilteringNotSupported"),
             );
         }
-        filters
-            .content
-            .push(wsm_xpath::XPath::compile(&f.expression).map_err(|e| {
-                Fault::sender(format!("invalid XPath filter: {e}"))
-                    .with_subcode("wse:FilteringNotSupported")
-            })?);
+        // Compile once at Subscribe time; the Arc'd program is shared
+        // by every subsequent match.
+        let compiled = wsm_xpath::CompiledFilter::compile(&f.expression).map_err(|e| {
+            Fault::sender(format!("invalid XPath filter: {e}"))
+                .with_subcode("wse:FilteringNotSupported")
+        })?;
+        filters.content.push(std::sync::Arc::new(compiled));
     }
     let mode = match req.mode {
         wsm_eventing::DeliveryMode::Push => BrokerDeliveryMode::Push,
@@ -683,12 +684,11 @@ fn wsn_subscribe(
         match f {
             WsnFilter::Topic(t) => filters.topics.push(t.clone()),
             WsnFilter::ProducerProperties(x) => {
-                filters
-                    .producer_props
-                    .push(wsm_xpath::XPath::compile(x).map_err(|e| {
-                        Fault::sender(format!("invalid ProducerProperties filter: {e}"))
-                            .with_subcode("wsnt:InvalidFilterFault")
-                    })?)
+                let compiled = wsm_xpath::CompiledFilter::compile(x).map_err(|e| {
+                    Fault::sender(format!("invalid ProducerProperties filter: {e}"))
+                        .with_subcode("wsnt:InvalidFilterFault")
+                })?;
+                filters.producer_props.push(std::sync::Arc::new(compiled))
             }
             WsnFilter::MessageContent {
                 dialect,
@@ -698,12 +698,11 @@ fn wsn_subscribe(
                     return Err(Fault::sender("unsupported MessageContent dialect")
                         .with_subcode("wsnt:InvalidFilterFault"));
                 }
-                filters
-                    .content
-                    .push(wsm_xpath::XPath::compile(expression).map_err(|e| {
-                        Fault::sender(format!("invalid MessageContent filter: {e}"))
-                            .with_subcode("wsnt:InvalidFilterFault")
-                    })?)
+                let compiled = wsm_xpath::CompiledFilter::compile(expression).map_err(|e| {
+                    Fault::sender(format!("invalid MessageContent filter: {e}"))
+                        .with_subcode("wsnt:InvalidFilterFault")
+                })?;
+                filters.content.push(std::sync::Arc::new(compiled))
             }
         }
     }
@@ -1024,8 +1023,8 @@ fn wse_manage(
         if !v.has_get_status() {
             return Err(Fault::sender("GetStatus is not defined in this version"));
         }
-        let sub = inner.registry.get(&id).ok_or_else(unknown)?;
-        Ok(codec.management_response("GetStatus", sub.expires_at_ms.map(Expires::At)))
+        let status = inner.registry.status(&id).ok_or_else(unknown)?;
+        Ok(codec.management_response("GetStatus", status.expires_at_ms.map(Expires::At)))
     } else if body.name.is(ns, "Unsubscribe") {
         inner.registry.remove(&id).ok_or_else(unknown)?;
         forget_reliability(inner, &id);
@@ -1123,6 +1122,7 @@ fn wsn_manage(
         ))
     } else if body.name.is(wsm_wsrf::WSRF_RP_NS, "GetResourceProperty") {
         let sub = inner.registry.get(&id).ok_or_else(unknown)?;
+        let status = inner.registry.status(&id).ok_or_else(unknown)?;
         let wanted = body.text();
         let local = wanted.trim().rsplit(':').next().unwrap_or("");
         let mut resp = Element::ns(
@@ -1132,10 +1132,10 @@ fn wsn_manage(
         );
         match local {
             "Paused" => {
-                resp.push(Element::ns(ns, "Paused", "wsnt").with_text(sub.paused.to_string()))
+                resp.push(Element::ns(ns, "Paused", "wsnt").with_text(status.paused.to_string()))
             }
             "TerminationTime" => {
-                if let Some(t) = sub.expires_at_ms {
+                if let Some(t) = status.expires_at_ms {
                     resp.push(
                         Element::ns(ns, "TerminationTime", "wsnt")
                             .with_text(wsm_xml::xsd::format_datetime(t)),

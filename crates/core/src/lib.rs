@@ -71,7 +71,7 @@ pub use detect::SpecDialect;
 pub use event::InternalEvent;
 #[cfg(feature = "obs")]
 pub use obs::ObsSnapshot;
-pub use registry::{BrokerDeliveryMode, BrokerSubscription, UnifiedFilters};
+pub use registry::{BrokerDeliveryMode, BrokerSubscription, SubscriptionStatus, UnifiedFilters};
 pub use reliability::{
     BreakerConfig, BreakerState, CircuitBreaker, DeadLetter, FaultTolerance, PumpReport,
     ReliabilityState,

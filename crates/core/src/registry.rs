@@ -1,21 +1,53 @@
-//! The broker's unified subscription registry.
+//! The broker's unified subscription registry and match index.
 //!
 //! Each subscription remembers which dialect created it ("the
 //! specification type of a target event consumer is determined by the
 //! subscription request message type", §VII) plus a *unified* compiled
 //! filter set covering both specs' filter models: WS-Eventing's single
 //! XPath filter compiles into `content`; WS-Notification's three filter
-//! kinds compile into `topics` / `content` / `producer_props`.
+//! kinds compile into `topics` / `content` / `producer_props`. Filters
+//! are compiled once at `Subscribe` time ([`CompiledFilter`]) and the
+//! `Arc` handle is cached on the subscription.
+//!
+//! # The match index
+//!
+//! The seed evaluated every publication against every subscription, so
+//! match cost grew linearly with registry size. The registry now
+//! routes each subscription, at insert time, into one of three
+//! structures chosen by what its filters can *prove*:
+//!
+//! * **topic trie** — every subscription with topic filters goes into a
+//!   [`TopicTrie`] keyed by its expressions. A publication's topic
+//!   walks the trie once and returns exactly the subscriptions whose
+//!   topic filter matches; for those candidates the topic check is
+//!   already proven and [`UnifiedFilters`] only evaluates the remaining
+//!   content/producer-properties filters.
+//! * **literal buckets** — a topicless subscription whose only filter
+//!   is `path = 'literal'` (the S-ToPSS-style equality predicate) is
+//!   grouped by the path's canonical signature and bucketed by
+//!   literal. Per publication, each group evaluates its path *once*;
+//!   the selected string-values look up buckets directly, so ten
+//!   thousand `source = '...'` subscriptions cost one path evaluation
+//!   plus a hash probe per value — and a bucket hit is a full proof,
+//!   no filter re-runs at all.
+//! * **broadcast** — everything the index cannot reason about
+//!   (topicless subscriptions with complex content filters, or none).
+//!   These still run the full check, now prefiltered by the
+//!   required-name bitset and over a shared [`EvalDoc`] built once per
+//!   publication.
+//!
+//! Match cost therefore scales with *matching* subscriptions (plus the
+//! broadcast residue), not with registry size.
 
 use crate::detect::SpecDialect;
 use crate::event::InternalEvent;
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use wsm_addressing::EndpointReference;
-use wsm_topics::TopicExpression;
+use wsm_topics::{TopicExpression, TopicPath, TopicTrie};
 use wsm_xml::{Element, SharedElement};
-use wsm_xpath::XPath;
+use wsm_xpath::{CompiledFilter, EvalDoc};
 
 /// Unified compiled filters.
 #[derive(Debug, Clone, Default)]
@@ -23,17 +55,36 @@ pub struct UnifiedFilters {
     /// Topic expressions (WSN). Any match admits; an event *without* a
     /// topic fails a topic filter.
     pub topics: Vec<TopicExpression>,
-    /// Content predicates (WSE default filter, WSN MessageContent).
-    pub content: Vec<XPath>,
+    /// Content predicates (WSE default filter, WSN MessageContent),
+    /// compiled once and shared.
+    pub content: Vec<Arc<CompiledFilter>>,
     /// Producer-properties predicates (WSN only).
-    pub producer_props: Vec<XPath>,
+    pub producer_props: Vec<Arc<CompiledFilter>>,
 }
 
 impl UnifiedFilters {
     /// Does the event pass every supplied filter kind?
+    ///
+    /// Checks run cheapest-first — the topic comparison (segment
+    /// equality) before any XPath evaluation — and each XPath filter is
+    /// prefiltered by its required-name bitset before being run.
     pub fn admit(&self, event: &InternalEvent, producer_properties: Option<&Element>) -> bool {
-        if !self.topics.is_empty() {
-            match &event.topic {
+        let payload = EvalDoc::new(event.payload_element());
+        let props = producer_properties.map(EvalDoc::new);
+        self.admit_docs(event.topic.as_ref(), false, &payload, props.as_ref())
+    }
+
+    /// [`Self::admit`] over pre-indexed documents, optionally skipping
+    /// the topic check when an index has already proven it.
+    fn admit_docs(
+        &self,
+        topic: Option<&TopicPath>,
+        topic_proven: bool,
+        payload: &EvalDoc,
+        props: Option<&EvalDoc>,
+    ) -> bool {
+        if !topic_proven && !self.topics.is_empty() {
+            match topic {
                 Some(t) => {
                     if !self.topics.iter().any(|e| e.matches(t)) {
                         return false;
@@ -46,14 +97,18 @@ impl UnifiedFilters {
             && !self
                 .content
                 .iter()
-                .any(|x| x.matches(event.payload_element()))
+                .any(|f| f.may_match(payload) && f.matches_doc(payload))
         {
             return false;
         }
         if !self.producer_props.is_empty() {
-            match producer_properties {
+            match props {
                 Some(doc) => {
-                    if !self.producer_props.iter().any(|x| x.matches(doc)) {
+                    if !self
+                        .producer_props
+                        .iter()
+                        .any(|f| f.may_match(doc) && f.matches_doc(doc))
+                    {
                         return false;
                     }
                 }
@@ -75,7 +130,13 @@ pub enum BrokerDeliveryMode {
     Wrapped,
 }
 
-/// One live broker subscription.
+/// One live broker subscription: the immutable facts fixed at
+/// `Subscribe` time.
+///
+/// Mutable per-subscription state (pause flag, expiry, delivery
+/// queues) lives inside the registry, so matching hands out
+/// `Arc<BrokerSubscription>` clones — a refcount bump per match
+/// instead of a deep copy of filters and endpoint references.
 #[derive(Debug, Clone)]
 pub struct BrokerSubscription {
     /// Identifier minted by the registry.
@@ -93,35 +154,40 @@ pub struct BrokerSubscription {
     pub mode: BrokerDeliveryMode,
     /// WSN raw-payload delivery (`UseRaw`).
     pub use_raw: bool,
+}
+
+/// Mutable status of a subscription (see [`Registry::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionStatus {
     /// Paused (WSN pause/resume).
     pub paused: bool,
     /// Absolute expiry on the virtual clock.
     pub expires_at_ms: Option<u64>,
-    /// Queued events (pull mode), shared with the originating
-    /// publication — queueing is an `Arc` bump, not a tree clone.
-    pub queue: VecDeque<Arc<SharedElement>>,
-    /// Buffered events (wrapped mode), shared the same way.
-    pub wrap_buffer: Vec<Arc<SharedElement>>,
 }
 
-impl BrokerSubscription {
-    /// Is the subscription expired at `now`?
-    pub fn expired(&self, now_ms: u64) -> bool {
+/// Registry entry: the shared immutable core plus mutable state.
+struct SubEntry {
+    core: Arc<BrokerSubscription>,
+    paused: bool,
+    expires_at_ms: Option<u64>,
+    /// Queued events (pull mode), shared with the originating
+    /// publication — queueing is an `Arc` bump, not a tree clone.
+    queue: VecDeque<Arc<SharedElement>>,
+    /// Buffered events (wrapped mode), shared the same way.
+    wrap_buffer: Vec<Arc<SharedElement>>,
+}
+
+impl SubEntry {
+    fn expired(&self, now_ms: u64) -> bool {
         self.expires_at_ms.is_some_and(|t| t <= now_ms)
+    }
+
+    fn live(&self, now_ms: u64) -> bool {
+        !self.paused && !self.expired(now_ms)
     }
 }
 
-/// Thread-safe registry with a topic index.
-///
-/// Subscriptions are bucketed by how an event's topic can reach them:
-/// by the literal root names their topic expressions open with (the
-/// common case — Simple and Concrete expressions always, Full ones
-/// without a leading wildcard), a side list for leading-wildcard
-/// expressions, and a side list for subscriptions with no topic filter
-/// at all. Matching a topical event then touches only the event root's
-/// bucket plus the two side lists — O(matching subs + wildcards)
-/// instead of O(all subs) — and a topicless event touches only the
-/// no-topic-filter list, since a topic filter never admits one.
+/// Thread-safe registry with a match index (see the module docs).
 #[derive(Clone, Default)]
 pub struct Registry {
     inner: Arc<Mutex<RegistryInner>>,
@@ -129,68 +195,109 @@ pub struct Registry {
 
 #[derive(Default)]
 struct RegistryInner {
-    subs: HashMap<String, BrokerSubscription>,
+    /// Entries keyed by the numeric part of the minted id.
+    by_key: HashMap<u64, SubEntry>,
+    /// Public id string → numeric key.
+    key_of: HashMap<String, u64>,
     next_id: u64,
-    /// Root topic name → ids of subscriptions every one of whose topic
-    /// expressions opens with a literal root.
-    by_root: HashMap<String, Vec<String>>,
-    /// Ids with at least one leading-wildcard topic expression.
-    wildcard: Vec<String>,
-    /// Ids with no topic filter at all.
-    unfiltered: Vec<String>,
+    index: MatchIndex,
 }
 
-/// Where a subscription lives in the topic index.
-enum IndexSlot {
-    Roots(Vec<String>),
-    Wildcard,
-    Unfiltered,
+/// Subscriptions bucketed by filters sharing one `path = 'literal'`
+/// signature. `rep` is any member's compiled filter; equal signatures
+/// select the same nodes, so one evaluation of `rep`'s path serves the
+/// whole group.
+struct LiteralGroup {
+    rep: Arc<CompiledFilter>,
+    buckets: HashMap<String, Vec<u64>>,
 }
 
-fn index_slot(filters: &UnifiedFilters) -> IndexSlot {
-    if filters.topics.is_empty() {
-        return IndexSlot::Unfiltered;
+#[derive(Default)]
+struct MatchIndex {
+    trie: TopicTrie,
+    /// `BTreeMap` (not `HashMap`): the match path iterates groups, and
+    /// the chaos suite diffs delivery traces across two processes, so
+    /// iteration order must not depend on per-process hasher seeds.
+    literal_groups: BTreeMap<String, LiteralGroup>,
+    /// Keys the index cannot reason about; always fully checked.
+    broadcast: Vec<u64>,
+}
+
+/// Where a subscription lives in the match index.
+enum Placement {
+    Trie,
+    Literal { signature: String, value: String },
+    Broadcast,
+}
+
+fn placement(filters: &UnifiedFilters) -> Placement {
+    if !filters.topics.is_empty() {
+        return Placement::Trie;
     }
-    let mut roots: Vec<String> = Vec::new();
-    for expr in &filters.topics {
-        match expr.index_roots() {
-            None => return IndexSlot::Wildcard,
-            Some(rs) => roots.extend(rs.into_iter().map(str::to_string)),
+    if filters.producer_props.is_empty() && filters.content.len() == 1 {
+        if let Some((sig, val)) = filters.content[0].literal_eq() {
+            return Placement::Literal {
+                signature: sig.to_string(),
+                value: val.to_string(),
+            };
         }
     }
-    roots.sort();
-    roots.dedup();
-    IndexSlot::Roots(roots)
+    Placement::Broadcast
 }
 
 impl RegistryInner {
-    fn link(&mut self, id: &str, filters: &UnifiedFilters) {
-        match index_slot(filters) {
-            IndexSlot::Unfiltered => self.unfiltered.push(id.to_string()),
-            IndexSlot::Wildcard => self.wildcard.push(id.to_string()),
-            IndexSlot::Roots(roots) => {
-                for root in roots {
-                    self.by_root.entry(root).or_default().push(id.to_string());
+    fn link(&mut self, key: u64, sub: &BrokerSubscription) {
+        match placement(&sub.filters) {
+            Placement::Trie => {
+                for expr in &sub.filters.topics {
+                    self.index.trie.insert(expr, key);
                 }
             }
+            Placement::Literal { signature, value } => {
+                let group = self
+                    .index
+                    .literal_groups
+                    .entry(signature)
+                    .or_insert_with(|| LiteralGroup {
+                        rep: sub.filters.content[0].clone(),
+                        buckets: HashMap::new(),
+                    });
+                group.buckets.entry(value).or_default().push(key);
+            }
+            Placement::Broadcast => self.index.broadcast.push(key),
         }
     }
 
-    fn unlink(&mut self, id: &str, filters: &UnifiedFilters) {
-        match index_slot(filters) {
-            IndexSlot::Unfiltered => self.unfiltered.retain(|x| x != id),
-            IndexSlot::Wildcard => self.wildcard.retain(|x| x != id),
-            IndexSlot::Roots(roots) => {
-                for root in roots {
-                    if let Some(bucket) = self.by_root.get_mut(&root) {
-                        bucket.retain(|x| x != id);
+    fn unlink(&mut self, key: u64, sub: &BrokerSubscription) {
+        match placement(&sub.filters) {
+            Placement::Trie => {
+                for expr in &sub.filters.topics {
+                    self.index.trie.remove(expr, key);
+                }
+            }
+            Placement::Literal { signature, value } => {
+                if let Some(group) = self.index.literal_groups.get_mut(&signature) {
+                    if let Some(bucket) = group.buckets.get_mut(&value) {
+                        bucket.retain(|&k| k != key);
                         if bucket.is_empty() {
-                            self.by_root.remove(&root);
+                            group.buckets.remove(&value);
                         }
+                    }
+                    if group.buckets.is_empty() {
+                        self.index.literal_groups.remove(&signature);
                     }
                 }
             }
+            Placement::Broadcast => self.index.broadcast.retain(|&k| k != key),
         }
+    }
+
+    fn remove_entry(&mut self, id: &str) -> Option<SubEntry> {
+        let key = self.key_of.remove(id)?;
+        let entry = self.by_key.remove(&key)?;
+        let core = entry.core.clone();
+        self.unlink(key, &core);
+        Some(entry)
     }
 }
 
@@ -214,18 +321,23 @@ impl Registry {
     ) -> String {
         let mut inner = self.inner.lock();
         inner.next_id += 1;
-        let id = format!("wsm-{}", inner.next_id);
-        inner.link(&id, &filters);
-        inner.subs.insert(
-            id.clone(),
-            BrokerSubscription {
-                id: id.clone(),
-                spec,
-                consumer,
-                end_to,
-                filters,
-                mode,
-                use_raw,
+        let key = inner.next_id;
+        let id = format!("wsm-{key}");
+        let core = Arc::new(BrokerSubscription {
+            id: id.clone(),
+            spec,
+            consumer,
+            end_to,
+            filters,
+            mode,
+            use_raw,
+        });
+        inner.link(key, &core);
+        inner.key_of.insert(id.clone(), key);
+        inner.by_key.insert(
+            key,
+            SubEntry {
+                core,
                 paused: false,
                 expires_at_ms,
                 queue: VecDeque::new(),
@@ -235,139 +347,167 @@ impl Registry {
         id
     }
 
-    /// Snapshot one subscription.
-    pub fn get(&self, id: &str) -> Option<BrokerSubscription> {
-        self.inner.lock().subs.get(id).cloned()
+    fn with_entry<T>(&self, id: &str, f: impl FnOnce(&mut SubEntry) -> T) -> Option<T> {
+        let mut inner = self.inner.lock();
+        let key = *inner.key_of.get(id)?;
+        inner.by_key.get_mut(&key).map(f)
+    }
+
+    /// The shared immutable core of one subscription.
+    pub fn get(&self, id: &str) -> Option<Arc<BrokerSubscription>> {
+        self.with_entry(id, |e| e.core.clone())
+    }
+
+    /// The mutable status of one subscription.
+    pub fn status(&self, id: &str) -> Option<SubscriptionStatus> {
+        self.with_entry(id, |e| SubscriptionStatus {
+            paused: e.paused,
+            expires_at_ms: e.expires_at_ms,
+        })
     }
 
     /// Remove one subscription.
-    pub fn remove(&self, id: &str) -> Option<BrokerSubscription> {
-        let mut inner = self.inner.lock();
-        let sub = inner.subs.remove(id)?;
-        inner.unlink(id, &sub.filters);
-        Some(sub)
+    pub fn remove(&self, id: &str) -> Option<Arc<BrokerSubscription>> {
+        self.inner.lock().remove_entry(id).map(|e| e.core)
     }
 
     /// Update expiry. False when unknown.
     pub fn set_expiry(&self, id: &str, expires_at_ms: Option<u64>) -> bool {
-        match self.inner.lock().subs.get_mut(id) {
-            Some(s) => {
-                s.expires_at_ms = expires_at_ms;
-                true
-            }
-            None => false,
-        }
+        self.with_entry(id, |e| e.expires_at_ms = expires_at_ms)
+            .is_some()
     }
 
     /// Pause / resume. False when unknown.
     pub fn set_paused(&self, id: &str, paused: bool) -> bool {
-        match self.inner.lock().subs.get_mut(id) {
-            Some(s) => {
-                s.paused = paused;
-                true
-            }
-            None => false,
-        }
+        self.with_entry(id, |e| e.paused = paused).is_some()
     }
 
     /// Remove expired subscriptions, returning them.
-    pub fn sweep_expired(&self, now_ms: u64) -> Vec<BrokerSubscription> {
+    pub fn sweep_expired(&self, now_ms: u64) -> Vec<Arc<BrokerSubscription>> {
         let mut inner = self.inner.lock();
-        let ids: Vec<String> = inner
-            .subs
+        let mut ids: Vec<String> = inner
+            .by_key
             .values()
-            .filter(|s| s.expired(now_ms))
-            .map(|s| s.id.clone())
+            .filter(|e| e.expired(now_ms))
+            .map(|e| e.core.id.clone())
             .collect();
+        // Deterministic sweep order for the chaos suite's trace diff.
+        ids.sort();
         ids.iter()
-            .filter_map(|id| {
-                let sub = inner.subs.remove(id)?;
-                inner.unlink(id, &sub.filters);
-                Some(sub)
-            })
+            .filter_map(|id| inner.remove_entry(id).map(|e| e.core))
             .collect()
     }
 
-    /// Live, unpaused subscriptions admitting `event`.
+    /// Live, unpaused subscriptions admitting `event`, in id order.
     ///
-    /// Candidates come from the topic index: for a topical event, the
-    /// bucket of its root plus the wildcard and no-topic-filter side
-    /// lists; for a topicless event, only the no-topic-filter list
-    /// (topic filters never admit topicless events). Each candidate
-    /// still runs the full [`UnifiedFilters::admit`] check, so the
-    /// index is purely a pruning step and cannot change semantics.
+    /// Candidates come from the match index (module docs): trie hits
+    /// arrive with their topic check proven and only re-run content /
+    /// producer-properties filters; literal-bucket hits are full
+    /// proofs and run nothing; broadcast entries run the whole check.
+    /// The index is sound — it only ever *skips* work the structures
+    /// have already decided — so results are identical to scanning
+    /// every subscription with [`UnifiedFilters::admit`].
     pub fn matching(
         &self,
         event: &InternalEvent,
         producer_properties: Option<&Element>,
         now_ms: u64,
-    ) -> Vec<BrokerSubscription> {
+    ) -> Vec<Arc<BrokerSubscription>> {
         let inner = self.inner.lock();
-        let mut candidates: Vec<&str> = Vec::new();
+        // One shared document index per publication, reused by every
+        // candidate filter evaluation and literal-group path.
+        let payload = EvalDoc::new(event.payload_element());
+        let props = producer_properties.map(EvalDoc::new);
+        let mut hits: Vec<u64> = Vec::new();
+
         if let Some(topic) = &event.topic {
-            if let Some(bucket) = inner.by_root.get(topic.root()) {
-                candidates.extend(bucket.iter().map(String::as_str));
+            for key in inner.index.trie.matches(topic) {
+                if let Some(e) = inner.by_key.get(&key) {
+                    if e.live(now_ms)
+                        && e.core
+                            .filters
+                            .admit_docs(Some(topic), true, &payload, props.as_ref())
+                    {
+                        hits.push(key);
+                    }
+                }
             }
-            candidates.extend(inner.wildcard.iter().map(String::as_str));
         }
-        candidates.extend(inner.unfiltered.iter().map(String::as_str));
-        candidates
-            .into_iter()
-            .filter_map(|id| inner.subs.get(id))
-            .filter(|s| {
-                !s.paused && !s.expired(now_ms) && s.filters.admit(event, producer_properties)
-            })
-            .cloned()
+
+        for group in inner.index.literal_groups.values() {
+            let mut values = group.rep.eval_literal_path(&payload);
+            values.sort_unstable();
+            values.dedup();
+            for value in values {
+                if let Some(bucket) = group.buckets.get(&value) {
+                    for &key in bucket {
+                        if inner.by_key.get(&key).is_some_and(|e| e.live(now_ms)) {
+                            hits.push(key);
+                        }
+                    }
+                }
+            }
+        }
+
+        for &key in &inner.index.broadcast {
+            if let Some(e) = inner.by_key.get(&key) {
+                if e.live(now_ms)
+                    && e.core.filters.admit_docs(
+                        event.topic.as_ref(),
+                        false,
+                        &payload,
+                        props.as_ref(),
+                    )
+                {
+                    hits.push(key);
+                }
+            }
+        }
+
+        // Numeric id order: stable across processes (no hasher seeds
+        // involved) and equal to subscription age.
+        hits.sort_unstable();
+        hits.dedup();
+        hits.into_iter()
+            .filter_map(|key| inner.by_key.get(&key).map(|e| e.core.clone()))
             .collect()
     }
 
     /// Queue an event on a pull subscription.
     pub fn queue_event(&self, id: &str, payload: Arc<SharedElement>) -> bool {
-        match self.inner.lock().subs.get_mut(id) {
-            Some(s) => {
-                s.queue.push_back(payload);
-                true
-            }
-            None => false,
-        }
+        self.with_entry(id, |e| e.queue.push_back(payload))
+            .is_some()
     }
 
     /// Drain up to `max` queued events.
     pub fn drain_queue(&self, id: &str, max: usize) -> Vec<Arc<SharedElement>> {
-        match self.inner.lock().subs.get_mut(id) {
-            Some(s) => {
-                let n = max.min(s.queue.len());
-                s.queue.drain(..n).collect()
-            }
-            None => Vec::new(),
-        }
+        self.with_entry(id, |e| {
+            let n = max.min(e.queue.len());
+            e.queue.drain(..n).collect()
+        })
+        .unwrap_or_default()
     }
 
     /// Buffer an event for wrapped delivery.
     pub fn buffer_wrapped(&self, id: &str, payload: Arc<SharedElement>) -> bool {
-        match self.inner.lock().subs.get_mut(id) {
-            Some(s) => {
-                s.wrap_buffer.push(payload);
-                true
-            }
-            None => false,
-        }
+        self.with_entry(id, |e| e.wrap_buffer.push(payload))
+            .is_some()
     }
 
     /// Take all wrapped buffers.
     pub fn take_wrap_buffers(&self) -> Vec<(String, Vec<Arc<SharedElement>>)> {
         self.inner
             .lock()
-            .subs
+            .by_key
             .values_mut()
-            .filter(|s| !s.wrap_buffer.is_empty())
-            .map(|s| (s.id.clone(), std::mem::take(&mut s.wrap_buffer)))
+            .filter(|e| !e.wrap_buffer.is_empty())
+            .map(|e| (e.core.id.clone(), std::mem::take(&mut e.wrap_buffer)))
             .collect()
     }
 
     /// Subscription count.
     pub fn len(&self) -> usize {
-        self.inner.lock().subs.len()
+        self.inner.lock().by_key.len()
     }
 
     /// Is the registry empty?
@@ -376,8 +516,13 @@ impl Registry {
     }
 
     /// Snapshot all subscriptions.
-    pub fn all(&self) -> Vec<BrokerSubscription> {
-        self.inner.lock().subs.values().cloned().collect()
+    pub fn all(&self) -> Vec<Arc<BrokerSubscription>> {
+        self.inner
+            .lock()
+            .by_key
+            .values()
+            .map(|e| e.core.clone())
+            .collect()
     }
 }
 
@@ -394,11 +539,15 @@ mod tests {
         SpecDialect::Wse(WseVersion::Aug2004)
     }
 
+    fn xp(src: &str) -> Arc<CompiledFilter> {
+        Arc::new(CompiledFilter::compile(src).unwrap())
+    }
+
     #[test]
     fn unified_filters_combine_kinds() {
         let f = UnifiedFilters {
             topics: vec![TopicExpression::concrete("storms").unwrap()],
-            content: vec![XPath::compile("/e[@sev > 3]").unwrap()],
+            content: vec![xp("/e[@sev > 3]")],
             producer_props: vec![],
         };
         let hot = InternalEvent::on_topic("storms", Element::local("e").with_attr("sev", "5"));
@@ -426,6 +575,13 @@ mod tests {
         );
         assert_eq!(r.len(), 1);
         assert!(r.get(&id).is_some());
+        assert_eq!(
+            r.status(&id),
+            Some(SubscriptionStatus {
+                paused: false,
+                expires_at_ms: Some(100)
+            })
+        );
         assert!(r.set_expiry(&id, Some(500)));
         assert!(r.sweep_expired(200).is_empty());
         assert_eq!(r.sweep_expired(600).len(), 1);
@@ -448,6 +604,8 @@ mod tests {
         assert_eq!(r.matching(&ev, None, 0).len(), 1);
         r.set_paused(&id, true);
         assert_eq!(r.matching(&ev, None, 0).len(), 0);
+        r.set_paused(&id, false);
+        assert_eq!(r.matching(&ev, None, 0).len(), 1);
     }
 
     fn topic_filters(expr: TopicExpression) -> UnifiedFilters {
@@ -485,7 +643,11 @@ mod tests {
         let open = insert_with(&r, UnifiedFilters::default());
 
         let ids = |ev: &InternalEvent| -> Vec<String> {
-            let mut v: Vec<String> = r.matching(ev, None, 0).into_iter().map(|s| s.id).collect();
+            let mut v: Vec<String> = r
+                .matching(ev, None, 0)
+                .into_iter()
+                .map(|s| s.id.clone())
+                .collect();
             v.sort();
             v
         };
@@ -501,7 +663,7 @@ mod tests {
         assert_eq!(ids(&traffic), expect);
 
         // A root no expression opens with reaches only wildcard +
-        // unfiltered candidates; the wildcard one still must admit.
+        // unfiltered candidates.
         let deep_hail = InternalEvent::on_topic("alerts/hail", Element::local("e"));
         let mut expect = vec![wild.clone(), open.clone()];
         expect.sort();
@@ -511,11 +673,128 @@ mod tests {
         let topicless = InternalEvent::raw(Element::local("e"));
         assert_eq!(ids(&topicless), vec![open.clone()]);
 
-        // Removal unlinks from every bucket it was linked into.
+        // Removal unlinks from every trie terminal it was linked into.
         r.remove(&union);
         let mut expect = vec![rooted, wild, open];
         expect.sort();
         assert_eq!(ids(&hail), expect);
+    }
+
+    #[test]
+    fn literal_buckets_route_equality_filters() {
+        let r = Registry::new();
+        let mut on_source: Vec<String> = Vec::new();
+        for i in 0..8 {
+            on_source.push(insert_with(
+                &r,
+                UnifiedFilters {
+                    topics: vec![],
+                    content: vec![xp(&format!("/event/source = 'gridftp-{i}'"))],
+                    producer_props: vec![],
+                },
+            ));
+        }
+        // Same signature, different literal; plus an unindexable filter.
+        let complex = insert_with(
+            &r,
+            UnifiedFilters {
+                topics: vec![],
+                content: vec![xp("contains(/event/source, 'ftp-3')")],
+                producer_props: vec![],
+            },
+        );
+
+        let ev = InternalEvent::raw(
+            Element::local("event")
+                .with_child(Element::local("source").with_text("gridftp-3".to_string())),
+        );
+        let mut got: Vec<String> = r
+            .matching(&ev, None, 0)
+            .into_iter()
+            .map(|s| s.id.clone())
+            .collect();
+        got.sort();
+        let mut want = vec![on_source[3].clone(), complex.clone()];
+        want.sort();
+        assert_eq!(got, want);
+
+        // Unlinking empties the bucket; the complex one still matches.
+        r.remove(&on_source[3]);
+        let got: Vec<String> = r
+            .matching(&ev, None, 0)
+            .into_iter()
+            .map(|s| s.id.clone())
+            .collect();
+        assert_eq!(got, vec![complex]);
+    }
+
+    #[test]
+    fn index_matches_linear_scan_semantics() {
+        // The index must be invisible: for a mixed population and a
+        // set of events, matching() equals a brute-force admit() scan.
+        let r = Registry::new();
+        let filters: Vec<UnifiedFilters> = vec![
+            UnifiedFilters::default(),
+            topic_filters(TopicExpression::simple("storms").unwrap()),
+            topic_filters(TopicExpression::full("storms//*").unwrap()),
+            UnifiedFilters {
+                topics: vec![TopicExpression::concrete("storms/hail").unwrap()],
+                content: vec![xp("/e/@sev > 3")],
+                producer_props: vec![],
+            },
+            UnifiedFilters {
+                topics: vec![],
+                content: vec![xp("/e/kind = 'alert'")],
+                producer_props: vec![],
+            },
+            UnifiedFilters {
+                topics: vec![],
+                content: vec![xp("count(/e/*) > 1")],
+                producer_props: vec![],
+            },
+            UnifiedFilters {
+                topics: vec![],
+                content: vec![],
+                producer_props: vec![xp("/props/site = 'anl'")],
+            },
+        ];
+        let mut ids = Vec::new();
+        for f in &filters {
+            ids.push(insert_with(&r, f.clone()));
+        }
+        let props =
+            Element::local("props").with_child(Element::local("site").with_text("anl".to_string()));
+        let events = [
+            InternalEvent::raw(Element::local("e").with_attr("sev", "5")),
+            InternalEvent::on_topic("storms/hail", Element::local("e").with_attr("sev", "5")),
+            InternalEvent::on_topic("storms/hail", Element::local("e").with_attr("sev", "1")),
+            InternalEvent::raw(
+                Element::local("e")
+                    .with_child(Element::local("kind").with_text("alert".to_string())),
+            ),
+            InternalEvent::on_topic(
+                "traffic",
+                Element::local("e")
+                    .with_child(Element::local("kind").with_text("alert".to_string()))
+                    .with_child(Element::local("x")),
+            ),
+        ];
+        for (ei, ev) in events.iter().enumerate() {
+            for props_opt in [None, Some(&props)] {
+                let got: Vec<String> = r
+                    .matching(ev, props_opt, 0)
+                    .into_iter()
+                    .map(|s| s.id.clone())
+                    .collect();
+                let want: Vec<String> = ids
+                    .iter()
+                    .zip(&filters)
+                    .filter(|(_, f)| f.admit(ev, props_opt))
+                    .map(|(id, _)| id.clone())
+                    .collect();
+                assert_eq!(got, want, "event {ei}, props {}", props_opt.is_some());
+            }
+        }
     }
 
     #[test]

@@ -324,10 +324,6 @@ mod tests {
             filters: UnifiedFilters::default(),
             mode: BrokerDeliveryMode::Push,
             use_raw,
-            paused: false,
-            expires_at_ms: None,
-            queue: Default::default(),
-            wrap_buffer: Vec::new(),
         }
     }
 

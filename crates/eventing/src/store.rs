@@ -8,15 +8,19 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use wsm_addressing::EndpointReference;
 use wsm_xml::Element;
-use wsm_xpath::XPath;
+use wsm_xpath::CompiledFilter as CompiledXPath;
 
 /// A filter compiled at `Subscribe` time (brokers evaluate it per
 /// published event).
+///
+/// The XPath program is lowered once here and shared behind an `Arc`;
+/// cloning the subscription (the store hands out snapshots) bumps a
+/// refcount instead of re-parsing the expression.
 #[derive(Debug, Clone)]
 pub struct CompiledFilter {
     /// The declared filter.
     pub filter: Filter,
-    xpath: Option<XPath>,
+    xpath: Option<Arc<CompiledXPath>>,
 }
 
 impl CompiledFilter {
@@ -25,10 +29,10 @@ impl CompiledFilter {
     /// fault, the spec's named fault for this).
     pub fn compile(filter: Filter) -> Option<Self> {
         if filter.dialect == XPATH_DIALECT {
-            let xpath = XPath::compile(&filter.expression).ok()?;
+            let xpath = CompiledXPath::compile(&filter.expression).ok()?;
             Some(CompiledFilter {
                 filter,
-                xpath: Some(xpath),
+                xpath: Some(Arc::new(xpath)),
             })
         } else {
             None

@@ -7,18 +7,22 @@ use std::sync::Arc;
 use wsm_addressing::EndpointReference;
 use wsm_topics::{TopicExpression, TopicPath};
 use wsm_xml::Element;
-use wsm_xpath::XPath;
+use wsm_xpath::CompiledFilter;
 
 /// Filters compiled once at `Subscribe` time.
+///
+/// XPath filters are lowered to shared [`CompiledFilter`] programs —
+/// cloning a subscription bumps refcounts, and every evaluation reuses
+/// the compiled form.
 #[derive(Debug, Clone, Default)]
 pub struct CompiledFilters {
     /// Topic expressions (any match admits the message).
     pub topics: Vec<TopicExpression>,
     /// Producer-properties predicates (evaluated over the producer's
     /// property document).
-    pub producer_props: Vec<XPath>,
+    pub producer_props: Vec<Arc<CompiledFilter>>,
     /// Message-content predicates (evaluated over the payload).
-    pub content: Vec<XPath>,
+    pub content: Vec<Arc<CompiledFilter>>,
 }
 
 impl CompiledFilters {
@@ -29,9 +33,10 @@ impl CompiledFilters {
         for f in &req.filters {
             match f {
                 WsnFilter::Topic(t) => out.topics.push(t.clone()),
-                WsnFilter::ProducerProperties(x) => out
-                    .producer_props
-                    .push(XPath::compile(x).map_err(|e| format!("ProducerProperties `{x}`: {e}"))?),
+                WsnFilter::ProducerProperties(x) => out.producer_props.push(Arc::new(
+                    CompiledFilter::compile(x)
+                        .map_err(|e| format!("ProducerProperties `{x}`: {e}"))?,
+                )),
                 WsnFilter::MessageContent {
                     dialect,
                     expression,
@@ -39,10 +44,10 @@ impl CompiledFilters {
                     if dialect != crate::XPATH_DIALECT {
                         return Err(format!("unsupported MessageContent dialect `{dialect}`"));
                     }
-                    out.content.push(
-                        XPath::compile(expression)
+                    out.content.push(Arc::new(
+                        CompiledFilter::compile(expression)
                             .map_err(|e| format!("MessageContent `{expression}`: {e}"))?,
-                    );
+                    ));
                 }
             }
         }

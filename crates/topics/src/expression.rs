@@ -76,7 +76,7 @@ impl std::error::Error for TopicExprError {}
 
 /// One step of a Full-dialect pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Seg {
+pub(crate) enum Seg {
     /// A literal name.
     Name(String),
     /// `*` — exactly one level, any name.
@@ -185,6 +185,18 @@ impl TopicExpression {
     /// The original expression text.
     pub fn text(&self) -> &str {
         &self.text
+    }
+
+    /// The compiled union alternatives, for the trie index.
+    pub(crate) fn alts(&self) -> &[Vec<Seg>] {
+        &self.alternatives
+    }
+
+    /// Do this expression's terminals match the whole topic subtree
+    /// (Simple/Concrete prefix semantics) rather than an exact depth
+    /// (Full semantics)?
+    pub(crate) fn is_subtree(&self) -> bool {
+        matches!(self.dialect, Dialect::Simple | Dialect::Concrete)
     }
 
     /// The root topic names this expression can possibly match, one

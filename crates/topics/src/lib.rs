@@ -30,8 +30,10 @@ pub mod document;
 pub mod expression;
 pub mod path;
 pub mod space;
+pub mod trie;
 
 pub use document::{from_topic_set, to_topic_set, TOPIC_SET_NS};
 pub use expression::{Dialect, TopicExprError, TopicExpression};
 pub use path::TopicPath;
 pub use space::{TopicNode, TopicSpace};
+pub use trie::TopicTrie;

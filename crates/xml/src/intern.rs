@@ -113,6 +113,32 @@ const WELL_KNOWN: &[&str] = &[
     "wsm",
     "ns0",
     "ns1",
+    // WS-Topics dialect URIs and the topic vocabulary the broker's
+    // trie index keys on. Trie edges are HashMap<Interned, _>, so
+    // seeding the common topic words lets both Subscribe-time edge
+    // creation and publish-time lookups hit the pointer-equality fast
+    // path instead of taking a shard write lock on first use.
+    "http://docs.oasis-open.org/wsn/t-1",
+    "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Simple",
+    "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Concrete",
+    "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Full",
+    "wstop",
+    "storms",
+    "tornado",
+    "hail",
+    "traffic",
+    "jobs",
+    "transfers",
+    "gridftp",
+    "compute",
+    "started",
+    "finished",
+    "failed",
+    "status",
+    "alerts",
+    "weather",
+    "experiments",
+    "wsmsg",
 ];
 
 struct Interner {

@@ -1,0 +1,546 @@
+//! Compile-once lowering of parsed XPath into a reusable program.
+//!
+//! [`CompiledFilter::compile`] performs, once at `Subscribe` time, all
+//! of the work the old interpreter repeated on every publication:
+//!
+//! * **prefix resolution** — every name test's namespace prefix is
+//!   resolved against the subscription's bindings and replaced by the
+//!   interned URI (an unbound prefix becomes a test that statically
+//!   matches nothing, preserving interpreter semantics);
+//! * **interning** — local names and URIs become [`Interned`] handles
+//!   so evaluation compares pointers, not strings;
+//! * **function resolution** — call sites are lowered from
+//!   `(name, arity)` strings to an enum dispatch;
+//! * **constant folding** — context-free pure subexpressions
+//!   (`2 * 3 < 7`, `contains('ab', 'a')`, `not(false())`, ...) are
+//!   evaluated at compile time and replaced by their value;
+//! * **fact extraction** — conservative facts the registry's match
+//!   index uses to reject candidates without running the filter: a
+//!   required-name bitset and, for simple `path = 'literal'` filters,
+//!   a canonical literal-equality form.
+
+use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
+use crate::eval::{v_bool, DocIndex, EvalDoc, V};
+use crate::parser::{self, XPathError};
+use crate::program::{
+    const_verdict, name_bit, run_path_strings, run_root, CExpr, CPath, CStep, CTest, Func,
+};
+use crate::value::Value;
+use wsm_xml::intern::{intern, Interned};
+use wsm_xml::{Element, QName};
+
+/// A filter compiled once and evaluated against many documents.
+///
+/// Produced by [`CompiledFilter::compile`]; evaluated either directly
+/// against an [`Element`] or — the broker fast path — against a shared
+/// [`EvalDoc`] so one document index serves every candidate filter.
+#[derive(Debug, Clone)]
+pub struct CompiledFilter {
+    source: String,
+    prog: CExpr,
+    required_mask: u64,
+    literal_eq: Option<LiteralEq>,
+}
+
+/// Canonical form of a `path = 'literal'` filter.
+#[derive(Debug, Clone)]
+pub(crate) struct LiteralEq {
+    /// Canonical path text, e.g. `/event/source` or `/event/@sev`,
+    /// with namespaced names in Clark form. Filters with equal
+    /// signatures select the same nodes, so a match index can evaluate
+    /// one representative path per signature and bucket subscriptions
+    /// by expected value.
+    pub(crate) signature: String,
+    /// The literal the node's string-value must equal.
+    pub(crate) value: String,
+    /// The compiled path, for evaluating the representative.
+    pub(crate) path: CPath,
+}
+
+impl CompiledFilter {
+    /// Compile `source` with no namespace bindings.
+    pub fn compile(source: &str) -> Result<Self, XPathError> {
+        Self::compile_with_namespaces(source, &[])
+    }
+
+    /// Compile with namespace bindings for prefixes used in the
+    /// expression (as carried by the subscription message's in-scope
+    /// declarations). Prefixes are resolved here, once.
+    pub fn compile_with_namespaces(
+        source: &str,
+        namespaces: &[(&str, &str)],
+    ) -> Result<Self, XPathError> {
+        let ast = parser::parse(source)?;
+        Ok(Self::from_ast(source, &ast, namespaces))
+    }
+
+    /// Lower an already-parsed expression.
+    pub fn from_ast(source: &str, ast: &Expr, namespaces: &[(&str, &str)]) -> Self {
+        let lowered = lower_expr(ast, namespaces);
+        let prog = fold(lowered);
+        let required_mask = required_names(&prog);
+        let literal_eq = extract_literal_eq(&prog);
+        CompiledFilter {
+            source: source.to_string(),
+            prog,
+            required_mask,
+            literal_eq,
+        }
+    }
+
+    /// The original expression text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Evaluate against a shared pre-indexed document.
+    pub fn evaluate_doc(&self, doc: &EvalDoc) -> Value {
+        match run_root(&doc.idx, &self.prog) {
+            V::B(b) => Value::Boolean(b),
+            V::N(n) => Value::Number(n),
+            V::S(s) => Value::String(s),
+            V::Nodes(ids) => {
+                Value::NodeSet(ids.iter().map(|&id| doc.idx.string_value(id)).collect())
+            }
+        }
+    }
+
+    /// Filter semantics against a shared pre-indexed document: the
+    /// boolean value of the result, with no `Value` materialization.
+    pub fn matches_doc(&self, doc: &EvalDoc) -> bool {
+        if let Some(b) = const_verdict(&self.prog) {
+            return b;
+        }
+        v_bool(&run_root(&doc.idx, &self.prog))
+    }
+
+    /// Evaluate against `root`, indexing the document first.
+    /// Single-use convenience; batch callers should share an
+    /// [`EvalDoc`].
+    pub fn evaluate(&self, root: &Element) -> Value {
+        self.evaluate_doc(&EvalDoc::new(root))
+    }
+
+    /// Filter semantics against `root` (see [`Self::matches_doc`]).
+    pub fn matches(&self, root: &Element) -> bool {
+        self.matches_doc(&EvalDoc::new(root))
+    }
+
+    /// Name-presence bits this filter requires to be true.
+    ///
+    /// Sound prefilter: if `required_mask() & doc.name_mask() !=
+    /// required_mask()`, then `matches_doc(doc)` is `false`. The
+    /// converse does not hold — a passing mask only makes the filter a
+    /// candidate.
+    pub fn required_mask(&self) -> u64 {
+        self.required_mask
+    }
+
+    /// Can this filter possibly match `doc`, judged by names alone?
+    pub fn may_match(&self, doc: &EvalDoc) -> bool {
+        self.required_mask & doc.name_mask() == self.required_mask
+    }
+
+    /// If this filter is exactly `path = 'literal'` over a simple
+    /// absolute child path (optionally ending in an attribute), its
+    /// `(signature, literal)` pair. Filters sharing a signature can be
+    /// bucketed by literal and decided with one path evaluation.
+    pub fn literal_eq(&self) -> Option<(&str, &str)> {
+        self.literal_eq
+            .as_ref()
+            .map(|le| (le.signature.as_str(), le.value.as_str()))
+    }
+
+    /// Evaluate the literal-equality path against a document, returning
+    /// the string-values of the selected nodes. Empty when this filter
+    /// has no literal-equality form.
+    pub fn eval_literal_path(&self, doc: &EvalDoc) -> Vec<String> {
+        match &self.literal_eq {
+            Some(le) => run_path_strings(&doc.idx, &le.path),
+            None => Vec::new(),
+        }
+    }
+}
+
+// -------------------------------------------------------------- lowering
+
+fn resolve(namespaces: &[(&str, &str)], prefix: &str) -> Option<Interned> {
+    namespaces
+        .iter()
+        .find(|(p, _)| *p == prefix)
+        .map(|(_, u)| intern(u))
+}
+
+fn lower_expr(e: &Expr, ns: &[(&str, &str)]) -> CExpr {
+    match e {
+        Expr::Number(n) => CExpr::Number(*n),
+        Expr::Literal(s) => CExpr::Literal(s.clone()),
+        // No variable bindings are defined by the WS filter dialects;
+        // an unbound variable selects nothing.
+        Expr::Variable(_) => CExpr::EmptySet,
+        Expr::Negate(x) => CExpr::Negate(Box::new(lower_expr(x, ns))),
+        Expr::Binary(op, l, r) => CExpr::Binary(
+            *op,
+            Box::new(lower_expr(l, ns)),
+            Box::new(lower_expr(r, ns)),
+        ),
+        Expr::Call { name, args } => CExpr::Call(
+            Func::resolve(name, args.len()),
+            args.iter().map(|a| lower_expr(a, ns)).collect(),
+        ),
+        Expr::Path(lp) => CExpr::Path(lower_path(lp, ns)),
+        Expr::Filtered {
+            primary,
+            predicates,
+            path,
+        } => CExpr::Filtered {
+            primary: Box::new(lower_expr(primary, ns)),
+            predicates: predicates.iter().map(|p| lower_expr(p, ns)).collect(),
+            path: path.as_ref().map(|lp| lower_path(lp, ns)),
+        },
+    }
+}
+
+fn lower_path(lp: &LocationPath, ns: &[(&str, &str)]) -> CPath {
+    CPath {
+        absolute: lp.absolute,
+        steps: lp.steps.iter().map(|s| lower_step(s, ns)).collect(),
+    }
+}
+
+fn lower_step(step: &Step, ns: &[(&str, &str)]) -> CStep {
+    CStep {
+        axis: step.axis,
+        test: lower_test(&step.test, ns),
+        predicates: step.predicates.iter().map(|p| lower_expr(p, ns)).collect(),
+    }
+}
+
+fn lower_test(test: &NodeTest, ns: &[(&str, &str)]) -> CTest {
+    match test {
+        NodeTest::AnyNode => CTest::AnyNode,
+        NodeTest::Text => CTest::Text,
+        NodeTest::Comment => CTest::Comment,
+        NodeTest::AnyName => CTest::AnyName,
+        NodeTest::NamespaceWildcard(prefix) => match resolve(ns, prefix) {
+            Some(uri) => CTest::NsWildcard(uri),
+            // Unbound prefix: matches nothing, resolved statically.
+            None => CTest::Nothing,
+        },
+        NodeTest::Name { prefix, local } => match prefix {
+            // XPath 1.0: an unprefixed name test selects nodes in NO
+            // namespace (there is no default namespace for XPath).
+            None => CTest::Name {
+                ns: None,
+                local: intern(local),
+            },
+            Some(p) => match resolve(ns, p) {
+                Some(uri) => CTest::Name {
+                    ns: Some(uri),
+                    local: intern(local),
+                },
+                None => CTest::Nothing,
+            },
+        },
+    }
+}
+
+// -------------------------------------------------------------- folding
+
+/// Is `e` free of document, position and size context — i.e. does it
+/// evaluate to the same scalar for every evaluation context?
+fn is_pure(e: &CExpr) -> bool {
+    match e {
+        CExpr::Number(_) | CExpr::Literal(_) | CExpr::Bool(_) => true,
+        // The empty node-set is constant too, but folding it would turn
+        // a node-set into a scalar and change comparison semantics.
+        CExpr::EmptySet => false,
+        // Union yields a node-set; everything else below yields B/N/S.
+        CExpr::Binary(BinOp::Union, _, _) => false,
+        CExpr::Binary(_, l, r) => is_pure(l) && is_pure(r),
+        CExpr::Negate(x) => is_pure(x),
+        CExpr::Call(f, args) => f.is_context_free() && args.iter().all(is_pure),
+        CExpr::Path(_) | CExpr::Filtered { .. } => false,
+    }
+}
+
+/// Fold constant subexpressions bottom-up. Pure subtrees are evaluated
+/// against a dummy document (their value cannot depend on it) and
+/// replaced by a literal program node.
+fn fold(e: CExpr) -> CExpr {
+    let rebuilt = match e {
+        CExpr::Negate(x) => CExpr::Negate(Box::new(fold(*x))),
+        CExpr::Binary(op, l, r) => CExpr::Binary(op, Box::new(fold(*l)), Box::new(fold(*r))),
+        CExpr::Call(f, args) => CExpr::Call(f, args.into_iter().map(fold).collect()),
+        CExpr::Path(mut p) => {
+            for step in &mut p.steps {
+                let preds = std::mem::take(&mut step.predicates);
+                step.predicates = preds.into_iter().map(fold).collect();
+            }
+            CExpr::Path(p)
+        }
+        CExpr::Filtered {
+            primary,
+            predicates,
+            path,
+        } => CExpr::Filtered {
+            primary: Box::new(fold(*primary)),
+            predicates: predicates.into_iter().map(fold).collect(),
+            path: path.map(|mut p| {
+                for step in &mut p.steps {
+                    let preds = std::mem::take(&mut step.predicates);
+                    step.predicates = preds.into_iter().map(fold).collect();
+                }
+                p
+            }),
+        },
+        leaf => leaf,
+    };
+    let already_leaf = matches!(
+        rebuilt,
+        CExpr::Number(_) | CExpr::Literal(_) | CExpr::Bool(_)
+    );
+    if already_leaf || !is_pure(&rebuilt) {
+        return rebuilt;
+    }
+    let dummy = Element::new(QName::local("x"));
+    let idx = DocIndex::build(&dummy);
+    match run_root(&idx, &rebuilt) {
+        V::B(b) => CExpr::Bool(b),
+        V::N(n) => CExpr::Number(n),
+        V::S(s) => CExpr::Literal(s),
+        // Pure expressions never yield node-sets; keep the program
+        // unchanged if that invariant is ever violated.
+        V::Nodes(_) => rebuilt,
+    }
+}
+
+// ------------------------------------------------------- fact extraction
+
+/// Names that must be present in a document for the program's boolean
+/// value to possibly be `true`.
+///
+/// Conservative by construction: every rule only fires where "result is
+/// true ⇒ the path selected at least one node". Comparisons against
+/// booleans are deliberately excluded (`/a = false()` is *true* when
+/// `/a` is absent), as are `not(...)`, `!=` between node-sets, and any
+/// shape not listed.
+fn required_names(e: &CExpr) -> u64 {
+    match e {
+        // A top-level path: truth requires a selected node.
+        CExpr::Path(p) => path_names(p),
+        CExpr::Binary(BinOp::And, l, r) => required_names(l) | required_names(r),
+        // Either branch may carry the truth, so only names required by
+        // both are required overall.
+        CExpr::Binary(BinOp::Or, l, r) => required_names(l) & required_names(r),
+        // Existential comparison of a node-set against a number or
+        // string literal: true requires a node on the path side. This
+        // holds for `!=` too (some node must differ).
+        CExpr::Binary(
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq,
+            l,
+            r,
+        ) => match (&**l, &**r) {
+            (CExpr::Path(p), CExpr::Number(_) | CExpr::Literal(_))
+            | (CExpr::Number(_) | CExpr::Literal(_), CExpr::Path(p)) => path_names(p),
+            _ => 0,
+        },
+        CExpr::Call(Func::Boolean, args) => args.first().map(required_names).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// All name-test bits along a path's steps (plus requirements of its
+/// predicates). For the path to select anything, each named step must
+/// match a node bearing that local name — on any axis — so the name
+/// must appear somewhere in the document.
+fn path_names(p: &CPath) -> u64 {
+    let mut mask = 0u64;
+    for step in &p.steps {
+        if let CTest::Name { local, .. } = &step.test {
+            mask |= name_bit(local);
+        }
+        for pred in &step.predicates {
+            mask |= required_names(pred);
+        }
+    }
+    mask
+}
+
+/// Recognize `path = 'literal'` (either operand order) where `path` is
+/// absolute, uses only child steps with plain name tests — optionally a
+/// final attribute step — and has no predicates.
+fn extract_literal_eq(e: &CExpr) -> Option<LiteralEq> {
+    let (path, value) = match e {
+        CExpr::Binary(BinOp::Eq, l, r) => match (&**l, &**r) {
+            (CExpr::Path(p), CExpr::Literal(s)) | (CExpr::Literal(s), CExpr::Path(p)) => (p, s),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if !path.absolute || path.steps.is_empty() {
+        return None;
+    }
+    let mut signature = String::new();
+    let last = path.steps.len() - 1;
+    for (i, step) in path.steps.iter().enumerate() {
+        if !step.predicates.is_empty() {
+            return None;
+        }
+        let attr_ok = i == last && step.axis == Axis::Attribute;
+        if step.axis != Axis::Child && !attr_ok {
+            return None;
+        }
+        let CTest::Name { ns, local } = &step.test else {
+            return None;
+        };
+        signature.push('/');
+        if step.axis == Axis::Attribute {
+            signature.push('@');
+        }
+        if let Some(uri) = ns {
+            signature.push('{');
+            signature.push_str(uri);
+            signature.push('}');
+        }
+        signature.push_str(local);
+    }
+    Some(LiteralEq {
+        signature,
+        value: value.clone(),
+        path: path.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_xml::parse as xml;
+
+    fn cf(src: &str) -> CompiledFilter {
+        CompiledFilter::compile(src).unwrap()
+    }
+
+    #[test]
+    fn compiled_matches_agree_with_interpreter() {
+        let doc = xml("<event><severity>5</severity><source>gridftp-7</source></event>").unwrap();
+        let shared = EvalDoc::new(&doc);
+        for (src, want) in [
+            ("/event/severity > 3", true),
+            ("/event/severity > 7", false),
+            ("contains(/event/source, 'gridftp')", true),
+            ("/event/missing", false),
+            ("not(/event/missing)", true),
+        ] {
+            assert_eq!(cf(src).matches_doc(&shared), want, "{src}");
+        }
+    }
+
+    #[test]
+    fn constant_folding_collapses_pure_subtrees() {
+        // The whole expression is context-free: it folds to a constant
+        // verdict that never touches the document.
+        let f = cf("2 * 3 < 7 and contains('abc', 'b')");
+        assert_eq!(const_verdict_of(&f), Some(true));
+        let f2 = cf("1 > 2");
+        assert_eq!(const_verdict_of(&f2), Some(false));
+        // Context-dependent parts survive.
+        let f3 = cf("/a/b = 'x'");
+        assert_eq!(const_verdict_of(&f3), None);
+    }
+
+    fn const_verdict_of(f: &CompiledFilter) -> Option<bool> {
+        const_verdict(&f.prog)
+    }
+
+    #[test]
+    fn folded_constants_keep_value_semantics() {
+        let doc = xml("<r/>").unwrap();
+        assert_eq!(cf("2 + 3 * 4").evaluate(&doc), Value::Number(14.0));
+        assert_eq!(
+            cf("concat('a', 'b', 'c')").evaluate(&doc),
+            Value::String("abc".into())
+        );
+        assert_eq!(cf("not(1 = 2)").evaluate(&doc), Value::Boolean(true));
+    }
+
+    #[test]
+    fn prefixes_resolve_at_compile_time() {
+        let doc = xml(r#"<e:ev xmlns:e="urn:ev"><e:kind>done</e:kind></e:ev>"#).unwrap();
+        let f =
+            CompiledFilter::compile_with_namespaces("/n:ev/n:kind = 'done'", &[("n", "urn:ev")])
+                .unwrap();
+        assert!(f.matches(&doc));
+        let wrong =
+            CompiledFilter::compile_with_namespaces("/n:ev/n:kind = 'done'", &[("n", "urn:other")])
+                .unwrap();
+        assert!(!wrong.matches(&doc));
+        // Unbound prefix statically matches nothing.
+        let unbound = CompiledFilter::compile("/n:ev").unwrap();
+        let d2 = xml("<ev/>").unwrap();
+        assert!(!unbound.matches(&d2));
+    }
+
+    #[test]
+    fn required_mask_is_sound_and_useful() {
+        let doc = xml("<event><severity>5</severity></event>").unwrap();
+        let shared = EvalDoc::new(&doc);
+        let hit = cf("/event/severity > 3");
+        assert!(hit.may_match(&shared));
+        assert!(hit.matches_doc(&shared));
+        // A filter naming an absent element is rejected by mask alone.
+        let miss = cf("/event/temperature > 3");
+        assert!(!miss.may_match(&shared));
+        // Boolean comparison must NOT require the path: /a = false()
+        // is true when /a is absent.
+        let absent_true = cf("/nope = false()");
+        assert_eq!(absent_true.required_mask(), 0);
+        assert!(absent_true.matches_doc(&shared));
+        // Or-branches intersect; and-branches union.
+        let either = cf("/event/severity > 3 or /alarm");
+        assert!(either.may_match(&shared));
+        let both = cf("/event and /alarm");
+        assert!(!both.may_match(&shared));
+    }
+
+    #[test]
+    fn literal_eq_extraction() {
+        let f = cf("/event/source = 'gridftp-7'");
+        let (sig, val) = f.literal_eq().expect("literal form");
+        assert_eq!(sig, "/event/source");
+        assert_eq!(val, "gridftp-7");
+        // Flipped operand order and attribute tails normalize too.
+        let flipped = cf("'x' = /a/@k");
+        assert_eq!(flipped.literal_eq().unwrap().0, "/a/@k");
+        // Number comparisons, predicates and descendants do not qualify.
+        assert!(cf("/a/b = 7").literal_eq().is_none());
+        assert!(cf("/a[b]/c = 'x'").literal_eq().is_none());
+        assert!(cf("//a = 'x'").literal_eq().is_none());
+        assert!(cf("/a != 'x'").literal_eq().is_none());
+    }
+
+    #[test]
+    fn literal_path_evaluation_matches_filter() {
+        let f = cf("/event/source = 'gridftp-7'");
+        let hit = xml("<event><source>gridftp-7</source></event>").unwrap();
+        let miss = xml("<event><source>other</source></event>").unwrap();
+        let hd = EvalDoc::new(&hit);
+        let md = EvalDoc::new(&miss);
+        assert_eq!(f.eval_literal_path(&hd), vec!["gridftp-7".to_string()]);
+        assert!(f.matches_doc(&hd));
+        assert_eq!(f.eval_literal_path(&md), vec!["other".to_string()]);
+        assert!(!f.matches_doc(&md));
+    }
+
+    #[test]
+    fn shared_doc_serves_many_filters() {
+        let doc = xml("<event><severity>5</severity><source>gridftp-7</source></event>").unwrap();
+        let shared = EvalDoc::new(&doc);
+        let filters = [
+            cf("/event/severity > 3"),
+            cf("/event/source = 'gridftp-7'"),
+            cf("starts-with(/event/source, 'grid')"),
+        ];
+        assert!(filters.iter().all(|f| f.matches_doc(&shared)));
+    }
+}

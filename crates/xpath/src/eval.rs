@@ -5,9 +5,10 @@
 //! and sibling axes plus cheap document-order node-set merging.
 
 use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
+use crate::program::name_bit;
 use crate::value::{number_to_string, str_to_number, Value};
 use wsm_xml::tree::{Attribute, Node};
-use wsm_xml::Element;
+use wsm_xml::{Element, QName};
 
 /// Evaluate `expr` against the document whose root element is `root`.
 pub fn evaluate(expr: &Expr, root: &Element) -> Value {
@@ -32,10 +33,10 @@ pub fn evaluate_with_namespaces(expr: &Expr, root: &Element, namespaces: &[(&str
     }
 }
 
-const ROOT: usize = 0;
+pub(crate) const ROOT: usize = 0;
 
 /// One indexed node.
-enum NodeData<'a> {
+pub(crate) enum NodeData<'a> {
     /// The document root (parent of the document element).
     Root,
     /// An element.
@@ -48,20 +49,25 @@ enum NodeData<'a> {
     Comment { text: &'a str, parent: usize },
 }
 
-struct DocIndex<'a> {
-    nodes: Vec<NodeData<'a>>,
+pub(crate) struct DocIndex<'a> {
+    pub(crate) nodes: Vec<NodeData<'a>>,
     /// Children (element/text/comment — not attributes) per node id.
-    children: Vec<Vec<usize>>,
+    pub(crate) children: Vec<Vec<usize>>,
     /// Attribute node ids per node id.
-    attrs: Vec<Vec<usize>>,
+    pub(crate) attrs: Vec<Vec<usize>>,
+    /// Name-presence bitset: the OR of [`name_bit`] over every element
+    /// and attribute local name in the document. A compiled filter
+    /// whose required mask is not a subset of this can never match.
+    pub(crate) name_mask: u64,
 }
 
 impl<'a> DocIndex<'a> {
-    fn build(root: &'a Element) -> Self {
+    pub(crate) fn build(root: &'a Element) -> Self {
         let mut idx = DocIndex {
             nodes: Vec::new(),
             children: Vec::new(),
             attrs: Vec::new(),
+            name_mask: 0,
         };
         idx.push(NodeData::Root);
         let root_id = idx.add_element(root, ROOT);
@@ -78,7 +84,9 @@ impl<'a> DocIndex<'a> {
 
     fn add_element(&mut self, el: &'a Element, parent: usize) -> usize {
         let id = self.push(NodeData::Element { el, parent });
+        self.name_mask |= name_bit(&el.name.local);
         for a in &el.attrs {
+            self.name_mask |= name_bit(&a.name.local);
             let aid = self.push(NodeData::Attr {
                 attr: a,
                 parent: id,
@@ -104,7 +112,7 @@ impl<'a> DocIndex<'a> {
         id
     }
 
-    fn parent(&self, id: usize) -> Option<usize> {
+    pub(crate) fn parent(&self, id: usize) -> Option<usize> {
         match &self.nodes[id] {
             NodeData::Root => None,
             NodeData::Element { parent, .. }
@@ -114,7 +122,7 @@ impl<'a> DocIndex<'a> {
         }
     }
 
-    fn string_value(&self, id: usize) -> String {
+    pub(crate) fn string_value(&self, id: usize) -> String {
         match &self.nodes[id] {
             NodeData::Root => match self.children[ROOT].first() {
                 Some(&r) => self.string_value(r),
@@ -133,10 +141,45 @@ impl<'a> DocIndex<'a> {
             _ => None,
         }
     }
+
+    /// The interned name of an element or attribute node.
+    pub(crate) fn qname(&self, id: usize) -> Option<&QName> {
+        match &self.nodes[id] {
+            NodeData::Element { el, .. } => Some(&el.name),
+            NodeData::Attr { attr, .. } => Some(&attr.name),
+            _ => None,
+        }
+    }
+}
+
+/// A pre-indexed document shared across many compiled-filter
+/// evaluations of one publication.
+///
+/// Building the arena index is the per-document cost the old
+/// `evaluate()` path paid once *per filter*; wrapping it here lets the
+/// broker's match stage pay it once per publication regardless of how
+/// many candidate filters run.
+pub struct EvalDoc<'a> {
+    pub(crate) idx: DocIndex<'a>,
+}
+
+impl<'a> EvalDoc<'a> {
+    /// Index the document rooted at `root`.
+    pub fn new(root: &'a Element) -> Self {
+        EvalDoc {
+            idx: DocIndex::build(root),
+        }
+    }
+
+    /// The document's name-presence bitset (see
+    /// [`CompiledFilter::required_mask`](crate::CompiledFilter::required_mask)).
+    pub fn name_mask(&self) -> u64 {
+        self.idx.name_mask
+    }
 }
 
 /// Internal value with live node ids.
-enum V {
+pub(crate) enum V {
     B(bool),
     N(f64),
     S(String),
@@ -204,38 +247,54 @@ fn eval(ctx: &Ctx, expr: &Expr) -> V {
     }
 }
 
-fn to_number(ctx: &Ctx, v: V) -> f64 {
+/// Numeric coercion against a document index. Shared by the AST
+/// interpreter and the compiled-program evaluator.
+pub(crate) fn v_number(doc: &DocIndex, v: V) -> f64 {
     match v {
         V::B(true) => 1.0,
         V::B(false) => 0.0,
         V::N(n) => n,
         V::S(s) => str_to_number(&s),
         V::Nodes(ids) => match ids.first() {
-            Some(&id) => str_to_number(&ctx.doc.string_value(id)),
+            Some(&id) => str_to_number(&doc.string_value(id)),
             None => f64::NAN,
         },
     }
 }
 
-fn to_string_v(ctx: &Ctx, v: V) -> String {
+/// String coercion against a document index.
+pub(crate) fn v_string(doc: &DocIndex, v: V) -> String {
     match v {
         V::B(b) => b.to_string(),
         V::N(n) => number_to_string(n),
         V::S(s) => s,
         V::Nodes(ids) => match ids.first() {
-            Some(&id) => ctx.doc.string_value(id),
+            Some(&id) => doc.string_value(id),
             None => String::new(),
         },
     }
 }
 
-fn to_bool(_ctx: &Ctx, v: &V) -> bool {
+/// Boolean coercion (needs no document).
+pub(crate) fn v_bool(v: &V) -> bool {
     match v {
         V::B(b) => *b,
         V::N(n) => *n != 0.0 && !n.is_nan(),
         V::S(s) => !s.is_empty(),
         V::Nodes(ids) => !ids.is_empty(),
     }
+}
+
+fn to_number(ctx: &Ctx, v: V) -> f64 {
+    v_number(ctx.doc, v)
+}
+
+fn to_string_v(ctx: &Ctx, v: V) -> String {
+    v_string(ctx.doc, v)
+}
+
+fn to_bool(_ctx: &Ctx, v: &V) -> bool {
+    v_bool(v)
 }
 
 fn eval_binary(ctx: &Ctx, op: BinOp, l: &Expr, r: &Expr) -> V {
@@ -253,13 +312,13 @@ fn eval_binary(ctx: &Ctx, op: BinOp, l: &Expr, r: &Expr) -> V {
             V::B(to_bool(ctx, &eval(ctx, r)))
         }
         BinOp::Eq | BinOp::NotEq => V::B(compare_eq(
-            ctx,
+            ctx.doc,
             op == BinOp::NotEq,
             eval(ctx, l),
             eval(ctx, r),
         )),
         BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-            V::B(compare_rel(ctx, op, eval(ctx, l), eval(ctx, r)))
+            V::B(compare_rel(ctx.doc, op, eval(ctx, l), eval(ctx, r)))
         }
         BinOp::Add => V::N(to_number(ctx, eval(ctx, l)) + to_number(ctx, eval(ctx, r))),
         BinOp::Sub => V::N(to_number(ctx, eval(ctx, l)) - to_number(ctx, eval(ctx, r))),
@@ -282,18 +341,18 @@ fn eval_binary(ctx: &Ctx, op: BinOp, l: &Expr, r: &Expr) -> V {
 }
 
 /// XPath 1.0 `=`/`!=` semantics including existential node-set rules.
-fn compare_eq(ctx: &Ctx, negate: bool, l: V, r: V) -> bool {
+pub(crate) fn compare_eq(doc: &DocIndex, negate: bool, l: V, r: V) -> bool {
     let res = match (&l, &r) {
         (V::Nodes(a), V::Nodes(b)) => {
-            let bs: Vec<String> = b.iter().map(|&id| ctx.doc.string_value(id)).collect();
+            let bs: Vec<String> = b.iter().map(|&id| doc.string_value(id)).collect();
             a.iter().any(|&ia| {
-                let sa = ctx.doc.string_value(ia);
+                let sa = doc.string_value(ia);
                 bs.iter()
                     .any(|sb| if negate { *sb != sa } else { *sb == sa })
             })
         }
         (V::Nodes(a), V::N(n)) | (V::N(n), V::Nodes(a)) => a.iter().any(|&id| {
-            let v = str_to_number(&ctx.doc.string_value(id));
+            let v = str_to_number(&doc.string_value(id));
             if negate {
                 v != *n
             } else {
@@ -301,7 +360,7 @@ fn compare_eq(ctx: &Ctx, negate: bool, l: V, r: V) -> bool {
             }
         }),
         (V::Nodes(a), V::S(s)) | (V::S(s), V::Nodes(a)) => a.iter().any(|&id| {
-            let v = ctx.doc.string_value(id);
+            let v = doc.string_value(id);
             if negate {
                 v != *s
             } else {
@@ -317,7 +376,7 @@ fn compare_eq(ctx: &Ctx, negate: bool, l: V, r: V) -> bool {
             }
         }
         (V::B(_), _) | (_, V::B(_)) => {
-            let (lb, rb) = (to_bool(ctx, &l), to_bool(ctx, &r));
+            let (lb, rb) = (v_bool(&l), v_bool(&r));
             if negate {
                 lb != rb
             } else {
@@ -325,7 +384,7 @@ fn compare_eq(ctx: &Ctx, negate: bool, l: V, r: V) -> bool {
             }
         }
         (V::N(_), _) | (_, V::N(_)) => {
-            let (ln, rn) = (num_of(ctx, &l), num_of(ctx, &r));
+            let (ln, rn) = (num_of(doc, &l), num_of(doc, &r));
             if negate {
                 ln != rn
             } else {
@@ -343,20 +402,20 @@ fn compare_eq(ctx: &Ctx, negate: bool, l: V, r: V) -> bool {
     res
 }
 
-fn num_of(ctx: &Ctx, v: &V) -> f64 {
+fn num_of(doc: &DocIndex, v: &V) -> f64 {
     match v {
         V::B(true) => 1.0,
         V::B(false) => 0.0,
         V::N(n) => *n,
         V::S(s) => str_to_number(s),
         V::Nodes(ids) => match ids.first() {
-            Some(&id) => str_to_number(&ctx.doc.string_value(id)),
+            Some(&id) => str_to_number(&doc.string_value(id)),
             None => f64::NAN,
         },
     }
 }
 
-fn compare_rel(ctx: &Ctx, op: BinOp, l: V, r: V) -> bool {
+pub(crate) fn compare_rel(doc: &DocIndex, op: BinOp, l: V, r: V) -> bool {
     let cmp = |a: f64, b: f64| match op {
         BinOp::Lt => a < b,
         BinOp::LtEq => a <= b,
@@ -366,21 +425,21 @@ fn compare_rel(ctx: &Ctx, op: BinOp, l: V, r: V) -> bool {
     };
     match (&l, &r) {
         (V::Nodes(a), V::Nodes(b)) => a.iter().any(|&ia| {
-            let na = str_to_number(&ctx.doc.string_value(ia));
+            let na = str_to_number(&doc.string_value(ia));
             b.iter()
-                .any(|&ib| cmp(na, str_to_number(&ctx.doc.string_value(ib))))
+                .any(|&ib| cmp(na, str_to_number(&doc.string_value(ib))))
         }),
         (V::Nodes(a), _) => {
-            let rn = num_of(ctx, &r);
+            let rn = num_of(doc, &r);
             a.iter()
-                .any(|&id| cmp(str_to_number(&ctx.doc.string_value(id)), rn))
+                .any(|&id| cmp(str_to_number(&doc.string_value(id)), rn))
         }
         (_, V::Nodes(b)) => {
-            let ln = num_of(ctx, &l);
+            let ln = num_of(doc, &l);
             b.iter()
-                .any(|&id| cmp(ln, str_to_number(&ctx.doc.string_value(id))))
+                .any(|&id| cmp(ln, str_to_number(&doc.string_value(id))))
         }
-        _ => cmp(num_of(ctx, &l), num_of(ctx, &r)),
+        _ => cmp(num_of(doc, &l), num_of(doc, &r)),
     }
 }
 
@@ -395,7 +454,7 @@ fn eval_path(ctx: &Ctx, lp: &LocationPath, start: Option<Vec<usize>>) -> Vec<usi
     for step in &lp.steps {
         let mut next: Vec<usize> = Vec::new();
         for &node in &current {
-            let mut candidates = walk_axis(ctx, node, step.axis);
+            let mut candidates = walk_axis(ctx.doc, node, step.axis);
             candidates.retain(|&id| node_test_matches(ctx, id, step));
             // Predicates use proximity positions along the axis.
             for pred in &step.predicates {
@@ -410,7 +469,7 @@ fn eval_path(ctx: &Ctx, lp: &LocationPath, start: Option<Vec<usize>>) -> Vec<usi
     current
 }
 
-fn is_reverse_axis(axis: Axis) -> bool {
+pub(crate) fn is_reverse_axis(axis: Axis) -> bool {
     matches!(
         axis,
         Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling
@@ -419,8 +478,7 @@ fn is_reverse_axis(axis: Axis) -> bool {
 
 /// Nodes on `axis` from `node`, in axis order (reverse axes are returned
 /// nearest-first, which is their proximity order).
-fn walk_axis(ctx: &Ctx, node: usize, axis: Axis) -> Vec<usize> {
-    let doc = ctx.doc;
+pub(crate) fn walk_axis(doc: &DocIndex, node: usize, axis: Axis) -> Vec<usize> {
     match axis {
         Axis::Child => doc.children[node].clone(),
         Axis::Descendant => {

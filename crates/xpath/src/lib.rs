@@ -36,38 +36,39 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub(crate) mod program;
 pub mod value;
 
 pub use ast::Expr;
-pub use eval::{evaluate, evaluate_with_namespaces};
+pub use compile::CompiledFilter;
+pub use eval::{evaluate, evaluate_with_namespaces, EvalDoc};
 pub use parser::XPathError;
 pub use value::Value;
 
+use std::sync::Arc;
 use wsm_xml::Element;
 
 /// A compiled XPath expression.
 ///
 /// Compiling once and evaluating per message is the shape brokers need:
-/// a subscription's filter is parsed at `Subscribe` time and applied to
-/// every published message thereafter.
+/// a subscription's filter is parsed, lowered and constant-folded at
+/// `Subscribe` time (see [`CompiledFilter`]) and applied to every
+/// published message thereafter. `XPath` is a cheaply cloneable handle
+/// (`Arc`) around the compiled program.
 #[derive(Debug, Clone)]
 pub struct XPath {
-    expr: Expr,
-    source: String,
-    namespaces: Vec<(String, String)>,
+    inner: Arc<CompiledFilter>,
 }
 
 impl XPath {
     /// Parse `source` into a compiled expression.
     pub fn compile(source: &str) -> Result<Self, XPathError> {
-        let expr = parser::parse(source)?;
         Ok(XPath {
-            expr,
-            source: source.to_string(),
-            namespaces: Vec::new(),
+            inner: Arc::new(CompiledFilter::compile(source)?),
         })
     }
 
@@ -77,30 +78,25 @@ impl XPath {
         source: &str,
         namespaces: &[(&str, &str)],
     ) -> Result<Self, XPathError> {
-        let expr = parser::parse(source)?;
         Ok(XPath {
-            expr,
-            source: source.to_string(),
-            namespaces: namespaces
-                .iter()
-                .map(|(p, u)| (p.to_string(), u.to_string()))
-                .collect(),
+            inner: Arc::new(CompiledFilter::compile_with_namespaces(source, namespaces)?),
         })
     }
 
     /// The original expression text.
     pub fn source(&self) -> &str {
-        &self.source
+        self.inner.source()
+    }
+
+    /// The shared compiled program, for callers that index filters
+    /// (the broker registry caches this on each subscription).
+    pub fn compiled(&self) -> &Arc<CompiledFilter> {
+        &self.inner
     }
 
     /// Evaluate against `doc` and return the full XPath value.
     pub fn evaluate(&self, doc: &Element) -> Value {
-        let ns: Vec<(&str, &str)> = self
-            .namespaces
-            .iter()
-            .map(|(p, u)| (p.as_str(), u.as_str()))
-            .collect();
-        eval::evaluate_with_namespaces(&self.expr, doc, &ns)
+        self.inner.evaluate(doc)
     }
 
     /// Evaluate as a filter: the boolean value of the result.
@@ -108,7 +104,12 @@ impl XPath {
     /// This is the semantics both specs give filters: "an expression
     /// that evaluates to a Boolean".
     pub fn matches(&self, doc: &Element) -> bool {
-        self.evaluate(doc).boolean()
+        self.inner.matches(doc)
+    }
+
+    /// Evaluate as a filter against a shared pre-indexed document.
+    pub fn matches_doc(&self, doc: &EvalDoc) -> bool {
+        self.inner.matches_doc(doc)
     }
 }
 
