@@ -19,7 +19,7 @@ use wsm_eventing::{EndStatus, Expires, WseCodec, WseVersion};
 use wsm_notification::{Termination, WsnCodec, WsnFilter, WsnVersion};
 use wsm_soap::{Envelope, Fault};
 use wsm_topics::{TopicExpression, TopicSpace};
-use wsm_transport::{Network, SoapHandler};
+use wsm_transport::{AttemptClass, Network, SoapHandler};
 use wsm_xml::{Element, SharedElement};
 
 /// Counters describing the broker's mediation activity.
@@ -335,7 +335,14 @@ impl WsMessenger {
         if let Some(rel) = self.inner.reliability.read().clone() {
             refresh_reliability_gauges(&self.inner, &rel);
         }
-        self.inner.obs.prometheus()
+        let mut text = self.inner.obs.prometheus();
+        text.push_str(
+            &self
+                .inner
+                .obs
+                .slo_prometheus(self.inner.net.clock().now_ms()),
+        );
+        text
     }
 
     /// Snapshot of the buffered pipeline-stage spans, oldest first.
@@ -354,6 +361,36 @@ impl WsMessenger {
     #[cfg(feature = "obs")]
     pub fn obs_snapshot(&self) -> crate::obs::ObsSnapshot {
         self.inner.obs.snapshot()
+    }
+
+    /// Install declarative latency objectives on the broker's SLO
+    /// engine (replacing any previous set). Objectives are judged
+    /// against *terminal* end-to-end outcomes — publish to final
+    /// delivery, dead-lettering, or expiry — on the virtual clock.
+    #[cfg(feature = "obs")]
+    pub fn set_slos(&self, specs: Vec<crate::obs::SloSpec>) {
+        self.inner.obs.set_slos(specs);
+    }
+
+    /// Evaluate every installed objective as of the current virtual
+    /// time: measured quantile, error-budget burn rate, pass/fail.
+    #[cfg(feature = "obs")]
+    pub fn slo_reports(&self) -> Vec<crate::obs::SloReport> {
+        self.inner.obs.slo_reports(self.inner.net.clock().now_ms())
+    }
+
+    /// Reconstruct complete per-(event, subscriber) delivery stories
+    /// from the buffered spans: every attempt in causal order plus the
+    /// terminal outcome, if one was reached.
+    #[cfg(feature = "obs")]
+    pub fn delivery_stories(&self) -> Vec<crate::obs::DeliveryStory> {
+        crate::obs::reconstruct(&self.inner.obs.spans())
+    }
+
+    /// The buffered spans plus a trailing span-loss gauge, as JSONL.
+    #[cfg(feature = "obs")]
+    pub fn spans_jsonl(&self) -> String {
+        self.inner.obs.spans_jsonl()
     }
 
     /// Declare a topic.
@@ -389,12 +426,27 @@ impl WsMessenger {
     pub fn flush_wrapped(&self) -> usize {
         let inner = &self.inner;
         let mut batches = 0;
-        for (id, payloads) in inner.registry.take_wrap_buffers() {
+        for (id, events) in inner.registry.take_wrap_buffers() {
             if let Some(sub) = inner.registry.get(&id) {
                 let epr = subscription_epr(inner, &sub.id, sub.spec);
+                let payloads: Vec<_> = events.iter().map(|e| e.payload.clone()).collect();
                 let env = render_batch(&sub, &payloads, &inner.uri, &epr);
                 if inner.net.send(&sub.consumer.address, env).is_ok() {
                     batches += 1;
+                    #[cfg(feature = "obs")]
+                    {
+                        let now = inner.net.clock().now_ms();
+                        for ev in &events {
+                            inner.obs.resolve(
+                                ev.seq,
+                                &sub.id,
+                                0,
+                                ev.queued_at_ms,
+                                now,
+                                crate::obs::Outcome::Delivered,
+                            );
+                        }
+                    }
                 } else {
                     drop_failed(inner, &sub.id);
                 }
@@ -467,6 +519,9 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
                     envelope,
                     wse: matches!(sub.spec, SpecDialect::Wse(_)),
                     mediated: event.origin.is_some_and(|o| family(o) != family(sub.spec)),
+                    seq,
+                    published_at_ms: now,
+                    attempt: 0,
                 };
                 // FIFO per subscriber: while redeliveries are pending
                 // (or the breaker is open) a fresh message queues
@@ -478,14 +533,17 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
                 }
             }
             BrokerDeliveryMode::Pull => {
-                if inner.registry.queue_event(&sub.id, event.payload.clone()) {
+                if inner
+                    .registry
+                    .queue_event(&sub.id, event.payload.clone(), seq, now)
+                {
                     delivered += 1;
                 }
             }
             BrokerDeliveryMode::Wrapped => {
                 if inner
                     .registry
-                    .buffer_wrapped(&sub.id, event.payload.clone())
+                    .buffer_wrapped(&sub.id, event.payload.clone(), seq, now)
                 {
                     delivered += 1;
                 }
@@ -512,6 +570,22 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
     #[cfg(feature = "obs")]
     inner.obs.record_latencies(&report.latencies_ns);
     delivered += report.delivered;
+    // Every first-round success is a terminal outcome: resolve its
+    // causal timeline (and feed the e2e histogram + SLO engine) now.
+    #[cfg(feature = "obs")]
+    {
+        let resolved_at = inner.net.clock().now_ms();
+        for job in &report.resolved {
+            inner.obs.resolve(
+                job.seq,
+                &job.sub_id,
+                job.attempt,
+                job.published_at_ms,
+                resolved_at,
+                crate::obs::Outcome::Delivered,
+            );
+        }
+    }
     let mut delta = report.delta;
     match rel {
         Some(rel) => {
@@ -521,22 +595,58 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
             delta.failed = 0;
             let now = inner.net.clock().now_ms();
             for (kind, job) in report.failures {
+                #[cfg(feature = "obs")]
+                let (jseq, jsub, jattempt, jpub) = (
+                    job.seq,
+                    job.sub_id.clone(),
+                    job.attempt,
+                    job.published_at_ms,
+                );
                 match rel.admit_failure(kind, job, now) {
                     Admitted::Requeued { backoff_ms, .. } => {
                         inner.obs.record_backoff(backoff_ms);
+                        #[cfg(feature = "obs")]
+                        inner.obs.retry(jseq, &jsub, jattempt, now, 0);
                     }
                     Admitted::DeadLettered => {
                         delta.failed += 1;
                         delta.dead_lettered += 1;
                         inner.obs.record_dead_letter();
+                        #[cfg(feature = "obs")]
+                        {
+                            inner
+                                .obs
+                                .dead_letter(jseq, &jsub, jattempt.saturating_add(1), now);
+                            inner.obs.resolve(
+                                jseq,
+                                &jsub,
+                                jattempt,
+                                jpub,
+                                now,
+                                crate::obs::Outcome::DeadLettered,
+                            );
+                        }
                     }
                 }
             }
             refresh_reliability_gauges(inner, &rel);
         }
         None => {
+            #[cfg(feature = "obs")]
+            let now = inner.net.clock().now_ms();
             for (_, job) in &report.failures {
                 drop_failed(inner, &job.sub_id);
+                // Legacy mode evicts the subscription: the message's
+                // story ends here, unresolved-by-delivery.
+                #[cfg(feature = "obs")]
+                inner.obs.resolve(
+                    job.seq,
+                    &job.sub_id,
+                    job.attempt,
+                    job.published_at_ms,
+                    now,
+                    crate::obs::Outcome::Expired,
+                );
             }
         }
     }
@@ -554,14 +664,54 @@ fn pump_reliability(inner: &MessengerInner) -> PumpReport {
         return PumpReport::default();
     };
     let now = inner.net.clock().now_ms();
-    let report = rel.pump(now, &|to, env| {
-        inner.net.send(to, env).map_err(|e| FailKind::of(&e))
+    let report = rel.pump(now, &|to, env, is_retry| {
+        let class = if is_retry {
+            AttemptClass::Retry
+        } else {
+            AttemptClass::First
+        };
+        inner
+            .net
+            .send_class(to, env, class)
+            .map_err(|e| FailKind::of(&e))
     });
     for b in &report.backoffs_ms {
         inner.obs.record_backoff(*b);
     }
     for _ in 0..report.dead_lettered {
         inner.obs.record_dead_letter();
+    }
+    #[cfg(feature = "obs")]
+    for ev in &report.events {
+        use crate::reliability::PumpEventKind;
+        match ev.kind {
+            PumpEventKind::Redelivered => inner.obs.resolve(
+                ev.seq,
+                &ev.sub_id,
+                ev.attempt,
+                ev.published_at_ms,
+                ev.at_ms,
+                crate::obs::Outcome::Delivered,
+            ),
+            PumpEventKind::Requeued { .. } => {
+                inner
+                    .obs
+                    .retry(ev.seq, &ev.sub_id, ev.attempt, ev.at_ms, ev.dur_ns);
+            }
+            PumpEventKind::DeadLettered => {
+                inner
+                    .obs
+                    .dead_letter(ev.seq, &ev.sub_id, ev.attempt.saturating_add(1), ev.at_ms);
+                inner.obs.resolve(
+                    ev.seq,
+                    &ev.sub_id,
+                    ev.attempt,
+                    ev.published_at_ms,
+                    ev.at_ms,
+                    crate::obs::Outcome::DeadLettered,
+                );
+            }
+        }
     }
     inner.stats.merge(&report.delta);
     refresh_reliability_gauges(inner, &rel);
@@ -582,10 +732,27 @@ fn family(d: SpecDialect) -> u8 {
     }
 }
 
-/// Forget a removed subscription's redelivery channel (if any).
+/// Forget a removed subscription's redelivery channel (if any),
+/// resolving any pending deliveries it still held as expired.
 fn forget_reliability(inner: &MessengerInner, id: &str) {
     if let Some(rel) = inner.reliability.read().as_ref() {
-        rel.forget(id);
+        let dropped = rel.forget(id);
+        #[cfg(feature = "obs")]
+        {
+            let now = inner.net.clock().now_ms();
+            for p in &dropped {
+                inner.obs.resolve(
+                    p.seq,
+                    id,
+                    p.attempts + p.strikes,
+                    p.published_at_ms,
+                    now,
+                    crate::obs::Outcome::Expired,
+                );
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        drop(dropped);
     }
 }
 
@@ -785,6 +952,14 @@ impl SoapHandler for MessengerHandler {
         if body.name.is(crate::render::WSM_NS, "GetTrace") {
             return get_trace(inner, body).map(Some);
         }
+        #[cfg(not(feature = "obs"))]
+        if body.name.is(crate::render::WSM_NS, "GetMetrics")
+            || body.name.is(crate::render::WSM_NS, "GetTrace")
+        {
+            return Err(Fault::receiver(
+                "observability is compiled out of this broker (the `obs` feature is disabled)",
+            ));
+        }
         // Dead-letter operations are part of the delivery contract,
         // not observability — available with or without `obs`.
         if body.name.is(crate::render::WSM_NS, "GetDeadLetters") {
@@ -905,6 +1080,13 @@ fn get_trace(inner: &MessengerInner, body: &Element) -> Result<Envelope, Fault> 
         el.set_attr(wsm_xml::QName::local("AtMs"), s.at_ms.to_string());
         el.set_attr(wsm_xml::QName::local("DurNs"), s.dur_ns.to_string());
         el.set_attr(wsm_xml::QName::local("Items"), s.items.to_string());
+        if let Some(sub) = &s.subscriber {
+            el.set_attr(wsm_xml::QName::local("Subscriber"), sub.clone());
+            el.set_attr(wsm_xml::QName::local("Attempt"), s.attempt.to_string());
+        }
+        if let Some(o) = s.outcome {
+            el.set_attr(wsm_xml::QName::local("Outcome"), o.name());
+        }
         resp.push(el);
     }
     Ok(Envelope::new(wsm_soap::SoapVersion::V11).with_body(resp))
@@ -1036,7 +1218,24 @@ fn wse_manage(
             .and_then(|m| m.parse().ok())
             .unwrap_or(usize::MAX);
         let events = inner.registry.drain_queue(&id, max);
-        Ok(codec.pull_response_shared(&events))
+        // Handing the events to the puller is the terminal outcome for
+        // a pull subscription: resolve each one's causal timeline.
+        #[cfg(feature = "obs")]
+        {
+            let resolved_at = inner.net.clock().now_ms();
+            for ev in &events {
+                inner.obs.resolve(
+                    ev.seq,
+                    &id,
+                    0,
+                    ev.queued_at_ms,
+                    resolved_at,
+                    crate::obs::Outcome::Delivered,
+                );
+            }
+        }
+        let payloads: Vec<_> = events.into_iter().map(|e| e.payload).collect();
+        Ok(codec.pull_response_shared(&payloads))
     } else {
         Err(Fault::sender(format!(
             "unsupported operation {}",

@@ -25,7 +25,7 @@ use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
 use std::thread;
 use wsm_soap::Envelope;
-use wsm_transport::{Network, TransportError};
+use wsm_transport::{AttemptClass, Network, TransportError};
 
 /// How many push jobs a publication needs before the worker pool is
 /// worth its dispatch cost. Below this the engine delivers inline on
@@ -83,6 +83,15 @@ pub struct PushJob {
     pub wse: bool,
     /// Whether the delivery crosses specification families.
     pub mediated: bool,
+    /// Publication sequence number (the trace id — threads the causal
+    /// trace context through queues and retries).
+    pub seq: u64,
+    /// Virtual time the publication was ingested, for end-to-end
+    /// latency at terminal resolution.
+    pub published_at_ms: u64,
+    /// Attempt ordinal for this send: 0 for the original fan-out, 1..
+    /// for queued redeliveries.
+    pub attempt: u32,
 }
 
 /// Stat increments accumulated over one fan-out, merged into
@@ -109,12 +118,12 @@ impl StatsDelta {
     fn record(&mut self, result: &JobResult) {
         self.retried += result.retried;
         if result.ok {
-            if result.wse {
+            if result.job.wse {
                 self.delivered_wse += 1;
             } else {
                 self.delivered_wsn += 1;
             }
-            if result.mediated {
+            if result.job.mediated {
                 self.mediated += 1;
             }
         } else {
@@ -133,6 +142,10 @@ pub struct FanOutReport {
     /// can re-enqueue them (fault-tolerant mode) or drop the
     /// subscription (legacy mode).
     pub failures: Vec<(FailKind, PushJob)>,
+    /// Jobs that delivered, handed back (sans envelope use) so the
+    /// broker can record their terminal resolution spans.
+    #[cfg(feature = "obs")]
+    pub resolved: Vec<PushJob>,
     /// Wall-clock send duration per job (including retries), for the
     /// broker's per-subscriber delivery-latency histogram.
     #[cfg(feature = "obs")]
@@ -142,10 +155,10 @@ pub struct FanOutReport {
 struct JobResult {
     ok: bool,
     retried: u64,
-    wse: bool,
-    mediated: bool,
-    /// On failure, the classified job handed back for redelivery.
-    failed: Option<(FailKind, PushJob)>,
+    /// Failure classification; `None` when the send succeeded.
+    kind: Option<FailKind>,
+    /// The job, handed back whether it succeeded or failed.
+    job: PushJob,
     #[cfg(feature = "obs")]
     elapsed_ns: u64,
 }
@@ -168,10 +181,19 @@ fn send_with_retry(
     to: &str,
     env: &Envelope,
     attempts: u32,
+    job_attempt: u32,
 ) -> (Result<(), FailKind>, u64) {
     let mut retried = 0;
     for i in 0..attempts {
-        match net.send(to, env.clone()) {
+        // Only the very first send of a job's first attempt counts as
+        // a first-class attempt; everything after is a re-send of the
+        // same message and is attributed as such in transport metrics.
+        let class = if job_attempt > 0 || i > 0 {
+            AttemptClass::Retry
+        } else {
+            AttemptClass::First
+        };
+        match net.send_class(to, env.clone(), class) {
             Ok(()) => return (Ok(()), retried),
             Err(err) => {
                 let kind = FailKind::of(&err);
@@ -190,15 +212,15 @@ fn send_with_retry(
 fn run_job(net: &Network, push: PushJob, attempts: u32) -> JobResult {
     #[cfg(feature = "obs")]
     let started = std::time::Instant::now();
-    let (outcome, retried) = send_with_retry(net, &push.address, &push.envelope, attempts);
+    let (outcome, retried) =
+        send_with_retry(net, &push.address, &push.envelope, attempts, push.attempt);
     #[cfg(feature = "obs")]
     let elapsed_ns = started.elapsed().as_nanos() as u64;
     JobResult {
         ok: outcome.is_ok(),
         retried,
-        wse: push.wse,
-        mediated: push.mediated,
-        failed: outcome.err().map(|kind| (kind, push)),
+        kind: outcome.err(),
+        job: push,
         #[cfg(feature = "obs")]
         elapsed_ns,
     }
@@ -260,6 +282,8 @@ impl DeliveryEngine {
         let mut failures = Vec::new();
         let mut delivered = 0;
         #[cfg(feature = "obs")]
+        let mut resolved = Vec::with_capacity(expected);
+        #[cfg(feature = "obs")]
         let mut latencies_ns = Vec::with_capacity(expected);
         for result in res_rx.iter().take(expected) {
             delta.record(&result);
@@ -268,14 +292,20 @@ impl DeliveryEngine {
             if result.ok {
                 delivered += 1;
             }
-            if let Some(failure) = result.failed {
-                failures.push(failure);
+            match result.kind {
+                Some(kind) => failures.push((kind, result.job)),
+                None => {
+                    #[cfg(feature = "obs")]
+                    resolved.push(result.job);
+                }
             }
         }
         FanOutReport {
             delivered,
             delta,
             failures,
+            #[cfg(feature = "obs")]
+            resolved,
             #[cfg(feature = "obs")]
             latencies_ns,
         }
@@ -321,6 +351,8 @@ fn execute_sequential(net: &Network, attempts: u32, jobs: Vec<PushJob>) -> FanOu
     let mut failures = Vec::new();
     let mut delivered = 0;
     #[cfg(feature = "obs")]
+    let mut resolved = Vec::with_capacity(jobs.len());
+    #[cfg(feature = "obs")]
     let mut latencies_ns = Vec::with_capacity(jobs.len());
     for job in jobs {
         let result = run_job(net, job, attempts);
@@ -330,14 +362,20 @@ fn execute_sequential(net: &Network, attempts: u32, jobs: Vec<PushJob>) -> FanOu
         if result.ok {
             delivered += 1;
         }
-        if let Some(failure) = result.failed {
-            failures.push(failure);
+        match result.kind {
+            Some(kind) => failures.push((kind, result.job)),
+            None => {
+                #[cfg(feature = "obs")]
+                resolved.push(result.job);
+            }
         }
     }
     FanOutReport {
         delivered,
         delta,
         failures,
+        #[cfg(feature = "obs")]
+        resolved,
         #[cfg(feature = "obs")]
         latencies_ns,
     }
@@ -366,6 +404,9 @@ mod tests {
                 envelope: Envelope::new(SoapVersion::V11).with_body(Element::local("e")),
                 wse: i % 2 == 0,
                 mediated: false,
+                seq: 1,
+                published_at_ms: 0,
+                attempt: 0,
             })
             .collect()
     }

@@ -71,11 +71,16 @@ pub use detect::SpecDialect;
 pub use event::InternalEvent;
 #[cfg(feature = "obs")]
 pub use obs::ObsSnapshot;
-pub use registry::{BrokerDeliveryMode, BrokerSubscription, SubscriptionStatus, UnifiedFilters};
+pub use registry::{
+    BrokerDeliveryMode, BrokerSubscription, QueuedEvent, SubscriptionStatus, UnifiedFilters,
+};
 pub use reliability::{
     BreakerConfig, BreakerState, CircuitBreaker, DeadLetter, FaultTolerance, PumpReport,
     ReliabilityState,
 };
 pub use render::{render_notification, render_notification_cached, RenderCache};
 #[cfg(feature = "obs")]
-pub use wsm_obs::{HistogramStats, SpanRecord, Stage};
+pub use wsm_obs::{
+    reconstruct, story_for, DeliveryStory, HistogramStats, Outcome, SloReport, SloSpec, SpanRecord,
+    Stage, TraceContext,
+};

@@ -165,16 +165,29 @@ pub struct SubscriptionStatus {
     pub expires_at_ms: Option<u64>,
 }
 
+/// One event parked in a pull queue or wrapped-mode buffer: the shared
+/// payload subtree plus the causal coordinates the broker needs to
+/// resolve the delivery timeline when the event finally leaves.
+#[derive(Clone)]
+pub struct QueuedEvent {
+    /// The event payload, shared with the originating publication —
+    /// queueing is an `Arc` bump, not a tree clone.
+    pub payload: Arc<SharedElement>,
+    /// Publication sequence number (the trace id).
+    pub seq: u64,
+    /// Virtual time the event was published/queued.
+    pub queued_at_ms: u64,
+}
+
 /// Registry entry: the shared immutable core plus mutable state.
 struct SubEntry {
     core: Arc<BrokerSubscription>,
     paused: bool,
     expires_at_ms: Option<u64>,
-    /// Queued events (pull mode), shared with the originating
-    /// publication — queueing is an `Arc` bump, not a tree clone.
-    queue: VecDeque<Arc<SharedElement>>,
-    /// Buffered events (wrapped mode), shared the same way.
-    wrap_buffer: Vec<Arc<SharedElement>>,
+    /// Queued events (pull mode).
+    queue: VecDeque<QueuedEvent>,
+    /// Buffered events (wrapped mode).
+    wrap_buffer: Vec<QueuedEvent>,
 }
 
 impl SubEntry {
@@ -474,13 +487,25 @@ impl Registry {
     }
 
     /// Queue an event on a pull subscription.
-    pub fn queue_event(&self, id: &str, payload: Arc<SharedElement>) -> bool {
-        self.with_entry(id, |e| e.queue.push_back(payload))
-            .is_some()
+    pub fn queue_event(
+        &self,
+        id: &str,
+        payload: Arc<SharedElement>,
+        seq: u64,
+        queued_at_ms: u64,
+    ) -> bool {
+        self.with_entry(id, |e| {
+            e.queue.push_back(QueuedEvent {
+                payload,
+                seq,
+                queued_at_ms,
+            })
+        })
+        .is_some()
     }
 
     /// Drain up to `max` queued events.
-    pub fn drain_queue(&self, id: &str, max: usize) -> Vec<Arc<SharedElement>> {
+    pub fn drain_queue(&self, id: &str, max: usize) -> Vec<QueuedEvent> {
         self.with_entry(id, |e| {
             let n = max.min(e.queue.len());
             e.queue.drain(..n).collect()
@@ -489,13 +514,25 @@ impl Registry {
     }
 
     /// Buffer an event for wrapped delivery.
-    pub fn buffer_wrapped(&self, id: &str, payload: Arc<SharedElement>) -> bool {
-        self.with_entry(id, |e| e.wrap_buffer.push(payload))
-            .is_some()
+    pub fn buffer_wrapped(
+        &self,
+        id: &str,
+        payload: Arc<SharedElement>,
+        seq: u64,
+        queued_at_ms: u64,
+    ) -> bool {
+        self.with_entry(id, |e| {
+            e.wrap_buffer.push(QueuedEvent {
+                payload,
+                seq,
+                queued_at_ms,
+            })
+        })
+        .is_some()
     }
 
     /// Take all wrapped buffers.
-    pub fn take_wrap_buffers(&self) -> Vec<(String, Vec<Arc<SharedElement>>)> {
+    pub fn take_wrap_buffers(&self) -> Vec<(String, Vec<QueuedEvent>)> {
         self.inner
             .lock()
             .by_key
@@ -829,11 +866,13 @@ mod tests {
             false,
             None,
         );
-        r.queue_event(&id, SharedElement::new(Element::local("a")));
-        r.queue_event(&id, SharedElement::new(Element::local("b")));
-        assert_eq!(r.drain_queue(&id, 1).len(), 1);
+        r.queue_event(&id, SharedElement::new(Element::local("a")), 1, 0);
+        r.queue_event(&id, SharedElement::new(Element::local("b")), 2, 0);
+        let head = r.drain_queue(&id, 1);
+        assert_eq!(head.len(), 1);
+        assert_eq!(head[0].seq, 1, "FIFO keeps causal coordinates");
         assert_eq!(r.drain_queue(&id, 10).len(), 1);
-        r.buffer_wrapped(&id, SharedElement::new(Element::local("c")));
+        r.buffer_wrapped(&id, SharedElement::new(Element::local("c")), 3, 0);
         let buffers = r.take_wrap_buffers();
         assert_eq!(buffers.len(), 1);
         assert_eq!(buffers[0].1.len(), 1);

@@ -272,6 +272,10 @@ pub struct PendingDelivery {
     pub strikes: u32,
     /// Virtual time the message first entered the queue.
     pub enqueued_at_ms: u64,
+    /// Publication sequence number of the event being carried.
+    pub seq: u64,
+    /// Virtual time the event was originally published.
+    pub published_at_ms: u64,
 }
 
 /// A message that exhausted its delivery budget.
@@ -291,6 +295,10 @@ pub struct DeadLetter {
     pub strikes: u32,
     /// Virtual time of dead-lettering.
     pub at_ms: u64,
+    /// Publication sequence number of the event being carried.
+    pub seq: u64,
+    /// Virtual time the event was originally published.
+    pub published_at_ms: u64,
 }
 
 /// One subscriber's redelivery channel: a FIFO of pending messages,
@@ -328,6 +336,46 @@ pub enum Admitted {
     DeadLettered,
 }
 
+/// How one pump attempt ended, for the broker's causal trace.
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpEventKind {
+    /// The attempt delivered the message.
+    Redelivered,
+    /// The attempt failed; the message was requeued with the given
+    /// backoff delay.
+    Requeued {
+        /// The backoff delay scheduled for the next attempt.
+        backoff_ms: u64,
+    },
+    /// The attempt failed and exhausted the budget; the message moved
+    /// to the dead-letter store.
+    DeadLettered,
+}
+
+/// One pump attempt, reported back so the broker can record the
+/// per-attempt span and, on a terminal outcome, the end-to-end
+/// resolution for the (event, subscriber) pair.
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone)]
+pub struct PumpEvent {
+    /// Publication sequence number of the event.
+    pub seq: u64,
+    /// Subscription the attempt was for.
+    pub sub_id: String,
+    /// Attempt ordinal at send time (0 = the first-ever delivery
+    /// round for this (event, subscriber) pair).
+    pub attempt: u32,
+    /// Virtual time of the attempt.
+    pub at_ms: u64,
+    /// Wall-clock duration of the send, nanoseconds.
+    pub dur_ns: u64,
+    /// Virtual time the event was originally published.
+    pub published_at_ms: u64,
+    /// How the attempt ended.
+    pub kind: PumpEventKind,
+}
+
 /// One pump pass's outcomes, for the broker to merge into its stats
 /// and metrics.
 #[derive(Debug, Default)]
@@ -346,6 +394,9 @@ pub struct PumpReport {
     /// Backoff delays scheduled during the pass (for the backoff
     /// histogram).
     pub backoffs_ms: Vec<u64>,
+    /// Per-attempt outcomes for the causal trace.
+    #[cfg(feature = "obs")]
+    pub events: Vec<PumpEvent>,
 }
 
 impl PumpReport {
@@ -363,6 +414,8 @@ impl PumpReport {
         self.delta.redelivered += other.delta.redelivered;
         self.delta.dead_lettered += other.delta.dead_lettered;
         self.backoffs_ms.extend(other.backoffs_ms);
+        #[cfg(feature = "obs")]
+        self.events.extend(other.events);
     }
 }
 
@@ -473,6 +526,8 @@ impl ReliabilityState {
             attempts: 0,
             strikes: 0,
             enqueued_at_ms: now_ms,
+            seq: job.seq,
+            published_at_ms: job.published_at_ms,
         });
         // An open breaker defers the channel to its probe time.
         ch.next_due_ms = ch.next_due_ms.max(ch.breaker.next_allowed_ms(now_ms));
@@ -502,6 +557,8 @@ impl ReliabilityState {
             attempts: if kind == FailKind::Transient { 1 } else { 0 },
             strikes: if kind == FailKind::Poison { 1 } else { 0 },
             enqueued_at_ms: now_ms,
+            seq: job.seq,
+            published_at_ms: job.published_at_ms,
         };
         if self.exhausted(&pending) {
             let dl = dead_letter_of(&job.sub_id, &ch.address, pending, now_ms);
@@ -542,14 +599,16 @@ impl ReliabilityState {
     /// Pump every due channel once: attempt the head message (and on
     /// success keep draining until a failure or the queue empties).
     ///
-    /// `send` performs one delivery attempt and reports how it went;
-    /// the pump owns all bookkeeping. The send runs *outside* the
-    /// state lock so a consumer handler that publishes back into the
-    /// broker cannot deadlock against it.
+    /// `send` performs one delivery attempt — the `bool` argument is
+    /// true when the attempt is a re-send rather than the message's
+    /// first-ever delivery round — and reports how it went; the pump
+    /// owns all bookkeeping. The send runs *outside* the state lock so
+    /// a consumer handler that publishes back into the broker cannot
+    /// deadlock against it.
     pub fn pump(
         &self,
         now_ms: u64,
-        send: &dyn Fn(&str, Envelope) -> Result<(), FailKind>,
+        send: &dyn Fn(&str, Envelope, bool) -> Result<(), FailKind>,
     ) -> PumpReport {
         let mut report = PumpReport::default();
         for sub_id in self.due_channels(now_ms) {
@@ -570,7 +629,24 @@ impl ReliabilityState {
                     (address, p)
                 };
                 report.attempted += 1;
-                let outcome = send(&address, pending.envelope.clone());
+                // Attempt ordinal: every prior failure (transient or
+                // poison) was one delivery round.
+                let attempt = pending.attempts + pending.strikes;
+                #[cfg(feature = "obs")]
+                let send_started = std::time::Instant::now();
+                let outcome = send(&address, pending.envelope.clone(), attempt > 0);
+                #[cfg(feature = "obs")]
+                let dur_ns = send_started.elapsed().as_nanos() as u64;
+                #[cfg(feature = "obs")]
+                let mut event = PumpEvent {
+                    seq: pending.seq,
+                    sub_id: sub_id.clone(),
+                    attempt,
+                    at_ms: now_ms,
+                    dur_ns,
+                    published_at_ms: pending.published_at_ms,
+                    kind: PumpEventKind::Redelivered,
+                };
                 let mut inner = self.inner.lock();
                 let Some(ch) = inner.channels.get_mut(&sub_id) else {
                     break;
@@ -589,6 +665,8 @@ impl ReliabilityState {
                         if pending.mediated {
                             report.delta.mediated += 1;
                         }
+                        #[cfg(feature = "obs")]
+                        report.events.push(event);
                         if ch.queue.is_empty() {
                             break;
                         }
@@ -608,6 +686,11 @@ impl ReliabilityState {
                             report.dead_lettered += 1;
                             report.delta.dead_lettered += 1;
                             report.delta.failed += 1;
+                            #[cfg(feature = "obs")]
+                            {
+                                event.kind = PumpEventKind::DeadLettered;
+                                report.events.push(event);
+                            }
                             // The head is gone; the next message may
                             // be attempted on the channel's next turn,
                             // not in this burst.
@@ -619,6 +702,11 @@ impl ReliabilityState {
                             inner.depth += 1;
                             report.requeued += 1;
                             report.backoffs_ms.push(backoff_ms);
+                            #[cfg(feature = "obs")]
+                            {
+                                event.kind = PumpEventKind::Requeued { backoff_ms };
+                                report.events.push(event);
+                            }
                         }
                         break;
                     }
@@ -658,6 +746,8 @@ impl ReliabilityState {
                 attempts: 0,
                 strikes: 0,
                 enqueued_at_ms: now_ms,
+                seq: dl.seq,
+                published_at_ms: dl.published_at_ms,
             });
             inner.depth += 1;
         }
@@ -665,10 +755,16 @@ impl ReliabilityState {
     }
 
     /// Forget a subscriber's channel (unsubscribe/expiry cleanup).
-    pub fn forget(&self, sub_id: &str) {
+    /// Returns the pending deliveries that were discarded, so the
+    /// caller can resolve their causal timelines as expired.
+    pub fn forget(&self, sub_id: &str) -> Vec<PendingDelivery> {
         let mut inner = self.inner.lock();
-        if let Some(ch) = inner.channels.remove(sub_id) {
-            inner.depth -= ch.queue.len();
+        match inner.channels.remove(sub_id) {
+            Some(ch) => {
+                inner.depth -= ch.queue.len();
+                ch.queue.into()
+            }
+            None => Vec::new(),
         }
     }
 }
@@ -687,6 +783,8 @@ fn dead_letter_of(sub_id: &str, address: &str, p: PendingDelivery, now_ms: u64) 
         attempts: p.attempts,
         strikes: p.strikes,
         at_ms: now_ms,
+        seq: p.seq,
+        published_at_ms: p.published_at_ms,
     }
 }
 
@@ -799,6 +897,9 @@ mod tests {
                 .with_body(Element::local("e").with_attr("seq", seq.to_string())),
             wse: true,
             mediated: false,
+            seq,
+            published_at_ms: 0,
+            attempt: 0,
         }
     }
 
@@ -819,7 +920,7 @@ mod tests {
         // Pump at the due time: both deliver, oldest first.
         let due = state.next_due_ms().unwrap();
         let seen = Mutex::new(Vec::new());
-        let report = state.pump(due, &|_, env| {
+        let report = state.pump(due, &|_, env, _| {
             seen.lock()
                 .push(env.body().unwrap().attr("seq").unwrap().to_string());
             Ok(())
@@ -840,7 +941,7 @@ mod tests {
         state.admit_failure(FailKind::Poison, job("s", 1), 0);
         assert_eq!(state.depth(), 1);
         let due = state.next_due_ms().unwrap();
-        let report = state.pump(due, &|_, _| Err(FailKind::Poison));
+        let report = state.pump(due, &|_, _, _| Err(FailKind::Poison));
         assert_eq!(report.dead_lettered, 1, "second strike kills it");
         assert_eq!(state.dead_count(), 1);
         let dl = &state.dead_letters()[0];
@@ -864,7 +965,7 @@ mod tests {
                 break;
             };
             now = due.max(now);
-            state.pump(now, &|_, _| Err(FailKind::Transient));
+            state.pump(now, &|_, _, _| Err(FailKind::Transient));
         }
         assert_eq!(state.dead_count(), 1);
         assert_eq!(state.depth(), 0);
@@ -883,7 +984,7 @@ mod tests {
         assert_eq!(state.redeliver_dead(100), 1);
         assert_eq!(state.dead_count(), 0);
         assert_eq!(state.depth(), 1);
-        let report = state.pump(100, &|_, _| Ok(()));
+        let report = state.pump(100, &|_, _, _| Ok(()));
         assert_eq!(report.delivered, 1);
     }
 

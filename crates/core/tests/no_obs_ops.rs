@@ -1,0 +1,46 @@
+//! The observability SOAP operations degrade gracefully when the
+//! `obs` feature is compiled out: `GetMetrics`/`GetTrace` answer a
+//! well-formed SOAP fault — not a panic, not an empty body — while the
+//! broker keeps mediating traffic.
+//!
+//! This file is a no-op under default features; run it with
+//! `cargo test -p wsm-messenger --no-default-features`.
+#![cfg(not(feature = "obs"))]
+
+use wsm_eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
+use wsm_messenger::WsMessenger;
+use wsm_soap::{Envelope, SoapVersion};
+use wsm_transport::{Network, TransportError};
+use wsm_xml::Element;
+
+fn obs_request(op: &str) -> Envelope {
+    Envelope::new(SoapVersion::V11).with_body(Element::ns(wsm_messenger::render::WSM_NS, op, "wsm"))
+}
+
+#[test]
+fn metrics_and_trace_ops_fault_cleanly_without_obs() {
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    let sink = EventSink::start(&net, "http://sink", WseVersion::Aug2004);
+    Subscriber::new(&net, WseVersion::Aug2004)
+        .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+        .unwrap();
+
+    for op in ["GetMetrics", "GetTrace"] {
+        match net.request("http://broker", obs_request(op)) {
+            Err(TransportError::Fault(fault)) => {
+                assert!(
+                    fault.reason.contains("obs"),
+                    "{op}: fault names the missing feature, got {:?}",
+                    fault.reason
+                );
+            }
+            other => panic!("{op}: expected a SOAP fault, got {other:?}"),
+        }
+    }
+
+    // The fault path is an answer, not a crash: regular traffic still
+    // flows through the same handler.
+    broker.publish_on("storms", &Element::local("alert"));
+    assert_eq!(sink.received().len(), 1, "delivery unaffected");
+}

@@ -64,8 +64,9 @@ mod spans {
             .collect();
         assert_eq!(
             stages,
-            ["detect", "publish", "match", "render", "deliver"],
-            "one span per stage, in pipeline order, sharing the trace seq"
+            ["detect", "publish", "match", "render", "deliver", "resolve"],
+            "one span per pipeline stage plus the terminal resolution, \
+             in causal order, sharing the trace seq"
         );
         let matched = spans
             .iter()
@@ -77,6 +78,15 @@ mod spans {
             .find(|s| s.seq == seq && s.stage.name() == "deliver")
             .unwrap();
         assert_eq!(delivered.items, 1, "one push delivery");
+        let resolve = spans
+            .iter()
+            .find(|s| s.seq == seq && s.stage.name() == "resolve")
+            .unwrap();
+        assert!(
+            resolve.subscriber.is_some(),
+            "resolution names the subscriber"
+        );
+        assert_eq!(resolve.outcome, Some(wsm_messenger::Outcome::Delivered));
     }
 
     #[test]
@@ -91,14 +101,21 @@ mod spans {
         assert_eq!(snap.delivered, 10);
         assert_eq!(snap.failed, 0);
         for (name, stats) in &snap.stages {
-            if *name == "detect" {
-                continue; // in-process publishes skip the SOAP handler
+            // In-process publishes skip the SOAP handler (no detect),
+            // and a healthy sink never exercises the attempt stages.
+            if matches!(*name, "detect" | "retry" | "dead_letter" | "resolve") {
+                continue;
             }
             assert_eq!(stats.count, 10, "stage {name} recorded every publish");
             assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
         }
         assert_eq!(snap.delivery_latency.count, 10);
         assert!(snap.delivery_latency.max as f64 >= snap.delivery_latency.p50);
+        assert_eq!(snap.outcome_delivered, 10, "every delivery resolved");
+        assert_eq!(
+            snap.e2e_latency_ms.count, 10,
+            "e2e histogram fed per resolution"
+        );
     }
 
     #[test]
@@ -170,15 +187,245 @@ mod spans {
             .elements()
             .map(|s| s.attr("Stage").unwrap().to_string())
             .collect();
-        assert_eq!(stages, ["publish", "match", "render", "deliver"]);
+        assert_eq!(stages, ["publish", "match", "render", "deliver", "resolve"]);
         for span in body.elements() {
             assert!(span.attr("Seq").is_some());
             assert!(span.attr("DurNs").unwrap().parse::<u64>().is_ok());
         }
+        let resolve = body
+            .elements()
+            .find(|s| s.attr("Stage") == Some("resolve"))
+            .unwrap();
+        assert!(resolve.attr("Subscriber").is_some());
+        assert_eq!(resolve.attr("Outcome"), Some("delivered"));
+        assert_eq!(resolve.attr("Attempt"), Some("0"));
 
         // Drain="true" emptied the ring.
         let resp = net.request("http://broker", trace_req()).unwrap();
         assert_eq!(resp.body().unwrap().elements().count(), 0);
+    }
+
+    /// The acceptance chaos test: an event whose consumer swallows
+    /// every delivery traverses multiple retries and lands in the
+    /// dead-letter store — and the ring can reconstruct its complete
+    /// causal timeline: every attempt ordinal in order, the
+    /// dead-letter move, and a terminal outcome whose end-to-end
+    /// latency spans publish→dead-letter, not just the first send.
+    #[test]
+    fn retried_then_dead_lettered_event_has_a_complete_story() {
+        let net = Network::new();
+        net.set_latency_ms(5);
+        let broker = WsMessenger::start(&net, "http://broker");
+        broker.set_fanout_workers(1);
+        broker.set_fault_tolerance(Some(wsm_messenger::FaultTolerance {
+            base_backoff_ms: 25,
+            max_backoff_ms: 400,
+            seed: 7,
+            max_redeliveries: 4,
+            ..Default::default()
+        }));
+        EventSink::start(&net, "http://blackhole", WseVersion::Aug2004);
+        Subscriber::new(&net, WseVersion::Aug2004)
+            .subscribe(
+                broker.uri(),
+                SubscribeRequest::push(wsm_addressing::EndpointReference::new("http://blackhole")),
+            )
+            .unwrap();
+        net.set_fault_plan(wsm_transport::FaultPlan::seeded(7).with_endpoint(
+            "http://blackhole",
+            wsm_transport::EndpointFaults::new().with_drop_rate(1.0),
+        ));
+
+        let published_at = net.clock().now_ms();
+        broker.publish_on("storms", &Element::local("doomed"));
+        broker.drain_redeliveries(600_000);
+        assert_eq!(broker.dead_letters().len(), 1, "the event dead-lettered");
+
+        let stories = broker.delivery_stories();
+        let story = stories
+            .iter()
+            .find(|s| s.outcome == Some(wsm_messenger::Outcome::DeadLettered))
+            .expect("a dead-lettered story");
+
+        // Every attempt is present, in causal order, starting from the
+        // original fan-out attempt.
+        let attempts = story.attempts();
+        assert!(
+            attempts.len() >= 3,
+            "first attempt plus >=2 retries, got {attempts:?}"
+        );
+        assert_eq!(attempts[0], 0, "the original fan-out attempt is span 0");
+        assert!(
+            attempts.windows(2).all(|w| w[0] < w[1]),
+            "attempt ordinals strictly increase: {attempts:?}"
+        );
+        let at: Vec<u64> = story.spans.iter().map(|s| s.at_ms).collect();
+        assert!(
+            at.windows(2).all(|w| w[0] <= w[1]),
+            "spans are in causal order: {at:?}"
+        );
+
+        // The timeline terminates: a dead-letter move, then a resolve
+        // span carrying the outcome.
+        assert!(story
+            .spans
+            .iter()
+            .any(|s| s.stage == wsm_messenger::Stage::DeadLetter));
+        let last = story.spans.last().unwrap();
+        assert_eq!(last.stage, wsm_messenger::Stage::Resolve);
+        assert_eq!(last.outcome, Some(wsm_messenger::Outcome::DeadLettered));
+
+        // End-to-end latency covers the whole retry chain (backoffs
+        // included), not just the 5ms first send.
+        let e2e = story.e2e_ms().expect("terminal latency");
+        assert_eq!(story.published_at_ms, Some(published_at));
+        assert_eq!(
+            e2e,
+            story.resolved_at_ms.unwrap() - published_at,
+            "resolve span carries publish->dead-letter latency"
+        );
+        assert!(e2e >= 50, "covers the backoff chain, got {e2e}ms");
+        let snap = broker.obs_snapshot();
+        assert_eq!(snap.outcome_dead_lettered, 1);
+        assert_eq!(
+            snap.e2e_latency_ms.max, e2e,
+            "the e2e histogram saw the full publish->dead-letter latency"
+        );
+    }
+
+    /// Satellite: overflowing the span ring is not silent — the
+    /// eviction count surfaces as a gauge in the Prometheus exposition
+    /// AND as the trailing gauge line of the JSONL export, and both
+    /// agree with the snapshot.
+    #[test]
+    fn span_ring_overflow_surfaces_drop_count_in_both_exporters() {
+        let net = Network::new();
+        let (broker, _sink) = broker_with_wse_sink(&net);
+        // Each mediated publish leaves 5 spans (publish, match, render,
+        // deliver, resolve); 1000 publishes overflow the 4096-span ring.
+        for i in 0..1000 {
+            broker.publish_on("storms", &Element::local("e").with_attr("i", i.to_string()));
+        }
+        let snap = broker.obs_snapshot();
+        assert!(
+            snap.spans_evicted > 0,
+            "ring overflowed ({} buffered)",
+            snap.spans_buffered
+        );
+
+        let prom = broker.metrics_text();
+        let gauge_line = prom
+            .lines()
+            .find(|l| l.starts_with("wsm_spans_dropped "))
+            .expect("span-loss gauge exposed to Prometheus");
+        let prom_value: u64 = gauge_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(prom_value, snap.spans_evicted);
+
+        let jsonl = broker.spans_jsonl();
+        let trailer = jsonl.lines().last().expect("non-empty JSONL");
+        assert_eq!(
+            trailer,
+            format!(
+                "{{\"gauge\":\"spans_dropped\",\"value\":{}}}",
+                snap.spans_evicted
+            ),
+            "JSONL trailer distinguishes a truncated trace"
+        );
+    }
+
+    /// Satellite: the Prometheus text the broker actually serves is
+    /// well-formed — every sample family carries `# HELP` and `# TYPE`
+    /// lines, histogram buckets are cumulative (monotone, `+Inf` equal
+    /// to `_count`), and SLO label values are escaped.
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let net = Network::new();
+        let (broker, _sink) = broker_with_wse_sink(&net);
+        broker.set_slos(vec![wsm_messenger::SloSpec::p99(
+            "tricky \"e2e\" target\\budget",
+            50,
+            60_000,
+        )]);
+        for _ in 0..20 {
+            broker.publish_on("storms", &Element::local("alert"));
+            net.clock().advance_ms(3);
+        }
+        let text = broker.metrics_text();
+
+        // Families named by `# TYPE` each have a help line and at
+        // least one sample.
+        let mut families = 0;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("# TYPE ") else {
+                continue;
+            };
+            families += 1;
+            let name = rest.split_whitespace().next().unwrap();
+            assert!(
+                text.lines()
+                    .any(|l| l.starts_with(&format!("# HELP {name} "))),
+                "{name}: missing # HELP"
+            );
+            assert!(
+                text.lines().any(|l| {
+                    !l.starts_with('#')
+                        && (l.starts_with(&format!("{name} "))
+                            || l.starts_with(&format!("{name}_"))
+                            || l.starts_with(&format!("{name}{{")))
+                }),
+                "{name}: no sample line"
+            );
+        }
+        assert!(families > 10, "a real exposition, got {families} families");
+
+        // Histogram buckets are cumulative and consistent.
+        let mut checked = 0;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("# TYPE ") else {
+                continue;
+            };
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+            if kind != "histogram" {
+                continue;
+            }
+            let counts: Vec<u64> = text
+                .lines()
+                .filter(|l| l.starts_with(&format!("{name}_bucket{{")))
+                .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+                .collect();
+            assert!(!counts.is_empty(), "{name}: histogram without buckets");
+            assert!(
+                counts.windows(2).all(|w| w[0] <= w[1]),
+                "{name}: buckets are cumulative: {counts:?}"
+            );
+            let count: u64 = text
+                .lines()
+                .find(|l| l.starts_with(&format!("{name}_count ")))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(
+                *counts.last().unwrap(),
+                count,
+                "{name}: +Inf bucket equals _count"
+            );
+            checked += 1;
+        }
+        assert!(checked > 3, "several histograms checked, got {checked}");
+
+        // The SLO family rides along, with the label value escaped.
+        assert!(
+            text.contains(r#"slo="tricky \"e2e\" target\\budget""#),
+            "escaped SLO label, got:\n{text}"
+        );
+        assert!(text.contains("wsm_slo_pass{"));
     }
 }
 

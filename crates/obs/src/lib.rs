@@ -17,9 +17,17 @@
 //!   concurrent writers — the crossbeam fan-out workers — and
 //!   overwrites oldest-first when full, so tracing can stay on
 //!   permanently without unbounded memory;
+//! * **causal delivery timelines**: per-attempt spans carrying a
+//!   [`TraceContext`] (`seq`, `subscriber_id`, `attempt`) plus a
+//!   terminal [`Outcome`] per (event, subscriber) pair, reconstructed
+//!   into complete [`DeliveryStory`]s by [`timeline::reconstruct`];
+//! * an **SLO engine** ([`SloEngine`]): declarative latency objectives
+//!   ([`SloSpec`]) over terminal outcomes, with rolling-window
+//!   error-budget accounting and burn rate ([`SloReport`]);
 //! * **exporters**: a Prometheus-style text exposition
-//!   ([`export::prometheus`]) and a JSONL event sink
-//!   ([`export::spans_jsonl`], [`export::JsonlSink`]).
+//!   ([`export::prometheus`], [`export::slo_prometheus`]) and a JSONL
+//!   event sink ([`export::spans_jsonl`], [`export::ring_jsonl`],
+//!   [`export::JsonlSink`]).
 //!
 //! Timestamps are supplied by the caller (the workspace's virtual clock
 //! `wsm_transport::clock::SimClock` for span positions, wall-clock
@@ -44,8 +52,12 @@
 
 pub mod export;
 pub mod metrics;
+pub mod slo;
 pub mod span;
+pub mod timeline;
 
 pub use export::JsonlSink;
 pub use metrics::{Counter, Gauge, Histogram, HistogramStats, MetricsRegistry};
-pub use span::{SpanRecord, SpanRing, Stage};
+pub use slo::{SloEngine, SloReport, SloSpec};
+pub use span::{Outcome, SpanRecord, SpanRing, Stage, TraceContext};
+pub use timeline::{reconstruct, story_for, DeliveryStory};

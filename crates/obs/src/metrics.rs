@@ -111,6 +111,13 @@ fn latency_bounds() -> Vec<u64> {
     (0..32).map(|i| 128u64 << i).collect()
 }
 
+/// Geometric millisecond bounds, 1ms doubling up to ~4.6h — suitable
+/// for end-to-end latencies on the virtual clock, where redelivery
+/// backoffs stretch a delivery across seconds or minutes.
+pub fn ms_bounds() -> Vec<u64> {
+    (0..24).map(|i| 1u64 << i).collect()
+}
+
 impl Default for Histogram {
     fn default() -> Self {
         Histogram::with_bounds(latency_bounds())
@@ -264,6 +271,7 @@ pub enum Metric {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     metrics: RwLock<BTreeMap<String, Metric>>,
+    help: RwLock<BTreeMap<String, String>>,
 }
 
 impl MetricsRegistry {
@@ -315,6 +323,18 @@ impl MetricsRegistry {
             Metric::Histogram(h) => Arc::clone(h),
             _ => panic!("metric {name} is not a histogram"),
         }
+    }
+
+    /// Attach (or replace) the help text exporters emit as the
+    /// metric's `# HELP` line. Registering help for a metric that does
+    /// not exist yet is allowed — the text applies once it does.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help.write().insert(name.to_string(), help.to_string());
+    }
+
+    /// The registered help text for `name`, if any.
+    pub fn help(&self, name: &str) -> Option<String> {
+        self.help.read().get(name).cloned()
     }
 
     /// Snapshot of every registered metric, sorted by name.

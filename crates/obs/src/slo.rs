@@ -1,0 +1,336 @@
+//! Declarative latency objectives with error-budget accounting.
+//!
+//! An [`SloSpec`] states an objective over *terminal* delivery
+//! outcomes — "p99 publish→final-delivery under `target_ms`, with at
+//! most `error_budget` of deliveries bad over a rolling `window_ms`" —
+//! where *bad* means the delivery either missed the latency target or
+//! never reached the consumer at all (dead-lettered/expired). The
+//! [`SloEngine`] is fed one observation per resolved
+//! (event, subscriber) pair and answers with [`SloReport`]s: the
+//! measured quantile, the windowed bad fraction, how much of the error
+//! budget is burning, and a pass/fail verdict.
+//!
+//! All timestamps are virtual-clock milliseconds supplied by the
+//! caller, so the accounting is deterministic under the workspace's
+//! seeded chaos and workload drivers.
+
+use crate::metrics::{ms_bounds, Histogram};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Number of sub-buckets the rolling window is divided into. More
+/// buckets mean smoother expiry of old observations at slightly more
+/// bookkeeping.
+const WINDOW_BUCKETS: usize = 16;
+
+/// A declarative latency objective over terminal delivery outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective name (a Prometheus label value — arbitrary UTF-8).
+    pub name: String,
+    /// The quantile the latency target applies to (e.g. `0.99`).
+    pub quantile: f64,
+    /// Latency target in virtual milliseconds: `quantile` of
+    /// end-to-end latency must stay at or under this.
+    pub target_ms: u64,
+    /// Rolling window, in virtual milliseconds, over which the error
+    /// budget is accounted.
+    pub window_ms: u64,
+    /// Allowed fraction of bad deliveries within the window (e.g.
+    /// `0.01` = 1% may be slow or undelivered before the budget is
+    /// exhausted).
+    pub error_budget: f64,
+}
+
+impl SloSpec {
+    /// Convenience: a p99 objective with a 0.1% error budget.
+    pub fn p99(name: impl Into<String>, target_ms: u64, window_ms: u64) -> Self {
+        SloSpec {
+            name: name.into(),
+            quantile: 0.99,
+            target_ms,
+            window_ms: window_ms.max(WINDOW_BUCKETS as u64),
+            error_budget: 0.001,
+        }
+    }
+
+    /// Replace the error budget (builder-style).
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.error_budget = budget.max(f64::MIN_POSITIVE);
+        self
+    }
+
+    /// Replace the quantile (builder-style).
+    pub fn with_quantile(mut self, q: f64) -> Self {
+        self.quantile = q.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// The state of one objective at a point in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Objective name.
+    pub name: String,
+    /// The quantile the target applies to.
+    pub quantile: f64,
+    /// The latency target, virtual ms.
+    pub target_ms: u64,
+    /// The rolling accounting window, virtual ms.
+    pub window_ms: u64,
+    /// Measured `quantile` of end-to-end latency (all observations
+    /// since the objective was installed), virtual ms.
+    pub measured_ms: f64,
+    /// Deliveries resolved inside the current window.
+    pub total: u64,
+    /// Of those, how many were bad (slow or undelivered).
+    pub bad: u64,
+    /// `bad / total` (0 when the window is empty).
+    pub bad_fraction: f64,
+    /// The configured error budget (allowed bad fraction).
+    pub error_budget: f64,
+    /// `bad_fraction / error_budget`: 1.0 means burning exactly at
+    /// budget; above 1.0 the budget is exhausted.
+    pub burn_rate: f64,
+    /// The verdict: measured quantile within target AND burn rate at
+    /// or under 1.0.
+    pub pass: bool,
+}
+
+#[derive(Debug)]
+struct WindowRing {
+    /// (good, bad) per sub-bucket.
+    buckets: Vec<(u64, u64)>,
+    bucket_ms: u64,
+    /// Absolute index (at_ms / bucket_ms) of the newest bucket, or
+    /// `None` before the first observation.
+    head: Option<u64>,
+}
+
+impl WindowRing {
+    fn new(window_ms: u64) -> Self {
+        WindowRing {
+            buckets: vec![(0, 0); WINDOW_BUCKETS],
+            bucket_ms: (window_ms / WINDOW_BUCKETS as u64).max(1),
+            head: None,
+        }
+    }
+
+    /// Advance the ring to cover `at_ms`, zeroing buckets that fell
+    /// out of the window.
+    fn rotate(&mut self, at_ms: u64) {
+        let idx = at_ms / self.bucket_ms;
+        let head = match self.head {
+            Some(h) if idx > h => {
+                let skipped = (idx - h).min(WINDOW_BUCKETS as u64);
+                for k in 1..=skipped {
+                    let slot = ((h + k) % WINDOW_BUCKETS as u64) as usize;
+                    self.buckets[slot] = (0, 0);
+                }
+                idx
+            }
+            Some(h) => h,
+            None => idx,
+        };
+        self.head = Some(head);
+    }
+
+    fn observe(&mut self, at_ms: u64, bad: bool) {
+        self.rotate(at_ms);
+        let idx = at_ms / self.bucket_ms;
+        // Observations older than the window (or racing behind the
+        // head) are folded into the oldest live bucket rather than
+        // dropped — late resolution still burns budget.
+        let head = self.head.unwrap();
+        let idx = idx
+            .max(head.saturating_sub(WINDOW_BUCKETS as u64 - 1))
+            .min(head);
+        let slot = (idx % WINDOW_BUCKETS as u64) as usize;
+        if bad {
+            self.buckets[slot].1 += 1;
+        } else {
+            self.buckets[slot].0 += 1;
+        }
+    }
+
+    fn totals(&mut self, now_ms: u64) -> (u64, u64) {
+        self.rotate(now_ms);
+        self.buckets
+            .iter()
+            .fold((0, 0), |(g, b), &(good, bad)| (g + good, b + bad))
+    }
+}
+
+#[derive(Debug)]
+struct SloTracker {
+    spec: SloSpec,
+    latency: Histogram,
+    window: WindowRing,
+}
+
+/// Tracks a set of latency objectives fed from terminal delivery
+/// outcomes.
+///
+/// `observe` is called once per resolved (event, subscriber) pair; an
+/// empty engine short-circuits on a relaxed atomic load so the hot
+/// path pays nothing until objectives are installed.
+#[derive(Debug, Default)]
+pub struct SloEngine {
+    trackers: Mutex<Vec<SloTracker>>,
+    armed: AtomicBool,
+}
+
+impl SloEngine {
+    /// An engine with no objectives.
+    pub fn new() -> Self {
+        SloEngine::default()
+    }
+
+    /// Install objectives, replacing any previous set and resetting
+    /// all accounting.
+    pub fn set_objectives(&self, specs: Vec<SloSpec>) {
+        let mut trackers = self.trackers.lock();
+        self.armed.store(!specs.is_empty(), Ordering::Relaxed);
+        *trackers = specs
+            .into_iter()
+            .map(|spec| SloTracker {
+                latency: Histogram::with_bounds(ms_bounds()),
+                window: WindowRing::new(spec.window_ms),
+                spec,
+            })
+            .collect();
+    }
+
+    /// Are any objectives installed?
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Feed one terminal outcome: the delivery of one event to one
+    /// subscriber resolved at `at_ms` with end-to-end latency
+    /// `latency_ms`; `delivered` is false for dead-lettered/expired
+    /// deliveries (always bad, regardless of latency).
+    pub fn observe(&self, at_ms: u64, latency_ms: u64, delivered: bool) {
+        if !self.is_armed() {
+            return;
+        }
+        let mut trackers = self.trackers.lock();
+        for t in trackers.iter_mut() {
+            t.latency.record(latency_ms);
+            let bad = !delivered || latency_ms > t.spec.target_ms;
+            t.window.observe(at_ms, bad);
+        }
+    }
+
+    /// A report per objective as of `now_ms`.
+    pub fn reports(&self, now_ms: u64) -> Vec<SloReport> {
+        let mut trackers = self.trackers.lock();
+        trackers
+            .iter_mut()
+            .map(|t| {
+                let (good, bad) = t.window.totals(now_ms);
+                let total = good + bad;
+                let bad_fraction = if total == 0 {
+                    0.0
+                } else {
+                    bad as f64 / total as f64
+                };
+                let burn_rate = bad_fraction / t.spec.error_budget;
+                let measured_ms = t.latency.quantile(t.spec.quantile).unwrap_or(0.0);
+                SloReport {
+                    name: t.spec.name.clone(),
+                    quantile: t.spec.quantile,
+                    target_ms: t.spec.target_ms,
+                    window_ms: t.spec.window_ms,
+                    measured_ms,
+                    total,
+                    bad,
+                    bad_fraction,
+                    error_budget: t.spec.error_budget,
+                    burn_rate,
+                    pass: measured_ms <= t.spec.target_ms as f64 && burn_rate <= 1.0,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_engine_is_disarmed_and_reports_nothing() {
+        let engine = SloEngine::new();
+        assert!(!engine.is_armed());
+        engine.observe(0, 10, true);
+        assert!(engine.reports(0).is_empty());
+    }
+
+    #[test]
+    fn within_target_passes_with_zero_burn() {
+        let engine = SloEngine::new();
+        engine.set_objectives(vec![SloSpec::p99("e2e", 50, 10_000)]);
+        for i in 0..100 {
+            engine.observe(i * 10, 5 + (i % 3), true);
+        }
+        let r = &engine.reports(1_000)[0];
+        assert_eq!(r.total, 100);
+        assert_eq!(r.bad, 0);
+        assert_eq!(r.burn_rate, 0.0);
+        assert!(r.measured_ms <= 50.0);
+        assert!(r.pass, "fast deliveries pass: {r:?}");
+    }
+
+    #[test]
+    fn undelivered_outcomes_burn_budget_even_when_fast() {
+        let engine = SloEngine::new();
+        engine.set_objectives(vec![SloSpec::p99("e2e", 50, 10_000).with_budget(0.05)]);
+        for i in 0..90 {
+            engine.observe(i, 1, true);
+        }
+        for i in 90..100 {
+            engine.observe(i, 1, false); // dead-lettered
+        }
+        let r = &engine.reports(100)[0];
+        assert_eq!(r.bad, 10);
+        assert!((r.bad_fraction - 0.10).abs() < 1e-9);
+        assert!(r.burn_rate > 1.0, "10% bad vs 5% budget: {r:?}");
+        assert!(!r.pass);
+    }
+
+    #[test]
+    fn slow_tail_fails_the_quantile_target() {
+        let engine = SloEngine::new();
+        engine.set_objectives(vec![SloSpec::p99("e2e", 10, 10_000).with_budget(0.5)]);
+        for i in 0..100 {
+            // 5% of deliveries land way over target.
+            let lat = if i % 20 == 0 { 400 } else { 2 };
+            engine.observe(i, lat, true);
+        }
+        let r = &engine.reports(100)[0];
+        assert!(r.measured_ms > 10.0, "p99 should see the slow tail: {r:?}");
+        assert!(!r.pass);
+        // The generous budget is not the reason it fails.
+        assert!(r.burn_rate <= 1.0);
+    }
+
+    #[test]
+    fn window_expires_old_badness() {
+        let engine = SloEngine::new();
+        engine.set_objectives(vec![SloSpec::p99("e2e", 50, 1_600).with_budget(0.01)]);
+        for i in 0..10 {
+            engine.observe(i, 5, false); // early disaster
+        }
+        let early = &engine.reports(10)[0];
+        assert!(early.burn_rate > 1.0);
+        // Far beyond the window, with fresh healthy traffic, the
+        // budget recovers.
+        for i in 0..100 {
+            engine.observe(10_000 + i, 5, true);
+        }
+        let late = &engine.reports(10_100)[0];
+        assert_eq!(late.bad, 0, "old badness expired: {late:?}");
+        assert!(late.burn_rate <= 1.0);
+    }
+}

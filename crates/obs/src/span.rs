@@ -1,10 +1,23 @@
-//! Pipeline-stage spans and the bounded ring buffer they collect into.
+//! Pipeline-stage spans, delivery-attempt spans, and the bounded ring
+//! buffer they collect into.
+//!
+//! PR 2 introduced flat per-stage spans keyed by publication `seq`.
+//! This module now also models the *causal* side of delivery: once the
+//! fault-tolerance layer takes over, an event's trip is no longer one
+//! Deliver span but a chain of attempts — retries, a possible
+//! dead-letter move, and exactly one terminal [`Outcome`] per
+//! (event, subscriber) pair. Those attempt spans carry a
+//! [`TraceContext`] (`seq`, `subscriber_id`, `attempt`) so the
+//! [`SpanRing`] contents can be re-assembled into complete delivery
+//! stories by [`crate::timeline`].
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 
 /// A stage of the broker's mediation pipeline
-/// (publish → detect → match → render → deliver).
+/// (publish → detect → match → render → deliver), or one of the
+/// per-subscriber delivery-attempt stages layered on top
+/// (retry → dead-letter → resolve).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
     /// Ingesting a publication (the whole publish call).
@@ -17,11 +30,34 @@ pub enum Stage {
     Render,
     /// Executing the push fan-out (the send phase).
     Deliver,
+    /// One redelivery attempt for one subscriber (queued send from the
+    /// reliability layer; `items` carries the attempt ordinal).
+    Retry,
+    /// The event was moved to the dead-letter store for this
+    /// subscriber (`items` carries the attempts spent).
+    DeadLetter,
+    /// Terminal span of one (event, subscriber) delivery: carries the
+    /// final [`Outcome`], and `items` is the end-to-end latency in
+    /// virtual milliseconds (publish → this resolution).
+    Resolve,
 }
 
 impl Stage {
-    /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    /// Every stage: the five pipeline stages in order, then the
+    /// per-subscriber delivery-attempt stages.
+    pub const ALL: [Stage; 8] = [
+        Stage::Publish,
+        Stage::Detect,
+        Stage::Match,
+        Stage::Render,
+        Stage::Deliver,
+        Stage::Retry,
+        Stage::DeadLetter,
+        Stage::Resolve,
+    ];
+
+    /// The per-publication pipeline stages, in pipeline order.
+    pub const PIPELINE: [Stage; 5] = [
         Stage::Publish,
         Stage::Detect,
         Stage::Match,
@@ -37,12 +73,72 @@ impl Stage {
             Stage::Match => "match",
             Stage::Render => "render",
             Stage::Deliver => "deliver",
+            Stage::Retry => "retry",
+            Stage::DeadLetter => "dead_letter",
+            Stage::Resolve => "resolve",
+        }
+    }
+}
+
+/// The terminal fate of one (event, subscriber) delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The consumer acknowledged the send (push) or drained the event
+    /// (pull/wrapped).
+    Delivered,
+    /// Retry budgets were exhausted; the event moved to the
+    /// dead-letter store.
+    DeadLettered,
+    /// The delivery was abandoned without reaching the consumer — the
+    /// subscription was dropped, expired, or forgotten while the event
+    /// was still pending.
+    Expired,
+}
+
+impl Outcome {
+    /// Stable lowercase name (metric labels, JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Delivered => "delivered",
+            Outcome::DeadLettered => "dead_lettered",
+            Outcome::Expired => "expired",
+        }
+    }
+}
+
+/// Causal coordinates of one delivery attempt: which publication
+/// (`seq`), which subscriber, and which attempt ordinal (0 = the
+/// original fan-out send, 1.. = redeliveries).
+///
+/// A `TraceContext` is threaded from publish through the fan-out
+/// engine, the redelivery queues, and the dead-letter store, so every
+/// span a delivery produces lands in the ring with the same
+/// coordinates and the event's whole story can be reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Publication sequence number (the trace id).
+    pub seq: u64,
+    /// Subscription id of the consumer this delivery targets.
+    pub subscriber_id: String,
+    /// Attempt ordinal: 0 for the original send, counting up across
+    /// redeliveries.
+    pub attempt: u32,
+}
+
+impl TraceContext {
+    /// Build a context for `attempt` of delivering `seq` to
+    /// `subscriber_id`.
+    pub fn new(seq: u64, subscriber_id: impl Into<String>, attempt: u32) -> Self {
+        TraceContext {
+            seq,
+            subscriber_id: subscriber_id.into(),
+            attempt,
         }
     }
 }
 
 /// One closed span: a stage of one publication's trip through the
-/// pipeline.
+/// pipeline, or one delivery attempt for one subscriber.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Publication sequence number (mints one trace id per ingested
@@ -55,14 +151,25 @@ pub struct SpanRecord {
     /// Measured wall-clock duration, in nanoseconds.
     pub dur_ns: u64,
     /// Stage cardinality: subscriptions matched, envelopes rendered,
-    /// deliveries made — whatever the stage counts.
+    /// deliveries made — whatever the stage counts. For
+    /// [`Stage::Retry`] this is the attempt ordinal, for
+    /// [`Stage::DeadLetter`] the attempts spent, and for
+    /// [`Stage::Resolve`] the end-to-end latency in virtual ms.
     pub items: u64,
     /// Thread that closed the span, when it was a fan-out worker.
     pub worker: Option<String>,
+    /// Subscriber this span belongs to, for per-subscriber
+    /// delivery-attempt stages; `None` for pipeline-wide stages.
+    pub subscriber: Option<String>,
+    /// Attempt ordinal within this (event, subscriber) delivery
+    /// (0 = original fan-out send). Always 0 for pipeline-wide stages.
+    pub attempt: u32,
+    /// Terminal outcome; set only on [`Stage::Resolve`] spans.
+    pub outcome: Option<Outcome>,
 }
 
 impl SpanRecord {
-    /// A span with no worker attribution.
+    /// A pipeline-wide span with no worker or subscriber attribution.
     pub fn new(seq: u64, stage: Stage, at_ms: u64, dur_ns: u64, items: u64) -> Self {
         SpanRecord {
             seq,
@@ -71,7 +178,39 @@ impl SpanRecord {
             dur_ns,
             items,
             worker: None,
+            subscriber: None,
+            attempt: 0,
+            outcome: None,
         }
+    }
+
+    /// A per-subscriber delivery-attempt span carrying the causal
+    /// coordinates of `ctx`.
+    pub fn for_attempt(
+        ctx: &TraceContext,
+        stage: Stage,
+        at_ms: u64,
+        dur_ns: u64,
+        items: u64,
+    ) -> Self {
+        SpanRecord {
+            seq: ctx.seq,
+            stage,
+            at_ms,
+            dur_ns,
+            items,
+            worker: None,
+            subscriber: Some(ctx.subscriber_id.clone()),
+            attempt: ctx.attempt,
+            outcome: None,
+        }
+    }
+
+    /// Attach a terminal outcome (builder-style, for
+    /// [`Stage::Resolve`] spans).
+    pub fn with_outcome(mut self, outcome: Outcome) -> Self {
+        self.outcome = Some(outcome);
+        self
     }
 }
 
@@ -163,10 +302,39 @@ mod tests {
 
     #[test]
     fn stage_names_are_pipeline_ordered() {
-        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let names: Vec<&str> = Stage::PIPELINE.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
             vec!["publish", "detect", "match", "render", "deliver"]
         );
+        let all: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            all,
+            vec![
+                "publish",
+                "detect",
+                "match",
+                "render",
+                "deliver",
+                "retry",
+                "dead_letter",
+                "resolve"
+            ]
+        );
+    }
+
+    #[test]
+    fn attempt_spans_carry_causal_coordinates() {
+        let ctx = TraceContext::new(7, "sub-1", 2);
+        let span = SpanRecord::for_attempt(&ctx, Stage::Retry, 120, 5_000, 2);
+        assert_eq!(span.seq, 7);
+        assert_eq!(span.subscriber.as_deref(), Some("sub-1"));
+        assert_eq!(span.attempt, 2);
+        assert_eq!(span.outcome, None);
+
+        let terminal = SpanRecord::for_attempt(&ctx, Stage::Resolve, 130, 0, 130)
+            .with_outcome(Outcome::DeadLettered);
+        assert_eq!(terminal.outcome, Some(Outcome::DeadLettered));
+        assert_eq!(terminal.outcome.unwrap().name(), "dead_lettered");
     }
 }

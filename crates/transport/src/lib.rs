@@ -50,5 +50,5 @@ pub mod trace;
 
 pub use clock::SimClock;
 pub use faults::{EndpointFaults, FaultPlan, Flap, Injected, Injection};
-pub use network::{EndpointOptions, Network, SoapHandler, TransportError};
+pub use network::{AttemptClass, EndpointOptions, Network, SoapHandler, TransportError};
 pub use trace::{DeliveryOutcome, TraceRecord};

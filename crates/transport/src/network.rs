@@ -19,6 +19,19 @@ pub trait SoapHandler: Send + Sync {
     fn handle(&self, request: Envelope) -> Result<Option<Envelope>, Fault>;
 }
 
+/// Whether a delivery attempt is the first try for its message or a
+/// retry (in-line re-send or queued redelivery). Transport metrics
+/// split send totals by this class so delivery success rates stay
+/// honest under heavy redelivery traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttemptClass {
+    /// The message's first delivery attempt.
+    #[default]
+    First,
+    /// Any subsequent attempt for the same message.
+    Retry,
+}
+
 /// Per-endpoint registration options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EndpointOptions {
@@ -190,14 +203,27 @@ impl Network {
         *self.0.faults.lock() = plan;
     }
 
-    /// One-way send (fire-and-forget notification delivery).
+    /// One-way send (fire-and-forget notification delivery), counted
+    /// as a first attempt.
     pub fn send(&self, to: &str, envelope: Envelope) -> Result<(), TransportError> {
-        self.deliver(to, envelope, false).map(|_| ())
+        self.send_class(to, envelope, AttemptClass::First)
+    }
+
+    /// One-way send with an explicit attempt class — the redelivery
+    /// and in-line-retry paths use [`AttemptClass::Retry`] so send
+    /// metrics attribute re-sends separately from first attempts.
+    pub fn send_class(
+        &self,
+        to: &str,
+        envelope: Envelope,
+        class: AttemptClass,
+    ) -> Result<(), TransportError> {
+        self.deliver(to, envelope, false, class).map(|_| ())
     }
 
     /// Two-way request/response exchange.
     pub fn request(&self, to: &str, envelope: Envelope) -> Result<Envelope, TransportError> {
-        match self.deliver(to, envelope, true)? {
+        match self.deliver(to, envelope, true, AttemptClass::First)? {
             Some(resp) => Ok(resp),
             None => Err(TransportError::NoResponse(to.to_string())),
         }
@@ -208,6 +234,7 @@ impl Network {
         to: &str,
         envelope: Envelope,
         two_way: bool,
+        class: AttemptClass,
     ) -> Result<Option<Envelope>, TransportError> {
         let timer = self.0.obs.start();
         // Consult the fault plan before the hop: it decides this
@@ -227,7 +254,15 @@ impl Network {
         match injected.action {
             Injection::Deliver => {}
             Injection::Drop => {
-                self.record(timer, to, &label, bytes, two_way, DeliveryOutcome::Dropped);
+                self.record(
+                    timer,
+                    to,
+                    &label,
+                    bytes,
+                    two_way,
+                    class,
+                    DeliveryOutcome::Dropped,
+                );
                 return Err(TransportError::Dropped(to.to_string()));
             }
             Injection::Fault => {
@@ -238,6 +273,7 @@ impl Network {
                     &label,
                     bytes,
                     two_way,
+                    class,
                     DeliveryOutcome::Faulted(fault.reason.clone()),
                 );
                 return Err(TransportError::Fault(Box::new(fault)));
@@ -256,6 +292,7 @@ impl Network {
                         &label,
                         bytes,
                         two_way,
+                        class,
                         DeliveryOutcome::NoEndpoint,
                     );
                     return Err(TransportError::NoEndpoint(to.to_string()));
@@ -263,7 +300,15 @@ impl Network {
             }
         };
         if options.firewalled {
-            self.record(timer, to, &label, bytes, two_way, DeliveryOutcome::Refused);
+            self.record(
+                timer,
+                to,
+                &label,
+                bytes,
+                two_way,
+                class,
+                DeliveryOutcome::Refused,
+            );
             return Err(TransportError::Refused(to.to_string()));
         }
 
@@ -275,6 +320,7 @@ impl Network {
                     &label,
                     bytes,
                     two_way,
+                    class,
                     DeliveryOutcome::Delivered,
                 );
                 Ok(resp)
@@ -286,6 +332,7 @@ impl Network {
                     &label,
                     bytes,
                     two_way,
+                    class,
                     DeliveryOutcome::Faulted(fault.reason.clone()),
                 );
                 Err(TransportError::Fault(Box::new(fault)))
@@ -293,6 +340,7 @@ impl Network {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &self,
         timer: NetTimer,
@@ -300,9 +348,10 @@ impl Network {
         label: &str,
         bytes: usize,
         two_way: bool,
+        class: AttemptClass,
         outcome: DeliveryOutcome,
     ) {
-        self.0.obs.observe(timer, &outcome, bytes);
+        self.0.obs.observe(timer, &outcome, bytes, class);
         self.0.trace.lock().push(TraceRecord {
             time_ms: self.0.clock.now_ms(),
             to: to.to_string(),
@@ -599,12 +648,16 @@ mod tests {
         let _ = net.send("http://missing", env());
         net.drop_next("http://a", 1);
         let _ = net.send("http://a", env());
+        net.send_class("http://a", env(), AttemptClass::Retry)
+            .unwrap();
         let text = net.metrics_text();
-        assert!(text.contains("net_sends_total 4"), "{text}");
-        assert!(text.contains("net_outcome_delivered_total 2"));
+        assert!(text.contains("net_sends_total 5"), "{text}");
+        assert!(text.contains("net_sends_first_total 4"), "{text}");
+        assert!(text.contains("net_sends_retry_total 1"), "{text}");
+        assert!(text.contains("net_outcome_delivered_total 3"));
         assert!(text.contains("net_outcome_no_endpoint_total 1"));
         assert!(text.contains("net_outcome_dropped_total 1"));
-        assert!(text.contains("net_send_ns_count 4"));
+        assert!(text.contains("net_send_ns_count 5"));
         let h = net.metrics().histogram("net_send_ns");
         assert!(h.quantile(0.5).is_some());
     }

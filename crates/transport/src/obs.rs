@@ -5,11 +5,12 @@
 //! is off, so the network hot path carries no instrumentation cost in
 //! `--no-default-features` builds.
 
+use crate::network::AttemptClass;
 use crate::trace::DeliveryOutcome;
 
 #[cfg(feature = "obs")]
 mod imp {
-    use super::DeliveryOutcome;
+    use super::{AttemptClass, DeliveryOutcome};
     use std::sync::Arc;
     use std::time::Instant;
     use wsm_obs::{Counter, Histogram, MetricsRegistry};
@@ -18,10 +19,13 @@ mod imp {
     pub type NetTimer = Option<Instant>;
 
     /// Metrics for the network send/latency path: attempt and byte
-    /// totals, per-outcome counters, and a send-latency histogram.
+    /// totals (split by first-attempt vs retry), per-outcome counters,
+    /// and a send-latency histogram.
     pub struct NetObs {
         registry: MetricsRegistry,
         sends: Arc<Counter>,
+        sends_first: Arc<Counter>,
+        sends_retry: Arc<Counter>,
         bytes: Arc<Counter>,
         send_ns: Arc<Histogram>,
         delivered: Arc<Counter>,
@@ -41,8 +45,21 @@ mod imp {
         /// A fresh set of network metrics.
         pub fn new() -> Self {
             let registry = MetricsRegistry::new();
+            registry.describe("net_sends_total", "Delivery attempts, any class.");
+            registry.describe(
+                "net_sends_first_total",
+                "First delivery attempts (one per message per consumer).",
+            );
+            registry.describe(
+                "net_sends_retry_total",
+                "Re-send attempts: in-line retries and queued redeliveries.",
+            );
+            registry.describe("net_bytes_total", "Serialized envelope bytes sent.");
+            registry.describe("net_send_ns", "Wall-clock send latency, nanoseconds.");
             NetObs {
                 sends: registry.counter("net_sends_total"),
+                sends_first: registry.counter("net_sends_first_total"),
+                sends_retry: registry.counter("net_sends_retry_total"),
                 bytes: registry.counter("net_bytes_total"),
                 send_ns: registry.histogram("net_send_ns"),
                 delivered: registry.counter("net_outcome_delivered_total"),
@@ -61,10 +78,20 @@ mod imp {
         }
 
         /// Record one finished delivery attempt.
-        pub fn observe(&self, timer: NetTimer, outcome: &DeliveryOutcome, bytes: usize) {
+        pub fn observe(
+            &self,
+            timer: NetTimer,
+            outcome: &DeliveryOutcome,
+            bytes: usize,
+            class: AttemptClass,
+        ) {
             let Some(t) = timer else { return };
             self.send_ns.record(t.elapsed().as_nanos() as u64);
             self.sends.inc();
+            match class {
+                AttemptClass::First => self.sends_first.inc(),
+                AttemptClass::Retry => self.sends_retry.inc(),
+            }
             self.bytes.add(bytes as u64);
             match outcome {
                 DeliveryOutcome::Delivered => self.delivered.inc(),
@@ -84,7 +111,7 @@ mod imp {
 
 #[cfg(not(feature = "obs"))]
 mod imp {
-    use super::DeliveryOutcome;
+    use super::{AttemptClass, DeliveryOutcome};
 
     /// Zero-sized timer when instrumentation is compiled out.
     pub type NetTimer = ();
@@ -105,7 +132,14 @@ mod imp {
 
         /// No-op.
         #[inline(always)]
-        pub fn observe(&self, _timer: NetTimer, _outcome: &DeliveryOutcome, _bytes: usize) {}
+        pub fn observe(
+            &self,
+            _timer: NetTimer,
+            _outcome: &DeliveryOutcome,
+            _bytes: usize,
+            _class: AttemptClass,
+        ) {
+        }
     }
 }
 

@@ -1,0 +1,73 @@
+//! Runs the scenario matrix in quick mode and asserts every scenario
+//! produces a judged, serializable result.
+
+use wsm_workload::{render_workload_json, run_matrix};
+
+#[test]
+fn quick_matrix_judges_every_scenario() {
+    std::env::set_var("WSM_BENCH_QUICK", "1");
+    let results = run_matrix(42);
+    assert_eq!(results.len(), 6, "six named scenarios");
+
+    let names: Vec<_> = results.iter().map(|r| r.name).collect();
+    assert_eq!(
+        names,
+        [
+            "zipf_topics",
+            "subscriber_churn",
+            "flash_crowd",
+            "firewalled_pull",
+            "mixed_dialects",
+            "slow_flaky_consumers"
+        ]
+    );
+
+    for r in &results {
+        assert!(r.events > 0, "{}: drove events", r.name);
+        assert!(r.delivered > 0, "{}: delivered something", r.name);
+        assert!(!r.slos.is_empty(), "{}: has at least one objective", r.name);
+        assert!(
+            r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms,
+            "{}: quantiles are ordered ({} / {} / {})",
+            r.name,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms
+        );
+        assert!(r.p99_ms > 0.0, "{}: e2e histogram populated", r.name);
+    }
+
+    // The healthy scenarios hold their objectives.
+    for name in ["zipf_topics", "firewalled_pull", "mixed_dialects"] {
+        let r = results.iter().find(|r| r.name == name).unwrap();
+        assert!(
+            r.all_pass(),
+            "{name}: expected green verdicts, got {:?}",
+            r.slos
+        );
+    }
+
+    // The chaos scenario engages the dead-letter store and proves
+    // verdicts can go red: its tight objective fails while the
+    // eventual-delivery objective holds.
+    let flaky = results
+        .iter()
+        .find(|r| r.name == "slow_flaky_consumers")
+        .unwrap();
+    assert!(flaky.dead_lettered > 0, "poison endpoint dead-letters");
+    assert!(
+        flaky.slos.iter().any(|s| !s.pass),
+        "tight objective goes red"
+    );
+    assert!(
+        flaky.slos.iter().any(|s| s.pass),
+        "eventual objective holds"
+    );
+
+    // The serialized report carries the sections CI grep-gates.
+    let json = render_workload_json(42, &results);
+    assert!(json.contains("\"scenarios\""));
+    assert!(json.contains("\"slo\""));
+    assert!(json.contains("\"slow_flaky_consumers\""));
+    assert!(json.contains("\"pass\": false") && json.contains("\"pass\": true"));
+}

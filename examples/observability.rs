@@ -1,120 +1,171 @@
-//! Watching the broker work: the observability layer end to end.
+//! Watching the broker work: causal timelines, SLO verdicts, exports.
 //!
-//! A mixed WS-Eventing / WS-Notification population subscribes to a
-//! broker, a publisher pushes a burst of events through it, and then
-//! the instrumentation answers three questions:
+//! A fault-tolerant broker feeds a mixed population — healthy
+//! consumers plus one that swallows every delivery — and the
+//! observability layer answers four questions:
 //!
 //! 1. **Where does a publication's time go?** Per-stage latency
-//!    histograms (detect → match → render → deliver) with p50/p95/p99.
-//! 2. **What exactly happened?** The bounded span ring replays the
-//!    pipeline stages of each publication, and the transport trace
-//!    attributes every delivery attempt to the worker thread that made
-//!    it.
-//! 3. **How do I scrape it?** The same data is exposed as
-//!    Prometheus-style text and over SOAP (`GetMetrics` / `GetTrace`
-//!    in the broker's extension namespace), so a monitoring agent
-//!    needs nothing but a SOAP client.
+//!    histograms (publish → match → render → deliver, plus the
+//!    retry/dead-letter stages) with p50/p95/p99.
+//! 2. **What happened to THIS event?** The span ring is causal, not
+//!    just flat: every (event, subscriber) pair reconstructs into a
+//!    [`DeliveryStory`] — first attempt, each backed-off retry, the
+//!    dead-letter move, and a terminal outcome with true end-to-end
+//!    latency (publish → resolution, not publish → first send).
+//! 3. **Is the service *good*?** Declarative SLOs judge the terminal
+//!    outcomes: a latency target at a quantile, an error budget over a
+//!    rolling window, and a burn rate that says how fast the budget is
+//!    going.
+//! 4. **How do I scrape it?** Prometheus text and SOAP (`GetMetrics`
+//!    / `GetTrace` in the broker's extension namespace) carry the
+//!    same data, span-loss gauge and SLO verdicts included.
 //!
 //! Run with `cargo run --example observability`.
 
 use ws_messenger_suite::eventing::{EventSink, SubscribeRequest, Subscriber, WseVersion};
-use ws_messenger_suite::messenger::WsMessenger;
-use ws_messenger_suite::notification::{
-    NotificationConsumer, WsnClient, WsnFilter, WsnSubscribeRequest, WsnVersion,
-};
+use ws_messenger_suite::messenger::{FaultTolerance, Outcome, SloSpec, WsMessenger};
 use ws_messenger_suite::soap::{Envelope, SoapVersion};
-use ws_messenger_suite::transport::Network;
+use ws_messenger_suite::transport::{EndpointFaults, FaultPlan, Network};
 use ws_messenger_suite::xml::Element;
 
 fn main() {
     let net = Network::new();
+    net.set_latency_ms(5);
     let broker = WsMessenger::start(&net, "http://broker");
-    broker.set_fanout_workers(4);
+    broker.set_fanout_workers(1);
+    broker.set_fault_tolerance(Some(FaultTolerance {
+        base_backoff_ms: 25,
+        max_backoff_ms: 400,
+        seed: 7,
+        max_redeliveries: 4,
+        ..FaultTolerance::default()
+    }));
 
-    // Eight consumers, half per specification family, so every
-    // publication exercises the mediation path.
+    // The objectives the run will be judged by. The windows span the
+    // whole run so the verdicts weigh every terminal outcome, breaker-
+    // paced dead-letter stragglers included.
+    broker.set_slos(vec![
+        SloSpec::p99("fanout_p99", 60, 3_600_000).with_budget(0.25),
+        SloSpec::p99("fanout_p50", 30, 3_600_000)
+            .with_quantile(0.5)
+            .with_budget(0.25),
+    ]);
+
+    // Four healthy consumers and one black hole that drops every push.
     let wse = Subscriber::new(&net, WseVersion::Aug2004);
-    let wsn = WsnClient::new(&net, WsnVersion::V1_3);
-    for i in 0..8 {
-        if i % 2 == 0 {
-            let sink = EventSink::start(&net, &format!("http://sink-{i}"), WseVersion::Aug2004);
-            wse.subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
-                .unwrap();
-        } else {
-            let c = NotificationConsumer::start(&net, &format!("http://nc-{i}"), WsnVersion::V1_3);
-            wsn.subscribe(
-                broker.uri(),
-                &WsnSubscribeRequest::new(c.epr()).with_filter(WsnFilter::topic("storms")),
-            )
+    for i in 0..4 {
+        let sink = EventSink::start(&net, &format!("http://sink-{i}"), WseVersion::Aug2004);
+        wse.subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
             .unwrap();
-        }
     }
+    EventSink::start(&net, "http://blackhole", WseVersion::Aug2004);
+    wse.subscribe(
+        broker.uri(),
+        SubscribeRequest::push(ws_messenger_suite::addressing::EndpointReference::new(
+            "http://blackhole",
+        )),
+    )
+    .unwrap();
+    net.set_fault_plan(FaultPlan::seeded(7).with_endpoint(
+        "http://blackhole",
+        EndpointFaults::new().with_drop_rate(1.0),
+    ));
 
     net.drain_trace();
-    for i in 0..50 {
+    for i in 0..20 {
         broker.publish_on(
             "storms",
             &Element::local("reading").with_attr("n", i.to_string()),
         );
+        net.clock().advance_ms(10);
     }
+    // Let the redelivery queue run its backoffs to quiescence: every
+    // (event, subscriber) pair reaches a terminal outcome.
+    broker.drain_redeliveries(600_000);
 
     // 1. Per-stage latency: where a publication's time goes.
     let snap = broker.obs_snapshot();
     println!("pipeline stages over {} publications:", snap.published);
     println!(
-        "  {:<10} {:>6} {:>10} {:>10} {:>10}",
-        "stage", "count", "p50 µs", "p95 µs", "p99 µs"
+        "  {:<12} {:>6} {:>10} {:>10}",
+        "stage", "count", "p50 µs", "p99 µs"
     );
     for (name, stats) in &snap.stages {
         if stats.count == 0 {
             continue;
         }
         println!(
-            "  {:<10} {:>6} {:>10.2} {:>10.2} {:>10.2}",
+            "  {:<12} {:>6} {:>10.2} {:>10.2}",
             name,
             stats.count,
             stats.p50 / 1000.0,
-            stats.p95 / 1000.0,
             stats.p99 / 1000.0
         );
     }
     println!(
-        "per-subscriber send latency: p50 {:.2}µs, p99 {:.2}µs over {} sends\n",
-        snap.delivery_latency.p50 / 1000.0,
-        snap.delivery_latency.p99 / 1000.0,
-        snap.delivery_latency.count
+        "terminal outcomes: {} delivered, {} dead-lettered, {} expired",
+        snap.outcome_delivered, snap.outcome_dead_lettered, snap.outcome_expired
+    );
+    println!(
+        "end-to-end latency (publish → resolution): p50 {:.0}ms, p99 {:.0}ms, max {}ms\n",
+        snap.e2e_latency_ms.p50, snap.e2e_latency_ms.p99, snap.e2e_latency_ms.max
     );
 
-    // 2a. The span ring replays one publication's pipeline.
-    let spans = broker.trace_spans();
-    let last_seq = spans.last().unwrap().seq;
-    println!("trace of publication #{last_seq}:");
-    for s in spans.iter().filter(|s| s.seq == last_seq) {
+    // 2. One event's complete delivery story: the black hole's first
+    // event retried with backoff until the redelivery budget ran out,
+    // then moved to the dead-letter store.
+    let stories = broker.delivery_stories();
+    let doomed = stories
+        .iter()
+        .find(|s| s.outcome == Some(Outcome::DeadLettered))
+        .expect("the black hole produced a dead letter");
+    println!(
+        "causal timeline of event #{} → {} (published t={}ms):",
+        doomed.seq,
+        doomed.subscriber,
+        doomed.published_at_ms.unwrap()
+    );
+    for s in &doomed.spans {
         println!(
-            "  t={}ms {:<8} {:>8}ns  ({} item{})",
+            "  t={:>5}ms {:<12} attempt {}{}",
             s.at_ms,
             s.stage.name(),
-            s.dur_ns,
-            s.items,
-            if s.items == 1 { "" } else { "s" }
+            s.attempt,
+            s.outcome
+                .map(|o| format!("  ⇒ {}", o.name()))
+                .unwrap_or_default()
+        );
+    }
+    println!(
+        "  attempts {:?}, end-to-end {}ms (the retry chain, not the first send)\n",
+        doomed.attempts(),
+        doomed.e2e_ms().unwrap()
+    );
+
+    // 3. The verdicts: is the service meeting its objectives?
+    println!("SLO verdicts:");
+    for r in broker.slo_reports() {
+        println!(
+            "  {:<12} {}  p{:02.0} {:>6.1}ms vs {}ms target, bad {:.1}%, burn {:.2}x",
+            r.name,
+            if r.pass { "PASS" } else { "FAIL" },
+            r.quantile * 100.0,
+            r.measured_ms,
+            r.target_ms,
+            r.bad_fraction * 100.0,
+            r.burn_rate
         );
     }
 
-    // 2b. The transport trace attributes deliveries to pool workers.
-    let trace = net.drain_trace();
-    let workers: std::collections::BTreeSet<_> = trace.iter().map(|r| r.worker.clone()).collect();
-    println!(
-        "\n{} deliveries made by workers: {workers:?}\n",
-        trace.len()
-    );
-
-    // 3. Scraping: Prometheus text locally, or GetMetrics over SOAP.
+    // 4. Scraping: the same data over Prometheus text and SOAP.
     let metrics = broker.metrics_text();
-    for line in metrics
-        .lines()
-        .filter(|l| l.starts_with("wsm_") && !l.contains("_bucket"))
-    {
-        println!("{line}");
+    println!("\nselected Prometheus samples:");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("wsm_outcome_")
+            || l.starts_with("wsm_spans_dropped")
+            || l.starts_with("wsm_slo_pass")
+    }) {
+        println!("  {line}");
     }
     let resp = net
         .request(
