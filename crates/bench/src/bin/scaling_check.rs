@@ -1,0 +1,327 @@
+//! `scaling_check` — the CI gate over `BENCH_scaling.json`.
+//!
+//! CI used to judge the scaling bench with `grep -q`: the report
+//! merely had to *mention* a `"stages"` key to pass, so the parallel
+//! engine could silently lose to the sequential baseline at every
+//! fan-out and the job would stay green. This binary replaces those
+//! greps with a structural comparison:
+//!
+//! 1. **Completeness** — the fresh report must carry the full
+//!    scenario × fan-out × mode grid (`publish_inline`/`publish_wire`
+//!    × 1/8/64/256 × `sequential`/`parallel`), a non-empty `deliver`
+//!    stage breakdown, and the matching curve.
+//! 2. **Parallel never loses** — at every grid point, parallel
+//!    events/sec must be at least `(1 − NOISE_TOLERANCE) ×`
+//!    sequential. On a single-core runner the inline regime is a
+//!    governed tie by design (the adaptive engine falls back to the
+//!    streaming inline path), so the tolerance absorbs quick-mode
+//!    timer noise, not a real deficit.
+//! 3. **Deliver-stage budget** — the fresh `deliver` mean may exceed
+//!    the committed baseline's by at most `DELIVER_REGRESSION_MAX`.
+//!    The emitter pins this histogram to a fixed-publication sharded
+//!    run precisely so quick and full runs are comparable.
+//!
+//! Usage: `scaling_check <fresh.json> <baseline.json>`. The fresh file
+//! is the one the quick-mode bench just wrote; the baseline is the
+//! committed copy stashed before the bench ran (the bench overwrites
+//! the report in place). Exits non-zero listing every violated gate.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Allowed shortfall of parallel vs sequential at one grid point.
+/// Quick-mode windows are ~10ms, so individual points carry a few
+/// percent of scheduler noise even for a true tie.
+const NOISE_TOLERANCE: f64 = 0.10;
+
+/// Allowed growth of the `deliver` stage mean over the committed
+/// baseline before the gate fails (1.25 = +25%).
+const DELIVER_REGRESSION_MAX: f64 = 1.25;
+
+/// The fan-out grid every report must cover.
+const GRID: [u64; 4] = [1, 8, 64, 256];
+const SCENARIOS: [&str; 2] = ["publish_inline", "publish_wire"];
+
+/// The fields of `BENCH_scaling.json` this gate consumes.
+#[derive(Debug, Default)]
+struct Report {
+    /// `(scenario, mode, param) → events_per_sec`.
+    samples: HashMap<(String, String, u64), f64>,
+    /// `stage name → (count, mean_us)`.
+    stages: HashMap<String, (u64, f64)>,
+    /// Rows in the `"matching"` array.
+    matching_rows: usize,
+}
+
+/// Extract a `"key": "value"` string field from one JSON line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract a `"key": 123.4` numeric field from one JSON line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the line-oriented report the bench emitter writes (one sample
+/// per line, one stage per line). Unknown lines are ignored, so the
+/// parser tolerates additive report growth.
+fn parse(text: &str) -> Report {
+    let mut report = Report::default();
+    let mut in_stages = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"stages\"") {
+            in_stages = true;
+            continue;
+        }
+        if in_stages {
+            if trimmed.starts_with('}') {
+                in_stages = false;
+                continue;
+            }
+            let name = match str_prefix_key(trimmed) {
+                Some(n) => n,
+                None => continue,
+            };
+            if let (Some(count), Some(mean)) =
+                (num_field(trimmed, "count"), num_field(trimmed, "mean_us"))
+            {
+                report.stages.insert(name, (count as u64, mean));
+            }
+            continue;
+        }
+        if let (Some(scenario), Some(mode), Some(param), Some(eps)) = (
+            str_field(trimmed, "scenario"),
+            str_field(trimmed, "mode"),
+            num_field(trimmed, "param"),
+            num_field(trimmed, "events_per_sec"),
+        ) {
+            report.samples.insert((scenario, mode, param as u64), eps);
+        }
+        if trimmed.contains("\"mean_ns\"") {
+            report.matching_rows += 1;
+        }
+    }
+    report
+}
+
+/// The `"name":` key opening a stage line, e.g. `"deliver": {...}`.
+fn str_prefix_key(line: &str) -> Option<String> {
+    let rest = line.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Every gate violation in `fresh` judged against `baseline`, as
+/// human-readable failure lines. Empty means the gate passes.
+fn violations(fresh: &Report, baseline: &Report) -> Vec<String> {
+    let mut out = Vec::new();
+
+    // 1. Structural completeness of the fresh report.
+    for scenario in SCENARIOS {
+        for n in GRID {
+            for mode in ["sequential", "parallel"] {
+                let key = (scenario.to_string(), mode.to_string(), n);
+                match fresh.samples.get(&key) {
+                    Some(eps) if *eps > 0.0 => {}
+                    Some(eps) => out.push(format!(
+                        "{scenario}/{mode} at fan-out {n}: non-positive throughput {eps}"
+                    )),
+                    None => out.push(format!(
+                        "{scenario}/{mode} at fan-out {n}: missing from report"
+                    )),
+                }
+            }
+        }
+    }
+    match fresh.stages.get("deliver") {
+        Some((count, _)) if *count > 0 => {}
+        Some(_) => out.push("deliver stage breakdown has zero samples".into()),
+        None => out.push("deliver stage breakdown missing from report".into()),
+    }
+    if fresh.matching_rows == 0 {
+        out.push("matching curve missing from report".into());
+    }
+
+    // 2. Parallel must not lose to sequential at any grid point.
+    for scenario in SCENARIOS {
+        for n in GRID {
+            let seq = fresh
+                .samples
+                .get(&(scenario.to_string(), "sequential".to_string(), n));
+            let par = fresh
+                .samples
+                .get(&(scenario.to_string(), "parallel".to_string(), n));
+            if let (Some(&seq), Some(&par)) = (seq, par) {
+                let floor = seq * (1.0 - NOISE_TOLERANCE);
+                if par < floor {
+                    out.push(format!(
+                        "{scenario} at fan-out {n}: parallel {par:.0} ev/s < \
+                         {:.0}% of sequential {seq:.0} ev/s",
+                        (1.0 - NOISE_TOLERANCE) * 100.0
+                    ));
+                }
+            }
+        }
+    }
+
+    // 3. Deliver-stage mean vs the committed baseline.
+    match (fresh.stages.get("deliver"), baseline.stages.get("deliver")) {
+        (Some((_, fresh_mean)), Some((_, base_mean))) => {
+            let ceiling = base_mean * DELIVER_REGRESSION_MAX;
+            if *fresh_mean > ceiling {
+                out.push(format!(
+                    "deliver mean {fresh_mean:.1}us exceeds {:.0}% of committed \
+                     baseline {base_mean:.1}us",
+                    DELIVER_REGRESSION_MAX * 100.0
+                ));
+            }
+        }
+        (_, None) => out.push("baseline report has no deliver stage to compare against".into()),
+        _ => {} // fresh-side absence already reported structurally
+    }
+
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (fresh_path, baseline_path) = match (args.next(), args.next()) {
+        (Some(f), Some(b)) => (f, b),
+        _ => {
+            eprintln!(
+                "usage: scaling_check <fresh BENCH_scaling.json> <baseline BENCH_scaling.json>"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(err) => {
+            eprintln!("scaling_check: cannot read {path}: {err}");
+            None
+        }
+    };
+    let (Some(fresh_text), Some(baseline_text)) = (read(&fresh_path), read(&baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let fresh = parse(&fresh_text);
+    let baseline = parse(&baseline_text);
+    let problems = violations(&fresh, &baseline);
+    if problems.is_empty() {
+        let (_, deliver_mean) = fresh.stages["deliver"];
+        println!(
+            "scaling gate PASS: {} grid points, deliver mean {deliver_mean:.1}us \
+             (baseline {:.1}us), {} matching rows",
+            fresh.samples.len(),
+            baseline.stages["deliver"].1,
+            fresh.matching_rows
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("scaling gate FAIL ({} problem(s)):", problems.len());
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(par_wire_8: f64, deliver_mean: f64) -> String {
+        let mut out = String::from("{\n  \"bench\": \"scaling\",\n  \"samples\": [\n");
+        for scenario in SCENARIOS {
+            for n in GRID {
+                for (mode, eps) in [("sequential", 1000.0), ("parallel", 1100.0)] {
+                    let eps = if scenario == "publish_wire" && n == 8 && mode == "parallel" {
+                        par_wire_8
+                    } else {
+                        eps
+                    };
+                    out.push_str(&format!(
+                        "    {{\"scenario\": \"{scenario}\", \"mode\": \"{mode}\", \
+                         \"param\": {n}, \"events_per_sec\": {eps:.1}}},\n"
+                    ));
+                }
+            }
+        }
+        out.push_str("  ],\n  \"stages\": {\n");
+        out.push_str(&format!(
+            "    \"deliver\": {{\"count\": 24, \"mean_us\": {deliver_mean:.2}, \
+             \"p50_us\": 1.0, \"p95_us\": 2.0, \"p99_us\": 3.0}}\n"
+        ));
+        out.push_str("  },\n  \"matching\": [\n");
+        out.push_str(
+            "    {\"scenario\": \"matching_fixed64\", \"param\": 256, \
+             \"matched\": 64, \"mean_ns\": 4000}\n",
+        );
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    #[test]
+    fn parses_the_emitter_shape() {
+        let r = parse(&doc(1100.0, 5000.0));
+        assert_eq!(r.samples.len(), 16);
+        assert_eq!(
+            r.samples[&("publish_wire".into(), "parallel".into(), 8)],
+            1100.0
+        );
+        assert_eq!(r.stages["deliver"], (24, 5000.0));
+        assert_eq!(r.matching_rows, 1);
+    }
+
+    #[test]
+    fn passes_when_parallel_wins_everywhere() {
+        let fresh = parse(&doc(1100.0, 5000.0));
+        let baseline = parse(&doc(1100.0, 5000.0));
+        assert_eq!(violations(&fresh, &baseline), Vec::<String>::new());
+    }
+
+    #[test]
+    fn flags_a_losing_grid_point() {
+        let fresh = parse(&doc(800.0, 5000.0)); // < 90% of 1000
+        let baseline = parse(&doc(1100.0, 5000.0));
+        let v = violations(&fresh, &baseline);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("publish_wire at fan-out 8"), "{v:?}");
+    }
+
+    #[test]
+    fn tolerates_noise_within_the_band() {
+        let fresh = parse(&doc(950.0, 5000.0)); // within 10% of 1000
+        let baseline = parse(&doc(1100.0, 5000.0));
+        assert_eq!(violations(&fresh, &baseline), Vec::<String>::new());
+    }
+
+    #[test]
+    fn flags_a_deliver_mean_regression() {
+        let fresh = parse(&doc(1100.0, 7000.0)); // > 1.25 x 5000
+        let baseline = parse(&doc(1100.0, 5000.0));
+        let v = violations(&fresh, &baseline);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("deliver mean"), "{v:?}");
+    }
+
+    #[test]
+    fn flags_a_missing_grid_point_and_sections() {
+        let fresh = parse("{\n  \"bench\": \"scaling\",\n  \"samples\": [\n  ]\n}\n");
+        let baseline = parse(&doc(1100.0, 5000.0));
+        let v = violations(&fresh, &baseline);
+        assert!(v.iter().any(|p| p.contains("missing from report")), "{v:?}");
+        assert!(v.iter().any(|p| p.contains("deliver stage")), "{v:?}");
+        assert!(v.iter().any(|p| p.contains("matching curve")), "{v:?}");
+    }
+}

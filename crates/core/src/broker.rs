@@ -1,15 +1,16 @@
 //! The WS-Messenger broker itself.
 
 use crate::backend::{InMemoryBackend, MessagingBackend};
-use crate::delivery::{self, DeliveryEngine, FailKind, PushJob, StatsDelta};
+use crate::delivery::{self, DeliveryEngine, DispatchMode, FailKind, PushJob, StatsDelta};
 use crate::detect::SpecDialect;
 use crate::event::InternalEvent;
 use crate::obs::{BrokerObs, Stage};
-use crate::registry::{BrokerDeliveryMode, Registry, UnifiedFilters};
+use crate::registry::{BrokerDeliveryMode, BrokerSubscription, Registry, UnifiedFilters};
 use crate::reliability::{
     Admitted, BreakerState, DeadLetter, FaultTolerance, PumpReport, ReliabilityState,
 };
 use crate::render::{render_batch, render_notification_cached, RenderCache};
+use crate::stage::EventSource;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -226,6 +227,16 @@ impl WsMessenger {
     /// jobs to amortize it.
     pub fn set_fanout_workers(&self, workers: usize) {
         self.inner.fanout_workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// Pin the delivery engine's dispatch policy for parallel
+    /// fan-outs: [`DispatchMode::Adaptive`] (the default) measures
+    /// streaming-inline vs sharded-pool cost per fan-out size and
+    /// picks the cheaper; `Inline` and `Sharded` force one path —
+    /// benches use this to compare the regimes, and deterministic
+    /// scenarios can pin the path they were seeded against.
+    pub fn set_dispatch_mode(&self, mode: DispatchMode) {
+        self.inner.engine.set_mode(mode);
     }
 
     /// Switch fault-tolerant delivery on (`Some(config)`) or back to
@@ -494,6 +505,81 @@ fn ingest_seq(inner: &MessengerInner, event: InternalEvent, seq: u64) -> usize {
     delivered
 }
 
+/// The broker's streaming [`EventSource`]: renders each matched push
+/// subscriber's envelope lazily as the delivery engine pulls it, so
+/// rendering overlaps with delivery (the engine is already sending
+/// sealed shards while later envelopes render). Per-subscriber
+/// reliability gating (FIFO behind pending redeliveries) happens here
+/// too: a gated job is enqueued to the redelivery channel and the
+/// source moves on to the next subscriber.
+struct RenderSource<'a> {
+    inner: &'a MessengerInner,
+    cache: &'a RenderCache,
+    event: &'a InternalEvent,
+    rel: Option<Arc<ReliabilityState>>,
+    subs: std::vec::IntoIter<Arc<BrokerSubscription>>,
+    expected: usize,
+    seq: u64,
+    now: u64,
+    /// Jobs actually yielded (excludes reliability-gated ones).
+    rendered: u64,
+    /// Accumulated render time, recorded as the `render` stage span
+    /// once the fan-out completes.
+    #[cfg(feature = "obs")]
+    render_ns: u64,
+}
+
+impl EventSource for RenderSource<'_> {
+    fn next_event(&mut self) -> Option<PushJob> {
+        loop {
+            let sub = self.subs.next()?;
+            #[cfg(feature = "obs")]
+            let render_started = std::time::Instant::now();
+            let envelope = render_notification_cached(
+                self.cache,
+                &sub,
+                self.event,
+                &self.inner.uri,
+                &self.inner.manager_uri,
+            );
+            #[cfg(feature = "obs")]
+            {
+                self.render_ns += render_started.elapsed().as_nanos() as u64;
+            }
+            let job = PushJob {
+                sub_id: sub.id.clone(),
+                address: sub.consumer.address.clone(),
+                envelope,
+                wse: matches!(sub.spec, SpecDialect::Wse(_)),
+                mediated: self
+                    .event
+                    .origin
+                    .is_some_and(|o| family(o) != family(sub.spec)),
+                seq: self.seq,
+                published_at_ms: self.now,
+                attempt: 0,
+            };
+            // FIFO per subscriber: while redeliveries are pending
+            // (or the breaker is open) a fresh message queues
+            // behind them instead of overtaking on the wire.
+            if let Some(rel) = self
+                .rel
+                .as_ref()
+                .filter(|r| r.must_enqueue(&job.sub_id, self.now))
+            {
+                rel.enqueue_new(job, self.now);
+                continue;
+            }
+            self.rendered += 1;
+            return Some(job);
+        }
+    }
+
+    fn expected(&self) -> usize {
+        self.expected
+    }
+}
+
 fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
     let now = inner.net.clock().now_ms();
     let match_timer = inner.obs.start();
@@ -503,35 +589,14 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
     inner
         .obs
         .stage(Stage::Match, seq, match_timer, now, subs.len() as u64);
-    let render_timer = inner.obs.start();
-    let cache = RenderCache::new(event);
     let rel = inner.reliability.read().clone();
     let mut delivered = 0;
-    let mut jobs: Vec<PushJob> = Vec::new();
+    // Pre-pass: queue-backed modes (pull, wrapped) resolve inline;
+    // push subscribers feed the streaming render source below.
+    let mut push_subs: Vec<Arc<BrokerSubscription>> = Vec::with_capacity(subs.len());
     for sub in subs {
         match sub.mode {
-            BrokerDeliveryMode::Push => {
-                let envelope =
-                    render_notification_cached(&cache, &sub, event, &inner.uri, &inner.manager_uri);
-                let job = PushJob {
-                    sub_id: sub.id.clone(),
-                    address: sub.consumer.address.clone(),
-                    envelope,
-                    wse: matches!(sub.spec, SpecDialect::Wse(_)),
-                    mediated: event.origin.is_some_and(|o| family(o) != family(sub.spec)),
-                    seq,
-                    published_at_ms: now,
-                    attempt: 0,
-                };
-                // FIFO per subscriber: while redeliveries are pending
-                // (or the breaker is open) a fresh message queues
-                // behind them instead of overtaking on the wire.
-                if let Some(rel) = rel.as_ref().filter(|r| r.must_enqueue(&job.sub_id, now)) {
-                    rel.enqueue_new(job, now);
-                } else {
-                    jobs.push(job);
-                }
-            }
+            BrokerDeliveryMode::Push => push_subs.push(sub),
             BrokerDeliveryMode::Pull => {
                 if inner
                     .registry
@@ -550,23 +615,55 @@ fn fan_out(inner: &MessengerInner, event: &InternalEvent, seq: u64) -> usize {
             }
         }
     }
-    inner
-        .obs
-        .stage(Stage::Render, seq, render_timer, now, jobs.len() as u64);
+    let cache = RenderCache::new(event);
+    let expected = push_subs.len();
+    let workers = inner.fanout_workers.load(Ordering::Relaxed);
+    let mut source = RenderSource {
+        inner,
+        cache: &cache,
+        event,
+        rel: rel.clone(),
+        subs: push_subs.into_iter(),
+        expected,
+        seq,
+        now,
+        rendered: 0,
+        #[cfg(feature = "obs")]
+        render_ns: 0,
+    };
     let deliver_timer = inner.obs.start();
-    let report = inner.engine.execute(
+    let report = inner.engine.execute_source(
         &inner.net,
         inner.delivery_attempts.load(Ordering::Relaxed),
-        inner.fanout_workers.load(Ordering::Relaxed),
-        jobs,
+        workers,
+        &mut source,
     );
+    let after_ms = inner.net.clock().now_ms();
+    // Render happened inside the deliver window (the source renders
+    // lazily while the engine sends); record its accumulated time
+    // first so ring order stays publish → match → render → deliver,
+    // then the deliver span — whose duration now *includes* the
+    // overlapped rendering — and the publisher's handoff wait.
+    #[cfg(feature = "obs")]
+    inner
+        .obs
+        .stage_dur(Stage::Render, seq, source.render_ns, now, source.rendered);
     inner.obs.stage(
         Stage::Deliver,
         seq,
         deliver_timer,
-        inner.net.clock().now_ms(),
+        after_ms,
         report.delivered as u64,
     );
+    if report.mode == "sharded" {
+        inner.obs.stage_dur(
+            Stage::Handoff,
+            seq,
+            report.join_wait_ns,
+            after_ms,
+            workers as u64,
+        );
+    }
     #[cfg(feature = "obs")]
     inner.obs.record_latencies(&report.latencies_ns);
     delivered += report.delivered;

@@ -63,10 +63,13 @@ pub mod obs;
 pub mod registry;
 pub mod reliability;
 pub mod render;
+pub mod stage;
 
 pub use backend::{InMemoryBackend, JmsBackend, MessagingBackend};
 pub use broker::{MediationStats, WsMessenger};
-pub use delivery::{DeliveryEngine, FailKind, FanOutReport, PushJob, StatsDelta};
+#[cfg(feature = "obs")]
+pub use delivery::ResolvedMark;
+pub use delivery::{DeliveryEngine, DispatchMode, FailKind, FanOutReport, PushJob, StatsDelta};
 pub use detect::SpecDialect;
 pub use event::InternalEvent;
 #[cfg(feature = "obs")]
@@ -79,6 +82,7 @@ pub use reliability::{
     ReliabilityState,
 };
 pub use render::{render_notification, render_notification_cached, RenderCache};
+pub use stage::{EventSink as DeliverySink, EventSource, NetworkSink, SendReport, VecSource};
 #[cfg(feature = "obs")]
 pub use wsm_obs::{
     reconstruct, story_for, DeliveryStory, HistogramStats, Outcome, SloReport, SloSpec, SpanRecord,

@@ -54,8 +54,8 @@ mod imp {
         mediated: Arc<Counter>,
         subscriptions: Arc<Gauge>,
         /// Indexed by `Stage as usize` (pipeline order, then the
-        /// per-subscriber attempt stages).
-        stages: [Arc<Histogram>; 8],
+        /// per-subscriber attempt stages and the engine handoff stage).
+        stages: [Arc<Histogram>; 9],
         delivery_latency: Arc<Histogram>,
         dead_letters: Arc<Counter>,
         redelivery_depth: Arc<Gauge>,
@@ -191,6 +191,20 @@ mod imp {
         pub fn stage(&self, stage: Stage, seq: u64, timer: StageTimer, at_ms: u64, items: u64) {
             let Some(t) = timer else { return };
             let dur_ns = t.elapsed().as_nanos() as u64;
+            self.stages[stage as usize].record(dur_ns);
+            self.ring
+                .push(SpanRecord::new(seq, stage, at_ms, dur_ns, items));
+        }
+
+        /// Close a stage whose duration was accumulated externally
+        /// (e.g. render time summed across the staged engine's lazy
+        /// per-subscriber renders, or the publisher's handoff wait):
+        /// same histogram + span as [`BrokerObs::stage`], but the
+        /// caller supplies `dur_ns` directly.
+        pub fn stage_dur(&self, stage: Stage, seq: u64, dur_ns: u64, at_ms: u64, items: u64) {
+            if !self.enabled() {
+                return;
+            }
             self.stages[stage as usize].record(dur_ns);
             self.ring
                 .push(SpanRecord::new(seq, stage, at_ms, dur_ns, items));
@@ -463,6 +477,8 @@ mod imp {
         DeadLetter,
         /// Terminal resolution.
         Resolve,
+        /// Staged-engine handoff wait.
+        Handoff,
     }
 
     /// Terminal delivery outcomes (names only; nothing records them).
@@ -509,6 +525,10 @@ mod imp {
         /// No-op.
         #[inline(always)]
         pub fn stage(&self, _s: Stage, _seq: u64, _t: StageTimer, _at_ms: u64, _items: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn stage_dur(&self, _s: Stage, _seq: u64, _dur_ns: u64, _at_ms: u64, _items: u64) {}
 
         /// No-op.
         #[inline(always)]

@@ -431,7 +431,13 @@ impl Registry {
         // candidate filter evaluation and literal-group path.
         let payload = EvalDoc::new(event.payload_element());
         let props = producer_properties.map(EvalDoc::new);
-        let mut hits: Vec<u64> = Vec::new();
+        // The subscription `Arc` is cloned on the *first* table probe:
+        // at large registrations the candidate keys land all over the
+        // `by_key` table, and re-probing every hit after the sort was
+        // the dominant cost of the match stage (each probe a fresh
+        // cache/TLB miss). One probe per candidate, then sort the
+        // (key, Arc) pairs by key.
+        let mut hits: Vec<(u64, Arc<BrokerSubscription>)> = Vec::new();
 
         if let Some(topic) = &event.topic {
             for key in inner.index.trie.matches(topic) {
@@ -441,7 +447,7 @@ impl Registry {
                             .filters
                             .admit_docs(Some(topic), true, &payload, props.as_ref())
                     {
-                        hits.push(key);
+                        hits.push((key, e.core.clone()));
                     }
                 }
             }
@@ -454,8 +460,8 @@ impl Registry {
             for value in values {
                 if let Some(bucket) = group.buckets.get(&value) {
                     for &key in bucket {
-                        if inner.by_key.get(&key).is_some_and(|e| e.live(now_ms)) {
-                            hits.push(key);
+                        if let Some(e) = inner.by_key.get(&key).filter(|e| e.live(now_ms)) {
+                            hits.push((key, e.core.clone()));
                         }
                     }
                 }
@@ -472,18 +478,16 @@ impl Registry {
                         props.as_ref(),
                     )
                 {
-                    hits.push(key);
+                    hits.push((key, e.core.clone()));
                 }
             }
         }
 
         // Numeric id order: stable across processes (no hasher seeds
         // involved) and equal to subscription age.
-        hits.sort_unstable();
-        hits.dedup();
-        hits.into_iter()
-            .filter_map(|key| inner.by_key.get(&key).map(|e| e.core.clone()))
-            .collect()
+        hits.sort_unstable_by_key(|(key, _)| *key);
+        hits.dedup_by_key(|(key, _)| *key);
+        hits.into_iter().map(|(_, core)| core).collect()
     }
 
     /// Queue an event on a pull subscription.

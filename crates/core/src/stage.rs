@@ -1,0 +1,259 @@
+//! Explicit pipeline staging: the producer/consumer seam of the
+//! delivery engine.
+//!
+//! The fan-out used to be a barrier: the broker rendered *every*
+//! matched subscriber's envelope into a `Vec`, then handed the whole
+//! batch to the engine. Restructuring the pipeline around an
+//! [`EventSource`] (something that yields rendered [`PushJob`]s one at
+//! a time) and an [`EventSink`] (something that puts one job on the
+//! wire) lets rendering overlap with delivery: the broker's lazy
+//! render source feeds the staged engine while workers are already
+//! sending the first shards (see [`crate::delivery`]), and the
+//! sequential baseline keeps its barriered collect-then-send shape by
+//! draining the source up front.
+//!
+//! [`NetworkSink`] is the production sink. It owns the send-with-retry
+//! policy (transient errors burn the in-line retry budget, poison
+//! responses short-circuit) and a cached per-endpoint route
+//! ([`EndpointSender`]): consecutive sends to the same consumer skip
+//! the endpoint-table lock and re-resolve only when the table's
+//! generation changes, so large fan-outs to few endpoints amortize
+//! routing the way a kept-alive HTTP connection would amortize
+//! connection setup.
+
+use crate::delivery::{FailKind, PushJob};
+use wsm_transport::{AttemptClass, EndpointSender, Network};
+
+/// A stage that yields rendered push jobs, one at a time.
+///
+/// Implementations may do real work per call — the broker's fan-out
+/// source renders each subscriber's envelope lazily — so the staged
+/// engine overlaps this work with delivery instead of barriering on a
+/// fully-rendered batch.
+pub trait EventSource {
+    /// The next job, or `None` when the publication is exhausted.
+    fn next_event(&mut self) -> Option<PushJob>;
+
+    /// A hint of how many jobs this source will yield in total, used
+    /// to size shards. May be inexact; the engine only uses it for
+    /// partitioning, never for termination.
+    fn expected(&self) -> usize;
+}
+
+impl<T: EventSource + ?Sized> EventSource for &mut T {
+    fn next_event(&mut self) -> Option<PushJob> {
+        (**self).next_event()
+    }
+
+    fn expected(&self) -> usize {
+        (**self).expected()
+    }
+}
+
+/// An [`EventSource`] over an already-rendered batch.
+pub struct VecSource {
+    jobs: std::vec::IntoIter<PushJob>,
+    expected: usize,
+}
+
+impl VecSource {
+    /// Wrap a rendered batch.
+    pub fn new(jobs: Vec<PushJob>) -> Self {
+        let expected = jobs.len();
+        VecSource {
+            jobs: jobs.into_iter(),
+            expected,
+        }
+    }
+}
+
+impl EventSource for VecSource {
+    fn next_event(&mut self) -> Option<PushJob> {
+        self.jobs.next()
+    }
+
+    fn expected(&self) -> usize {
+        self.expected
+    }
+}
+
+/// What one sink call did: the send outcome (classified on failure),
+/// how many in-line retries it burned, and how long it took.
+pub struct SendReport {
+    /// `Ok` on delivery, else the failure classification that decides
+    /// the job's fate (requeue vs poison budget).
+    pub result: Result<(), FailKind>,
+    /// In-line retries consumed (transient errors only).
+    pub retried: u64,
+    /// Wall-clock duration of the whole send including retries.
+    #[cfg(feature = "obs")]
+    pub elapsed_ns: u64,
+}
+
+/// A stage that puts one rendered job on the wire.
+///
+/// Sinks are per-thread: each delivery worker (and the publishing
+/// thread, when it participates in draining) owns one, so route
+/// caches need no synchronization.
+pub trait EventSink {
+    /// Deliver one job, consuming the configured attempt budget.
+    fn send_event(&mut self, job: &PushJob) -> SendReport;
+}
+
+/// The production [`EventSink`]: sends over the simulated network with
+/// the broker's retry policy and a cached per-endpoint route.
+pub struct NetworkSink {
+    net: Network,
+    attempts: u32,
+    route: Option<EndpointSender>,
+}
+
+impl NetworkSink {
+    /// A sink over `net` with `attempts` total in-line sends per job
+    /// (clamped to at least one).
+    pub fn new(net: Network, attempts: u32) -> Self {
+        NetworkSink {
+            net,
+            attempts: attempts.max(1),
+            route: None,
+        }
+    }
+
+    /// The cached route for `addr`, re-targeting only when the
+    /// previous send went elsewhere. The [`EndpointSender`] itself
+    /// revalidates against the endpoint-table generation, so a stale
+    /// cache can never skip an unregister or miss a re-register.
+    fn sender_for(&mut self, addr: &str) -> &mut EndpointSender {
+        let stale = self.route.as_ref().is_none_or(|r| r.target() != addr);
+        if stale {
+            self.route = Some(self.net.sender(addr));
+        }
+        self.route.as_mut().expect("route just populated")
+    }
+}
+
+impl EventSink for NetworkSink {
+    /// One-shot or retried send, per the configured attempt budget.
+    ///
+    /// Only **transient** errors consume the immediate-retry budget; a
+    /// poison response (SOAP fault, refused connection) short-circuits
+    /// — the endpoint just told us it would reject an identical
+    /// resend.
+    fn send_event(&mut self, job: &PushJob) -> SendReport {
+        #[cfg(feature = "obs")]
+        let started = std::time::Instant::now();
+        let attempts = self.attempts;
+        let sender = self.sender_for(&job.address);
+        let mut retried = 0;
+        let mut result = Err(FailKind::Transient);
+        for i in 0..attempts {
+            // Only the very first send of a job's first attempt counts
+            // as a first-class attempt; everything after is a re-send
+            // of the same message and is attributed as such in
+            // transport metrics.
+            let class = if job.attempt > 0 || i > 0 {
+                AttemptClass::Retry
+            } else {
+                AttemptClass::First
+            };
+            match sender.send_class(job.envelope.clone(), class) {
+                Ok(()) => {
+                    result = Ok(());
+                    break;
+                }
+                Err(err) => {
+                    let kind = FailKind::of(&err);
+                    if kind == FailKind::Poison {
+                        result = Err(kind);
+                        break;
+                    }
+                    if i + 1 < attempts {
+                        retried += 1;
+                    }
+                }
+            }
+        }
+        SendReport {
+            result,
+            retried,
+            #[cfg(feature = "obs")]
+            elapsed_ns: started.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wsm_soap::{Envelope, SoapVersion};
+    use wsm_transport::SoapHandler;
+    use wsm_xml::Element;
+
+    struct Count(parking_lot::Mutex<u32>);
+    impl SoapHandler for Count {
+        fn handle(&self, _req: Envelope) -> Result<Option<Envelope>, wsm_soap::Fault> {
+            *self.0.lock() += 1;
+            Ok(None)
+        }
+    }
+
+    fn job(address: &str, attempt: u32) -> PushJob {
+        PushJob {
+            sub_id: "s".into(),
+            address: address.into(),
+            envelope: Envelope::new(SoapVersion::V11).with_body(Element::local("e")),
+            wse: true,
+            mediated: false,
+            seq: 1,
+            published_at_ms: 0,
+            attempt,
+        }
+    }
+
+    #[test]
+    fn vec_source_yields_in_order_and_hints_len() {
+        let mut src = VecSource::new(vec![job("http://a", 0), job("http://b", 0)]);
+        assert_eq!(src.expected(), 2);
+        assert_eq!(src.next_event().unwrap().address, "http://a");
+        assert_eq!(src.next_event().unwrap().address, "http://b");
+        assert!(src.next_event().is_none());
+    }
+
+    #[test]
+    fn sink_caches_route_across_same_endpoint_sends() {
+        let net = Network::new();
+        let c = Arc::new(Count(parking_lot::Mutex::new(0)));
+        net.register("http://c", c.clone());
+        let mut sink = NetworkSink::new(net, 1);
+        for _ in 0..4 {
+            assert!(sink.send_event(&job("http://c", 0)).result.is_ok());
+        }
+        assert_eq!(*c.0.lock(), 4);
+        assert_eq!(
+            sink.route.as_ref().map(|r| r.target()),
+            Some("http://c"),
+            "route stays pinned to the repeated endpoint"
+        );
+    }
+
+    #[test]
+    fn sink_retries_transient_and_shortcircuits_poison() {
+        let net = Network::new();
+        let mut sink = NetworkSink::new(net.clone(), 3);
+        let rep = sink.send_event(&job("http://nowhere", 0));
+        assert_eq!(rep.result, Err(FailKind::Transient));
+        assert_eq!(rep.retried, 2, "attempts-1 retries for a missing endpoint");
+
+        struct Faulty;
+        impl SoapHandler for Faulty {
+            fn handle(&self, _req: Envelope) -> Result<Option<Envelope>, wsm_soap::Fault> {
+                Err(wsm_soap::Fault::receiver("always rejects"))
+            }
+        }
+        net.register("http://faulty", Arc::new(Faulty));
+        let rep = sink.send_event(&job("http://faulty", 0));
+        assert_eq!(rep.result, Err(FailKind::Poison));
+        assert_eq!(rep.retried, 0, "poison skips the in-line retry budget");
+    }
+}

@@ -297,3 +297,116 @@ mod ordering {
         }
     }
 }
+
+/// Satellite: engine drain/shutdown under the sharded handoff. A
+/// seeded churn thread unsubscribes consumers and silently kills their
+/// endpoints while a publisher drives the staged engine (4 workers,
+/// sharded dispatch forced) — every in-flight (event, subscriber)
+/// delivery must still reach exactly one terminal `Resolve` outcome:
+/// delivered, dead-lettered (endpoint gone), or expired (subscription
+/// torn down with messages pending). A lost span or a deadlocked
+/// worker fails (or hangs) this test; the CI chaos job runs it under a
+/// job timeout.
+#[test]
+fn sharded_churn_resolves_every_inflight_delivery() {
+    const SINKS: usize = 12;
+    const EVENTS: usize = 40;
+    let seed = chaos_seed();
+    let net = Network::new();
+    let broker = WsMessenger::start(&net, "http://broker");
+    broker.set_fanout_workers(4);
+    broker.set_dispatch_mode(wsm_messenger::DispatchMode::Sharded);
+    broker.set_fault_tolerance(Some(FaultTolerance {
+        base_backoff_ms: 20,
+        max_backoff_ms: 200,
+        max_redeliveries: 3,
+        seed,
+        ..FaultTolerance::default()
+    }));
+    // Real per-send time so the churn genuinely lands mid-fan-out.
+    net.set_send_delay_us(100);
+
+    let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
+    let mut sinks = Vec::new();
+    let mut handles = Vec::new();
+    for i in 0..SINKS {
+        let uri = format!("http://churn-sink-{i}");
+        let sink = EventSink::start(&net, &uri, WseVersion::Aug2004);
+        let handle = subscriber
+            .subscribe(broker.uri(), SubscribeRequest::push(sink.epr()))
+            .expect("subscribe");
+        sinks.push(sink);
+        handles.push((handle, uri));
+    }
+
+    let publisher = {
+        let broker = broker.clone();
+        let net = net.clone();
+        std::thread::spawn(move || {
+            for i in 0..EVENTS {
+                broker.publish_on("storms", &event(i));
+                net.clock().advance_ms(7);
+            }
+        })
+    };
+    // Seeded LCG decides each victim's fate: unsubscribe (clean
+    // teardown → pending deliveries expire) or endpoint vanishing
+    // without unsubscribing (dead consumer → dead-letter path).
+    let churn = {
+        let net = net.clone();
+        let subscriber = Subscriber::new(&net, WseVersion::Aug2004);
+        std::thread::spawn(move || {
+            let mut rng = seed.wrapping_mul(2).wrapping_add(1);
+            let mut step = || {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (rng >> 33) as usize
+            };
+            for (k, (handle, uri)) in handles.into_iter().enumerate() {
+                std::thread::sleep(std::time::Duration::from_micros(400));
+                if k >= SINKS / 2 {
+                    continue; // half the consumers stay healthy
+                }
+                if step() % 3 == 0 {
+                    net.unregister(&uri); // dies silently, stays subscribed
+                } else {
+                    subscriber.unsubscribe(&handle).expect("unsubscribe");
+                }
+            }
+        })
+    };
+    publisher.join().expect("publisher thread");
+    churn.join().expect("churn thread");
+    broker.drain_redeliveries(600_000);
+    net.set_send_delay_us(0);
+
+    // Healthy consumers saw every event exactly once, in order.
+    for sink in &sinks[SINKS / 2..] {
+        let seqs = seqs_of(&sink.received());
+        assert_eq!(seqs.len(), EVENTS, "healthy consumer got every event");
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "in order, no dupes");
+    }
+
+    #[cfg(feature = "obs")]
+    {
+        let snap = broker.obs_snapshot();
+        assert_eq!(snap.spans_evicted, 0, "ring large enough for the run");
+        let stories = broker.delivery_stories();
+        assert!(!stories.is_empty());
+        let unresolved: Vec<_> = stories
+            .iter()
+            .filter(|s| s.outcome.is_none())
+            .map(|s| (s.seq, s.subscriber.clone()))
+            .collect();
+        assert!(
+            unresolved.is_empty(),
+            "every in-flight delivery reached a terminal outcome, missing: {unresolved:?}"
+        );
+        assert_eq!(
+            stories.len() as u64,
+            snap.outcome_delivered + snap.outcome_dead_lettered + snap.outcome_expired,
+            "outcome counters agree with reconstructed stories"
+        );
+    }
+}

@@ -40,12 +40,17 @@ pub enum Stage {
     /// final [`Outcome`], and `items` is the end-to-end latency in
     /// virtual milliseconds (publish → this resolution).
     Resolve,
+    /// Time the publishing thread spent waiting for the staged
+    /// delivery engine's workers to drain the sharded handoff after
+    /// sealing its last shard (`items` carries the worker count).
+    /// Zero-cost when the engine runs inline or barriered.
+    Handoff,
 }
 
 impl Stage {
     /// Every stage: the five pipeline stages in order, then the
     /// per-subscriber delivery-attempt stages.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Publish,
         Stage::Detect,
         Stage::Match,
@@ -54,6 +59,7 @@ impl Stage {
         Stage::Retry,
         Stage::DeadLetter,
         Stage::Resolve,
+        Stage::Handoff,
     ];
 
     /// The per-publication pipeline stages, in pipeline order.
@@ -76,6 +82,7 @@ impl Stage {
             Stage::Retry => "retry",
             Stage::DeadLetter => "dead_letter",
             Stage::Resolve => "resolve",
+            Stage::Handoff => "handoff",
         }
     }
 }
@@ -318,7 +325,8 @@ mod tests {
                 "deliver",
                 "retry",
                 "dead_letter",
-                "resolve"
+                "resolve",
+                "handoff"
             ]
         );
     }

@@ -50,5 +50,7 @@ pub mod trace;
 
 pub use clock::SimClock;
 pub use faults::{EndpointFaults, FaultPlan, Flap, Injected, Injection};
-pub use network::{AttemptClass, EndpointOptions, Network, SoapHandler, TransportError};
+pub use network::{
+    AttemptClass, EndpointOptions, EndpointSender, Network, SoapHandler, TransportError,
+};
 pub use trace::{DeliveryOutcome, TraceRecord};

@@ -77,6 +77,10 @@ struct Endpoint {
 
 struct Inner {
     endpoints: RwLock<HashMap<String, Endpoint>>,
+    /// Endpoint-table generation, bumped on every register/unregister.
+    /// [`EndpointSender`] caches a resolved route against this epoch so
+    /// consecutive sends to one endpoint skip the registry lock.
+    endpoint_epoch: AtomicU64,
     faults: Mutex<FaultPlan>,
     trace: Mutex<Vec<TraceRecord>>,
     clock: SimClock,
@@ -105,6 +109,7 @@ impl Network {
     pub fn new() -> Self {
         Network(Arc::new(Inner {
             endpoints: RwLock::new(HashMap::new()),
+            endpoint_epoch: AtomicU64::new(0),
             faults: Mutex::new(FaultPlan::default()),
             trace: Mutex::new(Vec::new()),
             clock: SimClock::new(),
@@ -153,11 +158,43 @@ impl Network {
             .endpoints
             .write()
             .insert(uri.into(), Endpoint { handler, options });
+        self.0.endpoint_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Remove an endpoint. Returns true if one was registered.
     pub fn unregister(&self, uri: &str) -> bool {
-        self.0.endpoints.write().remove(uri).is_some()
+        let removed = self.0.endpoints.write().remove(uri).is_some();
+        if removed {
+            self.0.endpoint_epoch.fetch_add(1, Ordering::Release);
+        }
+        removed
+    }
+
+    /// The current endpoint-table generation (see [`EndpointSender`]).
+    pub fn endpoint_epoch(&self) -> u64 {
+        self.0.endpoint_epoch.load(Ordering::Acquire)
+    }
+
+    /// A reusable route to one endpoint: consecutive sends to the same
+    /// address through the returned [`EndpointSender`] resolve the
+    /// handler once per endpoint-table generation instead of taking
+    /// the registry read lock per message — the transport half of the
+    /// fan-out engine's per-endpoint send batching.
+    pub fn sender(&self, to: impl Into<String>) -> EndpointSender {
+        EndpointSender {
+            net: self.clone(),
+            to: to.into(),
+            resolved_epoch: None,
+            route: None,
+        }
+    }
+
+    fn lookup(&self, to: &str) -> Option<(Arc<dyn SoapHandler>, EndpointOptions)> {
+        self.0
+            .endpoints
+            .read()
+            .get(to)
+            .map(|ep| (Arc::clone(&ep.handler), ep.options))
     }
 
     /// Is an endpoint registered at `uri`?
@@ -236,6 +273,24 @@ impl Network {
         two_way: bool,
         class: AttemptClass,
     ) -> Result<Option<Envelope>, TransportError> {
+        self.deliver_routed(to, None, envelope, two_way, class)
+    }
+
+    /// One delivery, optionally through a pre-resolved route.
+    /// `route: None` resolves the endpoint here (the uncached path);
+    /// `Some(resolved)` is an [`EndpointSender`]'s epoch-validated
+    /// cache, where the inner `None` means "no endpoint existed at
+    /// resolution time". Fault injection, latency, and tracing are
+    /// identical either way — a cached route only skips the registry
+    /// lookup, never the fault plan.
+    fn deliver_routed(
+        &self,
+        to: &str,
+        route: Option<Option<&(Arc<dyn SoapHandler>, EndpointOptions)>>,
+        envelope: Envelope,
+        two_way: bool,
+        class: AttemptClass,
+    ) -> Result<Option<Envelope>, TransportError> {
         let timer = self.0.obs.start();
         // Consult the fault plan before the hop: it decides this
         // delivery's fate and any extra injected latency.
@@ -280,23 +335,23 @@ impl Network {
             }
         }
 
-        let (handler, options) = {
-            let map = self.0.endpoints.read();
-            match map.get(to) {
-                Some(ep) => (Arc::clone(&ep.handler), ep.options),
-                None => {
-                    drop(map);
-                    self.record(
-                        timer,
-                        to,
-                        &label,
-                        bytes,
-                        two_way,
-                        class,
-                        DeliveryOutcome::NoEndpoint,
-                    );
-                    return Err(TransportError::NoEndpoint(to.to_string()));
-                }
+        let resolved = match route {
+            Some(cached) => cached.map(|(h, o)| (Arc::clone(h), *o)),
+            None => self.lookup(to),
+        };
+        let (handler, options) = match resolved {
+            Some(ep) => ep,
+            None => {
+                self.record(
+                    timer,
+                    to,
+                    &label,
+                    bytes,
+                    two_way,
+                    class,
+                    DeliveryOutcome::NoEndpoint,
+                );
+                return Err(TransportError::NoEndpoint(to.to_string()));
             }
         };
         if options.firewalled {
@@ -420,6 +475,53 @@ impl Network {
             .iter()
             .filter(|r| pred(&r.outcome))
             .count()
+    }
+}
+
+/// A cached route to one endpoint, from [`Network::sender`].
+///
+/// Resolving an endpoint costs a registry read lock and a hash lookup
+/// per send; a fan-out worker delivering a batch to the same consumer
+/// pays that once per endpoint-table generation instead. The cache is
+/// validated against [`Network::endpoint_epoch`] on every send, so a
+/// re-registered or removed endpoint is always observed — and the
+/// fault plan is still consulted per delivery, so injected loss,
+/// flapping, and latency spikes behave identically through a cached
+/// route.
+pub struct EndpointSender {
+    net: Network,
+    to: String,
+    resolved_epoch: Option<u64>,
+    route: Option<(Arc<dyn SoapHandler>, EndpointOptions)>,
+}
+
+impl EndpointSender {
+    /// The endpoint this sender routes to.
+    pub fn target(&self) -> &str {
+        &self.to
+    }
+
+    /// One-way send through the cached route, with an explicit attempt
+    /// class (see [`Network::send_class`]).
+    pub fn send_class(
+        &mut self,
+        envelope: Envelope,
+        class: AttemptClass,
+    ) -> Result<(), TransportError> {
+        let epoch = self.net.endpoint_epoch();
+        if self.resolved_epoch != Some(epoch) {
+            self.route = self.net.lookup(&self.to);
+            self.resolved_epoch = Some(epoch);
+        }
+        self.net
+            .deliver_routed(&self.to, Some(self.route.as_ref()), envelope, false, class)
+            .map(|_| ())
+    }
+
+    /// One-way send through the cached route, counted as a first
+    /// attempt.
+    pub fn send(&mut self, envelope: Envelope) -> Result<(), TransportError> {
+        self.send_class(envelope, AttemptClass::First)
     }
 }
 
@@ -594,6 +696,58 @@ mod tests {
         let t = net.trace();
         assert_eq!(t[0].label, "Ping");
         assert_eq!(t[1].label, "urn:go");
+    }
+
+    #[test]
+    fn endpoint_sender_caches_route_across_sends() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        let epoch = net.endpoint_epoch();
+        let mut sender = net.sender("http://a");
+        sender.send(env()).unwrap();
+        sender.send(env()).unwrap();
+        // No registrations happened, so the epoch (and the cached
+        // route) held across both sends.
+        assert_eq!(net.endpoint_epoch(), epoch);
+        assert_eq!(net.count_outcomes(|o| *o == DeliveryOutcome::Delivered), 2);
+    }
+
+    #[test]
+    fn endpoint_sender_observes_unregister_and_reregister() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        let mut sender = net.sender("http://a");
+        sender.send(env()).unwrap();
+        net.unregister("http://a");
+        assert!(matches!(
+            sender.send(env()),
+            Err(TransportError::NoEndpoint(_))
+        ));
+        // A fresh registration at the same address must be picked up —
+        // including one with different options.
+        net.register_with(
+            "http://a",
+            Arc::new(Echo),
+            EndpointOptions { firewalled: true },
+        );
+        assert!(matches!(
+            sender.send(env()),
+            Err(TransportError::Refused(_))
+        ));
+    }
+
+    #[test]
+    fn endpoint_sender_still_consults_fault_plan() {
+        let net = Network::new();
+        net.register("http://a", Arc::new(Sink));
+        let mut sender = net.sender("http://a");
+        sender.send(env()).unwrap();
+        net.drop_next("http://a", 1);
+        assert!(matches!(
+            sender.send(env()),
+            Err(TransportError::Dropped(_))
+        ));
+        sender.send(env()).unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@ use wsm_workload::{render_workload_json, run_matrix};
 fn quick_matrix_judges_every_scenario() {
     std::env::set_var("WSM_BENCH_QUICK", "1");
     let results = run_matrix(42);
-    assert_eq!(results.len(), 6, "six named scenarios");
+    assert_eq!(results.len(), 7, "seven named scenarios");
 
     let names: Vec<_> = results.iter().map(|r| r.name).collect();
     assert_eq!(
@@ -18,6 +18,7 @@ fn quick_matrix_judges_every_scenario() {
             "flash_crowd",
             "firewalled_pull",
             "mixed_dialects",
+            "sharded_fanout",
             "slow_flaky_consumers"
         ]
     );
@@ -38,7 +39,12 @@ fn quick_matrix_judges_every_scenario() {
     }
 
     // The healthy scenarios hold their objectives.
-    for name in ["zipf_topics", "firewalled_pull", "mixed_dialects"] {
+    for name in [
+        "zipf_topics",
+        "firewalled_pull",
+        "mixed_dialects",
+        "sharded_fanout",
+    ] {
         let r = results.iter().find(|r| r.name == name).unwrap();
         assert!(
             r.all_pass(),
